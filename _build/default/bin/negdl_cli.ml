@@ -1,0 +1,433 @@
+(* The negdl command-line interface.
+
+   Subcommands:
+     eval      — evaluate a program on a database under a chosen semantics
+     fixpoints — run the Section 3 fixpoint query suite (SAT-backed)
+     stratify  — show the stratification (or why there is none)
+     check     — static well-formedness report
+     ground    — print the ground (propositional) program
+
+   Programs use the concrete DATALOG-not syntax (t(X) :- e(Y, X), !t(Y).),
+   databases the fact format (edge(a, b).  #universe c d.). *)
+
+open Cmdliner
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error msg
+
+let load_program path =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok text -> (
+    match Negdl.parse_program text with
+    | Ok p -> Ok p
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let load_database path =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok text -> (
+    match Negdl.parse_database text with
+    | Ok db -> Ok db
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "negdl: %s@." msg;
+    exit 1
+
+let print_idb ?(header = "") idb =
+  if header <> "" then Format.printf "%s@." header;
+  List.iter
+    (fun (name, r) ->
+      Format.printf "%s/%d (%d tuples) = %a@." name
+        (Negdl.Relation.arity r)
+        (Negdl.Relation.cardinal r)
+        Negdl.Relation.pp r)
+    (Negdl.Idb.bindings idb)
+
+(* --- common arguments ----------------------------------------------------- *)
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Datalog program file.")
+
+let database_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"DATABASE" ~doc:"Database (facts) file.")
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("seminaive", `Seminaive); ("naive", `Naive) ]
+  in
+  Arg.(
+    value
+    & opt engine_conv `Seminaive
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Iteration engine: $(b,seminaive) (default) or $(b,naive).")
+
+(* --- eval ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let semantics_arg =
+    let parse s =
+      match Negdl.semantics_of_string s with
+      | Ok v -> Ok v
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf s = Format.pp_print_string ppf (Negdl.semantics_to_string s) in
+    Arg.(
+      value
+      & opt (conv ~docv:"SEMANTICS" (parse, print)) Negdl.Semantics_inflationary
+      & info [ "s"; "semantics" ] ~docv:"SEMANTICS"
+          ~doc:
+            "One of $(b,inflationary) (default), $(b,stratified), \
+             $(b,well-founded), $(b,kripke-kleene), $(b,least).")
+  in
+  let pred_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "pred" ] ~docv:"PRED"
+          ~doc:"Print only this predicate (e.g. the program's carrier).")
+  in
+  let run program_path db_path semantics engine pred =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let result = or_die (Negdl.run ~engine semantics program db) in
+    (match pred with
+    | None -> print_idb result.Negdl.facts
+    | Some name -> (
+      match
+        List.assoc_opt name (Negdl.Idb.bindings result.Negdl.facts)
+      with
+      | Some r -> Format.printf "%a@." Negdl.Relation.pp r
+      | None ->
+        or_die (Error (Printf.sprintf "no IDB predicate %s" name))));
+    match result.Negdl.unknown with
+    | Some unknown when pred = None ->
+      print_idb ~header:"-- unknown (three-valued) --" unknown
+    | _ -> ()
+  in
+  let doc = "evaluate a program on a database" in
+  Cmd.v
+    (Cmd.info "eval" ~doc)
+    Term.(
+      const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
+      $ pred_arg)
+
+(* --- fixpoints ---------------------------------------------------------------- *)
+
+let fixpoints_cmd =
+  let limit_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "limit" ] ~docv:"N" ~doc:"Census cap (default 256).")
+  in
+  let enumerate_arg =
+    Arg.(
+      value & flag
+      & info [ "enumerate" ] ~doc:"Print every fixpoint found (up to the cap).")
+  in
+  let run program_path db_path limit enumerate =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let report = Negdl.analyze_fixpoints ~count_limit:limit program db in
+    Format.printf "ground atoms:    %d@." report.Negdl.ground_atoms;
+    Format.printf "ground rules:    %d@." report.Negdl.ground_rules;
+    Format.printf "fixpoint exists: %b@." report.Negdl.has_fixpoint;
+    (match report.Negdl.fixpoint_count with
+    | Some n when n >= limit -> Format.printf "fixpoints:       >= %d (capped)@." n
+    | Some n -> Format.printf "fixpoints:       %d@." n
+    | None -> ());
+    Format.printf "unique:          %b@." report.Negdl.unique;
+    (match report.Negdl.least with
+    | Some least ->
+      Format.printf "least fixpoint:  yes@.";
+      print_idb ~header:"-- least fixpoint --" least
+    | None -> Format.printf "least fixpoint:  no@.");
+    if enumerate then begin
+      let solver = Negdl.Fixpoints.prepare program db in
+      List.iteri
+        (fun i fp ->
+          Format.printf "-- fixpoint %d --@." (i + 1);
+          print_idb fp)
+        (Negdl.Fixpoints.enumerate ~limit solver)
+    end
+    else
+      match report.Negdl.example with
+      | Some fp when report.Negdl.has_fixpoint ->
+        print_idb ~header:"-- example fixpoint --" fp
+      | _ -> ()
+  in
+  let doc = "decide existence / uniqueness / least fixpoints (Section 3)" in
+  Cmd.v
+    (Cmd.info "fixpoints" ~doc)
+    Term.(const run $ program_arg $ database_arg $ limit_arg $ enumerate_arg)
+
+(* --- query ------------------------------------------------------------------- *)
+
+let query_cmd =
+  let goal_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"GOAL"
+          ~doc:
+            "Query atom, e.g. 's(v0, Y)' — constants lowercase, variables \
+             uppercase.")
+  in
+  let run program_path db_path goal engine =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let goal_atom =
+      match Negdl.Parser.parse_rule (goal ^ ".") with
+      | Ok rule when rule.Negdl.Ast.body = [] -> rule.Negdl.Ast.head
+      | Ok _ -> or_die (Error "the goal must be a single atom")
+      | Error msg -> or_die (Error msg)
+    in
+    match Negdl.Query.answer ~engine program db ~query:goal_atom with
+    | Error msg -> or_die (Error msg)
+    | Ok answers ->
+      Format.printf "%a@." Negdl.Relation.pp answers;
+      Format.printf "%% %d answer(s)@." (Negdl.Relation.cardinal answers)
+  in
+  let doc = "answer a goal on a positive program via magic sets" in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(const run $ program_arg $ database_arg $ goal_arg $ engine_arg)
+
+(* --- why -------------------------------------------------------------------- *)
+
+let why_cmd =
+  let fact_arg =
+    Arg.(
+      required
+      & pos 2 (some string) None
+      & info [] ~docv:"FACT"
+          ~doc:"A ground atom, e.g. 's(v0, v3)', to explain under the \
+                inflationary semantics.")
+  in
+  let run program_path db_path fact =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let atom =
+      match Negdl.Parser.parse_rule (fact ^ ".") with
+      | Ok rule when rule.Negdl.Ast.body = [] -> rule.Negdl.Ast.head
+      | Ok _ -> or_die (Error "the fact must be a single atom")
+      | Error msg -> or_die (Error msg)
+    in
+    let tuple =
+      Negdl.Tuple.of_list
+        (List.map
+           (function
+             | Negdl.Ast.Const c -> c
+             | Negdl.Ast.Var x ->
+               or_die
+                 (Error
+                    (Printf.sprintf "the fact must be ground; %s is a variable"
+                       x)))
+           atom.Negdl.Ast.args)
+    in
+    match Negdl.Provenance.explain program db ~pred:atom.Negdl.Ast.pred tuple with
+    | Some j -> print_endline (Negdl.Provenance.to_string j)
+    | None ->
+      Format.printf "not derived under the inflationary semantics@.";
+      exit 2
+  in
+  let doc = "explain why a fact holds under the inflationary semantics" in
+  Cmd.v
+    (Cmd.info "why" ~doc)
+    Term.(const run $ program_arg $ database_arg $ fact_arg)
+
+(* --- stable ------------------------------------------------------------------ *)
+
+let stable_cmd =
+  let limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum stable models printed.")
+  in
+  let run program_path db_path limit =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let solver = Negdl.Fixpoints.prepare program db in
+    let stable = Negdl.Stable.stable_models ~limit solver in
+    Format.printf "stable models: %d%s@." (List.length stable)
+      (if List.length stable >= limit then " (capped)" else "");
+    List.iteri
+      (fun i m ->
+        Format.printf "-- stable model %d --@." (i + 1);
+        print_idb m)
+      stable
+  in
+  let doc = "enumerate stable models (answer sets)" in
+  Cmd.v
+    (Cmd.info "stable" ~doc)
+    Term.(const run $ program_arg $ database_arg $ limit_arg)
+
+(* --- sat -------------------------------------------------------------------- *)
+
+let cnf_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"CNF" ~doc:"A DIMACS CNF file.")
+
+let load_cnf path =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok text -> (
+    match Negdl.Dimacs.parse text with
+    | Ok cnf -> Ok cnf
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let sat_cmd =
+  let run cnf_path =
+    let cnf = or_die (load_cnf cnf_path) in
+    match Negdl.Sat_solver.solve cnf with
+    | Negdl.Sat_solver.Unsat ->
+      Format.printf "s UNSATISFIABLE@.";
+      exit 20
+    | Negdl.Sat_solver.Sat model ->
+      Format.printf "s SATISFIABLE@.v ";
+      for v = 1 to Negdl.Cnf.num_vars cnf do
+        Format.printf "%d " (if model.(v) then v else -v)
+      done;
+      Format.printf "0@."
+  in
+  let doc = "solve a DIMACS CNF with the built-in CDCL solver" in
+  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ cnf_arg)
+
+(* --- sat2fp ----------------------------------------------------------------- *)
+
+let sat2fp_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"BASE"
+          ~doc:
+            "Write $(docv).dl (the fixed program pi_SAT) and $(docv).facts \
+             (the database D(I)); default prints both to stdout.")
+  in
+  let run cnf_path out =
+    let cnf = or_die (load_cnf cnf_path) in
+    let db = Negdl.Sat_db.database_of_cnf cnf in
+    let program_text =
+      Negdl.Pretty.program_to_string Negdl.Sat_db.program ^ "\n"
+    in
+    let facts_text =
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        ("#universe "
+        ^ String.concat " "
+            (List.map Negdl.Symbol.name (Negdl.Database.universe db))
+        ^ ".\n");
+      List.iter
+        (fun (name, rel) ->
+          Negdl.Relation.iter
+            (fun t ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s(%s).\n" name
+                   (String.concat ", "
+                      (List.map Negdl.Symbol.name (Negdl.Tuple.to_list t)))))
+            rel)
+        (Negdl.Database.relations db);
+      Buffer.contents buf
+    in
+    match out with
+    | None ->
+      Format.printf "%% pi_SAT@.%s%% D(I)@.%s" program_text facts_text
+    | Some base ->
+      let write path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      write (base ^ ".dl") program_text;
+      write (base ^ ".facts") facts_text;
+      Format.printf "wrote %s.dl and %s.facts@." base base
+  in
+  let doc =
+    "emit Example 1's reduction: a CNF as (pi_SAT, D(I)) program/database \
+     files"
+  in
+  Cmd.v (Cmd.info "sat2fp" ~doc) Term.(const run $ cnf_arg $ out_arg)
+
+(* --- stratify -------------------------------------------------------------------- *)
+
+let stratify_cmd =
+  let run program_path =
+    let program = or_die (load_program program_path) in
+    match Negdl.Stratify.stratify program with
+    | Negdl.Stratify.Not_stratifiable { offending = p, q } ->
+      Format.printf
+        "not stratifiable: %s depends negatively on %s within a recursive \
+         component@."
+        p q;
+      exit 2
+    | Negdl.Stratify.Stratified { strata; _ } ->
+      List.iteri
+        (fun i preds ->
+          Format.printf "stratum %d: %s@." i (String.concat ", " preds))
+        strata
+  in
+  let doc = "compute the stratification of a program" in
+  Cmd.v (Cmd.info "stratify" ~doc) Term.(const run $ program_arg)
+
+(* --- check ----------------------------------------------------------------------- *)
+
+let check_cmd =
+  let run program_path =
+    let program = or_die (load_program program_path) in
+    Format.printf "%s@." (Negdl.Check.describe program);
+    match Negdl.Check.validate program with
+    | Ok _ -> ()
+    | Error _ -> exit 2
+  in
+  let doc = "static well-formedness report" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ program_arg)
+
+(* --- ground ---------------------------------------------------------------------- *)
+
+let ground_cmd =
+  let run program_path db_path =
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let g = Negdl.Ground.ground program db in
+    Format.printf "%a@." Negdl.Ground.pp g;
+    Format.printf "%% %d atoms, %d instances@." (Negdl.Ground.atom_count g)
+      (Negdl.Ground.rule_count g)
+  in
+  let doc = "print the propositional grounding of (program, database)" in
+  Cmd.v (Cmd.info "ground" ~doc) Term.(const run $ program_arg $ database_arg)
+
+let () =
+  let doc = "a DATALOG-with-negation engine (Kolaitis-Papadimitriou semantics)" in
+  let info = Cmd.info "negdl" ~version:Negdl.version ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [
+         eval_cmd;
+         fixpoints_cmd;
+         query_cmd;
+         why_cmd;
+         stable_cmd;
+         sat_cmd;
+         sat2fp_cmd;
+         stratify_cmd;
+         check_cmd;
+         ground_cmd;
+       ]))

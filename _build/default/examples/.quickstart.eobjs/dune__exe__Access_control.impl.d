@@ -1,0 +1,1 @@
+examples/access_control.ml: Format List Negdl String

@@ -1,0 +1,1 @@
+examples/cycles.ml: Format List Negdl Option Printf

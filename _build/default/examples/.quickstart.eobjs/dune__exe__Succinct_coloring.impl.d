@@ -1,0 +1,1 @@
+examples/succinct_coloring.ml: Format List Negdl

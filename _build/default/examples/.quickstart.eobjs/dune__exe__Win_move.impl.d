@@ -1,0 +1,1 @@
+examples/win_move.ml: Format List Negdl Printf String

@@ -1,0 +1,1 @@
+examples/win_move.mli:

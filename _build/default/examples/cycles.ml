@@ -1,0 +1,101 @@
+(* Section 2 of the paper, live: the fixpoint census of the one-rule
+   program pi_1 = T(x) <- E(y, x), !T(y) on paths, cycles, and disjoint
+   unions of cycles.
+
+   The paper's claims, reproduced row by row:
+     - on the path L_n there is a unique fixpoint: the even positions;
+     - on the cycle C_n there is no fixpoint when n is odd and exactly two
+       (the odd and the even positions) when n is even;
+     - on k disjoint even cycles there are 2^k pairwise incomparable
+       fixpoints — exponentially many, and no least one.
+
+   Run with:  dune exec examples/cycles.exe *)
+
+let pi1 = Negdl.Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)."
+
+let census g =
+  Negdl.analyze_fixpoints ~count_limit:1024 pi1 (Negdl.Digraph.to_database g)
+
+let row name report =
+  Format.printf "  %-22s fixpoints=%-5s unique=%-5b least=%b@." name
+    (match report.Negdl.fixpoint_count with
+    | Some n -> string_of_int n
+    | None -> "?")
+    report.Negdl.unique
+    (report.Negdl.least <> None)
+
+let () =
+  Format.printf "pi_1 = %s@.@."
+    (Negdl.Pretty.program_to_string pi1);
+
+  Format.printf "Paths L_n (expected: unique fixpoint = even positions):@.";
+  for n = 2 to 7 do
+    let report = census (Negdl.Generate.path n) in
+    row (Printf.sprintf "L_%d" n) report;
+    (* Show the fixpoint itself for one path. *)
+    if n = 5 then
+      match report.Negdl.example with
+      | Some fp ->
+        Format.printf "      L_5 fixpoint: t = %a@." Negdl.Relation.pp
+          (Negdl.Idb.get fp "t")
+      | None -> ()
+  done;
+
+  Format.printf "@.Cycles C_n (expected: 0 for odd n, 2 for even n):@.";
+  for n = 3 to 9 do
+    row (Printf.sprintf "C_%d" n) (census (Negdl.Generate.cycle n))
+  done;
+
+  Format.printf
+    "@.Disjoint unions k x C_4 (expected: 2^k incomparable fixpoints, no \
+     least):@.";
+  for k = 1 to 4 do
+    let g = Negdl.Generate.disjoint_copies k (Negdl.Generate.cycle 4) in
+    row (Printf.sprintf "%d x C_4" k) (census g)
+  done;
+
+  (* The combinatorial face of the same census: T is a fixpoint of pi_1
+     exactly when its complement is a kernel of the reversed graph. *)
+  Format.printf "@.Kernels of the reversed graph (same census, no Datalog):@.";
+  List.iter
+    (fun (name, g) ->
+      Format.printf "  %-10s fixpoints=%d  reversed-kernels=%d@." name
+        (Option.value ~default:(-1)
+           (Negdl.analyze_fixpoints ~count_limit:1024 pi1
+              (Negdl.Digraph.to_database g))
+             .Negdl.fixpoint_count)
+        (Negdl.Kernel.count (Negdl.Digraph.reverse g)))
+    [
+      ("L_5", Negdl.Generate.path 5);
+      ("C_5", Negdl.Generate.cycle 5);
+      ("C_6", Negdl.Generate.cycle 6);
+      ("2 x C_4", Negdl.Generate.disjoint_copies 2 (Negdl.Generate.cycle 4));
+    ];
+
+  (* What happens if one just iterates Theta from empty, hoping for a
+     fixpoint?  The title question, answered empirically. *)
+  Format.printf
+    "@.Naive iteration of Theta from the empty valuation (the title \
+     question):@.";
+  List.iter
+    (fun (name, g) ->
+      let db = Negdl.Digraph.to_database g in
+      match Negdl.Theta.iterate pi1 db (Negdl.Idb.of_program pi1) with
+      | Negdl.Theta.Reached_fixpoint { steps; _ } ->
+        Format.printf "  %-10s converges in %d steps@." name steps
+      | Negdl.Theta.Entered_cycle { period; _ } ->
+        Format.printf "  %-10s oscillates with period %d — never settles@."
+          name period
+      | Negdl.Theta.Gave_up _ -> Format.printf "  %-10s gave up@." name)
+    [
+      ("L_6", Negdl.Generate.path 6);
+      ("C_5", Negdl.Generate.cycle 5);
+      ("C_6", Negdl.Generate.cycle 6);
+    ];
+
+  Format.printf
+    "@.Inflationary semantics, by contrast, is total: on C_5 (no fixpoint \
+     at all) it answers t = %a@."
+    Negdl.Relation.pp
+    (Negdl.Inflationary.carrier pi1 ~carrier:"t"
+       (Negdl.Digraph.to_database (Negdl.Generate.cycle 5)))

@@ -1,0 +1,54 @@
+(* Example 1 / Theorems 1 and 2, live: SAT as fixpoint existence.
+
+   A CNF instance I becomes the database D(I); the fixed program pi_SAT has
+   a fixpoint on D(I) iff I is satisfiable, and fixpoints correspond one to
+   one to satisfying assignments.  We run the correspondence in both
+   directions and also check the Theorem 2 angle: unique satisfying
+   assignment iff unique fixpoint.
+
+   Run with:  dune exec examples/sat_reduction.exe *)
+
+let show_cnf name cnf =
+  Format.printf "@.%s = %a@." name Negdl.Cnf.pp cnf
+
+let () =
+  Format.printf "pi_SAT:@.%a@.@." Negdl.Pretty.pp_program Negdl.Sat_db.program;
+
+  (* (x1 \/ x2) /\ (~x1 \/ x3) /\ (~x2): models are exactly
+     {x1, x3} and {x1, x3, ...}? Work it out: ~x2 forces x2 = false, so
+     x1 must be true, so x3 must be true: a unique model {x1, x3}. *)
+  let unique_cnf = Negdl.Cnf.of_list 3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2 ] ] in
+  show_cnf "I1 (unique model)" unique_cnf;
+  let solver = Negdl.Sat_db.solver unique_cnf in
+  Format.printf "  fixpoint exists: %b@." (Negdl.Fixpoints.exists solver);
+  Format.printf "  unique fixpoint: %b  (Theorem 2: iff unique model)@."
+    (Negdl.Fixpoints.has_unique solver);
+  (match Negdl.Fixpoints.find solver with
+  | Some fp ->
+    let a = Negdl.Sat_db.assignment_of_fixpoint unique_cnf fp in
+    Format.printf "  assignment from fixpoint: x1=%b x2=%b x3=%b@." a.(1)
+      a.(2) a.(3)
+  | None -> assert false);
+
+  (* An unsatisfiable instance: no fixpoint at all. *)
+  let unsat = Negdl.Cnf.of_list 2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ] in
+  show_cnf "I2 (unsatisfiable)" unsat;
+  Format.printf "  fixpoint exists: %b@."
+    (Negdl.Fixpoints.exists (Negdl.Sat_db.solver unsat));
+
+  (* Counting: model count = fixpoint count. *)
+  let free = Negdl.Cnf.of_list 3 [ [ 1; 2; 3 ] ] in
+  show_cnf "I3 (one clause over three variables)" free;
+  let models = Negdl.Sat_brute.count_models free in
+  let fixpoints = Negdl.Fixpoints.count (Negdl.Sat_db.solver free) in
+  Format.printf "  models = %d, fixpoints = %d@." models fixpoints;
+
+  (* And in bulk, on random 3-CNF. *)
+  Format.printf "@.Random 3-CNF, 5 vars, 12 clauses (10 seeds):@.";
+  for seed = 1 to 10 do
+    let cnf = Negdl.Sat_workload.random_3cnf ~seed ~vars:5 ~clauses:12 in
+    let m = Negdl.Sat_brute.count_models cnf in
+    let f = Negdl.Fixpoints.count (Negdl.Sat_db.solver cnf) in
+    Format.printf "  seed %2d: models=%2d fixpoints=%2d %s@." seed m f
+      (if m = f then "ok" else "MISMATCH")
+  done

@@ -1,0 +1,1 @@
+lib/circuit/build.ml: Array Circuit List

@@ -1,0 +1,1 @@
+lib/circuit/succinct.ml: Array Build Circuit Graphlib List Printf

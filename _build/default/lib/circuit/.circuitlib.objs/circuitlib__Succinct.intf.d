@@ -1,0 +1,1 @@
+lib/circuit/succinct.mli: Circuit Graphlib

@@ -1,0 +1,53 @@
+type wire = int
+
+type ctx = { mutable rev_gates : Circuit.gate list; mutable size : int }
+
+let create () = { rev_gates = []; size = 0 }
+
+let push ctx g =
+  ctx.rev_gates <- g :: ctx.rev_gates;
+  let w = ctx.size in
+  ctx.size <- ctx.size + 1;
+  w
+
+let input ctx = push ctx Circuit.In
+
+let inputs ctx n = List.init n (fun _ -> input ctx)
+
+let band ctx a b = push ctx (Circuit.And (a, b))
+
+let bor ctx a b = push ctx (Circuit.Or (a, b))
+
+let bnot ctx a = push ctx (Circuit.Not a)
+
+let bxor ctx a b =
+  let left = band ctx a (bnot ctx b) in
+  let right = band ctx (bnot ctx a) b in
+  bor ctx left right
+
+let biff ctx a b = bnot ctx (bxor ctx a b)
+
+let btrue ctx =
+  if ctx.size = 0 then
+    invalid_arg "Build.btrue: the circuit encoding needs at least one gate";
+  bor ctx 0 (bnot ctx 0)
+
+let bfalse ctx = bnot ctx (btrue ctx)
+
+let band_list ctx = function
+  | [] -> btrue ctx
+  | w :: ws -> List.fold_left (band ctx) w ws
+
+let bor_list ctx = function
+  | [] -> bfalse ctx
+  | w :: ws -> List.fold_left (bor ctx) w ws
+
+let finish ctx w =
+  let w =
+    if w = ctx.size - 1 then w
+    else
+      (* Append a copy gate so the chosen wire becomes the last gate. *)
+      bor ctx w w
+  in
+  ignore w;
+  Circuit.create (Array.of_list (List.rev ctx.rev_gates))

@@ -1,0 +1,46 @@
+(** A combinator layer for constructing circuits.
+
+    The raw triple encoding of {!Circuit} is awkward to produce by hand;
+    this builder hands out wires and appends gates, and {!finish} seals the
+    circuit with the chosen wire as the output (the last gate).  Derived
+    gates (xor, equality, multi-way and/or, constants) are expanded into the
+    four primitive kinds, since the paper's encoding has no others. *)
+
+type ctx
+
+type wire
+
+val create : unit -> ctx
+
+val input : ctx -> wire
+(** Appends an IN gate.  Inputs are ordered by creation time. *)
+
+val inputs : ctx -> int -> wire list
+
+val band : ctx -> wire -> wire -> wire
+
+val bor : ctx -> wire -> wire -> wire
+
+val bnot : ctx -> wire -> wire
+
+val bxor : ctx -> wire -> wire -> wire
+
+val biff : ctx -> wire -> wire -> wire
+(** Equality of two wires. *)
+
+val btrue : ctx -> wire
+(** A constant-true wire ([w | ~w] over the first input).
+    @raise Invalid_argument if no input exists yet. *)
+
+val bfalse : ctx -> wire
+
+val band_list : ctx -> wire list -> wire
+(** Conjunction; the empty conjunction is {!btrue}. *)
+
+val bor_list : ctx -> wire list -> wire
+(** Disjunction; the empty disjunction is {!bfalse}. *)
+
+val finish : ctx -> wire -> Circuit.t
+(** Seals the circuit with the given wire as output, appending a copy gate
+    if that wire is not already last.  The context must not be used
+    afterwards. *)

@@ -1,0 +1,82 @@
+type gate =
+  | In
+  | And of int * int
+  | Or of int * int
+  | Not of int
+
+type t = { gates : gate array; inputs : int array }
+
+let create gates =
+  let check i j =
+    if j < 0 || j >= i then
+      invalid_arg
+        (Printf.sprintf "Circuit.create: gate %d reads gate %d (must be < %d)"
+           i j i)
+  in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | In -> ()
+      | And (b, c) | Or (b, c) ->
+        check i b;
+        check i c
+      | Not b -> check i b)
+    gates;
+  let inputs =
+    Array.to_list gates
+    |> List.mapi (fun i g -> (i, g))
+    |> List.filter_map (fun (i, g) -> match g with In -> Some i | _ -> None)
+    |> Array.of_list
+  in
+  { gates = Array.copy gates; inputs }
+
+let gates c = Array.copy c.gates
+
+let num_gates c = Array.length c.gates
+
+let num_inputs c = Array.length c.inputs
+
+let input_indices c = Array.copy c.inputs
+
+let eval_all c inputs =
+  if Array.length inputs <> Array.length c.inputs then
+    invalid_arg
+      (Printf.sprintf "Circuit.eval_all: expected %d inputs, got %d"
+         (Array.length c.inputs) (Array.length inputs));
+  let n = Array.length c.gates in
+  let values = Array.make n false in
+  let next_input = ref 0 in
+  for i = 0 to n - 1 do
+    values.(i) <-
+      (match c.gates.(i) with
+      | In ->
+        let v = inputs.(!next_input) in
+        incr next_input;
+        v
+      | And (b, cc) -> values.(b) && values.(cc)
+      | Or (b, cc) -> values.(b) || values.(cc)
+      | Not b -> not values.(b))
+  done;
+  values
+
+let eval c inputs =
+  let n = num_gates c in
+  if n = 0 then invalid_arg "Circuit.eval: empty circuit"
+  else (eval_all c inputs).(n - 1)
+
+let triples c =
+  Array.to_list c.gates
+  |> List.map (fun g ->
+         match g with
+         | In -> ("IN", 0, 0)
+         | And (b, cc) -> ("AND", b, cc)
+         | Or (b, cc) -> ("OR", b, cc)
+         | Not b -> ("NOT", b, b))
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (kind, b, cc) ->
+      Format.fprintf ppf "g%d = %s(%d, %d)@," i kind b cc)
+    (triples c);
+  Format.fprintf ppf "@]"

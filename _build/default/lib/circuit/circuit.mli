@@ -1,0 +1,45 @@
+(** Boolean circuits in the paper's triple encoding.
+
+    A circuit is a finite sequence of gates (a{_i}, b{_i}, c{_i}) where
+    a{_i} is the kind (IN, AND, OR, NOT) and b{_i}, c{_i} < i are the
+    gate's inputs (for IN gates b = c = 0; for NOT gates b = c).  Given
+    values for the input gates, every gate's value is computed in order and
+    the value of the circuit is the value of the {e last} gate
+    (Section 3 of the paper, before Lemma 2). *)
+
+type gate =
+  | In
+  | And of int * int
+  | Or of int * int
+  | Not of int
+
+type t
+
+val create : gate array -> t
+(** Validates the wiring: every gate's inputs must point to earlier gates.
+    @raise Invalid_argument on a forward or self reference. *)
+
+val gates : t -> gate array
+(** Fresh copy. *)
+
+val num_gates : t -> int
+
+val num_inputs : t -> int
+
+val input_indices : t -> int array
+(** The positions of the IN gates, in order; the j-th circuit input is fed
+    to gate [input_indices c .(j)]. *)
+
+val eval_all : t -> bool array -> bool array
+(** [eval_all c inputs] computes every gate's value; [inputs] has one entry
+    per IN gate in order.
+    @raise Invalid_argument on an input count mismatch. *)
+
+val eval : t -> bool array -> bool
+(** Value of the last gate. *)
+
+val triples : t -> (string * int * int) list
+(** The paper's explicit triple list ((kind, b, c) with 0-based indices,
+    kind in {"IN", "AND", "OR", "NOT"}), for display and serialisation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+type t = { bits : int; circuit : Circuit.t }
+
+let make ~bits circuit =
+  if Circuit.num_inputs circuit <> 2 * bits then
+    invalid_arg
+      (Printf.sprintf "Succinct.make: circuit has %d inputs, expected %d"
+         (Circuit.num_inputs circuit) (2 * bits));
+  { bits; circuit }
+
+let bits sg = sg.bits
+
+let circuit sg = sg.circuit
+
+let node_count sg = 1 lsl sg.bits
+
+let bit u j = (u lsr j) land 1 = 1
+
+let encode_pair n u v =
+  Array.init (2 * n) (fun i -> if i < n then bit u i else bit v (i - n))
+
+let has_edge sg u v = Circuit.eval sg.circuit (encode_pair sg.bits u v)
+
+let expand sg =
+  let n = node_count sg in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if has_edge sg u v then edges := (u, v) :: !edges
+    done
+  done;
+  Graphlib.Digraph.make n !edges
+
+let rec bits_needed n = if n <= 1 then 0 else 1 + bits_needed ((n + 1) / 2)
+
+let of_explicit g =
+  let vcount = Graphlib.Digraph.vertex_count g in
+  let n = max 1 (bits_needed vcount) in
+  let ctx = Build.create () in
+  let xs = Build.inputs ctx n in
+  let ys = Build.inputs ctx n in
+  let match_node wires u =
+    Build.band_list ctx
+      (List.mapi
+         (fun j w -> if bit u j then w else Build.bnot ctx w)
+         wires)
+  in
+  let edge_wire (u, v) =
+    Build.band ctx (match_node xs u) (match_node ys v)
+  in
+  let out = Build.bor_list ctx (List.map edge_wire (Graphlib.Digraph.edges g)) in
+  make ~bits:n (Build.finish ctx out)
+
+let hypercube n =
+  if n < 1 then invalid_arg "Succinct.hypercube: need n >= 1";
+  let ctx = Build.create () in
+  let xs = Build.inputs ctx n in
+  let ys = Build.inputs ctx n in
+  let diff = List.map2 (fun x y -> Build.bxor ctx x y) xs ys in
+  (* Exactly one position differs: some position differs, and no two do. *)
+  let some = Build.bor_list ctx diff in
+  let rec pairs = function
+    | [] -> []
+    | d :: rest -> List.map (fun d' -> (d, d')) rest @ pairs rest
+  in
+  let no_two =
+    Build.band_list ctx
+      (List.map
+         (fun (d, d') -> Build.bnot ctx (Build.band ctx d d'))
+         (pairs diff))
+  in
+  make ~bits:n (Build.finish ctx (Build.band ctx some no_two))
+
+let complete n =
+  if n < 1 then invalid_arg "Succinct.complete: need n >= 1";
+  let ctx = Build.create () in
+  let xs = Build.inputs ctx n in
+  let ys = Build.inputs ctx n in
+  let diff = List.map2 (fun x y -> Build.bxor ctx x y) xs ys in
+  make ~bits:n (Build.finish ctx (Build.bor_list ctx diff))
+
+let empty n =
+  if n < 1 then invalid_arg "Succinct.empty: need n >= 1";
+  let ctx = Build.create () in
+  let _ = Build.inputs ctx (2 * n) in
+  make ~bits:n (Build.finish ctx (Build.bfalse ctx))

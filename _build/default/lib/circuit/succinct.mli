@@ -1,0 +1,47 @@
+(** Succinctly presented graphs (Theorem 4's input format).
+
+    The nodes of the graph are the elements of [{0,1}]{^ n}; instead of an
+    explicit edge relation there is a Boolean circuit with 2n inputs whose
+    output is 1 exactly on the pairs of n-tuples joined by an edge.  A
+    circuit of size polynomial in [n] can thus present a graph of size
+    2{^ n} — the exponential succinctness behind the NEXP-completeness of
+    Theorem 4. *)
+
+type t
+
+val make : bits:int -> Circuit.t -> t
+(** [make ~bits c] wraps a circuit with [2 * bits] inputs.  The first
+    [bits] inputs carry the source node x, the last [bits] the target y;
+    bit j of a node index [u] is [(u lsr j) land 1].
+    @raise Invalid_argument if the circuit has a different input count. *)
+
+val bits : t -> int
+
+val circuit : t -> Circuit.t
+
+val node_count : t -> int
+(** [2 ^ bits]. *)
+
+val has_edge : t -> int -> int -> bool
+(** Evaluates the circuit on the bit representation of the node pair. *)
+
+val expand : t -> Graphlib.Digraph.t
+(** The explicit graph: 2{^ bits} vertices, all 4{^ bits} candidate pairs
+    evaluated.  Exponential; only for small [bits]. *)
+
+val of_explicit : Graphlib.Digraph.t -> t
+(** A succinct presentation of an explicit graph: the circuit is a
+    disjunction over the edges of bit-pattern matches.  Vertices beyond the
+    next power of two are absent (the wrapped graph is padded with isolated
+    nodes). *)
+
+val hypercube : int -> t
+(** [hypercube n]: nodes [{0,1}]{^ n}, edges between words at Hamming
+    distance one — a natural family whose explicit form is exponentially
+    larger than its circuit. *)
+
+val complete : int -> t
+(** [complete n]: an edge between every pair of distinct nodes. *)
+
+val empty : int -> t
+(** No edges. *)

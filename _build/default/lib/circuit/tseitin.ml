@@ -1,0 +1,60 @@
+module Cnf = Satlib.Cnf
+module Solver = Satlib.Solver
+
+let clauses_of_gate var i g =
+  let v = var i in
+  match g with
+  | Circuit.In -> []
+  | Circuit.And (b, c) ->
+    let vb = var b and vc = var c in
+    [ [ -v; vb ]; [ -v; vc ]; [ v; -vb; -vc ] ]
+  | Circuit.Or (b, c) ->
+    let vb = var b and vc = var c in
+    [ [ v; -vb ]; [ v; -vc ]; [ -v; vb; vc ] ]
+  | Circuit.Not b ->
+    let vb = var b in
+    [ [ -v; -vb ]; [ v; vb ] ]
+
+let to_cnf_with_offset offset c =
+  (* Gate i gets variable offset + i + 1. *)
+  let var i = offset + i + 1 in
+  let gates = Circuit.gates c in
+  let clauses =
+    Array.to_list gates
+    |> List.mapi (fun i g -> clauses_of_gate var i g)
+    |> List.concat
+  in
+  let input_vars = Array.map var (Circuit.input_indices c) in
+  let output_var = var (Circuit.num_gates c - 1) in
+  (clauses, input_vars, output_var)
+
+let to_cnf c =
+  let clauses, input_vars, output_var = to_cnf_with_offset 0 c in
+  let cnf = Cnf.of_list (Circuit.num_gates c) clauses in
+  (cnf, input_vars, output_var)
+
+let satisfiable_output c =
+  let cnf, _inputs, out = to_cnf c in
+  Solver.is_satisfiable (Cnf.add_clause cnf [ out ])
+
+let equivalent c1 c2 =
+  if Circuit.num_inputs c1 <> Circuit.num_inputs c2 then
+    invalid_arg "Tseitin.equivalent: input counts differ";
+  let cl1, in1, out1 = to_cnf_with_offset 0 c1 in
+  let n1 = Circuit.num_gates c1 in
+  let cl2, in2, out2 = to_cnf_with_offset n1 c2 in
+  let total = n1 + Circuit.num_gates c2 in
+  let cnf = Cnf.of_list total (cl1 @ cl2) in
+  (* Tie the inputs together. *)
+  let cnf =
+    Array.to_list (Array.map2 (fun a b -> (a, b)) in1 in2)
+    |> List.fold_left
+         (fun cnf (a, b) ->
+           Cnf.add_clause (Cnf.add_clause cnf [ -a; b ]) [ a; -b ])
+         cnf
+  in
+  (* Ask for differing outputs; equivalence = UNSAT. *)
+  let cnf =
+    Cnf.add_clause (Cnf.add_clause cnf [ out1; out2 ]) [ -out1; -out2 ]
+  in
+  not (Solver.is_satisfiable cnf)

@@ -1,0 +1,19 @@
+(** Tseitin translation of circuits to CNF.
+
+    One propositional variable per gate; three or fewer clauses per gate
+    encode its semantics.  Used to cross-check the circuit evaluator against
+    the SAT solver and to decide properties of succinctly presented graphs
+    without expanding them. *)
+
+val to_cnf : Circuit.t -> Satlib.Cnf.t * int array * int
+(** [to_cnf c] is [(cnf, input_vars, output_var)]: [cnf] is satisfied
+    exactly by the assignments that are consistent gate valuations of [c];
+    [input_vars.(j)] is the variable of the j-th input; [output_var] is the
+    variable of the last gate. *)
+
+val satisfiable_output : Circuit.t -> bool
+(** Is there an input vector making the circuit output true? *)
+
+val equivalent : Circuit.t -> Circuit.t -> bool
+(** Do two circuits with the same number of inputs compute the same
+    function?  Decided by SAT on a miter construction. *)

@@ -1,0 +1,1 @@
+lib/datalog/check.ml: Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/depgraph.ml: Array Ast Graphlib Hashtbl List Map Option String

@@ -1,0 +1,1 @@
+lib/datalog/dsl.mli: Ast

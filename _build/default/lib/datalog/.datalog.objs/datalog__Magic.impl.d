@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Ast Hashtbl List Printf Queue Relalg Set String

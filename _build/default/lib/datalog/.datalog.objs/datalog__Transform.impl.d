@@ -1,0 +1,1 @@
+lib/datalog/transform.ml: Array Ast Fun Hashtbl List Option Printf Relalg Set String

@@ -1,0 +1,1 @@
+lib/datalog/transform.mli: Ast

@@ -1,0 +1,181 @@
+type term =
+  | Var of string
+  | Const of Relalg.Symbol.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Eq of term * term
+  | Neq of term * term
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+}
+
+let program rules = { rules }
+
+let rule head body = { head; body }
+
+let atom pred args = { pred; args }
+
+let var x = Var x
+
+let const name = Const (Relalg.Symbol.intern name)
+
+let atoms_of_literal = function
+  | Pos a | Neg a -> [ a ]
+  | Eq _ | Neq _ -> []
+
+let idb_predicates p =
+  List.map (fun r -> r.head.pred) p.rules |> List.sort_uniq String.compare
+
+let body_atoms rule = List.concat_map atoms_of_literal rule.body
+
+let all_atoms p =
+  List.concat_map (fun r -> r.head :: body_atoms r) p.rules
+
+let predicates p =
+  List.map (fun a -> a.pred) (all_atoms p) |> List.sort_uniq String.compare
+
+let edb_predicates p =
+  let idb = idb_predicates p in
+  List.filter (fun q -> not (List.mem q idb)) (predicates p)
+
+let is_idb p name = List.mem name (idb_predicates p)
+
+let inferred_schema p =
+  let rec collect schema = function
+    | [] -> Ok schema
+    | a :: rest -> (
+      let arity = List.length a.args in
+      match Relalg.Schema.arity a.pred schema with
+      | Some k when k <> arity ->
+        Error
+          (Printf.sprintf "predicate %s used with arities %d and %d" a.pred k
+             arity)
+      | _ -> collect (Relalg.Schema.add a.pred arity schema) rest)
+  in
+  collect Relalg.Schema.empty (all_atoms p)
+
+let idb_schema p =
+  match inferred_schema p with
+  | Error _ as e -> e
+  | Ok schema ->
+    let idb = idb_predicates p in
+    Ok
+      (List.fold_left
+         (fun acc name ->
+           Relalg.Schema.add name (Relalg.Schema.arity_exn name schema) acc)
+         Relalg.Schema.empty idb)
+
+let term_variables = function
+  | Var x -> [ x ]
+  | Const _ -> []
+
+let literal_terms = function
+  | Pos a | Neg a -> a.args
+  | Eq (t1, t2) | Neq (t1, t2) -> [ t1; t2 ]
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let rule_variables r =
+  (r.head.args @ List.concat_map literal_terms r.body)
+  |> List.concat_map term_variables
+  |> dedup_keep_order
+
+let head_only_variables r =
+  let body_vars =
+    List.concat_map literal_terms r.body |> List.concat_map term_variables
+  in
+  List.concat_map term_variables r.head.args
+  |> dedup_keep_order
+  |> List.filter (fun x -> not (List.mem x body_vars))
+
+let positive_body_variables r =
+  List.concat_map
+    (function
+      | Pos a -> List.concat_map term_variables a.args
+      | Neg _ | Eq _ | Neq _ -> [])
+    r.body
+  |> dedup_keep_order
+
+let constants p =
+  List.concat_map
+    (fun r -> r.head.args @ List.concat_map literal_terms r.body)
+    p.rules
+  |> List.filter_map (function Const c -> Some c | Var _ -> None)
+  |> List.sort_uniq Relalg.Symbol.compare
+
+let is_positive p =
+  List.for_all
+    (fun r ->
+      List.for_all
+        (function Pos _ | Eq _ -> true | Neg _ | Neq _ -> false)
+        r.body)
+    p.rules
+
+let is_range_restricted r =
+  let bound = positive_body_variables r in
+  List.for_all (fun x -> List.mem x bound) (rule_variables r)
+
+let rename_atom ~old_name ~new_name a =
+  if String.equal a.pred old_name then { a with pred = new_name } else a
+
+let rename_literal ~old_name ~new_name = function
+  | Pos a -> Pos (rename_atom ~old_name ~new_name a)
+  | Neg a -> Neg (rename_atom ~old_name ~new_name a)
+  | (Eq _ | Neq _) as l -> l
+
+let rename_predicate ~old_name ~new_name p =
+  {
+    rules =
+      List.map
+        (fun r ->
+          {
+            head = rename_atom ~old_name ~new_name r.head;
+            body = List.map (rename_literal ~old_name ~new_name) r.body;
+          })
+        p.rules;
+  }
+
+let equal_term t1 t2 =
+  match (t1, t2) with
+  | Var x, Var y -> String.equal x y
+  | Const a, Const b -> Relalg.Symbol.equal a b
+  | Var _, Const _ | Const _, Var _ -> false
+
+let compare_rule (r1 : rule) (r2 : rule) = compare r1 r2
+
+let union p1 p2 =
+  let all = p1.rules @ p2.rules in
+  let seen = Hashtbl.create 16 in
+  {
+    rules =
+      List.filter
+        (fun r ->
+          if Hashtbl.mem seen r then false
+          else begin
+            Hashtbl.add seen r ();
+            true
+          end)
+        all;
+  }

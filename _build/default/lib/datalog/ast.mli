@@ -1,0 +1,97 @@
+(** Abstract syntax of DATALOG-not programs (Section 2 of the paper).
+
+    A program is a finite set of rules [h <- t1, ..., tn] where the head [h]
+    is an atom over a relational symbol and the body literals are atoms,
+    negated atoms, equalities or inequalities between terms.  Relational
+    symbols that never occur in a head are the {e database} (EDB) relations;
+    the others are the {e nondatabase} (IDB) relations defined by the
+    program. *)
+
+type term =
+  | Var of string
+  | Const of Relalg.Symbol.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type literal =
+  | Pos of atom  (** [q(t, ...)] *)
+  | Neg of atom  (** [not q(t, ...)] *)
+  | Eq of term * term  (** [t1 = t2] *)
+  | Neq of term * term  (** [t1 != t2] *)
+
+type rule = {
+  head : atom;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+}
+
+val program : rule list -> program
+
+val rule : atom -> literal list -> rule
+
+val atom : string -> term list -> atom
+
+val var : string -> term
+
+val const : string -> term
+(** Interns the constant name. *)
+
+(** {1 Structure queries} *)
+
+val atoms_of_literal : literal -> atom list
+(** The atom under a [Pos] or [Neg]; empty for comparisons. *)
+
+val idb_predicates : program -> string list
+(** Head predicates, sorted, without duplicates. *)
+
+val edb_predicates : program -> string list
+(** Predicates occurring only in bodies. *)
+
+val predicates : program -> string list
+
+val is_idb : program -> string -> bool
+
+val inferred_schema : program -> (Relalg.Schema.t, string) result
+(** Predicate arities inferred from all occurrences; [Error msg] when some
+    predicate is used with two different arities. *)
+
+val idb_schema : program -> (Relalg.Schema.t, string) result
+(** Schema restricted to IDB predicates. *)
+
+val rule_variables : rule -> string list
+(** All variables of the rule, without duplicates, in first-occurrence order
+    (head first, then body left to right). *)
+
+val head_only_variables : rule -> string list
+(** Variables occurring in the head but in no body literal at all. *)
+
+val positive_body_variables : rule -> string list
+(** Variables bound by some positive body atom. *)
+
+val constants : program -> Relalg.Symbol.t list
+(** All constants appearing in the program, sorted, without duplicates. *)
+
+val is_positive : program -> bool
+(** No negated atoms and no inequalities — a DATALOG program in the paper's
+    sense. *)
+
+val is_range_restricted : rule -> bool
+(** Every variable of the rule occurs in some positive body atom.  The
+    paper's semantics does {e not} require this (unrestricted variables
+    range over the universe); the predicate is informational. *)
+
+val rename_predicate : old_name:string -> new_name:string -> program -> program
+(** Renames every occurrence of a predicate. *)
+
+val equal_term : term -> term -> bool
+
+val compare_rule : rule -> rule -> int
+
+val union : program -> program -> program
+(** Concatenates rule lists, dropping exact duplicate rules. *)

@@ -1,0 +1,97 @@
+type error =
+  | Inconsistent_arity of { pred : string; arity1 : int; arity2 : int }
+  | Empty_program
+
+type info = {
+  idb : string list;
+  edb : string list;
+  rule_count : int;
+  uses_negation : bool;
+  uses_inequality : bool;
+  positive : bool;
+  range_restricted : bool;
+  unrestricted_rules : Ast.rule list;
+}
+
+let error_to_string = function
+  | Inconsistent_arity { pred; arity1; arity2 } ->
+    Printf.sprintf "predicate %s used with arities %d and %d" pred arity1
+      arity2
+  | Empty_program -> "program has no rules"
+
+let arity_errors (p : Ast.program) =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let errors = ref [] in
+  let see (a : Ast.atom) =
+    let arity = List.length a.args in
+    match Hashtbl.find_opt table a.pred with
+    | None -> Hashtbl.add table a.pred arity
+    | Some k when k <> arity ->
+      let clash = Inconsistent_arity { pred = a.pred; arity1 = k; arity2 = arity } in
+      if not (List.mem clash !errors) then errors := clash :: !errors
+    | Some _ -> ()
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      see r.head;
+      List.iter
+        (fun l -> List.iter see (Ast.atoms_of_literal l))
+        r.body)
+    p.rules;
+  List.rev !errors
+
+let uses_negation (p : Ast.program) =
+  List.exists
+    (fun (r : Ast.rule) ->
+      List.exists (function Ast.Neg _ -> true | _ -> false) r.body)
+    p.rules
+
+let uses_inequality (p : Ast.program) =
+  List.exists
+    (fun (r : Ast.rule) ->
+      List.exists (function Ast.Neq _ -> true | _ -> false) r.body)
+    p.rules
+
+let validate p =
+  let errors = arity_errors p in
+  let errors = if p.Ast.rules = [] then Empty_program :: errors else errors in
+  match errors with
+  | _ :: _ -> Error errors
+  | [] ->
+    let unrestricted =
+      List.filter (fun r -> not (Ast.is_range_restricted r)) p.Ast.rules
+    in
+    Ok
+      {
+        idb = Ast.idb_predicates p;
+        edb = Ast.edb_predicates p;
+        rule_count = List.length p.Ast.rules;
+        uses_negation = uses_negation p;
+        uses_inequality = uses_inequality p;
+        positive = Ast.is_positive p;
+        range_restricted = unrestricted = [];
+        unrestricted_rules = unrestricted;
+      }
+
+let validate_exn p =
+  match validate p with
+  | Ok info -> info
+  | Error errors ->
+    invalid_arg
+      ("Check.validate: "
+      ^ String.concat "; " (List.map error_to_string errors))
+
+let describe p =
+  match validate p with
+  | Error errors ->
+    "invalid program: "
+    ^ String.concat "; " (List.map error_to_string errors)
+  | Ok info ->
+    Printf.sprintf
+      "%d rule(s); IDB: %s; EDB: %s; %s%s%s"
+      info.rule_count
+      (String.concat ", " info.idb)
+      (match info.edb with [] -> "(none)" | l -> String.concat ", " l)
+      (if info.positive then "positive DATALOG" else "DATALOG with negation")
+      (if info.uses_inequality then ", uses inequality" else "")
+      (if info.range_restricted then "" else ", has universe-ranging variables")

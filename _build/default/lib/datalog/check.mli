@@ -1,0 +1,33 @@
+(** Static well-formedness checks and program statistics.
+
+    Hard errors are conditions under which evaluation is meaningless
+    (inconsistent arities).  Everything else the paper's semantics tolerates
+    — in particular rules that are not range-restricted, whose free
+    variables range over the whole universe — and is reported as
+    informational {!info} rather than an error. *)
+
+type error =
+  | Inconsistent_arity of { pred : string; arity1 : int; arity2 : int }
+  | Empty_program
+
+type info = {
+  idb : string list;
+  edb : string list;
+  rule_count : int;
+  uses_negation : bool;
+  uses_inequality : bool;
+  positive : bool;  (** A DATALOG program in the paper's sense. *)
+  range_restricted : bool;  (** Every rule is range-restricted. *)
+  unrestricted_rules : Ast.rule list;
+      (** Rules with variables not bound by a positive body atom. *)
+}
+
+val error_to_string : error -> string
+
+val validate : Ast.program -> (info, error list) result
+
+val validate_exn : Ast.program -> info
+(** @raise Invalid_argument listing the errors. *)
+
+val describe : Ast.program -> string
+(** A short human-readable summary (used by the CLI). *)

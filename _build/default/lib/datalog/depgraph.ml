@@ -1,0 +1,73 @@
+module SMap = Map.Make (String)
+
+type t = {
+  names : string array;
+  index : int SMap.t;
+  digraph : Graphlib.Digraph.t;
+  neg_edges : (int * int) list;
+}
+
+let build (p : Ast.program) =
+  let names = Array.of_list (Ast.predicates p) in
+  let index =
+    Array.to_list names
+    |> List.mapi (fun i n -> (n, i))
+    |> List.to_seq |> SMap.of_seq
+  in
+  let edges = ref [] in
+  let neg_edges = ref [] in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let hd = SMap.find r.head.pred index in
+      List.iter
+        (fun l ->
+          match l with
+          | Ast.Pos a ->
+            edges := (hd, SMap.find a.pred index) :: !edges
+          | Ast.Neg a ->
+            let e = (hd, SMap.find a.pred index) in
+            edges := e :: !edges;
+            neg_edges := e :: !neg_edges
+          | Ast.Eq _ | Ast.Neq _ -> ())
+        r.body)
+    p.rules;
+  let digraph = Graphlib.Digraph.make (Array.length names) !edges in
+  let neg_edges = List.sort_uniq compare !neg_edges in
+  { names; index; digraph; neg_edges }
+
+let predicates g = Array.to_list g.names
+
+let depends_on g p =
+  match SMap.find_opt p g.index with
+  | None -> []
+  | Some i -> List.map (fun j -> g.names.(j)) (Graphlib.Digraph.succ g.digraph i)
+
+let negatively_depends_on g p =
+  match SMap.find_opt p g.index with
+  | None -> []
+  | Some i ->
+    List.filter_map
+      (fun (u, v) -> if u = i then Some g.names.(v) else None)
+      g.neg_edges
+    |> List.sort_uniq String.compare
+
+let graph g = (g.digraph, Array.copy g.names)
+
+let negative_edges g =
+  List.map (fun (u, v) -> (g.names.(u), g.names.(v))) g.neg_edges
+
+let recursive_predicates g =
+  let { Graphlib.Scc.component; _ } = Graphlib.Scc.compute g.digraph in
+  let size = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace size c (1 + Option.value ~default:0 (Hashtbl.find_opt size c)))
+    component;
+  Array.to_list g.names
+  |> List.filteri (fun i _ ->
+         Hashtbl.find size component.(i) > 1
+         || Graphlib.Digraph.has_edge g.digraph i i)
+
+let has_recursion_through_negation g =
+  let { Graphlib.Scc.component; _ } = Graphlib.Scc.compute g.digraph in
+  List.exists (fun (u, v) -> component.(u) = component.(v)) g.neg_edges

@@ -1,0 +1,32 @@
+(** The predicate dependency graph of a program.
+
+    There is an edge P -> Q whenever Q occurs in the body of a rule whose
+    head is P; the edge is {e negative} when some such occurrence is under
+    negation.  Stratification (Chandra-Harel, cited in the paper's
+    introduction) is a property of this graph: a program is stratifiable
+    iff no cycle goes through a negative edge. *)
+
+type t
+
+val build : Ast.program -> t
+
+val predicates : t -> string list
+(** All predicates of the program, sorted. *)
+
+val depends_on : t -> string -> string list
+(** [depends_on g p]: the predicates occurring in bodies of rules with head
+    [p]. *)
+
+val negatively_depends_on : t -> string -> string list
+
+val graph : t -> Graphlib.Digraph.t * string array
+(** The underlying digraph and the vertex -> predicate name table. *)
+
+val negative_edges : t -> (string * string) list
+
+val recursive_predicates : t -> string list
+(** Predicates lying on a directed cycle (including self-loops). *)
+
+val has_recursion_through_negation : t -> bool
+(** True iff some cycle contains a negative edge — i.e. the program is not
+    stratifiable. *)

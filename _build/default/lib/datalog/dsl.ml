@@ -1,0 +1,19 @@
+let v x = Ast.Var x
+
+let c name = Ast.const name
+
+let ci n = Ast.const (string_of_int n)
+
+let pos pred args = Ast.Pos (Ast.atom pred args)
+
+let neg pred args = Ast.Neg (Ast.atom pred args)
+
+let eq t1 t2 = Ast.Eq (t1, t2)
+
+let neq t1 t2 = Ast.Neq (t1, t2)
+
+let ( <-- ) (pred, args) body = Ast.rule (Ast.atom pred args) body
+
+let fact pred args = Ast.rule (Ast.atom pred args) []
+
+let prog rules = Ast.program rules

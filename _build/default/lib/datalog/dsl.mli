@@ -1,0 +1,32 @@
+(** Combinators for building programs directly in OCaml.
+
+    The reduction generators (pi_SAT, pi_COL, the Fagin compiler, ...) build
+    their programs with these.  Variable names should start with an
+    uppercase letter so the result round-trips through the concrete
+    syntax. *)
+
+val v : string -> Ast.term
+(** A variable. *)
+
+val c : string -> Ast.term
+(** A constant. *)
+
+val ci : int -> Ast.term
+(** An integer constant (interned decimal). *)
+
+val pos : string -> Ast.term list -> Ast.literal
+
+val neg : string -> Ast.term list -> Ast.literal
+
+val eq : Ast.term -> Ast.term -> Ast.literal
+
+val neq : Ast.term -> Ast.term -> Ast.literal
+
+val ( <-- ) : string * Ast.term list -> Ast.literal list -> Ast.rule
+(** [("t", [v "X"]) <-- [pos "e" [v "Y"; v "X"]; neg "t" [v "Y"]]] is the
+    paper's rule T(x) <- E(y, x), not T(y). *)
+
+val fact : string -> Ast.term list -> Ast.rule
+(** A rule with an empty body. *)
+
+val prog : Ast.rule list -> Ast.program

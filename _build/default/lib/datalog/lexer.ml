@@ -1,0 +1,149 @@
+type token =
+  | IDENT of string
+  | VARIABLE of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE
+  | BANG
+  | NOT_KW
+  | EQUAL
+  | NOT_EQUAL
+  | EOF
+
+type position = { line : int; column : int }
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | VARIABLE s -> Printf.sprintf "variable %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | PERIOD -> "'.'"
+  | TURNSTILE -> "':-'"
+  | BANG -> "'!'"
+  | NOT_KW -> "'not'"
+  | EQUAL -> "'='"
+  | NOT_EQUAL -> "'!='"
+  | EOF -> "end of input"
+
+let is_lower c = c >= 'a' && c <= 'z'
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let column = ref 1 in
+  let i = ref 0 in
+  let error = ref None in
+  let emit tok = tokens := (tok, { line = !line; column = !column }) :: !tokens in
+  let advance () =
+    if !i < n && text.[!i] = '\n' then begin
+      incr line;
+      column := 0
+    end;
+    incr i;
+    incr column
+  in
+  while !error = None && !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' then
+      while !i < n && text.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then begin
+      emit LPAREN;
+      advance ()
+    end
+    else if c = ')' then begin
+      emit RPAREN;
+      advance ()
+    end
+    else if c = ',' then begin
+      emit COMMA;
+      advance ()
+    end
+    else if c = '.' then begin
+      emit PERIOD;
+      advance ()
+    end
+    else if c = '=' then begin
+      emit EQUAL;
+      advance ()
+    end
+    else if c = '!' then begin
+      if !i + 1 < n && text.[!i + 1] = '=' then begin
+        emit NOT_EQUAL;
+        advance ();
+        advance ()
+      end
+      else begin
+        emit BANG;
+        advance ()
+      end
+    end
+    else if c = '<' then begin
+      if !i + 1 < n && text.[!i + 1] = '>' then begin
+        emit NOT_EQUAL;
+        advance ();
+        advance ()
+      end
+      else
+        error :=
+          Some (Printf.sprintf "line %d, column %d: lone '<'" !line !column)
+    end
+    else if c = ':' then begin
+      if !i + 1 < n && text.[!i + 1] = '-' then begin
+        emit TURNSTILE;
+        advance ();
+        advance ()
+      end
+      else
+        error :=
+          Some (Printf.sprintf "line %d, column %d: lone ':'" !line !column)
+    end
+    else if c = '\\' then begin
+      (* Prolog-style \+ negation, accepted as a courtesy. *)
+      if !i + 1 < n && text.[!i + 1] = '+' then begin
+        emit BANG;
+        advance ();
+        advance ()
+      end
+      else
+        error :=
+          Some (Printf.sprintf "line %d, column %d: lone '\\'" !line !column)
+    end
+    else if is_lower c || is_digit c || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        advance ()
+      done;
+      let word = String.sub text start (!i - start) in
+      if word = "not" then emit NOT_KW else emit (IDENT word)
+    end
+    else if is_upper c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        advance ()
+      done;
+      emit (VARIABLE (String.sub text start (!i - start)))
+    end
+    else
+      error :=
+        Some
+          (Printf.sprintf "line %d, column %d: unexpected character %C" !line
+             !column c)
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    emit EOF;
+    Ok (List.rev !tokens)

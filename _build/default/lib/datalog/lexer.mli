@@ -1,0 +1,28 @@
+(** Lexical analysis for the concrete DATALOG-not syntax.
+
+    Conventions (standard Datalog, isomorphic to the paper's notation):
+    identifiers starting with an uppercase letter are variables; identifiers
+    starting with a lowercase letter and integer literals are predicate
+    names and constants; [%] starts a comment running to end of line. *)
+
+type token =
+  | IDENT of string  (** predicate name or constant *)
+  | VARIABLE of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE  (** [:-] *)
+  | BANG  (** [!], negation *)
+  | NOT_KW  (** the keyword [not], also negation *)
+  | EQUAL  (** [=] *)
+  | NOT_EQUAL  (** [!=] or [<>] *)
+  | EOF
+
+type position = { line : int; column : int }
+
+val token_to_string : token -> string
+
+val tokenize : string -> ((token * position) list, string) result
+(** [Error msg] carries a line/column description of the offending
+    character. *)

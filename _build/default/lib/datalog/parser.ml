@@ -1,0 +1,171 @@
+type stream = {
+  mutable tokens : (Lexer.token * Lexer.position) list;
+}
+
+exception Syntax_error of string
+
+let fail_at pos msg =
+  raise
+    (Syntax_error
+       (Printf.sprintf "line %d, column %d: %s" pos.Lexer.line pos.Lexer.column
+          msg))
+
+let peek s =
+  match s.tokens with
+  | [] -> (Lexer.EOF, { Lexer.line = 0; column = 0 })
+  | t :: _ -> t
+
+let advance s =
+  match s.tokens with
+  | [] -> ()
+  | _ :: rest -> s.tokens <- rest
+
+let expect s tok =
+  let actual, pos = peek s in
+  if actual = tok then advance s
+  else
+    fail_at pos
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string actual))
+
+let parse_term s =
+  match peek s with
+  | Lexer.VARIABLE x, _ ->
+    advance s;
+    Ast.Var x
+  | Lexer.IDENT c, _ ->
+    advance s;
+    Ast.const c
+  | tok, pos ->
+    fail_at pos
+      (Printf.sprintf "expected a term but found %s" (Lexer.token_to_string tok))
+
+let parse_term_list s =
+  let rec more acc =
+    match peek s with
+    | Lexer.COMMA, _ ->
+      advance s;
+      more (parse_term s :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_term s ]
+
+let parse_atom_named s name =
+  match peek s with
+  | Lexer.LPAREN, _ ->
+    advance s;
+    let args = parse_term_list s in
+    expect s Lexer.RPAREN;
+    Ast.atom name args
+  | _ -> Ast.atom name []
+
+let parse_atom s =
+  match peek s with
+  | Lexer.IDENT name, _ ->
+    advance s;
+    parse_atom_named s name
+  | tok, pos ->
+    fail_at pos
+      (Printf.sprintf "expected a predicate but found %s"
+         (Lexer.token_to_string tok))
+
+let parse_literal s =
+  match peek s with
+  | (Lexer.BANG | Lexer.NOT_KW), _ ->
+    advance s;
+    Ast.Neg (parse_atom s)
+  | Lexer.VARIABLE _, _ -> (
+    let t1 = parse_term s in
+    match peek s with
+    | Lexer.EQUAL, _ ->
+      advance s;
+      Ast.Eq (t1, parse_term s)
+    | Lexer.NOT_EQUAL, _ ->
+      advance s;
+      Ast.Neq (t1, parse_term s)
+    | tok, pos ->
+      fail_at pos
+        (Printf.sprintf "expected '=' or '!=' after a variable, found %s"
+           (Lexer.token_to_string tok)))
+  | Lexer.IDENT name, _ -> (
+    advance s;
+    (* Could be an atom, or a constant on the left of a comparison. *)
+    match peek s with
+    | Lexer.EQUAL, _ ->
+      advance s;
+      Ast.Eq (Ast.const name, parse_term s)
+    | Lexer.NOT_EQUAL, _ ->
+      advance s;
+      Ast.Neq (Ast.const name, parse_term s)
+    | _ -> Ast.Pos (parse_atom_named s name))
+  | tok, pos ->
+    fail_at pos
+      (Printf.sprintf "expected a body literal but found %s"
+         (Lexer.token_to_string tok))
+
+let parse_body s =
+  let rec more acc =
+    match peek s with
+    | Lexer.COMMA, _ ->
+      advance s;
+      more (parse_literal s :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_literal s ]
+
+let parse_one_rule s =
+  let head = parse_atom s in
+  match peek s with
+  | Lexer.PERIOD, _ ->
+    advance s;
+    Ast.rule head []
+  | Lexer.TURNSTILE, _ ->
+    advance s;
+    (* An empty body before the period is allowed: "p(X) :- ." *)
+    let body =
+      match peek s with
+      | Lexer.PERIOD, _ -> []
+      | _ -> parse_body s
+    in
+    expect s Lexer.PERIOD;
+    Ast.rule head body
+  | tok, pos ->
+    fail_at pos
+      (Printf.sprintf "expected ':-' or '.' after the head, found %s"
+         (Lexer.token_to_string tok))
+
+let parse_all text =
+  match Lexer.tokenize text with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+    let s = { tokens } in
+    try
+      let rec rules acc =
+        match peek s with
+        | Lexer.EOF, _ -> List.rev acc
+        | _ -> rules (parse_one_rule s :: acc)
+      in
+      Ok (rules [])
+    with Syntax_error msg -> Error msg)
+
+let parse_program text =
+  match parse_all text with
+  | Error _ as e -> e
+  | Ok rules -> Ok (Ast.program rules)
+
+let parse_program_exn text =
+  match parse_program text with
+  | Ok p -> p
+  | Error msg -> failwith ("Parser.parse_program: " ^ msg)
+
+let parse_rule text =
+  match parse_all text with
+  | Error _ as e -> e
+  | Ok [ r ] -> Ok r
+  | Ok rules ->
+    Error (Printf.sprintf "expected exactly one rule, found %d" (List.length rules))
+
+let parse_rule_exn text =
+  match parse_rule text with
+  | Ok r -> r
+  | Error msg -> failwith ("Parser.parse_rule: " ^ msg)

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for DATALOG-not programs.
+
+    Grammar:
+    {v
+    program  ::= rule*
+    rule     ::= atom ( ":-" literal ("," literal)* )? "."
+    literal  ::= ("!" | "not") atom
+               | atom
+               | term ("=" | "!=") term
+    atom     ::= ident ( "(" term ("," term)* ")" )?
+    term     ::= VARIABLE | ident
+    v}
+
+    Example — the paper's program pi_1, [T(x) <- E(y,x), not T(y)]:
+    {v t(X) :- e(Y, X), !t(Y). v} *)
+
+val parse_program : string -> (Ast.program, string) result
+
+val parse_program_exn : string -> Ast.program
+(** @raise Failure with the parse error message. *)
+
+val parse_rule : string -> (Ast.rule, string) result
+(** Parses exactly one rule. *)
+
+val parse_rule_exn : string -> Ast.rule

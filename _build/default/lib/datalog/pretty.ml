@@ -1,0 +1,41 @@
+let pp_term ppf = function
+  | Ast.Var x -> Format.pp_print_string ppf x
+  | Ast.Const c -> Format.pp_print_string ppf (Relalg.Symbol.name c)
+
+let pp_args ppf args =
+  match args with
+  | [] -> ()
+  | _ ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      args
+
+let pp_atom ppf (a : Ast.atom) =
+  Format.fprintf ppf "%s%a" a.pred pp_args a.args
+
+let pp_literal ppf = function
+  | Ast.Pos a -> pp_atom ppf a
+  | Ast.Neg a -> Format.fprintf ppf "!%a" pp_atom a
+  | Ast.Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Ast.Neq (t1, t2) -> Format.fprintf ppf "%a != %a" pp_term t1 pp_term t2
+
+let pp_rule ppf (r : Ast.rule) =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a." pp_atom r.head
+  | body ->
+    Format.fprintf ppf "%a :- %a." pp_atom r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_literal)
+      body
+
+let pp_program ppf (p : Ast.program) =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    p.rules
+
+let rule_to_string r = Format.asprintf "%a" pp_rule r
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,22 @@
+(** Pretty-printing of programs in the concrete syntax.
+
+    Output is re-parseable — [Parser.parse_program_exn
+    (Pretty.program_to_string p)] yields a program equal to [p] — provided
+    the program follows the lexical conventions (variable names start with
+    an uppercase letter, constants and predicates with a lowercase letter or
+    digit).  Programs built with [Dsl] or by the reduction generators always
+    do. *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+
+val pp_atom : Format.formatter -> Ast.atom -> unit
+
+val pp_literal : Format.formatter -> Ast.literal -> unit
+
+val pp_rule : Format.formatter -> Ast.rule -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val rule_to_string : Ast.rule -> string
+
+val program_to_string : Ast.program -> string

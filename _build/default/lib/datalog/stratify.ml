@@ -1,0 +1,91 @@
+type stratification = {
+  strata : string list list;
+  stratum_of : string -> int option;
+}
+
+type result =
+  | Stratified of stratification
+  | Not_stratifiable of { offending : string * string }
+
+let stratify (p : Ast.program) =
+  let dep = Depgraph.build p in
+  let digraph, names = Depgraph.graph dep in
+  let { Graphlib.Scc.count; component } = Graphlib.Scc.compute digraph in
+  let index_of name =
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if String.equal n name then found := i) names;
+    !found
+  in
+  (* A negative edge inside a strongly connected component defeats
+     stratification. *)
+  let bad =
+    List.find_opt
+      (fun (u, v) -> component.(index_of u) = component.(index_of v))
+      (Depgraph.negative_edges dep)
+  in
+  match bad with
+  | Some offending -> Not_stratifiable { offending }
+  | None ->
+    let idb = Ast.idb_predicates p in
+    let is_idb name = List.mem name idb in
+    (* Component-level edges with polarity; stratum of a component is the
+       max over its out-edges of the target stratum (+1 when negative).
+       EDB-only components sit at stratum 0 and IDB components start at 0 as
+       well. *)
+    let neg_pairs =
+      List.map
+        (fun (u, v) -> (component.(index_of u), component.(index_of v)))
+        (Depgraph.negative_edges dep)
+    in
+    let comp_edges =
+      List.filter_map
+        (fun (u, v) ->
+          let cu = component.(u) and cv = component.(v) in
+          if cu = cv then None
+          else Some (cu, cv, List.mem (cu, cv) neg_pairs))
+        (Graphlib.Digraph.edges digraph)
+    in
+    let stratum = Array.make count 0 in
+    (* Tarjan's component numbering is reverse topological: component 0 has
+       no out-edges to later components... more precisely, for an edge
+       cu -> cv between distinct components, cv < cu.  Processing components
+       in increasing order therefore sees dependencies first. *)
+    for c = 0 to count - 1 do
+      let s =
+        List.fold_left
+          (fun acc (cu, cv, negative) ->
+            if cu = c then max acc (stratum.(cv) + if negative then 1 else 0)
+            else acc)
+          0 comp_edges
+      in
+      stratum.(c) <- s
+    done;
+    let stratum_of name =
+      if is_idb name then
+        let i = index_of name in
+        if i >= 0 then Some stratum.(component.(i)) else None
+      else None
+    in
+    let max_stratum =
+      List.fold_left
+        (fun acc name ->
+          match stratum_of name with
+          | Some s -> max acc s
+          | None -> acc)
+        0 idb
+    in
+    let strata =
+      List.init (max_stratum + 1) (fun s ->
+          List.filter (fun name -> stratum_of name = Some s) idb)
+    in
+    Stratified { strata; stratum_of }
+
+let is_stratified p =
+  match stratify p with
+  | Stratified _ -> true
+  | Not_stratifiable _ -> false
+
+let rules_of_stratum (p : Ast.program) strat s =
+  List.filter
+    (fun (r : Ast.rule) -> strat.stratum_of r.head.pred = Some s)
+    p.Ast.rules

@@ -1,0 +1,30 @@
+(** Stratification of DATALOG-not programs.
+
+    A stratified program splits its IDB predicates into layers so that a
+    predicate may depend positively on its own or lower layers but
+    negatively only on strictly lower layers (Chandra-Harel / Apt-Blair-
+    Walker, discussed in the paper's introduction and Section 4).  Not all
+    programs are stratifiable — the toggle rule T(z) <- not Q(u), not T(w)
+    is the paper's central counterexample — which is precisely the gap
+    Inflationary DATALOG fills. *)
+
+type stratification = {
+  strata : string list list;
+      (** IDB predicates, layer by layer, lowest first.  EDB predicates are
+          not listed (they live below stratum 0). *)
+  stratum_of : string -> int option;
+      (** Stratum index of an IDB predicate; [None] for EDB / unknown. *)
+}
+
+type result =
+  | Stratified of stratification
+  | Not_stratifiable of { offending : string * string }
+      (** A negative dependency inside a strongly connected component:
+          [fst] negatively uses [snd] which (transitively) uses [fst]. *)
+
+val stratify : Ast.program -> result
+
+val is_stratified : Ast.program -> bool
+
+val rules_of_stratum : Ast.program -> stratification -> int -> Ast.rule list
+(** The rules whose head lies in the given stratum. *)

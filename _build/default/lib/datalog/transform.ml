@@ -1,0 +1,198 @@
+module SSet = Set.Make (String)
+
+let dedup_literals (r : Ast.rule) =
+  let body =
+    List.fold_left
+      (fun acc l -> if List.mem l acc then acc else l :: acc)
+      [] r.Ast.body
+  in
+  { r with Ast.body = List.rev body }
+
+let simplify_comparisons (r : Ast.rule) =
+  let rec walk acc = function
+    | [] -> Some (List.rev acc)
+    | l :: rest -> (
+      match l with
+      | Ast.Eq (t1, t2) when Ast.equal_term t1 t2 -> walk acc rest
+      | Ast.Neq (t1, t2) when Ast.equal_term t1 t2 -> None
+      | Ast.Eq (Ast.Const c1, Ast.Const c2) ->
+        if Relalg.Symbol.equal c1 c2 then walk acc rest else None
+      | Ast.Neq (Ast.Const c1, Ast.Const c2) ->
+        if Relalg.Symbol.equal c1 c2 then None else walk acc rest
+      | _ -> walk (l :: acc) rest)
+  in
+  match walk [] r.Ast.body with
+  | None -> None
+  | Some body -> Some { r with Ast.body }
+
+let dedup_rules (p : Ast.program) =
+  let rules =
+    List.fold_left
+      (fun acc r -> if List.mem r acc then acc else r :: acc)
+      [] p.Ast.rules
+  in
+  Ast.program (List.rev rules)
+
+let drop_underivable (p : Ast.program) =
+  let idb0 = SSet.of_list (Ast.idb_predicates p) in
+  (* Least set of derivable IDB predicates: p is derivable when some rule
+     with head p has all its positive IDB subgoals derivable. *)
+  let rec grow derivable =
+    let bigger =
+      List.fold_left
+        (fun acc (r : Ast.rule) ->
+          let ok =
+            List.for_all
+              (fun l ->
+                match l with
+                | Ast.Pos a ->
+                  (not (SSet.mem a.Ast.pred idb0))
+                  || SSet.mem a.Ast.pred derivable
+                | Ast.Neg _ | Ast.Eq _ | Ast.Neq _ -> true)
+              r.Ast.body
+          in
+          if ok then SSet.add r.Ast.head.Ast.pred acc else acc)
+        derivable p.Ast.rules
+    in
+    if SSet.equal bigger derivable then derivable else grow bigger
+  in
+  let derivable = grow SSet.empty in
+  let underivable pred = SSet.mem pred idb0 && not (SSet.mem pred derivable) in
+  let rules =
+    List.filter_map
+      (fun (r : Ast.rule) ->
+        if underivable r.Ast.head.Ast.pred then None
+        else if
+          List.exists
+            (function Ast.Pos a -> underivable a.Ast.pred | _ -> false)
+            r.Ast.body
+        then None
+        else
+          (* A negated underivable atom is vacuously true in every
+             semantics (the predicate stays empty everywhere). *)
+          Some
+            {
+              r with
+              Ast.body =
+                List.filter
+                  (function
+                    | Ast.Neg a -> not (underivable a.Ast.pred)
+                    | Ast.Pos _ | Ast.Eq _ | Ast.Neq _ -> true)
+                  r.Ast.body;
+            })
+      p.Ast.rules
+  in
+  Ast.program rules
+
+let one_pass ~aggressive p =
+  let rules =
+    List.filter_map
+      (fun r -> Option.map dedup_literals (simplify_comparisons r))
+      p.Ast.rules
+  in
+  let p' = dedup_rules (Ast.program rules) in
+  if aggressive then drop_underivable p' else p'
+
+let simplify ?(aggressive = false) p =
+  let rec fix p =
+    let p' = one_pass ~aggressive p in
+    if p' = p then p else fix p'
+  in
+  fix p
+
+(* Connected components of the body's variable-sharing graph.  Two
+   literals are connected when they share a variable; a component is
+   "detached" when none of its variables occurs in the head. *)
+let literal_vars = function
+  | Ast.Pos a | Ast.Neg a ->
+    List.concat_map (function Ast.Var x -> [ x ] | Ast.Const _ -> []) a.Ast.args
+  | Ast.Eq (t1, t2) | Ast.Neq (t1, t2) ->
+    List.concat_map
+      (function Ast.Var x -> [ x ] | Ast.Const _ -> [])
+      [ t1; t2 ]
+
+let body_components (r : Ast.rule) =
+  let lits = Array.of_list r.Ast.body in
+  let n = Array.length lits in
+  let vars = Array.map (fun l -> SSet.of_list (literal_vars l)) lits in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (SSet.is_empty (SSet.inter vars.(i) vars.(j))) then union i j
+    done
+  done;
+  let components = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let root = find i in
+    Hashtbl.replace components root
+      (i :: Option.value ~default:[] (Hashtbl.find_opt components root))
+  done;
+  Hashtbl.fold
+    (fun _ indices acc -> List.rev indices :: acc)
+    components []
+  |> List.sort compare
+  |> List.map (fun indices -> List.map (fun i -> lits.(i)) indices)
+
+let split_independent ?(prefix = "guard") (p : Ast.program) =
+  let used = ref (Ast.predicates p) in
+  let fresh () =
+    let rec next i =
+      let candidate = Printf.sprintf "%s%d" prefix i in
+      if List.mem candidate !used then next (i + 1)
+      else begin
+        used := candidate :: !used;
+        candidate
+      end
+    in
+    next 1
+  in
+  let guards = ref [] in
+  let head_vars (r : Ast.rule) =
+    SSet.of_list
+      (List.concat_map
+         (function Ast.Var x -> [ x ] | Ast.Const _ -> [])
+         r.Ast.head.Ast.args)
+  in
+  let rewrite (r : Ast.rule) =
+    let hv = head_vars r in
+    let components = body_components r in
+    if List.length components <= 1 then r
+    else begin
+      let body =
+        List.concat_map
+          (fun component ->
+            let cv =
+              List.fold_left
+                (fun acc l -> SSet.union acc (SSet.of_list (literal_vars l)))
+                SSet.empty component
+            in
+            let detached =
+              SSet.is_empty (SSet.inter cv hv) && not (SSet.is_empty cv)
+            in
+            if detached then begin
+              let name = fresh () in
+              guards := Ast.rule (Ast.atom name []) component :: !guards;
+              [ Ast.Pos (Ast.atom name []) ]
+            end
+            else component)
+          components
+      in
+      { r with Ast.body }
+    end
+  in
+  let rules = List.map rewrite p.Ast.rules in
+  Ast.program (rules @ List.rev !guards)
+
+let count_literals (p : Ast.program) =
+  List.fold_left (fun n (r : Ast.rule) -> n + List.length r.Ast.body) 0 p.Ast.rules
+
+let statistics before after =
+  Printf.sprintf "rules %d -> %d, body literals %d -> %d"
+    (List.length before.Ast.rules)
+    (List.length after.Ast.rules)
+    (count_literals before) (count_literals after)

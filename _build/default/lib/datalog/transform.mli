@@ -1,0 +1,69 @@
+(** Semantics-preserving program simplifications.
+
+    The generated programs (the Fagin compiler's output, the succinct
+    3-coloring stack) contain redundancies: duplicate body literals,
+    trivially true or false comparisons, duplicate rules.  These passes
+    clean them up; they preserve {e every} semantics in this repository —
+    inflationary, stratified, well-founded, stable, and the full fixpoint
+    census — a property the test suite checks on random programs.
+
+    {!drop_underivable} is stronger and correspondingly more dangerous: it
+    removes predicates that bottom-up derivation can never populate.  That
+    is sound for the least-fixpoint family (inflationary, stratified,
+    well-founded, stable models), but {e not} for arbitrary-fixpoint
+    analysis: the paper's constructions rely on "guessable" relations
+    introduced by self-supporting copy rules like [s(X) :- s(X)], which are
+    bottom-up-underivable yet can hold any value in a fixpoint.  It is
+    therefore excluded from {!simplify} unless [~aggressive:true] is
+    passed. *)
+
+val dedup_literals : Ast.rule -> Ast.rule
+(** Removes duplicate body literals (keeping first occurrences). *)
+
+val simplify_comparisons : Ast.rule -> Ast.rule option
+(** Evaluates ground or reflexive comparisons: [t = t] disappears,
+    [t != t] kills the rule ([None]); comparisons between distinct
+    constants are decided. *)
+
+val dedup_rules : Ast.program -> Ast.program
+(** Removes exact duplicate rules. *)
+
+val drop_underivable : Ast.program -> Ast.program
+(** Removes rules about predicates that bottom-up evaluation can never
+    populate (computed as a least fixpoint at the predicate level, with
+    negated literals treated as true); positive occurrences kill their
+    rules, negated occurrences evaporate.  Sound for the inflationary,
+    stratified, well-founded and stable semantics; {b unsound} for the
+    fixpoint census — see the module description. *)
+
+val simplify : ?aggressive:bool -> Ast.program -> Ast.program
+(** All universally-sound passes to a fixed point; with
+    [~aggressive:true], also {!drop_underivable}.  Default: [false]. *)
+
+val split_independent : ?prefix:string -> Ast.program -> Ast.program
+(** Factors each rule's body into connected components of the
+    variable-sharing graph: components that share no variable with the head
+    (nor, by construction, with the rest of the body) become fresh 0-ary
+    {e guard} predicates defined by their own rules.  The toggle rule
+    [t(Z) :- !q(U), !t(W)] becomes
+
+    {v
+    g1 :- !q(U).     g2 :- !t(W).     t(Z) :- g1, g2.
+    v}
+
+    shrinking its grounding from |A|{^ 3} instances to 3|A|.  Fixpoints of
+    the transformed program are in bijection with the original's (the guard
+    values are forced by the fixpoint condition), so fixpoint {e existence,
+    enumeration, counting and uniqueness} are preserved on the original
+    predicates; the stratified semantics is preserved too (guards slot into
+    the stratification).  The {e inflationary} semantics is {b not}
+    preserved in general — a guard, once true, stays true ("latches"),
+    while the original rule re-tests its detached component at every stage
+    — and least-fixpoint detection is likewise not claimed (the bijection
+    does not respect pointwise inclusion).  The intended consumer is the
+    SAT-backed fixpoint searcher, where the grounding compression matters
+    most.  [prefix] names the guards (default ["guard"], made
+    collision-free). *)
+
+val statistics : Ast.program -> Ast.program -> string
+(** A one-line before/after summary (rule and literal counts). *)

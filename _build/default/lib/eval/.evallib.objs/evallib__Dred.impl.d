@@ -1,0 +1,1 @@
+lib/eval/dred.ml: Datalog Engine Ground Idb List Printf Relalg Saturate Set String

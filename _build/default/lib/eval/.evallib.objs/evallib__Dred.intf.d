@@ -1,0 +1,1 @@
+lib/eval/dred.mli: Datalog Idb Relalg

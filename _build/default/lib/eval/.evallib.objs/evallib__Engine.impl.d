@@ -1,0 +1,1 @@
+lib/eval/engine.ml: Array Datalog Hashtbl Idb List Option Relalg

@@ -1,0 +1,1 @@
+lib/eval/engine.mli: Datalog Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/equiv.ml: Datalog Idb List Printf Relalg

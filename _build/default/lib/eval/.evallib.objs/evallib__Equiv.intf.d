@@ -1,0 +1,1 @@
+lib/eval/equiv.mli: Datalog Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/fitting.ml: Ground Idb List Relalg

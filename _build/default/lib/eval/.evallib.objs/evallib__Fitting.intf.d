@@ -1,0 +1,1 @@
+lib/eval/fitting.mli: Datalog Ground Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/ground.ml: Array Datalog Format Hashtbl Idb List Map Option Printf Relalg String

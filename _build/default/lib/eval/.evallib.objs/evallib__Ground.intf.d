@@ -1,0 +1,1 @@
+lib/eval/ground.mli: Datalog Format Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/idb.ml: Datalog Format List Map Printf Relalg String

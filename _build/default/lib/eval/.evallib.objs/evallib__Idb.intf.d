@@ -1,0 +1,1 @@
+lib/eval/idb.mli: Datalog Format Relalg

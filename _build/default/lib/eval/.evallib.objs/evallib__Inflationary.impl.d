@@ -1,0 +1,1 @@
+lib/eval/inflationary.ml: Datalog Engine Idb Printf Relalg Saturate

@@ -1,0 +1,1 @@
+lib/eval/inflationary.mli: Datalog Idb Relalg Saturate

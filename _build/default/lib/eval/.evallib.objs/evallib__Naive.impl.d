@@ -1,0 +1,1 @@
+lib/eval/naive.ml: Datalog Engine Idb Relalg Saturate

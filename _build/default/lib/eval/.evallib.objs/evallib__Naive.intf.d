@@ -1,0 +1,1 @@
+lib/eval/naive.mli: Datalog Idb Relalg Saturate

@@ -1,0 +1,1 @@
+lib/eval/provenance.ml: Format Ground Inflationary List Printf Relalg Saturate String

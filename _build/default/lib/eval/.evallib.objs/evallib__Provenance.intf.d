@@ -1,0 +1,1 @@
+lib/eval/provenance.mli: Datalog Format Ground Relalg

@@ -1,0 +1,1 @@
+lib/eval/query.ml: Datalog Idb List Naive Relalg

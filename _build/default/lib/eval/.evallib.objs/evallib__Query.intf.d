@@ -1,0 +1,1 @@
+lib/eval/query.mli: Datalog Relalg

@@ -1,0 +1,1 @@
+lib/eval/saturate.ml: Datalog Engine Idb List Relalg

@@ -1,0 +1,1 @@
+lib/eval/saturate.mli: Datalog Engine Idb Relalg

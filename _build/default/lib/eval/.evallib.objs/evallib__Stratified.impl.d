@@ -1,0 +1,1 @@
+lib/eval/stratified.ml: Datalog Engine Idb List Printf Relalg Saturate

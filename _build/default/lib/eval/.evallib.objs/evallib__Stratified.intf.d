@@ -1,0 +1,1 @@
+lib/eval/stratified.mli: Datalog Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/theta.ml: Datalog Engine Idb Int List Relalg

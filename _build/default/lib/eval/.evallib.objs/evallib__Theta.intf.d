@@ -1,0 +1,1 @@
+lib/eval/theta.mli: Datalog Idb Relalg

@@ -1,0 +1,1 @@
+lib/eval/unfounded.ml: Ground Idb List Relalg Set Wellfounded

@@ -1,0 +1,1 @@
+lib/eval/unfounded.mli: Datalog Ground Idb Relalg Wellfounded

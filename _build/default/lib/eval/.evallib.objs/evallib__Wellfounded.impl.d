@@ -1,0 +1,1 @@
+lib/eval/wellfounded.ml: Datalog Engine Idb Relalg Saturate

@@ -1,0 +1,1 @@
+lib/eval/wellfounded.mli: Datalog Idb Relalg

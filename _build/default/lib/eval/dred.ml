@@ -1,0 +1,158 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Database = Relalg.Database
+
+module GSet = Set.Make (struct
+  type t = Ground.gatom
+
+  let compare = Ground.compare_gatom
+end)
+
+type delta = {
+  new_db : Database.t;
+  new_idb : Idb.t;
+  overdeleted : int;
+  rederived : int;
+}
+
+let gatom pred tuple = { Ground.pred; tuple }
+
+let delete_facts p db ~current ~removals =
+  if not (Datalog.Ast.is_positive p) then
+    invalid_arg "Dred.delete_facts: the program must be positive";
+  let idb = Datalog.Ast.idb_predicates p in
+  List.iter
+    (fun (pred, tuple) ->
+      if List.mem pred idb then
+        invalid_arg
+          (Printf.sprintf "Dred.delete_facts: %s is an IDB predicate" pred);
+      if not (Database.mem_fact pred tuple db) then
+        invalid_arg
+          (Printf.sprintf "Dred.delete_facts: %s%s is not in the database"
+             pred (Tuple.to_string tuple)))
+    removals;
+  (* Ground once on the old database, keeping the touched EDB predicates
+     symbolic so instances expose their base-fact dependencies. *)
+  let touched = List.sort_uniq String.compare (List.map fst removals) in
+  let ground = Ground.ground ~keep:touched p db in
+  let removed = GSet.of_list (List.map (fun (p, t) -> gatom p t) removals) in
+  let instances =
+    (* Instances still valid in the new database: none of their kept EDB
+       subgoals were removed.  Their IDB subgoals are the rest. *)
+    List.filter_map
+      (fun (gr : Ground.grule) ->
+        let kept_edb, idb_pos =
+          List.partition
+            (fun (a : Ground.gatom) -> List.mem a.Ground.pred touched)
+            gr.Ground.pos
+        in
+        if List.exists (fun a -> GSet.mem a removed) kept_edb then None
+        else Some (gr.Ground.head, idb_pos))
+      (Ground.rules ground)
+  in
+  let holds idb (a : Ground.gatom) =
+    Idb.mem idb a.Ground.pred
+    && Relation.mem a.Ground.tuple (Idb.get idb a.Ground.pred)
+  in
+  (* Phase 1 — over-deletion: remove every materialised fact with a
+     derivation touching a removed base fact, transitively (an
+     over-approximation; phase 2 repairs it). *)
+  let old_facts =
+    List.fold_left
+      (fun acc (pred, rel) ->
+        Relation.fold (fun t acc -> GSet.add (gatom pred t) acc) rel acc)
+      GSet.empty (Idb.bindings current)
+  in
+  let all_ground_rules = Ground.rules ground in
+  let rec overdelete deleted =
+    let grow =
+      List.fold_left
+        (fun acc (gr : Ground.grule) ->
+          if
+            GSet.mem gr.Ground.head old_facts
+            && (not (GSet.mem gr.Ground.head acc))
+            && List.exists
+                 (fun (a : Ground.gatom) ->
+                   GSet.mem a acc
+                   || (List.mem a.Ground.pred touched && GSet.mem a removed))
+                 gr.Ground.pos
+          then GSet.add gr.Ground.head acc
+          else acc)
+        deleted all_ground_rules
+    in
+    if GSet.equal grow deleted then deleted else overdelete grow
+  in
+  let deleted = overdelete GSet.empty in
+  let overdeleted = GSet.cardinal deleted in
+  (* Survivors seed the re-derivation. *)
+  let seed =
+    GSet.fold
+      (fun a acc ->
+        Idb.set acc a.Ground.pred
+          (Relation.remove a.Ground.tuple (Idb.get acc a.Ground.pred)))
+      deleted current
+  in
+  (* Phase 2 — re-derive: iterate the still-valid instances from the
+     survivors to a fixed point. *)
+  let rec rederive current_idb added =
+    let fresh =
+      List.fold_left
+        (fun acc (head, idb_pos) ->
+          if
+            (not (holds current_idb head))
+            && List.for_all (holds current_idb) idb_pos
+          then GSet.add head acc
+          else acc)
+        GSet.empty instances
+    in
+    if GSet.is_empty fresh then (current_idb, added)
+    else
+      let current_idb =
+        GSet.fold
+          (fun a acc -> Idb.add_fact acc a.Ground.pred a.Ground.tuple)
+          fresh current_idb
+      in
+      rederive current_idb (added + GSet.cardinal fresh)
+  in
+  let new_idb, rederived = rederive seed 0 in
+  let new_db =
+    List.fold_left
+      (fun db (pred, tuple) ->
+        let r = Database.relation_or_empty ~arity:(Tuple.arity tuple) pred db in
+        Database.set_relation pred (Relation.remove tuple r) db)
+      db removals
+  in
+  { new_db; new_idb; overdeleted; rederived }
+
+let insert_facts p db ~current ~additions =
+  if not (Datalog.Ast.is_positive p) then
+    invalid_arg "Dred.insert_facts: the program must be positive";
+  let idb = Datalog.Ast.idb_predicates p in
+  List.iter
+    (fun (pred, _) ->
+      if List.mem pred idb then
+        invalid_arg
+          (Printf.sprintf "Dred.insert_facts: %s is an IDB predicate" pred))
+    additions;
+  let new_db =
+    List.fold_left
+      (fun db (pred, tuple) ->
+        let db =
+          Database.add_universe (Tuple.to_list tuple) db
+        in
+        Database.add_fact pred tuple db)
+      db additions
+  in
+  let schema = Idb.schema current in
+  let trace =
+    Saturate.run ~rules:p.Datalog.Ast.rules ~schema
+      ~universe:(Database.universe new_db)
+      ~base:(Engine.database_source new_db)
+      ~neg:`Current ~init:current ()
+  in
+  {
+    new_db;
+    new_idb = trace.Saturate.result;
+    overdeleted = 0;
+    rederived = Idb.total_cardinal trace.Saturate.result - Idb.total_cardinal current;
+  }

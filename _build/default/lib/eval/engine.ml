@@ -1,0 +1,338 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Symbol = Relalg.Symbol
+
+type source = { find : string -> int -> Relation.t }
+
+type occurrence = {
+  polarity : [ `Pos | `Neg ];
+  index : int;
+  pred : string;
+}
+
+type resolver = occurrence -> source
+
+(* --- compiled form ------------------------------------------------------ *)
+
+type iterm =
+  | IVar of int
+  | IConst of Symbol.t
+
+type ilit =
+  | LPos of int * string * iterm array  (* occurrence index, pred, args *)
+  | LNeg of int * string * iterm array
+  | LEq of iterm * iterm
+  | LNeq of iterm * iterm
+
+type compiled = {
+  nvars : int;
+  head_pred : string;
+  head_args : iterm array;
+  body : ilit list;
+}
+
+let compile (r : Datalog.Ast.rule) =
+  let vars = Datalog.Ast.rule_variables r in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.add index x i) vars;
+  let iterm = function
+    | Datalog.Ast.Var x -> IVar (Hashtbl.find index x)
+    | Datalog.Ast.Const c -> IConst c
+  in
+  let iterms args = Array.of_list (List.map iterm args) in
+  let body =
+    List.mapi
+      (fun i l ->
+        match l with
+        | Datalog.Ast.Pos a -> LPos (i, a.pred, iterms a.args)
+        | Datalog.Ast.Neg a -> LNeg (i, a.pred, iterms a.args)
+        | Datalog.Ast.Eq (t1, t2) -> LEq (iterm t1, iterm t2)
+        | Datalog.Ast.Neq (t1, t2) -> LNeq (iterm t1, iterm t2))
+      r.body
+  in
+  {
+    nvars = List.length vars;
+    head_pred = r.head.pred;
+    head_args = iterms r.head.args;
+    body;
+  }
+
+(* --- evaluation --------------------------------------------------------- *)
+
+let term_value env = function
+  | IConst c -> Some c
+  | IVar i -> env.(i)
+
+let fully_bound env args =
+  Array.for_all (fun t -> term_value env t <> None) args
+
+let lit_fully_bound env = function
+  | LPos (_, _, args) | LNeg (_, _, args) -> fully_bound env args
+  | LEq (t1, t2) | LNeq (t1, t2) ->
+    term_value env t1 <> None && term_value env t2 <> None
+
+let bound_tuple env args =
+  Tuple.make
+    (Array.map
+       (fun t ->
+         match term_value env t with
+         | Some c -> c
+         | None -> assert false)
+       args)
+
+let relation_of resolver polarity index pred arity =
+  (resolver { polarity; index; pred }).find pred arity
+
+let eval_bound_lit resolver env = function
+  | LPos (i, pred, args) ->
+    let r = relation_of resolver `Pos i pred (Array.length args) in
+    Relation.mem (bound_tuple env args) r
+  | LNeg (i, pred, args) ->
+    let r = relation_of resolver `Neg i pred (Array.length args) in
+    not (Relation.mem (bound_tuple env args) r)
+  | LEq (t1, t2) ->
+    Symbol.equal (Option.get (term_value env t1)) (Option.get (term_value env t2))
+  | LNeq (t1, t2) ->
+    not
+      (Symbol.equal (Option.get (term_value env t1))
+         (Option.get (term_value env t2)))
+
+(* Bind the unbound variables of [args] to the components of [t]; returns
+   the variable indices that were freshly bound (for undoing).  Repeated
+   unbound variables are handled: the first occurrence binds, later ones
+   must agree (checked). *)
+let bind_tuple env args t =
+  let arity = Array.length args in
+  let bound = ref [] in
+  let ok = ref true in
+  (try
+     for pos = 0 to arity - 1 do
+       match args.(pos) with
+       | IConst c ->
+         if not (Symbol.equal (Tuple.get t pos) c) then begin
+           ok := false;
+           raise Exit
+         end
+       | IVar i -> (
+         match env.(i) with
+         | Some c ->
+           if not (Symbol.equal (Tuple.get t pos) c) then begin
+             ok := false;
+             raise Exit
+           end
+         | None ->
+           env.(i) <- Some (Tuple.get t pos);
+           bound := i :: !bound)
+     done
+   with Exit -> ());
+  if !ok then Some !bound
+  else begin
+    List.iter (fun i -> env.(i) <- None) !bound;
+    None
+  end
+
+let undo env bound = List.iter (fun i -> env.(i) <- None) bound
+
+let first_unbound_var env lits =
+  let found = ref None in
+  let see = function
+    | IVar i when env.(i) = None && !found = None -> found := Some i
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | LPos (_, _, args) | LNeg (_, _, args) -> Array.iter see args
+      | LEq (t1, t2) | LNeq (t1, t2) ->
+        see t1;
+        see t2)
+    lits;
+  !found
+
+(* Per-call access structure for one positive occurrence: the relation is
+   fetched once (resolvers are pure within a call) and hash indexes on the
+   single positions are built lazily — joining through a literal with a
+   bound position then touches only the matching bucket instead of scanning
+   the whole relation. *)
+type occurrence_access = {
+  occ_relation : Relation.t;
+  occ_indexes : (Symbol.t, Tuple.t list) Hashtbl.t option array;
+      (* occ_indexes.(pos): value at position pos -> tuples; built on first
+         use. *)
+}
+
+let access_of_relation r arity =
+  { occ_relation = r; occ_indexes = Array.make arity None }
+
+let position_index access pos =
+  match access.occ_indexes.(pos) with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 64 in
+    Relation.iter
+      (fun t ->
+        let key = Tuple.get t pos in
+        Hashtbl.replace table key
+          (t :: Option.value ~default:[] (Hashtbl.find_opt table key)))
+      access.occ_relation;
+    access.occ_indexes.(pos) <- Some table;
+    table
+
+(* Candidate tuples matching the bound positions of [args], via an index on
+   the first bound position when one exists. *)
+let candidates ~indexed env args access =
+  let arity = Array.length args in
+  let rec first_bound pos =
+    if pos = arity then None
+    else
+      match term_value env args.(pos) with
+      | Some c -> Some (pos, c)
+      | None -> first_bound (pos + 1)
+  in
+  match if indexed then first_bound 0 else None with
+  | Some (pos, c) ->
+    Option.value ~default:[] (Hashtbl.find_opt (position_index access pos) c)
+  | None -> Relation.fold (fun t acc -> t :: acc) access.occ_relation []
+
+let count_bound env args =
+  Array.fold_left
+    (fun n t -> if term_value env t <> None then n + 1 else n)
+    0 args
+
+let eval_rule ?(indexed = true) ~universe ~resolver rule =
+  let c = compile rule in
+  let env = Array.make c.nvars None in
+  let arity = Array.length c.head_args in
+  let acc = ref (Relation.empty arity) in
+  (* Fetch each positive occurrence's relation once, with lazy indexes. *)
+  let accesses = Hashtbl.create 8 in
+  let access_for i pred args =
+    match Hashtbl.find_opt accesses i with
+    | Some a -> a
+    | None ->
+      let r = relation_of resolver `Pos i pred (Array.length args) in
+      let a = access_of_relation r (Array.length args) in
+      Hashtbl.add accesses i a;
+      a
+  in
+  (* Emit the head tuple(s) for the current binding, enumerating any
+     head variables that remained unbound. *)
+  let rec emit () =
+    let unbound =
+      Array.to_list c.head_args
+      |> List.find_map (function
+           | IVar i when env.(i) = None -> Some i
+           | _ -> None)
+    in
+    match unbound with
+    | None -> acc := Relation.add (bound_tuple env c.head_args) !acc
+    | Some i ->
+      List.iter
+        (fun v ->
+          env.(i) <- Some v;
+          emit ();
+          env.(i) <- None)
+        universe
+  in
+  let rec solve remaining =
+    (* 1. Evaluate any fully bound literal immediately. *)
+    let bound_lit, rest =
+      List.partition (lit_fully_bound env) remaining
+    in
+    match bound_lit with
+    | l :: _ ->
+      if eval_bound_lit resolver env l then
+        solve (List.filter (fun l' -> l' != l) remaining)
+      else ()
+    | [] -> (
+      match rest with
+      | [] -> emit ()
+      | _ -> (
+        (* 2. Propagate a half-bound equality deterministically. *)
+        let eq_prop =
+          List.find_map
+            (fun l ->
+              match l with
+              | LEq (t1, t2) -> (
+                match (term_value env t1, term_value env t2, t1, t2) with
+                | Some c, None, _, IVar i | None, Some c, IVar i, _ ->
+                  Some (l, i, c)
+                | _ -> None)
+              | _ -> None)
+            rest
+        in
+        match eq_prop with
+        | Some (l, i, c) ->
+          env.(i) <- Some c;
+          solve (List.filter (fun l' -> l' != l) remaining);
+          env.(i) <- None
+        | None -> (
+          (* 3. Join through the positive literal with the most bound
+             arguments (cheapest extension first). *)
+          let pos_lit =
+            List.fold_left
+              (fun best l ->
+                match l with
+                | LPos (i, pred, args) -> (
+                  let score = count_bound env args in
+                  match best with
+                  | Some (_, _, _, _, best_score) when best_score >= score ->
+                    best
+                  | _ -> Some (l, i, pred, args, score))
+                | _ -> best)
+              None rest
+          in
+          match pos_lit with
+          | Some (l, i, pred, args, _score) ->
+            let access = access_for i pred args in
+            let rest' = List.filter (fun l' -> l' != l) remaining in
+            List.iter
+              (fun t ->
+                match bind_tuple env args t with
+                | Some bound ->
+                  solve rest';
+                  undo env bound
+                | None -> ())
+              (candidates ~indexed env args access)
+          | None -> (
+            (* 4. Only negations / comparisons with unbound variables are
+               left: enumerate the universe for one of their variables. *)
+            match first_unbound_var env rest with
+            | Some i ->
+              List.iter
+                (fun v ->
+                  env.(i) <- Some v;
+                  solve remaining;
+                  env.(i) <- None)
+                universe
+            | None -> assert false))))
+  in
+  solve c.body;
+  !acc
+
+let eval_rules ?indexed ~universe ~resolver ~schema rules =
+  List.fold_left
+    (fun acc rule ->
+      let derived = eval_rule ?indexed ~universe ~resolver rule in
+      let name = rule.Datalog.Ast.head.pred in
+      let current =
+        if Idb.mem acc name then Idb.get acc name
+        else Relation.empty (Relation.arity derived)
+      in
+      Idb.set acc name (Relation.union current derived))
+    (Idb.empty schema) rules
+
+let uniform source _occ = source
+
+let database_source db =
+  {
+    find =
+      (fun pred arity -> Relalg.Database.relation_or_empty ~arity pred db);
+  }
+
+let layered db idb =
+  {
+    find =
+      (fun pred arity ->
+        if Idb.mem idb pred then Idb.get idb pred
+        else Relalg.Database.relation_or_empty ~arity pred db);
+  }

@@ -1,0 +1,62 @@
+module Relation = Relalg.Relation
+module Database = Relalg.Database
+
+type counterexample = {
+  database : Database.t;
+  left : Idb.t;
+  right : Idb.t;
+}
+
+let databases_over ~universe edb =
+  let base = Database.create ~universe in
+  List.fold_left
+    (fun dbs (name, arity) ->
+      let tuples = Relation.to_list (Relation.full universe arity) in
+      (* Every subset of the full relation, folded into every database so
+         far. *)
+      let relations =
+        List.fold_left
+          (fun acc tuple ->
+            List.concat_map
+              (fun r -> [ r; Relation.add tuple r ])
+              acc)
+          [ Relation.empty arity ]
+          tuples
+      in
+      List.concat_map
+        (fun db -> List.map (fun r -> Database.set_relation name r db) relations)
+        dbs)
+    [ base ] edb
+
+let equivalent_up_to ?(size = 2) ~eval ~edb p q =
+  let common =
+    List.filter
+      (fun pred -> List.mem pred (Datalog.Ast.idb_predicates q))
+      (Datalog.Ast.idb_predicates p)
+  in
+  let agree db =
+    let left = eval p db in
+    let right = eval q db in
+    if
+      List.for_all
+        (fun pred ->
+          Relation.equal (Idb.get left pred) (Idb.get right pred))
+        common
+    then None
+    else Some { database = db; left; right }
+  in
+  let exception Found of counterexample in
+  try
+    let checked = ref 0 in
+    for n = 1 to size do
+      let universe = List.init n (fun i -> Relalg.Symbol.intern (Printf.sprintf "c%d" i)) in
+      List.iter
+        (fun db ->
+          incr checked;
+          match agree db with
+          | None -> ()
+          | Some cex -> raise (Found cex))
+        (databases_over ~universe edb)
+    done;
+    Ok !checked
+  with Found cex -> Error cex

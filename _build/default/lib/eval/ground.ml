@@ -1,0 +1,246 @@
+module Tuple = Relalg.Tuple
+module Symbol = Relalg.Symbol
+module Relation = Relalg.Relation
+
+type gatom = {
+  pred : string;
+  tuple : Tuple.t;
+}
+
+let compare_gatom a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else Tuple.compare a.tuple b.tuple
+
+let gatom_to_string a = Printf.sprintf "%s%s" a.pred (Tuple.to_string a.tuple)
+
+type grule = {
+  head : gatom;
+  pos : gatom list;
+  neg : gatom list;
+}
+
+module GMap = Map.Make (struct
+  type t = gatom
+
+  let compare = compare_gatom
+end)
+
+type t = {
+  schema : Relalg.Schema.t;  (* IDB schema *)
+  atoms : gatom list;
+  rules : grule list;
+  by_head : grule list GMap.t;
+}
+
+(* A half-instantiated rule: variables are bound one at a time, in an order
+   that follows the body so positive EDB literals prune early. *)
+
+let variable_order (r : Datalog.Ast.rule) =
+  let vars = ref [] in
+  let see = function
+    | Datalog.Ast.Var x -> if not (List.mem x !vars) then vars := x :: !vars
+    | Datalog.Ast.Const _ -> ()
+  in
+  let see_lit = function
+    | Datalog.Ast.Pos a | Datalog.Ast.Neg a -> List.iter see a.args
+    | Datalog.Ast.Eq (t1, t2) | Datalog.Ast.Neq (t1, t2) ->
+      see t1;
+      see t2
+  in
+  (* Positive EDB-ish atoms first (any positive atom, in fact), then the
+     rest of the body, then the head. *)
+  List.iter
+    (function Datalog.Ast.Pos _ as l -> see_lit l | _ -> ())
+    r.body;
+  List.iter
+    (function Datalog.Ast.Pos _ -> () | l -> see_lit l)
+    r.body;
+  List.iter see r.head.args;
+  List.rev !vars
+
+let term_value env = function
+  | Datalog.Ast.Const c -> Some c
+  | Datalog.Ast.Var x -> Hashtbl.find_opt env x
+
+(* Evaluate a literal under a partial assignment: [Some b] when decided,
+   [None] when it still mentions unbound variables. *)
+let eval_partial db idb_pred env (l : Datalog.Ast.literal) =
+  match l with
+  | Datalog.Ast.Eq (t1, t2) -> (
+    match (term_value env t1, term_value env t2) with
+    | Some a, Some b -> Some (Symbol.equal a b)
+    | _ -> None)
+  | Datalog.Ast.Neq (t1, t2) -> (
+    match (term_value env t1, term_value env t2) with
+    | Some a, Some b -> Some (not (Symbol.equal a b))
+    | _ -> None)
+  | Datalog.Ast.Pos a | Datalog.Ast.Neg a ->
+    if idb_pred a.pred then None
+    else
+      let values = List.map (term_value env) a.args in
+      if List.exists (fun v -> v = None) values then None
+      else
+        let tuple = Tuple.of_list (List.map Option.get values) in
+        let r =
+          Relalg.Database.relation_or_empty ~arity:(List.length a.args) a.pred
+            db
+        in
+        let holds = Relation.mem tuple r in
+        Some (match l with Datalog.Ast.Pos _ -> holds | _ -> not holds)
+
+let ground ?(keep = []) (p : Datalog.Ast.program) db =
+  let schema =
+    match Datalog.Ast.idb_schema p with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Ground.ground: " ^ msg)
+  in
+  let idb_pred name = Relalg.Schema.mem name schema in
+  let kept name = List.mem name keep && not (idb_pred name) in
+  let universe = Relalg.Database.universe db in
+  let raw_rules = ref [] in
+  let instantiate (r : Datalog.Ast.rule) =
+    let order = Array.of_list (variable_order r) in
+    let env : (string, Symbol.t) Hashtbl.t = Hashtbl.create 8 in
+    let gterm t =
+      match term_value env t with
+      | Some c -> c
+      | None -> assert false
+    in
+    let gatom (a : Datalog.Ast.atom) =
+      { pred = a.pred; tuple = Tuple.of_list (List.map gterm a.args) }
+    in
+    let finish () =
+      (* All variables bound: every non-IDB literal is decided.  Kept EDB
+         atoms are checked against the database but stay symbolic. *)
+      let ok = ref true in
+      let pos = ref [] in
+      let neg = ref [] in
+      List.iter
+        (fun l ->
+          if !ok then
+            match l with
+            | Datalog.Ast.Pos a when kept a.Datalog.Ast.pred -> (
+              match eval_partial db idb_pred env l with
+              | Some true -> pos := gatom a :: !pos
+              | Some false -> ok := false
+              | None -> assert false)
+            | _ -> (
+              match eval_partial db idb_pred env l with
+              | Some true -> ()
+              | Some false -> ok := false
+              | None -> (
+                match l with
+                | Datalog.Ast.Pos a -> pos := gatom a :: !pos
+                | Datalog.Ast.Neg a -> neg := gatom a :: !neg
+                | Datalog.Ast.Eq _ | Datalog.Ast.Neq _ -> assert false)))
+        r.body;
+      if !ok then
+        let dedup l = List.sort_uniq compare_gatom l in
+        raw_rules :=
+          { head = gatom r.head; pos = dedup !pos; neg = dedup !neg }
+          :: !raw_rules
+    in
+    let rec assign i =
+      if i = Array.length order then finish ()
+      else begin
+        let x = order.(i) in
+        List.iter
+          (fun v ->
+            Hashtbl.replace env x v;
+            (* Prune: every decided literal must not be false. *)
+            let pruned =
+              List.exists
+                (fun l -> eval_partial db idb_pred env l = Some false)
+                r.body
+            in
+            if not pruned then assign (i + 1);
+            Hashtbl.remove env x)
+          universe
+      end
+    in
+    assign 0
+  in
+  List.iter instantiate p.rules;
+  let rules = List.rev !raw_rules in
+  (* Derivable atoms: heads of instances.  Simplify bodies against that
+     set, dropping instances with an underivable positive subgoal and
+     erasing vacuously-true negative subgoals; iterate to a fixed point
+     since removing instances can shrink the derivable set. *)
+  let rec simplify rules =
+    let heads =
+      List.fold_left (fun acc gr -> GMap.add gr.head () acc) GMap.empty rules
+    in
+    (* Kept EDB atoms were membership-checked at instantiation time, so
+       they count as derivable here. *)
+    let derivable a = GMap.mem a heads || kept a.pred in
+    let changed = ref false in
+    let rules' =
+      List.filter_map
+        (fun gr ->
+          if List.for_all derivable gr.pos then begin
+            let neg' = List.filter derivable gr.neg in
+            if List.length neg' <> List.length gr.neg then changed := true;
+            Some { gr with neg = neg' }
+          end
+          else begin
+            changed := true;
+            None
+          end)
+        rules
+    in
+    if !changed then simplify rules' else rules'
+  in
+  let rules = simplify rules in
+  let by_head =
+    List.fold_left
+      (fun acc gr ->
+        let existing = Option.value ~default:[] (GMap.find_opt gr.head acc) in
+        GMap.add gr.head (gr :: existing) acc)
+      GMap.empty rules
+  in
+  let atoms = List.map fst (GMap.bindings by_head) in
+  { schema; atoms; rules; by_head }
+
+let atoms g = g.atoms
+
+let rules g = g.rules
+
+let instances_for g a =
+  Option.value ~default:[] (GMap.find_opt a g.by_head)
+
+let atom_count g = List.length g.atoms
+
+let rule_count g = List.length g.rules
+
+let to_idb g facts =
+  List.fold_left (fun idb a -> Idb.add_fact idb a.pred a.tuple) (Idb.empty g.schema)
+    facts
+
+let holds idb a =
+  Idb.mem idb a.pred && Relation.mem a.tuple (Idb.get idb a.pred)
+
+let apply g idb =
+  List.fold_left
+    (fun acc gr ->
+      let fires =
+        List.for_all (holds idb) gr.pos
+        && not (List.exists (holds idb) gr.neg)
+      in
+      if fires then Idb.add_fact acc gr.head.pred gr.head.tuple else acc)
+    (Idb.empty g.schema) g.rules
+
+let pp ppf g =
+  let pp_grule ppf gr =
+    let lits =
+      List.map gatom_to_string gr.pos
+      @ List.map (fun a -> "!" ^ gatom_to_string a) gr.neg
+    in
+    match lits with
+    | [] -> Format.fprintf ppf "%s." (gatom_to_string gr.head)
+    | _ ->
+      Format.fprintf ppf "%s :- %s." (gatom_to_string gr.head)
+        (String.concat ", " lits)
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_grule)
+    g.rules

@@ -1,0 +1,125 @@
+module SMap = Map.Make (String)
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+
+type t = {
+  schema : Schema.t;
+  relations : Relation.t SMap.t;
+}
+
+let empty schema =
+  let relations =
+    List.fold_left
+      (fun acc (name, arity) -> SMap.add name (Relation.empty arity) acc)
+      SMap.empty (Schema.to_list schema)
+  in
+  { schema; relations }
+
+let of_program p =
+  match Datalog.Ast.idb_schema p with
+  | Ok schema -> empty schema
+  | Error msg -> invalid_arg ("Idb.of_program: " ^ msg)
+
+let schema t = t.schema
+
+let get t name =
+  match SMap.find_opt name t.relations with
+  | Some r -> r
+  | None -> raise Not_found
+
+let mem t name = SMap.mem name t.relations
+
+let set t name r =
+  (match Schema.arity name t.schema with
+  | Some k when k <> Relation.arity r ->
+    invalid_arg
+      (Printf.sprintf "Idb.set: %s has arity %d, relation has arity %d" name k
+         (Relation.arity r))
+  | _ -> ());
+  {
+    schema = Schema.add name (Relation.arity r) t.schema;
+    relations = SMap.add name r t.relations;
+  }
+
+let add_fact t name tuple =
+  let current =
+    match SMap.find_opt name t.relations with
+    | Some r -> r
+    | None -> Relation.empty (Relalg.Tuple.arity tuple)
+  in
+  set t name (Relation.add tuple current)
+
+let bindings t = SMap.bindings t.relations
+
+let merge_with op t1 t2 =
+  let relations =
+    SMap.union (fun _name r1 r2 -> Some (op r1 r2)) t1.relations t2.relations
+  in
+  { schema = Schema.union t1.schema t2.schema; relations }
+
+let union = merge_with Relation.union
+
+let diff t1 t2 =
+  let relations =
+    SMap.mapi
+      (fun name r1 ->
+        match SMap.find_opt name t2.relations with
+        | Some r2 -> Relation.diff r1 r2
+        | None -> r1)
+      t1.relations
+  in
+  { t1 with relations }
+
+let inter t1 t2 =
+  let relations =
+    SMap.mapi
+      (fun name r1 ->
+        match SMap.find_opt name t2.relations with
+        | Some r2 -> Relation.inter r1 r2
+        | None -> Relation.empty (Relation.arity r1))
+      t1.relations
+  in
+  { t1 with relations }
+
+let equal t1 t2 =
+  let covered t t' =
+    SMap.for_all
+      (fun name r ->
+        match SMap.find_opt name t'.relations with
+        | Some r' -> Relation.equal r r'
+        | None -> Relation.is_empty r)
+      t.relations
+  in
+  covered t1 t2 && covered t2 t1
+
+let subset t1 t2 =
+  SMap.for_all
+    (fun name r ->
+      match SMap.find_opt name t2.relations with
+      | Some r' -> Relation.subset r r'
+      | None -> Relation.is_empty r)
+    t1.relations
+
+let is_empty t = SMap.for_all (fun _ r -> Relation.is_empty r) t.relations
+
+let total_cardinal t =
+  SMap.fold (fun _ r acc -> acc + Relation.cardinal r) t.relations 0
+
+let restrict names t =
+  let relations = SMap.filter (fun n _ -> List.mem n names) t.relations in
+  let schema =
+    List.fold_left
+      (fun acc (n, r) -> Schema.add n (Relation.arity r) acc)
+      Schema.empty (SMap.bindings relations)
+  in
+  { schema; relations }
+
+let to_database t db =
+  SMap.fold (fun name r db -> Relalg.Database.set_relation name r db)
+    t.relations db
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (n, r) ->
+         Format.fprintf ppf "%s = %a" n Relation.pp r))
+    (bindings t)

@@ -1,0 +1,61 @@
+(** Valuations of the nondatabase (IDB) relations.
+
+    A value of this type is the sequence S = (S1, ..., Sm) of Section 2: one
+    relation per IDB predicate of a program, with arities fixed by a schema.
+    The immediate consequence operator maps these to these; fixpoints,
+    inflationary stages and stratified layers are all computed over this
+    type. *)
+
+type t
+
+val empty : Relalg.Schema.t -> t
+(** All relations empty, one per schema predicate. *)
+
+val of_program : Datalog.Ast.program -> t
+(** Empty valuation for the program's inferred IDB schema.
+    @raise Invalid_argument if the program uses a predicate with two
+    arities. *)
+
+val schema : t -> Relalg.Schema.t
+
+val get : t -> string -> Relalg.Relation.t
+(** @raise Not_found for a predicate outside the schema. *)
+
+val mem : t -> string -> bool
+
+val set : t -> string -> Relalg.Relation.t -> t
+(** @raise Invalid_argument on an arity mismatch with the schema; a new
+    predicate is admitted and added to the schema. *)
+
+val add_fact : t -> string -> Relalg.Tuple.t -> t
+
+val bindings : t -> (string * Relalg.Relation.t) list
+(** Sorted by predicate name. *)
+
+val union : t -> t -> t
+(** Pointwise union (schemas must agree on shared predicates). *)
+
+val diff : t -> t -> t
+(** Pointwise difference. *)
+
+val inter : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** Pointwise inclusion: [subset s s'] iff every relation of [s] is included
+    in the corresponding relation of [s'] (missing predicates in [s'] count
+    as empty). *)
+
+val is_empty : t -> bool
+(** Every relation empty. *)
+
+val total_cardinal : t -> int
+(** Total number of tuples across all relations. *)
+
+val restrict : string list -> t -> t
+
+val to_database : t -> Relalg.Database.t -> Relalg.Database.t
+(** Adds the IDB relations to a database (used to expose results). *)
+
+val pp : Format.formatter -> t -> unit

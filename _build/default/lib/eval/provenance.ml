@@ -1,0 +1,102 @@
+type justification = {
+  fact : Ground.gatom;
+  stage : int;
+  instance : Ground.grule;
+  supports : justification list;
+  absences : (Ground.gatom * int option) list;
+}
+
+let explain p db ~pred tuple =
+  let trace = Inflationary.eval_trace p db in
+  let ground = Ground.ground p db in
+  let stage_of (a : Ground.gatom) =
+    Saturate.stage_of trace a.Ground.pred a.Ground.tuple
+  in
+  let rec justify (a : Ground.gatom) =
+    match stage_of a with
+    | None -> None
+    | Some stage ->
+      (* A firing instance at [stage]: positive subgoals strictly earlier,
+         negated subgoals not yet present at stage - 1. *)
+      let fires (gr : Ground.grule) =
+        List.for_all
+          (fun sub ->
+            match stage_of sub with
+            | Some s -> s < stage
+            | None -> false)
+          gr.Ground.pos
+        && List.for_all
+             (fun sub ->
+               match stage_of sub with
+               | Some s -> s >= stage
+               | None -> true)
+             gr.Ground.neg
+      in
+      (match List.find_opt fires (Ground.instances_for ground a) with
+      | None -> None (* unreachable for a traced fact *)
+      | Some instance ->
+        let supports = List.filter_map justify instance.Ground.pos in
+        if List.length supports <> List.length instance.Ground.pos then None
+        else
+          Some
+            {
+              fact = a;
+              stage;
+              instance;
+              supports;
+              absences =
+                List.map (fun sub -> (sub, stage_of sub)) instance.Ground.neg;
+            })
+  in
+  justify { Ground.pred; tuple }
+
+let rec check j =
+  let open Ground in
+  j.instance.head.pred = j.fact.pred
+  && Relalg.Tuple.equal j.instance.head.tuple j.fact.tuple
+  && List.for_all (fun s -> s.stage < j.stage && check s) j.supports
+  && List.for_all
+       (fun (_, entered) ->
+         match entered with
+         | None -> true
+         | Some s -> s >= j.stage)
+       j.absences
+
+let pp_instance ppf (gr : Ground.grule) =
+  let lits =
+    List.map Ground.gatom_to_string gr.Ground.pos
+    @ List.map (fun a -> "!" ^ Ground.gatom_to_string a) gr.Ground.neg
+  in
+  match lits with
+  | [] -> Format.fprintf ppf "%s." (Ground.gatom_to_string gr.Ground.head)
+  | _ ->
+    Format.fprintf ppf "%s :- %s."
+      (Ground.gatom_to_string gr.Ground.head)
+      (String.concat ", " lits)
+
+let lines_of j =
+  let lines = ref [] in
+  let emit line = lines := line :: !lines in
+  let rec go indent j =
+    emit
+      (Printf.sprintf "%s%s @ stage %d" indent
+         (Ground.gatom_to_string j.fact)
+         j.stage);
+    emit (Format.asprintf "%s  by %a" indent pp_instance j.instance);
+    List.iter
+      (fun (a, entered) ->
+        emit
+          (Printf.sprintf "%s  absent then: %s%s" indent
+             (Ground.gatom_to_string a)
+             (match entered with
+             | None -> " (never derived)"
+             | Some s -> Printf.sprintf " (entered later, stage %d)" s)))
+      j.absences;
+    List.iter (go (indent ^ "  ")) j.supports
+  in
+  go "" j;
+  List.rev !lines
+
+let to_string j = String.concat "\n" (lines_of j)
+
+let pp ppf j = Format.pp_print_string ppf (to_string j)

@@ -1,0 +1,46 @@
+(** Provenance: why is this fact in the inflationary semantics?
+
+    For a fact derived by the inflationary iteration, a justification is a
+    ground rule instance that fired at the fact's entry stage: all its
+    positive subgoals had already entered at strictly earlier stages (each
+    with a justification of its own) and none of its negated subgoals had
+    entered yet.  Because the inflationary semantics never retracts, the
+    resulting tree is a complete, replayable explanation — with the caveat,
+    faithfully recorded, that a negated subgoal may have become true
+    {e later}; that is exactly the non-monotonicity the paper's Section 4
+    examples turn on. *)
+
+type justification = {
+  fact : Ground.gatom;
+  stage : int;  (** 1-based stage at which the fact entered. *)
+  instance : Ground.grule;  (** The firing ground instance. *)
+  supports : justification list;
+      (** One sub-justification per positive subgoal. *)
+  absences : (Ground.gatom * int option) list;
+      (** Negated subgoals, each with the stage at which it {e eventually}
+          entered ([None] = never) — necessarily >= the fact's stage. *)
+}
+
+val explain :
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  pred:string ->
+  Relalg.Tuple.t ->
+  justification option
+(** [None] when the fact is not in the inflationary semantics. *)
+
+val check : justification -> bool
+(** Internal consistency: supports at strictly earlier stages, absences not
+    earlier than the fact, instance head matches. *)
+
+val to_string : justification -> string
+(** The rendered tree, newline-separated, no trailing newline. *)
+
+val pp : Format.formatter -> justification -> unit
+(** An indented tree, e.g.:
+    {v
+    s(v0, v2) @ stage 2
+      by s(v0, v2) :- e(v0, v1), s(v1, v2).
+      s(v1, v2) @ stage 1
+        by s(v1, v2) :- e(v1, v2).
+    v} *)

@@ -1,0 +1,39 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+let matches_query (query : Datalog.Ast.atom) tuple =
+  List.for_all2
+    (fun term value ->
+      match term with
+      | Datalog.Ast.Const c -> Relalg.Symbol.equal c value
+      | Datalog.Ast.Var _ -> true)
+    query.Datalog.Ast.args (Tuple.to_list tuple)
+
+let answer ?engine p db ~query =
+  match Datalog.Magic.rewrite p ~query with
+  | Error _ as e -> e
+  | Ok rewritten ->
+    let result = Naive.least_fixpoint ?engine rewritten.Datalog.Magic.program db in
+    let full =
+      if Idb.mem result rewritten.Datalog.Magic.answer_pred then
+        Idb.get result rewritten.Datalog.Magic.answer_pred
+      else Relation.empty (List.length query.Datalog.Ast.args)
+    in
+    (* The adorned predicate may also hold answers for other bindings that
+       arose recursively; keep only the query's own. *)
+    Ok (Relation.filter (matches_query query) full)
+
+let answer_exn ?engine p db ~query =
+  match answer ?engine p db ~query with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Query.answer: " ^ msg)
+
+let holds p db ~query =
+  if List.exists
+       (function Datalog.Ast.Var _ -> true | Datalog.Ast.Const _ -> false)
+       query.Datalog.Ast.args
+  then Error "Query.holds: the query atom must be ground"
+  else
+    match answer p db ~query with
+    | Error _ as e -> e
+    | Ok r -> Ok (not (Relation.is_empty r))

@@ -1,0 +1,32 @@
+(** Goal-directed query answering via magic sets.
+
+    [answer p db query] computes exactly the tuples of the query predicate
+    matching the query's constants, by rewriting the program with
+    [Datalog.Magic] and running the semi-naive least-fixpoint evaluation on
+    the rewritten program — touching only the query-relevant part of the
+    database.  Equivalent to (but usually much cheaper than) evaluating the
+    whole program and selecting. *)
+
+val answer :
+  ?engine:[ `Naive | `Seminaive ] ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  query:Datalog.Ast.atom ->
+  (Relalg.Relation.t, string) result
+(** Full tuples of the query predicate (all positions, bound ones
+    included), restricted to the query's constants.  Errors on non-positive
+    programs and malformed queries (see [Datalog.Magic.rewrite]). *)
+
+val answer_exn :
+  ?engine:[ `Naive | `Seminaive ] ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  query:Datalog.Ast.atom ->
+  Relalg.Relation.t
+
+val holds :
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  query:Datalog.Ast.atom ->
+  (bool, string) result
+(** For a fully ground query atom: is it in the least fixpoint? *)

@@ -1,0 +1,102 @@
+module Schema = Relalg.Schema
+
+type trace = {
+  result : Idb.t;
+  deltas : Idb.t list;
+}
+
+let stages t = List.length t.deltas
+
+let stage_of t pred tuple =
+  let rec find n = function
+    | [] -> None
+    | d :: rest ->
+      if Idb.mem d pred && Relalg.Relation.mem tuple (Idb.get d pred) then
+        Some n
+      else find (n + 1) rest
+  in
+  find 1 t.deltas
+
+let make_resolver ~schema ~base ~neg ~current ~delta_occ ~delta
+    (occ : Engine.occurrence) =
+  if Schema.mem occ.pred schema then
+    match occ.polarity with
+    | `Neg -> (
+      match neg with
+      | `Current -> { Engine.find = (fun p _a -> Idb.get current p) }
+      | `Fixed src -> src)
+    | `Pos -> (
+      match delta_occ with
+      | Some j when occ.index = j ->
+        { Engine.find = (fun p _a -> Idb.get delta p) }
+      | _ -> { Engine.find = (fun p _a -> Idb.get current p) })
+  else base
+
+(* Positive body occurrences of evolving predicates, as literal indices. *)
+let delta_positions ~schema (rule : Datalog.Ast.rule) =
+  List.mapi (fun i l -> (i, l)) rule.body
+  |> List.filter_map (fun (i, l) ->
+         match l with
+         | Datalog.Ast.Pos a when Schema.mem a.pred schema -> Some i
+         | _ -> None)
+
+let full_application ~rules ~schema ~universe ~base ~neg ~current =
+  let resolver =
+    make_resolver ~schema ~base ~neg ~current ~delta_occ:None
+      ~delta:current
+  in
+  Engine.eval_rules ~universe ~resolver ~schema rules
+
+let delta_application ~rules ~schema ~universe ~base ~neg ~current ~delta =
+  List.fold_left
+    (fun acc rule ->
+      let positions = delta_positions ~schema rule in
+      List.fold_left
+        (fun acc j ->
+          let resolver =
+            make_resolver ~schema ~base ~neg ~current ~delta_occ:(Some j)
+              ~delta
+          in
+          let derived = Engine.eval_rule ~universe ~resolver rule in
+          let name = rule.Datalog.Ast.head.pred in
+          let old =
+            if Idb.mem acc name then Idb.get acc name
+            else Relalg.Relation.empty (Relalg.Relation.arity derived)
+          in
+          Idb.set acc name (Relalg.Relation.union old derived))
+        acc positions)
+    (Idb.empty schema) rules
+
+let run ?(engine = `Seminaive) ~rules ~schema ~universe ~base ~neg ~init () =
+  match engine with
+  | `Naive ->
+    let rec loop current rev_deltas =
+      let derived =
+        full_application ~rules ~schema ~universe ~base ~neg ~current
+      in
+      let delta = Idb.diff derived current in
+      if Idb.is_empty delta then
+        { result = current; deltas = List.rev rev_deltas }
+      else loop (Idb.union current delta) (delta :: rev_deltas)
+    in
+    loop init []
+  | `Seminaive ->
+    (* Stage 1 applies every rule in full; later stages only chase the
+       previous stage's delta through positive evolving literals. *)
+    let derived =
+      full_application ~rules ~schema ~universe ~base ~neg ~current:init
+    in
+    let delta1 = Idb.diff derived init in
+    if Idb.is_empty delta1 then { result = init; deltas = [] }
+    else
+      let rec loop current delta rev_deltas =
+        let derived =
+          delta_application ~rules ~schema ~universe ~base ~neg ~current
+            ~delta
+        in
+        let fresh = Idb.diff derived current in
+        if Idb.is_empty fresh then
+          { result = current; deltas = List.rev rev_deltas }
+        else loop (Idb.union current fresh) fresh (fresh :: rev_deltas)
+      in
+      loop (Idb.union init delta1) delta1 [ delta1 ]

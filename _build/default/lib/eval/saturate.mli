@@ -1,0 +1,45 @@
+(** Inflationary iteration to a fixed point — the shared machinery.
+
+    Computes the limit of S{_0} = init, S{_{n+1}} = S{_n} union Theta(S{_n})
+    for the given rules, where only the predicates of [schema] evolve;
+    everything else reads from [base].  Because the sequence is increasing
+    and bounded by |A|{^ k} per k-ary predicate, the iteration terminates in
+    polynomially many stages (Section 4).
+
+    Two engines compute the same limit:
+    - [`Naive] re-derives everything each stage;
+    - [`Seminaive] only explores derivations that touch a tuple added in
+      the previous stage.  With negation this differential cut is still
+      sound {e for inflationary iteration}: negated literals only lose
+      truth as S grows, so a body newly satisfiable at stage n+1 must bind
+      some positive evolving literal to a stage-n tuple.
+
+    The [neg] parameter selects where {e negated} occurrences of evolving
+    predicates read: the current valuation (inflationary semantics) or a
+    fixed valuation (the reduct step of the well-founded alternating
+    fixpoint). *)
+
+type trace = {
+  result : Idb.t;
+  deltas : Idb.t list;
+      (** [deltas] has one entry per stage, stage 1 first: the tuples that
+          entered at that stage.  Their union is [result] minus the initial
+          valuation. *)
+}
+
+val stages : trace -> int
+
+val stage_of : trace -> string -> Relalg.Tuple.t -> int option
+(** 1-based stage at which a tuple entered, [None] if it never did. *)
+
+val run :
+  ?engine:[ `Naive | `Seminaive ] ->
+  rules:Datalog.Ast.rule list ->
+  schema:Relalg.Schema.t ->
+  universe:Relalg.Symbol.t list ->
+  base:Engine.source ->
+  neg:[ `Current | `Fixed of Engine.source ] ->
+  init:Idb.t ->
+  unit ->
+  trace
+(** Default engine: [`Seminaive]. *)

@@ -1,0 +1,45 @@
+let idb_schema_exn p =
+  match Datalog.Ast.idb_schema p with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Theta: " ^ msg)
+
+let apply p db s =
+  let schema = idb_schema_exn p in
+  let resolver = Engine.uniform (Engine.layered db s) in
+  Engine.eval_rules ~universe:(Relalg.Database.universe db) ~resolver ~schema
+    p.Datalog.Ast.rules
+
+let is_fixpoint p db s = Idb.equal (apply p db s) s
+
+let inflate p db s = Idb.union s (apply p db s)
+
+type iteration_outcome =
+  | Reached_fixpoint of { fixpoint : Idb.t; steps : int }
+  | Entered_cycle of { entry : int; period : int; states : Idb.t list }
+  | Gave_up of { steps : int }
+
+let iterate ?(max_steps = 10000) p db start =
+  (* The orbit of a deterministic map on a finite space is a rho: store the
+     states seen with their step index and stop at the first repeat. *)
+  let rec loop seen current step =
+    if step > max_steps then Gave_up { steps = step - 1 }
+    else
+      let next = apply p db current in
+      if Idb.equal next current then
+        Reached_fixpoint { fixpoint = current; steps = step - 1 }
+      else
+        match
+          List.find_opt (fun (_, s) -> Idb.equal s next) seen
+        with
+        | Some (entry, _) ->
+          let period = step - entry in
+          let states =
+            seen
+            |> List.filter (fun (i, _) -> i >= entry)
+            |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+            |> List.map snd
+          in
+          Entered_cycle { entry; period; states }
+        | None -> loop ((step, next) :: seen) next (step + 1)
+  in
+  loop [ (0, start) ] start 1

@@ -1,0 +1,1 @@
+lib/fixpoint/brute.ml: Array Evallib List Printf

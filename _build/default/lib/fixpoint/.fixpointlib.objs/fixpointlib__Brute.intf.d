@@ -1,0 +1,1 @@
+lib/fixpoint/brute.mli: Evallib

@@ -1,0 +1,1 @@
+lib/fixpoint/encode.ml: Array Evallib List Map Satlib

@@ -1,0 +1,1 @@
+lib/fixpoint/encode.mli: Evallib Satlib

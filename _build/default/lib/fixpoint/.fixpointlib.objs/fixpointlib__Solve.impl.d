@@ -1,0 +1,1 @@
+lib/fixpoint/solve.ml: Array Datalog Encode Evallib List Relalg Satlib

@@ -1,0 +1,1 @@
+lib/fixpoint/solve.mli: Datalog Evallib Relalg

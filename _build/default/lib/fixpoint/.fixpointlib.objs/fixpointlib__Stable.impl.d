@@ -1,0 +1,1 @@
+lib/fixpoint/stable.ml: Evallib List Relalg Solve

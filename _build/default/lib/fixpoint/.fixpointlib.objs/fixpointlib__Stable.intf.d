@@ -1,0 +1,1 @@
+lib/fixpoint/stable.mli: Evallib Solve

@@ -1,0 +1,59 @@
+module Ground = Evallib.Ground
+module Idb = Evallib.Idb
+
+let fold_fixpoints f init ?limit g =
+  let atoms = Array.of_list (Ground.atoms g) in
+  let n = Array.length atoms in
+  if n > 24 then
+    invalid_arg
+      (Printf.sprintf
+         "Brute.fold_fixpoints: %d ground atoms is too many for exhaustive \
+          search"
+         n);
+  let acc = ref init in
+  let found = ref 0 in
+  let capped () =
+    match limit with
+    | Some l -> !found >= l
+    | None -> false
+  in
+  let mask = ref 0 in
+  let total = 1 lsl n in
+  while !mask < total && not (capped ()) do
+    let subset =
+      List.filteri (fun i _ -> (!mask lsr i) land 1 = 1) (Array.to_list atoms)
+    in
+    let s = Ground.to_idb g subset in
+    if Idb.equal (Ground.apply g s) s then begin
+      acc := f !acc s;
+      incr found
+    end;
+    incr mask
+  done;
+  !acc
+
+let all_fixpoints ?limit g =
+  List.rev (fold_fixpoints (fun acc s -> s :: acc) [] ?limit g)
+
+let count g = fold_fixpoints (fun acc _ -> acc + 1) 0 g
+
+let exists g = all_fixpoints ~limit:1 g <> []
+
+let has_unique g = List.length (all_fixpoints ~limit:2 g) = 1
+
+let least g =
+  match all_fixpoints g with
+  | [] -> None
+  | first :: rest ->
+    let intersection = List.fold_left Idb.inter first rest in
+    if Idb.equal (Ground.apply g intersection) intersection then
+      Some intersection
+    else None
+
+let minimal_fixpoints g =
+  let fps = all_fixpoints g in
+  List.filter
+    (fun s ->
+      not
+        (List.exists (fun s' -> (not (Idb.equal s s')) && Idb.subset s' s) fps))
+    fps

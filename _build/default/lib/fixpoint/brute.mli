@@ -1,0 +1,26 @@
+(** Exhaustive fixpoint search over the ground atom space.
+
+    Every fixpoint of (pi, D) is a subset of the derivable ground atoms
+    (Theta must re-derive each of its tuples), so enumerating the 2{^ n}
+    subsets of [Ground.atoms] and testing Theta(S) = S finds them all.
+    This is the ground truth against which the SAT-based searcher of
+    {!Solve} is validated, and the "guess and check" upper-bound algorithm
+    the paper mentions at the start of Section 3. *)
+
+val all_fixpoints : ?limit:int -> Evallib.Ground.t -> Evallib.Idb.t list
+(** All fixpoints (up to [limit] when given), in subset-enumeration order.
+    Exponential in [Ground.atom_count]; refuses more than 24 atoms. *)
+
+val count : Evallib.Ground.t -> int
+
+val exists : Evallib.Ground.t -> bool
+
+val has_unique : Evallib.Ground.t -> bool
+
+val least : Evallib.Ground.t -> Evallib.Idb.t option
+(** The least fixpoint if one exists: the pointwise intersection of all
+    fixpoints when that intersection is itself a fixpoint (Theorem 3's
+    characterisation), [None] otherwise. *)
+
+val minimal_fixpoints : Evallib.Ground.t -> Evallib.Idb.t list
+(** The fixpoints that are minimal under pointwise inclusion. *)

@@ -1,0 +1,87 @@
+module Ground = Evallib.Ground
+module Idb = Evallib.Idb
+module Cnf = Satlib.Cnf
+
+module GMap = Map.Make (struct
+  type t = Ground.gatom
+
+  let compare = Ground.compare_gatom
+end)
+
+type t = {
+  ground : Ground.t;
+  cnf : Cnf.t;
+  var_of : int GMap.t;
+  atom_of : Ground.gatom array;  (* indexed by variable - 1 *)
+  atom_var_count : int;
+}
+
+let build g =
+  let atoms = Array.of_list (Ground.atoms g) in
+  let n_atoms = Array.length atoms in
+  let var_of =
+    Array.to_list atoms
+    |> List.mapi (fun i a -> (a, i + 1))
+    |> List.fold_left (fun acc (a, v) -> GMap.add a v acc) GMap.empty
+  in
+  let var a = GMap.find a var_of in
+  (* Instance variables follow the atom variables. *)
+  let instance_count =
+    List.fold_left (fun acc _ -> acc + 1) 0 (Ground.rules g)
+  in
+  let total_vars = n_atoms + instance_count in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  let next_instance = ref (n_atoms + 1) in
+  List.iter
+    (fun atom ->
+      let p = var atom in
+      let instances = Ground.instances_for g atom in
+      let body_vars =
+        List.map
+          (fun (gr : Ground.grule) ->
+            let b = !next_instance in
+            incr next_instance;
+            let lits =
+              List.map (fun a -> var a) gr.pos
+              @ List.map (fun a -> -var a) gr.neg
+            in
+            (* b <-> conjunction of lits *)
+            List.iter (fun l -> add [ -b; l ]) lits;
+            add (b :: List.map (fun l -> -l) lits);
+            b)
+          instances
+      in
+      (* p <-> disjunction of the instance variables *)
+      add (-p :: body_vars);
+      List.iter (fun b -> add [ p; -b ]) body_vars)
+    (Ground.atoms g);
+  let cnf = Cnf.of_list total_vars (List.rev !clauses) in
+  {
+    ground = g;
+    cnf;
+    var_of;
+    atom_of = atoms;
+    atom_var_count = n_atoms;
+  }
+
+let cnf t = t.cnf
+
+let atom_variables t = List.init t.atom_var_count (fun i -> i + 1)
+
+let var_of_atom t a =
+  match GMap.find_opt a t.var_of with
+  | Some v -> v
+  | None -> raise Not_found
+
+let idb_of_true_vars t vars =
+  Ground.to_idb t.ground
+    (List.filter_map
+       (fun v ->
+         if v >= 1 && v <= t.atom_var_count then Some t.atom_of.(v - 1)
+         else None)
+       vars)
+
+let idb_of_model t model =
+  idb_of_true_vars t
+    (List.filter (fun v -> model.(v)) (atom_variables t))

@@ -1,0 +1,32 @@
+(** SAT encoding of the fixpoint condition Theta(S) = S.
+
+    One propositional variable per derivable ground atom, plus one auxiliary
+    variable per ground rule instance:
+
+    - instance variable b {e iff} all its positive subgoals hold and no
+      negated one does;
+    - atom variable p {e iff} some instance with head p fires.
+
+    Models of the CNF restricted to the atom variables are exactly the
+    fixpoints of (pi, D) — the constructive heart of "existence of
+    fixpoints is in NP" (Section 3), run in reverse as a decision
+    procedure. *)
+
+type t
+
+val build : Evallib.Ground.t -> t
+
+val cnf : t -> Satlib.Cnf.t
+
+val atom_variables : t -> int list
+(** The projection set: variables standing for ground atoms (instance
+    auxiliaries excluded). *)
+
+val var_of_atom : t -> Evallib.Ground.gatom -> int
+(** @raise Not_found for an atom outside the grounding. *)
+
+val idb_of_model : t -> bool array -> Evallib.Idb.t
+(** Reads a solver model back into an IDB valuation. *)
+
+val idb_of_true_vars : t -> int list -> Evallib.Idb.t
+(** Valuation containing the atoms of the listed variables. *)

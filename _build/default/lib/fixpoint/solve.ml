@@ -1,0 +1,80 @@
+module Ground = Evallib.Ground
+module Idb = Evallib.Idb
+module Cnf = Satlib.Cnf
+module Solver = Satlib.Solver
+module Enumerate = Satlib.Enumerate
+
+type t = {
+  program : Datalog.Ast.program;
+  db : Relalg.Database.t;
+  ground : Ground.t;
+  encoding : Encode.t;
+}
+
+let prepare program db =
+  let ground = Ground.ground program db in
+  { program; db; ground; encoding = Encode.build ground }
+
+let ground t = t.ground
+
+let atom_count t = Ground.atom_count t.ground
+
+let exists t = Solver.is_satisfiable (Encode.cnf t.encoding)
+
+let find t =
+  match Solver.solve (Encode.cnf t.encoding) with
+  | Solver.Unsat -> None
+  | Solver.Sat model -> Some (Encode.idb_of_model t.encoding model)
+
+let enumerate ?limit t =
+  Enumerate.models
+    ~projection:(Encode.atom_variables t.encoding)
+    ?limit (Encode.cnf t.encoding)
+  |> List.map (Encode.idb_of_model t.encoding)
+
+let count ?limit t = List.length (enumerate ?limit t)
+
+let count_exact ?(budget = 2_000_000) t =
+  Satlib.Count.count_limited ~budget (Encode.cnf t.encoding)
+
+let has_unique t =
+  Enumerate.is_unique
+    ~projection:(Encode.atom_variables t.encoding)
+    (Encode.cnf t.encoding)
+
+let intersection t =
+  let cnf = Encode.cnf t.encoding in
+  match Solver.solve cnf with
+  | Solver.Unsat -> None
+  | Solver.Sat _ ->
+    let forced =
+      Enumerate.forced_true cnf (Encode.atom_variables t.encoding)
+    in
+    Some (Encode.idb_of_true_vars t.encoding forced)
+
+let least t =
+  match intersection t with
+  | None -> None
+  | Some inter ->
+    if Idb.equal (Ground.apply t.ground inter) inter then Some inter
+    else None
+
+let minimal t =
+  let session = Solver.session (Encode.cnf t.encoding) in
+  let atom_vars = Encode.atom_variables t.encoding in
+  match Solver.solve_assuming session [] with
+  | Solver.Unsat -> None
+  | Solver.Sat model ->
+    (* Shrink: demand a model strictly below the current one until UNSAT.
+       The narrowing clauses accumulate monotonically, so one incremental
+       session serves the whole descent. *)
+    let rec shrink model =
+      let true_vars = List.filter (fun v -> model.(v)) atom_vars in
+      let false_vars = List.filter (fun v -> not model.(v)) atom_vars in
+      List.iter (fun v -> Solver.add_clause session [ -v ]) false_vars;
+      Solver.add_clause session (List.map (fun v -> -v) true_vars);
+      match Solver.solve_assuming session [] with
+      | Solver.Unsat -> model
+      | Solver.Sat smaller -> shrink smaller
+    in
+    Some (Encode.idb_of_model t.encoding (shrink model))

@@ -1,0 +1,57 @@
+(** The fixpoint query suite, answered through the SAT encoding.
+
+    These are exactly the decision problems whose complexity Section 3
+    pins down:
+
+    - {!exists} / {!find} — fixpoint existence (NP-complete for fixed
+      programs, Theorem 1; NEXP-complete with the program as input,
+      Theorem 4: the exponential grounding step is visible here);
+    - {!has_unique} — unique fixpoint (US-complete, Theorem 2);
+    - {!least} — least fixpoint existence (US-hard, in FO(NP), Theorem 3):
+      implemented with the paper's characterisation — compute the
+      intersection of all fixpoints with one NP-oracle (SAT) call per
+      ground atom, then check that the intersection is itself a fixpoint;
+    - {!enumerate} / {!count} — fixpoint census (used to reproduce the
+      2{^ n} incomparable fixpoints of the Section 2 example). *)
+
+type t
+
+val prepare : Datalog.Ast.program -> Relalg.Database.t -> t
+(** Grounds the program and builds the SAT encoding. *)
+
+val ground : t -> Evallib.Ground.t
+
+val atom_count : t -> int
+
+val exists : t -> bool
+
+val find : t -> Evallib.Idb.t option
+(** Some fixpoint, if any. *)
+
+val enumerate : ?limit:int -> t -> Evallib.Idb.t list
+
+val count : ?limit:int -> t -> int
+(** Census by SAT enumeration with blocking clauses (one solver call per
+    fixpoint). *)
+
+val count_exact : ?budget:int -> t -> int option
+(** Census by exact model counting (#SAT with component decomposition) —
+    sound because the encoding's auxiliary variables are functionally
+    determined by the atom variables.  On the Section 2 example G{_n}
+    (k disjoint cycles) this counts the 2{^ k} fixpoints without
+    enumerating them.  [None] when the [budget] of counting nodes (default
+    two million) is exhausted. *)
+
+val has_unique : t -> bool
+
+val intersection : t -> Evallib.Idb.t option
+(** Pointwise intersection of {e all} fixpoints ([None] when there is no
+    fixpoint); one SAT call per ground atom. *)
+
+val least : t -> Evallib.Idb.t option
+(** The least fixpoint, if one exists. *)
+
+val minimal : t -> Evallib.Idb.t option
+(** Some {e minimal} fixpoint, obtained by iteratively shrinking a model
+    with SAT calls.  A least fixpoint, when it exists, is the unique
+    minimal one. *)

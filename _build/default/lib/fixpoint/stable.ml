@@ -1,0 +1,47 @@
+module Ground = Evallib.Ground
+module Idb = Evallib.Idb
+
+let holds idb (a : Ground.gatom) =
+  Idb.mem idb a.Ground.pred
+  && Relalg.Relation.mem a.Ground.tuple (Idb.get idb a.Ground.pred)
+
+let reduct_least_fixpoint g s =
+  (* Keep the instances whose negative subgoals all fail in [s]; their
+     positive parts form a definite program whose least fixpoint we compute
+     by iteration. *)
+  let kept =
+    List.filter
+      (fun (gr : Ground.grule) -> not (List.exists (holds s) gr.Ground.neg))
+      (Ground.rules g)
+  in
+  let schema = Idb.schema (Ground.to_idb g []) in
+  let rec iterate current =
+    let next =
+      List.fold_left
+        (fun acc (gr : Ground.grule) ->
+          if List.for_all (holds current) gr.Ground.pos then
+            Idb.add_fact acc gr.Ground.head.Ground.pred
+              gr.Ground.head.Ground.tuple
+          else acc)
+        (Idb.empty schema) kept
+    in
+    let next = Idb.union current next in
+    if Idb.equal next current then current else iterate next
+  in
+  iterate (Idb.empty schema)
+
+let is_stable g s = Idb.equal (reduct_least_fixpoint g s) s
+
+let stable_models ?limit solver =
+  (* Stable implies supported, and the supported models are exactly the
+     SAT-enumerated fixpoints; filter those for stability.  The limit
+     applies to the stable models returned. *)
+  let g = Solve.ground solver in
+  let stable = List.filter (is_stable g) (Solve.enumerate solver) in
+  match limit with
+  | None -> stable
+  | Some l -> List.filteri (fun i _ -> i < l) stable
+
+let has_stable_model solver = stable_models ~limit:1 solver <> []
+
+let count_stable ?limit solver = List.length (stable_models ?limit solver)

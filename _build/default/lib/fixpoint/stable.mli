@@ -1,0 +1,36 @@
+(** Stable models (Gelfond-Lifschitz), for comparison with the paper's
+    fixpoint semantics.
+
+    A fixpoint of the operator Theta is precisely a {e supported} model of
+    the program (every fact is the head of a rule whose body it satisfies —
+    the Clark-completion reading).  The later answer-set literature
+    strengthens support to {e stability}: S is stable when S is the least
+    fixpoint of the reduct P{^ S}, the positive program obtained by
+    deleting the rules with a negated atom inside S and erasing the
+    remaining negative literals.
+
+    Every stable model is a fixpoint of Theta; the converse fails — for
+    the self-supporting program [p :- p] both {} and {p} are fixpoints but
+    only {} is stable.  On the paper's program pi_1 the two notions
+    coincide (its only positive subgoals are EDB atoms), which is why the
+    Section 2 census can equally be read as a census of kernels.  This
+    module decides stability on the grounding and enumerates stable models
+    by filtering the SAT-enumerated fixpoints — sound and complete because
+    stable implies supported. *)
+
+val reduct_least_fixpoint :
+  Evallib.Ground.t -> Evallib.Idb.t -> Evallib.Idb.t
+(** [reduct_least_fixpoint g s]: the least fixpoint of the
+    Gelfond-Lifschitz reduct of the ground program with respect to [s]. *)
+
+val is_stable : Evallib.Ground.t -> Evallib.Idb.t -> bool
+(** [is_stable g s] iff [s] equals {!reduct_least_fixpoint}[ g s]. *)
+
+val stable_models :
+  ?limit:int -> Solve.t -> Evallib.Idb.t list
+(** All stable models (up to [limit]), obtained by filtering the supported
+    models (= fixpoints of Theta) for stability. *)
+
+val has_stable_model : Solve.t -> bool
+
+val count_stable : ?limit:int -> Solve.t -> int

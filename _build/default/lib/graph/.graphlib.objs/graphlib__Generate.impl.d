@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Digraph List Negdl_util Set

@@ -1,0 +1,1 @@
+lib/graph/kernel.ml: Array Digraph List

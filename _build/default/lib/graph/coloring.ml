@@ -1,0 +1,92 @@
+let neighbours g =
+  let n = Digraph.vertex_count g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      if u <> v then adj.(v) <- u :: adj.(v))
+    (Digraph.edges g);
+  Array.map (List.sort_uniq Int.compare) adj
+
+let has_self_loop g =
+  List.exists (fun (u, v) -> u = v) (Digraph.edges g)
+
+let check_coloring ~k g colors =
+  let n = Digraph.vertex_count g in
+  Array.length colors = n
+  && Array.for_all (fun c -> c >= 0 && c < k) colors
+  && List.for_all (fun (u, v) -> u = v || colors.(u) <> colors.(v))
+       (Digraph.edges g)
+  && not (has_self_loop g)
+
+let find_coloring ~k g =
+  if has_self_loop g then None
+  else begin
+    let n = Digraph.vertex_count g in
+    let adj = neighbours g in
+    let colors = Array.make n (-1) in
+    (* Order vertices by decreasing degree: most constrained first. *)
+    let order =
+      List.sort
+        (fun u v -> compare (List.length adj.(v)) (List.length adj.(u)))
+        (List.init n Fun.id)
+      |> Array.of_list
+    in
+    let allowed v c =
+      List.for_all (fun w -> colors.(w) <> c) adj.(v)
+    in
+    let rec assign i =
+      if i = n then true
+      else
+        let v = order.(i) in
+        let rec try_color c =
+          if c = k then false
+          else if allowed v c then begin
+            colors.(v) <- c;
+            if assign (i + 1) then true
+            else begin
+              colors.(v) <- -1;
+              try_color (c + 1)
+            end
+          end
+          else try_color (c + 1)
+        in
+        try_color 0
+    in
+    if assign 0 then Some colors else None
+  end
+
+let is_colorable ~k g = find_coloring ~k g <> None
+
+let is_3colorable g = is_colorable ~k:3 g
+
+let count_colorings ~k g =
+  if has_self_loop g then 0
+  else begin
+    let n = Digraph.vertex_count g in
+    let adj = neighbours g in
+    let colors = Array.make n (-1) in
+    let count = ref 0 in
+    let rec assign v =
+      if v = n then incr count
+      else
+        for c = 0 to k - 1 do
+          if List.for_all (fun w -> colors.(w) <> c) adj.(v) then begin
+            colors.(v) <- c;
+            assign (v + 1);
+            colors.(v) <- -1
+          end
+        done
+    in
+    assign 0;
+    !count
+  end
+
+let chromatic_number g =
+  let n = Digraph.vertex_count g in
+  let rec try_k k =
+    if k > n then invalid_arg "Coloring.chromatic_number: self-loop present"
+    else if is_colorable ~k g then k
+    else try_k (k + 1)
+  in
+  if n = 0 then 0 else try_k 1

@@ -1,0 +1,22 @@
+(** Graph colorability — the baseline for Theorem 4's constructions.
+
+    Colorings concern the underlying undirected graph: an edge (u, v) in
+    either direction forbids [color u = color v].  Self-loops make a graph
+    uncolorable. *)
+
+val find_coloring : k:int -> Digraph.t -> int array option
+(** A proper [k]-coloring (array of colors in [0..k-1]) found by
+    backtracking with most-constrained-vertex ordering, or [None]. *)
+
+val is_colorable : k:int -> Digraph.t -> bool
+
+val is_3colorable : Digraph.t -> bool
+
+val check_coloring : k:int -> Digraph.t -> int array -> bool
+(** Is the given assignment a proper [k]-coloring? *)
+
+val count_colorings : k:int -> Digraph.t -> int
+(** Number of proper [k]-colorings (exponential; small graphs only). *)
+
+val chromatic_number : Digraph.t -> int
+(** Smallest [k] with a proper [k]-coloring (0 for the empty graph). *)

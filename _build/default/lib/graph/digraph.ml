@@ -1,0 +1,79 @@
+module Edge = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module ESet = Set.Make (Edge)
+
+type t = { n : int; edge_set : ESet.t }
+
+let make n edges =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Digraph.make: edge (%d, %d) outside 0..%d" u v
+             (n - 1)))
+    edges;
+  { n; edge_set = ESet.of_list edges }
+
+let vertex_count g = g.n
+
+let edge_count g = ESet.cardinal g.edge_set
+
+let edges g = ESet.elements g.edge_set
+
+let has_edge g u v = ESet.mem (u, v) g.edge_set
+
+let succ g u =
+  ESet.fold (fun (a, b) acc -> if a = u then b :: acc else acc) g.edge_set []
+  |> List.rev
+
+let pred g v =
+  ESet.fold (fun (a, b) acc -> if b = v then a :: acc else acc) g.edge_set []
+  |> List.rev
+
+let vertices g = List.init g.n Fun.id
+
+let add_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg "Digraph.add_edge: endpoint outside vertex range";
+  { g with edge_set = ESet.add (u, v) g.edge_set }
+
+let reverse g =
+  { g with edge_set = ESet.map (fun (u, v) -> (v, u)) g.edge_set }
+
+let union g1 g2 =
+  if g1.n <> g2.n then invalid_arg "Digraph.union: vertex counts differ";
+  { n = g1.n; edge_set = ESet.union g1.edge_set g2.edge_set }
+
+let disjoint_union g1 g2 =
+  let shifted =
+    ESet.map (fun (u, v) -> (u + g1.n, v + g1.n)) g2.edge_set
+  in
+  { n = g1.n + g2.n; edge_set = ESet.union g1.edge_set shifted }
+
+let undirected_view g = union g (reverse g)
+
+let equal g1 g2 = g1.n = g2.n && ESet.equal g1.edge_set g2.edge_set
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov>graph(%d){%a}@]" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d->%d" u v))
+    (edges g)
+
+let vertex_symbol ?(universe_prefix = "v") i =
+  Relalg.Symbol.intern (universe_prefix ^ string_of_int i)
+
+let to_database ?(universe_prefix = "v") ?(pred = "e") g =
+  let sym = vertex_symbol ~universe_prefix in
+  let db =
+    Relalg.Database.create ~universe:(List.map sym (vertices g))
+  in
+  List.fold_left
+    (fun db (u, v) ->
+      Relalg.Database.add_fact pred (Relalg.Tuple.pair (sym u) (sym v)) db)
+    db (edges g)

@@ -1,0 +1,55 @@
+(** Finite directed graphs on vertices [0 .. n-1].
+
+    This is the substrate for the paper's running examples: the directed
+    paths L{_n} and cycles C{_n} of Section 2, the 3-colorability databases
+    of Theorem 4, and the graphs of the distance query of Proposition 2. *)
+
+type t
+
+val make : int -> (int * int) list -> t
+(** [make n edges] builds a graph with [n] vertices.  Duplicate edges are
+    collapsed; self-loops are allowed.
+    @raise Invalid_argument if an endpoint is outside [0 .. n-1]. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+
+val edges : t -> (int * int) list
+(** Sorted lexicographically. *)
+
+val has_edge : t -> int -> int -> bool
+
+val succ : t -> int -> int list
+(** Out-neighbours, sorted. *)
+
+val pred : t -> int -> int list
+(** In-neighbours, sorted. *)
+
+val vertices : t -> int list
+
+val add_edge : t -> int -> int -> t
+
+val reverse : t -> t
+
+val union : t -> t -> t
+(** Same vertex count required. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted past those of the first. *)
+
+val undirected_view : t -> t
+(** Adds the reverse of every edge (used by colorability, which concerns the
+    underlying undirected graph). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_database : ?universe_prefix:string -> ?pred:string -> t -> Relalg.Database.t
+(** [to_database g] encodes [g] as a database whose universe is
+    [{prefix0, ..., prefix(n-1)}] (default prefix ["v"]) with a binary
+    relation (default name ["e"]) holding the edges. *)
+
+val vertex_symbol : ?universe_prefix:string -> int -> Relalg.Symbol.t
+(** The symbol used by {!to_database} for a given vertex. *)

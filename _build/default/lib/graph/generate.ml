@@ -1,0 +1,85 @@
+let path n =
+  Digraph.make n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 1 then invalid_arg "Generate.cycle: need n >= 1";
+  let wrap = (n - 1, 0) in
+  Digraph.make n (wrap :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let disjoint_copies k g =
+  let rec loop acc i =
+    if i = k then acc else loop (Digraph.disjoint_union acc g) (i + 1)
+  in
+  if k < 1 then invalid_arg "Generate.disjoint_copies: need k >= 1";
+  loop g 1
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then edges := (u, v) :: !edges
+    done
+  done;
+  Digraph.make n !edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Digraph.make (a + b) !edges
+
+let star n =
+  Digraph.make n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Digraph.make n !edges
+
+let binary_tree depth =
+  let n = (1 lsl depth) - 1 in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    let left = (2 * v) + 1 and right = (2 * v) + 2 in
+    if left < n then edges := (v, left) :: !edges;
+    if right < n then edges := (v, right) :: !edges
+  done;
+  Digraph.make n !edges
+
+let random ~seed ~n ~p =
+  let rng = Negdl_util.Prng.create seed in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Negdl_util.Prng.float rng < p then
+        edges := (u, v) :: !edges
+    done
+  done;
+  Digraph.make n !edges
+
+let random_edges ~seed ~n ~m =
+  if m > n * (n - 1) then invalid_arg "Generate.random_edges: too many edges";
+  let rng = Negdl_util.Prng.create seed in
+  let module EdgeSet = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let rec loop acc =
+    if EdgeSet.cardinal acc = m then acc
+    else
+      let u = Negdl_util.Prng.int rng n in
+      let v = Negdl_util.Prng.int rng n in
+      if u <> v then loop (EdgeSet.add (u, v) acc) else loop acc
+  in
+  Digraph.make n (EdgeSet.elements (loop EdgeSet.empty))

@@ -1,0 +1,40 @@
+(** Graph generators for the paper's workloads.
+
+    The paper's Section 2 example uses the directed path L{_n} (vertices
+    1..n, edges i -> i+1) and the directed cycle C{_n} (same plus n -> 1);
+    G{_n} is the disjoint union of n copies of C{_n}.  We use 0-based
+    vertices throughout: L{_n} has edges i -> i+1 for 0 <= i < n-1. *)
+
+val path : int -> Digraph.t
+(** [path n] is the directed path L{_n} on [n] vertices. *)
+
+val cycle : int -> Digraph.t
+(** [cycle n] is the directed cycle C{_n} on [n] vertices ([n >= 1]). *)
+
+val disjoint_copies : int -> Digraph.t -> Digraph.t
+(** [disjoint_copies k g] is k vertex-disjoint copies of [g]. *)
+
+val complete : int -> Digraph.t
+(** [complete n] has every edge u -> v with u <> v (so its undirected view is
+    K{_n}). *)
+
+val complete_bipartite : int -> int -> Digraph.t
+(** [complete_bipartite a b]: all edges from the first [a] vertices to the
+    last [b]. *)
+
+val star : int -> Digraph.t
+(** [star n]: edges from vertex 0 to each of 1..n-1. *)
+
+val grid : int -> int -> Digraph.t
+(** [grid rows cols]: edges rightwards and downwards. *)
+
+val binary_tree : int -> Digraph.t
+(** [binary_tree depth]: complete binary tree, edges parent -> child. *)
+
+val random : seed:int -> n:int -> p:float -> Digraph.t
+(** Erdos-Renyi style digraph: each ordered pair (u, v), u <> v, is an edge
+    with probability [p], decided by a deterministic PRNG seeded with
+    [seed]. *)
+
+val random_edges : seed:int -> n:int -> m:int -> Digraph.t
+(** [random_edges ~seed ~n ~m] picks [m] distinct random edges. *)

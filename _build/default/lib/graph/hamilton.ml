@@ -1,0 +1,33 @@
+let circuits g =
+  let n = Digraph.vertex_count g in
+  if n = 0 then []
+  else begin
+    let adj = Array.make n [] in
+    List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) (Digraph.edges g);
+    let adj = Array.map (List.sort Int.compare) adj in
+    let visited = Array.make n false in
+    let found = ref [] in
+    let rec extend path u depth =
+      if depth = n then begin
+        if List.mem 0 adj.(u) then found := List.rev path :: !found
+      end
+      else
+        List.iter
+          (fun v ->
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              extend (v :: path) v (depth + 1);
+              visited.(v) <- false
+            end)
+          adj.(u)
+    in
+    visited.(0) <- true;
+    extend [ 0 ] 0 1;
+    List.rev !found
+  end
+
+let count g = List.length (circuits g)
+
+let has_circuit g = circuits g <> []
+
+let has_unique_circuit g = count g = 1

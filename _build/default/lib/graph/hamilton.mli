@@ -1,0 +1,16 @@
+(** Hamilton circuits.
+
+    The paper cites "does a graph have a unique Hamilton circuit?" as a
+    typical member of the class US; this module provides the exhaustive
+    baseline used to exercise that discussion on small graphs. *)
+
+val circuits : Digraph.t -> int list list
+(** All directed Hamilton circuits, each normalised to start at vertex 0 and
+    returned as the vertex sequence [0; v1; ...; v(n-1)] (the closing edge
+    back to 0 is implicit).  Exponential; small graphs only. *)
+
+val count : Digraph.t -> int
+
+val has_circuit : Digraph.t -> bool
+
+val has_unique_circuit : Digraph.t -> bool

@@ -1,0 +1,37 @@
+let is_kernel g k =
+  let n = Digraph.vertex_count g in
+  let in_k = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Kernel.is_kernel: bad vertex";
+      in_k.(v) <- true)
+    k;
+  let independent =
+    List.for_all
+      (fun (u, v) -> not (in_k.(u) && in_k.(v)))
+      (Digraph.edges g)
+  in
+  let absorbing =
+    List.for_all
+      (fun v ->
+        in_k.(v) || List.exists (fun w -> in_k.(w)) (Digraph.succ g v))
+      (Digraph.vertices g)
+  in
+  independent && absorbing
+
+let kernels g =
+  let n = Digraph.vertex_count g in
+  if n > 22 then
+    invalid_arg "Kernel.kernels: graph too large for exhaustive search";
+  let result = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let k =
+      List.filter (fun v -> (mask lsr v) land 1 = 1) (Digraph.vertices g)
+    in
+    if is_kernel g k then result := k :: !result
+  done;
+  List.rev !result
+
+let count g = List.length (kernels g)
+
+let has_kernel g = kernels g <> []

@@ -1,0 +1,23 @@
+(** Graph kernels (von Neumann-Morgenstern solutions).
+
+    A kernel of a digraph is an independent set K such that every vertex
+    outside K has an edge into K.  Kernels connect directly to the paper's
+    running example: T is a fixpoint of pi_1 = [T(x) <- E(y,x), not T(y)]
+    on G exactly when the complement of T is a kernel of the {e reversed}
+    graph — so the Section 2 census (unique kernel on paths, none on odd
+    cycles, two on even cycles, 2^k on disjoint even cycles) is the classic
+    kernel census.  This module is the independent combinatorial baseline
+    for that correspondence. *)
+
+val is_kernel : Digraph.t -> int list -> bool
+(** [is_kernel g k]: is the vertex set [k] independent (no edge joins two
+    of its members, in either direction within the edge set of [g]) and
+    absorbing (every vertex outside has a successor inside)? *)
+
+val kernels : Digraph.t -> int list list
+(** All kernels, by exhaustive search (vertex sets as sorted lists).
+    Exponential; refuses graphs with more than 22 vertices. *)
+
+val count : Digraph.t -> int
+
+val has_kernel : Digraph.t -> bool

@@ -1,0 +1,71 @@
+type result = { count : int; component : int array }
+
+let compute g =
+  let n = Digraph.vertex_count g in
+  let adj = Array.make n [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) (Digraph.edges g);
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp_count = ref 0 in
+  (* Iterative Tarjan with an explicit work stack to survive large graphs. *)
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          if lowlink.(w) < lowlink.(v) then lowlink.(v) <- lowlink.(w)
+        end
+        else if on_stack.(w) && index.(w) < lowlink.(v) then
+          lowlink.(v) <- index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let c = !comp_count in
+      incr comp_count;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          component.(w) <- c;
+          if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  { count = !comp_count; component }
+
+let components g =
+  let { count; component } = compute g in
+  let buckets = Array.make count [] in
+  let n = Digraph.vertex_count g in
+  for v = n - 1 downto 0 do
+    buckets.(component.(v)) <- v :: buckets.(component.(v))
+  done;
+  (* Tarjan numbers components in reverse topological order; flip it. *)
+  List.rev (Array.to_list buckets)
+
+let condensation g =
+  let { count; component } = compute g in
+  (* Renumber so that component ids increase along edges (topological). *)
+  let renumber c = count - 1 - c in
+  let mapped = Array.map renumber component in
+  let edges =
+    Digraph.edges g
+    |> List.filter_map (fun (u, v) ->
+           let cu = mapped.(u) and cv = mapped.(v) in
+           if cu = cv then None else Some (cu, cv))
+  in
+  (Digraph.make count edges, mapped)

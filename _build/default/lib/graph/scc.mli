@@ -1,0 +1,24 @@
+(** Strongly connected components (Tarjan's algorithm).
+
+    Used by the stratification analysis of Datalog programs: the strata are
+    the strongly connected components of the predicate dependency graph,
+    processed in topological order. *)
+
+type result = {
+  count : int;  (** Number of components. *)
+  component : int array;
+      (** [component.(v)] is the component index of vertex [v].  Component
+          indices are a {e reverse topological} numbering: every edge u -> v
+          between distinct components satisfies
+          [component.(u) > component.(v)]. *)
+}
+
+val compute : Digraph.t -> result
+
+val components : Digraph.t -> int list list
+(** The components as vertex lists, in topological order (sources first). *)
+
+val condensation : Digraph.t -> Digraph.t * int array
+(** The condensation graph (one vertex per component, edges between distinct
+    components, topologically numbered as in {!components}) together with
+    the vertex -> condensation-vertex map. *)

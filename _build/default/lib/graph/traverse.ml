@@ -1,0 +1,105 @@
+let adjacency g =
+  let n = Digraph.vertex_count g in
+  let adj = Array.make n [] in
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) (Digraph.edges g);
+  Array.map List.rev adj
+
+let bfs_from adj n s =
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  dist
+
+let bfs_distances g s =
+  let n = Digraph.vertex_count g in
+  if s < 0 || s >= n then invalid_arg "Traverse.bfs_distances: bad source";
+  bfs_from (adjacency g) n s
+
+let distance g u v =
+  let d = (bfs_distances g u).(v) in
+  if d < 0 then None else Some d
+
+let distance_matrix g =
+  let n = Digraph.vertex_count g in
+  let adj = adjacency g in
+  Array.init n (fun s -> bfs_from adj n s)
+
+let positive_distance g u v =
+  let n = Digraph.vertex_count g in
+  let adj = adjacency g in
+  (* Shortest non-empty path: one edge u -> w, then a possibly-empty path
+     w -> v. *)
+  let best = ref max_int in
+  List.iter
+    (fun w ->
+      let d = (bfs_from adj n w).(v) in
+      if d >= 0 && d + 1 < !best then best := d + 1)
+    adj.(u);
+  if !best = max_int then None else Some !best
+
+let transitive_closure g =
+  let n = Digraph.vertex_count g in
+  (* Warshall on the boolean adjacency matrix. *)
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> reach.(u).(v) <- true) (Digraph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if reach.(i).(j) then edges := (i, j) :: !edges
+    done
+  done;
+  Digraph.make n !edges
+
+let reachable g u v = positive_distance g u v <> None
+
+let distance_query g x y x' y' =
+  match positive_distance g x y with
+  | None -> false
+  | Some dxy -> (
+    match positive_distance g x' y' with
+    | None -> true
+    | Some dxy' -> dxy <= dxy')
+
+let topological_order g =
+  let n = Digraph.vertex_count g in
+  let adj = adjacency g in
+  let indeg = Array.make n 0 in
+  Array.iter (fun vs -> List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) vs) adj;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr seen;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      adj.(u)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let is_acyclic g = topological_order g <> None

@@ -1,0 +1,43 @@
+(** Reachability, shortest paths and transitive closure.
+
+    Reference implementations used as ground truth when checking what the
+    Datalog programs of the paper compute (transitive closure of pi_3, the
+    distance query of Proposition 2). *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** [bfs_distances g s] gives the length of a shortest directed path from
+    [s] to each vertex, or [-1] when unreachable.  [bfs_distances g s].(s)
+    is [0]. *)
+
+val distance : Digraph.t -> int -> int -> int option
+(** Shortest-path length, [None] if unreachable. *)
+
+val distance_matrix : Digraph.t -> int array array
+(** All-pairs shortest paths by repeated BFS; [-1] means unreachable. *)
+
+val transitive_closure : Digraph.t -> Digraph.t
+(** [transitive_closure g] has an edge u -> v iff there is a {e non-empty}
+    directed path from u to v in [g] (matching the Datalog transitive
+    closure program, which derives from at least one edge). *)
+
+val reachable : Digraph.t -> int -> int -> bool
+(** [reachable g u v]: is there a non-empty path from [u] to [v]? *)
+
+val positive_distance : Digraph.t -> int -> int -> int option
+(** Length of a shortest {e non-empty} path ([>= 1]), [None] if no such
+    path.  This is the stage at which the pair enters the inflationary
+    iteration of the transitive-closure program. *)
+
+val distance_query : Digraph.t -> int -> int -> int -> int -> bool
+(** [distance_query g x y x' y'] is the paper's distance query
+    D(x, y, x', y'): true iff there is a path from [x] to [y] of length <=
+    the length of every path from [x'] to [y']; in particular true whenever
+    [y] is reachable from [x] but [y'] is not reachable from [x'], and false
+    whenever [y] is unreachable from [x].  Paths here are non-empty, in line
+    with {!transitive_closure}. *)
+
+val topological_order : Digraph.t -> int list option
+(** A topological order of the vertices, or [None] if the graph has a
+    directed cycle. *)
+
+val is_acyclic : Digraph.t -> bool

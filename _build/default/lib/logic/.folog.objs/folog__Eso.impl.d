@@ -1,0 +1,1 @@
+lib/logic/eso.ml: Fo List Nnf Printf Relalg

@@ -1,0 +1,1 @@
+lib/logic/eso.mli: Fo Nnf Relalg

@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Format Hashtbl List Printf Relalg String

@@ -1,0 +1,1 @@
+lib/logic/ifp.ml: Fo List Relalg String

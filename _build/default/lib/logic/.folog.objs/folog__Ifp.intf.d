@@ -1,0 +1,1 @@
+lib/logic/ifp.mli: Fo Relalg

@@ -1,0 +1,119 @@
+module Relation = Relalg.Relation
+
+type t = {
+  second_order : (string * int) list;
+  matrix : Fo.formula;
+}
+
+(* Enumerate all valuations of the second-order variables, calling [f] on
+   each; stops early when [f] returns true and reports whether any call
+   succeeded. *)
+let exists_valuation db second_order f =
+  let universe = Relalg.Database.universe db in
+  let rec go acc = function
+    | [] -> f (List.rev acc)
+    | (name, arity) :: rest ->
+      let tuples = Relation.to_list (Relation.full universe arity) in
+      let rec subsets current = function
+        | [] -> go ((name, current) :: acc) rest
+        | tuple :: more ->
+          subsets current more
+          || subsets (Relation.add tuple current) more
+      in
+      subsets (Relation.empty arity) tuples
+  in
+  go [] second_order
+
+let fold_valuations db second_order f init =
+  let universe = Relalg.Database.universe db in
+  let acc = ref init in
+  let rec go bound = function
+    | [] -> acc := f !acc (List.rev bound)
+    | (name, arity) :: rest ->
+      let tuples = Relation.to_list (Relation.full universe arity) in
+      let rec subsets current = function
+        | [] -> go ((name, current) :: bound) rest
+        | tuple :: more ->
+          subsets current more;
+          subsets (Relation.add tuple current) more
+      in
+      subsets (Relation.empty arity) tuples
+  in
+  go [] second_order;
+  !acc
+
+let holds db s =
+  exists_valuation db s.second_order (fun extra ->
+      Fo.holds ~extra db s.matrix)
+
+let witness db s =
+  let found = ref None in
+  let _ =
+    exists_valuation db s.second_order (fun extra ->
+        if Fo.holds ~extra db s.matrix then begin
+          found := Some extra;
+          true
+        end
+        else false)
+  in
+  !found
+
+let count_witnesses db s =
+  fold_valuations db s.second_order
+    (fun n extra -> if Fo.holds ~extra db s.matrix then n + 1 else n)
+    0
+
+(* --- Skolem normal form -------------------------------------------------- *)
+
+type snf = {
+  snf_second_order : (string * int) list;
+  universals : string list;
+  existentials : string list;
+  disjuncts : Nnf.literal list list;
+}
+
+let skolem_normal_form s =
+  let prefix, matrix = Nnf.prenex s.matrix in
+  (* Check the prefix is for-all* exists*. *)
+  let rec split_prefix seen_exists univ exist = function
+    | [] -> Ok (List.rev univ, List.rev exist)
+    | Nnf.Q_forall x :: rest ->
+      if seen_exists then
+        Error
+          (Printf.sprintf
+             "prefix is not universal-then-existential: forall %s follows an \
+              existential quantifier (general Skolemization with \
+              function-graph variables is not implemented)"
+             x)
+      else split_prefix false (x :: univ) exist rest
+    | Nnf.Q_exists x :: rest -> split_prefix true univ (x :: exist) rest
+  in
+  match split_prefix false [] [] prefix with
+  | Error _ as e -> e
+  | Ok (universals, existentials) ->
+    Ok
+      {
+        snf_second_order = s.second_order;
+        universals;
+        existentials;
+        disjuncts = Nnf.dnf matrix;
+      }
+
+let skolem_normal_form_exn s =
+  match skolem_normal_form s with
+  | Ok snf -> snf
+  | Error msg -> invalid_arg ("Eso.skolem_normal_form: " ^ msg)
+
+let sentence_of_snf snf =
+  let matrix =
+    Fo.disj
+      (List.map
+         (fun c -> Fo.conj (List.map Nnf.literal_formula c))
+         snf.disjuncts)
+  in
+  {
+    second_order = snf.snf_second_order;
+    matrix = Fo.forall snf.universals (Fo.exists snf.existentials matrix);
+  }
+
+let snf_holds db snf = holds db (sentence_of_snf snf)

@@ -1,0 +1,54 @@
+(** Existential second-order logic and Skolem normal form.
+
+    By Fagin's theorem (quoted as the Theorem in Section 3), the ESO-definable
+    collections of finite databases are exactly the NP ones; Theorem 1
+    turns any ESO sentence — brought to the Skolem normal form
+    for-all x-bar exists y-bar (theta_1 \/ ... \/ theta_k) — into a
+    DATALOG-not program whose fixpoints mirror the second-order witnesses.
+    This module provides the sentence representation, an enumeration-based
+    model checker (the brute-force side of Fagin's theorem, usable on small
+    universes), and the normal-form transformation. *)
+
+type t = {
+  second_order : (string * int) list;
+      (** The existentially quantified relation variables with arities. *)
+  matrix : Fo.formula;
+      (** First-order part; may use database predicates and the
+          second-order variables. *)
+}
+
+val holds : Relalg.Database.t -> t -> bool
+(** Enumerates all values of the second-order variables (2{^ |A|^k} per
+    k-ary variable: exponential, small universes only). *)
+
+val witness :
+  Relalg.Database.t -> t -> (string * Relalg.Relation.t) list option
+(** A witnessing valuation of the second-order variables, if any. *)
+
+val count_witnesses : Relalg.Database.t -> t -> int
+
+(** {1 Skolem normal form} *)
+
+type snf = {
+  snf_second_order : (string * int) list;
+  universals : string list;
+  existentials : string list;
+  disjuncts : Nnf.literal list list;
+      (** The matrix theta_1 \/ ... \/ theta_k, each theta_i a conjunction
+          of literals. *)
+}
+
+val skolem_normal_form : t -> (snf, string) result
+(** Succeeds when the prenex form of the first-order part has a
+    universal-then-existential prefix (the common case for natural NP
+    encodings, and all the paper's examples).  A fully general
+    transformation would introduce auxiliary second-order variables for
+    function graphs; inputs needing it are rejected with an explanatory
+    error. *)
+
+val skolem_normal_form_exn : t -> snf
+
+val sentence_of_snf : snf -> t
+(** Rebuilds an ESO sentence from the normal form (for round-trip tests). *)
+
+val snf_holds : Relalg.Database.t -> snf -> bool

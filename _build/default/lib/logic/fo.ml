@@ -1,0 +1,167 @@
+module Symbol = Relalg.Symbol
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+type term =
+  | Var of string
+  | Const of Symbol.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list
+  | Equal of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+let var x = Var x
+
+let const name = Const (Symbol.intern name)
+
+let atom name args = Atom (name, args)
+
+let rec conj = function
+  | [] -> True
+  | [ f ] -> f
+  | f :: rest -> And (f, conj rest)
+
+let rec disj = function
+  | [] -> False
+  | [ f ] -> f
+  | f :: rest -> Or (f, disj rest)
+
+let exists vars f = List.fold_right (fun x acc -> Exists (x, acc)) vars f
+
+let forall vars f = List.fold_right (fun x acc -> Forall (x, acc)) vars f
+
+let term_vars = function
+  | Var x -> [ x ]
+  | Const _ -> []
+
+let rec free_variables_raw = function
+  | True | False -> []
+  | Atom (_, args) -> List.concat_map term_vars args
+  | Equal (t1, t2) -> term_vars t1 @ term_vars t2
+  | Not f -> free_variables_raw f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+    free_variables_raw f @ free_variables_raw g
+  | Exists (x, f) | Forall (x, f) ->
+    List.filter (fun y -> y <> x) (free_variables_raw f)
+
+let free_variables f = List.sort_uniq String.compare (free_variables_raw f)
+
+let predicates f =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk = function
+    | True | False | Equal _ -> ()
+    | Atom (name, args) -> (
+      let arity = List.length args in
+      match Hashtbl.find_opt table name with
+      | None -> Hashtbl.add table name arity
+      | Some k when k <> arity ->
+        invalid_arg
+          (Printf.sprintf "Fo.predicates: %s used with arities %d and %d"
+             name k arity)
+      | Some _ -> ())
+    | Not f -> walk f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      walk f;
+      walk g
+    | Exists (_, f) | Forall (_, f) -> walk f
+  in
+  walk f;
+  Hashtbl.fold (fun n a acc -> (n, a) :: acc) table []
+  |> List.sort compare
+
+let is_sentence f = free_variables f = []
+
+type env = (string * Symbol.t) list
+
+let term_value env = function
+  | Const c -> c
+  | Var x -> (
+    match List.assoc_opt x env with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Fo.eval: unbound variable %s" x))
+
+let eval ?(extra = []) db env formula =
+  let universe = Relalg.Database.universe db in
+  let relation name arity =
+    match List.assoc_opt name extra with
+    | Some r -> r
+    | None -> Relalg.Database.relation_or_empty ~arity name db
+  in
+  let rec go env = function
+    | True -> true
+    | False -> false
+    | Atom (name, args) ->
+      let tuple = Tuple.of_list (List.map (term_value env) args) in
+      let r = relation name (List.length args) in
+      if Relation.arity r <> Tuple.arity tuple then
+        invalid_arg
+          (Printf.sprintf "Fo.eval: %s has arity %d, used with %d" name
+             (Relation.arity r) (Tuple.arity tuple))
+      else Relation.mem tuple r
+    | Equal (t1, t2) -> Symbol.equal (term_value env t1) (term_value env t2)
+    | Not f -> not (go env f)
+    | And (f, g) -> go env f && go env g
+    | Or (f, g) -> go env f || go env g
+    | Implies (f, g) -> (not (go env f)) || go env g
+    | Iff (f, g) -> go env f = go env g
+    | Exists (x, f) -> List.exists (fun v -> go ((x, v) :: env) f) universe
+    | Forall (x, f) -> List.for_all (fun v -> go ((x, v) :: env) f) universe
+  in
+  go env formula
+
+let holds ?extra db f = eval ?extra db [] f
+
+let defined_relation ?extra db ~vars formula =
+  let universe = Relalg.Database.universe db in
+  let k = List.length vars in
+  let acc = ref (Relation.empty k) in
+  let rec enumerate env = function
+    | [] ->
+      if eval ?extra db env formula then
+        let tuple =
+          Tuple.of_list (List.map (fun x -> List.assoc x env) vars)
+        in
+        acc := Relation.add tuple !acc
+    | x :: rest ->
+      List.iter (fun v -> enumerate ((x, v) :: env) rest) universe
+  in
+  enumerate [] vars;
+  !acc
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Const c -> Format.pp_print_string ppf (Symbol.name c)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      args
+  | Equal (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Not f -> Format.fprintf ppf "~%a" pp_inner f
+  | And (f, g) -> Format.fprintf ppf "%a /\\ %a" pp_inner f pp_inner g
+  | Or (f, g) -> Format.fprintf ppf "%a \\/ %a" pp_inner f pp_inner g
+  | Implies (f, g) -> Format.fprintf ppf "%a -> %a" pp_inner f pp_inner g
+  | Iff (f, g) -> Format.fprintf ppf "%a <-> %a" pp_inner f pp_inner g
+  | Exists (x, f) -> Format.fprintf ppf "exists %s. %a" x pp f
+  | Forall (x, f) -> Format.fprintf ppf "forall %s. %a" x pp f
+
+and pp_inner ppf f =
+  match f with
+  | True | False | Atom _ | Equal _ | Not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,88 @@
+(** First-order logic over finite databases.
+
+    Formula evaluation under the active-domain semantics the paper uses
+    throughout: quantifiers range over the universe of the database.  The
+    evaluator accepts an extra valuation for relation symbols outside the
+    database — that is how second-order quantification ({!Eso}) and
+    fixpoint iteration ({!Ifp}) reuse it. *)
+
+type term =
+  | Var of string
+  | Const of Relalg.Symbol.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list
+  | Equal of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Iff of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+(** {1 Construction helpers} *)
+
+val var : string -> term
+
+val const : string -> term
+
+val atom : string -> term list -> formula
+
+val conj : formula list -> formula
+(** Right-nested conjunction; [conj []] is [True]. *)
+
+val disj : formula list -> formula
+(** Right-nested disjunction; [disj []] is [False]. *)
+
+val exists : string list -> formula -> formula
+
+val forall : string list -> formula -> formula
+
+(** {1 Queries} *)
+
+val free_variables : formula -> string list
+(** Sorted, without duplicates. *)
+
+val predicates : formula -> (string * int) list
+(** Relation symbols used, with arities, sorted; inconsistent use raises
+    [Invalid_argument]. *)
+
+val is_sentence : formula -> bool
+
+(** {1 Evaluation} *)
+
+type env = (string * Relalg.Symbol.t) list
+(** Variable assignment (later entries shadow earlier ones). *)
+
+val eval :
+  ?extra:(string * Relalg.Relation.t) list ->
+  Relalg.Database.t ->
+  env ->
+  formula ->
+  bool
+(** [eval ~extra db env phi]: truth of [phi] in [db] extended with the
+    [extra] relations, under [env].
+    @raise Invalid_argument on an unbound variable or arity mismatch. *)
+
+val holds :
+  ?extra:(string * Relalg.Relation.t) list ->
+  Relalg.Database.t ->
+  formula ->
+  bool
+(** Evaluation of a sentence (empty environment). *)
+
+val defined_relation :
+  ?extra:(string * Relalg.Relation.t) list ->
+  Relalg.Database.t ->
+  vars:string list ->
+  formula ->
+  Relalg.Relation.t
+(** [defined_relation db ~vars phi] is the relation
+    {a-bar : D |= phi(a-bar)} with components in the order of [vars]. *)
+
+val pp : Format.formatter -> formula -> unit
+
+val to_string : formula -> string

@@ -1,0 +1,54 @@
+module Relation = Relalg.Relation
+
+type operator = {
+  pred : string;
+  vars : string list;
+  body : Fo.formula;
+}
+
+let apply ?(extra = []) db op s =
+  Fo.defined_relation ~extra:((op.pred, s) :: extra) db ~vars:op.vars op.body
+
+let arity op = List.length op.vars
+
+let step db ops current =
+  List.map
+    (fun op ->
+      let s = List.assoc op.pred current in
+      let derived = apply ~extra:current db op s in
+      (op.pred, Relation.union s derived))
+    ops
+
+let equal_valuations v1 v2 =
+  List.for_all2
+    (fun (n1, r1) (n2, r2) -> String.equal n1 n2 && Relation.equal r1 r2)
+    v1 v2
+
+let stages db ops =
+  let start = List.map (fun op -> (op.pred, Relation.empty (arity op))) ops in
+  let rec loop current acc =
+    let next = step db ops current in
+    if equal_valuations current next then List.rev acc
+    else loop next (next :: acc)
+  in
+  loop start [ start ]
+
+let simultaneous db ops =
+  match List.rev (stages db ops) with
+  | last :: _ -> last
+  | [] -> []
+
+let inflationary_fixpoint db op =
+  List.assoc op.pred (simultaneous db [ op ])
+
+let partial_fixpoint ?(max_steps = 10000) db op =
+  let rec loop seen current step =
+    if step > max_steps then
+      invalid_arg "Ifp.partial_fixpoint: max_steps exceeded"
+    else
+      let next = apply db op current in
+      if Relation.equal next current then Some current
+      else if List.exists (Relation.equal next) seen then None
+      else loop (next :: seen) next (step + 1)
+  in
+  loop [ Relation.empty (arity op) ] (Relation.empty (arity op)) 1

@@ -1,0 +1,57 @@
+(** FO+IFP: first-order logic with inflationary fixpoints (Gurevich-Shelah).
+
+    An operator is a first-order formula phi(x-bar, S) with a distinguished
+    relation variable S; it maps a relation S to
+    H(S) = {a-bar : D, S |= phi(a-bar, S)}.  Its {e inflationary} iteration
+    H-tilde(S) = S union H(S), started at the empty relation, reaches the
+    inductive fixpoint within |A|{^ k} stages.  Section 4 defines
+    Inflationary DATALOG as exactly this construction with existential
+    first-order operators, iterated simultaneously — the correspondence
+    stated as Proposition 1 and implemented in [Reductions.Prop1]. *)
+
+type operator = {
+  pred : string;  (** The relation variable S. *)
+  vars : string list;  (** x-bar: the tuple of free first-order variables. *)
+  body : Fo.formula;
+      (** phi(x-bar, S); may also use database predicates, and — in a
+          simultaneous system — the other operators' predicates. *)
+}
+
+val apply :
+  ?extra:(string * Relalg.Relation.t) list ->
+  Relalg.Database.t ->
+  operator ->
+  Relalg.Relation.t ->
+  Relalg.Relation.t
+(** One application H(S) (not inflationary). *)
+
+val inflationary_fixpoint :
+  Relalg.Database.t -> operator -> Relalg.Relation.t
+(** The inductive fixpoint of the single operator. *)
+
+val simultaneous :
+  Relalg.Database.t -> operator list -> (string * Relalg.Relation.t) list
+(** Simultaneous inflationary induction over a system of operators, as in
+    the multi-predicate case of Section 4: at each stage every operator is
+    applied to the current joint valuation and the results are accumulated.
+    Returns the limit valuation, keyed by predicate. *)
+
+val stages :
+  Relalg.Database.t -> operator list -> (string * Relalg.Relation.t) list list
+(** The successive joint valuations S{^ 1}, S{^ 2}, ..., ending with the
+    fixpoint (the last two entries are equal only if the iteration is
+    non-trivial; the list is the increasing chain without repetition). *)
+
+val partial_fixpoint :
+  ?max_steps:int ->
+  Relalg.Database.t ->
+  operator ->
+  Relalg.Relation.t option
+(** FO+PFP's building block: iterate the {e plain} operator H (without the
+    inflationary union) from the empty relation; [Some] the first repeated
+    value when the orbit reaches a fixpoint, [None] when it enters a
+    non-trivial cycle — the convention partial-fixpoint logic uses for
+    "undefined".  Unlike the inflationary iteration this can take
+    exponentially many steps, which is why FO+PFP captures PSPACE rather
+    than PTIME; [max_steps] (default 10000) guards the loop and raises
+    [Invalid_argument] when exceeded. *)

@@ -1,0 +1,121 @@
+open Fo
+
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | (Atom _ | Equal _) as f -> f
+  | Implies (f, g) -> nnf (Or (Not f, g))
+  | Iff (f, g) -> nnf (Or (And (f, g), And (Not f, Not g)))
+  | And (f, g) -> And (nnf f, nnf g)
+  | Or (f, g) -> Or (nnf f, nnf g)
+  | Exists (x, f) -> Exists (x, nnf f)
+  | Forall (x, f) -> Forall (x, nnf f)
+  | Not f -> (
+    match f with
+    | True -> False
+    | False -> True
+    | Atom _ | Equal _ -> Not f
+    | Not g -> nnf g
+    | And (g, h) -> Or (nnf (Not g), nnf (Not h))
+    | Or (g, h) -> And (nnf (Not g), nnf (Not h))
+    | Implies (g, h) -> And (nnf g, nnf (Not h))
+    | Iff (g, h) -> nnf (Or (And (g, Not h), And (Not g, h)))
+    | Exists (x, g) -> Forall (x, nnf (Not g))
+    | Forall (x, g) -> Exists (x, nnf (Not g)))
+
+type quantifier =
+  | Q_forall of string
+  | Q_exists of string
+
+(* Substitute a variable by another variable in terms/formulas (used only
+   with fresh targets, so no capture is possible). *)
+let subst_term x y = function
+  | Var z when z = x -> Var y
+  | t -> t
+
+let rec subst x y = function
+  | True -> True
+  | False -> False
+  | Atom (n, args) -> Atom (n, List.map (subst_term x y) args)
+  | Equal (t1, t2) -> Equal (subst_term x y t1, subst_term x y t2)
+  | Not f -> Not (subst x y f)
+  | And (f, g) -> And (subst x y f, subst x y g)
+  | Or (f, g) -> Or (subst x y f, subst x y g)
+  | Implies (f, g) -> Implies (subst x y f, subst x y g)
+  | Iff (f, g) -> Iff (subst x y f, subst x y g)
+  | Exists (z, f) -> if z = x then Exists (z, f) else Exists (z, subst x y f)
+  | Forall (z, f) -> if z = x then Forall (z, f) else Forall (z, subst x y f)
+
+let prenex formula =
+  let counter = ref 0 in
+  let fresh x =
+    incr counter;
+    Printf.sprintf "%s'%d" x !counter
+  in
+  let rec pull = function
+    | (True | False | Atom _ | Equal _ | Not _) as f -> ([], f)
+    | Exists (x, f) ->
+      let x' = fresh x in
+      let prefix, matrix = pull (subst x x' f) in
+      (Q_exists x' :: prefix, matrix)
+    | Forall (x, f) ->
+      let x' = fresh x in
+      let prefix, matrix = pull (subst x x' f) in
+      (Q_forall x' :: prefix, matrix)
+    | And (f, g) ->
+      let pf, mf = pull f in
+      let pg, mg = pull g in
+      (pf @ pg, And (mf, mg))
+    | Or (f, g) ->
+      let pf, mf = pull f in
+      let pg, mg = pull g in
+      (pf @ pg, Or (mf, mg))
+    | Implies _ | Iff _ -> assert false (* eliminated by nnf *)
+  in
+  pull (nnf formula)
+
+type literal =
+  | L_atom of bool * string * Fo.term list
+  | L_equal of bool * Fo.term * Fo.term
+
+let literal_formula = function
+  | L_atom (true, n, args) -> Atom (n, args)
+  | L_atom (false, n, args) -> Not (Atom (n, args))
+  | L_equal (true, t1, t2) -> Equal (t1, t2)
+  | L_equal (false, t1, t2) -> Not (Equal (t1, t2))
+
+let negate_literal = function
+  | L_atom (b, n, args) -> L_atom (not b, n, args)
+  | L_equal (b, t1, t2) -> L_equal (not b, t1, t2)
+
+let contradictory conjunction =
+  List.exists
+    (fun l -> List.mem (negate_literal l) conjunction)
+    conjunction
+
+let dnf formula =
+  let rec go = function
+    | True -> [ [] ]
+    | False -> []
+    | Atom (n, args) -> [ [ L_atom (true, n, args) ] ]
+    | Equal (t1, t2) -> [ [ L_equal (true, t1, t2) ] ]
+    | Not (Atom (n, args)) -> [ [ L_atom (false, n, args) ] ]
+    | Not (Equal (t1, t2)) -> [ [ L_equal (false, t1, t2) ] ]
+    | Not _ -> assert false (* NNF *)
+    | Or (f, g) -> go f @ go g
+    | And (f, g) ->
+      let df = go f and dg = go g in
+      List.concat_map (fun cf -> List.map (fun cg -> cf @ cg) dg) df
+    | Implies _ | Iff _ -> assert false (* NNF *)
+    | Exists _ | Forall _ ->
+      invalid_arg "Nnf.dnf: formula is not quantifier-free"
+  in
+  let dedup_conj c =
+    List.fold_left (fun acc l -> if List.mem l acc then acc else acc @ [ l ]) [] c
+  in
+  go (nnf formula)
+  |> List.map dedup_conj
+  |> List.filter (fun c -> not (contradictory c))
+
+let dnf_formula formula =
+  disj (List.map (fun c -> conj (List.map literal_formula c)) (dnf formula))

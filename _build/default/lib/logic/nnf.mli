@@ -1,0 +1,37 @@
+(** Normal forms: negation normal form, prenex form, disjunctive normal
+    form.
+
+    These are the syntactic transformations behind the proof of Theorem 1:
+    bring the first-order part of an existential second-order sentence to
+    prenex form, check the prefix is universal-then-existential, put the
+    matrix in DNF, and read each disjunct off as a Datalog rule body. *)
+
+val nnf : Fo.formula -> Fo.formula
+(** Eliminates [Implies]/[Iff] and pushes negation to the atoms. *)
+
+type quantifier =
+  | Q_forall of string
+  | Q_exists of string
+
+val prenex : Fo.formula -> quantifier list * Fo.formula
+(** Prenex form of a sentence (or formula; free variables are left alone).
+    Bound variables are renamed apart ([x], [x'1], [x'2], ...) so
+    extraction cannot capture.  The returned matrix is quantifier-free and
+    in NNF. *)
+
+type literal =
+  | L_atom of bool * string * Fo.term list
+      (** [(polarity, predicate, arguments)]; [false] = negated. *)
+  | L_equal of bool * Fo.term * Fo.term
+
+val literal_formula : literal -> Fo.formula
+
+val dnf : Fo.formula -> literal list list
+(** DNF of a quantifier-free formula as a list of conjunctions of literals.
+    Tautological conjunctions (containing both a literal and its negation)
+    are dropped; the empty list means the formula is unsatisfiable, a list
+    containing an empty conjunction covers everything.
+    @raise Invalid_argument on a quantified formula. *)
+
+val dnf_formula : Fo.formula -> Fo.formula
+(** The DNF re-assembled as a formula (for display and round-trip tests). *)

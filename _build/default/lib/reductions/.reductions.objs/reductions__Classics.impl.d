@@ -1,0 +1,1 @@
+lib/reductions/classics.ml: Datalog Distance

@@ -1,0 +1,1 @@
+lib/reductions/coloring.ml: Array Datalog Evallib Fixpointlib Graphlib Printf Relalg

@@ -1,0 +1,1 @@
+lib/reductions/coloring.mli: Datalog Evallib Fixpointlib Graphlib

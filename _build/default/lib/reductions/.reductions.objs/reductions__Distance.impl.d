@@ -1,0 +1,1 @@
+lib/reductions/distance.ml: Datalog Evallib Graphlib Relalg

@@ -1,0 +1,1 @@
+lib/reductions/distance.mli: Datalog Graphlib Relalg

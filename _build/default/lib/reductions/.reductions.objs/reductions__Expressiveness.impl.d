@@ -1,0 +1,1 @@
+lib/reductions/expressiveness.ml: Distance Evallib Graphlib List Negdl_util Relalg

@@ -1,0 +1,1 @@
+lib/reductions/expressiveness.mli: Datalog Graphlib Relalg

@@ -1,0 +1,1 @@
+lib/reductions/fagin.ml: Datalog Fixpointlib Folog List Printf String Toggle

@@ -1,0 +1,1 @@
+lib/reductions/fagin.mli: Datalog Folog Relalg

@@ -1,0 +1,1 @@
+lib/reductions/fixpoint_formula.ml: Datalog Evallib Folog List Prop1 Relalg

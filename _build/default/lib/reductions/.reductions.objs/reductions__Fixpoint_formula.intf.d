@@ -1,0 +1,1 @@
+lib/reductions/fixpoint_formula.mli: Datalog Evallib Folog Relalg

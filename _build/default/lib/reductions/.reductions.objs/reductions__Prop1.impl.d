@@ -1,0 +1,1 @@
+lib/reductions/prop1.ml: Datalog Evallib Folog List Printf Relalg String

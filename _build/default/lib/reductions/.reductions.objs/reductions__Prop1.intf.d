@@ -1,0 +1,1 @@
+lib/reductions/prop1.mli: Datalog Folog Relalg

@@ -1,0 +1,1 @@
+lib/reductions/sat_db.ml: Array Datalog Evallib Fixpointlib List Printf Relalg Satlib Toggle

@@ -1,0 +1,1 @@
+lib/reductions/sat_db.mli: Datalog Evallib Fixpointlib Relalg Satlib

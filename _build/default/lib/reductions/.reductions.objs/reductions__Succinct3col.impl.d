@@ -1,0 +1,1 @@
+lib/reductions/succinct3col.ml: Array Circuitlib Datalog Fixpointlib Hashtbl List Printf Relalg

@@ -1,0 +1,1 @@
+lib/reductions/succinct3col.mli: Circuitlib Datalog Fixpointlib Relalg

@@ -1,0 +1,1 @@
+lib/reductions/toggle.mli: Datalog

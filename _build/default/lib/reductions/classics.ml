@@ -1,0 +1,41 @@
+let parse = Datalog.Parser.parse_program_exn
+
+let pi1 = parse "t(X) :- e(Y, X), !t(Y)."
+
+let pi2 =
+  parse
+    "s1(X, Y) :- e(X, Y).\n\
+     s1(X, Y) :- e(X, Z), s1(Z, Y).\n\
+     s2(X, Y, Z, W) :- s1(X, Y), !s1(Z, W)."
+
+let transitive_closure =
+  parse "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+let toggle = parse "t(Z) :- !t(W)."
+
+let win_move = parse "win(X) :- e(X, Y), !win(Y)."
+
+let same_generation =
+  parse
+    "sg(X, Y) :- flat(X, Y).\n\
+     sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."
+
+let reach_unreach =
+  parse
+    "reach(X) :- source(X).\n\
+     reach(Y) :- reach(X), e(X, Y).\n\
+     unreach(X) :- node(X), !reach(X)."
+
+let distance = Distance.program
+
+let all =
+  [
+    ("pi1", pi1);
+    ("pi2", pi2);
+    ("tc", transitive_closure);
+    ("toggle", toggle);
+    ("win_move", win_move);
+    ("same_generation", same_generation);
+    ("reach_unreach", reach_unreach);
+    ("distance", distance);
+  ]

@@ -1,0 +1,36 @@
+(** The classic programs, ready-made.
+
+    Every program the paper (or the folklore around it) names, as parsed
+    values — so examples, tests and downstream users do not have to retype
+    them.  All use the repository's concrete syntax conventions (predicates
+    lowercase, variables uppercase, EDB relation [e] for edges). *)
+
+val pi1 : Datalog.Ast.program
+(** Section 2's running example: [t(X) :- e(Y, X), !t(Y).] *)
+
+val pi2 : Datalog.Ast.program
+(** Section 2's two-predicate example: transitive closure s1 plus
+    [s2(X, Y, Z, W) :- s1(X, Y), !s1(Z, W).] *)
+
+val transitive_closure : Datalog.Ast.program
+(** Section 2's pi_3, head predicate [s]. *)
+
+val toggle : Datalog.Ast.program
+(** [t(Z) :- !t(W).] — no fixpoint on any non-empty universe. *)
+
+val win_move : Datalog.Ast.program
+(** [win(X) :- e(X, Y), !win(Y).] — the game program. *)
+
+val same_generation : Datalog.Ast.program
+(** The classic same-generation program over [up]/[flat]/[down]. *)
+
+val reach_unreach : Datalog.Ast.program
+(** Reachability from [source] plus its stratified complement:
+    [reach]/[unreach] over [e], [source], [node]. *)
+
+val distance : Datalog.Ast.program
+(** Proposition 2's 6-rule distance program (alias of
+    [Distance.program]). *)
+
+val all : (string * Datalog.Ast.program) list
+(** Every program above with a short name, for table-driven tests. *)

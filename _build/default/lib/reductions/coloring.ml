@@ -1,0 +1,49 @@
+open Datalog.Dsl
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+let copy p = (p, [ v "X" ]) <-- [ pos p [ v "X" ] ]
+
+let monochromatic color =
+  ("p", [ v "X" ])
+  <-- [ pos "e" [ v "X"; v "Y" ]; pos color [ v "X" ]; pos color [ v "Y" ] ]
+
+let two_colors c1 c2 = ("p", [ v "X" ]) <-- [ pos c1 [ v "X" ]; pos c2 [ v "X" ] ]
+
+let program =
+  prog
+    [
+      copy "r";
+      copy "b";
+      copy "g";
+      monochromatic "r";
+      monochromatic "b";
+      monochromatic "g";
+      two_colors "g" "b";
+      two_colors "b" "r";
+      two_colors "r" "g";
+      ("p", [ v "X" ]) <-- [ neg "r" [ v "X" ]; neg "b" [ v "X" ]; neg "g" [ v "X" ] ];
+      ("t", [ v "Z" ]) <-- [ pos "p" [ v "X" ]; neg "t" [ v "W" ] ];
+    ]
+
+let solver g =
+  Fixpointlib.Solve.prepare program (Graphlib.Digraph.to_database g)
+
+let has_fixpoint g = Fixpointlib.Solve.exists (solver g)
+
+let coloring_of_fixpoint g fp =
+  let module Idb = Evallib.Idb in
+  let has color vertex =
+    Idb.mem fp color
+    && Relation.mem
+         (Tuple.singleton (Graphlib.Digraph.vertex_symbol vertex))
+         (Idb.get fp color)
+  in
+  Array.init (Graphlib.Digraph.vertex_count g) (fun vertex ->
+      if has "r" vertex then 0
+      else if has "b" vertex then 1
+      else if has "g" vertex then 2
+      else
+        invalid_arg
+          (Printf.sprintf "Coloring.coloring_of_fixpoint: vertex %d uncolored"
+             vertex))

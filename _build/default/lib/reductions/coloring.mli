@@ -1,0 +1,34 @@
+(** Lemma 1: the 3-colorability program pi_COL.
+
+    The fixed 11-rule program over an edge relation [e]:
+
+    {v
+    r(X) :- r(X).    b(X) :- b(X).    g(X) :- g(X).
+    p(X) :- e(X, Y), r(X), r(Y).
+    p(X) :- e(X, Y), b(X), b(Y).
+    p(X) :- e(X, Y), g(X), g(Y).
+    p(X) :- g(X), b(X).
+    p(X) :- b(X), r(X).
+    p(X) :- r(X), g(X).
+    p(X) :- !r(X), !b(X), !g(X).
+    t(Z) :- p(X), !t(W).
+    v}
+
+    The first three rules make the colors guessable; the next six punish a
+    monochromatic edge or a doubly-colored node, the tenth an uncolored
+    node, and the last rule destroys every fixpoint in which the penalty
+    relation [p] is non-empty.  (pi_COL, D) has a fixpoint iff the graph in
+    [e] is 3-colorable, and the fixpoints are exactly the proper
+    3-colorings. *)
+
+val program : Datalog.Ast.program
+
+val solver : Graphlib.Digraph.t -> Fixpointlib.Solve.t
+(** Fixpoint searcher on (pi_COL, the graph's database). *)
+
+val has_fixpoint : Graphlib.Digraph.t -> bool
+
+val coloring_of_fixpoint :
+  Graphlib.Digraph.t -> Evallib.Idb.t -> int array
+(** Reads a coloring off a fixpoint: 0 = r, 1 = b, 2 = g.
+    @raise Invalid_argument if some vertex has no color in the fixpoint. *)

@@ -1,0 +1,49 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Digraph = Graphlib.Digraph
+module Traverse = Graphlib.Traverse
+
+let program =
+  Datalog.Parser.parse_program_exn
+    "s1(X, Y) :- e(X, Y).\n\
+     s1(X, Y) :- e(X, Z), s1(Z, Y).\n\
+     s2(Xs, Ys) :- e(Xs, Ys).\n\
+     s2(Xs, Ys) :- e(Xs, Zs), s2(Zs, Ys).\n\
+     s3(X, Y, Xs, Ys) :- e(X, Y), !s2(Xs, Ys).\n\
+     s3(X, Y, Xs, Ys) :- e(X, Z), s1(Z, Y), !s2(Xs, Ys)."
+
+let carrier = "s3"
+
+let inflationary g =
+  Evallib.Inflationary.carrier program ~carrier (Digraph.to_database g)
+
+let stratified g =
+  Evallib.Idb.get
+    (Evallib.Stratified.eval_exn program (Digraph.to_database g))
+    carrier
+
+let vsym = Digraph.vertex_symbol
+
+let quad x y x' y' =
+  Tuple.of_list [ vsym x; vsym y; vsym x'; vsym y' ]
+
+let fold_quads g f =
+  let n = Digraph.vertex_count g in
+  let acc = ref (Relation.empty 4) in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for x' = 0 to n - 1 do
+        for y' = 0 to n - 1 do
+          if f x y x' y' then acc := Relation.add (quad x y x' y') !acc
+        done
+      done
+    done
+  done;
+  !acc
+
+let reference g = fold_quads g (fun x y x' y' -> Traverse.distance_query g x y x' y')
+
+let reference_stratified g =
+  let tc = Traverse.transitive_closure g in
+  fold_quads g (fun x y x' y' ->
+      Digraph.has_edge tc x y && not (Digraph.has_edge tc x' y'))

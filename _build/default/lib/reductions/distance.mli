@@ -1,0 +1,44 @@
+(** Proposition 2: the distance query, where inflationary and stratified
+    semantics part ways.
+
+    The 6-rule program with carrier [s3]:
+
+    {v
+    s1(X, Y)  :- e(X, Y).
+    s1(X, Y)  :- e(X, Z), s1(Z, Y).
+    s2(Xs, Ys) :- e(Xs, Ys).
+    s2(Xs, Ys) :- e(Xs, Zs), s2(Zs, Ys).
+    s3(X, Y, Xs, Ys) :- e(X, Y), !s2(Xs, Ys).
+    s3(X, Y, Xs, Ys) :- e(X, Z), s1(Z, Y), !s2(Xs, Ys).
+    v}
+
+    Under {e inflationary} semantics the two transitive-closure copies grow
+    level by level, and at stage n+1 the carrier admits (x, y, x', y')
+    exactly when dist(x, y) <= n+1 and dist(x', y') > n, so the limit is
+    the distance query D(x, y, x', y'): "some path x -> y is no longer than
+    every path x' -> y'".  Read as a {e stratified} program (it is
+    stratifiable: the negation is not recursive) the same text computes
+    TC(x, y) /\ not TC(x', y') instead.  The distance query is neither
+    first-order nor positive-DATALOG definable (it is not monotone), so
+    this single program separates Inflationary DATALOG from DATALOG and
+    witnesses that inflationary and stratified semantics differ. *)
+
+val program : Datalog.Ast.program
+
+val carrier : string
+(** ["s3"]. *)
+
+val inflationary : Graphlib.Digraph.t -> Relalg.Relation.t
+(** The carrier under inflationary semantics — the distance query. *)
+
+val stratified : Graphlib.Digraph.t -> Relalg.Relation.t
+(** The carrier under stratified semantics — TC /\ not TC. *)
+
+val reference : Graphlib.Digraph.t -> Relalg.Relation.t
+(** The distance query computed from BFS distances (ground truth). *)
+
+val reference_stratified : Graphlib.Digraph.t -> Relalg.Relation.t
+(** TC(x, y) /\ not TC(x', y') computed from Warshall closure. *)
+
+val quad : int -> int -> int -> int -> Relalg.Tuple.t
+(** The tuple (vx, vy, vx', vy') in the graph-database encoding. *)

@@ -1,0 +1,39 @@
+module Relation = Relalg.Relation
+module Digraph = Graphlib.Digraph
+
+let is_monotone_between ~query db db' =
+  Relation.subset (query db) (query db')
+
+let monotonicity_trials ~seed ~trials ~query =
+  let rng = Negdl_util.Prng.create seed in
+  let preserved = ref 0 in
+  let violated = ref 0 in
+  for _ = 1 to trials do
+    let n = 3 + Negdl_util.Prng.int rng 3 in
+    let g =
+      Graphlib.Generate.random ~seed:(Negdl_util.Prng.int rng 100000) ~n
+        ~p:0.3
+    in
+    let u = Negdl_util.Prng.int rng n and v = Negdl_util.Prng.int rng n in
+    if u <> v && not (Digraph.has_edge g u v) then begin
+      let g' = Digraph.add_edge g u v in
+      if Relation.subset (query g) (query g') then incr preserved
+      else incr violated
+    end
+  done;
+  (!preserved, !violated)
+
+let distance_witness () =
+  (* G: two disjoint 2-edge paths 0->1->2 and 3->4->5.  The quadruple
+     (0, 2, 3, 5) is in D(G): dist(0,2) = 2 <= dist(3,5) = 2.  Adding the
+     shortcut 3->5 makes dist(3,5) = 1 < 2, expelling the quadruple. *)
+  let g = Digraph.make 6 [ (0, 1); (1, 2); (3, 4); (4, 5) ] in
+  let g' = Digraph.add_edge g 3 5 in
+  (g, g', Distance.quad 0 2 3 5)
+
+let stage_counts p ~make_db sizes =
+  List.map
+    (fun n ->
+      let trace = Evallib.Inflationary.eval_trace p (make_db n) in
+      List.length trace.Evallib.Saturate.deltas)
+    sizes

@@ -1,0 +1,43 @@
+(** Empirical footholds for the Section 5 expressiveness picture:
+
+    DATALOG < Stratified < Inflationary DATALOG = FP = FO+IFP.
+
+    Non-expressibility cannot be "run", but its witnesses can:
+
+    - positive DATALOG defines only {e monotone} queries, and the distance
+      query of Proposition 2 is not monotone — {!distance_witness} exhibits
+      a concrete graph pair G, G' with G contained in G' and a quadruple
+      in D(G) that leaves D(G');
+    - first-order queries stabilise in a bounded number of inflationary
+      stages, and the distance program's stage count grows with the path
+      length — {!stage_counts} measures it (contrast with pi_1, whose
+      inflationary semantics is first-order and stabilises in one
+      stage). *)
+
+val is_monotone_between :
+  query:(Relalg.Database.t -> Relalg.Relation.t) ->
+  Relalg.Database.t ->
+  Relalg.Database.t ->
+  bool
+(** [is_monotone_between ~query db db'] — for [db] included in [db']: does
+    [query db] stay included in [query db']? *)
+
+val monotonicity_trials :
+  seed:int ->
+  trials:int ->
+  query:(Graphlib.Digraph.t -> Relalg.Relation.t) ->
+  int * int
+(** Random trials: generate a graph, add one random edge, test inclusion of
+    the query results.  Returns (preserved, violated) counts. *)
+
+val distance_witness :
+  unit ->
+  Graphlib.Digraph.t * Graphlib.Digraph.t * Relalg.Tuple.t
+(** A concrete non-monotonicity witness for the distance query: graphs
+    G within G' and a quadruple in D(G) but not in D(G') — adding an edge
+    shortens the comparison pair.  Checked by the tests and the harness. *)
+
+val stage_counts :
+  Datalog.Ast.program -> make_db:(int -> Relalg.Database.t) -> int list -> int list
+(** Number of inflationary stages on a family of databases, one entry per
+    requested size. *)

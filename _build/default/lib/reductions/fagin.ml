@@ -1,0 +1,96 @@
+module Ast = Datalog.Ast
+
+type compiled = {
+  program : Ast.program;
+  q_pred : string;
+  t_pred : string;
+  so_preds : (string * string) list;
+}
+
+let fresh_name base used =
+  let rec try_name candidate =
+    if List.mem candidate used then try_name (candidate ^ "_f")
+    else candidate
+  in
+  try_name base
+
+let compile (snf : Folog.Eso.snf) =
+  let so_preds =
+    List.map
+      (fun (name, _arity) -> (name, String.lowercase_ascii name))
+      snf.Folog.Eso.snf_second_order
+  in
+  let matrix_preds =
+    List.concat_map
+      (fun conj ->
+        List.filter_map
+          (function
+            | Folog.Nnf.L_atom (_, p, _) -> Some p
+            | Folog.Nnf.L_equal _ -> None)
+          conj)
+      snf.Folog.Eso.disjuncts
+  in
+  let used = List.map snd so_preds @ matrix_preds in
+  let q_pred = fresh_name "q" used in
+  let t_pred = fresh_name "t" (q_pred :: used) in
+  (* First-order variables get clean uppercase names. *)
+  let var_map =
+    List.mapi
+      (fun i x -> (x, Printf.sprintf "V%d" (i + 1)))
+      (snf.Folog.Eso.universals @ snf.Folog.Eso.existentials)
+  in
+  let term = function
+    | Folog.Fo.Var x -> (
+      match List.assoc_opt x var_map with
+      | Some x' -> Ast.Var x'
+      | None -> Ast.Var x)
+    | Folog.Fo.Const c -> Ast.Const c
+  in
+  let pred_name p =
+    match List.assoc_opt p so_preds with
+    | Some p' -> p'
+    | None -> p
+  in
+  let literal = function
+    | Folog.Nnf.L_atom (true, p, args) ->
+      Ast.Pos (Ast.atom (pred_name p) (List.map term args))
+    | Folog.Nnf.L_atom (false, p, args) ->
+      Ast.Neg (Ast.atom (pred_name p) (List.map term args))
+    | Folog.Nnf.L_equal (true, t1, t2) -> Ast.Eq (term t1, term t2)
+    | Folog.Nnf.L_equal (false, t1, t2) -> Ast.Neq (term t1, term t2)
+  in
+  let copy_rules =
+    List.map
+      (fun (name, arity) ->
+        let p = pred_name name in
+        let args = List.init arity (fun i -> Ast.Var (Printf.sprintf "U%d" (i + 1))) in
+        Ast.rule (Ast.atom p args) [ Ast.Pos (Ast.atom p args) ])
+      snf.Folog.Eso.snf_second_order
+  in
+  let q_args =
+    List.map (fun x -> Ast.Var (List.assoc x var_map)) snf.Folog.Eso.universals
+  in
+  let q_rules =
+    List.map
+      (fun conj -> Ast.rule (Ast.atom q_pred q_args) (List.map literal conj))
+      snf.Folog.Eso.disjuncts
+  in
+  let toggle =
+    Toggle.guarded ~t:t_pred ~guard:q_pred
+      ~guard_arity:(List.length snf.Folog.Eso.universals)
+      ()
+  in
+  {
+    program = Ast.program (copy_rules @ q_rules @ [ toggle ]);
+    q_pred;
+    t_pred;
+    so_preds;
+  }
+
+let compile_sentence sentence =
+  match Folog.Eso.skolem_normal_form sentence with
+  | Error _ as e -> e
+  | Ok snf -> Ok (compile snf)
+
+let has_fixpoint compiled db =
+  Fixpointlib.Solve.exists (Fixpointlib.Solve.prepare compiled.program db)

@@ -1,0 +1,35 @@
+(** Theorem 1: compiling an NP property to a DATALOG-not program.
+
+    Given an existential second-order sentence in Skolem normal form
+    exists S-bar forall x-bar exists y-bar (theta_1 \/ ... \/ theta_k),
+    emit the program pi_C of the proof of Theorem 1:
+
+    - a copy rule [sj(u-bar) :- sj(u-bar)] per second-order variable, whose
+      only purpose is to make sj a nondatabase relation (so a fixpoint can
+      hold an arbitrary guessed value for it);
+    - a rule [q(x-bar) :- theta_i] per disjunct, so that on a fixpoint
+      q = A{^ |x-bar|} iff the guessed relations witness the sentence;
+    - the guarded toggle [t(Z) :- !q(u-bar), !t(W)], which destroys every
+      fixpoint in which q is not full.
+
+    For any database D over the original vocabulary, (pi_C, D) has a
+    fixpoint iff D satisfies the sentence. *)
+
+type compiled = {
+  program : Datalog.Ast.program;
+  q_pred : string;  (** The "coverage" predicate; arity = #universals. *)
+  t_pred : string;  (** The toggle predicate. *)
+  so_preds : (string * string) list;
+      (** Second-order variable -> IDB predicate name. *)
+}
+
+val compile : Folog.Eso.snf -> compiled
+(** Predicate names are lowercased second-order variable names; [q]/[t] get
+    primes appended if those names collide with anything in the sentence. *)
+
+val compile_sentence : Folog.Eso.t -> (compiled, string) result
+(** Convenience: Skolemize then compile; fails when the prefix is not
+    universal-then-existential (see {!Folog.Eso.skolem_normal_form}). *)
+
+val has_fixpoint : compiled -> Relalg.Database.t -> bool
+(** Runs the SAT-backed fixpoint searcher on (pi_C, D). *)

@@ -1,0 +1,31 @@
+module Fo = Folog.Fo
+module Ifp = Folog.Ifp
+module Eso = Folog.Eso
+module Ast = Datalog.Ast
+
+let formula p =
+  let operators = Prop1.operators_of_program p in
+  Fo.conj
+    (List.map
+       (fun (op : Ifp.operator) ->
+         let head =
+           Fo.Atom (op.Ifp.pred, List.map (fun x -> Fo.Var x) op.Ifp.vars)
+         in
+         Fo.forall op.Ifp.vars (Fo.Iff (head, op.Ifp.body)))
+       operators)
+
+let idb_arities p =
+  match Ast.idb_schema p with
+  | Ok schema -> Relalg.Schema.to_list schema
+  | Error msg -> invalid_arg ("Fixpoint_formula: " ^ msg)
+
+let existence_sentence p =
+  { Eso.second_order = idb_arities p; matrix = formula p }
+
+let is_fixpoint_via_formula p db s =
+  let extra =
+    List.map (fun (pred, _) -> (pred, Evallib.Idb.get s pred)) (idb_arities p)
+  in
+  Fo.holds ~extra db (formula p)
+
+let count_witnesses p db = Eso.count_witnesses db (existence_sentence p)

@@ -1,0 +1,36 @@
+(** The first-order fixpoint formula phi_pi of Section 3.
+
+    For a program pi with IDB relations S-bar = (S1, ..., Sm) there is a
+    first-order sentence phi_pi(S-bar) over the database vocabulary plus
+    S-bar such that, for every database D and valuation S-bar,
+
+    S-bar is a fixpoint of (pi, D)  iff  D |= phi_pi(S-bar).
+
+    The formula is the conjunction, over the IDB predicates, of
+    for-all x-bar (S(x-bar) <-> phi_S(x-bar, S-bar)) where phi_S is the
+    existential formula defining one application of Theta for S (the same
+    operators as Proposition 1's translation).
+
+    The paper uses phi_pi in three ways, all reproduced here:
+    - existentially quantified, it puts fixpoint existence in NP
+      ({!existence_sentence} — the easy direction of Theorem 1);
+    - with a unique-witness quantifier it captures pi-UNIQUE-FIXPOINT
+      (Theorem 2's logical form; {!count_witnesses} decides it);
+    - relativised under second-order quantifiers it yields the FO(NP)
+      upper bound for least fixpoints (Theorem 3). *)
+
+val formula : Datalog.Ast.program -> Folog.Fo.formula
+(** phi_pi, with the IDB predicate names as free relation symbols. *)
+
+val existence_sentence : Datalog.Ast.program -> Folog.Eso.t
+(** The ESO sentence exists S-bar. phi_pi: true on D iff (pi, D) has a
+    fixpoint. *)
+
+val is_fixpoint_via_formula :
+  Datalog.Ast.program -> Relalg.Database.t -> Evallib.Idb.t -> bool
+(** Model-checks phi_pi directly (independent of the Theta machinery); must
+    agree with [Theta.is_fixpoint] — a cross-check the test suite runs. *)
+
+val count_witnesses : Datalog.Ast.program -> Relalg.Database.t -> int
+(** The number of second-order witnesses of phi_pi = the number of
+    fixpoints, by brute-force enumeration (tiny universes only). *)

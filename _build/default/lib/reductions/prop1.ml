@@ -1,0 +1,105 @@
+module Ast = Datalog.Ast
+module Fo = Folog.Fo
+module Nnf = Folog.Nnf
+module Ifp = Folog.Ifp
+
+(* --- program -> operators ------------------------------------------------ *)
+
+let fo_term rename = function
+  | Ast.Var x -> Fo.Var (rename x)
+  | Ast.Const c -> Fo.Const c
+
+let fo_literal rename = function
+  | Ast.Pos a -> Fo.Atom (a.Ast.pred, List.map (fo_term rename) a.Ast.args)
+  | Ast.Neg a ->
+    Fo.Not (Fo.Atom (a.Ast.pred, List.map (fo_term rename) a.Ast.args))
+  | Ast.Eq (t1, t2) -> Fo.Equal (fo_term rename t1, fo_term rename t2)
+  | Ast.Neq (t1, t2) ->
+    Fo.Not (Fo.Equal (fo_term rename t1, fo_term rename t2))
+
+let head_var i = Printf.sprintf "V%d" (i + 1)
+
+let operators_of_program (p : Ast.program) =
+  let schema =
+    match Ast.idb_schema p with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Prop1.operators_of_program: " ^ msg)
+  in
+  List.map
+    (fun (pred, arity) ->
+      let vars = List.init arity head_var in
+      let rename x = "W_" ^ x in
+      let rule_formula (r : Ast.rule) =
+        if r.Ast.head.Ast.pred <> pred then None
+        else begin
+          let rule_vars = List.map rename (Ast.rule_variables r) in
+          let unify =
+            List.mapi
+              (fun i t -> Fo.Equal (Fo.Var (head_var i), fo_term rename t))
+              r.Ast.head.Ast.args
+          in
+          let body = List.map (fo_literal rename) r.Ast.body in
+          Some (Fo.exists rule_vars (Fo.conj (unify @ body)))
+        end
+      in
+      let body = Fo.disj (List.filter_map rule_formula p.Ast.rules) in
+      { Ifp.pred; vars; body })
+    (Relalg.Schema.to_list schema)
+
+(* --- operators -> program ------------------------------------------------ *)
+
+let sanitize x = String.map (fun c -> if c = '\'' then '_' else c) x
+
+let ast_term = function
+  | Fo.Var x -> Ast.Var (sanitize x)
+  | Fo.Const c -> Ast.Const c
+
+let ast_literal = function
+  | Nnf.L_atom (true, p, args) -> Ast.Pos (Ast.atom p (List.map ast_term args))
+  | Nnf.L_atom (false, p, args) -> Ast.Neg (Ast.atom p (List.map ast_term args))
+  | Nnf.L_equal (true, t1, t2) -> Ast.Eq (ast_term t1, ast_term t2)
+  | Nnf.L_equal (false, t1, t2) -> Ast.Neq (ast_term t1, ast_term t2)
+
+let program_of_operators ops =
+  let rules_of op =
+    let prefix, matrix = Nnf.prenex op.Ifp.body in
+    let universal =
+      List.find_map
+        (function Nnf.Q_forall x -> Some x | Nnf.Q_exists _ -> None)
+        prefix
+    in
+    match universal with
+    | Some x ->
+      Error
+        (Printf.sprintf
+           "operator %s is not existential: universal quantifier on %s"
+           op.Ifp.pred x)
+    | None ->
+      let head = Ast.atom op.Ifp.pred (List.map (fun x -> Ast.Var x) op.Ifp.vars) in
+      Ok
+        (List.map
+           (fun conj -> Ast.rule head (List.map ast_literal conj))
+           (Nnf.dnf matrix))
+  in
+  let rec collect acc = function
+    | [] -> Ok (Ast.program (List.concat (List.rev acc)))
+    | op :: rest -> (
+      match rules_of op with
+      | Error _ as e -> e
+      | Ok rules -> collect (rules :: acc) rest)
+  in
+  collect [] ops
+
+let program_of_operators_exn ops =
+  match program_of_operators ops with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Prop1.program_of_operators: " ^ msg)
+
+let agree p db =
+  let direct = Evallib.Inflationary.eval p db in
+  let ops = operators_of_program p in
+  let via_ifp = Ifp.simultaneous db ops in
+  List.for_all
+    (fun (pred, relation) ->
+      Relalg.Relation.equal relation (Evallib.Idb.get direct pred))
+    via_ifp

@@ -1,0 +1,32 @@
+(** Proposition 1: Inflationary DATALOG = existential FO+IFP.
+
+    Both directions of the correspondence, as executable translations:
+
+    - {!operators_of_program}: each IDB predicate S of a program becomes
+      the FO operator phi_S(x-bar, S-bar) = the disjunction, over the rules
+      with head S, of "exists (body-only variables). head unification /\
+      body literals".  The formula is existential and the simultaneous
+      inflationary induction of the system equals the program's
+      inflationary semantics.
+    - {!program_of_operators}: an operator whose body is an existential
+      formula is compiled back to rules by bringing the matrix to DNF, one
+      rule per disjunct. *)
+
+val operators_of_program : Datalog.Ast.program -> Folog.Ifp.operator list
+(** One operator per IDB predicate.  The operator's variables are
+    [V1, ..., Vk]. *)
+
+val program_of_operators :
+  Folog.Ifp.operator list -> (Datalog.Ast.program, string) result
+(** Fails when some operator body has a universal quantifier in prenex form
+    (not existential). *)
+
+val program_of_operators_exn :
+  Folog.Ifp.operator list -> Datalog.Ast.program
+
+val agree :
+  Datalog.Ast.program -> Relalg.Database.t -> bool
+(** Checks that the program's inflationary semantics coincides with the
+    simultaneous IFP of its operator translation — the statement of
+    Proposition 1 on one database (used by tests and the experiment
+    harness). *)

@@ -1,0 +1,133 @@
+open Datalog.Dsl
+module Cnf = Satlib.Cnf
+module Database = Relalg.Database
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Symbol = Relalg.Symbol
+module Idb = Evallib.Idb
+
+let program =
+  prog
+    [
+      ("s", [ v "X" ]) <-- [ pos "s" [ v "X" ] ];
+      ("q", [ v "X" ]) <-- [ pos "v" [ v "X" ] ];
+      ("q", [ v "X" ])
+      <-- [ neg "s" [ v "X" ]; pos "p" [ v "X"; v "Y" ]; pos "s" [ v "Y" ] ];
+      ("q", [ v "X" ])
+      <-- [ neg "s" [ v "X" ]; pos "n" [ v "X"; v "Y" ]; neg "s" [ v "Y" ] ];
+      Toggle.guarded ~guard:"q" ~guard_arity:1 ();
+    ]
+
+let var_name i = Printf.sprintf "x%d" i
+
+let clause_name j = Printf.sprintf "c%d" j
+
+let var_sym i = Symbol.intern (var_name i)
+
+let clause_sym j = Symbol.intern (clause_name j)
+
+let database_of_cnf cnf =
+  let nv = Cnf.num_vars cnf in
+  let clauses = Cnf.clauses cnf in
+  let universe =
+    List.init nv (fun i -> var_sym (i + 1))
+    @ List.mapi (fun j _ -> clause_sym j) clauses
+  in
+  let db = Database.create ~universe in
+  let db =
+    List.fold_left
+      (fun db i -> Database.add_fact "v" (Tuple.singleton (var_sym i)) db)
+      db
+      (List.init nv (fun i -> i + 1))
+  in
+  let db =
+    (* Make sure p and n exist even when empty, so the schema is stable. *)
+    Database.set_relation "p" (Relation.empty 2)
+      (Database.set_relation "n" (Relation.empty 2) db)
+  in
+  List.fold_left
+    (fun db (j, clause) ->
+      List.fold_left
+        (fun db lit ->
+          let rel = if lit > 0 then "p" else "n" in
+          Database.add_fact rel
+            (Tuple.pair (clause_sym j) (var_sym (abs lit)))
+            db)
+        db clause)
+    db
+    (List.mapi (fun j c -> (j, c)) clauses)
+
+let cnf_of_database db =
+  let get name = Database.relation_or_empty ~arity:2 name db in
+  let vrel = Database.relation_or_empty ~arity:1 "v" db in
+  let universe = Database.universe db in
+  let variables =
+    List.filter (fun s -> Relation.mem (Tuple.singleton s) vrel) universe
+  in
+  let clauses =
+    List.filter
+      (fun s -> not (Relation.mem (Tuple.singleton s) vrel))
+      universe
+  in
+  let var_index =
+    List.mapi (fun i s -> (s, i + 1)) variables
+  in
+  let check_edges name =
+    Relation.fold
+      (fun t acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let c = Tuple.get t 0 and x = Tuple.get t 1 in
+          if Relation.mem (Tuple.singleton c) vrel then
+            Error
+              (Printf.sprintf "%s(%s, %s): first component is a variable"
+                 name (Symbol.name c) (Symbol.name x))
+          else if not (Relation.mem (Tuple.singleton x) vrel) then
+            Error
+              (Printf.sprintf "%s(%s, %s): second component is not a variable"
+                 name (Symbol.name c) (Symbol.name x))
+          else Ok ())
+      (get name) (Ok ())
+  in
+  match (check_edges "p", check_edges "n") with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+    let lits_of_clause c =
+      let collect rel sign =
+        Relation.fold
+          (fun t acc ->
+            if Symbol.equal (Tuple.get t 0) c then
+              (sign * List.assoc (Tuple.get t 1) var_index) :: acc
+            else acc)
+          (get rel) []
+      in
+      collect "p" 1 @ collect "n" (-1)
+    in
+    Ok
+      (Cnf.of_list (List.length variables) (List.map lits_of_clause clauses))
+
+let assignment_of_fixpoint cnf fp =
+  let nv = Cnf.num_vars cnf in
+  let s =
+    if Idb.mem fp "s" then Idb.get fp "s" else Relation.empty 1
+  in
+  Array.init (nv + 1) (fun i ->
+      i > 0 && Relation.mem (Tuple.singleton (var_sym i)) s)
+
+let fixpoint_of_assignment cnf assignment =
+  let nv = Cnf.num_vars cnf in
+  let db = database_of_cnf cnf in
+  let s =
+    List.fold_left
+      (fun r i ->
+        if assignment.(i) then Relation.add (Tuple.singleton (var_sym i)) r
+        else r)
+      (Relation.empty 1)
+      (List.init nv (fun i -> i + 1))
+  in
+  let q = Relation.full (Database.universe db) 1 in
+  let idb = Idb.of_program program in
+  Idb.set (Idb.set (Idb.set idb "s" s) "q" q) "t" (Relation.empty 1)
+
+let solver cnf = Fixpointlib.Solve.prepare program (database_of_cnf cnf)

@@ -1,0 +1,44 @@
+(** Example 1: SATISFIABILITY as fixpoint existence.
+
+    A CNF instance I becomes a database D(I) over the vocabulary
+    (v{^ 1}, p{^ 2}, n{^ 2}): the universe is the variables plus the
+    clauses, [v] marks the variables, and [p(c, x)] / [n(c, x)] record that
+    x occurs positively / negatively in clause c.  The fixed program pi_SAT
+
+    {v
+    s(X) :- s(X).
+    q(X) :- v(X).
+    q(X) :- !s(X), p(X, Y), s(Y).
+    q(X) :- !s(X), n(X, Y), !s(Y).
+    t(Z) :- !q(U), !t(W).
+    v}
+
+    has a fixpoint on D(I) iff I is satisfiable, and the fixpoints are in
+    one-to-one correspondence with the satisfying assignments (via the
+    relation [s], the set of true variables) — the basis of Theorems 1
+    and 2. *)
+
+val program : Datalog.Ast.program
+(** The fixed program pi_SAT. *)
+
+val database_of_cnf : Satlib.Cnf.t -> Relalg.Database.t
+(** D(I).  Variable i is the constant [xi], clause j (0-based) the constant
+    [cj]. *)
+
+val cnf_of_database : Relalg.Database.t -> (Satlib.Cnf.t, string) result
+(** The inverse map I(D) for databases in the class S (universe splits into
+    V and clauses, p and n go from clauses to variables).  Returns an error
+    describing the first violation otherwise. *)
+
+val assignment_of_fixpoint :
+  Satlib.Cnf.t -> Evallib.Idb.t -> bool array
+(** Reads the satisfying assignment off a fixpoint: variable i is true iff
+    [s(xi)] is in the fixpoint.  Indexed by variable, [.(0)] unused. *)
+
+val fixpoint_of_assignment :
+  Satlib.Cnf.t -> bool array -> Evallib.Idb.t
+(** The fixpoint corresponding to a satisfying assignment: s = the true
+    variables, q = the whole universe, t = empty. *)
+
+val solver : Satlib.Cnf.t -> Fixpointlib.Solve.t
+(** The fixpoint searcher prepared on (pi_SAT, D(I)). *)

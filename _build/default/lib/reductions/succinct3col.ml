@@ -1,0 +1,116 @@
+module Ast = Datalog.Ast
+module Circuit = Circuitlib.Circuit
+
+type t = {
+  program : Ast.program;
+  bits : int;
+  edge_pred : string;
+}
+
+let xvar i = Ast.Var (Printf.sprintf "X%d" (i + 1))
+
+let yvar i = Ast.Var (Printf.sprintf "Y%d" (i + 1))
+
+(* The 2n canonical variables, x-block then y-block. *)
+let pair_vars n = List.init n xvar @ List.init n yvar
+
+let bit_const b = Ast.const (if b then "1" else "0")
+
+let compile sg =
+  let n = Circuitlib.Succinct.bits sg in
+  let circuit = Circuitlib.Succinct.circuit sg in
+  let gates = Circuit.gates circuit in
+  let num_gates = Array.length gates in
+  let out_index = num_gates - 1 in
+  let gate_pred i = if i = out_index then "e" else Printf.sprintf "g%d" i in
+  let input_position =
+    (* gate index -> which circuit input it is *)
+    let table = Hashtbl.create 16 in
+    Array.iteri (fun j gate_idx -> Hashtbl.add table gate_idx j)
+      (Circuit.input_indices circuit);
+    fun i -> Hashtbl.find table i
+  in
+  let vars = pair_vars n in
+  let gate_atom i = Ast.atom (gate_pred i) vars in
+  let gate_rules =
+    List.concat
+      (List.mapi
+         (fun i gate ->
+           match gate with
+           | Circuit.In ->
+             let j = input_position i in
+             let head_args =
+               List.mapi
+                 (fun pos v -> if pos = j then bit_const true else v)
+                 vars
+             in
+             [ Ast.rule (Ast.atom (gate_pred i) head_args) [] ]
+           | Circuit.And (b, c) ->
+             [
+               Ast.rule (gate_atom i)
+                 [ Ast.Pos (gate_atom b); Ast.Pos (gate_atom c) ];
+             ]
+           | Circuit.Or (b, c) ->
+             [
+               Ast.rule (gate_atom i) [ Ast.Pos (gate_atom b) ];
+               Ast.rule (gate_atom i) [ Ast.Pos (gate_atom c) ];
+             ]
+           | Circuit.Not b ->
+             [ Ast.rule (gate_atom i) [ Ast.Neg (gate_atom b) ] ])
+         (Array.to_list gates))
+  in
+  (* Vectorised pi_COL on n-tuples of bits. *)
+  let xs = List.init n xvar in
+  let ys = List.init n yvar in
+  let color_atom c args = Ast.atom c args in
+  let copy c = Ast.rule (color_atom c xs) [ Ast.Pos (color_atom c xs) ] in
+  let p_head = Ast.atom "p" xs in
+  let monochromatic c =
+    Ast.rule p_head
+      [
+        Ast.Pos (Ast.atom "e" (xs @ ys));
+        Ast.Pos (color_atom c xs);
+        Ast.Pos (color_atom c ys);
+      ]
+  in
+  let two_colors c1 c2 =
+    Ast.rule p_head [ Ast.Pos (color_atom c1 xs); Ast.Pos (color_atom c2 xs) ]
+  in
+  let col_rules =
+    [
+      copy "r";
+      copy "b";
+      copy "g";
+      monochromatic "r";
+      monochromatic "b";
+      monochromatic "g";
+      two_colors "g" "b";
+      two_colors "b" "r";
+      two_colors "r" "g";
+      Ast.rule p_head
+        [
+          Ast.Neg (color_atom "r" xs);
+          Ast.Neg (color_atom "b" xs);
+          Ast.Neg (color_atom "g" xs);
+        ];
+      Ast.rule
+        (Ast.atom "t" [ Ast.Var "Z" ])
+        [ Ast.Pos p_head; Ast.Neg (Ast.atom "t" [ Ast.Var "W" ]) ];
+    ]
+  in
+  {
+    program = Ast.program (gate_rules @ col_rules);
+    bits = n;
+    edge_pred = "e";
+  }
+
+let database () = Relalg.Database.create_strings [ "0"; "1" ]
+
+let solver t = Fixpointlib.Solve.prepare t.program (database ())
+
+let has_fixpoint t = Fixpointlib.Solve.exists (solver t)
+
+let node_tuple ~bits u =
+  Relalg.Tuple.of_list
+    (List.init bits (fun j ->
+         Relalg.Symbol.intern (if (u lsr j) land 1 = 1 then "1" else "0")))

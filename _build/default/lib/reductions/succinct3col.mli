@@ -1,0 +1,40 @@
+(** Theorem 4: SUCCINCT 3-COLORING as fixpoint existence on domain {0,1}.
+
+    The input graph lives on {0,1}{^ n} and is presented by a Boolean
+    circuit with 2n inputs.  The construction makes every gate g{_i} of the
+    circuit a 2n-ary IDB relation [gi(x-bar, y-bar)] holding the input
+    pairs that set the gate to 1:
+
+    - AND gate:  [gi(..) :- gb(..), gc(..)]
+    - OR gate:   [gi(..) :- gb(..)]  and  [gi(..) :- gc(..)]
+    - NOT gate:  [gi(..) :- !gb(..)]
+    - j-th IN gate: the fact rule [gi(Z1, ..., 1, ..., Z2n).] with the
+      constant 1 at position j — its value is its own input bit.
+
+    The output gate doubles as the edge relation [e] of a vectorised
+    pi_COL (colors and penalties take n-tuples of bits).  The resulting
+    program — over a database that is nothing but the two-element universe
+    {0,1} — has a fixpoint iff the presented graph is 3-colorable.  Note
+    how the construction shifts the blow-up from the data to the program:
+    this is the expression-complexity jump from NP to NEXP. *)
+
+type t = {
+  program : Datalog.Ast.program;
+  bits : int;
+  edge_pred : string;  (** The output gate's predicate, aliased to [e]. *)
+}
+
+val compile : Circuitlib.Succinct.t -> t
+(** The program pi_SC for a succinctly presented graph. *)
+
+val database : unit -> Relalg.Database.t
+(** The fixed database: universe {0, 1}, no relations. *)
+
+val solver : t -> Fixpointlib.Solve.t
+
+val has_fixpoint : t -> bool
+(** Decides SUCCINCT 3-COLORING via the fixpoint encoding. *)
+
+val node_tuple : bits:int -> int -> Relalg.Tuple.t
+(** The n-tuple of bit constants encoding a node (bit 0 first, matching
+    [Circuitlib.Succinct]). *)

@@ -1,0 +1,7 @@
+open Datalog.Dsl
+
+let bare ?(t = "t") () = (t, [ v "Z" ]) <-- [ neg t [ v "W" ] ]
+
+let guarded ?(t = "t") ~guard ~guard_arity () =
+  let guard_vars = List.init guard_arity (fun i -> v (Printf.sprintf "U%d" (i + 1))) in
+  (t, [ v "Z" ]) <-- [ neg guard guard_vars; neg t [ v "W" ] ]

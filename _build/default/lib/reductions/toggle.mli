@@ -1,0 +1,15 @@
+(** The toggle gadget.
+
+    The rule [T(z) <- not T(w)] "toggles": it puts every constant in T iff
+    some constant is outside T, so it has no fixpoint on a non-empty
+    universe.  Guarded by a negated predicate — [T(z) <- not Q(u-bar), not
+    T(w)] — it instead has the empty T as unique fixpoint iff the
+    complement of Q is empty.  This is the engine of every hardness proof
+    in Section 3. *)
+
+val bare : ?t:string -> unit -> Datalog.Ast.rule
+(** [t(Z) :- !t(W)].  Default predicate name ["t"]. *)
+
+val guarded : ?t:string -> guard:string -> guard_arity:int -> unit -> Datalog.Ast.rule
+(** [t(Z) :- !guard(U1, ..., Uk), !t(W)] — fires unless [guard] covers the
+    whole k-th power of the universe. *)

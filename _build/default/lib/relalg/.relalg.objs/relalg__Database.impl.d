@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Buffer Format List Map Printf Relation Schema Set String Symbol Tuple

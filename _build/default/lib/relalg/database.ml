@@ -1,0 +1,207 @@
+module SymSet = Set.Make (Symbol)
+module SMap = Map.Make (String)
+
+type t = {
+  universe : SymSet.t;
+  relations : Relation.t SMap.t;
+}
+
+let create ~universe =
+  { universe = SymSet.of_list universe; relations = SMap.empty }
+
+let create_strings names = create ~universe:(List.map Symbol.intern names)
+
+let create_ints n =
+  create ~universe:(List.init n Symbol.of_int)
+
+let universe db = SymSet.elements db.universe
+
+let universe_size db = SymSet.cardinal db.universe
+
+let in_universe s db = SymSet.mem s db.universe
+
+let add_universe syms db =
+  { db with universe = SymSet.union db.universe (SymSet.of_list syms) }
+
+let tuple_in_universe db t =
+  List.for_all (fun s -> SymSet.mem s db.universe) (Tuple.to_list t)
+
+let set_relation name r db =
+  Relation.iter
+    (fun t ->
+      if not (tuple_in_universe db t) then
+        invalid_arg
+          (Printf.sprintf
+             "Database.set_relation: tuple %s of %s uses a constant outside \
+              the universe"
+             (Tuple.to_string t) name))
+    r;
+  { db with relations = SMap.add name r db.relations }
+
+let relation name db = SMap.find_opt name db.relations
+
+let relation_or_empty ~arity name db =
+  match relation name db with
+  | Some r -> r
+  | None -> Relation.empty arity
+
+let add_fact name t db =
+  if not (tuple_in_universe db t) then
+    invalid_arg
+      (Printf.sprintf
+         "Database.add_fact: tuple %s of %s uses a constant outside the \
+          universe"
+         (Tuple.to_string t) name);
+  let r = relation_or_empty ~arity:(Tuple.arity t) name db in
+  { db with relations = SMap.add name (Relation.add t r) db.relations }
+
+let relations db = SMap.bindings db.relations
+
+let schema db =
+  SMap.fold (fun n r s -> Schema.add n (Relation.arity r) s) db.relations
+    Schema.empty
+
+let mem_fact name t db =
+  match relation name db with
+  | Some r -> Relation.arity r = Tuple.arity t && Relation.mem t r
+  | None -> false
+
+let remove_relation name db =
+  { db with relations = SMap.remove name db.relations }
+
+let restrict names db =
+  let wanted = List.sort_uniq String.compare names in
+  let relations = SMap.filter (fun n _ -> List.mem n wanted) db.relations in
+  { db with relations }
+
+let merge d1 d2 =
+  let universe = SymSet.union d1.universe d2.universe in
+  let relations =
+    SMap.union
+      (fun _name r1 r2 ->
+        if Relation.arity r1 <> Relation.arity r2 then
+          invalid_arg "Database.merge: conflicting arities"
+        else Some (Relation.union r1 r2))
+      d1.relations d2.relations
+  in
+  { universe; relations }
+
+let equal d1 d2 =
+  SymSet.equal d1.universe d2.universe
+  && SMap.equal Relation.equal d1.relations d2.relations
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>universe: {%a}@,%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Symbol.pp)
+    (universe db)
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf (n, r) -> Format.fprintf ppf "%s = %a" n Relation.pp r))
+    (relations db)
+
+let to_string db = Format.asprintf "%a" pp db
+
+let of_facts ~universe facts =
+  let db = create_strings universe in
+  let db =
+    add_universe
+      (List.concat_map (fun (_, args) -> List.map Symbol.intern args) facts)
+      db
+  in
+  List.fold_left
+    (fun db (name, args) -> add_fact name (Tuple.of_strings args) db)
+    db facts
+
+(* --- textual fact format ------------------------------------------------ *)
+
+let strip_comments s =
+  let buf = Buffer.create (String.length s) in
+  let in_comment = ref false in
+  String.iter
+    (fun c ->
+      if c = '%' then in_comment := true
+      else if c = '\n' then begin
+        in_comment := false;
+        Buffer.add_char buf '\n'
+      end
+      else if not !in_comment then Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let split_statements s =
+  String.split_on_char '.' s
+  |> List.map String.trim
+  |> List.filter (fun stmt -> stmt <> "")
+
+let parse_args inside =
+  String.split_on_char ',' inside
+  |> List.map String.trim
+
+let valid_constant name =
+  name <> "" && String.for_all is_ident_char name
+
+exception Parse_error of string
+
+let parse_statement db stmt =
+  if String.length stmt >= 9 && String.sub stmt 0 9 = "#universe" then begin
+    let rest = String.sub stmt 9 (String.length stmt - 9) in
+    let names =
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
+    in
+    List.iter
+      (fun n ->
+        if not (valid_constant n) then
+          raise (Parse_error (Printf.sprintf "bad universe element %S" n)))
+      names;
+    add_universe (List.map Symbol.intern names) db
+  end
+  else
+    match String.index_opt stmt '(' with
+    | None ->
+      (* A 0-ary fact: just a predicate name. *)
+      if valid_constant stmt then add_fact stmt Tuple.empty db
+      else raise (Parse_error (Printf.sprintf "malformed statement %S" stmt))
+    | Some lp ->
+      let name = String.trim (String.sub stmt 0 lp) in
+      if not (valid_constant name) then
+        raise (Parse_error (Printf.sprintf "bad predicate name %S" name));
+      if stmt.[String.length stmt - 1] <> ')' then
+        raise (Parse_error (Printf.sprintf "missing ')' in %S" stmt));
+      let inside = String.sub stmt (lp + 1) (String.length stmt - lp - 2) in
+      let args = parse_args inside in
+      List.iter
+        (fun a ->
+          if not (valid_constant a) then
+            raise
+              (Parse_error (Printf.sprintf "bad constant %S in %S" a stmt)))
+        args;
+      let db = add_universe (List.map Symbol.intern args) db in
+      add_fact name (Tuple.of_strings args) db
+
+let parse text =
+  let text = strip_comments text in
+  let statements = split_statements text in
+  try
+    Ok
+      (List.fold_left
+         (fun db stmt -> parse_statement db stmt)
+         (create ~universe:[])
+         statements)
+  with Parse_error msg -> Error msg
+
+let parse_exn text =
+  match parse text with
+  | Ok db -> db
+  | Error msg -> failwith ("Database.parse: " ^ msg)

@@ -1,0 +1,137 @@
+module TSet = Set.Make (Tuple)
+
+type t = { arity : int; tuples : TSet.t }
+
+let empty k =
+  if k < 0 then invalid_arg "Relation.empty: negative arity";
+  { arity = k; tuples = TSet.empty }
+
+let arity r = r.arity
+
+let is_empty r = TSet.is_empty r.tuples
+
+let cardinal r = TSet.cardinal r.tuples
+
+let mem t r = TSet.mem t r.tuples
+
+let check_arity fname r t =
+  if Tuple.arity t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.%s: tuple arity %d, relation arity %d" fname
+         (Tuple.arity t) r.arity)
+
+let add t r =
+  check_arity "add" r t;
+  { r with tuples = TSet.add t r.tuples }
+
+let remove t r = { r with tuples = TSet.remove t r.tuples }
+
+let singleton t = { arity = Tuple.arity t; tuples = TSet.singleton t }
+
+let of_list k ts = List.fold_left (fun r t -> add t r) (empty k) ts
+
+let to_list r = TSet.elements r.tuples
+
+let iter f r = TSet.iter f r.tuples
+
+let fold f r init = TSet.fold f r.tuples init
+
+let for_all p r = TSet.for_all p r.tuples
+
+let exists p r = TSet.exists p r.tuples
+
+let filter p r = { r with tuples = TSet.filter p r.tuples }
+
+let map k f r =
+  fold (fun t acc -> add (f t) acc) r (empty k)
+
+let same_arity fname r1 r2 =
+  if r1.arity <> r2.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.%s: arities %d and %d differ" fname r1.arity
+         r2.arity)
+
+let union r1 r2 =
+  same_arity "union" r1 r2;
+  { r1 with tuples = TSet.union r1.tuples r2.tuples }
+
+let inter r1 r2 =
+  same_arity "inter" r1 r2;
+  { r1 with tuples = TSet.inter r1.tuples r2.tuples }
+
+let diff r1 r2 =
+  same_arity "diff" r1 r2;
+  { r1 with tuples = TSet.diff r1.tuples r2.tuples }
+
+let subset r1 r2 =
+  same_arity "subset" r1 r2;
+  TSet.subset r1.tuples r2.tuples
+
+let equal r1 r2 = r1.arity = r2.arity && TSet.equal r1.tuples r2.tuples
+
+let compare r1 r2 =
+  let c = Int.compare r1.arity r2.arity in
+  if c <> 0 then c else TSet.compare r1.tuples r2.tuples
+
+let choose_opt r = TSet.choose_opt r.tuples
+
+let product r1 r2 =
+  let k = r1.arity + r2.arity in
+  fold
+    (fun t1 acc ->
+      fold (fun t2 acc -> add (Tuple.append t1 t2) acc) r2 acc)
+    r1 (empty k)
+
+let project positions r =
+  let k = List.length positions in
+  map k (Tuple.project positions) r
+
+let select = filter
+
+let select_eq i c r = filter (fun t -> Symbol.equal (Tuple.get t i) c) r
+
+let join_positions eqs r1 r2 =
+  let k = r1.arity + r2.arity in
+  fold
+    (fun t1 acc ->
+      fold
+        (fun t2 acc ->
+          let matches =
+            List.for_all
+              (fun (i, j) -> Symbol.equal (Tuple.get t1 i) (Tuple.get t2 j))
+              eqs
+          in
+          if matches then add (Tuple.append t1 t2) acc else acc)
+        r2 acc)
+    r1 (empty k)
+
+let full universe k =
+  let elements = Array.of_list universe in
+  let n = Array.length elements in
+  if k = 0 then singleton Tuple.empty
+  else if n = 0 then empty k
+  else begin
+    let acc = ref (empty k) in
+    let slots = Array.make k elements.(0) in
+    let rec fill pos =
+      if pos = k then acc := add (Tuple.make slots) !acc
+      else
+        for i = 0 to n - 1 do
+          slots.(pos) <- elements.(i);
+          fill (pos + 1)
+        done
+    in
+    fill 0;
+    !acc
+  end
+
+let complement universe r = diff (full universe r.arity) r
+
+let pp ppf r =
+  Format.fprintf ppf "{@[<hov>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Tuple.pp)
+    (to_list r)
+
+let to_string r = Format.asprintf "%a" pp r

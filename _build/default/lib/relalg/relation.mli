@@ -1,0 +1,93 @@
+(** Finite relations.
+
+    A relation is a set of tuples that all share one arity, fixed at
+    creation.  Operations that combine two relations require compatible
+    arities and raise [Invalid_argument] otherwise.  The implementation is a
+    balanced tree set, so all elementwise operations are logarithmic and
+    iteration is in tuple order. *)
+
+type t
+
+val empty : int -> t
+(** [empty k] is the empty relation of arity [k]. *)
+
+val arity : t -> int
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val mem : Tuple.t -> t -> bool
+
+val add : Tuple.t -> t -> t
+(** @raise Invalid_argument if the tuple's arity differs from the
+    relation's. *)
+
+val remove : Tuple.t -> t -> t
+
+val singleton : Tuple.t -> t
+
+val of_list : int -> Tuple.t list -> t
+(** [of_list k tuples] builds an arity-[k] relation.  All tuples must have
+    arity [k]. *)
+
+val to_list : t -> Tuple.t list
+(** Tuples in increasing order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val map : int -> (Tuple.t -> Tuple.t) -> t -> t
+(** [map k f r] applies [f] to every tuple; the result has arity [k]. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset r1 r2] is true when every tuple of [r1] is in [r2]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val choose_opt : t -> Tuple.t option
+
+val product : t -> t -> t
+(** Cartesian product; arities add. *)
+
+val project : int list -> t -> t
+(** [project positions r] projects every tuple onto [positions] (which may
+    repeat or reorder components). *)
+
+val select : (Tuple.t -> bool) -> t -> t
+(** Synonym of {!filter}, relational-algebra flavour. *)
+
+val select_eq : int -> Symbol.t -> t -> t
+(** [select_eq i c r] keeps tuples whose [i]-th component is [c]. *)
+
+val join_positions : (int * int) list -> t -> t -> t
+(** [join_positions eqs r1 r2] is the subset of the product of [r1] and [r2]
+    where, for each [(i, j)] in [eqs], component [i] of the [r1]-tuple equals
+    component [j] of the [r2]-tuple. *)
+
+val full : Symbol.t list -> int -> t
+(** [full universe k] is the complete relation [universe]{^ k}.  Use only for
+    small [|universe|]{^ k}. *)
+
+val complement : Symbol.t list -> t -> t
+(** [complement universe r] is [full universe (arity r)] minus [r]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{(a, b); (c, d)}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,39 @@
+module SMap = Map.Make (String)
+
+type t = int SMap.t
+
+let empty = SMap.empty
+
+let add name arity schema =
+  match SMap.find_opt name schema with
+  | Some a when a <> arity ->
+    invalid_arg
+      (Printf.sprintf "Schema.add: %s declared with arity %d, then %d" name a
+         arity)
+  | _ -> SMap.add name arity schema
+
+let of_list l = List.fold_left (fun s (n, a) -> add n a s) empty l
+
+let to_list s = SMap.bindings s
+
+let arity name s = SMap.find_opt name s
+
+let arity_exn name s =
+  match SMap.find_opt name s with
+  | Some a -> a
+  | None -> raise Not_found
+
+let mem = SMap.mem
+
+let names s = List.map fst (SMap.bindings s)
+
+let union s1 s2 = SMap.fold add s2 s1
+
+let equal = SMap.equal Int.equal
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (n, a) -> Format.fprintf ppf "%s/%d" n a))
+    (to_list s)

@@ -1,0 +1,36 @@
+(** Relational schemas (vocabularies).
+
+    A schema is a finite map from predicate names to arities.  In the paper's
+    terminology this is the vocabulary sigma = (R1, ..., Rl) of database
+    relation symbols; we also use schemas for the nondatabase (IDB) symbols
+    of a program. *)
+
+type t
+
+val empty : t
+
+val add : string -> int -> t -> t
+(** [add name arity schema] declares a predicate.
+    @raise Invalid_argument if [name] is already declared with a different
+    arity. *)
+
+val of_list : (string * int) list -> t
+
+val to_list : t -> (string * int) list
+(** Sorted by predicate name. *)
+
+val arity : string -> t -> int option
+
+val arity_exn : string -> t -> int
+(** @raise Not_found if the predicate is not declared. *)
+
+val mem : string -> t -> bool
+
+val names : t -> string list
+
+val union : t -> t -> t
+(** @raise Invalid_argument on conflicting arities. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

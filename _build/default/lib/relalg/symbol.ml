@@ -1,0 +1,52 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let names : string array ref = ref (Array.make 1024 "")
+
+let next = ref 0
+
+let grow () =
+  let old = !names in
+  let bigger = Array.make (2 * Array.length old) "" in
+  Array.blit old 0 bigger 0 (Array.length old);
+  names := bigger
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    if id >= Array.length !names then grow ();
+    !names.(id) <- s;
+    Hashtbl.add table s id;
+    id
+
+let of_int n = intern (string_of_int n)
+
+let name id = !names.(id)
+
+let to_int id = id
+
+let unsafe_of_id id = id
+
+let count () = !next
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let hash = Hashtbl.hash
+
+let pp ppf id = Format.pp_print_string ppf (name id)
+
+let fresh_counter = ref 0
+
+let fresh prefix =
+  let rec try_next () =
+    incr fresh_counter;
+    let candidate = Printf.sprintf "%s#%d" prefix !fresh_counter in
+    if Hashtbl.mem table candidate then try_next () else intern candidate
+  in
+  try_next ()

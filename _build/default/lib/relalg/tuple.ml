@@ -1,0 +1,56 @@
+type t = Symbol.t array
+
+let make a = Array.copy a
+
+let of_list = Array.of_list
+
+let of_strings ss = Array.of_list (List.map Symbol.intern ss)
+
+let of_ints ns = Array.of_list (List.map Symbol.of_int ns)
+
+let arity = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Tuple.get" else t.(i)
+
+let to_list = Array.to_list
+
+let to_array = Array.copy
+
+let empty = [||]
+
+let singleton s = [| s |]
+
+let pair a b = [| a; b |]
+
+let append = Array.append
+
+let sub = Array.sub
+
+let project positions t = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec loop i =
+      if i = la then 0
+      else
+        let c = Symbol.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc s -> (acc * 31) + Symbol.to_int s) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Symbol.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

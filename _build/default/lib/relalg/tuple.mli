@@ -1,0 +1,57 @@
+(** Tuples of constants.
+
+    A tuple is an immutable array of symbols.  Tuples are the elements of
+    {!Relation} values; the order used throughout is lexicographic on symbol
+    identifiers. *)
+
+type t = private Symbol.t array
+
+val make : Symbol.t array -> t
+(** [make a] turns [a] into a tuple; the array is copied, so later mutation
+    of [a] does not affect the tuple. *)
+
+val of_list : Symbol.t list -> t
+
+val of_strings : string list -> t
+(** [of_strings ss] interns each string and builds the tuple. *)
+
+val of_ints : int list -> t
+(** [of_ints ns] interns the decimal rendering of each integer. *)
+
+val arity : t -> int
+
+val get : t -> int -> Symbol.t
+(** [get t i] is the [i]-th component (0-based).  @raise Invalid_argument if
+    out of range. *)
+
+val to_list : t -> Symbol.t list
+
+val to_array : t -> Symbol.t array
+(** Fresh copy of the underlying array. *)
+
+val empty : t
+(** The 0-ary tuple. *)
+
+val singleton : Symbol.t -> t
+
+val pair : Symbol.t -> Symbol.t -> t
+
+val append : t -> t -> t
+
+val sub : t -> int -> int -> t
+(** [sub t pos len] is the slice of [t] starting at [pos] of length [len]. *)
+
+val project : int list -> t -> t
+(** [project positions t] keeps the listed components, in the listed order. *)
+
+val compare : t -> t -> int
+(** Shorter tuples first, then lexicographic on components. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(a, b, c)]. *)
+
+val to_string : t -> string

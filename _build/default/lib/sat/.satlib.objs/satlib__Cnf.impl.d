@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Format Int List Printf

@@ -1,0 +1,1 @@
+lib/sat/count.ml: Cnf Int List Set

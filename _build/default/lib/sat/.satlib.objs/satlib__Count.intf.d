@@ -1,0 +1,1 @@
+lib/sat/count.mli: Cnf

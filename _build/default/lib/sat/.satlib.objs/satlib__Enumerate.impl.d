@@ -1,0 +1,1 @@
+lib/sat/enumerate.ml: Array Cnf List Solver

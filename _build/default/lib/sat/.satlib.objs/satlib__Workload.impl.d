@@ -1,0 +1,1 @@
+lib/sat/workload.ml: Array Cnf Fun List Negdl_util

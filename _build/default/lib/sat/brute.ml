@@ -1,0 +1,27 @@
+let fold_models f init cnf =
+  let n = Cnf.num_vars cnf in
+  let clauses = Cnf.clauses cnf in
+  let assign = Array.make (n + 1) false in
+  let acc = ref init in
+  let rec go v =
+    if v > n then begin
+      if List.for_all (Cnf.eval_clause (fun u -> assign.(u))) clauses then
+        acc := f !acc (Array.copy assign)
+    end
+    else begin
+      assign.(v) <- false;
+      go (v + 1);
+      assign.(v) <- true;
+      go (v + 1)
+    end
+  in
+  go 1;
+  !acc
+
+let all_models cnf = List.rev (fold_models (fun acc m -> m :: acc) [] cnf)
+
+let count_models cnf = fold_models (fun acc _ -> acc + 1) 0 cnf
+
+let is_satisfiable cnf = count_models cnf > 0
+
+let has_unique_model cnf = count_models cnf = 1

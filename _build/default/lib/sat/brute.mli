@@ -1,0 +1,15 @@
+(** Exhaustive SAT baseline.
+
+    Tries all 2{^n} assignments.  Used as ground truth in the test suite to
+    validate the CDCL solver and the model enumerator, and as the "obvious
+    algorithm" pole in the benchmark comparisons. *)
+
+val all_models : Cnf.t -> bool array list
+(** Every satisfying assignment, indexed by variable ([.(0)] unused), in
+    lexicographic order (variable 1 most significant, [false] < [true]). *)
+
+val count_models : Cnf.t -> int
+
+val is_satisfiable : Cnf.t -> bool
+
+val has_unique_model : Cnf.t -> bool

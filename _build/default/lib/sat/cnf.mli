@@ -1,0 +1,41 @@
+(** Propositional formulas in conjunctive normal form.
+
+    Variables are positive integers [1 .. num_vars]; a literal is a non-zero
+    integer whose sign is its polarity (DIMACS convention).  SAT is the
+    paper's canonical NP problem: Example 1 reduces it to fixpoint existence
+    of the fixed program pi_SAT, and the fixpoint searcher of
+    [Fixpointlib] runs in the other direction, encoding Theta(S) = S as a
+    CNF. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty CNF over variables [1 .. n]. *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+
+val add_clause : t -> int list -> t
+(** Adds a clause (a disjunction of literals).  Duplicate literals are
+    collapsed; a clause containing both [l] and [-l] is a tautology and is
+    dropped.  The empty clause is representable and makes the CNF trivially
+    unsatisfiable.
+    @raise Invalid_argument on a literal out of range. *)
+
+val of_list : int -> int list list -> t
+
+val clauses : t -> int list list
+(** The clauses, in insertion order (tautologies omitted). *)
+
+val eval : t -> (int -> bool) -> bool
+(** [eval cnf assign] evaluates under the total assignment [assign]
+    (indexed by variable). *)
+
+val eval_clause : (int -> bool) -> int list -> bool
+
+val map_vars : (int -> int) -> t -> int -> t
+(** [map_vars f cnf n'] renames every variable [v] to [f v] and declares
+    [n'] variables in the result. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module ISet = Set.Make (Int)
+
+exception Budget_exceeded
+
+exception Conflict
+
+(* Assign literal [l] true: drop satisfied clauses, shrink the others.
+   @raise Conflict when an empty clause appears. *)
+let assign l clauses =
+  List.filter_map
+    (fun clause ->
+      if List.mem l clause then None
+      else
+        match List.filter (fun l' -> l' <> -l) clause with
+        | [] -> raise Conflict
+        | smaller -> Some smaller)
+    clauses
+
+(* Exhaustive unit propagation; returns the simplified clauses and the set
+   of variables that got forced. *)
+let rec propagate clauses forced =
+  match List.find_opt (fun c -> List.length c = 1) clauses with
+  | None -> (clauses, forced)
+  | Some [ l ] -> propagate (assign l clauses) (ISet.add (abs l) forced)
+  | Some _ -> assert false
+
+let clause_vars c = ISet.of_list (List.map abs c)
+
+(* Partition clauses into connected components of the variable-sharing
+   graph; returns (clauses, vars) per component. *)
+let components clauses =
+  let groups : (int list list * ISet.t) list ref = ref [] in
+  List.iter
+    (fun clause ->
+      let cv = clause_vars clause in
+      let touching, rest =
+        List.partition
+          (fun (_, vars) -> not (ISet.is_empty (ISet.inter cv vars)))
+          !groups
+      in
+      let merged_clauses =
+        clause :: List.concat_map fst touching
+      in
+      let merged_vars =
+        List.fold_left (fun acc (_, vs) -> ISet.union acc vs) cv touching
+      in
+      groups := (merged_clauses, merged_vars) :: rest)
+    clauses;
+  !groups
+
+let pow2 n =
+  if n < 0 then invalid_arg "Count.pow2" else 1 lsl n
+
+let count_clauses ~budget clauses vars =
+  let nodes = ref 0 in
+  let rec go clauses vars =
+    incr nodes;
+    if !nodes > budget then raise Budget_exceeded;
+    match propagate clauses ISet.empty with
+    | exception Conflict -> 0
+    | clauses, forced ->
+      let vars = ISet.diff vars forced in
+      if clauses = [] then pow2 (ISet.cardinal vars)
+      else begin
+        let comps = components clauses in
+        let constrained =
+          List.fold_left
+            (fun acc (_, vs) -> ISet.union acc vs)
+            ISet.empty comps
+        in
+        let free = ISet.cardinal (ISet.diff vars constrained) in
+        let product =
+          List.fold_left
+            (fun acc (cs, vs) ->
+              if acc = 0 then 0
+              else begin
+                (* Branch on some variable of the component. *)
+                let v = ISet.min_elt vs in
+                let vs' = ISet.remove v vs in
+                let pos =
+                  match assign v cs with
+                  | exception Conflict -> 0
+                  | cs' -> go cs' vs'
+                in
+                let neg =
+                  match assign (-v) cs with
+                  | exception Conflict -> 0
+                  | cs' -> go cs' vs'
+                in
+                acc * (pos + neg)
+              end)
+            1 comps
+        in
+        product * pow2 free
+      end
+  in
+  go clauses vars
+
+let count_limited ~budget cnf =
+  let clauses = Cnf.clauses cnf in
+  let vars = ISet.of_list (List.init (Cnf.num_vars cnf) (fun i -> i + 1)) in
+  match count_clauses ~budget clauses vars with
+  | n -> Some n
+  | exception Budget_exceeded -> None
+
+let count cnf =
+  match count_limited ~budget:max_int cnf with
+  | Some n -> n
+  | None -> assert false

@@ -1,0 +1,22 @@
+(** Exact model counting (#SAT).
+
+    A DPLL-style counter with unit propagation, connected-component
+    decomposition (disjoint variable sets multiply) and free-variable
+    accounting.  Exponential in the worst case, but the component split
+    makes structured instances cheap — the paper's G{_n} census is the
+    poster child: the fixpoint encoding of pi_1 on k disjoint cycles falls
+    apart into k independent components, so counting its 2{^ k} fixpoints
+    costs O(k) component counts instead of 2{^ k} enumeration calls.
+
+    Every total model of the fixpoint encoding is determined by its atom
+    variables (the instance auxiliaries are biconditionally defined), so
+    the unprojected count below {e is} the fixpoint count — the fact
+    [Fixpointlib.Solve.count_exact] relies on. *)
+
+val count : Cnf.t -> int
+(** The number of satisfying assignments over all [num_vars] variables.
+    Variables not constrained by any clause contribute a factor of 2. *)
+
+val count_limited : budget:int -> Cnf.t -> int option
+(** Like {!count}, but gives up ([None]) after [budget] DPLL branching
+    nodes. *)

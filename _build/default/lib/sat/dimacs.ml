@@ -1,0 +1,46 @@
+let pp ppf cnf =
+  Format.fprintf ppf "p cnf %d %d@." (Cnf.num_vars cnf) (Cnf.num_clauses cnf);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf ppf "%d " l) c;
+      Format.fprintf ppf "0@.")
+    (Cnf.clauses cnf)
+
+let to_string cnf = Format.asprintf "%a" pp cnf
+
+let parse text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           let t = String.trim line in
+           t <> "" && t.[0] <> 'c')
+    |> List.concat_map (fun line ->
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun t -> String.trim t <> ""))
+  in
+  match tokens with
+  | "p" :: "cnf" :: nv :: _nc :: rest -> (
+    match int_of_string_opt nv with
+    | None -> Error (Printf.sprintf "bad variable count %S" nv)
+    | Some n -> (
+      let rec clauses acc current = function
+        | [] ->
+          if current = [] then Ok (List.rev acc)
+          else Error "unterminated clause (missing 0)"
+        | tok :: rest -> (
+          match int_of_string_opt tok with
+          | None -> Error (Printf.sprintf "bad literal %S" tok)
+          | Some 0 -> clauses (List.rev current :: acc) [] rest
+          | Some l -> clauses acc (l :: current) rest)
+      in
+      match clauses [] [] rest with
+      | Error _ as e -> e
+      | Ok cs -> (
+        try Ok (Cnf.of_list n cs) with Invalid_argument msg -> Error msg)))
+  | _ -> Error "missing 'p cnf' header"
+
+let parse_exn text =
+  match parse text with
+  | Ok cnf -> cnf
+  | Error msg -> failwith ("Dimacs.parse: " ^ msg)

@@ -1,0 +1,16 @@
+(** DIMACS CNF reading and writing.
+
+    The interchange format used by SAT solvers; provided so the CLI can load
+    external instances and so instances generated here can be checked with
+    third-party tools. *)
+
+val to_string : Cnf.t -> string
+
+val pp : Format.formatter -> Cnf.t -> unit
+
+val parse : string -> (Cnf.t, string) result
+(** Accepts comment lines [c ...], the header [p cnf <vars> <clauses>] and
+    zero-terminated clauses, possibly spanning lines. *)
+
+val parse_exn : string -> Cnf.t
+(** @raise Failure on malformed input. *)

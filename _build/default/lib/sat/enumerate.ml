@@ -1,0 +1,51 @@
+let blocking_clause projection model =
+  List.map (fun v -> if model.(v) then -v else v) projection
+
+let models ?projection ?limit cnf =
+  let projection =
+    match projection with
+    | Some vs -> vs
+    | None -> List.init (Cnf.num_vars cnf) (fun i -> i + 1)
+  in
+  let session = Solver.session cnf in
+  let rec loop acc found =
+    let capped =
+      match limit with
+      | Some l -> found >= l
+      | None -> false
+    in
+    if capped then acc
+    else
+      match Solver.solve_assuming session [] with
+      | Solver.Unsat -> acc
+      | Solver.Sat model ->
+        let block = blocking_clause projection model in
+        if block = [] then model :: acc
+        else begin
+          Solver.add_clause session block;
+          loop (model :: acc) (found + 1)
+        end
+  in
+  List.rev (loop [] 0)
+
+let count ?projection ?limit cnf =
+  List.length (models ?projection ?limit cnf)
+
+let is_unique ?projection cnf =
+  count ?projection ~limit:2 cnf = 1
+
+let forced_true cnf vars =
+  let session = Solver.session cnf in
+  match Solver.solve_assuming session [] with
+  | Solver.Unsat -> []
+  | Solver.Sat first ->
+    (* v is forced iff cnf /\ -v is unsatisfiable; skip the assumption call
+       when the current model already witnesses v = false. *)
+    List.filter
+      (fun v ->
+        first.(v)
+        &&
+        match Solver.solve_assuming session [ -v ] with
+        | Solver.Unsat -> true
+        | Solver.Sat _ -> false)
+      vars

@@ -1,0 +1,48 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP conflict analysis, VSIDS-style activities, phase saving and
+    Luby restarts.  This is the engine behind [Fixpointlib]: deciding
+    whether a DATALOG-not program has a fixpoint on a database is
+    NP-complete (Theorem 1), so a SAT solver is the natural — and the
+    honest — implementation vehicle. *)
+
+type result =
+  | Sat of bool array
+      (** A satisfying assignment, indexed by variable ([.(0)] unused). *)
+  | Unsat
+
+val solve : Cnf.t -> result
+
+val solve_with_units : Cnf.t -> int list -> result
+(** [solve_with_units cnf units] solves [cnf] with the extra unit clauses
+    [units] (a cheap form of assumptions). *)
+
+val is_satisfiable : Cnf.t -> bool
+
+val model_checks : result -> Cnf.t -> bool
+(** [model_checks r cnf] is true when [r] is [Unsat] or when the model
+    satisfies every clause of [cnf]; used by the tests as a self-check. *)
+
+(** {1 Incremental sessions}
+
+    A session loads the CNF once and answers many queries under varying
+    {e assumptions} (literals forced for one call only, realised as the
+    first decisions, as in MiniSat).  Clauses learned during one call are
+    implied by the formula alone, so they persist and accelerate later
+    calls — this is what makes the fixpoint searcher's
+    one-SAT-call-per-atom algorithms (Theorem 3's intersection, model
+    enumeration) affordable. *)
+
+type session
+
+val session : Cnf.t -> session
+
+val solve_assuming : session -> int list -> result
+(** Solve under the given assumption literals (DIMACS convention).  [Unsat]
+    means unsatisfiable {e under these assumptions}. *)
+
+val add_clause : session -> int list -> unit
+(** Permanently adds a clause (e.g. a blocking clause during model
+    enumeration).
+    @raise Invalid_argument on a literal out of range. *)

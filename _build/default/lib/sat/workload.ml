@@ -1,0 +1,89 @@
+module Prng = Negdl_util.Prng
+
+let distinct_vars rng vars k =
+  let rec pick acc =
+    if List.length acc = k then acc
+    else
+      let v = 1 + Prng.int rng vars in
+      if List.mem v acc then pick acc else pick (v :: acc)
+  in
+  pick []
+
+let random_kcnf ~seed ~vars ~clauses ~k =
+  if k > vars then invalid_arg "Workload.random_kcnf: k > vars";
+  let rng = Prng.create seed in
+  let clause () =
+    distinct_vars rng vars k
+    |> List.map (fun v -> if Prng.bool rng then v else -v)
+  in
+  let rec build cnf remaining =
+    if remaining = 0 then cnf
+    else build (Cnf.add_clause cnf (clause ())) (remaining - 1)
+  in
+  build (Cnf.create vars) clauses
+
+let random_3cnf ~seed ~vars ~clauses = random_kcnf ~seed ~vars ~clauses ~k:3
+
+let forced_sat ~seed ~vars ~clauses ~k =
+  if k > vars then invalid_arg "Workload.forced_sat: k > vars";
+  let rng = Prng.create seed in
+  let hidden = Array.init (vars + 1) (fun _ -> Prng.bool rng) in
+  let clause () =
+    let vs = distinct_vars rng vars k in
+    let lits = List.map (fun v -> if Prng.bool rng then v else -v) vs in
+    let satisfied =
+      List.exists (fun l -> if l > 0 then hidden.(l) else not hidden.(-l)) lits
+    in
+    if satisfied then lits
+    else
+      (* Flip one literal so the hidden assignment satisfies the clause. *)
+      match lits with
+      | [] -> []
+      | l :: rest -> -l :: rest
+  in
+  let rec build cnf remaining =
+    if remaining = 0 then cnf
+    else build (Cnf.add_clause cnf (clause ())) (remaining - 1)
+  in
+  build (Cnf.create vars) clauses
+
+let pigeonhole n =
+  let var p h = (p * n) + h + 1 in
+  let cnf = Cnf.create ((n + 1) * n) in
+  (* Every pigeon sits in some hole. *)
+  let cnf =
+    List.fold_left
+      (fun cnf p -> Cnf.add_clause cnf (List.init n (fun h -> var p h)))
+      cnf
+      (List.init (n + 1) Fun.id)
+  in
+  (* No two pigeons share a hole. *)
+  let cnf = ref cnf in
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        cnf := Cnf.add_clause !cnf [ -var p1 h; -var p2 h ]
+      done
+    done
+  done;
+  !cnf
+
+let exactly_k_models n k =
+  if n < 0 || n > 20 then invalid_arg "Workload.exactly_k_models: need 0 <= n <= 20";
+  let total = 1 lsl n in
+  if k < 0 || k > total then
+    invalid_arg "Workload.exactly_k_models: k out of range";
+  let cnf = ref (Cnf.create n) in
+  (* Exclude the lexicographically largest total - k assignments.  In
+     assignment [m], variable v is true iff bit (n - v) of m is set, so
+     larger m = lexicographically larger assignment on (v1, v2, ...). *)
+  for m = total - 1 downto k do
+    let clause =
+      List.init n (fun i ->
+          let v = i + 1 in
+          let bit = (m lsr (n - v)) land 1 in
+          if bit = 1 then -v else v)
+    in
+    cnf := Cnf.add_clause !cnf clause
+  done;
+  !cnf

@@ -1,0 +1,26 @@
+(** Random CNF workloads (deterministic, seeded).
+
+    Generators for the experiment harness: random k-CNF near and away from
+    the satisfiability threshold, forced-satisfiable instances, pigeonhole
+    formulas (canonical hard UNSAT family), and instances engineered to have
+    a prescribed number of models. *)
+
+val random_kcnf :
+  seed:int -> vars:int -> clauses:int -> k:int -> Cnf.t
+(** Uniform random [k]-CNF: each clause picks [k] distinct variables and
+    random polarities. *)
+
+val random_3cnf : seed:int -> vars:int -> clauses:int -> Cnf.t
+
+val forced_sat : seed:int -> vars:int -> clauses:int -> k:int -> Cnf.t
+(** Random [k]-CNF guaranteed satisfiable: a hidden assignment is drawn
+    first and every clause is patched to satisfy it. *)
+
+val pigeonhole : int -> Cnf.t
+(** [pigeonhole n]: n+1 pigeons into n holes; unsatisfiable, classically
+    hard for resolution.  Variable (p, h) is [p * n + h + 1]. *)
+
+val exactly_k_models : int -> int -> Cnf.t
+(** [exactly_k_models n k] (with 0 <= k <= 2{^n}) is a CNF over [n]
+    variables with exactly [k] models: it excludes the lexicographically
+    largest [2^n - k] assignments. *)

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 rng =
+  rng.state <- Int64.add rng.state golden_gamma;
+  mix rng.state
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let raw = Int64.to_int (next_int64 rng) land max_int in
+  raw mod bound
+
+let float rng =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 rng) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool rng = Int64.logand (next_int64 rng) 1L = 1L
+
+let pick rng l =
+  match l with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth l (int rng (List.length l))
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let split rng =
+  let seed = Int64.to_int (next_int64 rng) in
+  create seed

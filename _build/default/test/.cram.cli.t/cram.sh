@@ -1,0 +1,17 @@
+  $ negdl check pi1.dl
+  $ negdl stratify pi1.dl
+  $ negdl stratify tc.dl
+  $ negdl eval pi1.dl c4.facts -s inflationary -p t
+  $ negdl fixpoints pi1.dl c4.facts --enumerate
+  $ negdl fixpoints pi1.dl path4.facts
+  $ negdl stable pi1.dl c4.facts
+  $ negdl query tc.dl path4.facts "s(v1, Y)"
+  $ negdl query pi1.dl c4.facts "t(X)"
+  $ negdl why tc.dl path4.facts "s(v0, v2)"
+  $ negdl ground pi1.dl path4.facts
+  $ negdl check missing.dl
+  $ negdl sat inst.cnf
+  $ negdl sat2fp inst.cnf -o inst
+  $ negdl fixpoints inst.dl inst.facts | head -6
+  $ negdl eval pi1.dl c4.facts -s kripke-kleene
+  $ negdl eval pi1.dl c4.facts -s well-founded

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Build Circuit Circuitlib Graphlib List Printf Satlib Succinct Tseitin

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Datalog Evallib Fitting Graphlib Ground Idb Inflationary List Naive Printf Provenance Relalg Saturate Stratified Theta Unfounded Wellfounded

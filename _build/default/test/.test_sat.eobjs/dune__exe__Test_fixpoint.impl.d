@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Brute Datalog Evallib Fixpointlib Graphlib List Printf Relalg Solve

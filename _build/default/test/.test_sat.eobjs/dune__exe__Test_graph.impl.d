@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Coloring Digraph Generate Graphlib Hamilton List Printf QCheck QCheck_alcotest Relalg Scc String Traverse

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Eso Fo Folog Graphlib Ifp List Nnf Relalg

@@ -1,0 +1,1 @@
+test/test_magic.ml: Alcotest Datalog Evallib Graphlib List Printf QCheck QCheck_alcotest Relalg Result String

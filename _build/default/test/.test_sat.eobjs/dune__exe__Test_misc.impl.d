@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Datalog Evallib Fixpointlib Graphlib List Reductions Relalg

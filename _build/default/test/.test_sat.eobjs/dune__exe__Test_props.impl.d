@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Datalog Evallib Fixpointlib Graphlib List QCheck QCheck_alcotest Reductions Relalg Testsupport

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Database List QCheck QCheck_alcotest Relalg Relation Schema Symbol Tuple

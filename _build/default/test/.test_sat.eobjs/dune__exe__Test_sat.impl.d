@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Brute Cnf Count Dimacs Enumerate List Printf QCheck QCheck_alcotest Satlib Solver String Workload

@@ -1,0 +1,1 @@
+test/test_stable.ml: Alcotest Datalog Evallib Fixpointlib Graphlib List Printf QCheck QCheck_alcotest Relalg

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Datalog Evallib Fixpointlib Graphlib List Printf QCheck QCheck_alcotest Reductions Relalg Satlib Testsupport

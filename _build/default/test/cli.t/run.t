@@ -1,0 +1,127 @@
+The negdl command-line interface, end to end.
+
+Static check of pi_1:
+
+  $ negdl check pi1.dl
+  1 rule(s); IDB: t; EDB: e; DATALOG with negation
+
+pi_1 does not stratify (recursion through negation):
+
+  $ negdl stratify pi1.dl
+  not stratifiable: t depends negatively on t within a recursive component
+  [2]
+
+The transitive-closure program does, trivially:
+
+  $ negdl stratify tc.dl
+  stratum 0: s
+
+Inflationary evaluation on the 4-cycle saturates t:
+
+  $ negdl eval pi1.dl c4.facts -s inflationary -p t
+  {(v0); (v1); (v2); (v3)}
+
+The Section 2 census on the 4-cycle: two incomparable fixpoints, no least:
+
+  $ negdl fixpoints pi1.dl c4.facts --enumerate
+  ground atoms:    4
+  ground rules:    4
+  fixpoint exists: true
+  fixpoints:       2
+  unique:          false
+  least fixpoint:  no
+  -- fixpoint 1 --
+  t/1 (2 tuples) = {(v1); (v3)}
+  -- fixpoint 2 --
+  t/1 (2 tuples) = {(v0); (v2)}
+
+On the path the fixpoint is unique (the even positions) and hence least:
+
+  $ negdl fixpoints pi1.dl path4.facts
+  ground atoms:    3
+  ground rules:    3
+  fixpoint exists: true
+  fixpoints:       1
+  unique:          true
+  least fixpoint:  yes
+  -- least fixpoint --
+  t/1 (2 tuples) = {(v1); (v3)}
+  -- example fixpoint --
+  t/1 (2 tuples) = {(v1); (v3)}
+
+Stable models coincide with the fixpoints for pi_1:
+
+  $ negdl stable pi1.dl c4.facts
+  stable models: 2
+  -- stable model 1 --
+  t/1 (2 tuples) = {(v1); (v3)}
+  -- stable model 2 --
+  t/1 (2 tuples) = {(v0); (v2)}
+
+Goal-directed querying through magic sets:
+
+  $ negdl query tc.dl path4.facts "s(v1, Y)"
+  {(v1, v2); (v1, v3)}
+  % 2 answer(s)
+
+Negation is rejected by the magic-set rewriter:
+
+  $ negdl query pi1.dl c4.facts "t(X)"
+  negdl: magic sets: the program must be positive (no negation, no !=)
+  [1]
+
+Provenance of a closure fact:
+
+  $ negdl why tc.dl path4.facts "s(v0, v2)"
+  s(v0, v2) @ stage 2
+    by s(v0, v2) :- s(v1, v2).
+    s(v1, v2) @ stage 1
+      by s(v1, v2).
+
+Grounding of pi_1 on the path:
+
+  $ negdl ground pi1.dl path4.facts
+  t(v1).
+  t(v2) :- !t(v1).
+  t(v3) :- !t(v2).
+  % 3 atoms, 3 instances
+
+Errors are reported as usage messages:
+
+  $ negdl check missing.dl
+  negdl: PROGRAM argument: no 'missing.dl' file or directory
+  Usage: negdl check [OPTION]… PROGRAM
+  Try 'negdl check --help' or 'negdl --help' for more information.
+  [124]
+
+The built-in SAT solver speaks DIMACS:
+
+  $ negdl sat inst.cnf
+  s SATISFIABLE
+  v 1 -2 3 0
+
+Example 1's reduction, end to end: CNF -> (pi_SAT, D(I)) -> fixpoints.
+The instance has a unique model, so Theorem 2 predicts a unique fixpoint:
+
+  $ negdl sat2fp inst.cnf -o inst
+  wrote inst.dl and inst.facts
+
+  $ negdl fixpoints inst.dl inst.facts | head -6
+  ground atoms:    18
+  ground rules:    230
+  fixpoint exists: true
+  fixpoints:       1
+  unique:          true
+  least fixpoint:  yes
+
+The full semantics zoo is selectable; Kripke-Kleene is three-valued:
+
+  $ negdl eval pi1.dl c4.facts -s kripke-kleene
+  t/1 (0 tuples) = {}
+  -- unknown (three-valued) --
+  t/1 (4 tuples) = {(v0); (v1); (v2); (v3)}
+
+  $ negdl eval pi1.dl c4.facts -s well-founded
+  t/1 (0 tuples) = {}
+  -- unknown (three-valued) --
+  t/1 (4 tuples) = {(v0); (v1); (v2); (v3)}

@@ -1,0 +1,1 @@
+test/support/gen_programs.ml: Datalog Graphlib List Printf QCheck Relalg

@@ -1,0 +1,1 @@
+test/support/gen_programs.mli: Datalog QCheck Relalg

@@ -1,0 +1,88 @@
+module Ast = Datalog.Ast
+
+let variables = [ "X"; "Y"; "Z" ]
+
+let preds = [ ("p", 1); ("q", 1); ("r", 2); ("e", 2); ("u", 1) ]
+
+let idb_preds = [ ("p", 1); ("q", 1); ("r", 2) ]
+
+let gen_term = QCheck.Gen.(map (fun v -> Ast.Var v) (oneofl variables))
+
+let gen_atom_of preds =
+  QCheck.Gen.(
+    let* name, arity = oneofl preds in
+    let* args = list_size (return arity) gen_term in
+    return (Ast.atom name args))
+
+let gen_literal =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun a -> Ast.Pos a) (gen_atom_of preds));
+        (3, map (fun a -> Ast.Neg a) (gen_atom_of preds));
+        ( 1,
+          let* v1 = oneofl variables in
+          let* v2 = oneofl variables in
+          let* eq = bool in
+          return
+            (if eq then Ast.Eq (Ast.Var v1, Ast.Var v2)
+             else Ast.Neq (Ast.Var v1, Ast.Var v2)) );
+      ])
+
+let gen_rule =
+  QCheck.Gen.(
+    let* head = gen_atom_of idb_preds in
+    let* body_len = int_range 1 3 in
+    let* body = list_size (return body_len) gen_literal in
+    return (Ast.rule head body))
+
+let gen_program =
+  QCheck.Gen.(
+    let* n = int_range 1 4 in
+    let* rules = list_size (return n) gen_rule in
+    return (Ast.program rules))
+
+let gen_database =
+  QCheck.Gen.(
+    let* n = int_range 2 4 in
+    let* seed = int_range 0 10000 in
+    let g = Graphlib.Generate.random ~seed ~n ~p:0.35 in
+    let db = Graphlib.Digraph.to_database g in
+    let* marks = list_size (return n) bool in
+    let db =
+      List.fold_left
+        (fun db (v, marked) ->
+          if marked then
+            Relalg.Database.add_fact "u"
+              (Relalg.Tuple.singleton (Graphlib.Digraph.vertex_symbol v))
+              db
+          else db)
+        db
+        (List.mapi (fun v m -> (v, m)) marks)
+    in
+    return db)
+
+let print_case (p, db) =
+  Printf.sprintf "program:\n%s\ndatabase:\n%s"
+    (Datalog.Pretty.program_to_string p)
+    (Relalg.Database.to_string db)
+
+let arb_case =
+  QCheck.make (QCheck.Gen.pair gen_program gen_database) ~print:print_case
+
+let positivise (p : Ast.program) =
+  let fix_rule (r : Ast.rule) =
+    let body =
+      List.filter
+        (function
+          | Ast.Pos _ | Ast.Eq _ -> true
+          | Ast.Neg _ | Ast.Neq _ -> false)
+        r.body
+    in
+    let body =
+      if List.exists (function Ast.Pos _ -> true | _ -> false) body then body
+      else Ast.Pos (Ast.atom "e" [ Ast.Var "X"; Ast.Var "Y" ]) :: body
+    in
+    { r with Ast.body }
+  in
+  Ast.program (List.map fix_rule p.Ast.rules)

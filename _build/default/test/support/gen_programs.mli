@@ -1,0 +1,17 @@
+(** Random DATALOG-not programs and databases for property tests.
+
+    One shared generator so every suite exercises the same program space:
+    IDB predicates p/1, q/1, r/2 over EDB e/2 (a random digraph) and u/1
+    (random unary marks), with variables X, Y, Z, negation, and
+    (in)equalities. *)
+
+val gen_program : Datalog.Ast.program QCheck.Gen.t
+
+val gen_database : Relalg.Database.t QCheck.Gen.t
+
+val arb_case : (Datalog.Ast.program * Relalg.Database.t) QCheck.arbitrary
+(** A program and a database, printed readably on failure. *)
+
+val positivise : Datalog.Ast.program -> Datalog.Ast.program
+(** Strips negation and inequality, padding empty-positive bodies with
+    [e(X, Y)] so every rule keeps a positive literal. *)

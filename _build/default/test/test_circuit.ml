@@ -1,0 +1,225 @@
+(* Tests for the circuit substrate: the triple encoding, the builder
+   combinators, the Tseitin translation, and succinct graphs. *)
+
+open Circuitlib
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Circuit ---------------------------------------------------------------- *)
+
+let and_circuit =
+  Circuit.create [| Circuit.In; Circuit.In; Circuit.And (0, 1) |]
+
+let test_eval_basic_gates () =
+  check bool "and tt" true (Circuit.eval and_circuit [| true; true |]);
+  check bool "and tf" false (Circuit.eval and_circuit [| true; false |]);
+  let or_c = Circuit.create [| Circuit.In; Circuit.In; Circuit.Or (0, 1) |] in
+  check bool "or ft" true (Circuit.eval or_c [| false; true |]);
+  let not_c = Circuit.create [| Circuit.In; Circuit.Not 0 |] in
+  check bool "not f" true (Circuit.eval not_c [| false |])
+
+let test_create_validates_wiring () =
+  Alcotest.check_raises "forward reference"
+    (Invalid_argument "Circuit.create: gate 0 reads gate 1 (must be < 0)")
+    (fun () -> ignore (Circuit.create [| Circuit.Not 1; Circuit.In |]))
+
+let test_input_count_checked () =
+  Alcotest.check_raises "wrong inputs"
+    (Invalid_argument "Circuit.eval_all: expected 2 inputs, got 1") (fun () ->
+      ignore (Circuit.eval and_circuit [| true |]))
+
+let test_triples () =
+  match Circuit.triples and_circuit with
+  | [ ("IN", 0, 0); ("IN", 0, 0); ("AND", 0, 1) ] -> ()
+  | _ -> Alcotest.fail "unexpected triples"
+
+(* --- Build ------------------------------------------------------------------- *)
+
+let test_build_xor () =
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let b = Build.input ctx in
+  let c = Build.finish ctx (Build.bxor ctx a b) in
+  List.iter
+    (fun (x, y) ->
+      check bool
+        (Printf.sprintf "xor %b %b" x y)
+        (x <> y)
+        (Circuit.eval c [| x; y |]))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_build_iff_constants () =
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let b = Build.input ctx in
+  let c = Build.finish ctx (Build.biff ctx a b) in
+  check bool "iff tt" true (Circuit.eval c [| true; true |]);
+  check bool "iff tf" false (Circuit.eval c [| true; false |]);
+  let ctx = Build.create () in
+  let _ = Build.input ctx in
+  let t = Build.finish ctx (Build.btrue ctx) in
+  check bool "const true" true (Circuit.eval t [| false |]);
+  let ctx = Build.create () in
+  let _ = Build.input ctx in
+  let f = Build.finish ctx (Build.bfalse ctx) in
+  check bool "const false" false (Circuit.eval f [| true |])
+
+let test_build_lists () =
+  let ctx = Build.create () in
+  let inputs = Build.inputs ctx 3 in
+  let c = Build.finish ctx (Build.band_list ctx inputs) in
+  check bool "all true" true (Circuit.eval c [| true; true; true |]);
+  check bool "one false" false (Circuit.eval c [| true; false; true |])
+
+let test_btrue_requires_gate () =
+  let ctx = Build.create () in
+  Alcotest.check_raises "no gates"
+    (Invalid_argument "Build.btrue: the circuit encoding needs at least one gate")
+    (fun () -> ignore (Build.btrue ctx))
+
+(* --- Tseitin ---------------------------------------------------------------- *)
+
+let test_tseitin_agrees_with_eval () =
+  (* For every input vector, force the inputs in the CNF and compare the
+     output variable against direct evaluation. *)
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let b = Build.input ctx in
+  let c = Build.input ctx in
+  let w = Build.bor ctx (Build.band ctx a (Build.bnot ctx b)) (Build.bxor ctx b c) in
+  let circuit = Build.finish ctx w in
+  let cnf, input_vars, out = Tseitin.to_cnf circuit in
+  for mask = 0 to 7 do
+    let inputs = Array.init 3 (fun i -> (mask lsr i) land 1 = 1) in
+    let expected = Circuit.eval circuit inputs in
+    let units =
+      Array.to_list (Array.mapi (fun i v -> if inputs.(i) then v else -v) input_vars)
+    in
+    let result =
+      Satlib.Solver.solve_with_units cnf ((if expected then out else -out) :: units)
+    in
+    check bool
+      (Printf.sprintf "mask %d" mask)
+      true
+      (match result with Satlib.Solver.Sat _ -> true | Satlib.Solver.Unsat -> false);
+    (* And the opposite output value must be impossible. *)
+    let opposite =
+      Satlib.Solver.solve_with_units cnf ((if expected then -out else out) :: units)
+    in
+    check bool
+      (Printf.sprintf "mask %d opposite" mask)
+      true
+      (match opposite with Satlib.Solver.Unsat -> true | _ -> false)
+  done
+
+let test_tseitin_satisfiable_output () =
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let c1 = Build.finish ctx (Build.band ctx a (Build.bnot ctx a)) in
+  check bool "contradictory circuit" false (Tseitin.satisfiable_output c1);
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  check bool "identity" true (Tseitin.satisfiable_output (Build.finish ctx a))
+
+let test_tseitin_equivalence () =
+  (* x xor y built two ways. *)
+  let build1 () =
+    let ctx = Build.create () in
+    let a = Build.input ctx in
+    let b = Build.input ctx in
+    Build.finish ctx (Build.bxor ctx a b)
+  in
+  let build2 () =
+    let ctx = Build.create () in
+    let a = Build.input ctx in
+    let b = Build.input ctx in
+    (* (a \/ b) /\ ~(a /\ b) *)
+    Build.finish ctx
+      (Build.band ctx (Build.bor ctx a b) (Build.bnot ctx (Build.band ctx a b)))
+  in
+  check bool "equivalent" true (Tseitin.equivalent (build1 ()) (build2 ()));
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let _b = Build.input ctx in
+  let ident = Build.finish ctx a in
+  check bool "not equivalent" false (Tseitin.equivalent (build1 ()) ident)
+
+(* --- Succinct graphs ---------------------------------------------------------- *)
+
+let test_succinct_hypercube () =
+  let sg = Succinct.hypercube 3 in
+  let g = Succinct.expand sg in
+  check int "8 nodes" 8 (Graphlib.Digraph.vertex_count g);
+  (* Each node has 3 neighbours, both directions present: 24 edges. *)
+  check int "24 directed edges" 24 (Graphlib.Digraph.edge_count g);
+  check bool "000-001" true (Succinct.has_edge sg 0 1);
+  check bool "000-011 not" false (Succinct.has_edge sg 0 3)
+
+let test_succinct_complete_empty () =
+  let c = Succinct.expand (Succinct.complete 2) in
+  check int "complete edges" 12 (Graphlib.Digraph.edge_count c);
+  let e = Succinct.expand (Succinct.empty 2) in
+  check int "no edges" 0 (Graphlib.Digraph.edge_count e)
+
+let test_succinct_of_explicit () =
+  List.iter
+    (fun g ->
+      let sg = Succinct.of_explicit g in
+      let expanded = Succinct.expand sg in
+      (* The expansion pads to a power of two with isolated vertices; the
+         original edges must be exactly preserved. *)
+      List.iter
+        (fun (u, v) ->
+          check bool "edge preserved" true (Graphlib.Digraph.has_edge expanded u v))
+        (Graphlib.Digraph.edges g);
+      check int "no extra edges" (Graphlib.Digraph.edge_count g)
+        (Graphlib.Digraph.edge_count expanded))
+    [
+      Graphlib.Generate.path 3;
+      Graphlib.Generate.cycle 5;
+      Graphlib.Generate.complete 3;
+      Graphlib.Generate.random ~seed:4 ~n:6 ~p:0.3;
+    ]
+
+let test_succinct_input_validation () =
+  let ctx = Build.create () in
+  let a = Build.input ctx in
+  let c = Build.finish ctx a in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Succinct.make: circuit has 1 inputs, expected 4")
+    (fun () -> ignore (Succinct.make ~bits:2 c))
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "gates" `Quick test_eval_basic_gates;
+          Alcotest.test_case "wiring validation" `Quick test_create_validates_wiring;
+          Alcotest.test_case "input count" `Quick test_input_count_checked;
+          Alcotest.test_case "triples" `Quick test_triples;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "xor" `Quick test_build_xor;
+          Alcotest.test_case "iff/constants" `Quick test_build_iff_constants;
+          Alcotest.test_case "lists" `Quick test_build_lists;
+          Alcotest.test_case "btrue guard" `Quick test_btrue_requires_gate;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "agrees with eval" `Quick test_tseitin_agrees_with_eval;
+          Alcotest.test_case "satisfiable output" `Quick
+            test_tseitin_satisfiable_output;
+          Alcotest.test_case "equivalence" `Quick test_tseitin_equivalence;
+        ] );
+      ( "succinct",
+        [
+          Alcotest.test_case "hypercube" `Quick test_succinct_hypercube;
+          Alcotest.test_case "complete/empty" `Quick test_succinct_complete_empty;
+          Alcotest.test_case "of explicit" `Quick test_succinct_of_explicit;
+          Alcotest.test_case "validation" `Quick test_succinct_input_validation;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the DATALOG-not language layer: lexer, parser, pretty-printer
+   round trips, AST queries, static checks, the dependency graph and
+   stratification. *)
+
+module Ast = Datalog.Ast
+module Lexer = Datalog.Lexer
+module Parser = Datalog.Parser
+module Pretty = Datalog.Pretty
+module Check = Datalog.Check
+module Depgraph = Datalog.Depgraph
+module Stratify = Datalog.Stratify
+open Datalog.Dsl
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* --- Lexer ----------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "t(X) :- e(Y, X), !t(Y), X != Y. % trailing" with
+  | Error e -> Alcotest.fail e
+  | Ok tokens ->
+    let kinds = List.map fst tokens in
+    check int "token count" 23 (List.length kinds);
+    check bool "ends with eof" true (List.mem Lexer.EOF kinds);
+    check bool "has neq" true (List.mem Lexer.NOT_EQUAL kinds)
+
+let test_lexer_negation_spellings () =
+  List.iter
+    (fun text ->
+      match Parser.parse_program text with
+      | Ok p ->
+        check bool text true
+          (match (List.hd p.Ast.rules).Ast.body with
+          | [ Ast.Neg _ ] -> true
+          | _ -> false)
+      | Error e -> Alcotest.fail e)
+    [ "t(X) :- !p(X)."; "t(X) :- not p(X)."; "t(X) :- \\+p(X)." ]
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "t(X) : - p(X)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone colon accepted");
+  match Lexer.tokenize "t(X) <- p(X)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone < accepted"
+
+(* --- Parser ----------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let p = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)." in
+  check int "one rule" 1 (List.length p.Ast.rules);
+  let r = List.hd p.Ast.rules in
+  check string "head pred" "t" r.Ast.head.Ast.pred;
+  check int "body size" 2 (List.length r.Ast.body)
+
+let test_parse_fact_and_empty_body () =
+  let p = Parser.parse_program_exn "start(a). p(X) :- ." in
+  (match p.Ast.rules with
+  | [ fact_rule; empty_rule ] ->
+    check int "fact body" 0 (List.length fact_rule.Ast.body);
+    check int "empty body" 0 (List.length empty_rule.Ast.body);
+    check bool "constant arg" true
+      (match fact_rule.Ast.head.Ast.args with
+      | [ Ast.Const c ] -> Relalg.Symbol.name c = "a"
+      | _ -> false)
+  | _ -> Alcotest.fail "expected two rules");
+  ()
+
+let test_parse_zero_ary () =
+  let p = Parser.parse_program_exn "flag :- marker(X). go :- flag." in
+  check int "two rules" 2 (List.length p.Ast.rules)
+
+let test_parse_comparisons () =
+  let r = Parser.parse_rule_exn "p(X, Y) :- e(X, Y), X != Y, X = X." in
+  check int "3 literals" 3 (List.length r.Ast.body)
+
+let test_parse_constant_comparison () =
+  let r = Parser.parse_rule_exn "p(X) :- e(X, Y), Y = a." in
+  match r.Ast.body with
+  | [ _; Ast.Eq (Ast.Var "Y", Ast.Const c) ] ->
+    check string "constant" "a" (Relalg.Symbol.name c)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Parser.parse_program text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [
+      "t(X) :- e(X, Y)";      (* missing period *)
+      "t(X) :- , e(X, Y).";   (* leading comma *)
+      "t(X) :- e(X, Y,).";    (* trailing comma *)
+      ":- e(X, Y).";          (* no head *)
+      "t(X) :- !X = Y.";      (* negated comparison *)
+      "t(X) :- X.";           (* bare variable as literal *)
+    ]
+
+(* --- Pretty round trip ------------------------------------------------------- *)
+
+let roundtrip_programs =
+  [
+    "t(X) :- e(Y, X), !t(Y).";
+    "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y).";
+    "q(X) :- !s(X), n(X, Y), !s(Y).";
+    "p(X, Y) :- e(X, Y), X != Y, Y = Y.";
+    "flag. start(a). t(Z) :- !q(U), !t(W).";
+  ]
+
+let test_pretty_roundtrip () =
+  List.iter
+    (fun text ->
+      let p = Parser.parse_program_exn text in
+      let p' = Parser.parse_program_exn (Pretty.program_to_string p) in
+      check bool text true (p = p'))
+    roundtrip_programs
+
+let test_pretty_shapes () =
+  let r = Parser.parse_rule_exn "t(X) :- e(Y, X), !t(Y)." in
+  check string "rule text" "t(X) :- e(Y, X), !t(Y)." (Pretty.rule_to_string r);
+  let fact = Parser.parse_rule_exn "flag." in
+  check string "fact text" "flag." (Pretty.rule_to_string fact)
+
+(* --- AST queries ---------------------------------------------------------------- *)
+
+let pi2 =
+  (* The paper's pi_2: s1/s2 with negation across them. *)
+  Parser.parse_program_exn
+    "s1(X, Y) :- e(X, Y). s1(X, Y) :- e(X, Z), s1(Z, Y).\n\
+     s2(X, Y, Z, W) :- s1(X, Y), !s1(Z, W)."
+
+let test_idb_edb () =
+  Alcotest.(check (list string)) "idb" [ "s1"; "s2" ] (Ast.idb_predicates pi2);
+  Alcotest.(check (list string)) "edb" [ "e" ] (Ast.edb_predicates pi2)
+
+let test_schema_inference () =
+  match Ast.inferred_schema pi2 with
+  | Error e -> Alcotest.fail e
+  | Ok schema ->
+    check (Alcotest.option int) "s2 arity" (Some 4)
+      (Relalg.Schema.arity "s2" schema);
+    check (Alcotest.option int) "e arity" (Some 2) (Relalg.Schema.arity "e" schema)
+
+let test_schema_conflict () =
+  let bad = Parser.parse_program_exn "p(X) :- q(X). p(X, Y) :- q(Y)." in
+  match Ast.inferred_schema bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "conflicting arity accepted"
+
+let test_rule_variables () =
+  let r = Parser.parse_rule_exn "s2(X, Y, Z, W) :- s1(X, Y), !s1(Z, W)." in
+  Alcotest.(check (list string)) "vars in order" [ "X"; "Y"; "Z"; "W" ]
+    (Ast.rule_variables r);
+  Alcotest.(check (list string)) "positive binds" [ "X"; "Y" ]
+    (Ast.positive_body_variables r);
+  check bool "not range restricted" false (Ast.is_range_restricted r)
+
+let test_head_only_variables () =
+  let r = Parser.parse_rule_exn "p(X, Y) :- e(X, Z)." in
+  Alcotest.(check (list string)) "head only" [ "Y" ] (Ast.head_only_variables r)
+
+let test_positivity () =
+  check bool "pi2 not positive" false (Ast.is_positive pi2);
+  check bool "tc positive" true
+    (Ast.is_positive (Parser.parse_program_exn "s(X,Y) :- e(X,Y)."))
+
+let test_rename_predicate () =
+  let p = Ast.rename_predicate ~old_name:"e" ~new_name:"edge" pi2 in
+  check bool "no more e" true (not (List.mem "e" (Ast.predicates p)));
+  check bool "edge present" true (List.mem "edge" (Ast.predicates p))
+
+let test_union_dedups () =
+  let p = Parser.parse_program_exn "a(X) :- b(X)." in
+  check int "dedup" 1 (List.length (Ast.union p p).Ast.rules)
+
+(* --- Dsl --------------------------------------------------------------------- *)
+
+let test_dsl_matches_parser () =
+  let built =
+    prog [ ("t", [ v "X" ]) <-- [ pos "e" [ v "Y"; v "X" ]; neg "t" [ v "Y" ] ] ]
+  in
+  let parsed = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)." in
+  check bool "identical" true (built = parsed)
+
+(* --- Check ------------------------------------------------------------------- *)
+
+let test_check_reports () =
+  match Check.validate pi2 with
+  | Error _ -> Alcotest.fail "pi2 is valid"
+  | Ok info ->
+    check bool "negation" true info.Check.uses_negation;
+    check bool "not range restricted" false info.Check.range_restricted;
+    check int "one unrestricted rule" 1 (List.length info.Check.unrestricted_rules)
+
+let test_check_errors () =
+  (match Check.validate (Ast.program []) with
+  | Error [ Check.Empty_program ] -> ()
+  | _ -> Alcotest.fail "empty program should error");
+  let bad = Parser.parse_program_exn "p(X) :- q(X). p(X, Y) :- q(Y)." in
+  match Check.validate bad with
+  | Error (Check.Inconsistent_arity _ :: _) -> ()
+  | _ -> Alcotest.fail "arity clash should error"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_describe () =
+  let d = Check.describe pi2 in
+  check bool "mentions negation" true (contains d "negation");
+  check bool "mentions universe-ranging" true (contains d "universe-ranging")
+
+(* --- Depgraph ------------------------------------------------------------------ *)
+
+let test_depgraph_edges () =
+  let g = Depgraph.build pi2 in
+  Alcotest.(check (list string)) "s2 depends" [ "s1" ] (Depgraph.depends_on g "s2");
+  Alcotest.(check (list string)) "s2 negative" [ "s1" ]
+    (Depgraph.negatively_depends_on g "s2");
+  Alcotest.(check (list string)) "s1 depends" [ "e"; "s1" ]
+    (List.sort String.compare (Depgraph.depends_on g "s1"))
+
+let test_depgraph_recursion () =
+  let g = Depgraph.build pi2 in
+  Alcotest.(check (list string)) "recursive" [ "s1" ]
+    (Depgraph.recursive_predicates g);
+  check bool "no recursion through negation" false
+    (Depgraph.has_recursion_through_negation g);
+  let toggle = Parser.parse_program_exn "t(Z) :- !t(W)." in
+  check bool "toggle recurses through negation" true
+    (Depgraph.has_recursion_through_negation (Depgraph.build toggle))
+
+(* --- Stratify ------------------------------------------------------------------- *)
+
+let test_stratify_two_strata () =
+  match Stratify.stratify pi2 with
+  | Stratify.Not_stratifiable _ -> Alcotest.fail "pi2 stratifies"
+  | Stratify.Stratified { strata; stratum_of } ->
+    check int "two strata" 2 (List.length strata);
+    check (Alcotest.option int) "s1 low" (Some 0) (stratum_of "s1");
+    check (Alcotest.option int) "s2 high" (Some 1) (stratum_of "s2");
+    check (Alcotest.option int) "edb none" None (stratum_of "e")
+
+let test_stratify_rejects_toggle () =
+  match Stratify.stratify (Parser.parse_program_exn "t(Z) :- !t(W).") with
+  | Stratify.Not_stratifiable { offending = p, q } ->
+    check string "offender" "t" p;
+    check string "offended" "t" q
+  | Stratify.Stratified _ -> Alcotest.fail "toggle must not stratify"
+
+let test_stratify_mutual_recursion_positive () =
+  (* Mutually recursive but positive: one stratum. *)
+  let p = Parser.parse_program_exn "a(X) :- b(X). b(X) :- a(X). b(X) :- e(X)." in
+  match Stratify.stratify p with
+  | Stratify.Stratified { strata; _ } -> check int "one stratum" 1 (List.length strata)
+  | Stratify.Not_stratifiable _ -> Alcotest.fail "positive recursion stratifies"
+
+let test_stratify_mutual_negation () =
+  let p = Parser.parse_program_exn "a(X) :- !b(X). b(X) :- !a(X)." in
+  check bool "mutual negation rejected" false (Stratify.is_stratified p)
+
+let test_stratify_chain () =
+  (* Three layers: base, negation, negation of negation. *)
+  let p =
+    Parser.parse_program_exn
+      "a(X) :- e(X, X). b(X) :- !a(X). c(X) :- !b(X), a(X)."
+  in
+  match Stratify.stratify p with
+  | Stratify.Stratified { stratum_of; _ } ->
+    check (Alcotest.option int) "a" (Some 0) (stratum_of "a");
+    check (Alcotest.option int) "b" (Some 1) (stratum_of "b");
+    check (Alcotest.option int) "c" (Some 2) (stratum_of "c")
+  | Stratify.Not_stratifiable _ -> Alcotest.fail "chain stratifies"
+
+let test_rules_of_stratum () =
+  match Stratify.stratify pi2 with
+  | Stratify.Stratified strat ->
+    check int "stratum 0 rules" 2
+      (List.length (Stratify.rules_of_stratum pi2 strat 0));
+    check int "stratum 1 rules" 1
+      (List.length (Stratify.rules_of_stratum pi2 strat 1))
+  | Stratify.Not_stratifiable _ -> Alcotest.fail "pi2 stratifies"
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "negation spellings" `Quick test_lexer_negation_spellings;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "facts" `Quick test_parse_fact_and_empty_body;
+          Alcotest.test_case "zero-ary" `Quick test_parse_zero_ary;
+          Alcotest.test_case "comparisons" `Quick test_parse_comparisons;
+          Alcotest.test_case "constant comparison" `Quick test_parse_constant_comparison;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "shapes" `Quick test_pretty_shapes;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "idb/edb" `Quick test_idb_edb;
+          Alcotest.test_case "schema" `Quick test_schema_inference;
+          Alcotest.test_case "schema conflict" `Quick test_schema_conflict;
+          Alcotest.test_case "rule variables" `Quick test_rule_variables;
+          Alcotest.test_case "head-only vars" `Quick test_head_only_variables;
+          Alcotest.test_case "positivity" `Quick test_positivity;
+          Alcotest.test_case "rename" `Quick test_rename_predicate;
+          Alcotest.test_case "union dedup" `Quick test_union_dedups;
+        ] );
+      ("dsl", [ Alcotest.test_case "matches parser" `Quick test_dsl_matches_parser ]);
+      ( "check",
+        [
+          Alcotest.test_case "reports" `Quick test_check_reports;
+          Alcotest.test_case "errors" `Quick test_check_errors;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "depgraph",
+        [
+          Alcotest.test_case "edges" `Quick test_depgraph_edges;
+          Alcotest.test_case "recursion" `Quick test_depgraph_recursion;
+        ] );
+      ( "stratify",
+        [
+          Alcotest.test_case "two strata" `Quick test_stratify_two_strata;
+          Alcotest.test_case "rejects toggle" `Quick test_stratify_rejects_toggle;
+          Alcotest.test_case "positive recursion" `Quick
+            test_stratify_mutual_recursion_positive;
+          Alcotest.test_case "mutual negation" `Quick test_stratify_mutual_negation;
+          Alcotest.test_case "chain" `Quick test_stratify_chain;
+          Alcotest.test_case "rules of stratum" `Quick test_rules_of_stratum;
+        ] );
+    ]

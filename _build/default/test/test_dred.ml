@@ -1,0 +1,178 @@
+(* Tests for incremental maintenance under deletions (DRed): the maintained
+   materialisation must equal recomputation from scratch, on hand-picked
+   and random instances; the over-delete / re-derive counters must behave
+   (alternative derivations come back). *)
+
+module Ast = Datalog.Ast
+module Parser = Datalog.Parser
+module Dred = Evallib.Dred
+module Naive = Evallib.Naive
+module Idb = Evallib.Idb
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+module Tuple = Relalg.Tuple
+module Database = Relalg.Database
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tc =
+  Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+let vsym = Digraph.vertex_symbol
+
+let edge u v = ("e", Tuple.pair (vsym u) (vsym v))
+
+let maintain p db removals =
+  let current = Naive.least_fixpoint p db in
+  Dred.delete_facts p db ~current ~removals
+
+let test_delete_breaks_path () =
+  (* Path 0->1->2->3; deleting (1,2) halves the closure. *)
+  let db = Digraph.to_database (Generate.path 4) in
+  let delta = maintain tc db [ edge 1 2 ] in
+  let expected = Naive.least_fixpoint tc delta.Dred.new_db in
+  check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected);
+  (* Remaining edges (0,1) and (2,3) are the whole closure. *)
+  check int "closure size" 2 (Idb.total_cardinal delta.Dred.new_idb)
+
+let test_alternative_derivation_survives () =
+  (* Two parallel paths 0->1->3 and 0->2->3: deleting one middle edge keeps
+     (0,3) reachable, so re-derivation must bring it back. *)
+  let g = Digraph.make 4 [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
+  let db = Digraph.to_database g in
+  let delta = maintain tc db [ edge 1 3 ] in
+  let expected = Naive.least_fixpoint tc delta.Dred.new_db in
+  check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected);
+  check bool "(0,3) still derived" true
+    (Relalg.Relation.mem
+       (Tuple.pair (vsym 0) (vsym 3))
+       (Idb.get delta.Dred.new_idb "s"));
+  check bool "something was re-derived" true (delta.Dred.rederived > 0)
+
+let test_delete_multiple () =
+  let g = Generate.cycle 5 in
+  let db = Digraph.to_database g in
+  let delta = maintain tc db [ edge 0 1; edge 2 3 ] in
+  let expected = Naive.least_fixpoint tc delta.Dred.new_db in
+  check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected)
+
+let test_validation () =
+  let db = Digraph.to_database (Generate.path 3) in
+  let current = Naive.least_fixpoint tc db in
+  Alcotest.check_raises "IDB removal rejected"
+    (Invalid_argument "Dred.delete_facts: s is an IDB predicate") (fun () ->
+      ignore
+        (Dred.delete_facts tc db ~current
+           ~removals:[ ("s", Tuple.pair (vsym 0) (vsym 1)) ]));
+  Alcotest.check_raises "absent fact rejected"
+    (Invalid_argument "Dred.delete_facts: e(v2, v0) is not in the database")
+    (fun () ->
+      ignore
+        (Dred.delete_facts tc db ~current
+           ~removals:[ ("e", Tuple.pair (vsym 2) (vsym 0)) ]));
+  let neg = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)." in
+  Alcotest.check_raises "negation rejected"
+    (Invalid_argument "Dred.delete_facts: the program must be positive")
+    (fun () ->
+      ignore
+        (Dred.delete_facts neg db ~current:(Idb.of_program neg)
+           ~removals:[ edge 0 1 ]))
+
+let test_two_predicates () =
+  (* Same-generation style program with two EDB relations; delete from
+     both. *)
+  let p =
+    Parser.parse_program_exn
+      "r(X, Y) :- a(X, Y). r(X, Y) :- b(X, Y). rr(X, Y) :- r(X, Z), r(Z, Y)."
+  in
+  let db =
+    Database.of_facts ~universe:[]
+      [
+        ("a", [ "x"; "y" ]); ("a", [ "y"; "z" ]);
+        ("b", [ "x"; "y" ]); ("b", [ "z"; "w" ]);
+      ]
+  in
+  let current = Naive.least_fixpoint p db in
+  let delta =
+    Dred.delete_facts p db ~current
+      ~removals:[ ("a", Tuple.of_strings [ "x"; "y" ]) ]
+  in
+  let expected = Naive.least_fixpoint p delta.Dred.new_db in
+  check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected);
+  (* r(x, y) survives via b. *)
+  check bool "alternative base fact" true
+    (Relalg.Relation.mem (Tuple.of_strings [ "x"; "y" ])
+       (Idb.get delta.Dred.new_idb "r"))
+
+let test_insert_extends_path () =
+  (* Path 0->1->2; adding edge (2,3) with a brand-new vertex extends the
+     closure. *)
+  let db = Digraph.to_database (Generate.path 3) in
+  let current = Naive.least_fixpoint tc db in
+  let addition = ("e", Tuple.of_strings [ "v2"; "v3" ]) in
+  let delta = Evallib.Dred.insert_facts tc db ~current ~additions:[ addition ] in
+  let expected = Naive.least_fixpoint tc delta.Dred.new_db in
+  check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected);
+  check int "three new closure facts" 3 delta.Dred.rederived
+
+let prop_insert_equals_recompute =
+  QCheck.Test.make ~name:"insertion maintenance = recomputation" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 3 6 in
+         let* seed = int_range 0 10000 in
+         let* u = int_range 0 (n - 1) in
+         let* v = int_range 0 (n - 1) in
+         return (n, seed, u, v))
+       ~print:(fun (n, seed, u, v) ->
+         Printf.sprintf "n=%d seed=%d edge=(%d,%d)" n seed u v))
+    (fun (n, seed, u, v) ->
+      let g = Generate.random ~seed ~n ~p:0.3 in
+      let db = Digraph.to_database g in
+      let current = Naive.least_fixpoint tc db in
+      let delta =
+        Evallib.Dred.insert_facts tc db ~current ~additions:[ edge u v ]
+      in
+      Idb.equal delta.Dred.new_idb (Naive.least_fixpoint tc delta.Dred.new_db))
+
+(* Random graphs: DRed = recompute, for random single and double deletions. *)
+let prop_dred_equals_recompute =
+  QCheck.Test.make ~name:"DRed = recomputation on random graphs" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 3 6 in
+         let* seed = int_range 0 10000 in
+         let* k = int_range 1 2 in
+         return (n, seed, k))
+       ~print:(fun (n, seed, k) -> Printf.sprintf "n=%d seed=%d k=%d" n seed k))
+    (fun (n, seed, k) ->
+      let g = Generate.random ~seed ~n ~p:0.4 in
+      QCheck.assume (Digraph.edge_count g > k);
+      let db = Digraph.to_database g in
+      let edges = Digraph.edges g in
+      let removals =
+        List.filteri (fun i _ -> i < k) edges
+        |> List.map (fun (u, v) -> edge u v)
+      in
+      let delta = maintain tc db removals in
+      Idb.equal delta.Dred.new_idb (Naive.least_fixpoint tc delta.Dred.new_db))
+
+let () =
+  Alcotest.run "dred"
+    [
+      ( "dred",
+        [
+          Alcotest.test_case "breaks path" `Quick test_delete_breaks_path;
+          Alcotest.test_case "alternative derivation" `Quick
+            test_alternative_derivation_survives;
+          Alcotest.test_case "multiple deletions" `Quick test_delete_multiple;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "two predicates" `Quick test_two_predicates;
+          Alcotest.test_case "insert extends" `Quick test_insert_extends_path;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dred_equals_recompute; prop_insert_equals_recompute ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for fixpoint search: the Section 2 census of pi_1's fixpoints on
+   paths, cycles and disjoint unions of cycles, brute force vs the SAT
+   encoding, and the least-fixpoint characterisation of Theorem 3. *)
+
+open Fixpointlib
+module Idb = Evallib.Idb
+module Ground = Evallib.Ground
+module Theta = Evallib.Theta
+module Parser = Datalog.Parser
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let pi1 = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)."
+
+let pi3 =
+  Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+let toggle = Parser.parse_program_exn "t(Z) :- !t(W)."
+
+let db_of_graph g = Digraph.to_database g
+
+let solve_of g = Solve.prepare pi1 (db_of_graph g)
+
+let ground_of p g = Ground.ground p (db_of_graph g)
+
+(* --- The paper's census (Section 2) ------------------------------------- *)
+
+let test_path_unique_fixpoint () =
+  (* On L_n the program pi_1 has a unique fixpoint: the even positions
+     {2, 4, ...} in the paper's 1-based numbering = odd indices 0-based. *)
+  for n = 1 to 7 do
+    let g = Generate.path n in
+    let ground = ground_of pi1 g in
+    let fps = Brute.all_fixpoints ground in
+    check int (Printf.sprintf "L%d has one fixpoint" n) 1 (List.length fps);
+    let expected_vertices =
+      List.filter (fun v -> v mod 2 = 1) (Digraph.vertices g)
+    in
+    let expected =
+      List.fold_left
+        (fun r v -> Relation.add (Tuple.singleton (Digraph.vertex_symbol v)) r)
+        (Relation.empty 1) expected_vertices
+    in
+    match fps with
+    | [ fp ] ->
+      let t =
+        if Idb.mem fp "t" then Idb.get fp "t" else Relation.empty 1
+      in
+      check bool
+        (Printf.sprintf "L%d fixpoint = even positions" n)
+        true
+        (Relation.equal t expected)
+    | _ -> Alcotest.fail "expected exactly one fixpoint"
+  done
+
+let test_cycle_census () =
+  (* C_n: no fixpoint for odd n, exactly two for even n. *)
+  for n = 2 to 9 do
+    let expected = if n mod 2 = 0 then 2 else 0 in
+    let count = Brute.count (ground_of pi1 (Generate.cycle n)) in
+    check int (Printf.sprintf "C%d" n) expected count
+  done
+
+let test_even_cycle_fixpoints_incomparable () =
+  let ground = ground_of pi1 (Generate.cycle 6) in
+  match Brute.all_fixpoints ground with
+  | [ a; b ] ->
+    check bool "incomparable" true
+      ((not (Idb.subset a b)) && not (Idb.subset b a))
+  | _ -> Alcotest.fail "expected two fixpoints"
+
+let test_disjoint_cycles_exponential () =
+  (* k disjoint copies of C_4 give 2^k pairwise incomparable fixpoints and
+     no least fixpoint (the paper's G_n, with C_4 instead of C_n to keep the
+     atom count small). *)
+  for k = 1 to 3 do
+    let g = Generate.disjoint_copies k (Generate.cycle 4) in
+    let ground = ground_of pi1 g in
+    let fps = Brute.all_fixpoints ground in
+    check int (Printf.sprintf "2^%d fixpoints" k) (1 lsl k) (List.length fps);
+    check bool "no least fixpoint" true (Brute.least ground = None);
+    (* All pairwise incomparable. *)
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if not (Idb.equal a b) then
+              check bool "incomparable" false (Idb.subset a b))
+          fps)
+      fps
+  done
+
+let test_exact_census_matches_enumeration () =
+  List.iter
+    (fun g ->
+      let solver = solve_of g in
+      match Solve.count_exact solver with
+      | None -> Alcotest.fail "budget should suffice"
+      | Some n -> check int "exact = enumerated" (Solve.count solver) n)
+    [
+      Generate.path 5;
+      Generate.cycle 4;
+      Generate.cycle 5;
+      Generate.disjoint_copies 3 (Generate.cycle 4);
+      Generate.star 4;
+    ]
+
+let test_exact_census_scales_to_big_gn () =
+  (* 10 disjoint C_4's: 2^10 fixpoints counted without enumerating them
+     (the component decomposition mirrors the graph's disjointness). *)
+  let g = Generate.disjoint_copies 10 (Generate.cycle 4) in
+  match Solve.count_exact (solve_of g) with
+  | Some n -> check int "2^10" 1024 n
+  | None -> Alcotest.fail "components keep this cheap"
+
+(* --- Brute force vs SAT -------------------------------------------------- *)
+
+let test_sat_agrees_with_brute_on_census () =
+  let graphs =
+    [
+      Generate.path 3;
+      Generate.path 5;
+      Generate.cycle 3;
+      Generate.cycle 4;
+      Generate.cycle 5;
+      Generate.cycle 6;
+      Generate.disjoint_copies 2 (Generate.cycle 4);
+      Generate.star 4;
+      Generate.complete 3;
+    ]
+  in
+  List.iter
+    (fun g ->
+      let ground = ground_of pi1 g in
+      let solve = solve_of g in
+      check int "counts agree" (Brute.count ground) (Solve.count solve);
+      check bool "existence agrees" (Brute.exists ground) (Solve.exists solve);
+      check bool "uniqueness agrees" (Brute.has_unique ground)
+        (Solve.has_unique solve))
+    graphs
+
+let test_sat_agrees_on_random_graphs () =
+  List.iter
+    (fun seed ->
+      let g = Generate.random ~seed ~n:5 ~p:0.3 in
+      let ground = ground_of pi1 g in
+      let solve = solve_of g in
+      check int
+        (Printf.sprintf "count seed %d" seed)
+        (Brute.count ground) (Solve.count solve))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_found_fixpoints_check_out () =
+  List.iter
+    (fun seed ->
+      let g = Generate.random ~seed:(50 + seed) ~n:5 ~p:0.35 in
+      let db = db_of_graph g in
+      let solve = Solve.prepare pi1 db in
+      List.iter
+        (fun fp ->
+          check bool "is a fixpoint" true (Theta.is_fixpoint pi1 db fp))
+        (Solve.enumerate solve))
+    [ 1; 2; 3; 4; 5 ]
+
+(* --- Least fixpoints (Theorem 3) ----------------------------------------- *)
+
+let test_least_on_positive_program () =
+  (* A positive program always has a least fixpoint, and it is the naive
+     evaluation result. *)
+  List.iter
+    (fun seed ->
+      let g = Generate.random ~seed:(80 + seed) ~n:4 ~p:0.4 in
+      let db = db_of_graph g in
+      let solve = Solve.prepare pi3 db in
+      match Solve.least solve with
+      | None -> Alcotest.fail "positive program must have a least fixpoint"
+      | Some lfp ->
+        check bool "least = naive lfp" true
+          (Idb.equal lfp (Evallib.Naive.least_fixpoint pi3 db)))
+    [ 1; 2; 3 ]
+
+let test_least_agrees_with_brute () =
+  let graphs =
+    [
+      Generate.path 4;
+      Generate.cycle 4;
+      Generate.cycle 5;
+      Generate.disjoint_copies 2 (Generate.cycle 4);
+    ]
+  in
+  List.iter
+    (fun g ->
+      let ground = ground_of pi1 g in
+      let solve = solve_of g in
+      let brute = Brute.least ground in
+      let sat = Solve.least solve in
+      match (brute, sat) with
+      | None, None -> ()
+      | Some a, Some b -> check bool "least agree" true (Idb.equal a b)
+      | _ -> Alcotest.fail "least-fixpoint existence disagrees")
+    graphs
+
+let test_unique_fixpoint_is_least () =
+  (* On a path the unique fixpoint is trivially the least one. *)
+  let solve = solve_of (Generate.path 5) in
+  check bool "unique" true (Solve.has_unique solve);
+  check bool "least exists" true (Solve.least solve <> None)
+
+let test_even_cycle_no_least_but_minimal () =
+  let solve = solve_of (Generate.cycle 4) in
+  check bool "no least" true (Solve.least solve = None);
+  match Solve.minimal solve with
+  | None -> Alcotest.fail "C4 has fixpoints"
+  | Some m ->
+    (* A minimal fixpoint of pi_1 on C_4 has exactly 2 elements. *)
+    check int "minimal size" 2 (Idb.total_cardinal m)
+
+let test_intersection_on_even_cycle () =
+  (* The two fixpoints on C_4 are disjoint, so the intersection is empty —
+     and empty is not a fixpoint (every vertex has a predecessor). *)
+  let solve = solve_of (Generate.cycle 4) in
+  match Solve.intersection solve with
+  | None -> Alcotest.fail "C4 has fixpoints"
+  | Some inter -> check int "empty intersection" 0 (Idb.total_cardinal inter)
+
+(* --- Toggle rule --------------------------------------------------------- *)
+
+let test_toggle_no_fixpoint () =
+  (* T(z) <- !T(w) has no fixpoint on any nonempty universe. *)
+  for n = 1 to 4 do
+    let db = Relalg.Database.create_ints n in
+    let solve = Solve.prepare toggle db in
+    check bool (Printf.sprintf "toggle n=%d" n) false (Solve.exists solve);
+    check bool "brute agrees" false (Brute.exists (Ground.ground toggle db))
+  done
+
+let test_conditional_toggle () =
+  (* T(z) <- !Q(u), !T(w) with Q IDB but underivable: still no fixpoint.
+     With Q covering the universe (via an EDB copy rule), T = empty works. *)
+  let p = Parser.parse_program_exn "q(X) :- base(X). t(Z) :- !q(U), !t(W)." in
+  let full =
+    Relalg.Database.of_facts ~universe:[ "a"; "b" ]
+      [ ("base", [ "a" ]); ("base", [ "b" ]) ]
+  in
+  let partial =
+    Relalg.Database.of_facts ~universe:[ "a"; "b" ] [ ("base", [ "a" ]) ]
+  in
+  check bool "full coverage: fixpoint exists" true
+    (Solve.exists (Solve.prepare p full));
+  check bool "gap in q: no fixpoint" false
+    (Solve.exists (Solve.prepare p partial))
+
+(* --- Minimal fixpoints --------------------------------------------------- *)
+
+let test_minimal_is_fixpoint_and_minimal () =
+  let g = Generate.disjoint_copies 2 (Generate.cycle 4) in
+  let db = db_of_graph g in
+  let solve = Solve.prepare pi1 db in
+  match Solve.minimal solve with
+  | None -> Alcotest.fail "fixpoints exist"
+  | Some m ->
+    check bool "is fixpoint" true (Theta.is_fixpoint pi1 db m);
+    let all = Brute.all_fixpoints (Ground.ground pi1 db) in
+    check bool "nothing strictly below" true
+      (not
+         (List.exists
+            (fun s -> (not (Idb.equal s m)) && Idb.subset s m)
+            all))
+
+let test_brute_minimal_census () =
+  (* On 2 disjoint C_4's all four fixpoints are minimal. *)
+  let g = Generate.disjoint_copies 2 (Generate.cycle 4) in
+  let ground = ground_of pi1 g in
+  check int "all minimal" 4 (List.length (Brute.minimal_fixpoints ground))
+
+let () =
+  Alcotest.run "fixpoint"
+    [
+      ( "census",
+        [
+          Alcotest.test_case "path unique" `Quick test_path_unique_fixpoint;
+          Alcotest.test_case "cycle parity" `Quick test_cycle_census;
+          Alcotest.test_case "even cycle incomparable" `Quick
+            test_even_cycle_fixpoints_incomparable;
+          Alcotest.test_case "disjoint cycles 2^k" `Quick
+            test_disjoint_cycles_exponential;
+          Alcotest.test_case "exact census" `Quick
+            test_exact_census_matches_enumeration;
+          Alcotest.test_case "exact census scales" `Quick
+            test_exact_census_scales_to_big_gn;
+        ] );
+      ( "sat-vs-brute",
+        [
+          Alcotest.test_case "census graphs" `Quick
+            test_sat_agrees_with_brute_on_census;
+          Alcotest.test_case "random graphs" `Quick
+            test_sat_agrees_on_random_graphs;
+          Alcotest.test_case "models are fixpoints" `Quick
+            test_found_fixpoints_check_out;
+        ] );
+      ( "least",
+        [
+          Alcotest.test_case "positive program" `Quick
+            test_least_on_positive_program;
+          Alcotest.test_case "agrees with brute" `Quick
+            test_least_agrees_with_brute;
+          Alcotest.test_case "unique implies least" `Quick
+            test_unique_fixpoint_is_least;
+          Alcotest.test_case "even cycle minimal" `Quick
+            test_even_cycle_no_least_but_minimal;
+          Alcotest.test_case "intersection" `Quick
+            test_intersection_on_even_cycle;
+        ] );
+      ( "toggle",
+        [
+          Alcotest.test_case "no fixpoint" `Quick test_toggle_no_fixpoint;
+          Alcotest.test_case "conditional" `Quick test_conditional_toggle;
+        ] );
+      ( "minimal",
+        [
+          Alcotest.test_case "solve minimal" `Quick
+            test_minimal_is_fixpoint_and_minimal;
+          Alcotest.test_case "brute census" `Quick test_brute_minimal_census;
+        ] );
+    ]

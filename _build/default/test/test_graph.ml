@@ -1,0 +1,289 @@
+(* Tests for the graph substrate: generators, traversal, SCC, colorability,
+   Hamilton circuits. *)
+
+open Graphlib
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Digraph & generators ------------------------------------------------ *)
+
+let test_make_validates () =
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Digraph.make: edge (0, 3) outside 0..2")
+    (fun () -> ignore (Digraph.make 3 [ (0, 3) ]))
+
+let test_generators_shapes () =
+  check int "path edges" 4 (Digraph.edge_count (Generate.path 5));
+  check int "cycle edges" 5 (Digraph.edge_count (Generate.cycle 5));
+  check int "complete edges" 12 (Digraph.edge_count (Generate.complete 4));
+  check int "star edges" 3 (Digraph.edge_count (Generate.star 4));
+  check int "grid 2x3 edges" 7 (Digraph.edge_count (Generate.grid 2 3));
+  check int "tree depth 3" 6 (Digraph.edge_count (Generate.binary_tree 3));
+  check int "bipartite 2x3" 6 (Digraph.edge_count (Generate.complete_bipartite 2 3))
+
+let test_disjoint_copies () =
+  let g = Generate.disjoint_copies 3 (Generate.cycle 4) in
+  check int "vertices" 12 (Digraph.vertex_count g);
+  check int "edges" 12 (Digraph.edge_count g);
+  check bool "no cross edges" false (Digraph.has_edge g 3 4)
+
+let test_random_deterministic () =
+  let g1 = Generate.random ~seed:9 ~n:10 ~p:0.3 in
+  let g2 = Generate.random ~seed:9 ~n:10 ~p:0.3 in
+  let g3 = Generate.random ~seed:10 ~n:10 ~p:0.3 in
+  check bool "same seed same graph" true (Digraph.equal g1 g2);
+  check bool "different seed differs" false (Digraph.equal g1 g3)
+
+let test_random_edges_count () =
+  let g = Generate.random_edges ~seed:3 ~n:8 ~m:15 in
+  check int "exact edge count" 15 (Digraph.edge_count g)
+
+let test_reverse_union () =
+  let g = Generate.path 3 in
+  let r = Digraph.reverse g in
+  check bool "reversed" true (Digraph.has_edge r 1 0);
+  let u = Digraph.undirected_view g in
+  check bool "both directions" true (Digraph.has_edge u 1 0 && Digraph.has_edge u 0 1)
+
+let test_to_database () =
+  let db = Digraph.to_database (Generate.path 3) in
+  check int "universe" 3 (Relalg.Database.universe_size db);
+  check bool "edge fact" true
+    (Relalg.Database.mem_fact "e"
+       (Relalg.Tuple.of_strings [ "v0"; "v1" ])
+       db)
+
+(* --- Traversal ------------------------------------------------------------ *)
+
+let test_bfs () =
+  let g = Generate.path 4 in
+  let d = Traverse.bfs_distances g 0 in
+  check bool "distances" true (d = [| 0; 1; 2; 3 |]);
+  let d' = Traverse.bfs_distances g 3 in
+  check bool "unreachable" true (d' = [| -1; -1; -1; 0 |])
+
+let test_positive_distance () =
+  let g = Generate.cycle 3 in
+  check (Alcotest.option int) "around the cycle" (Some 3)
+    (Traverse.positive_distance g 0 0);
+  let p = Generate.path 3 in
+  check (Alcotest.option int) "no loop on path" None
+    (Traverse.positive_distance p 0 0);
+  check (Alcotest.option int) "one step" (Some 1)
+    (Traverse.positive_distance p 0 1)
+
+let test_transitive_closure () =
+  let g = Generate.path 3 in
+  let tc = Traverse.transitive_closure g in
+  check bool "0 reaches 2" true (Digraph.has_edge tc 0 2);
+  check bool "no reflexive" false (Digraph.has_edge tc 0 0);
+  check int "closure size" 3 (Digraph.edge_count tc)
+
+let test_distance_query_cases () =
+  let g = Generate.path 4 in
+  check bool "1 <= 3" true (Traverse.distance_query g 0 1 0 3);
+  check bool "3 > 1" false (Traverse.distance_query g 0 3 0 1);
+  check bool "unreachable target pair" true (Traverse.distance_query g 0 1 3 0);
+  check bool "unreachable source pair" false (Traverse.distance_query g 3 0 0 1)
+
+let test_topological () =
+  (match Traverse.topological_order (Generate.path 4) with
+  | Some [ 0; 1; 2; 3 ] -> ()
+  | Some other ->
+    Alcotest.failf "unexpected order %s"
+      (String.concat "," (List.map string_of_int other))
+  | None -> Alcotest.fail "path is acyclic");
+  check bool "cycle not acyclic" false (Traverse.is_acyclic (Generate.cycle 3))
+
+(* --- SCC -------------------------------------------------------------------- *)
+
+let test_scc_cycle_plus_tail () =
+  (* 0 -> 1 -> 2 -> 0 and 2 -> 3: two components. *)
+  let g = Digraph.make 4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  let { Scc.count; component } = Scc.compute g in
+  check int "two components" 2 count;
+  check bool "cycle together" true
+    (component.(0) = component.(1) && component.(1) = component.(2));
+  check bool "tail separate" false (component.(3) = component.(0))
+
+let test_scc_topological_components () =
+  let g = Digraph.make 4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  match Scc.components g with
+  | [ first; second ] ->
+    check bool "cycle first" true (List.sort compare first = [ 0; 1; 2 ]);
+    check bool "then tail" true (second = [ 3 ])
+  | other -> Alcotest.failf "expected 2 components, got %d" (List.length other)
+
+let test_scc_condensation () =
+  let g = Digraph.make 5 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ] in
+  let cond, mapped = Scc.condensation g in
+  check int "three components" 3 (Digraph.vertex_count cond);
+  check bool "edges go forward" true
+    (List.for_all (fun (u, v) -> u < v) (Digraph.edges cond));
+  check bool "mapping consistent" true (mapped.(0) = mapped.(1))
+
+let test_scc_dag_singletons () =
+  let g = Generate.path 5 in
+  check int "all singletons" 5 (Scc.compute g).Scc.count
+
+(* --- Coloring ----------------------------------------------------------------- *)
+
+let test_coloring_basic () =
+  check bool "triangle 3col" true (Coloring.is_3colorable (Generate.complete 3));
+  check bool "k4 not" false (Coloring.is_3colorable (Generate.complete 4));
+  check bool "odd cycle 2col fails" false
+    (Coloring.is_colorable ~k:2 (Generate.cycle 5));
+  check bool "even cycle 2col" true (Coloring.is_colorable ~k:2 (Generate.cycle 6))
+
+let test_coloring_finds_valid () =
+  List.iter
+    (fun g ->
+      match Coloring.find_coloring ~k:3 g with
+      | Some colors ->
+        check bool "valid" true (Coloring.check_coloring ~k:3 g colors)
+      | None -> Alcotest.fail "expected colorable")
+    [ Generate.cycle 5; Generate.grid 3 3; Generate.binary_tree 3 ]
+
+let test_coloring_self_loop () =
+  let g = Digraph.make 1 [ (0, 0) ] in
+  check bool "self loop kills" false (Coloring.is_colorable ~k:3 g)
+
+let test_coloring_counts () =
+  (* A single vertex has k colorings; an edge has k(k-1). *)
+  check int "k3 single" 3 (Coloring.count_colorings ~k:3 (Digraph.make 1 []));
+  check int "k3 edge" 6 (Coloring.count_colorings ~k:3 (Digraph.make 2 [ (0, 1) ]));
+  check int "triangle" 6 (Coloring.count_colorings ~k:3 (Generate.complete 3))
+
+let test_chromatic_number () =
+  check int "empty" 1 (Coloring.chromatic_number (Digraph.make 3 []));
+  check int "even cycle" 2 (Coloring.chromatic_number (Generate.cycle 4));
+  check int "odd cycle" 3 (Coloring.chromatic_number (Generate.cycle 5));
+  check int "k4" 4 (Coloring.chromatic_number (Generate.complete 4))
+
+(* --- Hamilton -------------------------------------------------------------------- *)
+
+let test_hamilton_cycle_graph () =
+  check int "directed cycle: one circuit" 1 (Hamilton.count (Generate.cycle 5));
+  check bool "unique" true (Hamilton.has_unique_circuit (Generate.cycle 5))
+
+let test_hamilton_complete () =
+  (* K4 directed: (4-1)! = 6 circuits through vertex 0. *)
+  check int "k4 circuits" 6 (Hamilton.count (Generate.complete 4));
+  check bool "not unique" false (Hamilton.has_unique_circuit (Generate.complete 4))
+
+let test_hamilton_path_none () =
+  check bool "path has none" false (Hamilton.has_circuit (Generate.path 4))
+
+let test_hamilton_circuits_are_circuits () =
+  let g = Generate.complete 4 in
+  List.iter
+    (fun circuit ->
+      check int "covers all" 4 (List.length circuit);
+      let rec consecutive = function
+        | a :: (b :: _ as rest) ->
+          check bool "edge" true (Digraph.has_edge g a b);
+          consecutive rest
+        | [ last ] -> check bool "closes" true (Digraph.has_edge g last 0)
+        | [] -> ()
+      in
+      consecutive circuit)
+    (Hamilton.circuits g)
+
+(* --- Properties -------------------------------------------------------------------- *)
+
+let arb_graph =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 7 in
+      let* edges =
+        list_size (int_range 0 20)
+          (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      return (n, edges))
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges)))
+
+let prop_tc_idempotent =
+  QCheck.Test.make ~name:"transitive closure idempotent" ~count:100 arb_graph
+    (fun (n, edges) ->
+      let g = Digraph.make n edges in
+      let tc = Traverse.transitive_closure g in
+      Digraph.equal tc (Traverse.transitive_closure tc))
+
+let prop_scc_respects_reachability =
+  QCheck.Test.make ~name:"same scc iff mutually reachable" ~count:100 arb_graph
+    (fun (n, edges) ->
+      let g = Digraph.make n edges in
+      let { Scc.component; _ } = Scc.compute g in
+      let tc = Traverse.transitive_closure g in
+      let mutually u v =
+        u = v || (Digraph.has_edge tc u v && Digraph.has_edge tc v u)
+      in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v -> component.(u) = component.(v) = mutually u v)
+            (Digraph.vertices g))
+        (Digraph.vertices g))
+
+let prop_coloring_checks =
+  QCheck.Test.make ~name:"found colorings are proper" ~count:100 arb_graph
+    (fun (n, edges) ->
+      let g = Digraph.make n edges in
+      match Coloring.find_coloring ~k:3 g with
+      | Some colors -> Coloring.check_coloring ~k:3 g colors
+      | None -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tc_idempotent; prop_scc_respects_reachability; prop_coloring_checks ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "generators" `Quick test_generators_shapes;
+          Alcotest.test_case "disjoint copies" `Quick test_disjoint_copies;
+          Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "random edges" `Quick test_random_edges_count;
+          Alcotest.test_case "reverse/union" `Quick test_reverse_union;
+          Alcotest.test_case "to database" `Quick test_to_database;
+        ] );
+      ( "traverse",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "positive distance" `Quick test_positive_distance;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "distance query" `Quick test_distance_query_cases;
+          Alcotest.test_case "topological" `Quick test_topological;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "cycle plus tail" `Quick test_scc_cycle_plus_tail;
+          Alcotest.test_case "topological order" `Quick test_scc_topological_components;
+          Alcotest.test_case "condensation" `Quick test_scc_condensation;
+          Alcotest.test_case "dag singletons" `Quick test_scc_dag_singletons;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "basic" `Quick test_coloring_basic;
+          Alcotest.test_case "finds valid" `Quick test_coloring_finds_valid;
+          Alcotest.test_case "self loop" `Quick test_coloring_self_loop;
+          Alcotest.test_case "counts" `Quick test_coloring_counts;
+          Alcotest.test_case "chromatic number" `Quick test_chromatic_number;
+        ] );
+      ( "hamilton",
+        [
+          Alcotest.test_case "cycle" `Quick test_hamilton_cycle_graph;
+          Alcotest.test_case "complete" `Quick test_hamilton_complete;
+          Alcotest.test_case "path" `Quick test_hamilton_path_none;
+          Alcotest.test_case "valid circuits" `Quick test_hamilton_circuits_are_circuits;
+        ] );
+      ("properties", qcheck_tests);
+    ]

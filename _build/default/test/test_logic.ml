@@ -1,0 +1,416 @@
+(* Tests for the logic substrate: first-order evaluation, normal forms,
+   existential second-order model checking, and FO+IFP. *)
+
+open Folog
+open Fo
+module Database = Relalg.Database
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let path3 = Digraph.to_database (Generate.path 3)
+
+(* --- Fo evaluation --------------------------------------------------------- *)
+
+let test_eval_atoms () =
+  check bool "edge holds" true
+    (holds path3 (atom "e" [ const "v0"; const "v1" ]));
+  check bool "edge absent" false
+    (holds path3 (atom "e" [ const "v1"; const "v0" ]))
+
+let test_eval_quantifiers () =
+  (* Path 0 -> 1 -> 2: some vertex has no successor; not all have one. *)
+  check bool "exists sink" true
+    (holds path3
+       (exists [ "x" ] (forall [ "y" ] (Not (atom "e" [ var "x"; var "y" ])))));
+  check bool "not all have successors" false
+    (holds path3
+       (forall [ "x" ] (exists [ "y" ] (atom "e" [ var "x"; var "y" ]))))
+
+let test_eval_cycle_total () =
+  let c3 = Digraph.to_database (Generate.cycle 3) in
+  check bool "cycle: all have successors" true
+    (holds c3 (forall [ "x" ] (exists [ "y" ] (atom "e" [ var "x"; var "y" ]))))
+
+let test_eval_connectives () =
+  check bool "implies" true (holds path3 (Implies (False, False)));
+  check bool "iff" true (holds path3 (Iff (True, True)));
+  check bool "not iff" false (holds path3 (Iff (True, False)))
+
+let test_eval_equality () =
+  check bool "same" true (holds path3 (Equal (const "v0", const "v0")));
+  check bool "different" false (holds path3 (Equal (const "v0", const "v1")))
+
+let test_eval_extra_relations () =
+  let s = Relation.of_list 1 [ Tuple.of_strings [ "v1" ] ] in
+  check bool "extra relation read" true
+    (holds ~extra:[ ("s", s) ] path3 (atom "s" [ const "v1" ]));
+  check bool "extra shadows db" true
+    (holds
+       ~extra:[ ("e", Relation.empty 2) ]
+       path3
+       (Not (atom "e" [ const "v0"; const "v1" ])))
+
+let test_eval_unbound_variable () =
+  Alcotest.check_raises "unbound" (Invalid_argument "Fo.eval: unbound variable x")
+    (fun () -> ignore (holds path3 (atom "e" [ var "x"; var "x" ])))
+
+let test_defined_relation () =
+  (* Successors of v0. *)
+  let r =
+    defined_relation path3 ~vars:[ "y" ] (atom "e" [ const "v0"; var "y" ])
+  in
+  check bool "just v1" true
+    (Relation.equal r (Relation.of_list 1 [ Tuple.of_strings [ "v1" ] ]))
+
+let test_free_variables () =
+  let f = exists [ "y" ] (And (atom "e" [ var "x"; var "y" ], atom "p" [ var "z" ])) in
+  Alcotest.(check (list string)) "free" [ "x"; "z" ] (free_variables f)
+
+(* --- Normal forms ------------------------------------------------------------ *)
+
+let graphs_for_props =
+  [
+    Digraph.to_database (Generate.path 4);
+    Digraph.to_database (Generate.cycle 3);
+    Digraph.to_database (Generate.random ~seed:1 ~n:4 ~p:0.4);
+  ]
+
+let sample_formulas =
+  [
+    Implies (atom "e" [ var "x"; var "y" ], atom "e" [ var "y"; var "x" ]);
+    Iff (atom "e" [ var "x"; var "x" ], Not (atom "e" [ var "x"; var "y" ]));
+    Not (And (atom "e" [ var "x"; var "y" ], Not (atom "e" [ var "y"; var "x" ])));
+    Or (Equal (var "x", var "y"), Not (Equal (var "x", var "y")));
+  ]
+
+let close f = forall (free_variables f) f
+
+let test_nnf_preserves_semantics () =
+  List.iter
+    (fun f ->
+      let closed = close f in
+      List.iter
+        (fun db ->
+          check bool "nnf equivalent" (holds db closed) (holds db (Nnf.nnf closed)))
+        graphs_for_props)
+    sample_formulas
+
+let test_nnf_shape () =
+  (* After NNF, negation applies only to atoms/equalities. *)
+  let rec ok = function
+    | True | False | Atom _ | Equal _ -> true
+    | Not (Atom _) | Not (Equal _) -> true
+    | Not _ -> false
+    | And (f, g) | Or (f, g) -> ok f && ok g
+    | Implies _ | Iff _ -> false
+    | Exists (_, f) | Forall (_, f) -> ok f
+  in
+  List.iter
+    (fun f -> check bool "nnf shape" true (ok (Nnf.nnf (close f))))
+    sample_formulas
+
+let test_prenex () =
+  let f =
+    And
+      ( forall [ "x" ] (atom "p" [ var "x" ]),
+        exists [ "x" ] (atom "q" [ var "x" ]) )
+  in
+  let prefix, matrix = Nnf.prenex f in
+  check int "two quantifiers" 2 (List.length prefix);
+  check bool "matrix quantifier-free" true
+    (match matrix with And _ -> true | _ -> false);
+  (* Semantics preserved. *)
+  let reassemble =
+    List.fold_right
+      (fun q acc ->
+        match q with
+        | Nnf.Q_forall x -> Forall (x, acc)
+        | Nnf.Q_exists x -> Exists (x, acc))
+      prefix matrix
+  in
+  let db =
+    Database.of_facts ~universe:[ "a"; "b" ] [ ("p", [ "a" ]); ("q", [ "b" ]) ]
+  in
+  check bool "prenex equivalent" (holds db f) (holds db reassemble)
+
+let test_prenex_renames_apart () =
+  (* Both quantifiers bind "x"; prenex must keep them distinct. *)
+  let f =
+    And
+      ( exists [ "x" ] (atom "p" [ var "x" ]),
+        exists [ "x" ] (atom "q" [ var "x" ]) )
+  in
+  let prefix, _ = Nnf.prenex f in
+  let names =
+    List.map (function Nnf.Q_forall x | Nnf.Q_exists x -> x) prefix
+  in
+  check int "distinct names" 2 (List.length (List.sort_uniq compare names))
+
+let test_dnf_equivalence () =
+  List.iter
+    (fun f ->
+      let d = Nnf.dnf_formula f in
+      List.iter
+        (fun db ->
+          check bool "dnf equivalent" (holds db (close f)) (holds db (close d)))
+        graphs_for_props)
+    sample_formulas
+
+let test_dnf_drops_contradictions () =
+  let f = And (atom "p" [ var "x" ], Not (atom "p" [ var "x" ])) in
+  check int "empty dnf" 0 (List.length (Nnf.dnf f))
+
+let test_dnf_rejects_quantifiers () =
+  Alcotest.check_raises "quantified"
+    (Invalid_argument "Nnf.dnf: formula is not quantifier-free") (fun () ->
+      ignore (Nnf.dnf (exists [ "x" ] (atom "p" [ var "x" ]))))
+
+(* --- ESO ---------------------------------------------------------------------- *)
+
+let two_coloring_sentence =
+  (* exists S: every edge crosses S / not-S — i.e. the graph is 2-colorable. *)
+  {
+    Eso.second_order = [ ("S", 1) ];
+    matrix =
+      forall [ "x"; "y" ]
+        (Implies
+           ( atom "e" [ var "x"; var "y" ],
+             Or
+               ( And (atom "S" [ var "x" ], Not (atom "S" [ var "y" ])),
+                 And (Not (atom "S" [ var "x" ]), atom "S" [ var "y" ]) ) ));
+  }
+
+let test_eso_two_coloring () =
+  List.iter
+    (fun (g, expected) ->
+      check bool "2-colorability" expected
+        (Eso.holds (Digraph.to_database g) two_coloring_sentence))
+    [
+      (Generate.cycle 4, true);
+      (Generate.cycle 3, false);
+      (Generate.path 4, true);
+      (Generate.complete 3, false);
+    ]
+
+let test_eso_witness () =
+  match Eso.witness (Digraph.to_database (Generate.cycle 4)) two_coloring_sentence with
+  | None -> Alcotest.fail "C4 is 2-colorable"
+  | Some [ ("S", s) ] -> check int "one side has 2" 2 (Relation.cardinal s)
+  | Some _ -> Alcotest.fail "unexpected witness shape"
+
+let test_eso_count_witnesses () =
+  (* On C4 the proper 2-colorings are the two sides: S = evens or odds. *)
+  check int "two witnesses" 2
+    (Eso.count_witnesses (Digraph.to_database (Generate.cycle 4))
+       two_coloring_sentence)
+
+let test_snf_roundtrip () =
+  let snf = Eso.skolem_normal_form_exn two_coloring_sentence in
+  check int "no existentials" 0 (List.length snf.Eso.existentials);
+  check int "two universals" 2 (List.length snf.Eso.universals);
+  List.iter
+    (fun g ->
+      let db = Digraph.to_database g in
+      check bool "snf equivalent" (Eso.holds db two_coloring_sentence)
+        (Eso.snf_holds db snf))
+    [ Generate.cycle 3; Generate.cycle 4; Generate.path 3 ]
+
+let test_snf_rejects_exists_forall () =
+  let bad =
+    {
+      Eso.second_order = [];
+      matrix = exists [ "y" ] (forall [ "x" ] (atom "e" [ var "x"; var "y" ]));
+    }
+  in
+  match Eso.skolem_normal_form bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "exists-forall accepted"
+
+(* --- IFP ------------------------------------------------------------------------ *)
+
+let tc_operator =
+  (* phi(v1, v2, S) = e(v1, v2) \/ exists z (e(v1, z) /\ S(z, v2)) *)
+  {
+    Ifp.pred = "s";
+    vars = [ "V1"; "V2" ];
+    body =
+      Or
+        ( atom "e" [ var "V1"; var "V2" ],
+          exists [ "z" ]
+            (And (atom "e" [ var "V1"; var "z" ], atom "s" [ var "z"; var "V2" ]))
+        );
+  }
+
+let tc_relation g =
+  let closure = Graphlib.Traverse.transitive_closure g in
+  List.fold_left
+    (fun r (u, v) ->
+      Relation.add
+        (Tuple.pair (Digraph.vertex_symbol u) (Digraph.vertex_symbol v))
+        r)
+    (Relation.empty 2) (Digraph.edges closure)
+
+let test_ifp_transitive_closure () =
+  List.iter
+    (fun g ->
+      let db = Digraph.to_database g in
+      check bool "ifp = warshall" true
+        (Relation.equal (Ifp.inflationary_fixpoint db tc_operator) (tc_relation g)))
+    [ Generate.path 4; Generate.cycle 3; Generate.random ~seed:2 ~n:5 ~p:0.3 ]
+
+let test_ifp_stages_increase () =
+  let db = Digraph.to_database (Generate.path 5) in
+  let stages = Ifp.stages db [ tc_operator ] in
+  (* Path of length 4: closure completes in 3 rounds of doubling-free
+     iteration plus the final check; stages are strictly increasing. *)
+  let sizes =
+    List.map (fun v -> Relation.cardinal (List.assoc "s" v)) stages
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check bool "strictly increasing" true (increasing (List.tl sizes))
+
+let test_ifp_nonmonotone_operator () =
+  (* phi(x, S) = "S is empty": one stage adds everything, then stop. *)
+  let op =
+    {
+      Ifp.pred = "s";
+      vars = [ "V1" ];
+      body = forall [ "z" ] (Not (atom "s" [ var "z" ]));
+    }
+  in
+  let db = Database.create_strings [ "a"; "b" ] in
+  let result = Ifp.inflationary_fixpoint db op in
+  check int "saturates" 2 (Relation.cardinal result)
+
+let test_ifp_simultaneous () =
+  (* Even/odd distance from vertex 0 on a path, via mutual induction. *)
+  let even_op =
+    {
+      Ifp.pred = "even";
+      vars = [ "V1" ];
+      body =
+        Or
+          ( Equal (var "V1", const "v0"),
+            exists [ "z" ]
+              (And (atom "odd" [ var "z" ], atom "e" [ var "z"; var "V1" ])) );
+    }
+  in
+  let odd_op =
+    {
+      Ifp.pred = "odd";
+      vars = [ "V1" ];
+      body =
+        exists [ "z" ]
+          (And (atom "even" [ var "z" ], atom "e" [ var "z"; var "V1" ]));
+    }
+  in
+  let db = Digraph.to_database (Generate.path 4) in
+  let result = Ifp.simultaneous db [ even_op; odd_op ] in
+  let evens = List.assoc "even" result in
+  check bool "v0 and v2 even" true
+    (Relation.equal evens
+       (Relation.of_list 1 [ Tuple.of_strings [ "v0" ]; Tuple.of_strings [ "v2" ] ]))
+
+let test_pfp_monotone_reaches_lfp () =
+  (* On a monotone operator, PFP = IFP = least fixpoint. *)
+  let db = Digraph.to_database (Generate.path 4) in
+  match Ifp.partial_fixpoint db tc_operator with
+  | Some r ->
+    check bool "pfp = ifp" true
+      (Relation.equal r (Ifp.inflationary_fixpoint db tc_operator))
+  | None -> Alcotest.fail "monotone operator must converge"
+
+let test_pfp_oscillation_is_undefined () =
+  (* The toggle operator phi(x, S) = "S misses something" oscillates
+     between empty and everything: PFP undefined, IFP total. *)
+  let op =
+    {
+      Ifp.pred = "s";
+      vars = [ "V1" ];
+      body = exists [ "z" ] (Not (atom "s" [ var "z" ]));
+    }
+  in
+  let db = Database.create_strings [ "a"; "b" ] in
+  check bool "pfp undefined" true (Ifp.partial_fixpoint db op = None);
+  check int "ifp total" 2 (Relation.cardinal (Ifp.inflationary_fixpoint db op))
+
+let test_pfp_non_monotone_convergent () =
+  (* phi(x, S) = "x has a successor outside S" on a path: converges to a
+     proper fixpoint even though non-monotone (the pi_1 pattern, source
+     side). *)
+  let op =
+    {
+      Ifp.pred = "s";
+      vars = [ "V1" ];
+      body =
+        exists [ "z" ]
+          (And (atom "e" [ var "V1"; var "z" ], Not (atom "s" [ var "z" ])));
+    }
+  in
+  let db = Digraph.to_database (Generate.path 4) in
+  match Ifp.partial_fixpoint db op with
+  | Some r ->
+    (* Fixpoint: vertices with a successor outside S; on 0->1->2->3 the
+       winning positions {0, 2} (this is the win-move fixpoint). *)
+    check bool "pfp = {v0, v2}" true
+      (Relation.equal r
+         (Relation.of_list 1
+            [ Tuple.of_strings [ "v0" ]; Tuple.of_strings [ "v2" ] ]))
+  | None -> Alcotest.fail "expected convergence"
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "fo",
+        [
+          Alcotest.test_case "atoms" `Quick test_eval_atoms;
+          Alcotest.test_case "quantifiers" `Quick test_eval_quantifiers;
+          Alcotest.test_case "cycle total" `Quick test_eval_cycle_total;
+          Alcotest.test_case "connectives" `Quick test_eval_connectives;
+          Alcotest.test_case "equality" `Quick test_eval_equality;
+          Alcotest.test_case "extra relations" `Quick test_eval_extra_relations;
+          Alcotest.test_case "unbound variable" `Quick test_eval_unbound_variable;
+          Alcotest.test_case "defined relation" `Quick test_defined_relation;
+          Alcotest.test_case "free variables" `Quick test_free_variables;
+        ] );
+      ( "nnf",
+        [
+          Alcotest.test_case "semantics" `Quick test_nnf_preserves_semantics;
+          Alcotest.test_case "shape" `Quick test_nnf_shape;
+          Alcotest.test_case "prenex" `Quick test_prenex;
+          Alcotest.test_case "prenex renames" `Quick test_prenex_renames_apart;
+          Alcotest.test_case "dnf equivalence" `Quick test_dnf_equivalence;
+          Alcotest.test_case "dnf contradictions" `Quick test_dnf_drops_contradictions;
+          Alcotest.test_case "dnf rejects quantifiers" `Quick
+            test_dnf_rejects_quantifiers;
+        ] );
+      ( "eso",
+        [
+          Alcotest.test_case "two-coloring" `Quick test_eso_two_coloring;
+          Alcotest.test_case "witness" `Quick test_eso_witness;
+          Alcotest.test_case "count witnesses" `Quick test_eso_count_witnesses;
+          Alcotest.test_case "snf roundtrip" `Quick test_snf_roundtrip;
+          Alcotest.test_case "snf rejects" `Quick test_snf_rejects_exists_forall;
+        ] );
+      ( "ifp",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_ifp_transitive_closure;
+          Alcotest.test_case "stages increase" `Quick test_ifp_stages_increase;
+          Alcotest.test_case "nonmonotone" `Quick test_ifp_nonmonotone_operator;
+          Alcotest.test_case "simultaneous" `Quick test_ifp_simultaneous;
+          Alcotest.test_case "pfp monotone" `Quick test_pfp_monotone_reaches_lfp;
+          Alcotest.test_case "pfp oscillation" `Quick
+            test_pfp_oscillation_is_undefined;
+          Alcotest.test_case "pfp non-monotone" `Quick
+            test_pfp_non_monotone_convergent;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the magic-sets transformation and goal-directed querying:
+   answers must coincide with bottom-up evaluation restricted to the query,
+   while touching only the relevant part of the data. *)
+
+module Ast = Datalog.Ast
+module Magic = Datalog.Magic
+module Parser = Datalog.Parser
+module Query = Evallib.Query
+module Naive = Evallib.Naive
+module Idb = Evallib.Idb
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tc =
+  Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+let db_of g = Digraph.to_database g
+
+let vsym = Digraph.vertex_symbol
+
+(* Bottom-up reference: full lfp, then select on the query constants. *)
+let reference p db (query : Ast.atom) =
+  let full = Naive.least_fixpoint p db in
+  let rel = Idb.get full query.Ast.pred in
+  Relation.filter
+    (fun t ->
+      List.for_all2
+        (fun term v ->
+          match term with
+          | Ast.Const c -> Relalg.Symbol.equal c v
+          | Ast.Var _ -> true)
+        query.Ast.args (Tuple.to_list t))
+    rel
+
+let test_tc_bound_free () =
+  (* tc(v0, Y) on a path: successors of v0. *)
+  let g = Generate.path 5 in
+  let db = db_of g in
+  let query = Ast.atom "s" [ Ast.const "v0"; Ast.Var "Y" ] in
+  let got = Query.answer_exn tc db ~query in
+  check bool "matches bottom-up" true (Relation.equal got (reference tc db query));
+  check int "4 reachable" 4 (Relation.cardinal got)
+
+let test_tc_free_bound () =
+  (* tc(X, v4): ancestors of v4. *)
+  let g = Generate.path 5 in
+  let db = db_of g in
+  let query = Ast.atom "s" [ Ast.Var "X"; Ast.const "v4" ] in
+  let got = Query.answer_exn tc db ~query in
+  check bool "matches bottom-up" true (Relation.equal got (reference tc db query))
+
+let test_tc_bound_bound () =
+  let g = Generate.path 5 in
+  let db = db_of g in
+  check bool "v0 reaches v3" true
+    (Result.get_ok
+       (Query.holds tc db ~query:(Ast.atom "s" [ Ast.const "v0"; Ast.const "v3" ])));
+  check bool "v3 does not reach v0" false
+    (Result.get_ok
+       (Query.holds tc db ~query:(Ast.atom "s" [ Ast.const "v3"; Ast.const "v0" ])))
+
+let test_tc_free_free () =
+  (* All-free query degenerates to full evaluation. *)
+  let g = Generate.random ~seed:3 ~n:5 ~p:0.3 in
+  let db = db_of g in
+  let query = Ast.atom "s" [ Ast.Var "X"; Ast.Var "Y" ] in
+  let got = Query.answer_exn tc db ~query in
+  check bool "matches bottom-up" true (Relation.equal got (reference tc db query))
+
+let test_magic_is_goal_directed () =
+  (* Two disconnected components; querying inside one must not derive
+     adorned facts about the other. *)
+  let g = Digraph.disjoint_union (Generate.path 10) (Generate.path 10) in
+  let db = db_of g in
+  let query = Ast.atom "s" [ Ast.const "v0"; Ast.Var "Y" ] in
+  let rewritten = Magic.rewrite_exn tc ~query in
+  let result = Naive.least_fixpoint rewritten.Magic.program db in
+  let adorned = Idb.get result rewritten.Magic.answer_pred in
+  (* Only pairs out of the first component appear at all. *)
+  check bool "no facts about the second component" true
+    (Relation.for_all
+       (fun t -> not (Relalg.Symbol.equal (Tuple.get t 0) (vsym 10)))
+       adorned);
+  (* And far fewer tuples than full bottom-up (45 + 45 pairs). *)
+  let full = Idb.get (Naive.least_fixpoint tc db) "s" in
+  check bool "strictly smaller" true
+    (Relation.cardinal adorned < Relation.cardinal full)
+
+let test_same_generation () =
+  (* The classic same-generation program. *)
+  let sg =
+    Parser.parse_program_exn
+      "sg(X, Y) :- flat(X, Y).\n\
+       sg(X, Y) :- up(X, U), sg(U, V), down(V, Y)."
+  in
+  let db =
+    Relalg.Database.of_facts ~universe:[]
+      [
+        ("up", [ "a"; "p1" ]); ("up", [ "b"; "p2" ]);
+        ("flat", [ "p1"; "p2" ]); ("flat", [ "a"; "c" ]);
+        ("down", [ "p1"; "a2" ]); ("down", [ "p2"; "b2" ]);
+      ]
+  in
+  let query = Ast.atom "sg" [ Ast.const "a"; Ast.Var "Y" ] in
+  let got = Query.answer_exn sg db ~query in
+  check bool "matches bottom-up" true (Relation.equal got (reference sg db query));
+  (* a is same-generation with c (flat) and with b2 (up-flat-down). *)
+  check int "two answers" 2 (Relation.cardinal got)
+
+let test_constants_in_rules () =
+  let p = Parser.parse_program_exn "r(X) :- e(v0, X). t(X) :- r(X). t(X) :- e(X, X)." in
+  let g = Digraph.make 3 [ (0, 1); (2, 2) ] in
+  let db = db_of g in
+  let query = Ast.atom "t" [ Ast.Var "X" ] in
+  let got = Query.answer_exn p db ~query in
+  check bool "matches bottom-up" true (Relation.equal got (reference p db query));
+  check int "two answers" 2 (Relation.cardinal got)
+
+let test_rejects_negation () =
+  let p = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)." in
+  match Magic.rewrite p ~query:(Ast.atom "t" [ Ast.Var "X" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negation accepted"
+
+let test_rejects_bad_queries () =
+  (match Magic.rewrite tc ~query:(Ast.atom "e" [ Ast.Var "X"; Ast.Var "Y" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "EDB query accepted");
+  match Magic.rewrite tc ~query:(Ast.atom "s" [ Ast.Var "X" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arity mismatch accepted"
+
+let test_rewrite_shape () =
+  let query = Ast.atom "s" [ Ast.const "v0"; Ast.Var "Y" ] in
+  let r = Magic.rewrite_exn tc ~query in
+  check (Alcotest.string) "adornment" "bf" r.Magic.adornment;
+  check bool "seed is a fact" true
+    (List.exists
+       (fun (rule : Ast.rule) ->
+         rule.Ast.head.Ast.pred = r.Magic.seed_pred && rule.Ast.body = [])
+       r.Magic.program.Ast.rules);
+  (* Every non-seed rule is guarded by some magic literal. *)
+  check bool "rules are guarded" true
+    (List.for_all
+       (fun (rule : Ast.rule) ->
+         rule.Ast.body = []
+         || List.exists
+              (function
+                | Ast.Pos a ->
+                  String.length a.Ast.pred >= 6
+                  && String.sub a.Ast.pred 0 6 = "magic_"
+                | _ -> false)
+              rule.Ast.body)
+       r.Magic.program.Ast.rules)
+
+(* Random positive programs: magic answers = bottom-up answers. *)
+let arb_graph_query =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 2 5 in
+      let* seed = int_range 0 10000 in
+      let* v = int_range 0 (n - 1) in
+      let* side = bool in
+      return (n, seed, v, side))
+    ~print:(fun (n, seed, v, side) ->
+      Printf.sprintf "n=%d seed=%d v=%d side=%b" n seed v side)
+
+let prop_magic_matches_bottom_up =
+  QCheck.Test.make ~name:"magic = bottom-up on tc queries" ~count:100
+    arb_graph_query (fun (n, seed, v, side) ->
+      let g = Generate.random ~seed ~n ~p:0.35 in
+      let db = db_of g in
+      let c = Ast.Const (vsym v) in
+      let query =
+        if side then Ast.atom "s" [ c; Ast.Var "Y" ]
+        else Ast.atom "s" [ Ast.Var "X"; c ]
+      in
+      Relation.equal (Query.answer_exn tc db ~query) (reference tc db query))
+
+let () =
+  Alcotest.run "magic"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "tc bf" `Quick test_tc_bound_free;
+          Alcotest.test_case "tc fb" `Quick test_tc_free_bound;
+          Alcotest.test_case "tc bb" `Quick test_tc_bound_bound;
+          Alcotest.test_case "tc ff" `Quick test_tc_free_free;
+          Alcotest.test_case "goal-directed" `Quick test_magic_is_goal_directed;
+          Alcotest.test_case "same generation" `Quick test_same_generation;
+          Alcotest.test_case "constants in rules" `Quick test_constants_in_rules;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "rejects negation" `Quick test_rejects_negation;
+          Alcotest.test_case "rejects bad queries" `Quick test_rejects_bad_queries;
+          Alcotest.test_case "rewrite shape" `Quick test_rewrite_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_magic_matches_bottom_up ] );
+    ]

@@ -1,0 +1,209 @@
+(* Cross-cutting property tests: a random DATALOG-not program generator and
+   the equivalences every component pair must satisfy.
+
+   These are the strongest correctness checks in the repository: for
+   arbitrary small programs and databases,
+     - the naive and semi-naive inflationary engines agree;
+     - the inflationary limit is a fixpoint of the inflationary operator
+       (Theta(S) subset of S) and its stage deltas partition the result;
+     - the grounding's immediate consequence operator tracks Theta along
+       the inflationary iteration;
+     - brute-force and SAT-based fixpoint censuses agree, and every model
+       returned really is a fixpoint;
+     - on positive programs, naive least fixpoint = inflationary =
+       stratified, and a least fixpoint always exists;
+     - on stratifiable programs the well-founded model is total and equals
+       the stratified semantics;
+     - the Proposition 1 operator translation preserves semantics. *)
+
+module Ast = Datalog.Ast
+module Idb = Evallib.Idb
+module Theta = Evallib.Theta
+module Ground = Evallib.Ground
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+
+(* The shared random program/database generator lives in
+   test/support/gen_programs.ml so every suite draws from the same space. *)
+
+let arb_case = Testsupport.Gen_programs.arb_case
+
+let positivise = Testsupport.Gen_programs.positivise
+
+(* --- properties ------------------------------------------------------------ *)
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"naive and seminaive inflationary engines agree"
+    ~count:150 arb_case (fun (p, db) ->
+      Idb.equal
+        (Evallib.Inflationary.eval ~engine:`Naive p db)
+        (Evallib.Inflationary.eval ~engine:`Seminaive p db))
+
+let prop_limit_is_inflationary_fixpoint =
+  QCheck.Test.make ~name:"Theta(limit) is contained in the limit" ~count:150
+    arb_case (fun (p, db) ->
+      let limit = Evallib.Inflationary.eval p db in
+      Idb.subset (Theta.apply p db limit) limit)
+
+let prop_deltas_partition =
+  QCheck.Test.make ~name:"stage deltas are disjoint and union to the limit"
+    ~count:100 arb_case (fun (p, db) ->
+      let trace = Evallib.Inflationary.eval_trace p db in
+      let union =
+        List.fold_left Idb.union (Idb.of_program p) trace.Evallib.Saturate.deltas
+      in
+      let rec disjoint = function
+        | [] -> true
+        | d :: rest ->
+          List.for_all (fun d' -> Idb.is_empty (Idb.inter d d')) rest
+          && disjoint rest
+      in
+      Idb.equal union trace.Evallib.Saturate.result
+      && disjoint trace.Evallib.Saturate.deltas)
+
+let prop_ground_tracks_theta =
+  QCheck.Test.make ~name:"ground apply = Theta along the iteration" ~count:100
+    arb_case (fun (p, db) ->
+      let g = Ground.ground p db in
+      let rec walk s n =
+        n = 0
+        ||
+        let via_theta = Theta.apply p db s in
+        Idb.equal via_theta (Ground.apply g s)
+        && walk (Idb.union s via_theta) (n - 1)
+      in
+      walk (Idb.of_program p) 3)
+
+let prop_census_agrees =
+  QCheck.Test.make ~name:"brute and SAT fixpoint censuses agree" ~count:60
+    arb_case (fun (p, db) ->
+      let g = Ground.ground p db in
+      QCheck.assume (Ground.atom_count g <= 14);
+      let solver = Fixpointlib.Solve.prepare p db in
+      Fixpointlib.Brute.count g = Fixpointlib.Solve.count solver)
+
+let prop_solve_models_are_fixpoints =
+  QCheck.Test.make ~name:"every enumerated fixpoint satisfies Theta(S)=S"
+    ~count:60 arb_case (fun (p, db) ->
+      let solver = Fixpointlib.Solve.prepare p db in
+      List.for_all
+        (fun fp -> Theta.is_fixpoint p db fp)
+        (Fixpointlib.Solve.enumerate ~limit:8 solver))
+
+let prop_least_is_least =
+  QCheck.Test.make ~name:"reported least fixpoint is below every fixpoint"
+    ~count:60 arb_case (fun (p, db) ->
+      let solver = Fixpointlib.Solve.prepare p db in
+      match Fixpointlib.Solve.least solver with
+      | None -> true
+      | Some least ->
+        Theta.is_fixpoint p db least
+        && List.for_all
+             (fun fp -> Idb.subset least fp)
+             (Fixpointlib.Solve.enumerate ~limit:16 solver))
+
+let prop_positive_semantics_coincide =
+  QCheck.Test.make ~name:"positive: naive lfp = inflationary = stratified"
+    ~count:100 arb_case (fun (p, db) ->
+      let p = positivise p in
+      let lfp = Evallib.Naive.least_fixpoint p db in
+      Idb.equal lfp (Evallib.Inflationary.eval p db)
+      && Idb.equal lfp (Evallib.Stratified.eval_exn p db))
+
+let prop_positive_has_least_fixpoint =
+  QCheck.Test.make ~name:"positive programs have a least fixpoint = naive lfp"
+    ~count:40 arb_case (fun (p, db) ->
+      let p = positivise p in
+      let g = Ground.ground p db in
+      QCheck.assume (Ground.atom_count g <= 12);
+      match Fixpointlib.Solve.least (Fixpointlib.Solve.prepare p db) with
+      | None -> false
+      | Some least -> Idb.equal least (Evallib.Naive.least_fixpoint p db))
+
+let prop_wellfounded_on_stratified =
+  QCheck.Test.make ~name:"stratifiable: well-founded total and = stratified"
+    ~count:100 arb_case (fun (p, db) ->
+      QCheck.assume (Datalog.Stratify.is_stratified p);
+      let m = Evallib.Wellfounded.eval p db in
+      Evallib.Wellfounded.is_total m
+      && Idb.equal m.Evallib.Wellfounded.true_facts
+           (Evallib.Stratified.eval_exn p db))
+
+let prop_wellfounded_bounds =
+  QCheck.Test.make ~name:"well-founded: true facts within possible facts"
+    ~count:100 arb_case (fun (p, db) ->
+      let m = Evallib.Wellfounded.eval p db in
+      Idb.subset m.Evallib.Wellfounded.true_facts m.Evallib.Wellfounded.possible)
+
+let prop_prop1_translation =
+  QCheck.Test.make ~name:"Prop 1 operator translation preserves semantics"
+    ~count:60 arb_case (fun (p, db) -> Reductions.Prop1.agree p db)
+
+let prop_wellfounded_algorithms_agree =
+  QCheck.Test.make
+    ~name:"alternating fixpoint = unfounded sets (well-founded model)"
+    ~count:120 arb_case (fun (p, db) ->
+      let via_alternation = Evallib.Wellfounded.eval p db in
+      let via_unfounded = Evallib.Unfounded.eval p db in
+      Idb.equal via_alternation.Evallib.Wellfounded.true_facts
+        via_unfounded.Evallib.Wellfounded.true_facts
+      && Idb.equal
+           (Evallib.Wellfounded.unknown via_alternation)
+           (Evallib.Wellfounded.unknown via_unfounded))
+
+let prop_kripke_kleene_within_wellfounded =
+  QCheck.Test.make ~name:"Kripke-Kleene is at most as decided as well-founded"
+    ~count:100 arb_case (fun (p, db) ->
+      let kk = Evallib.Fitting.eval p db in
+      let wf = Evallib.Wellfounded.eval p db in
+      Idb.subset kk.Evallib.Fitting.true_facts wf.Evallib.Wellfounded.true_facts
+      && Idb.subset wf.Evallib.Wellfounded.possible kk.Evallib.Fitting.possible)
+
+let prop_indexed_equals_scan =
+  QCheck.Test.make ~name:"indexed joins = full-scan joins" ~count:100 arb_case
+    (fun (p, db) ->
+      match Ast.idb_schema p with
+      | Error _ -> true
+      | Ok schema ->
+        let universe = Relalg.Database.universe db in
+        (* One Theta application against the inflationary limit, computed
+           both ways. *)
+        let s = Evallib.Inflationary.eval p db in
+        let resolver =
+          Evallib.Engine.uniform (Evallib.Engine.layered db s)
+        in
+        Idb.equal
+          (Evallib.Engine.eval_rules ~indexed:true ~universe ~resolver ~schema
+             p.Ast.rules)
+          (Evallib.Engine.eval_rules ~indexed:false ~universe ~resolver
+             ~schema p.Ast.rules))
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed programs re-parse identically"
+    ~count:150 arb_case (fun (p, _db) ->
+      Datalog.Parser.parse_program_exn (Datalog.Pretty.program_to_string p) = p)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "random-programs",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engines_agree;
+            prop_limit_is_inflationary_fixpoint;
+            prop_deltas_partition;
+            prop_ground_tracks_theta;
+            prop_census_agrees;
+            prop_solve_models_are_fixpoints;
+            prop_least_is_least;
+            prop_positive_semantics_coincide;
+            prop_positive_has_least_fixpoint;
+            prop_wellfounded_on_stratified;
+            prop_wellfounded_bounds;
+            prop_prop1_translation;
+            prop_wellfounded_algorithms_agree;
+            prop_kripke_kleene_within_wellfounded;
+            prop_indexed_equals_scan;
+            prop_pretty_roundtrip;
+          ] );
+    ]

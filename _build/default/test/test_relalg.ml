@@ -1,0 +1,271 @@
+(* Tests for the relational substrate: symbols, tuples, relations,
+   schemas, databases and the fact-file parser. *)
+
+open Relalg
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Symbol -------------------------------------------------------------- *)
+
+let test_symbol_interning () =
+  let a1 = Symbol.intern "alpha" in
+  let a2 = Symbol.intern "alpha" in
+  let b = Symbol.intern "beta" in
+  check bool "same symbol" true (Symbol.equal a1 a2);
+  check bool "different symbols" false (Symbol.equal a1 b);
+  check (Alcotest.string) "name round trip" "alpha" (Symbol.name a1)
+
+let test_symbol_fresh () =
+  let f1 = Symbol.fresh "gensym" in
+  let f2 = Symbol.fresh "gensym" in
+  check bool "fresh are distinct" false (Symbol.equal f1 f2)
+
+let test_symbol_of_int () =
+  check bool "of_int = intern of decimal" true
+    (Symbol.equal (Symbol.of_int 42) (Symbol.intern "42"))
+
+(* --- Tuple ---------------------------------------------------------------- *)
+
+let test_tuple_basic () =
+  let t = Tuple.of_strings [ "a"; "b"; "c" ] in
+  check int "arity" 3 (Tuple.arity t);
+  check (Alcotest.string) "get" "b" (Symbol.name (Tuple.get t 1));
+  Alcotest.check_raises "out of range" (Invalid_argument "Tuple.get")
+    (fun () -> ignore (Tuple.get t 3))
+
+let test_tuple_compare () =
+  let t1 = Tuple.of_ints [ 1; 2 ] in
+  let t2 = Tuple.of_ints [ 1; 2 ] in
+  let t3 = Tuple.of_ints [ 1 ] in
+  check bool "equal" true (Tuple.equal t1 t2);
+  check bool "shorter first" true (Tuple.compare t3 t1 < 0)
+
+let test_tuple_ops () =
+  let t = Tuple.of_strings [ "a"; "b"; "c"; "d" ] in
+  check bool "project reorders" true
+    (Tuple.equal (Tuple.project [ 2; 0 ] t) (Tuple.of_strings [ "c"; "a" ]));
+  check bool "append" true
+    (Tuple.equal
+       (Tuple.append (Tuple.of_strings [ "a" ]) (Tuple.of_strings [ "b" ]))
+       (Tuple.of_strings [ "a"; "b" ]));
+  check bool "sub" true
+    (Tuple.equal (Tuple.sub t 1 2) (Tuple.of_strings [ "b"; "c" ]))
+
+let test_tuple_immutability () =
+  let arr = [| Symbol.intern "a" |] in
+  let t = Tuple.make arr in
+  arr.(0) <- Symbol.intern "b";
+  check (Alcotest.string) "copy on make" "a" (Symbol.name (Tuple.get t 0))
+
+(* --- Relation ------------------------------------------------------------- *)
+
+let r_ab = Relation.of_list 2 [ Tuple.of_strings [ "a"; "b" ] ]
+
+let test_relation_set_ops () =
+  let r1 =
+    Relation.of_list 1 [ Tuple.of_strings [ "a" ]; Tuple.of_strings [ "b" ] ]
+  in
+  let r2 = Relation.of_list 1 [ Tuple.of_strings [ "b" ] ] in
+  check int "union" 2 (Relation.cardinal (Relation.union r1 r2));
+  check int "inter" 1 (Relation.cardinal (Relation.inter r1 r2));
+  check int "diff" 1 (Relation.cardinal (Relation.diff r1 r2));
+  check bool "subset" true (Relation.subset r2 r1);
+  check bool "not subset" false (Relation.subset r1 r2)
+
+let test_relation_arity_mismatch () =
+  Alcotest.check_raises "add wrong arity"
+    (Invalid_argument "Relation.add: tuple arity 1, relation arity 2")
+    (fun () -> ignore (Relation.add (Tuple.of_strings [ "a" ]) r_ab))
+
+let test_relation_product_project () =
+  let r1 = Relation.of_list 1 [ Tuple.of_strings [ "a" ]; Tuple.of_strings [ "b" ] ] in
+  let r2 = Relation.of_list 1 [ Tuple.of_strings [ "c" ] ] in
+  let p = Relation.product r1 r2 in
+  check int "product size" 2 (Relation.cardinal p);
+  check int "product arity" 2 (Relation.arity p);
+  let back = Relation.project [ 0 ] p in
+  check bool "project back" true (Relation.equal back r1)
+
+let test_relation_full_complement () =
+  let u = List.map Symbol.intern [ "a"; "b"; "c" ] in
+  let full = Relation.full u 2 in
+  check int "3^2" 9 (Relation.cardinal full);
+  let c = Relation.complement u r_ab in
+  check int "complement" 8 (Relation.cardinal c);
+  check bool "misses ab" false (Relation.mem (Tuple.of_strings [ "a"; "b" ]) c)
+
+let test_relation_full_zero_arity () =
+  let u = List.map Symbol.intern [ "a" ] in
+  check int "A^0 = {()}" 1 (Relation.cardinal (Relation.full u 0));
+  check int "empty universe, arity 0" 1 (Relation.cardinal (Relation.full [] 0));
+  check int "empty universe, arity 2" 0 (Relation.cardinal (Relation.full [] 2))
+
+let test_relation_join_positions () =
+  let e =
+    Relation.of_list 2
+      [ Tuple.of_strings [ "a"; "b" ]; Tuple.of_strings [ "b"; "c" ] ]
+  in
+  let joined = Relation.join_positions [ (1, 0) ] e e in
+  (* (a,b) joins (b,c): one result. *)
+  check int "path of length 2" 1 (Relation.cardinal joined);
+  check int "arity 4" 4 (Relation.arity joined)
+
+(* --- Schema ---------------------------------------------------------------- *)
+
+let test_schema () =
+  let s = Schema.of_list [ ("e", 2); ("t", 1) ] in
+  check (Alcotest.option Alcotest.int) "arity" (Some 2) (Schema.arity "e" s);
+  check (Alcotest.option Alcotest.int) "missing" None (Schema.arity "x" s);
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Schema.add: e declared with arity 2, then 3")
+    (fun () -> ignore (Schema.add "e" 3 s))
+
+(* --- Database --------------------------------------------------------------- *)
+
+let test_database_basics () =
+  let db =
+    Database.of_facts ~universe:[ "a"; "b"; "c" ]
+      [ ("e", [ "a"; "b" ]); ("e", [ "b"; "c" ]); ("v", [ "a" ]) ]
+  in
+  check int "universe" 3 (Database.universe_size db);
+  check bool "fact" true (Database.mem_fact "e" (Tuple.of_strings [ "a"; "b" ]) db);
+  check bool "no fact" false
+    (Database.mem_fact "e" (Tuple.of_strings [ "b"; "a" ]) db);
+  check int "schema" 2 (List.length (Schema.to_list (Database.schema db)))
+
+let test_database_universe_guard () =
+  let db = Database.create_strings [ "a" ] in
+  Alcotest.check_raises "outside universe"
+    (Invalid_argument
+       "Database.add_fact: tuple (z) of p uses a constant outside the universe")
+    (fun () -> ignore (Database.add_fact "p" (Tuple.of_strings [ "z" ]) db))
+
+let test_database_merge_restrict () =
+  let d1 = Database.of_facts ~universe:[ "a" ] [ ("p", [ "a" ]) ] in
+  let d2 = Database.of_facts ~universe:[ "b" ] [ ("q", [ "b" ]); ("p", [ "b" ]) ] in
+  let m = Database.merge d1 d2 in
+  check int "merged universe" 2 (Database.universe_size m);
+  check int "merged p" 2
+    (Relation.cardinal (Database.relation_or_empty ~arity:1 "p" m));
+  let r = Database.restrict [ "q" ] m in
+  check bool "restrict drops p" true (Database.relation "p" r = None);
+  check bool "restrict keeps q" true (Database.relation "q" r <> None)
+
+let test_database_parse () =
+  let text =
+    "% a graph\n#universe isolated.\nedge(a, b).\nedge(b, c).\nmark(a).\n"
+  in
+  let db = Database.parse_exn text in
+  check int "universe includes isolated" 4 (Database.universe_size db);
+  check bool "edge" true
+    (Database.mem_fact "edge" (Tuple.of_strings [ "a"; "b" ]) db)
+
+let test_database_parse_zero_ary () =
+  let db = Database.parse_exn "flag." in
+  check bool "zero-ary fact" true (Database.mem_fact "flag" Tuple.empty db)
+
+let test_database_parse_errors () =
+  (match Database.parse "edge(a, b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing paren accepted");
+  match Database.parse "bad stuff(a)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+let test_database_equal () =
+  let d1 = Database.of_facts ~universe:[ "a" ] [ ("p", [ "a" ]) ] in
+  let d2 = Database.of_facts ~universe:[ "a" ] [ ("p", [ "a" ]) ] in
+  let d3 = Database.of_facts ~universe:[ "a"; "b" ] [ ("p", [ "a" ]) ] in
+  check bool "equal" true (Database.equal d1 d2);
+  check bool "universe matters" false (Database.equal d1 d3)
+
+(* --- Properties ------------------------------------------------------------- *)
+
+let tuple_gen =
+  QCheck.Gen.(
+    let* len = int_range 0 3 in
+    list_size (return len) (int_range 0 5) >|= Tuple.of_ints)
+
+let relation_of_tuples arity ts =
+  List.fold_left
+    (fun r t -> if Tuple.arity t = arity then Relation.add t r else r)
+    (Relation.empty arity) ts
+
+let arb_pair_of_relations =
+  QCheck.make
+    QCheck.Gen.(
+      let* arity = int_range 0 2 in
+      let tg =
+        list_size (return arity) (int_range 0 4) >|= Tuple.of_ints
+      in
+      let* l1 = list_size (int_range 0 12) tg in
+      let* l2 = list_size (int_range 0 12) tg in
+      return (arity, l1, l2))
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutes" ~count:200 arb_pair_of_relations
+    (fun (arity, l1, l2) ->
+      let r1 = relation_of_tuples arity l1 in
+      let r2 = relation_of_tuples arity l2 in
+      Relation.equal (Relation.union r1 r2) (Relation.union r2 r1))
+
+let prop_diff_inter_partition =
+  QCheck.Test.make ~name:"diff + inter = left operand" ~count:200
+    arb_pair_of_relations (fun (arity, l1, l2) ->
+      let r1 = relation_of_tuples arity l1 in
+      let r2 = relation_of_tuples arity l2 in
+      Relation.equal
+        (Relation.union (Relation.diff r1 r2) (Relation.inter r1 r2))
+        r1)
+
+let prop_tuple_compare_total =
+  QCheck.Test.make ~name:"tuple compare antisymmetric" ~count:200
+    (QCheck.make QCheck.Gen.(pair tuple_gen tuple_gen))
+    (fun (t1, t2) ->
+      let c12 = Tuple.compare t1 t2 and c21 = Tuple.compare t2 t1 in
+      (c12 = 0 && c21 = 0 && Tuple.equal t1 t2) || c12 * c21 < 0)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_union_commutes; prop_diff_inter_partition; prop_tuple_compare_total ]
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "symbol",
+        [
+          Alcotest.test_case "interning" `Quick test_symbol_interning;
+          Alcotest.test_case "fresh" `Quick test_symbol_fresh;
+          Alcotest.test_case "of_int" `Quick test_symbol_of_int;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basic" `Quick test_tuple_basic;
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "ops" `Quick test_tuple_ops;
+          Alcotest.test_case "immutability" `Quick test_tuple_immutability;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "set ops" `Quick test_relation_set_ops;
+          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
+          Alcotest.test_case "product/project" `Quick test_relation_product_project;
+          Alcotest.test_case "full/complement" `Quick test_relation_full_complement;
+          Alcotest.test_case "zero arity" `Quick test_relation_full_zero_arity;
+          Alcotest.test_case "join" `Quick test_relation_join_positions;
+        ] );
+      ("schema", [ Alcotest.test_case "basic" `Quick test_schema ]);
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "universe guard" `Quick test_database_universe_guard;
+          Alcotest.test_case "merge/restrict" `Quick test_database_merge_restrict;
+          Alcotest.test_case "parse" `Quick test_database_parse;
+          Alcotest.test_case "parse zero-ary" `Quick test_database_parse_zero_ary;
+          Alcotest.test_case "parse errors" `Quick test_database_parse_errors;
+          Alcotest.test_case "equal" `Quick test_database_equal;
+        ] );
+      ("properties", qcheck_tests);
+    ]

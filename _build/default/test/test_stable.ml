@@ -1,0 +1,225 @@
+(* Tests for the stable-model extension and the kernel correspondence.
+
+   The paper's fixpoints of Theta are the *supported* models of the
+   program; stable models (Gelfond-Lifschitz) are the supported models
+   without self-supporting loops.  And on pi_1, whose only positive
+   subgoals are EDB atoms, the two notions coincide and both equal the
+   kernels of the reversed graph — tying Section 2's census to classic
+   combinatorics. *)
+
+module Solve = Fixpointlib.Solve
+module Stable = Fixpointlib.Stable
+module Ground = Evallib.Ground
+module Idb = Evallib.Idb
+module Parser = Datalog.Parser
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+module Kernel = Graphlib.Kernel
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let pi1 = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)."
+
+let db_of g = Digraph.to_database g
+
+(* --- supported vs stable -------------------------------------------------- *)
+
+let test_self_support_separates () =
+  (* p :- p (grounded over one constant): fixpoints {} and {p}; only {} is
+     stable. *)
+  let p = Parser.parse_program_exn "p(X) :- p(X)." in
+  let db = Relalg.Database.create_strings [ "a" ] in
+  let solver = Solve.prepare p db in
+  check int "two supported models" 2 (Solve.count solver);
+  check int "one stable model" 1 (Stable.count_stable solver);
+  match Stable.stable_models solver with
+  | [ s ] -> check bool "empty" true (Idb.is_empty s)
+  | _ -> Alcotest.fail "expected exactly the empty stable model"
+
+let test_toggle_has_no_stable_model () =
+  let toggle = Parser.parse_program_exn "t(Z) :- !t(W)." in
+  let db = Relalg.Database.create_strings [ "a"; "b" ] in
+  check bool "no stable model" false
+    (Stable.has_stable_model (Solve.prepare toggle db))
+
+let test_even_loop_two_stable_models () =
+  (* a <- not b; b <- not a: the classic two answer sets. *)
+  let p = Parser.parse_program_exn "a(X) :- m(X), !b(X). b(X) :- m(X), !a(X)." in
+  let db = Relalg.Database.of_facts ~universe:[ "k" ] [ ("m", [ "k" ]) ] in
+  let solver = Solve.prepare p db in
+  check int "two stable" 2 (Stable.count_stable solver);
+  check int "two supported" 2 (Solve.count solver)
+
+let test_stable_subset_of_supported () =
+  (* On pi_1, supported = stable (positive subgoals are EDB only). *)
+  List.iter
+    (fun g ->
+      let solver = Solve.prepare pi1 (db_of g) in
+      check int "stable = supported on pi_1" (Solve.count solver)
+        (Stable.count_stable solver))
+    [ Generate.path 5; Generate.cycle 4; Generate.cycle 5;
+      Generate.disjoint_copies 2 (Generate.cycle 4) ]
+
+let test_reduct_lfp_properties () =
+  (* The reduct lfp of the empty set is the whole inflationary limit of the
+     negation-erased program; on a positive program, stability of the naive
+     lfp. *)
+  let tc = Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)." in
+  let db = db_of (Generate.random ~seed:5 ~n:4 ~p:0.4) in
+  let g = Ground.ground tc db in
+  let lfp = Evallib.Naive.least_fixpoint tc db in
+  check bool "naive lfp is stable" true (Stable.is_stable g lfp);
+  check bool "nothing else" true
+    (Stable.count_stable (Solve.prepare tc db) = 1)
+
+let test_win_move_stable_models () =
+  (* Path game: unique stable model = the well-founded total model.
+     2-cycle: two stable models, mirroring the two fixpoints. *)
+  let win = Parser.parse_program_exn "win(X) :- e(X, Y), !win(Y)." in
+  let path = db_of (Generate.path 4) in
+  let solver = Solve.prepare win path in
+  check int "path: unique stable" 1 (Stable.count_stable solver);
+  (match Stable.stable_models solver with
+  | [ s ] ->
+    let wf = Evallib.Wellfounded.eval win path in
+    check bool "equals well-founded" true
+      (Idb.equal s wf.Evallib.Wellfounded.true_facts)
+  | _ -> Alcotest.fail "expected one stable model");
+  let loop = db_of (Digraph.make 2 [ (0, 1); (1, 0) ]) in
+  check int "2-cycle: two stable" 2 (Stable.count_stable (Solve.prepare win loop))
+
+let test_wellfounded_brackets_stable () =
+  (* Every stable model contains the well-founded true facts and sits
+     inside the possible facts. *)
+  let programs =
+    [
+      Parser.parse_program_exn "win(X) :- e(X, Y), !win(Y).";
+      pi1;
+      Parser.parse_program_exn "p(X) :- e(X, Y), !q(Y). q(X) :- e(Y, X), !p(X).";
+    ]
+  in
+  List.iter
+    (fun p ->
+      for seed = 1 to 5 do
+        let db = db_of (Generate.random ~seed:(60 + seed) ~n:4 ~p:0.35) in
+        let wf = Evallib.Wellfounded.eval p db in
+        List.iter
+          (fun s ->
+            check bool "wf true inside stable" true
+              (Idb.subset wf.Evallib.Wellfounded.true_facts s);
+            check bool "stable inside wf possible" true
+              (Idb.subset s wf.Evallib.Wellfounded.possible))
+          (Stable.stable_models (Solve.prepare p db))
+      done)
+    programs
+
+(* --- kernels ---------------------------------------------------------------- *)
+
+let test_kernel_basics () =
+  (* On the path 0 -> 1 -> 2 the unique kernel is {0, 2}. *)
+  let g = Generate.path 3 in
+  check bool "is kernel" true (Kernel.is_kernel g [ 0; 2 ]);
+  check bool "not independent" false (Kernel.is_kernel g [ 0; 1 ]);
+  check bool "not absorbing" false (Kernel.is_kernel g [ 0 ]);
+  check int "unique" 1 (Kernel.count g)
+
+let test_kernel_census_on_cycles () =
+  for n = 3 to 8 do
+    let expected = if n mod 2 = 0 then 2 else 0 in
+    check int (Printf.sprintf "C_%d kernels" n) expected
+      (Kernel.count (Generate.cycle n))
+  done
+
+let test_fixpoints_are_reversed_kernels () =
+  (* #fixpoints of pi_1 on G = #kernels of the reversed graph — and the
+     fixpoints are exactly the complements of those kernels. *)
+  let graphs =
+    [
+      Generate.path 4;
+      Generate.cycle 4;
+      Generate.cycle 5;
+      Generate.star 4;
+      Generate.random ~seed:71 ~n:5 ~p:0.3;
+      Generate.random ~seed:72 ~n:5 ~p:0.5;
+      Digraph.make 3 [ (0, 0); (0, 1); (1, 2) ];
+    ]
+  in
+  List.iter
+    (fun g ->
+      let solver = Solve.prepare pi1 (db_of g) in
+      let fixpoint_count = Solve.count solver in
+      let kernel_count = Kernel.count (Digraph.reverse g) in
+      check int "census matches" kernel_count fixpoint_count;
+      (* Contents: complement of each fixpoint's T is a reversed kernel. *)
+      List.iter
+        (fun fp ->
+          let t = Idb.get fp "t" in
+          let complement =
+            List.filter
+              (fun v ->
+                not
+                  (Relalg.Relation.mem
+                     (Relalg.Tuple.singleton (Digraph.vertex_symbol v))
+                     t))
+              (Digraph.vertices g)
+          in
+          check bool "complement is a reversed kernel" true
+            (Kernel.is_kernel (Digraph.reverse g) complement))
+        (Solve.enumerate solver))
+    graphs
+
+let prop_kernel_correspondence =
+  QCheck.Test.make ~name:"pi_1 fixpoints = reversed kernels (random graphs)"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 5) (int_range 0 10000))
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed))
+    (fun (n, seed) ->
+      let g = Generate.random ~seed ~n ~p:0.4 in
+      Solve.count (Solve.prepare pi1 (db_of g))
+      = Kernel.count (Digraph.reverse g))
+
+let prop_stable_subset_supported =
+  QCheck.Test.make ~name:"stable models are supported models" ~count:40
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 2 4) (int_range 0 10000))
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed))
+    (fun (n, seed) ->
+      let g = Generate.random ~seed ~n ~p:0.4 in
+      let win = Parser.parse_program_exn "win(X) :- e(X, Y), !win(Y)." in
+      let solver = Solve.prepare win (db_of g) in
+      let supported = Solve.enumerate solver in
+      List.for_all
+        (fun s -> List.exists (Idb.equal s) supported)
+        (Stable.stable_models solver))
+
+let () =
+  Alcotest.run "stable"
+    [
+      ( "stable-models",
+        [
+          Alcotest.test_case "self-support separates" `Quick
+            test_self_support_separates;
+          Alcotest.test_case "toggle has none" `Quick
+            test_toggle_has_no_stable_model;
+          Alcotest.test_case "even loop" `Quick test_even_loop_two_stable_models;
+          Alcotest.test_case "pi_1: stable = supported" `Quick
+            test_stable_subset_of_supported;
+          Alcotest.test_case "reduct lfp" `Quick test_reduct_lfp_properties;
+          Alcotest.test_case "win-move" `Quick test_win_move_stable_models;
+          Alcotest.test_case "well-founded brackets" `Quick
+            test_wellfounded_brackets_stable;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "basics" `Quick test_kernel_basics;
+          Alcotest.test_case "cycle census" `Quick test_kernel_census_on_cycles;
+          Alcotest.test_case "fixpoints = reversed kernels" `Quick
+            test_fixpoints_are_reversed_kernels;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_kernel_correspondence; prop_stable_subset_supported ] );
+    ]
