@@ -69,13 +69,39 @@ let database_arg =
 
 let engine_arg =
   let engine_conv =
-    Arg.enum [ ("seminaive", `Seminaive); ("naive", `Naive) ]
+    Arg.enum
+      [ ("seminaive", `Seminaive); ("naive", `Naive); ("parallel", `Parallel) ]
   in
   Arg.(
     value
     & opt engine_conv `Seminaive
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Iteration engine: $(b,seminaive) (default) or $(b,naive).")
+        ~doc:
+          "Iteration engine: $(b,seminaive) (default), $(b,naive), or \
+           $(b,parallel) (semi-naive with rule applications fanned across \
+           domains).")
+
+let indexing_arg =
+  let indexing_conv =
+    Arg.enum [ ("cached", `Cached); ("percall", `Percall); ("scan", `Scan) ]
+  in
+  Arg.(
+    value
+    & opt indexing_conv `Cached
+    & info [ "indexing" ] ~docv:"MODE"
+        ~doc:
+          "Join indexing: $(b,cached) (default, persistent per-relation \
+           column indexes maintained incrementally), $(b,percall) (rebuilt \
+           for every rule application), or $(b,scan) (no indexes).")
+
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print evaluation statistics (iterations, rule applications, \
+           tuples derived, index hits, stage timings) to stderr.")
 
 (* --- eval ------------------------------------------------------------------ *)
 
@@ -102,10 +128,13 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
-  let run program_path db_path semantics engine pred =
+  let run program_path db_path semantics engine indexing stats pred =
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
-    let result = or_die (Negdl.run ~engine semantics program db) in
+    let stats = if stats then Some (Negdl.Stats.create ()) else None in
+    let result =
+      or_die (Negdl.run ~engine ~indexing ?stats semantics program db)
+    in
     (match pred with
     | None -> print_idb result.Negdl.facts
     | Some name -> (
@@ -115,17 +144,20 @@ let eval_cmd =
       | Some r -> Format.printf "%a@." Negdl.Relation.pp r
       | None ->
         or_die (Error (Printf.sprintf "no IDB predicate %s" name))));
-    match result.Negdl.unknown with
+    (match result.Negdl.unknown with
     | Some unknown when pred = None ->
       print_idb ~header:"-- unknown (three-valued) --" unknown
-    | _ -> ()
+    | _ -> ());
+    match stats with
+    | Some s -> Format.eprintf "%a@." Negdl.Stats.pp s
+    | None -> ()
   in
   let doc = "evaluate a program on a database" in
   Cmd.v
     (Cmd.info "eval" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
-      $ pred_arg)
+      $ indexing_arg $ stats_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 

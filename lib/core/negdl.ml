@@ -64,6 +64,8 @@ module Circuit_build = Circuitlib.Build
 module Tseitin = Circuitlib.Tseitin
 module Succinct = Circuitlib.Succinct
 module Prng = Negdl_util.Prng
+module Domain_pool = Negdl_util.Domain_pool
+module Stats = Evallib.Stats
 
 type semantics =
   | Semantics_inflationary
@@ -98,19 +100,27 @@ type run_result = {
   unknown : Idb.t option;
 }
 
-let run ?engine semantics program db =
+let run ?engine ?indexing ?stats semantics program db =
   try
     match semantics with
     | Semantics_inflationary ->
-      Ok { facts = Inflationary.eval ?engine program db; unknown = None }
+      Ok
+        {
+          facts = Inflationary.eval ?engine ?indexing ?stats program db;
+          unknown = None;
+        }
     | Semantics_least_fixpoint ->
-      Ok { facts = Naive.least_fixpoint ?engine program db; unknown = None }
+      Ok
+        {
+          facts = Naive.least_fixpoint ?engine ?indexing ?stats program db;
+          unknown = None;
+        }
     | Semantics_stratified -> (
-      match Stratified.eval ?engine program db with
+      match Stratified.eval ?engine ?indexing ?stats program db with
       | Ok facts -> Ok { facts; unknown = None }
       | Error e -> Error (Stratified.error_to_string e))
     | Semantics_well_founded ->
-      let model = Wellfounded.eval ?engine program db in
+      let model = Wellfounded.eval ?engine ?indexing ?stats program db in
       let unknown = Wellfounded.unknown model in
       Ok
         {

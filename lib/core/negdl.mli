@@ -122,6 +122,8 @@ module Succinct = Circuitlib.Succinct
 (** {1 Utilities} *)
 
 module Prng = Negdl_util.Prng
+module Domain_pool = Negdl_util.Domain_pool
+module Stats = Evallib.Stats
 
 (** {1 High-level entry points} *)
 
@@ -152,14 +154,21 @@ type run_result = {
 }
 
 val run :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   semantics ->
   Ast.program ->
   Database.t ->
   (run_result, string) result
 (** Evaluates a program under the chosen semantics; errors are returned as
     human-readable strings (not stratifiable, negation under least-fixpoint
-    semantics, inconsistent arities, ...). *)
+    semantics, inconsistent arities, ...).  [engine] selects the saturation
+    strategy ([`Seminaive] default, [`Naive], or [`Parallel] which fans the
+    rule applications of each iteration across domains); [indexing] selects
+    the column-index strategy (see {!Engine.indexing}); [stats], when
+    given, accumulates evaluation counters and stage timings (the
+    Kripke-Kleene semantics currently ignores all three). *)
 
 type fixpoint_report = {
   ground_atoms : int;

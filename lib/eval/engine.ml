@@ -12,6 +12,8 @@ type occurrence = {
 
 type resolver = occurrence -> source
 
+type indexing = [ `Cached | `Percall | `Scan ]
+
 (* --- compiled form ------------------------------------------------------ *)
 
 type iterm =
@@ -148,20 +150,28 @@ let first_unbound_var env lits =
     lits;
   !found
 
-(* Per-call access structure for one positive occurrence: the relation is
-   fetched once (resolvers are pure within a call) and hash indexes on the
-   single positions are built lazily — joining through a literal with a
-   bound position then touches only the matching bucket instead of scanning
-   the whole relation. *)
+(* Access structure for one positive occurrence.  [`Cached] reads the
+   relation's own memoized column indexes — persistent across rule
+   applications and fixpoint iterations, and maintained incrementally as
+   deltas are unioned in by {!Saturate}.  [`Percall] rebuilds throwaway
+   hash indexes for this call (the seed's behaviour, kept as a benchmark
+   baseline), and [`Scan] always scans. *)
 type occurrence_access = {
   occ_relation : Relation.t;
+  occ_cardinal : int;
+      (* Cardinality, computed once per call: the join-order tie-break
+         consults it at every solve step and [Set.cardinal] is O(n). *)
   occ_indexes : (Symbol.t, Tuple.t list) Hashtbl.t option array;
-      (* occ_indexes.(pos): value at position pos -> tuples; built on first
-         use. *)
+      (* Per-call indexes, [`Percall] only: occ_indexes.(pos) maps the
+         value at position pos to tuples; built on first use. *)
 }
 
 let access_of_relation r arity =
-  { occ_relation = r; occ_indexes = Array.make arity None }
+  {
+    occ_relation = r;
+    occ_cardinal = Relation.cardinal r;
+    occ_indexes = Array.make arity None;
+  }
 
 let position_index access pos =
   match access.occ_indexes.(pos) with
@@ -179,7 +189,7 @@ let position_index access pos =
 
 (* Candidate tuples matching the bound positions of [args], via an index on
    the first bound position when one exists. *)
-let candidates ~indexed env args access =
+let candidates ~indexing ~stats env args access =
   let arity = Array.length args in
   let rec first_bound pos =
     if pos = arity then None
@@ -188,22 +198,51 @@ let candidates ~indexed env args access =
       | Some c -> Some (pos, c)
       | None -> first_bound (pos + 1)
   in
-  match if indexed then first_bound 0 else None with
-  | Some (pos, c) ->
-    Option.value ~default:[] (Hashtbl.find_opt (position_index access pos) c)
-  | None -> Relation.fold (fun t acc -> t :: acc) access.occ_relation []
+  let scan () =
+    (match stats with
+    | Some s -> s.Stats.full_scans <- s.Stats.full_scans + 1
+    | None -> ());
+    Relation.fold (fun t acc -> t :: acc) access.occ_relation []
+  in
+  match indexing with
+  | `Scan -> scan ()
+  | `Cached -> (
+    match first_bound 0 with
+    | None -> scan ()
+    | Some (pos, c) ->
+      (match stats with
+      | Some s ->
+        if Relation.has_index access.occ_relation pos then
+          s.Stats.index_hits <- s.Stats.index_hits + 1
+        else s.Stats.index_builds <- s.Stats.index_builds + 1
+      | None -> ());
+      Relation.matching pos c access.occ_relation)
+  | `Percall -> (
+    match first_bound 0 with
+    | None -> scan ()
+    | Some (pos, c) ->
+      (match stats with
+      | Some s ->
+        if access.occ_indexes.(pos) <> None then
+          s.Stats.index_hits <- s.Stats.index_hits + 1
+        else s.Stats.index_builds <- s.Stats.index_builds + 1
+      | None -> ());
+      Option.value ~default:[]
+        (Hashtbl.find_opt (position_index access pos) c))
 
 let count_bound env args =
   Array.fold_left
     (fun n t -> if term_value env t <> None then n + 1 else n)
     0 args
 
-let eval_rule ?(indexed = true) ~universe ~resolver rule =
+let eval_rule ?(indexing = `Cached) ?stats ~universe ~resolver rule =
   let c = compile rule in
   let env = Array.make c.nvars None in
   let arity = Array.length c.head_args in
   let acc = ref (Relation.empty arity) in
-  (* Fetch each positive occurrence's relation once, with lazy indexes. *)
+  let emitted = ref 0 in
+  (* Fetch each positive occurrence's relation once per call (resolvers are
+     pure within a call). *)
   let accesses = Hashtbl.create 8 in
   let access_for i pred args =
     match Hashtbl.find_opt accesses i with
@@ -224,7 +263,9 @@ let eval_rule ?(indexed = true) ~universe ~resolver rule =
            | _ -> None)
     in
     match unbound with
-    | None -> acc := Relation.add (bound_tuple env c.head_args) !acc
+    | None ->
+      incr emitted;
+      acc := Relation.add (bound_tuple env c.head_args) !acc
     | Some i ->
       List.iter
         (fun v ->
@@ -267,22 +308,31 @@ let eval_rule ?(indexed = true) ~universe ~resolver rule =
           env.(i) <- None
         | None -> (
           (* 3. Join through the positive literal with the most bound
-             arguments (cheapest extension first). *)
+             arguments, breaking ties towards the smallest relation: fewer
+             tuples to scan when nothing is bound, fewer candidates per
+             probe otherwise.  In a semi-naive iteration this makes the
+             small delta the scanned side and the large stable relations
+             the probed (indexed) side. *)
           let pos_lit =
             List.fold_left
               (fun best l ->
                 match l with
                 | LPos (i, pred, args) -> (
                   let score = count_bound env args in
+                  let card () = (access_for i pred args).occ_cardinal in
                   match best with
-                  | Some (_, _, _, _, best_score) when best_score >= score ->
+                  | Some (_, _, _, _, best_score, _) when best_score > score
+                    ->
                     best
-                  | _ -> Some (l, i, pred, args, score))
+                  | Some (_, _, _, _, best_score, best_card)
+                    when best_score = score && best_card <= card () ->
+                    best
+                  | _ -> Some (l, i, pred, args, score, card ()))
                 | _ -> best)
               None rest
           in
           match pos_lit with
-          | Some (l, i, pred, args, _score) ->
+          | Some (l, i, pred, args, _score, _card) ->
             let access = access_for i pred args in
             let rest' = List.filter (fun l' -> l' != l) remaining in
             List.iter
@@ -292,7 +342,7 @@ let eval_rule ?(indexed = true) ~universe ~resolver rule =
                   solve rest';
                   undo env bound
                 | None -> ())
-              (candidates ~indexed env args access)
+              (candidates ~indexing ~stats env args access)
           | None -> (
             (* 4. Only negations / comparisons with unbound variables are
                left: enumerate the universe for one of their variables. *)
@@ -307,12 +357,17 @@ let eval_rule ?(indexed = true) ~universe ~resolver rule =
             | None -> assert false))))
   in
   solve c.body;
+  (match stats with
+  | Some s ->
+    s.Stats.rule_applications <- s.Stats.rule_applications + 1;
+    s.Stats.tuples_derived <- s.Stats.tuples_derived + !emitted
+  | None -> ());
   !acc
 
-let eval_rules ?indexed ~universe ~resolver ~schema rules =
+let eval_rules ?indexing ?stats ~universe ~resolver ~schema rules =
   List.fold_left
     (fun acc rule ->
-      let derived = eval_rule ?indexed ~universe ~resolver rule in
+      let derived = eval_rule ?indexing ?stats ~universe ~resolver rule in
       let name = rule.Datalog.Ast.head.pred in
       let current =
         if Idb.mem acc name then Idb.get acc name

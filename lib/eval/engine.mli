@@ -26,19 +26,30 @@ type occurrence = {
 type resolver = occurrence -> source
 (** Decides, per atom occurrence, which source to read. *)
 
+type indexing = [ `Cached | `Percall | `Scan ]
+(** How joins locate matching tuples:
+    - [`Cached] (default): through the relation's own memoized column
+      indexes ({!Relalg.Relation.matching}) — built once per relation value
+      and maintained incrementally as deltas are unioned in, so the hot
+      fixpoint loop stops paying a per-call re-indexing tax;
+    - [`Percall]: throwaway hash indexes rebuilt on every rule application
+      (the pre-cache behaviour, kept as a benchmark baseline);
+    - [`Scan]: no indexes at all, full scans (ablation). *)
+
 val eval_rule :
-  ?indexed:bool ->
+  ?indexing:indexing ->
+  ?stats:Stats.t ->
   universe:Relalg.Symbol.t list ->
   resolver:resolver ->
   Datalog.Ast.rule ->
   Relalg.Relation.t
 (** All head tuples derivable by the rule under the given sources.
-    [indexed] (default [true]) builds per-call hash indexes so joins touch
-    only matching buckets; [false] falls back to full scans (kept for the
-    ablation benchmarks). *)
+    [stats], when given, accumulates rule-application, derivation and
+    index-cache counters. *)
 
 val eval_rules :
-  ?indexed:bool ->
+  ?indexing:indexing ->
+  ?stats:Stats.t ->
   universe:Relalg.Symbol.t list ->
   resolver:resolver ->
   schema:Relalg.Schema.t ->

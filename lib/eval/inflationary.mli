@@ -8,16 +8,20 @@
     coincides with the least-fixpoint semantics. *)
 
 val eval :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t
 (** Theta-infinity for all IDB predicates.  Default engine: [`Seminaive]
     (see {!Saturate} for why the differential cut remains sound under
-    negation). *)
+    negation, and for the [`Parallel] fan-out). *)
 
 val eval_trace :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Saturate.trace
@@ -25,7 +29,7 @@ val eval_trace :
     key to the distance-query argument of Proposition 2. *)
 
 val carrier :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
   Datalog.Ast.program ->
   carrier:string ->
   Relalg.Database.t ->

@@ -8,7 +8,9 @@
     checks extensively. *)
 
 val least_fixpoint :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t
@@ -16,7 +18,9 @@ val least_fixpoint :
     has inconsistent arities.  Default engine: [`Seminaive]. *)
 
 val least_fixpoint_trace :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Saturate.trace

@@ -9,11 +9,14 @@ let matches_query (query : Datalog.Ast.atom) tuple =
       | Datalog.Ast.Var _ -> true)
     query.Datalog.Ast.args (Tuple.to_list tuple)
 
-let answer ?engine p db ~query =
+let answer ?engine ?indexing ?stats p db ~query =
   match Datalog.Magic.rewrite p ~query with
   | Error _ as e -> e
   | Ok rewritten ->
-    let result = Naive.least_fixpoint ?engine rewritten.Datalog.Magic.program db in
+    let result =
+      Naive.least_fixpoint ?engine ?indexing ?stats
+        rewritten.Datalog.Magic.program db
+    in
     let full =
       if Idb.mem result rewritten.Datalog.Magic.answer_pred then
         Idb.get result rewritten.Datalog.Magic.answer_pred
@@ -23,8 +26,8 @@ let answer ?engine p db ~query =
        arose recursively; keep only the query's own. *)
     Ok (Relation.filter (matches_query query) full)
 
-let answer_exn ?engine p db ~query =
-  match answer ?engine p db ~query with
+let answer_exn ?engine ?indexing ?stats p db ~query =
+  match answer ?engine ?indexing ?stats p db ~query with
   | Ok r -> r
   | Error msg -> invalid_arg ("Query.answer: " ^ msg)
 

@@ -8,7 +8,9 @@
     whole program and selecting. *)
 
 val answer :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   query:Datalog.Ast.atom ->
@@ -18,7 +20,9 @@ val answer :
     programs and malformed queries (see [Datalog.Magic.rewrite]). *)
 
 val answer_exn :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   query:Datalog.Ast.atom ->

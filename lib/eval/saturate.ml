@@ -1,4 +1,7 @@
 module Schema = Relalg.Schema
+module Relation = Relalg.Relation
+
+type engine = [ `Naive | `Seminaive | `Parallel ]
 
 type trace = {
   result : Idb.t;
@@ -40,39 +43,99 @@ let delta_positions ~schema (rule : Datalog.Ast.rule) =
          | Datalog.Ast.Pos a when Schema.mem a.pred schema -> Some i
          | _ -> None)
 
-let full_application ~rules ~schema ~universe ~base ~neg ~current =
-  let resolver =
-    make_resolver ~schema ~base ~neg ~current ~delta_occ:None
-      ~delta:current
+(* One rule application, packaged so an iteration's applications can run
+   either in order or fanned across the domain pool.  Each task carries its
+   own statistics shard; shards are merged at the iteration barrier, which
+   keeps the counters exact without cross-domain contention. *)
+type task = {
+  shard : Stats.t option;
+  head : string;
+  thunk : unit -> Relation.t;
+}
+
+let rule_tasks ~indexing ~stats ~universe spec =
+  List.map
+    (fun ((rule : Datalog.Ast.rule), resolver) ->
+      let shard = Option.map (fun _ -> Stats.create ()) stats in
+      {
+        shard;
+        head = rule.head.pred;
+        thunk =
+          (fun () -> Engine.eval_rule ~indexing ?stats:shard ~universe ~resolver rule);
+      })
+    spec
+
+(* Runs one iteration's tasks and merges the per-task IDB fragments (and
+   statistics shards).  Rules within one Theta application are independent —
+   they all read the same immutable [current]/[delta] valuations — so the
+   fan-out is sound. *)
+let run_tasks ~parallel ~stats ~schema tasks =
+  let results =
+    match tasks with
+    | [] | [ _ ] -> List.map (fun t -> t.thunk ()) tasks
+    | _ when parallel ->
+      Negdl_util.Domain_pool.run
+        (Negdl_util.Domain_pool.default ())
+        (List.map (fun t -> t.thunk) tasks)
+    | _ -> List.map (fun t -> t.thunk ()) tasks
   in
-  Engine.eval_rules ~universe ~resolver ~schema rules
+  (match stats with
+  | Some s ->
+    List.iter
+      (fun t -> Option.iter (fun sh -> Stats.merge_into s ~src:sh) t.shard)
+      tasks
+  | None -> ());
+  List.fold_left2
+    (fun acc t derived ->
+      let old =
+        if Idb.mem acc t.head then Idb.get acc t.head
+        else Relation.empty (Relation.arity derived)
+      in
+      Idb.set acc t.head (Relation.union old derived))
+    (Idb.empty schema) tasks results
 
-let delta_application ~rules ~schema ~universe ~base ~neg ~current ~delta =
-  List.fold_left
-    (fun acc rule ->
-      let positions = delta_positions ~schema rule in
-      List.fold_left
-        (fun acc j ->
-          let resolver =
-            make_resolver ~schema ~base ~neg ~current ~delta_occ:(Some j)
-              ~delta
-          in
-          let derived = Engine.eval_rule ~universe ~resolver rule in
-          let name = rule.Datalog.Ast.head.pred in
-          let old =
-            if Idb.mem acc name then Idb.get acc name
-            else Relalg.Relation.empty (Relalg.Relation.arity derived)
-          in
-          Idb.set acc name (Relalg.Relation.union old derived))
-        acc positions)
-    (Idb.empty schema) rules
+let full_application ~parallel ~indexing ~stats ~rules ~schema ~universe ~base
+    ~neg ~current =
+  let resolver =
+    make_resolver ~schema ~base ~neg ~current ~delta_occ:None ~delta:current
+  in
+  run_tasks ~parallel ~stats ~schema
+    (rule_tasks ~indexing ~stats ~universe
+       (List.map (fun r -> (r, resolver)) rules))
 
-let run ?(engine = `Seminaive) ~rules ~schema ~universe ~base ~neg ~init () =
+let delta_application ~parallel ~indexing ~stats ~rules ~schema ~universe ~base
+    ~neg ~current ~delta =
+  let spec =
+    List.concat_map
+      (fun rule ->
+        List.map
+          (fun j ->
+            ( rule,
+              make_resolver ~schema ~base ~neg ~current ~delta_occ:(Some j)
+                ~delta ))
+          (delta_positions ~schema rule))
+      rules
+  in
+  run_tasks ~parallel ~stats ~schema (rule_tasks ~indexing ~stats ~universe spec)
+
+let run ?(engine = `Seminaive) ?(indexing = `Cached) ?stats ?label ~rules
+    ~schema ~universe ~base ~neg ~init () =
+  (match label with
+  | Some l -> Stats.timed stats l
+  | None -> fun f -> f ())
+  @@ fun () ->
+  let bump_iteration () =
+    match stats with
+    | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
+    | None -> ()
+  in
   match engine with
   | `Naive ->
     let rec loop current rev_deltas =
+      bump_iteration ();
       let derived =
-        full_application ~rules ~schema ~universe ~base ~neg ~current
+        full_application ~parallel:false ~indexing ~stats ~rules ~schema
+          ~universe ~base ~neg ~current
       in
       let delta = Idb.diff derived current in
       if Idb.is_empty delta then
@@ -80,19 +143,25 @@ let run ?(engine = `Seminaive) ~rules ~schema ~universe ~base ~neg ~init () =
       else loop (Idb.union current delta) (delta :: rev_deltas)
     in
     loop init []
-  | `Seminaive ->
+  | (`Seminaive | `Parallel) as e ->
     (* Stage 1 applies every rule in full; later stages only chase the
-       previous stage's delta through positive evolving literals. *)
+       previous stage's delta through positive evolving literals.  Under
+       [`Parallel] the applications of each stage fan across the domain
+       pool and merge at the stage barrier. *)
+    let parallel = e = `Parallel in
+    bump_iteration ();
     let derived =
-      full_application ~rules ~schema ~universe ~base ~neg ~current:init
+      full_application ~parallel ~indexing ~stats ~rules ~schema ~universe
+        ~base ~neg ~current:init
     in
     let delta1 = Idb.diff derived init in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
     else
       let rec loop current delta rev_deltas =
+        bump_iteration ();
         let derived =
-          delta_application ~rules ~schema ~universe ~base ~neg ~current
-            ~delta
+          delta_application ~parallel ~indexing ~stats ~rules ~schema
+            ~universe ~base ~neg ~current ~delta
         in
         let fresh = Idb.diff derived current in
         if Idb.is_empty fresh then

@@ -6,18 +6,24 @@
     and bounded by |A|{^ k} per k-ary predicate, the iteration terminates in
     polynomially many stages (Section 4).
 
-    Two engines compute the same limit:
+    Three engines compute the same limit:
     - [`Naive] re-derives everything each stage;
     - [`Seminaive] only explores derivations that touch a tuple added in
       the previous stage.  With negation this differential cut is still
       sound {e for inflationary iteration}: negated literals only lose
       truth as S grows, so a body newly satisfiable at stage n+1 must bind
-      some positive evolving literal to a stage-n tuple.
+      some positive evolving literal to a stage-n tuple;
+    - [`Parallel] is semi-naive with each stage's independent rule
+      applications fanned across OCaml 5 domains (a shared
+      {!Negdl_util.Domain_pool}); the per-domain IDB fragments are merged
+      at the stage barrier, so the computed limit is identical.
 
     The [neg] parameter selects where {e negated} occurrences of evolving
     predicates read: the current valuation (inflationary semantics) or a
     fixed valuation (the reduct step of the well-founded alternating
     fixpoint). *)
+
+type engine = [ `Naive | `Seminaive | `Parallel ]
 
 type trace = {
   result : Idb.t;
@@ -33,7 +39,10 @@ val stage_of : trace -> string -> Relalg.Tuple.t -> int option
 (** 1-based stage at which a tuple entered, [None] if it never did. *)
 
 val run :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
+  ?label:string ->
   rules:Datalog.Ast.rule list ->
   schema:Relalg.Schema.t ->
   universe:Relalg.Symbol.t list ->
@@ -42,4 +51,8 @@ val run :
   init:Idb.t ->
   unit ->
   trace
-(** Default engine: [`Seminaive]. *)
+(** Default engine: [`Seminaive]; default indexing: [`Cached].  [stats],
+    when given, accumulates iteration/rule/index counters; if [label] is
+    also given, the run's wall time is recorded as a stage under that name
+    (the stratified evaluator labels each stratum, the inflationary
+    evaluator the whole saturation). *)

@@ -1,0 +1,58 @@
+type t = {
+  mutable iterations : int;
+  mutable rule_applications : int;
+  mutable tuples_derived : int;
+  mutable index_hits : int;
+  mutable index_builds : int;
+  mutable full_scans : int;
+  mutable stages : (string * float) list;
+  mutable wall : float;
+}
+
+let create () =
+  {
+    iterations = 0;
+    rule_applications = 0;
+    tuples_derived = 0;
+    index_hits = 0;
+    index_builds = 0;
+    full_scans = 0;
+    stages = [];
+    wall = 0.0;
+  }
+
+let merge_into dst ~src =
+  dst.iterations <- dst.iterations + src.iterations;
+  dst.rule_applications <- dst.rule_applications + src.rule_applications;
+  dst.tuples_derived <- dst.tuples_derived + src.tuples_derived;
+  dst.index_hits <- dst.index_hits + src.index_hits;
+  dst.index_builds <- dst.index_builds + src.index_builds;
+  dst.full_scans <- dst.full_scans + src.full_scans;
+  dst.stages <- src.stages @ dst.stages;
+  dst.wall <- dst.wall +. src.wall
+
+let record_stage t name dt =
+  t.stages <- (name, dt) :: t.stages;
+  t.wall <- t.wall +. dt
+
+let timed stats name f =
+  match stats with
+  | None -> f ()
+  | Some t ->
+    let start = Unix.gettimeofday () in
+    let result = f () in
+    record_stage t name (Unix.gettimeofday () -. start);
+    result
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "iterations:        %d@," t.iterations;
+  Format.fprintf ppf "rule applications: %d@," t.rule_applications;
+  Format.fprintf ppf "tuples derived:    %d@," t.tuples_derived;
+  Format.fprintf ppf "index hits:        %d@," t.index_hits;
+  Format.fprintf ppf "index builds:      %d@," t.index_builds;
+  Format.fprintf ppf "full scans:        %d@," t.full_scans;
+  List.iter
+    (fun (name, dt) -> Format.fprintf ppf "stage %-12s %.6fs@," name dt)
+    (List.rev t.stages);
+  Format.fprintf ppf "wall time:         %.6fs@]" t.wall

@@ -1,0 +1,47 @@
+(** Evaluation statistics.
+
+    A mutable record threaded (optionally) through the engine and every
+    semantics: one value accumulates counters across a whole evaluation —
+    fixpoint iterations, rule applications, tuples derived, join-index cache
+    behaviour, and wall-clock time per named stage.  Parallel rule
+    applications accumulate into per-task records that are merged at the
+    iteration barrier, so counters stay exact under the [`Parallel]
+    engine. *)
+
+type t = {
+  mutable iterations : int;
+      (** Fixpoint stages executed (across all strata / alternations). *)
+  mutable rule_applications : int;
+      (** Calls to {!Engine.eval_rule} (a semi-naive stage counts one per
+          (rule, delta-position) pair). *)
+  mutable tuples_derived : int;
+      (** Head tuples emitted by rule applications, before dedup against
+          the accumulated valuation. *)
+  mutable index_hits : int;
+      (** Joins answered by an already-materialised column index. *)
+  mutable index_builds : int;
+      (** Joins that had to materialise (or re-materialise) an index. *)
+  mutable full_scans : int;
+      (** Joins with no usable bound column (or indexing disabled). *)
+  mutable stages : (string * float) list;
+      (** Wall time per named stage, most recent first. *)
+  mutable wall : float;  (** Total wall-clock seconds recorded. *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val merge_into : t -> src:t -> unit
+(** Adds [src]'s counters into the first argument (used at parallel
+    barriers). *)
+
+val record_stage : t -> string -> float -> unit
+(** [record_stage s name dt] logs [dt] seconds against [name] and adds it
+    to {!field-wall}. *)
+
+val timed : t option -> string -> (unit -> 'a) -> 'a
+(** [timed (Some s) name f] runs [f], recording its wall time as a stage;
+    [timed None name f] is just [f ()]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering (the CLI's [--stats] output). *)

@@ -11,13 +11,18 @@ type error = Not_stratifiable of { offending : string * string }
 val error_to_string : error -> string
 
 val eval :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   (Idb.t, error) result
+(** [stats], when given, records one wall-time stage per stratum. *)
 
 val eval_exn :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t

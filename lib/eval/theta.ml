@@ -3,10 +3,11 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Theta: " ^ msg)
 
-let apply p db s =
+let apply ?indexing ?stats p db s =
   let schema = idb_schema_exn p in
   let resolver = Engine.uniform (Engine.layered db s) in
-  Engine.eval_rules ~universe:(Relalg.Database.universe db) ~resolver ~schema
+  Engine.eval_rules ?indexing ?stats
+    ~universe:(Relalg.Database.universe db) ~resolver ~schema
     p.Datalog.Ast.rules
 
 let is_fixpoint p db s = Idb.equal (apply p db s) s

@@ -8,7 +8,13 @@
     sequence S is a fixpoint of (pi, D) precisely when [apply pi db s]
     equals [s]. *)
 
-val apply : Datalog.Ast.program -> Relalg.Database.t -> Idb.t -> Idb.t
+val apply :
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  Idb.t ->
+  Idb.t
 (** One application of Theta.
     @raise Invalid_argument if the program has inconsistent arities. *)
 

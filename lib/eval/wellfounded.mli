@@ -26,13 +26,17 @@ val is_total : model -> bool
 (** No unknown facts. *)
 
 val eval :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   model
 
 val reduct_fixpoint :
-  ?engine:[ `Naive | `Seminaive ] ->
+  ?engine:Saturate.engine ->
+  ?indexing:Engine.indexing ->
+  ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t ->

@@ -1,10 +1,27 @@
 module TSet = Set.Make (Tuple)
+module SMap = Map.Make (Symbol)
 
-type t = { arity : int; tuples : TSet.t }
+(* A column index maps a symbol to the tuples carrying it at that column.
+   Indexes live in persistent maps, so derived relations can share them
+   structurally; the per-relation [indexes] array is a memo table — a cell
+   is filled at most once per column, lazily on first use or incrementally
+   at construction time (see [add] and [union]). *)
+type index = Tuple.t list SMap.t
+
+type t = {
+  arity : int;
+  tuples : TSet.t;
+  indexes : index option array;
+      (* indexes.(pos): Some idx when the column-[pos] index is
+         materialised for exactly [tuples].  The array is never shared
+         between relations with different tuple sets. *)
+}
+
+let make_t arity tuples = { arity; tuples; indexes = Array.make arity None }
 
 let empty k =
   if k < 0 then invalid_arg "Relation.empty: negative arity";
-  { arity = k; tuples = TSet.empty }
+  make_t k TSet.empty
 
 let arity r = r.arity
 
@@ -20,13 +37,54 @@ let check_arity fname r t =
       (Printf.sprintf "Relation.%s: tuple arity %d, relation arity %d" fname
          (Tuple.arity t) r.arity)
 
+(* --- column indexes ----------------------------------------------------- *)
+
+let index_add pos idx t =
+  SMap.update (Tuple.get t pos)
+    (fun o -> Some (t :: Option.value ~default:[] o))
+    idx
+
+let has_index r pos = pos >= 0 && pos < r.arity && r.indexes.(pos) <> None
+
+let index r pos =
+  if pos < 0 || pos >= r.arity then invalid_arg "Relation.matching: bad column";
+  match r.indexes.(pos) with
+  | Some idx -> idx
+  | None ->
+    let idx = TSet.fold (fun t idx -> index_add pos idx t) r.tuples SMap.empty in
+    (* Benign race under parallel evaluation: two domains may both build
+       the index; either result is valid for this tuple set. *)
+    r.indexes.(pos) <- Some idx;
+    idx
+
+let matching pos c r =
+  Option.value ~default:[] (SMap.find_opt c (index r pos))
+
+(* Derives the index array of a relation extended by [fresh] tuples (all
+   absent from the parent): already-built columns are updated incrementally,
+   unbuilt ones stay lazy. *)
+let extend_indexes parent fresh =
+  Array.mapi
+    (fun pos o ->
+      Option.map
+        (fun idx -> List.fold_left (index_add pos) idx fresh)
+        o)
+    parent.indexes
+
+(* --- construction ------------------------------------------------------- *)
+
 let add t r =
   check_arity "add" r t;
-  { r with tuples = TSet.add t r.tuples }
+  if TSet.mem t r.tuples then r
+  else
+    { arity = r.arity;
+      tuples = TSet.add t r.tuples;
+      indexes = extend_indexes r [ t ];
+    }
 
-let remove t r = { r with tuples = TSet.remove t r.tuples }
+let remove t r = make_t r.arity (TSet.remove t r.tuples)
 
-let singleton t = { arity = Tuple.arity t; tuples = TSet.singleton t }
+let singleton t = make_t (Tuple.arity t) (TSet.singleton t)
 
 let of_list k ts = List.fold_left (fun r t -> add t r) (empty k) ts
 
@@ -40,7 +98,7 @@ let for_all p r = TSet.for_all p r.tuples
 
 let exists p r = TSet.exists p r.tuples
 
-let filter p r = { r with tuples = TSet.filter p r.tuples }
+let filter p r = make_t r.arity (TSet.filter p r.tuples)
 
 let map k f r =
   fold (fun t acc -> add (f t) acc) r (empty k)
@@ -53,15 +111,29 @@ let same_arity fname r1 r2 =
 
 let union r1 r2 =
   same_arity "union" r1 r2;
-  { r1 with tuples = TSet.union r1.tuples r2.tuples }
+  let big, small =
+    if TSet.cardinal r1.tuples >= TSet.cardinal r2.tuples then (r1, r2)
+    else (r2, r1)
+  in
+  let fresh =
+    TSet.fold
+      (fun t acc -> if TSet.mem t big.tuples then acc else t :: acc)
+      small.tuples []
+  in
+  if fresh = [] then big
+  else
+    { arity = big.arity;
+      tuples = List.fold_left (fun s t -> TSet.add t s) big.tuples fresh;
+      indexes = extend_indexes big fresh;
+    }
 
 let inter r1 r2 =
   same_arity "inter" r1 r2;
-  { r1 with tuples = TSet.inter r1.tuples r2.tuples }
+  make_t r1.arity (TSet.inter r1.tuples r2.tuples)
 
 let diff r1 r2 =
   same_arity "diff" r1 r2;
-  { r1 with tuples = TSet.diff r1.tuples r2.tuples }
+  make_t r1.arity (TSet.diff r1.tuples r2.tuples)
 
 let subset r1 r2 =
   same_arity "subset" r1 r2;

@@ -4,7 +4,16 @@
     creation.  Operations that combine two relations require compatible
     arities and raise [Invalid_argument] otherwise.  The implementation is a
     balanced tree set, so all elementwise operations are logarithmic and
-    iteration is in tuple order. *)
+    iteration is in tuple order.
+
+    Every relation additionally carries memoized per-column hash indexes
+    (see {!matching}): a column's index is built at most once per value of
+    the relation, and {!add} and {!union} maintain already-built indexes
+    incrementally — unioning a delta into an indexed relation costs
+    O(|delta| log |relation|) per built column instead of a full rebuild.
+    Indexes are held in persistent maps, so sharing them across derived
+    relations is safe, including across domains (a racy lazy build at worst
+    duplicates work, never corrupts). *)
 
 type t
 
@@ -74,6 +83,17 @@ val select : (Tuple.t -> bool) -> t -> t
 
 val select_eq : int -> Symbol.t -> t -> t
 (** [select_eq i c r] keeps tuples whose [i]-th component is [c]. *)
+
+val matching : int -> Symbol.t -> t -> Tuple.t list
+(** [matching pos c r] is the list of tuples of [r] whose component [pos]
+    equals [c], served from the memoized column index (built on first use,
+    then reused and extended incrementally by {!add}/{!union}).
+    @raise Invalid_argument if [pos] is outside the arity. *)
+
+val has_index : t -> int -> bool
+(** Whether the column-[pos] index is already materialised for this value —
+    a {!matching} call on such a column is a cache hit.  Out-of-range
+    columns answer [false]. *)
 
 val join_positions : (int * int) list -> t -> t -> t
 (** [join_positions eqs r1 r2] is the subset of the product of [r1] and [r2]

@@ -10,7 +10,10 @@ val pp : Format.formatter -> Cnf.t -> unit
 
 val parse : string -> (Cnf.t, string) result
 (** Accepts comment lines [c ...], the header [p cnf <vars> <clauses>] and
-    zero-terminated clauses, possibly spanning lines. *)
+    zero-terminated clauses, possibly spanning lines.  The instance is
+    validated against its header: every literal must name a variable in
+    [1..vars] and the number of clauses found must equal the declared
+    count; violations produce a precise [Error]. *)
 
 val parse_exn : string -> Cnf.t
 (** @raise Failure on malformed input. *)

@@ -1,0 +1,122 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let create ?size () =
+  let size =
+    match size with
+    | Some n -> max 0 n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  {
+    size;
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    queue = Queue.create ();
+    pending = 0;
+    stop = false;
+    workers = [];
+  }
+
+let size t = t.size
+
+(* Runs [job] outside the lock, then decrements [pending] under it.  Both
+   workers and the calling domain (in [run]) drain the queue through this. *)
+let exec_one t job =
+  Mutex.unlock t.mutex;
+  (job () : unit);
+  Mutex.lock t.mutex;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.work_done
+
+let worker t () =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.queue with
+      | Some job ->
+        exec_one t job;
+        loop ()
+      | None ->
+        Condition.wait t.work_ready t.mutex;
+        loop ()
+  in
+  loop ()
+
+let ensure_started t =
+  if t.workers = [] then
+    t.workers <- List.init t.size (fun _ -> Domain.spawn (worker t))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  t.stop <- false
+
+let reraise (e, bt) = Printexc.raise_with_backtrace e bt
+
+let run t thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  (* A pool of zero workers (single-core host) runs everything on the
+     calling domain: spawning a second domain there only buys the
+     stop-the-world minor-GC synchronisation overhead. *)
+  | _ when t.size = 0 -> List.map (fun f -> f ()) thunks
+  | _ ->
+    ensure_started t;
+    let thunks = Array.of_list thunks in
+    let n = Array.length thunks in
+    let results = Array.make n None in
+    Mutex.lock t.mutex;
+    Array.iteri
+      (fun i f ->
+        Queue.add
+          (fun () ->
+            results.(i) <-
+              Some
+                (try Ok (f ())
+                 with e -> Error (e, Printexc.get_raw_backtrace ())))
+          t.queue)
+      thunks;
+    t.pending <- t.pending + n;
+    Condition.broadcast t.work_ready;
+    (* The calling domain helps drain the queue, then waits at the
+       barrier. *)
+    let rec drain () =
+      if t.pending > 0 then begin
+        (match Queue.take_opt t.queue with
+        | Some job -> exec_one t job
+        | None -> Condition.wait t.work_done t.mutex);
+        drain ()
+      end
+    in
+    drain ();
+    Mutex.unlock t.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error err) -> reraise err
+           | None -> assert false)
+         results)
+
+let default_pool =
+  lazy
+    (let p = create () in
+     at_exit (fun () -> shutdown p);
+     p)
+
+let default () = Lazy.force default_pool

@@ -1,0 +1,39 @@
+(** A small reusable pool of OCaml 5 domains.
+
+    The pool exists so the evaluation engine can fan independent rule
+    applications of one fixpoint iteration across cores without paying the
+    domain spawn cost (~30us each) on every iteration.  Workers are spawned
+    lazily on the first parallel run and then reused; the shared default
+    pool is shut down automatically at exit.
+
+    Jobs must not intern new symbols ({!Relalg.Symbol.intern} uses a global
+    table that is not synchronised); evaluation only reads already-interned
+    symbols, which is safe. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] prepares a pool of [size] worker domains (default:
+    [Domain.recommended_domain_count () - 1]).  No domain is spawned until
+    the first {!run}.  A pool of size 0 — the default on a single-core
+    host — never spawns: {!run} executes every job on the calling domain,
+    which avoids the cross-domain minor-GC barrier when there is no
+    parallelism to gain. *)
+
+val size : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] evaluates every thunk, distributing them over the
+    worker domains (the calling domain also participates), and returns the
+    results in order.  This is a barrier: it returns only once every thunk
+    has finished.  If any thunk raises, the first exception (in task order)
+    is re-raised after all tasks have settled.  Safe to call from one domain
+    at a time per pool. *)
+
+val shutdown : t -> unit
+(** Joins and discards the worker domains.  The pool can be reused — the
+    next {!run} respawns them. *)
+
+val default : unit -> t
+(** A process-wide shared pool, created on first use and shut down at
+    exit. *)

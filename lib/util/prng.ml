@@ -15,8 +15,18 @@ let next_int64 rng =
 
 let int rng bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let raw = Int64.to_int (next_int64 rng) land max_int in
-  raw mod bound
+  (* Rejection sampling: [raw] is uniform over the 2^62 values in
+     [0, max_int].  Plain [raw mod bound] over-weights small residues
+     whenever bound does not divide 2^62; instead, reject draws above the
+     largest multiple of [bound] that fits.  [leftover] = 2^62 mod bound,
+     computed without overflowing. *)
+  let leftover = ((max_int mod bound) + 1) mod bound in
+  let limit = max_int - leftover in
+  let rec draw () =
+    let raw = Int64.to_int (next_int64 rng) land max_int in
+    if raw <= limit then raw mod bound else draw ()
+  in
+  draw ()
 
 let float rng =
   let raw = Int64.to_float (Int64.shift_right_logical (next_int64 rng) 11) in

@@ -21,6 +21,26 @@ Inflationary evaluation on the 4-cycle saturates t:
   $ negdl eval pi1.dl c4.facts -s inflationary -p t
   {(v0); (v1); (v2); (v3)}
 
+The parallel engine and the alternative indexing modes compute the same
+model:
+
+  $ negdl eval pi1.dl c4.facts --engine parallel -p t
+  {(v0); (v1); (v2); (v3)}
+
+  $ negdl eval tc.dl path4.facts --engine parallel --indexing scan -p s
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+
+--stats reports the evaluation counters on stderr (timings elided here):
+
+  $ negdl eval tc.dl path4.facts --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+  iterations:        4
+  rule applications: 5
+  tuples derived:    6
+  index hits:        4
+  index builds:      2
+  full scans:        5
+
 The Section 2 census on the 4-cycle: two incomparable fixpoints, no least:
 
   $ negdl fixpoints pi1.dl c4.facts --enumerate

@@ -216,6 +216,115 @@ let test_databases_over_count () =
   check int "4 databases" 4
     (List.length (Evallib.Equiv.databases_over ~universe [ ("u", 1); ("e", 2) ]))
 
+(* --- Prng: rejection sampling kills the modulo bias ------------------------------ *)
+
+let test_prng_bounds_and_determinism () =
+  let rng = Negdl_util.Prng.create 42 in
+  for _ = 1 to 1000 do
+    let v = Negdl_util.Prng.int rng 7 in
+    check bool "in range" true (v >= 0 && v < 7)
+  done;
+  let a = Negdl_util.Prng.create 9 and b = Negdl_util.Prng.create 9 in
+  for _ = 1 to 100 do
+    check int "same stream" (Negdl_util.Prng.int a 1000) (Negdl_util.Prng.int b 1000)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument
+    "Prng.int: bound must be positive")
+    (fun () -> ignore (Negdl_util.Prng.int rng 0))
+
+let test_prng_no_modulo_bias () =
+  (* With bound = 3 * 2^60, plain [raw mod bound] on a 62-bit non-negative
+     raw would land in [0, 2^60) with probability ~1/2 (the wrapped
+     remainder doubles up that low range) instead of the uniform 1/3.
+     Rejection sampling must restore ~1/3. *)
+  let bound = 3 * (1 lsl 60) in
+  let cut = 1 lsl 60 in
+  let rng = Negdl_util.Prng.create 1234 in
+  let draws = 10_000 in
+  let low = ref 0 in
+  for _ = 1 to draws do
+    if Negdl_util.Prng.int rng bound < cut then incr low
+  done;
+  let fraction = float_of_int !low /. float_of_int draws in
+  (* 1/3 +- 5 sigma (sigma ~ 0.0047); the biased version gives ~0.5. *)
+  check bool
+    (Printf.sprintf "low-range fraction %.4f is ~1/3" fraction)
+    true
+    (fraction > 0.309 &&
+     fraction < 0.357)
+
+(* --- Domain_pool ------------------------------------------------------------------ *)
+
+let test_domain_pool_run () =
+  let pool = Negdl_util.Domain_pool.create ~size:2 () in
+  let jobs = List.init 20 (fun i -> fun () -> i * i) in
+  check (Alcotest.list int) "order-preserving barrier"
+    (List.init 20 (fun i -> i * i))
+    (Negdl_util.Domain_pool.run pool jobs);
+  (* Reusable after a run, and after an explicit shutdown. *)
+  check (Alcotest.list int) "reusable" [ 1; 2 ]
+    (Negdl_util.Domain_pool.run pool [ (fun () -> 1); (fun () -> 2) ]);
+  Negdl_util.Domain_pool.shutdown pool;
+  check (Alcotest.list int) "respawns after shutdown" [ 7; 8; 9 ]
+    (Negdl_util.Domain_pool.run pool
+       [ (fun () -> 7); (fun () -> 8); (fun () -> 9) ]);
+  Negdl_util.Domain_pool.shutdown pool
+
+let test_domain_pool_exception () =
+  let pool = Negdl_util.Domain_pool.create ~size:1 () in
+  Alcotest.check_raises "first exception re-raised" (Failure "job 1")
+    (fun () ->
+      ignore
+        (Negdl_util.Domain_pool.run pool
+           [ (fun () -> 0); (fun () -> failwith "job 1"); (fun () -> 2) ]));
+  (* The pool survives a failing batch. *)
+  check (Alcotest.list int) "still works" [ 5 ]
+    (Negdl_util.Domain_pool.run pool [ (fun () -> 5) ]);
+  Negdl_util.Domain_pool.shutdown pool
+
+let test_domain_pool_inline () =
+  (* Size 0: everything runs on the calling domain, no spawn. *)
+  let pool = Negdl_util.Domain_pool.create ~size:0 () in
+  check int "size" 0 (Negdl_util.Domain_pool.size pool);
+  check (Alcotest.list int) "inline execution" [ 2; 4; 6 ]
+    (Negdl_util.Domain_pool.run pool
+       [ (fun () -> 2); (fun () -> 4); (fun () -> 6) ])
+
+(* --- Relation: persistent column indexes ----------------------------------------- *)
+
+let test_relation_index_incremental () =
+  let tup a b = Tuple.of_strings [ a; b ] in
+  let r =
+    Relation.of_list 2 [ tup "a" "b"; tup "a" "c"; tup "b" "c" ]
+  in
+  let sym = Relalg.Symbol.intern in
+  (* Build the column-0 index, then extend the relation: the derived
+     relation must see the new tuple through the same index without a
+     rebuild. *)
+  check int "matching a" 2 (List.length (Relation.matching 0 (sym "a") r));
+  check bool "index built" true (Relation.has_index r 0);
+  let r' = Relation.add (tup "a" "d") r in
+  check bool "index carried over" true (Relation.has_index r' 0);
+  check int "matching a after add" 3
+    (List.length (Relation.matching 0 (sym "a") r'));
+  check int "original unchanged" 2
+    (List.length (Relation.matching 0 (sym "a") r));
+  (* Union maintains the bigger side's indexes incrementally. *)
+  let extra = Relation.of_list 2 [ tup "a" "e"; tup "c" "a" ] in
+  let u = Relation.union r' extra in
+  check int "matching a after union" 4
+    (List.length (Relation.matching 0 (sym "a") u));
+  check int "matching c after union" 1
+    (List.length (Relation.matching 0 (sym "c") u));
+  (* A derived relation with different tuples must not share stale
+     indexes. *)
+  let filtered = Relation.filter (fun t -> Tuple.get t 0 = sym "a") u in
+  check bool "fresh memo on filter" false (Relation.has_index filtered 0);
+  check int "filtered matching" 4
+    (List.length (Relation.matching 0 (sym "a") filtered));
+  check int "filtered non-match" 0
+    (List.length (Relation.matching 0 (sym "b") filtered))
+
 let () =
   Alcotest.run "misc"
     [
@@ -251,6 +360,23 @@ let () =
         [
           Alcotest.test_case "from seed" `Quick test_saturate_from_seed;
           Alcotest.test_case "stage of absent" `Quick test_stage_of_absent;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "bounds and determinism" `Quick
+            test_prng_bounds_and_determinism;
+          Alcotest.test_case "no modulo bias" `Quick test_prng_no_modulo_bias;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "run" `Quick test_domain_pool_run;
+          Alcotest.test_case "exception" `Quick test_domain_pool_exception;
+          Alcotest.test_case "inline" `Quick test_domain_pool_inline;
+        ] );
+      ( "relation-index",
+        [
+          Alcotest.test_case "incremental" `Quick
+            test_relation_index_incremental;
         ] );
       ( "equiv",
         [

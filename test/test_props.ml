@@ -39,6 +39,64 @@ let prop_engines_agree =
         (Evallib.Inflationary.eval ~engine:`Naive p db)
         (Evallib.Inflationary.eval ~engine:`Seminaive p db))
 
+(* Every (engine, indexing) combination must compute the same model — the
+   fixpoint is a semantic object, not an artefact of evaluation order,
+   index structure, or domain scheduling. *)
+let engines = [ `Naive; `Seminaive; `Parallel ]
+
+let indexings = [ `Cached; `Percall; `Scan ]
+
+let all_modes_agree eval equal reference =
+  List.for_all
+    (fun engine ->
+      List.for_all
+        (fun indexing -> equal reference (eval ~engine ~indexing))
+        indexings)
+    engines
+
+let prop_engine_matrix_inflationary =
+  QCheck.Test.make
+    ~name:"all engine x indexing modes agree (inflationary fixpoint)"
+    ~count:60 arb_case (fun (p, db) ->
+      let reference = Evallib.Inflationary.eval p db in
+      all_modes_agree
+        (fun ~engine ~indexing ->
+          Evallib.Inflationary.eval ~engine ~indexing p db)
+        Idb.equal reference)
+
+let prop_engine_matrix_positive =
+  QCheck.Test.make
+    ~name:"all engine x indexing modes agree (positive least fixpoint)"
+    ~count:60 arb_case (fun (p, db) ->
+      let p = positivise p in
+      let reference = Evallib.Naive.least_fixpoint p db in
+      all_modes_agree
+        (fun ~engine ~indexing ->
+          Evallib.Naive.least_fixpoint ~engine ~indexing p db)
+        Idb.equal reference)
+
+let prop_engine_matrix_semantics =
+  QCheck.Test.make
+    ~name:"all engine x indexing modes agree (stratified + well-founded)"
+    ~count:40 arb_case (fun (p, db) ->
+      QCheck.assume (Datalog.Stratify.is_stratified p);
+      let strat_ref = Evallib.Stratified.eval_exn p db in
+      let wf_equal (a : Evallib.Wellfounded.model) b =
+        Idb.equal a.Evallib.Wellfounded.true_facts
+          b.Evallib.Wellfounded.true_facts
+        && Idb.equal a.Evallib.Wellfounded.possible
+             b.Evallib.Wellfounded.possible
+      in
+      let wf_ref = Evallib.Wellfounded.eval p db in
+      all_modes_agree
+        (fun ~engine ~indexing ->
+          Evallib.Stratified.eval_exn ~engine ~indexing p db)
+        Idb.equal strat_ref
+      && all_modes_agree
+           (fun ~engine ~indexing ->
+             Evallib.Wellfounded.eval ~engine ~indexing p db)
+           wf_equal wf_ref)
+
 let prop_limit_is_inflationary_fixpoint =
   QCheck.Test.make ~name:"Theta(limit) is contained in the limit" ~count:150
     arb_case (fun (p, db) ->
@@ -167,16 +225,17 @@ let prop_indexed_equals_scan =
       | Ok schema ->
         let universe = Relalg.Database.universe db in
         (* One Theta application against the inflationary limit, computed
-           both ways. *)
+           under all three indexing strategies. *)
         let s = Evallib.Inflationary.eval p db in
         let resolver =
           Evallib.Engine.uniform (Evallib.Engine.layered db s)
         in
-        Idb.equal
-          (Evallib.Engine.eval_rules ~indexed:true ~universe ~resolver ~schema
-             p.Ast.rules)
-          (Evallib.Engine.eval_rules ~indexed:false ~universe ~resolver
-             ~schema p.Ast.rules))
+        let apply indexing =
+          Evallib.Engine.eval_rules ~indexing ~universe ~resolver ~schema
+            p.Ast.rules
+        in
+        let cached = apply `Cached in
+        Idb.equal cached (apply `Percall) && Idb.equal cached (apply `Scan))
 
 let prop_pretty_roundtrip =
   QCheck.Test.make ~name:"pretty-printed programs re-parse identically"
@@ -190,6 +249,9 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_engines_agree;
+            prop_engine_matrix_inflationary;
+            prop_engine_matrix_positive;
+            prop_engine_matrix_semantics;
             prop_limit_is_inflationary_fixpoint;
             prop_deltas_partition;
             prop_ground_tracks_theta;

@@ -64,6 +64,40 @@ let test_dimacs_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unterminated clause accepted"
 
+let test_dimacs_validation () =
+  let expect_error name text fragment =
+    match Dimacs.parse text with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      check bool
+        (Printf.sprintf "%s: %S mentions %S" name msg fragment)
+        true (contains msg fragment)
+  in
+  expect_error "clause undercount" "p cnf 2 3\n1 0\n2 0\n"
+    "declares 3 clauses but 2 found";
+  expect_error "clause overcount" "p cnf 2 1\n1 0\n2 0\n"
+    "declares 1 clauses but 2 found";
+  expect_error "literal out of range" "p cnf 2 1\n3 0\n" "literal 3 out of range";
+  expect_error "negative literal out of range" "p cnf 2 1\n-5 0\n"
+    "literal -5 out of range";
+  expect_error "bad clause count" "p cnf 2 x\n1 0\n" "bad clause count";
+  expect_error "negative clause count" "p cnf 2 -1\n1 0\n"
+    "negative clause count";
+  expect_error "truncated header" "p cnf 2" "truncated";
+  (* The header is line-scoped: a bare "p cnf" must not consume the first
+     clause's literals as its variable/clause counts. *)
+  expect_error "truncated header before clauses" "p cnf\n1 0\n" "truncated";
+  (* A tautological clause still counts towards the declared total even
+     though the Cnf constructor drops it. *)
+  match Dimacs.parse "p cnf 2 2\n1 -1 0\n2 0\n" with
+  | Error msg -> Alcotest.fail ("tautology miscounted: " ^ msg)
+  | Ok cnf -> check bool "tautology dropped" true (Cnf.num_clauses cnf <= 2)
+
 (* --- Solver vs brute force ---------------------------------------------- *)
 
 let test_solver_trivial () =
@@ -382,6 +416,7 @@ let () =
           Alcotest.test_case "comments" `Quick test_dimacs_comments;
           Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
           Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "header validation" `Quick test_dimacs_validation;
         ] );
       ( "solver",
         [
