@@ -11,10 +11,17 @@
    per-call vs no indexing, and the parallel engine vs sequential — and
    writes the measurements to BENCH_eval.json in the current directory.
 
-   Run with:  dune exec bench/main.exe            (parts 1 and 2)
-              dune exec bench/main.exe -- tables  (part 1 only)
-              dune exec bench/main.exe -- micro   (part 2 only)
-              dune exec bench/main.exe -- eval    (part 3 only) *)
+   Part 4 ("storage") is the relation-backend ablation: the packed hashed
+   backend vs the tree-set seed, crossed with cached vs per-call indexing
+   on an iteration-heavy transitive closure, plus the E1 cycle census, with
+   E1-E8 parity fingerprints under both backends.  Writes BENCH_relalg.json
+   and exits nonzero if the backends diverge on any count.
+
+   Run with:  dune exec bench/main.exe                    (parts 1 and 2)
+              dune exec bench/main.exe -- tables          (part 1 only)
+              dune exec bench/main.exe -- micro           (part 2 only)
+              dune exec bench/main.exe -- eval            (part 3 only)
+              dune exec bench/main.exe -- storage [quick] (part 4 only) *)
 
 open Negdl
 
@@ -100,25 +107,27 @@ let e2 () =
 
 (* --- E3: the generic Fagin compiler --------------------------------------- *)
 
+let kernel_sentence =
+  let open Fo in
+  {
+    Eso.second_order = [ ("S", 1) ];
+    matrix =
+      forall [ "x" ]
+        (exists [ "y" ]
+           (Or
+              ( atom "S" [ var "x" ],
+                And (atom "e" [ var "x"; var "y" ], atom "S" [ var "y" ]) )));
+  }
+
+let kernel_compiled =
+  lazy
+    (match Fagin.compile_sentence kernel_sentence with
+    | Ok c -> c
+    | Error e -> failwith e)
+
 let e3 () =
   section "E3  Theorem 1 compiler: ESO sentence -> program, deciders agree";
-  let open Fo in
-  let kernel_sentence =
-    {
-      Eso.second_order = [ ("S", 1) ];
-      matrix =
-        forall [ "x" ]
-          (exists [ "y" ]
-             (Or
-                ( atom "S" [ var "x" ],
-                  And (atom "e" [ var "x"; var "y" ], atom "S" [ var "y" ]) )));
-    }
-  in
-  let compiled =
-    match Fagin.compile_sentence kernel_sentence with
-    | Ok c -> c
-    | Error e -> failwith e
-  in
+  let compiled = Lazy.force kernel_compiled in
   row "  compiled program: %d rules, q=%s, t=%s@."
     (List.length compiled.Fagin.program.Ast.rules)
     compiled.Fagin.q_pred compiled.Fagin.t_pred;
@@ -760,8 +769,244 @@ let eval_bench () =
   out "}\n";
   close_out oc
 
+(* --- Part 4: storage-backend benchmark (BENCH_relalg.json) ------------------ *)
+
+let with_storage storage f =
+  let saved = Relation.default_storage () in
+  Relation.set_default_storage storage;
+  Fun.protect ~finally:(fun () -> Relation.set_default_storage saved) f
+
+let storage_name = function `Hashed -> "hashed" | `Treeset -> "treeset"
+
+let indexing_name = function
+  | `Cached -> "cached"
+  | `Percall -> "percall"
+  | `Scan -> "scan"
+
+(* A fingerprint of the E1-E8 experiment drivers: every count a relation
+   backend could corrupt, as (name, integer) pairs.  Computed once per
+   backend inside {!with_storage}; the benchmark exits nonzero if the
+   backends disagree on any entry. *)
+let parity_fingerprint () =
+  let entries = ref [] in
+  let add name v = entries := (name, v) :: !entries in
+  let bit name b = add name (if b then 1 else 0) in
+  (* E1: the Section 2 fixpoint census. *)
+  List.iter
+    (fun (name, g) ->
+      add ("e1_census_" ^ name)
+        (Fixpoints.count (Fixpoints.prepare pi1 (db_of g))))
+    [
+      ("C4", Generate.cycle 4);
+      ("C5", Generate.cycle 5);
+      ("C6", Generate.cycle 6);
+      ("L5", Generate.path 5);
+      ("2xC4", Generate.disjoint_copies 2 (Generate.cycle 4));
+    ];
+  (* E2: pi_SAT model/fixpoint counts. *)
+  List.iter
+    (fun seed ->
+      let cnf = Sat_workload.random_3cnf ~seed ~vars:5 ~clauses:(10 + (2 * seed)) in
+      add
+        (Printf.sprintf "e2_pisat_seed%d" seed)
+        (Fixpoints.count (Sat_db.solver cnf)))
+    [ 1; 2; 3 ];
+  (* E3: the Fagin-compiled kernel decider. *)
+  List.iter
+    (fun (name, g) ->
+      bit ("e3_fagin_" ^ name)
+        (Fagin.has_fixpoint (Lazy.force kernel_compiled) (db_of g)))
+    [ ("L3", Generate.path 3); ("C3", Generate.cycle 3); ("C4", Generate.cycle 4) ];
+  (* E4: unique fixpoints. *)
+  List.iter
+    (fun k ->
+      bit
+        (Printf.sprintf "e4_unique_k%d" k)
+        (Fixpoints.has_unique (Sat_db.solver (Sat_workload.exactly_k_models 3 k))))
+    [ 0; 1; 2 ];
+  (* E5: least-fixpoint existence. *)
+  List.iter
+    (fun (name, solver) -> bit ("e5_least_" ^ name) (Fixpoints.least solver <> None))
+    [
+      ("pi1_L5", Fixpoints.prepare pi1 (db_of (Generate.path 5)));
+      ("pi1_C4", Fixpoints.prepare pi1 (db_of (Generate.cycle 4)));
+      ("sat_or", Sat_db.solver (Cnf.of_list 2 [ [ 1; 2 ] ]));
+    ];
+  (* E6: pi_COL 3-colorability. *)
+  List.iter
+    (fun (name, g) -> bit ("e6_3col_" ^ name) (Coloring3.has_fixpoint g))
+    [
+      ("K3", Generate.complete 3);
+      ("C5", Generate.cycle 5);
+      ("grid23", Generate.grid 2 3);
+    ];
+  (* E7: inflationary TC sizes and stage counts. *)
+  let trace =
+    Inflationary.eval_trace tc_program
+      (db_of (Generate.random ~seed:31 ~n:30 ~p:0.13))
+  in
+  add "e7_tc30_tuples" (Idb.total_cardinal trace.Saturate.result);
+  add "e7_tc30_stages" (List.length trace.Saturate.deltas);
+  (* E8: the distance query, inflationary vs stratified. *)
+  List.iter
+    (fun (name, g) ->
+      add ("e8_dist_infl_" ^ name) (Relation.cardinal (Distance.inflationary g));
+      add ("e8_dist_strat_" ^ name) (Relation.cardinal (Distance.stratified g)))
+    [ ("L7", Generate.path 7); ("rnd6", Generate.random ~seed:41 ~n:6 ~p:0.25) ];
+  (* The three-valued side, for good measure. *)
+  let m = Wellfounded.eval pi1 (db_of (Generate.cycle 5)) in
+  add "wf_pi1_c5_true" (Idb.total_cardinal m.Wellfounded.true_facts);
+  add "wf_pi1_c5_possible" (Idb.total_cardinal m.Wellfounded.possible);
+  List.rev !entries
+
+let storage_bench ~quick () =
+  Format.printf
+    "Storage-backend benchmark (hashed vs treeset%s) -> BENCH_relalg.json@."
+    (if quick then ", quick mode" else "");
+  let storages = [ `Hashed; `Treeset ] in
+  let indexings = [ `Cached; `Percall ] in
+  (* Workload 1 — iteration-heavy TC: the transitive closure of the cycle
+     C_n takes n semi-naive stages and saturates at n^2 tuples, so every
+     stage unions a delta into an ever-larger closure and deduplicates
+     candidates against it.  This is the regime the packed backend targets:
+     membership is a precomputed-hash probe and union merges integer-set
+     structure, where the tree backend re-walks tuple arrays on every
+     comparison. *)
+  let tc_n = if quick then 100 else 140 in
+  let best_reps = if quick then 2 else 4 in
+  let tc_cell storage indexing =
+    with_storage storage (fun () ->
+        let db = db_of (Generate.cycle tc_n) in
+        let run () =
+          Inflationary.eval ~engine:`Seminaive ~indexing tc_program db
+        in
+        let r, t = best_of best_reps run in
+        (Idb.total_cardinal r, t))
+  in
+  let matrix =
+    List.concat_map
+      (fun storage ->
+        List.map
+          (fun indexing ->
+            let tuples, seconds = tc_cell storage indexing in
+            (storage, indexing, tuples, seconds))
+          indexings)
+      storages
+  in
+  Format.printf "  %-34s %10s %10s@." "tc_iterheavy (storage x indexing)" "ms"
+    "tuples";
+  List.iter
+    (fun (storage, indexing, tuples, seconds) ->
+      Format.printf "  %-34s %10.2f %10d@."
+        (Printf.sprintf "tc_%s_%s" (storage_name storage)
+           (indexing_name indexing))
+        (seconds *. 1e3) tuples)
+    matrix;
+  let cell storage indexing =
+    let _, _, tuples, seconds =
+      List.find (fun (s, i, _, _) -> s = storage && i = indexing) matrix
+    in
+    (tuples, seconds)
+  in
+  let tc_counts_agree =
+    match matrix with
+    | (_, _, t0, _) :: rest -> List.for_all (fun (_, _, t, _) -> t = t0) rest
+    | [] -> false
+  in
+  (* Workload 2 — the E1 cycle census at scale: ground pi_1 on the cycle
+     C_n, encode Theta(S)=S and count the fixpoints (2 for even cycles).
+     Grounding dominates, and its inner loop is one membership probe per
+     candidate binding against the n-edge relation — the storage-sensitive
+     path the packed backend accelerates. *)
+  let census_n = if quick then 400 else 500 in
+  let census storage =
+    with_storage storage (fun () ->
+        let db = db_of (Generate.cycle census_n) in
+        best_of best_reps (fun () ->
+            Fixpoints.count (Fixpoints.prepare pi1 db)))
+  in
+  let census_hashed, t_census_hashed = census `Hashed in
+  let census_treeset, t_census_treeset = census `Treeset in
+  Format.printf "  %-34s %10.2f %10d@."
+    (Printf.sprintf "census_C%d_hashed" census_n)
+    (t_census_hashed *. 1e3) census_hashed;
+  Format.printf "  %-34s %10.2f %10d@."
+    (Printf.sprintf "census_C%d_treeset" census_n)
+    (t_census_treeset *. 1e3) census_treeset;
+  (* E1-E8 parity: both backends must reproduce every experiment count. *)
+  let fp_hashed = with_storage `Hashed parity_fingerprint in
+  let fp_treeset = with_storage `Treeset parity_fingerprint in
+  let divergences =
+    List.filter_map
+      (fun ((name, h), (name', t)) ->
+        assert (name = name');
+        if h = t then None else Some (name, h, t))
+      (List.combine fp_hashed fp_treeset)
+  in
+  List.iter
+    (fun (name, h, t) ->
+      Format.printf "  DIVERGENCE %s: hashed=%d treeset=%d@." name h t)
+    divergences;
+  let parity_ok = divergences = [] && census_hashed = census_treeset in
+  let _, t_hc = cell `Hashed `Cached in
+  let _, t_hp = cell `Hashed `Percall in
+  let _, t_tc = cell `Treeset `Cached in
+  let _, t_tp = cell `Treeset `Percall in
+  let speedup_tc = t_tc /. t_hc in
+  let speedup_tc_percall = t_tp /. t_hp in
+  let speedup_census = t_census_treeset /. t_census_hashed in
+  Format.printf "  hashed vs treeset (tc, cached):  %.2fx@." speedup_tc;
+  Format.printf "  hashed vs treeset (tc, percall): %.2fx@." speedup_tc_percall;
+  Format.printf "  hashed vs treeset (census):      %.2fx@." speedup_census;
+  Format.printf
+    "  parity: E1-E8 fingerprints (%d entries) %s, tc models %s@."
+    (List.length fp_hashed) (ok parity_ok) (ok tc_counts_agree);
+  let oc = open_out "BENCH_relalg.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"matrix\": [\n";
+  List.iteri
+    (fun i (storage, indexing, tuples, seconds) ->
+      out
+        "    {\"workload\": \"tc_iterheavy\", \"storage\": %S, \"indexing\": \
+         %S, \"ns_per_op\": %.0f, \"tuples\": %d}%s\n"
+        (storage_name storage) (indexing_name indexing)
+        (seconds *. 1e9) tuples
+        (if i = List.length matrix - 1 then "" else ","))
+    matrix;
+  out "  ],\n";
+  out "  \"census\": [\n";
+  out
+    "    {\"workload\": \"e1_census_C%d\", \"storage\": \"hashed\", \
+     \"ns_per_op\": %.0f, \"fixpoints\": %d},\n"
+    census_n (t_census_hashed *. 1e9) census_hashed;
+  out
+    "    {\"workload\": \"e1_census_C%d\", \"storage\": \"treeset\", \
+     \"ns_per_op\": %.0f, \"fixpoints\": %d}\n"
+    census_n (t_census_treeset *. 1e9) census_treeset;
+  out "  ],\n";
+  out "  \"speedups\": {\n";
+  out "    \"hashed_vs_treeset_tc_cached\": %.3f,\n" speedup_tc;
+  out "    \"hashed_vs_treeset_tc_percall\": %.3f,\n" speedup_tc_percall;
+  out "    \"hashed_vs_treeset_census\": %.3f\n" speedup_census;
+  out "  },\n";
+  out "  \"checks\": {\n";
+  out "    \"e1_e8_fingerprints_match\": %b,\n" (divergences = []);
+  out "    \"census_counts_match\": %b,\n" (census_hashed = census_treeset);
+  out "    \"tc_models_agree\": %b\n" tc_counts_agree;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  if not (parity_ok && tc_counts_agree) then begin
+    Format.printf "  backend divergence detected — failing@.";
+    exit 1
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
   if what = "tables" || what = "all" then tables ();
   if what = "micro" || what = "all" then run_micro ();
-  if what = "eval" then eval_bench ()
+  if what = "eval" then eval_bench ();
+  if what = "storage" then storage_bench ~quick ()

@@ -94,6 +94,15 @@ let indexing_arg =
            column indexes maintained incrementally), $(b,percall) (rebuilt \
            for every rule application), or $(b,scan) (no indexes).")
 
+let storage_arg =
+  let storage_conv = Arg.enum [ ("hashed", `Hashed); ("treeset", `Treeset) ] in
+  Arg.(
+    value
+    & opt storage_conv `Hashed
+    & info [ "storage" ] ~docv:"BACKEND"
+        ~doc:
+          "Relation storage backend: $(b,hashed) (default, packed tuple ids            in Patricia sets over the global tuple store) or $(b,treeset)            (balanced tuple sets, the pre-packing behaviour, kept as an            ablation).")
+
 let stats_arg =
   Arg.(
     value
@@ -128,12 +137,15 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
-  let run program_path db_path semantics engine indexing stats pred =
+  let run program_path db_path semantics engine indexing storage stats pred =
+    (* Set the default before loading, so the base relations parsed from the
+       database are built in the chosen backend too. *)
+    Negdl.Relation.set_default_storage storage;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats = if stats then Some (Negdl.Stats.create ()) else None in
     let result =
-      or_die (Negdl.run ~engine ~indexing ?stats semantics program db)
+      or_die (Negdl.run ~engine ~indexing ~storage ?stats semantics program db)
     in
     (match pred with
     | None -> print_idb result.Negdl.facts
@@ -157,7 +169,7 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
-      $ indexing_arg $ stats_arg $ pred_arg)
+      $ indexing_arg $ storage_arg $ stats_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -173,7 +185,8 @@ let fixpoints_cmd =
       value & flag
       & info [ "enumerate" ] ~doc:"Print every fixpoint found (up to the cap).")
   in
-  let run program_path db_path limit enumerate =
+  let run program_path db_path storage limit enumerate =
+    Negdl.Relation.set_default_storage storage;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let report = Negdl.analyze_fixpoints ~count_limit:limit program db in
@@ -207,7 +220,9 @@ let fixpoints_cmd =
   let doc = "decide existence / uniqueness / least fixpoints (Section 3)" in
   Cmd.v
     (Cmd.info "fixpoints" ~doc)
-    Term.(const run $ program_arg $ database_arg $ limit_arg $ enumerate_arg)
+    Term.(
+      const run $ program_arg $ database_arg $ storage_arg $ limit_arg
+      $ enumerate_arg)
 
 (* --- query ------------------------------------------------------------------- *)
 

@@ -100,27 +100,30 @@ type run_result = {
   unknown : Idb.t option;
 }
 
-let run ?engine ?indexing ?stats semantics program db =
+let run ?engine ?indexing ?storage ?stats semantics program db =
   try
     match semantics with
     | Semantics_inflationary ->
       Ok
         {
-          facts = Inflationary.eval ?engine ?indexing ?stats program db;
+          facts = Inflationary.eval ?engine ?indexing ?storage ?stats program db;
           unknown = None;
         }
     | Semantics_least_fixpoint ->
       Ok
         {
-          facts = Naive.least_fixpoint ?engine ?indexing ?stats program db;
+          facts =
+            Naive.least_fixpoint ?engine ?indexing ?storage ?stats program db;
           unknown = None;
         }
     | Semantics_stratified -> (
-      match Stratified.eval ?engine ?indexing ?stats program db with
+      match Stratified.eval ?engine ?indexing ?storage ?stats program db with
       | Ok facts -> Ok { facts; unknown = None }
       | Error e -> Error (Stratified.error_to_string e))
     | Semantics_well_founded ->
-      let model = Wellfounded.eval ?engine ?indexing ?stats program db in
+      let model =
+        Wellfounded.eval ?engine ?indexing ?storage ?stats program db
+      in
       let unknown = Wellfounded.unknown model in
       Ok
         {

@@ -156,6 +156,7 @@ type run_result = {
 val run :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relation.storage ->
   ?stats:Stats.t ->
   semantics ->
   Ast.program ->
@@ -166,9 +167,12 @@ val run :
     semantics, inconsistent arities, ...).  [engine] selects the saturation
     strategy ([`Seminaive] default, [`Naive], or [`Parallel] which fans the
     rule applications of each iteration across domains); [indexing] selects
-    the column-index strategy (see {!Engine.indexing}); [stats], when
-    given, accumulates evaluation counters and stage timings (the
-    Kripke-Kleene semantics currently ignores all three). *)
+    the column-index strategy (see {!Engine.indexing}); [storage] selects
+    the relation backend the derived relations are built in (see
+    {!Relation.storage}; the global default is set with
+    {!Relation.set_default_storage}); [stats], when given, accumulates
+    evaluation counters and stage timings (the Kripke-Kleene semantics
+    currently ignores all four). *)
 
 type fixpoint_report = {
   ground_atoms : int;

@@ -187,9 +187,11 @@ let position_index access pos =
     access.occ_indexes.(pos) <- Some table;
     table
 
-(* Candidate tuples matching the bound positions of [args], via an index on
-   the first bound position when one exists. *)
-let candidates ~indexing ~stats env args access =
+(* Streams the candidate tuples matching the bound positions of [args] to
+   [f], via an index on the first bound position when one exists.  Index
+   buckets are iterated in place — no intermediate candidate list is
+   materialised on any path. *)
+let iter_candidates ~indexing ~stats env args access f =
   let arity = Array.length args in
   let rec first_bound pos =
     if pos = arity then None
@@ -202,7 +204,14 @@ let candidates ~indexing ~stats env args access =
     (match stats with
     | Some s -> s.Stats.full_scans <- s.Stats.full_scans + 1
     | None -> ());
-    Relation.fold (fun t acc -> t :: acc) access.occ_relation []
+    Relation.iter f access.occ_relation
+  in
+  let stream_bucket bucket =
+    (match stats with
+    | Some s ->
+      s.Stats.bucket_probes <- s.Stats.bucket_probes + List.length bucket
+    | None -> ());
+    List.iter f bucket
   in
   match indexing with
   | `Scan -> scan ()
@@ -216,7 +225,7 @@ let candidates ~indexing ~stats env args access =
           s.Stats.index_hits <- s.Stats.index_hits + 1
         else s.Stats.index_builds <- s.Stats.index_builds + 1
       | None -> ());
-      Relation.matching pos c access.occ_relation)
+      stream_bucket (Relation.matching pos c access.occ_relation))
   | `Percall -> (
     match first_bound 0 with
     | None -> scan ()
@@ -227,20 +236,24 @@ let candidates ~indexing ~stats env args access =
           s.Stats.index_hits <- s.Stats.index_hits + 1
         else s.Stats.index_builds <- s.Stats.index_builds + 1
       | None -> ());
-      Option.value ~default:[]
-        (Hashtbl.find_opt (position_index access pos) c))
+      stream_bucket
+        (Option.value ~default:[]
+           (Hashtbl.find_opt (position_index access pos) c)))
 
 let count_bound env args =
   Array.fold_left
     (fun n t -> if term_value env t <> None then n + 1 else n)
     0 args
 
-let eval_rule ?(indexing = `Cached) ?stats ~universe ~resolver rule =
+let eval_rule ?(indexing = `Cached) ?storage ?stats ~universe ~resolver rule =
   let c = compile rule in
   let env = Array.make c.nvars None in
   let arity = Array.length c.head_args in
-  let acc = ref (Relation.empty arity) in
+  (* Head tuples stream into a bulk accumulator; the relation (and its lazy
+     indexes) is built once at the end instead of re-derived per [add]. *)
+  let acc = Relation.builder ?storage arity in
   let emitted = ref 0 in
+  let allocated = ref 0 in
   (* Fetch each positive occurrence's relation once per call (resolvers are
      pure within a call). *)
   let accesses = Hashtbl.create 8 in
@@ -265,7 +278,8 @@ let eval_rule ?(indexing = `Cached) ?stats ~universe ~resolver rule =
     match unbound with
     | None ->
       incr emitted;
-      acc := Relation.add (bound_tuple env c.head_args) !acc
+      if Relation.builder_add acc (bound_tuple env c.head_args) then
+        incr allocated
     | Some i ->
       List.iter
         (fun v ->
@@ -335,14 +349,12 @@ let eval_rule ?(indexing = `Cached) ?stats ~universe ~resolver rule =
           | Some (l, i, pred, args, _score, _card) ->
             let access = access_for i pred args in
             let rest' = List.filter (fun l' -> l' != l) remaining in
-            List.iter
-              (fun t ->
+            iter_candidates ~indexing ~stats env args access (fun t ->
                 match bind_tuple env args t with
                 | Some bound ->
                   solve rest';
                   undo env bound
                 | None -> ())
-              (candidates ~indexing ~stats env args access)
           | None -> (
             (* 4. Only negations / comparisons with unbound variables are
                left: enumerate the universe for one of their variables. *)
@@ -360,14 +372,16 @@ let eval_rule ?(indexing = `Cached) ?stats ~universe ~resolver rule =
   (match stats with
   | Some s ->
     s.Stats.rule_applications <- s.Stats.rule_applications + 1;
-    s.Stats.tuples_derived <- s.Stats.tuples_derived + !emitted
+    s.Stats.tuples_derived <- s.Stats.tuples_derived + !emitted;
+    s.Stats.tuples_allocated <- s.Stats.tuples_allocated + !allocated;
+    s.Stats.bulk_builds <- s.Stats.bulk_builds + 1
   | None -> ());
-  !acc
+  Relation.build acc
 
-let eval_rules ?indexing ?stats ~universe ~resolver ~schema rules =
+let eval_rules ?indexing ?storage ?stats ~universe ~resolver ~schema rules =
   List.fold_left
     (fun acc rule ->
-      let derived = eval_rule ?indexing ?stats ~universe ~resolver rule in
+      let derived = eval_rule ?indexing ?storage ?stats ~universe ~resolver rule in
       let name = rule.Datalog.Ast.head.pred in
       let current =
         if Idb.mem acc name then Idb.get acc name

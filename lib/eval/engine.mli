@@ -38,17 +38,22 @@ type indexing = [ `Cached | `Percall | `Scan ]
 
 val eval_rule :
   ?indexing:indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   universe:Relalg.Symbol.t list ->
   resolver:resolver ->
   Datalog.Ast.rule ->
   Relalg.Relation.t
 (** All head tuples derivable by the rule under the given sources.
-    [stats], when given, accumulates rule-application, derivation and
-    index-cache counters. *)
+    Candidate bindings stream directly over index buckets into a bulk
+    accumulator ({!Relalg.Relation.builder}); the derived relation is built
+    once, in the backend named by [storage] (default:
+    {!Relalg.Relation.default_storage}).  [stats], when given, accumulates
+    rule-application, derivation, accumulator and index-cache counters. *)
 
 val eval_rules :
   ?indexing:indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   universe:Relalg.Symbol.t list ->
   resolver:resolver ->

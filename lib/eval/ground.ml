@@ -58,36 +58,6 @@ let variable_order (r : Datalog.Ast.rule) =
   List.iter see r.head.args;
   List.rev !vars
 
-let term_value env = function
-  | Datalog.Ast.Const c -> Some c
-  | Datalog.Ast.Var x -> Hashtbl.find_opt env x
-
-(* Evaluate a literal under a partial assignment: [Some b] when decided,
-   [None] when it still mentions unbound variables. *)
-let eval_partial db idb_pred env (l : Datalog.Ast.literal) =
-  match l with
-  | Datalog.Ast.Eq (t1, t2) -> (
-    match (term_value env t1, term_value env t2) with
-    | Some a, Some b -> Some (Symbol.equal a b)
-    | _ -> None)
-  | Datalog.Ast.Neq (t1, t2) -> (
-    match (term_value env t1, term_value env t2) with
-    | Some a, Some b -> Some (not (Symbol.equal a b))
-    | _ -> None)
-  | Datalog.Ast.Pos a | Datalog.Ast.Neg a ->
-    if idb_pred a.pred then None
-    else
-      let values = List.map (term_value env) a.args in
-      if List.exists (fun v -> v = None) values then None
-      else
-        let tuple = Tuple.of_list (List.map Option.get values) in
-        let r =
-          Relalg.Database.relation_or_empty ~arity:(List.length a.args) a.pred
-            db
-        in
-        let holds = Relation.mem tuple r in
-        Some (match l with Datalog.Ast.Pos _ -> holds | _ -> not holds)
-
 let ground ?(keep = []) (p : Datalog.Ast.program) db =
   let schema =
     match Datalog.Ast.idb_schema p with
@@ -96,69 +66,110 @@ let ground ?(keep = []) (p : Datalog.Ast.program) db =
   in
   let idb_pred name = Relalg.Schema.mem name schema in
   let kept name = List.mem name keep && not (idb_pred name) in
-  let universe = Relalg.Database.universe db in
+  let universe = Array.of_list (Relalg.Database.universe db) in
   let raw_rules = ref [] in
+  (* Each rule is compiled once: every decidable (non-IDB) literal becomes a
+     closure over a variable-indexed environment array, pre-resolved to its
+     database relation and scheduled at the binding level of its last
+     variable.  The enumeration then pays one membership probe per literal
+     per candidate — no per-candidate hashtable traffic, relation lookups or
+     list allocation. *)
   let instantiate (r : Datalog.Ast.rule) =
     let order = Array.of_list (variable_order r) in
-    let env : (string, Symbol.t) Hashtbl.t = Hashtbl.create 8 in
-    let gterm t =
-      match term_value env t with
-      | Some c -> c
-      | None -> assert false
+    let nvars = Array.length order in
+    let var_index x =
+      let rec find i = if order.(i) = x then i else find (i + 1) in
+      find 0
     in
-    let gatom (a : Datalog.Ast.atom) =
-      { pred = a.pred; tuple = Tuple.of_list (List.map gterm a.args) }
+    let env = Array.make (max nvars 1) (Symbol.unsafe_of_id 0) in
+    let compile_term = function
+      | Datalog.Ast.Const c -> `Cst c
+      | Datalog.Ast.Var x -> `Idx (var_index x)
+    in
+    let term_level = function `Cst _ -> -1 | `Idx i -> i in
+    let value = function `Cst c -> c | `Idx i -> env.(i) in
+    let atom_spec (a : Datalog.Ast.atom) =
+      Array.of_list (List.map compile_term a.args)
+    in
+    let spec_level spec =
+      Array.fold_left (fun acc t -> max acc (term_level t)) (-1) spec
+    in
+    (* checks: (level, closure) for decided literals; sym_pos/sym_neg: the
+       atoms that stay symbolic in the instance (IDB, plus kept EDB
+       positives, which are both checked and recorded). *)
+    let checks = ref [] in
+    let sym_pos = ref [] in
+    let sym_neg = ref [] in
+    let add_check level f = checks := (level, f) :: !checks in
+    List.iter
+      (fun (l : Datalog.Ast.literal) ->
+        match l with
+        | Datalog.Ast.Eq (t1, t2) ->
+          let c1 = compile_term t1 and c2 = compile_term t2 in
+          add_check
+            (max (term_level c1) (term_level c2))
+            (fun () -> Symbol.equal (value c1) (value c2))
+        | Datalog.Ast.Neq (t1, t2) ->
+          let c1 = compile_term t1 and c2 = compile_term t2 in
+          add_check
+            (max (term_level c1) (term_level c2))
+            (fun () -> not (Symbol.equal (value c1) (value c2)))
+        | Datalog.Ast.Pos a when idb_pred a.pred ->
+          sym_pos := (a.pred, atom_spec a) :: !sym_pos
+        | Datalog.Ast.Neg a when idb_pred a.pred ->
+          sym_neg := (a.pred, atom_spec a) :: !sym_neg
+        | Datalog.Ast.Pos a | Datalog.Ast.Neg a ->
+          let spec = atom_spec a in
+          let arity = Array.length spec in
+          let rel = Relalg.Database.relation_or_empty ~arity a.pred db in
+          let scratch = Array.make arity (Symbol.unsafe_of_id 0) in
+          let probe () =
+            for j = 0 to arity - 1 do
+              scratch.(j) <- value spec.(j)
+            done;
+            (* The scratch tuple is only probed, never retained. *)
+            Relation.mem (Tuple.unsafe_make scratch) rel
+          in
+          let level = spec_level spec in
+          (match l with
+          | Datalog.Ast.Pos _ ->
+            add_check level probe;
+            if kept a.pred then sym_pos := (a.pred, spec) :: !sym_pos
+          | _ -> add_check level (fun () -> not (probe ()))))
+      r.body;
+    let checks_at = Array.make (max nvars 1) [] in
+    let ground_checks = ref [] in
+    List.iter
+      (fun (level, f) ->
+        if level < 0 then ground_checks := f :: !ground_checks
+        else checks_at.(level) <- f :: checks_at.(level))
+      !checks;
+    let head_spec = (r.head.pred, atom_spec r.head) in
+    let sym_pos = List.rev !sym_pos and sym_neg = List.rev !sym_neg in
+    let mk_gatom (pred, spec) =
+      { pred; tuple = Tuple.unsafe_make (Array.map value spec) }
     in
     let finish () =
-      (* All variables bound: every non-IDB literal is decided.  Kept EDB
-         atoms are checked against the database but stay symbolic. *)
-      let ok = ref true in
-      let pos = ref [] in
-      let neg = ref [] in
-      List.iter
-        (fun l ->
-          if !ok then
-            match l with
-            | Datalog.Ast.Pos a when kept a.Datalog.Ast.pred -> (
-              match eval_partial db idb_pred env l with
-              | Some true -> pos := gatom a :: !pos
-              | Some false -> ok := false
-              | None -> assert false)
-            | _ -> (
-              match eval_partial db idb_pred env l with
-              | Some true -> ()
-              | Some false -> ok := false
-              | None -> (
-                match l with
-                | Datalog.Ast.Pos a -> pos := gatom a :: !pos
-                | Datalog.Ast.Neg a -> neg := gatom a :: !neg
-                | Datalog.Ast.Eq _ | Datalog.Ast.Neq _ -> assert false)))
-        r.body;
-      if !ok then
-        let dedup l = List.sort_uniq compare_gatom l in
-        raw_rules :=
-          { head = gatom r.head; pos = dedup !pos; neg = dedup !neg }
-          :: !raw_rules
+      let dedup l = List.sort_uniq compare_gatom l in
+      raw_rules :=
+        {
+          head = mk_gatom head_spec;
+          pos = dedup (List.map mk_gatom sym_pos);
+          neg = dedup (List.map mk_gatom sym_neg);
+        }
+        :: !raw_rules
     in
     let rec assign i =
-      if i = Array.length order then finish ()
-      else begin
-        let x = order.(i) in
-        List.iter
+      if i = nvars then finish ()
+      else
+        Array.iter
           (fun v ->
-            Hashtbl.replace env x v;
-            (* Prune: every decided literal must not be false. *)
-            let pruned =
-              List.exists
-                (fun l -> eval_partial db idb_pred env l = Some false)
-                r.body
-            in
-            if not pruned then assign (i + 1);
-            Hashtbl.remove env x)
+            env.(i) <- v;
+            (* Prune: every literal decided by this binding must hold. *)
+            if List.for_all (fun f -> f ()) checks_at.(i) then assign (i + 1))
           universe
-      end
     in
-    assign 0
+    if List.for_all (fun f -> f ()) !ground_checks then assign 0
   in
   List.iter instantiate p.rules;
   let rules = List.rev !raw_rules in

@@ -10,6 +10,7 @@
 val eval :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
@@ -21,6 +22,7 @@ val eval :
 val eval_trace :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

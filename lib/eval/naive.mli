@@ -10,6 +10,7 @@
 val least_fixpoint :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
@@ -20,6 +21,7 @@ val least_fixpoint :
 val least_fixpoint_trace :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

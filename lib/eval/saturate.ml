@@ -53,7 +53,7 @@ type task = {
   thunk : unit -> Relation.t;
 }
 
-let rule_tasks ~indexing ~stats ~universe spec =
+let rule_tasks ~indexing ~storage ~stats ~universe spec =
   List.map
     (fun ((rule : Datalog.Ast.rule), resolver) ->
       let shard = Option.map (fun _ -> Stats.create ()) stats in
@@ -61,7 +61,9 @@ let rule_tasks ~indexing ~stats ~universe spec =
         shard;
         head = rule.head.pred;
         thunk =
-          (fun () -> Engine.eval_rule ~indexing ?stats:shard ~universe ~resolver rule);
+          (fun () ->
+            Engine.eval_rule ~indexing ?storage ?stats:shard ~universe
+              ~resolver rule);
       })
     spec
 
@@ -94,17 +96,17 @@ let run_tasks ~parallel ~stats ~schema tasks =
       Idb.set acc t.head (Relation.union old derived))
     (Idb.empty schema) tasks results
 
-let full_application ~parallel ~indexing ~stats ~rules ~schema ~universe ~base
-    ~neg ~current =
+let full_application ~parallel ~indexing ~storage ~stats ~rules ~schema
+    ~universe ~base ~neg ~current =
   let resolver =
     make_resolver ~schema ~base ~neg ~current ~delta_occ:None ~delta:current
   in
   run_tasks ~parallel ~stats ~schema
-    (rule_tasks ~indexing ~stats ~universe
+    (rule_tasks ~indexing ~storage ~stats ~universe
        (List.map (fun r -> (r, resolver)) rules))
 
-let delta_application ~parallel ~indexing ~stats ~rules ~schema ~universe ~base
-    ~neg ~current ~delta =
+let delta_application ~parallel ~indexing ~storage ~stats ~rules ~schema
+    ~universe ~base ~neg ~current ~delta =
   let spec =
     List.concat_map
       (fun rule ->
@@ -116,10 +118,11 @@ let delta_application ~parallel ~indexing ~stats ~rules ~schema ~universe ~base
           (delta_positions ~schema rule))
       rules
   in
-  run_tasks ~parallel ~stats ~schema (rule_tasks ~indexing ~stats ~universe spec)
+  run_tasks ~parallel ~stats ~schema
+    (rule_tasks ~indexing ~storage ~stats ~universe spec)
 
-let run ?(engine = `Seminaive) ?(indexing = `Cached) ?stats ?label ~rules
-    ~schema ~universe ~base ~neg ~init () =
+let run ?(engine = `Seminaive) ?(indexing = `Cached) ?storage ?stats ?label
+    ~rules ~schema ~universe ~base ~neg ~init () =
   (match label with
   | Some l -> Stats.timed stats l
   | None -> fun f -> f ())
@@ -134,8 +137,8 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?stats ?label ~rules
     let rec loop current rev_deltas =
       bump_iteration ();
       let derived =
-        full_application ~parallel:false ~indexing ~stats ~rules ~schema
-          ~universe ~base ~neg ~current
+        full_application ~parallel:false ~indexing ~storage ~stats ~rules
+          ~schema ~universe ~base ~neg ~current
       in
       let delta = Idb.diff derived current in
       if Idb.is_empty delta then
@@ -151,8 +154,8 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?stats ?label ~rules
     let parallel = e = `Parallel in
     bump_iteration ();
     let derived =
-      full_application ~parallel ~indexing ~stats ~rules ~schema ~universe
-        ~base ~neg ~current:init
+      full_application ~parallel ~indexing ~storage ~stats ~rules ~schema
+        ~universe ~base ~neg ~current:init
     in
     let delta1 = Idb.diff derived init in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
@@ -160,7 +163,7 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?stats ?label ~rules
       let rec loop current delta rev_deltas =
         bump_iteration ();
         let derived =
-          delta_application ~parallel ~indexing ~stats ~rules ~schema
+          delta_application ~parallel ~indexing ~storage ~stats ~rules ~schema
             ~universe ~base ~neg ~current ~delta
         in
         let fresh = Idb.diff derived current in

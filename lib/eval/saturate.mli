@@ -41,6 +41,7 @@ val stage_of : trace -> string -> Relalg.Tuple.t -> int option
 val run :
   ?engine:engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   ?label:string ->
   rules:Datalog.Ast.rule list ->
@@ -51,8 +52,10 @@ val run :
   init:Idb.t ->
   unit ->
   trace
-(** Default engine: [`Seminaive]; default indexing: [`Cached].  [stats],
-    when given, accumulates iteration/rule/index counters; if [label] is
-    also given, the run's wall time is recorded as a stage under that name
-    (the stratified evaluator labels each stratum, the inflationary
-    evaluator the whole saturation). *)
+(** Default engine: [`Seminaive]; default indexing: [`Cached]; default
+    storage: {!Relalg.Relation.default_storage} (the derived relations are
+    built in that backend).  [stats], when given, accumulates
+    iteration/rule/index counters; if [label] is also given, the run's wall
+    time is recorded as a stage under that name (the stratified evaluator
+    labels each stratum, the inflationary evaluator the whole
+    saturation). *)

@@ -2,9 +2,12 @@ type t = {
   mutable iterations : int;
   mutable rule_applications : int;
   mutable tuples_derived : int;
+  mutable tuples_allocated : int;
+  mutable bulk_builds : int;
   mutable index_hits : int;
   mutable index_builds : int;
   mutable full_scans : int;
+  mutable bucket_probes : int;
   mutable stages : (string * float) list;
   mutable wall : float;
 }
@@ -14,9 +17,12 @@ let create () =
     iterations = 0;
     rule_applications = 0;
     tuples_derived = 0;
+    tuples_allocated = 0;
+    bulk_builds = 0;
     index_hits = 0;
     index_builds = 0;
     full_scans = 0;
+    bucket_probes = 0;
     stages = [];
     wall = 0.0;
   }
@@ -25,9 +31,12 @@ let merge_into dst ~src =
   dst.iterations <- dst.iterations + src.iterations;
   dst.rule_applications <- dst.rule_applications + src.rule_applications;
   dst.tuples_derived <- dst.tuples_derived + src.tuples_derived;
+  dst.tuples_allocated <- dst.tuples_allocated + src.tuples_allocated;
+  dst.bulk_builds <- dst.bulk_builds + src.bulk_builds;
   dst.index_hits <- dst.index_hits + src.index_hits;
   dst.index_builds <- dst.index_builds + src.index_builds;
   dst.full_scans <- dst.full_scans + src.full_scans;
+  dst.bucket_probes <- dst.bucket_probes + src.bucket_probes;
   dst.stages <- src.stages @ dst.stages;
   dst.wall <- dst.wall +. src.wall
 
@@ -49,9 +58,12 @@ let pp ppf t =
   Format.fprintf ppf "iterations:        %d@," t.iterations;
   Format.fprintf ppf "rule applications: %d@," t.rule_applications;
   Format.fprintf ppf "tuples derived:    %d@," t.tuples_derived;
+  Format.fprintf ppf "tuples allocated:  %d@," t.tuples_allocated;
+  Format.fprintf ppf "bulk builds:       %d@," t.bulk_builds;
   Format.fprintf ppf "index hits:        %d@," t.index_hits;
   Format.fprintf ppf "index builds:      %d@," t.index_builds;
   Format.fprintf ppf "full scans:        %d@," t.full_scans;
+  Format.fprintf ppf "bucket probes:     %d@," t.bucket_probes;
   List.iter
     (fun (name, dt) -> Format.fprintf ppf "stage %-12s %.6fs@," name dt)
     (List.rev t.stages);

@@ -17,12 +17,21 @@ type t = {
   mutable tuples_derived : int;
       (** Head tuples emitted by rule applications, before dedup against
           the accumulated valuation. *)
+  mutable tuples_allocated : int;
+      (** Head tuples that were genuinely fresh in their rule's bulk
+          accumulator — [tuples_derived] minus within-rule duplicates. *)
+  mutable bulk_builds : int;
+      (** Bulk finalisations of a streaming accumulator into a relation
+          (one per rule application). *)
   mutable index_hits : int;
       (** Joins answered by an already-materialised column index. *)
   mutable index_builds : int;
       (** Joins that had to materialise (or re-materialise) an index. *)
   mutable full_scans : int;
       (** Joins with no usable bound column (or indexing disabled). *)
+  mutable bucket_probes : int;
+      (** Candidate tuples streamed out of index buckets during joins —
+          the join fan-in actually paid for on the indexed paths. *)
   mutable stages : (string * float) list;
       (** Wall time per named stage, most recent first. *)
   mutable wall : float;  (** Total wall-clock seconds recorded. *)

@@ -14,7 +14,7 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Stratified: " ^ msg)
 
-let eval ?engine ?indexing ?stats p db =
+let eval ?engine ?indexing ?storage ?stats p db =
   match Datalog.Stratify.stratify p with
   | Datalog.Stratify.Not_stratifiable { offending } ->
     Error (Not_stratifiable { offending })
@@ -36,7 +36,7 @@ let eval ?engine ?indexing ?stats p db =
         (* Lower strata are frozen into the base source. *)
         let base = Engine.layered db accumulated in
         let trace =
-          Saturate.run ?engine ?indexing ?stats
+          Saturate.run ?engine ?indexing ?storage ?stats
             ~label:(Printf.sprintf "stratum %d" s) ~rules ~schema ~universe
             ~base ~neg:`Current ~init:(Idb.empty schema) ()
         in
@@ -50,7 +50,7 @@ let eval ?engine ?indexing ?stats p db =
     in
     Ok (layer 0 (Idb.empty full_schema))
 
-let eval_exn ?engine ?indexing ?stats p db =
-  match eval ?engine ?indexing ?stats p db with
+let eval_exn ?engine ?indexing ?storage ?stats p db =
+  match eval ?engine ?indexing ?storage ?stats p db with
   | Ok idb -> idb
   | Error e -> invalid_arg ("Stratified.eval: " ^ error_to_string e)

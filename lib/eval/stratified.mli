@@ -13,6 +13,7 @@ val error_to_string : error -> string
 val eval :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
@@ -22,6 +23,7 @@ val eval :
 val eval_exn :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

@@ -3,10 +3,10 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Theta: " ^ msg)
 
-let apply ?indexing ?stats p db s =
+let apply ?indexing ?storage ?stats p db s =
   let schema = idb_schema_exn p in
   let resolver = Engine.uniform (Engine.layered db s) in
-  Engine.eval_rules ?indexing ?stats
+  Engine.eval_rules ?indexing ?storage ?stats
     ~universe:(Relalg.Database.universe db) ~resolver ~schema
     p.Datalog.Ast.rules
 

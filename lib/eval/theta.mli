@@ -10,6 +10,7 @@
 
 val apply :
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

@@ -12,20 +12,21 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Wellfounded: " ^ msg)
 
-let reduct_fixpoint ?engine ?indexing ?stats p db s =
+let reduct_fixpoint ?engine ?indexing ?storage ?stats p db s =
   let schema = idb_schema_exn p in
   let fixed = { Engine.find = (fun pred _arity -> Idb.get s pred) } in
   let trace =
-    Saturate.run ?engine ?indexing ?stats ~rules:p.Datalog.Ast.rules ~schema
+    Saturate.run ?engine ?indexing ?storage ?stats ~rules:p.Datalog.Ast.rules
+      ~schema
       ~universe:(Relalg.Database.universe db)
       ~base:(Engine.database_source db) ~neg:(`Fixed fixed)
       ~init:(Idb.empty schema) ()
   in
   trace.Saturate.result
 
-let eval ?engine ?indexing ?stats p db =
+let eval ?engine ?indexing ?storage ?stats p db =
   Stats.timed stats "well-founded" @@ fun () ->
-  let a = reduct_fixpoint ?engine ?indexing ?stats p db in
+  let a = reduct_fixpoint ?engine ?indexing ?storage ?stats p db in
   let rec alternate under over =
     let under' = a over in
     let over' = a under' in

@@ -28,6 +28,7 @@ val is_total : model -> bool
 val eval :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
@@ -36,6 +37,7 @@ val eval :
 val reduct_fixpoint :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

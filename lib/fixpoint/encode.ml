@@ -1,17 +1,20 @@
 module Ground = Evallib.Ground
 module Idb = Evallib.Idb
 module Cnf = Satlib.Cnf
+module Symbol = Relalg.Symbol
+module Store = Relalg.Store
 
-module GMap = Map.Make (struct
-  type t = Ground.gatom
-
-  let compare = Ground.compare_gatom
-end)
+(* Ground atoms are keyed by interned integer pairs — the predicate's
+   symbol id and the tuple's packed id in the global {!Relalg.Store} — so
+   building and querying the encoding never re-hashes or re-compares a
+   symbol array. *)
+let key_of_atom (a : Ground.gatom) =
+  (Symbol.to_int (Symbol.intern a.pred), Store.intern a.tuple)
 
 type t = {
   ground : Ground.t;
   cnf : Cnf.t;
-  var_of : int GMap.t;
+  var_of : (int * int, int) Hashtbl.t;
   atom_of : Ground.gatom array;  (* indexed by variable - 1 *)
   atom_var_count : int;
 }
@@ -19,12 +22,9 @@ type t = {
 let build g =
   let atoms = Array.of_list (Ground.atoms g) in
   let n_atoms = Array.length atoms in
-  let var_of =
-    Array.to_list atoms
-    |> List.mapi (fun i a -> (a, i + 1))
-    |> List.fold_left (fun acc (a, v) -> GMap.add a v acc) GMap.empty
-  in
-  let var a = GMap.find a var_of in
+  let var_of = Hashtbl.create (max 16 n_atoms) in
+  Array.iteri (fun i a -> Hashtbl.replace var_of (key_of_atom a) (i + 1)) atoms;
+  let var a = Hashtbl.find var_of (key_of_atom a) in
   (* Instance variables follow the atom variables. *)
   let instance_count =
     List.fold_left (fun acc _ -> acc + 1) 0 (Ground.rules g)
@@ -70,9 +70,16 @@ let cnf t = t.cnf
 let atom_variables t = List.init t.atom_var_count (fun i -> i + 1)
 
 let var_of_atom t a =
-  match GMap.find_opt a t.var_of with
-  | Some v -> v
+  (* Lookup-only: an atom whose tuple was never interned cannot be in the
+     grounding, so probe the store without growing it. *)
+  match Store.find a.Ground.tuple with
   | None -> raise Not_found
+  | Some tid -> (
+    match
+      Hashtbl.find_opt t.var_of (Symbol.to_int (Symbol.intern a.Ground.pred), tid)
+    with
+    | Some v -> v
+    | None -> raise Not_found)
 
 let idb_of_true_vars t vars =
   Ground.to_idb t.ground

@@ -1,0 +1,16 @@
+(** The packed/hashed storage backend.
+
+    A relation is a Patricia set ({!Idset}) of tuple ids interned in the
+    global packed {!Store}, with an O(1) cached cardinal and the same
+    memoized per-column indexes as {!Tree_store}.  Membership is a
+    precomputed-hash probe plus an integer-set lookup; union, intersection,
+    difference, equality and subset merge shared Patricia structure instead
+    of comparing tuples elementwise.  [iter]/[fold] run in intern-id order
+    (deterministic, but not tuple order); [to_list] sorts. *)
+
+include Storage_sig.S
+
+val unsafe_make : int -> Idset.t -> int -> t
+(** [unsafe_make k ids card]: a relation of arity [k] over interned tuple
+    ids.  The caller guarantees every id denotes a tuple of arity [k] and
+    that [card = Idset.cardinal ids]. *)

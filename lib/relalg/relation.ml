@@ -1,158 +1,241 @@
-module TSet = Set.Make (Tuple)
-module SMap = Map.Make (Symbol)
+(* A relation is one of two interchangeable storage backends behind the
+   same interface: the seed balanced-tree representation ([`Treeset],
+   {!Tree_store}) and the packed/hashed representation ([`Hashed],
+   {!Hash_store}, the default).  This module owns arity checking, the
+   derived relational algebra, mixed-backend coercion and the bulk-builder
+   surface; the set core and the memoized column indexes live in the
+   backends ({!Storage_sig.S}). *)
 
-(* A column index maps a symbol to the tuples carrying it at that column.
-   Indexes live in persistent maps, so derived relations can share them
-   structurally; the per-relation [indexes] array is a memo table — a cell
-   is filled at most once per column, lazily on first use or incrementally
-   at construction time (see [add] and [union]). *)
-type index = Tuple.t list SMap.t
+type storage = [ `Treeset | `Hashed ]
 
-type t = {
-  arity : int;
-  tuples : TSet.t;
-  indexes : index option array;
-      (* indexes.(pos): Some idx when the column-[pos] index is
-         materialised for exactly [tuples].  The array is never shared
-         between relations with different tuple sets. *)
-}
+type t =
+  | T of Tree_store.t
+  | H of Hash_store.t
 
-let make_t arity tuples = { arity; tuples; indexes = Array.make arity None }
+let default = Atomic.make `Hashed
 
-let empty k =
+let set_default_storage s = Atomic.set default s
+
+let default_storage () = Atomic.get default
+
+let storage_of = function T _ -> `Treeset | H _ -> `Hashed
+
+let pp_storage ppf s =
+  Format.pp_print_string ppf
+    (match s with `Treeset -> "treeset" | `Hashed -> "hashed")
+
+let make_empty storage k =
+  match storage with
+  | `Treeset -> T (Tree_store.empty k)
+  | `Hashed -> H (Hash_store.empty k)
+
+let empty ?storage k =
   if k < 0 then invalid_arg "Relation.empty: negative arity";
-  make_t k TSet.empty
+  make_empty (Option.value storage ~default:(default_storage ())) k
 
-let arity r = r.arity
+let arity = function T r -> Tree_store.arity r | H r -> Hash_store.arity r
 
-let is_empty r = TSet.is_empty r.tuples
+let is_empty = function T r -> Tree_store.is_empty r | H r -> Hash_store.is_empty r
 
-let cardinal r = TSet.cardinal r.tuples
-
-let mem t r = TSet.mem t r.tuples
+let cardinal = function T r -> Tree_store.cardinal r | H r -> Hash_store.cardinal r
 
 let check_arity fname r t =
-  if Tuple.arity t <> r.arity then
+  if Tuple.arity t <> arity r then
     invalid_arg
       (Printf.sprintf "Relation.%s: tuple arity %d, relation arity %d" fname
-         (Tuple.arity t) r.arity)
+         (Tuple.arity t) (arity r))
+
+let mem t r =
+  match r with T r -> Tree_store.mem t r | H r -> Hash_store.mem t r
 
 (* --- column indexes ----------------------------------------------------- *)
 
-let index_add pos idx t =
-  SMap.update (Tuple.get t pos)
-    (fun o -> Some (t :: Option.value ~default:[] o))
-    idx
-
-let has_index r pos = pos >= 0 && pos < r.arity && r.indexes.(pos) <> None
-
-let index r pos =
-  if pos < 0 || pos >= r.arity then invalid_arg "Relation.matching: bad column";
-  match r.indexes.(pos) with
-  | Some idx -> idx
-  | None ->
-    let idx = TSet.fold (fun t idx -> index_add pos idx t) r.tuples SMap.empty in
-    (* Benign race under parallel evaluation: two domains may both build
-       the index; either result is valid for this tuple set. *)
-    r.indexes.(pos) <- Some idx;
-    idx
+let has_index r pos =
+  pos >= 0 && pos < arity r
+  && (match r with
+     | T r -> Tree_store.has_index r pos
+     | H r -> Hash_store.has_index r pos)
 
 let matching pos c r =
-  Option.value ~default:[] (SMap.find_opt c (index r pos))
-
-(* Derives the index array of a relation extended by [fresh] tuples (all
-   absent from the parent): already-built columns are updated incrementally,
-   unbuilt ones stay lazy. *)
-let extend_indexes parent fresh =
-  Array.mapi
-    (fun pos o ->
-      Option.map
-        (fun idx -> List.fold_left (index_add pos) idx fresh)
-        o)
-    parent.indexes
+  if pos < 0 || pos >= arity r then invalid_arg "Relation.matching: bad column";
+  match r with
+  | T r -> Tree_store.matching pos c r
+  | H r -> Hash_store.matching pos c r
 
 (* --- construction ------------------------------------------------------- *)
 
 let add t r =
   check_arity "add" r t;
-  if TSet.mem t r.tuples then r
-  else
-    { arity = r.arity;
-      tuples = TSet.add t r.tuples;
-      indexes = extend_indexes r [ t ];
-    }
+  match r with T r -> T (Tree_store.add t r) | H r -> H (Hash_store.add t r)
 
-let remove t r = make_t r.arity (TSet.remove t r.tuples)
+let remove t r =
+  match r with
+  | T r -> T (Tree_store.remove t r)
+  | H r -> H (Hash_store.remove t r)
 
-let singleton t = make_t (Tuple.arity t) (TSet.singleton t)
+let singleton t = add t (empty (Tuple.arity t))
 
-let of_list k ts = List.fold_left (fun r t -> add t r) (empty k) ts
+let check_arities fname k ts =
+  List.iter
+    (fun t ->
+      if Tuple.arity t <> k then
+        invalid_arg
+          (Printf.sprintf "Relation.%s: tuple arity %d, relation arity %d"
+             fname (Tuple.arity t) k))
+    ts
 
-let to_list r = TSet.elements r.tuples
+let of_list_in storage k ts =
+  match storage with
+  | `Treeset -> T (Tree_store.of_list k ts)
+  | `Hashed -> H (Hash_store.of_list k ts)
 
-let iter f r = TSet.iter f r.tuples
+let of_list ?storage k ts =
+  if k < 0 then invalid_arg "Relation.of_list: negative arity";
+  check_arities "of_list" k ts;
+  of_list_in (Option.value storage ~default:(default_storage ())) k ts
 
-let fold f r init = TSet.fold f r.tuples init
+let of_seq ?storage k seq = of_list ?storage k (List.of_seq seq)
 
-let for_all p r = TSet.for_all p r.tuples
+let add_all ts r =
+  check_arities "add_all" (arity r) ts;
+  match r with
+  | T r -> T (Tree_store.add_all ts r)
+  | H r -> H (Hash_store.add_all ts r)
 
-let exists p r = TSet.exists p r.tuples
+let to_list = function T r -> Tree_store.to_list r | H r -> Hash_store.to_list r
 
-let filter p r = make_t r.arity (TSet.filter p r.tuples)
+let iter f = function T r -> Tree_store.iter f r | H r -> Hash_store.iter f r
 
-let map k f r =
-  fold (fun t acc -> add (f t) acc) r (empty k)
+let fold f r init =
+  match r with
+  | T r -> Tree_store.fold f r init
+  | H r -> Hash_store.fold f r init
+
+let for_all p = function
+  | T r -> Tree_store.for_all p r
+  | H r -> Hash_store.for_all p r
+
+let exists p = function
+  | T r -> Tree_store.exists p r
+  | H r -> Hash_store.exists p r
+
+let filter p = function
+  | T r -> T (Tree_store.filter p r)
+  | H r -> H (Hash_store.filter p r)
+
+let map k f r = of_list_in (storage_of r) k (fold (fun t acc -> f t :: acc) r [])
 
 let same_arity fname r1 r2 =
-  if r1.arity <> r2.arity then
+  if arity r1 <> arity r2 then
     invalid_arg
-      (Printf.sprintf "Relation.%s: arities %d and %d differ" fname r1.arity
-         r2.arity)
+      (Printf.sprintf "Relation.%s: arities %d and %d differ" fname (arity r1)
+         (arity r2))
+
+(* Mixed-backend operands are rare (one evaluation sticks to one backend;
+   the empty fast paths below absorb the default-storage empties that
+   [Idb.empty] seeds) — when they do meet, the right operand is converted
+   to the left's representation. *)
+let coerce_like r1 r2 =
+  match (r1, r2) with
+  | T _, (T _ as r) | H _, (H _ as r) -> r
+  | T _, (H _ as r) -> T (Tree_store.of_list (arity r) (to_list r))
+  | H _, (T _ as r) -> H (Hash_store.of_list (arity r) (to_list r))
 
 let union r1 r2 =
   same_arity "union" r1 r2;
-  let big, small =
-    if TSet.cardinal r1.tuples >= TSet.cardinal r2.tuples then (r1, r2)
-    else (r2, r1)
-  in
-  let fresh =
-    TSet.fold
-      (fun t acc -> if TSet.mem t big.tuples then acc else t :: acc)
-      small.tuples []
-  in
-  if fresh = [] then big
+  if is_empty r1 then r2
+  else if is_empty r2 then r1
   else
-    { arity = big.arity;
-      tuples = List.fold_left (fun s t -> TSet.add t s) big.tuples fresh;
-      indexes = extend_indexes big fresh;
-    }
+    match (r1, coerce_like r1 r2) with
+    | T a, T b -> T (Tree_store.union a b)
+    | H a, H b -> H (Hash_store.union a b)
+    | _ -> assert false
 
 let inter r1 r2 =
   same_arity "inter" r1 r2;
-  make_t r1.arity (TSet.inter r1.tuples r2.tuples)
+  if is_empty r1 then r1
+  else if is_empty r2 then empty ~storage:(storage_of r1) (arity r1)
+  else
+    match (r1, coerce_like r1 r2) with
+    | T a, T b -> T (Tree_store.inter a b)
+    | H a, H b -> H (Hash_store.inter a b)
+    | _ -> assert false
 
 let diff r1 r2 =
   same_arity "diff" r1 r2;
-  make_t r1.arity (TSet.diff r1.tuples r2.tuples)
+  if is_empty r1 || is_empty r2 then r1
+  else
+    match (r1, coerce_like r1 r2) with
+    | T a, T b -> T (Tree_store.diff a b)
+    | H a, H b -> H (Hash_store.diff a b)
+    | _ -> assert false
 
 let subset r1 r2 =
   same_arity "subset" r1 r2;
-  TSet.subset r1.tuples r2.tuples
+  if is_empty r1 then true
+  else
+    match (r1, coerce_like r1 r2) with
+    | T a, T b -> Tree_store.subset a b
+    | H a, H b -> Hash_store.subset a b
+    | _ -> assert false
 
-let equal r1 r2 = r1.arity = r2.arity && TSet.equal r1.tuples r2.tuples
+let equal r1 r2 =
+  arity r1 = arity r2
+  && cardinal r1 = cardinal r2
+  &&
+  match (r1, coerce_like r1 r2) with
+  | T a, T b -> Tree_store.equal a b
+  | H a, H b -> Hash_store.equal a b
+  | _ -> assert false
 
 let compare r1 r2 =
-  let c = Int.compare r1.arity r2.arity in
-  if c <> 0 then c else TSet.compare r1.tuples r2.tuples
+  let c = Int.compare (arity r1) (arity r2) in
+  if c <> 0 then c
+  else
+    match (r1, r2) with
+    | T a, T b -> Tree_store.compare a b
+    | H a, H b -> Hash_store.compare a b
+    | (T _ | H _), _ ->
+      (* Mixed backends: representation-independent order. *)
+      List.compare Tuple.compare (to_list r1) (to_list r2)
 
-let choose_opt r = TSet.choose_opt r.tuples
+let choose_opt = function
+  | T r -> Tree_store.choose_opt r
+  | H r -> Hash_store.choose_opt r
+
+(* --- bulk builder ------------------------------------------------------- *)
+
+type builder =
+  | TB of Tree_store.builder
+  | HB of Hash_store.builder
+
+let builder ?storage k =
+  if k < 0 then invalid_arg "Relation.builder: negative arity";
+  match Option.value storage ~default:(default_storage ()) with
+  | `Treeset -> TB (Tree_store.builder k)
+  | `Hashed -> HB (Hash_store.builder k)
+
+let builder_add b t =
+  match b with
+  | TB b -> Tree_store.builder_add b t
+  | HB b -> Hash_store.builder_add b t
+
+let builder_cardinal = function
+  | TB b -> Tree_store.builder_card b
+  | HB b -> Hash_store.builder_card b
+
+let build = function TB b -> T (Tree_store.build b) | HB b -> H (Hash_store.build b)
+
+(* --- derived relational algebra ----------------------------------------- *)
 
 let product r1 r2 =
-  let k = r1.arity + r2.arity in
-  fold
-    (fun t1 acc ->
-      fold (fun t2 acc -> add (Tuple.append t1 t2) acc) r2 acc)
-    r1 (empty k)
+  let k = arity r1 + arity r2 in
+  let pairs =
+    fold
+      (fun t1 acc -> fold (fun t2 acc -> Tuple.append t1 t2 :: acc) r2 acc)
+      r1 []
+  in
+  of_list_in (storage_of r1) k pairs
 
 let project positions r =
   let k = List.length positions in
@@ -163,30 +246,35 @@ let select = filter
 let select_eq i c r = filter (fun t -> Symbol.equal (Tuple.get t i) c) r
 
 let join_positions eqs r1 r2 =
-  let k = r1.arity + r2.arity in
-  fold
-    (fun t1 acc ->
-      fold
-        (fun t2 acc ->
-          let matches =
-            List.for_all
-              (fun (i, j) -> Symbol.equal (Tuple.get t1 i) (Tuple.get t2 j))
-              eqs
-          in
-          if matches then add (Tuple.append t1 t2) acc else acc)
-        r2 acc)
-    r1 (empty k)
+  let k = arity r1 + arity r2 in
+  let rows =
+    fold
+      (fun t1 acc ->
+        fold
+          (fun t2 acc ->
+            let matches =
+              List.for_all
+                (fun (i, j) -> Symbol.equal (Tuple.get t1 i) (Tuple.get t2 j))
+                eqs
+            in
+            if matches then Tuple.append t1 t2 :: acc else acc)
+          r2 acc)
+      r1 []
+  in
+  of_list_in (storage_of r1) k rows
 
-let full universe k =
+let full_in storage universe k =
   let elements = Array.of_list universe in
   let n = Array.length elements in
-  if k = 0 then singleton Tuple.empty
-  else if n = 0 then empty k
+  if k = 0 then add Tuple.empty (make_empty storage 0)
+  else if n = 0 then make_empty storage k
   else begin
-    let acc = ref (empty k) in
+    (* One bulk pass: enumerate universe^k into a list, then build the set
+       and leave indexes lazy — no per-add record or index churn. *)
+    let acc = ref [] in
     let slots = Array.make k elements.(0) in
     let rec fill pos =
-      if pos = k then acc := add (Tuple.make slots) !acc
+      if pos = k then acc := Tuple.make slots :: !acc
       else
         for i = 0 to n - 1 do
           slots.(pos) <- elements.(i);
@@ -194,10 +282,14 @@ let full universe k =
         done
     in
     fill 0;
-    !acc
+    of_list_in storage k !acc
   end
 
-let complement universe r = diff (full universe r.arity) r
+let full ?storage universe k =
+  if k < 0 then invalid_arg "Relation.full: negative arity";
+  full_in (Option.value storage ~default:(default_storage ())) universe k
+
+let complement universe r = diff (full_in (storage_of r) universe (arity r)) r
 
 let pp ppf r =
   Format.fprintf ppf "{@[<hov>%a@]}"

@@ -2,22 +2,52 @@
 
     A relation is a set of tuples that all share one arity, fixed at
     creation.  Operations that combine two relations require compatible
-    arities and raise [Invalid_argument] otherwise.  The implementation is a
-    balanced tree set, so all elementwise operations are logarithmic and
-    iteration is in tuple order.
+    arities and raise [Invalid_argument] otherwise.
+
+    Two storage backends implement this interface, selectable per relation
+    and ablatable globally ({!set_default_storage}):
+    - [`Hashed] (the default): tuples are interned once into the global
+      packed {!Store} and the relation is a Patricia set of integer ids —
+      membership is a precomputed-hash probe, and union / intersection /
+      difference / equality merge shared structure;
+    - [`Treeset]: the seed representation, a balanced tree set of tuples —
+      kept as an ablation baseline ([--storage treeset], bench Part 4).
 
     Every relation additionally carries memoized per-column hash indexes
     (see {!matching}): a column's index is built at most once per value of
-    the relation, and {!add} and {!union} maintain already-built indexes
-    incrementally — unioning a delta into an indexed relation costs
-    O(|delta| log |relation|) per built column instead of a full rebuild.
+    the relation, and {!add}, {!add_all} and {!union} maintain
+    already-built indexes incrementally — unioning a delta into an indexed
+    relation costs O(|delta|) per built column instead of a full rebuild.
     Indexes are held in persistent maps, so sharing them across derived
     relations is safe, including across domains (a racy lazy build at worst
-    duplicates work, never corrupts). *)
+    duplicates work, never corrupts).
+
+    Iteration order ({!iter}, {!fold}) is deterministic but
+    backend-dependent: tuple order for [`Treeset], intern order for
+    [`Hashed].  {!to_list} (and hence {!pp}) always sorts, so printed
+    output is representation-independent. *)
 
 type t
 
-val empty : int -> t
+(** {1 Storage backends} *)
+
+type storage = [ `Treeset | `Hashed ]
+
+val set_default_storage : storage -> unit
+(** Sets the backend used by constructors not given an explicit [?storage].
+    Affects subsequently created relations only; existing values keep their
+    representation.  Default: [`Hashed]. *)
+
+val default_storage : unit -> storage
+
+val storage_of : t -> storage
+
+val pp_storage : Format.formatter -> storage -> unit
+(** Prints [hashed] or [treeset]. *)
+
+(** {1 Construction and set structure} *)
+
+val empty : ?storage:storage -> int -> t
 (** [empty k] is the empty relation of arity [k]. *)
 
 val arity : t -> int
@@ -25,6 +55,7 @@ val arity : t -> int
 val is_empty : t -> bool
 
 val cardinal : t -> int
+(** O(1) in both backends. *)
 
 val mem : Tuple.t -> t -> bool
 
@@ -36,14 +67,24 @@ val remove : Tuple.t -> t -> t
 
 val singleton : Tuple.t -> t
 
-val of_list : int -> Tuple.t list -> t
-(** [of_list k tuples] builds an arity-[k] relation.  All tuples must have
-    arity [k]. *)
+val of_list : ?storage:storage -> int -> Tuple.t list -> t
+(** [of_list k tuples] builds an arity-[k] relation in one bulk pass (no
+    per-add index maintenance).  All tuples must have arity [k]. *)
+
+val of_seq : ?storage:storage -> int -> Tuple.t Seq.t -> t
+(** Bulk construction from a sequence; the sequence is forced once. *)
+
+val add_all : Tuple.t list -> t -> t
+(** [add_all tuples r] is [r] with all tuples added, as one bulk union:
+    membership is probed per tuple, the set is extended once, and [r]'s
+    already-built column indexes are extended with only the fresh tuples.
+    @raise Invalid_argument on an arity mismatch. *)
 
 val to_list : t -> Tuple.t list
-(** Tuples in increasing order. *)
+(** Tuples in increasing order, whatever the backend. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
+(** Backend iteration order (see the module preamble). *)
 
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 
@@ -66,13 +107,42 @@ val subset : t -> t -> bool
 (** [subset r1 r2] is true when every tuple of [r1] is in [r2]. *)
 
 val equal : t -> t -> bool
+(** Same tuple set — representation-independent (a hashed and a tree
+    relation with equal contents are equal). *)
 
 val compare : t -> t -> int
+(** A total order consistent with {!equal} among relations of one backend;
+    mixing backends inside one ordered container is not supported (mixed
+    comparisons fall back to a slower representation-independent order). *)
 
 val choose_opt : t -> Tuple.t option
 
+(** {1 Bulk builder}
+
+    A mutable accumulator for streaming construction: the evaluation engine
+    emits head tuples into a builder and finalises once per rule
+    application, paying one membership probe and one insert per tuple —
+    no intermediate relation records. *)
+
+type builder
+
+val builder : ?storage:storage -> int -> builder
+(** [builder k]: an empty accumulator for an arity-[k] relation. *)
+
+val builder_add : builder -> Tuple.t -> bool
+(** Adds a tuple; [true] iff it was not already accumulated. *)
+
+val builder_cardinal : builder -> int
+
+val build : builder -> t
+(** Finalise.  The builder must not be reused afterwards; the relation's
+    column indexes start lazy (built on first join against it). *)
+
+(** {1 Relational algebra} *)
+
 val product : t -> t -> t
-(** Cartesian product; arities add. *)
+(** Cartesian product; arities add.  Built in one bulk pass; the result
+    uses the left operand's backend. *)
 
 val project : int list -> t -> t
 (** [project positions r] projects every tuple onto [positions] (which may
@@ -87,7 +157,7 @@ val select_eq : int -> Symbol.t -> t -> t
 val matching : int -> Symbol.t -> t -> Tuple.t list
 (** [matching pos c r] is the list of tuples of [r] whose component [pos]
     equals [c], served from the memoized column index (built on first use,
-    then reused and extended incrementally by {!add}/{!union}).
+    then reused and extended incrementally by {!add}/{!add_all}/{!union}).
     @raise Invalid_argument if [pos] is outside the arity. *)
 
 val has_index : t -> int -> bool
@@ -100,14 +170,15 @@ val join_positions : (int * int) list -> t -> t -> t
     where, for each [(i, j)] in [eqs], component [i] of the [r1]-tuple equals
     component [j] of the [r2]-tuple. *)
 
-val full : Symbol.t list -> int -> t
-(** [full universe k] is the complete relation [universe]{^ k}.  Use only for
-    small [|universe|]{^ k}. *)
+val full : ?storage:storage -> Symbol.t list -> int -> t
+(** [full universe k] is the complete relation [universe]{^ k}, built in one
+    bulk pass.  Use only for small [|universe|]{^ k}. *)
 
 val complement : Symbol.t list -> t -> t
-(** [complement universe r] is [full universe (arity r)] minus [r]. *)
+(** [complement universe r] is [full universe (arity r)] minus [r], in
+    [r]'s backend. *)
 
 val pp : Format.formatter -> t -> unit
-(** Prints as [{(a, b); (c, d)}]. *)
+(** Prints as [{(a, b); (c, d)}], in sorted tuple order. *)
 
 val to_string : t -> string

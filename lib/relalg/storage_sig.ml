@@ -1,0 +1,104 @@
+(** The signature a relation storage backend implements.
+
+    {!Relation} is a thin dispatcher over two structures of this shape:
+    {!Tree_store} (balanced tuple sets, the seed representation, kept as an
+    ablation) and {!Hash_store} (Patricia sets of packed tuple ids from
+    {!Store}).  Arity checking, mixed-backend coercion and the derived
+    relational algebra (product, join, projection, [full]) live in
+    {!Relation}; a backend only provides the set core, the memoized column
+    indexes, and a mutable bulk builder.
+
+    Backends are free to iterate in their own order ([iter], [fold]), but
+    [to_list] must return tuples in increasing {!Tuple.compare} order so
+    that printing and cross-backend comparison are representation-
+    independent. *)
+
+module type S = sig
+  type t
+
+  val kind : [ `Treeset | `Hashed ]
+
+  val empty : int -> t
+  (** [empty k]: the empty relation of arity [k] (arity [>= 0] guaranteed by
+      the caller). *)
+
+  val arity : t -> int
+
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+  (** O(1) in both backends. *)
+
+  val mem : Tuple.t -> t -> bool
+
+  val add : Tuple.t -> t -> t
+  (** Already-built column indexes are extended incrementally. *)
+
+  val remove : Tuple.t -> t -> t
+
+  val of_list : int -> Tuple.t list -> t
+  (** Bulk construction: one pass, no per-add index churn.  Duplicates are
+      collapsed. *)
+
+  val add_all : Tuple.t list -> t -> t
+  (** Bulk union of a tuple list into a relation; already-built indexes are
+      extended once with the genuinely fresh tuples. *)
+
+  val to_list : t -> Tuple.t list
+  (** In increasing {!Tuple.compare} order, whatever the backend. *)
+
+  val iter : (Tuple.t -> unit) -> t -> unit
+  (** In backend order (tuple order for trees, intern-id order for hashed
+      relations) — deterministic, but backend-dependent. *)
+
+  val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val for_all : (Tuple.t -> bool) -> t -> bool
+
+  val exists : (Tuple.t -> bool) -> t -> bool
+
+  val filter : (Tuple.t -> bool) -> t -> t
+
+  val union : t -> t -> t
+
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+
+  val subset : t -> t -> bool
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** A total order consistent with [equal]; backend-specific (callers
+      needing a representation-independent order sort [to_list]). *)
+
+  val choose_opt : t -> Tuple.t option
+
+  val matching : int -> Symbol.t -> t -> Tuple.t list
+  (** Served from the memoized column index, built on first use (position
+      validity guaranteed by the caller). *)
+
+  val has_index : t -> int -> bool
+
+  (** {2 Bulk builder}
+
+      A mutable accumulator for streaming construction: the evaluation
+      engine emits head tuples into a builder and finalises once, so the
+      per-tuple cost is one membership probe and one set insert — no
+      intermediate relation records, no index extension until the built
+      relation is first joined against. *)
+
+  type builder
+
+  val builder : int -> builder
+  (** [builder k]: an empty accumulator of arity [k]. *)
+
+  val builder_add : builder -> Tuple.t -> bool
+  (** Adds a tuple; [true] iff it was not already accumulated. *)
+
+  val builder_card : builder -> int
+
+  val build : builder -> t
+  (** Finalise.  The builder must not be reused afterwards. *)
+end

@@ -1,0 +1,167 @@
+(* The global packed tuple store.
+
+   Every tuple that enters a hashed relation is interned once into a flat
+   [int array]: the symbol ids of all interned tuples, concatenated.  A
+   tuple is then represented by a dense id, and the per-id side arrays give
+   O(1) access to its offset, arity, precomputed hash and a memoized boxed
+   {!Tuple.t} — so relations over ids never re-hash or re-compare symbol
+   arrays, and reconstructing a tuple allocates nothing.
+
+   Concurrency follows the same snapshot discipline as {!Symbol}: writers
+   serialise on [lock], append into the arrays (slots at or beyond a
+   published count are never read), and publish a fresh immutable [state]
+   record through an [Atomic.t].  The hash-bucket table is a plain array of
+   id lists sized to keep the load factor at most 1, so a probe costs one
+   masked index and on average one packed comparison, independent of how
+   large the store has grown.  Appending conses onto a bucket of the
+   current array in place; a reader holding an older snapshot may observe
+   such a cons, but every bucket entry is guarded by [i < st.count] against
+   the reader's own published count, so a snapshot never yields an id whose
+   packed slots it cannot see.  Rehashing allocates a fresh array, and
+   superseded arrays are never mutated again. *)
+
+type id = int
+
+type state = {
+  count : int;  (* ids 0 .. count-1 are valid *)
+  used : int;  (* words of [data] in use *)
+  data : int array;  (* packed symbol ids *)
+  off : int array;  (* off.(i): offset of tuple i in [data] *)
+  len : int array;  (* len.(i): arity of tuple i *)
+  hsh : int array;  (* hsh.(i): Tuple.hash, precomputed *)
+  tup : Tuple.t array;  (* tup.(i): memoized boxed tuple *)
+  buckets : id list array;  (* hash land (capacity - 1) -> ids *)
+}
+
+let initial () =
+  {
+    count = 0;
+    used = 0;
+    data = Array.make 4096 0;
+    off = Array.make 1024 0;
+    len = Array.make 1024 0;
+    hsh = Array.make 1024 0;
+    tup = Array.make 1024 Tuple.empty;
+    buckets = Array.make 1024 [];
+  }
+
+let state = Atomic.make (initial ())
+
+let lock = Mutex.create ()
+
+let packed_equal st i (t : Tuple.t) =
+  let n = Tuple.arity t in
+  st.len.(i) = n
+  &&
+  let o = st.off.(i) in
+  let a = (t :> Symbol.t array) in
+  let rec eq j =
+    j = n
+    || st.data.(o + j) = (Array.unsafe_get a j :> int) && eq (j + 1)
+  in
+  eq 0
+
+let find_in st h t =
+  let rec look = function
+    | [] -> None
+    | i :: rest ->
+      (* [i < st.count] guards against conses appended to a shared bucket
+         array after this snapshot was published. *)
+      if i < st.count && st.hsh.(i) = h && packed_equal st i t then Some i
+      else look rest
+  in
+  look st.buckets.(h land (Array.length st.buckets - 1))
+
+let find t = find_in (Atomic.get state) (Tuple.hash t) t
+
+let grow_ints a =
+  let bigger = Array.make (2 * Array.length a) 0 in
+  Array.blit a 0 bigger 0 (Array.length a);
+  bigger
+
+let intern t =
+  let h = Tuple.hash t in
+  match find_in (Atomic.get state) h t with
+  | Some i -> i  (* optimistic lock-free hit: the common case once warm *)
+  | None ->
+    Mutex.protect lock @@ fun () ->
+    let st = Atomic.get state in
+    (* Re-check against the latest snapshot: another domain may have
+       interned [t] between our optimistic probe and taking the lock. *)
+    (match find_in st h t with
+    | Some i -> i
+    | None ->
+      let n = Tuple.arity t in
+      let id = st.count in
+      let off, len, hsh, tup =
+        if id < Array.length st.off then (st.off, st.len, st.hsh, st.tup)
+        else
+          ( grow_ints st.off,
+            grow_ints st.len,
+            grow_ints st.hsh,
+            (let bigger = Array.make (2 * Array.length st.tup) Tuple.empty in
+             Array.blit st.tup 0 bigger 0 (Array.length st.tup);
+             bigger) )
+      in
+      let data =
+        if st.used + n <= Array.length st.data then st.data
+        else begin
+          let cap = max (2 * Array.length st.data) (st.used + n) in
+          let bigger = Array.make cap 0 in
+          Array.blit st.data 0 bigger 0 st.used;
+          bigger
+        end
+      in
+      let a = (t :> Symbol.t array) in
+      for j = 0 to n - 1 do
+        data.(st.used + j) <- (Array.unsafe_get a j :> int)
+      done;
+      off.(id) <- st.used;
+      len.(id) <- n;
+      hsh.(id) <- h;
+      tup.(id) <- t;
+      let buckets =
+        if id < Array.length st.buckets then st.buckets
+        else begin
+          (* Load factor reached 1: rehash into a fresh, twice-as-large
+             array.  Older snapshots keep the superseded array, which is
+             never mutated again. *)
+          let cap = 2 * Array.length st.buckets in
+          let b = Array.make cap [] in
+          let m = cap - 1 in
+          for i = 0 to id - 1 do
+            let k = hsh.(i) land m in
+            b.(k) <- i :: b.(k)
+          done;
+          b
+        end
+      in
+      let k = h land (Array.length buckets - 1) in
+      buckets.(k) <- id :: buckets.(k);
+      Atomic.set state
+        {
+          count = id + 1;
+          used = st.used + n;
+          data;
+          off;
+          len;
+          hsh;
+          tup;
+          buckets;
+        };
+      id)
+
+let mem t = find t <> None
+
+let tuple id = (Atomic.get state).tup.(id)
+
+let hash id = (Atomic.get state).hsh.(id)
+
+let arity id = (Atomic.get state).len.(id)
+
+let get id j =
+  let st = Atomic.get state in
+  if j < 0 || j >= st.len.(id) then invalid_arg "Store.get"
+  else Symbol.unsafe_of_id st.data.(st.off.(id) + j)
+
+let count () = (Atomic.get state).count

@@ -1,0 +1,42 @@
+(** The global packed tuple store.
+
+    Interns tuples into a flat, append-only [int array] of symbol ids with
+    per-tuple precomputed hashes, so that a tuple is represented everywhere
+    else by a dense integer {!id}: membership and set algebra on relations
+    become integer-set operations ({!Idset}), equality never re-walks symbol
+    arrays, and {!tuple} returns the memoized boxed tuple without
+    allocating.
+
+    Like {!Symbol}, the store is global and domain-safe: writers serialise
+    on a mutex and publish immutable snapshots, readers ({!find}, {!mem},
+    {!tuple}, {!hash}, {!arity}) never lock.  Interning is deterministic
+    within a process — ids are dense and assigned in first-intern order. *)
+
+type id = int
+(** A dense tuple identifier, valid for the whole process lifetime. *)
+
+val intern : Tuple.t -> id
+(** [intern t] returns the id of [t], packing it into the store on first
+    use. *)
+
+val find : Tuple.t -> id option
+(** [find t] is [t]'s id if it was ever interned, without interning it —
+    membership tests on relations use this, so probing for unseen tuples
+    does not grow the store. *)
+
+val mem : Tuple.t -> bool
+
+val tuple : id -> Tuple.t
+(** The memoized boxed tuple; O(1), no allocation. *)
+
+val hash : id -> int
+(** [Tuple.hash] of the tuple, precomputed at intern time. *)
+
+val arity : id -> int
+
+val get : id -> int -> Symbol.t
+(** [get id j] is component [j], read from the packed array.
+    @raise Invalid_argument if [j] is out of range. *)
+
+val count : unit -> int
+(** Number of distinct tuples interned so far. *)

@@ -1,37 +1,53 @@
 type t = int
 
+(* The intern table is shared by every domain (the parallel engine fans rule
+   applications across a pool), so mutation is serialised by [lock] and the
+   read side works on immutable snapshots published through [state]: the
+   [names] array is append-only — a slot is written before the count that
+   covers it is published, and growth swaps in a fresh array — so a reader
+   that obtained an id through any synchronising edge sees its name. *)
+type state = {
+  names : string array;
+  count : int;
+}
+
+let state = Atomic.make { names = Array.make 1024 ""; count = 0 }
+
+let lock = Mutex.create ()
+
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+(* Only touched with [lock] held. *)
 
-let names : string array ref = ref (Array.make 1024 "")
-
-let next = ref 0
-
-let grow () =
-  let old = !names in
-  let bigger = Array.make (2 * Array.length old) "" in
-  Array.blit old 0 bigger 0 (Array.length old);
-  names := bigger
-
-let intern s =
+let intern_locked s =
   match Hashtbl.find_opt table s with
   | Some id -> id
   | None ->
-    let id = !next in
-    incr next;
-    if id >= Array.length !names then grow ();
-    !names.(id) <- s;
+    let st = Atomic.get state in
+    let id = st.count in
+    let names =
+      if id < Array.length st.names then st.names
+      else begin
+        let bigger = Array.make (2 * Array.length st.names) "" in
+        Array.blit st.names 0 bigger 0 (Array.length st.names);
+        bigger
+      end
+    in
+    names.(id) <- s;
     Hashtbl.add table s id;
+    Atomic.set state { names; count = id + 1 };
     id
+
+let intern s = Mutex.protect lock (fun () -> intern_locked s)
 
 let of_int n = intern (string_of_int n)
 
-let name id = !names.(id)
+let name id = (Atomic.get state).names.(id)
 
 let to_int id = id
 
 let unsafe_of_id id = id
 
-let count () = !next
+let count () = (Atomic.get state).count
 
 let compare = Int.compare
 
@@ -42,11 +58,14 @@ let hash = Hashtbl.hash
 let pp ppf id = Format.pp_print_string ppf (name id)
 
 let fresh_counter = ref 0
+(* Only touched with [lock] held. *)
 
 let fresh prefix =
+  Mutex.protect lock @@ fun () ->
   let rec try_next () =
     incr fresh_counter;
     let candidate = Printf.sprintf "%s#%d" prefix !fresh_counter in
-    if Hashtbl.mem table candidate then try_next () else intern candidate
+    if Hashtbl.mem table candidate then try_next ()
+    else intern_locked candidate
   in
   try_next ()

@@ -4,7 +4,12 @@
     interned into a global table, so that a symbol is represented by a small
     integer and tuples of symbols compare and hash fast.  Interning is
     deterministic within a process: the same string always yields the same
-    symbol. *)
+    symbol.
+
+    The table is domain-safe: {!intern} and {!fresh} are serialised by a
+    mutex, and the id-to-name side is published through immutable snapshots,
+    so the parallel engine's worker domains may intern concurrently and
+    {!name}/{!count} never lock. *)
 
 type t = private int
 (** An interned constant.  The integer representation is exposed read-only so

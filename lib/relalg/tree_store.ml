@@ -1,0 +1,150 @@
+(* The seed storage backend: tuples in a balanced tree set with memoized
+   per-column indexes.  Kept byte-for-byte in behaviour as an ablation
+   baseline for the packed/hashed backend ({!Hash_store}); see
+   {!Storage_sig.S} for the contract. *)
+
+module TSet = Set.Make (Tuple)
+module SMap = Map.Make (Symbol)
+
+type index = Tuple.t list SMap.t
+
+type t = {
+  arity : int;
+  tuples : TSet.t;
+  indexes : index option array;
+      (* indexes.(pos): Some idx when the column-[pos] index is
+         materialised for exactly [tuples].  The array is never shared
+         between relations with different tuple sets. *)
+}
+
+let kind = `Treeset
+
+let make_t arity tuples = { arity; tuples; indexes = Array.make arity None }
+
+let empty k = make_t k TSet.empty
+
+let arity r = r.arity
+
+let is_empty r = TSet.is_empty r.tuples
+
+let cardinal r = TSet.cardinal r.tuples
+
+let mem t r = TSet.mem t r.tuples
+
+(* --- column indexes ----------------------------------------------------- *)
+
+let index_add pos idx t =
+  SMap.update (Tuple.get t pos)
+    (fun o -> Some (t :: Option.value ~default:[] o))
+    idx
+
+let has_index r pos = r.indexes.(pos) <> None
+
+let index r pos =
+  match r.indexes.(pos) with
+  | Some idx -> idx
+  | None ->
+    let idx = TSet.fold (fun t idx -> index_add pos idx t) r.tuples SMap.empty in
+    (* Benign race under parallel evaluation: two domains may both build
+       the index; either result is valid for this tuple set. *)
+    r.indexes.(pos) <- Some idx;
+    idx
+
+let matching pos c r =
+  Option.value ~default:[] (SMap.find_opt c (index r pos))
+
+(* Derives the index array of a relation extended by [fresh] tuples (all
+   absent from the parent): already-built columns are updated incrementally,
+   unbuilt ones stay lazy. *)
+let extend_indexes parent fresh =
+  Array.mapi
+    (fun pos o ->
+      Option.map (fun idx -> List.fold_left (index_add pos) idx fresh) o)
+    parent.indexes
+
+(* --- construction ------------------------------------------------------- *)
+
+let add t r =
+  if TSet.mem t r.tuples then r
+  else
+    { arity = r.arity;
+      tuples = TSet.add t r.tuples;
+      indexes = extend_indexes r [ t ];
+    }
+
+let remove t r = make_t r.arity (TSet.remove t r.tuples)
+
+let of_list k ts =
+  make_t k (List.fold_left (fun s t -> TSet.add t s) TSet.empty ts)
+
+let add_all ts r =
+  let fresh = List.filter (fun t -> not (TSet.mem t r.tuples)) ts in
+  if fresh = [] then r
+  else
+    { arity = r.arity;
+      tuples = List.fold_left (fun s t -> TSet.add t s) r.tuples fresh;
+      indexes = extend_indexes r fresh;
+    }
+
+let to_list r = TSet.elements r.tuples
+
+let iter f r = TSet.iter f r.tuples
+
+let fold f r init = TSet.fold f r.tuples init
+
+let for_all p r = TSet.for_all p r.tuples
+
+let exists p r = TSet.exists p r.tuples
+
+let filter p r = make_t r.arity (TSet.filter p r.tuples)
+
+let union r1 r2 =
+  let big, small =
+    if TSet.cardinal r1.tuples >= TSet.cardinal r2.tuples then (r1, r2)
+    else (r2, r1)
+  in
+  let fresh =
+    TSet.fold
+      (fun t acc -> if TSet.mem t big.tuples then acc else t :: acc)
+      small.tuples []
+  in
+  if fresh = [] then big
+  else
+    { arity = big.arity;
+      tuples = List.fold_left (fun s t -> TSet.add t s) big.tuples fresh;
+      indexes = extend_indexes big fresh;
+    }
+
+let inter r1 r2 = make_t r1.arity (TSet.inter r1.tuples r2.tuples)
+
+let diff r1 r2 = make_t r1.arity (TSet.diff r1.tuples r2.tuples)
+
+let subset r1 r2 = TSet.subset r1.tuples r2.tuples
+
+let equal r1 r2 = TSet.equal r1.tuples r2.tuples
+
+let compare r1 r2 = TSet.compare r1.tuples r2.tuples
+
+let choose_opt r = TSet.choose_opt r.tuples
+
+(* --- builder ------------------------------------------------------------ *)
+
+type builder = {
+  b_arity : int;
+  mutable b_set : TSet.t;
+  mutable b_card : int;
+}
+
+let builder k = { b_arity = k; b_set = TSet.empty; b_card = 0 }
+
+let builder_add b t =
+  if TSet.mem t b.b_set then false
+  else begin
+    b.b_set <- TSet.add t b.b_set;
+    b.b_card <- b.b_card + 1;
+    true
+  end
+
+let builder_card b = b.b_card
+
+let build b = make_t b.b_arity b.b_set

@@ -1,0 +1,8 @@
+(** The balanced-tree storage backend (the seed representation).
+
+    Tuples live in a [Set.Make(Tuple)] with memoized per-column indexes
+    extended incrementally by [add]/[add_all]/[union].  Retained unchanged
+    behind {!Storage_sig.S} as the [`Treeset] ablation baseline for
+    {!Hash_store}. *)
+
+include Storage_sig.S

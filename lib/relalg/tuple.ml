@@ -2,6 +2,8 @@ type t = Symbol.t array
 
 let make a = Array.copy a
 
+let unsafe_make a = a
+
 let of_list = Array.of_list
 
 let of_strings ss = Array.of_list (List.map Symbol.intern ss)

@@ -10,6 +10,13 @@ val make : Symbol.t array -> t
 (** [make a] turns [a] into a tuple; the array is copied, so later mutation
     of [a] does not affect the tuple. *)
 
+val unsafe_make : Symbol.t array -> t
+(** [unsafe_make a] adopts [a] without copying.  The caller must either
+    never mutate [a] again, or only hand the tuple to operations that do
+    not retain it (membership probes) — the grounding and join hot paths
+    use this to fill one scratch buffer per literal instead of allocating
+    per candidate binding. *)
+
 val of_list : Symbol.t list -> t
 
 val of_strings : string list -> t

@@ -6,9 +6,10 @@
     lazily on the first parallel run and then reused; the shared default
     pool is shut down automatically at exit.
 
-    Jobs must not intern new symbols ({!Relalg.Symbol.intern} uses a global
-    table that is not synchronised); evaluation only reads already-interned
-    symbols, which is safe. *)
+    Jobs may intern symbols and tuples concurrently: both
+    {!Relalg.Symbol.intern} and the packed tuple store serialise writers on
+    a mutex and publish immutable snapshots, so reads from other domains
+    are lock-free and data-race-free. *)
 
 type t
 

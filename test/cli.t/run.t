@@ -30,6 +30,19 @@ model:
   $ negdl eval tc.dl path4.facts --engine parallel --indexing scan -p s
   {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
 
+So does the tree-set storage ablation (the default backend is the packed
+hashed one):
+
+  $ negdl eval tc.dl path4.facts --storage treeset -p s
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+
+  $ negdl fixpoints pi1.dl c4.facts --storage treeset | head -5
+  ground atoms:    4
+  ground rules:    4
+  fixpoint exists: true
+  fixpoints:       2
+  unique:          false
+
 --stats reports the evaluation counters on stderr (timings elided here):
 
   $ negdl eval tc.dl path4.facts --stats -p s 2>&1 | grep -v -e stage -e "wall time"
@@ -37,9 +50,12 @@ model:
   iterations:        4
   rule applications: 5
   tuples derived:    6
+  tuples allocated:  6
+  bulk builds:       5
   index hits:        4
   index builds:      2
   full scans:        5
+  bucket probes:     3
 
 The Section 2 census on the 4-cycle: two incomparable fixpoints, no least:
 

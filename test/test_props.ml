@@ -39,45 +39,53 @@ let prop_engines_agree =
         (Evallib.Inflationary.eval ~engine:`Naive p db)
         (Evallib.Inflationary.eval ~engine:`Seminaive p db))
 
-(* Every (engine, indexing) combination must compute the same model — the
-   fixpoint is a semantic object, not an artefact of evaluation order,
-   index structure, or domain scheduling. *)
+(* Every (storage, engine, indexing) combination must compute the same
+   model — the fixpoint is a semantic object, not an artefact of relation
+   representation, evaluation order, index structure, or domain
+   scheduling. *)
+let storages : Relalg.Relation.storage list = [ `Hashed; `Treeset ]
+
 let engines = [ `Naive; `Seminaive; `Parallel ]
 
 let indexings = [ `Cached; `Percall; `Scan ]
 
 let all_modes_agree eval equal reference =
   List.for_all
-    (fun engine ->
+    (fun storage ->
       List.for_all
-        (fun indexing -> equal reference (eval ~engine ~indexing))
-        indexings)
-    engines
+        (fun engine ->
+          List.for_all
+            (fun indexing ->
+              equal reference (eval ~storage ~engine ~indexing))
+            indexings)
+        engines)
+    storages
 
 let prop_engine_matrix_inflationary =
   QCheck.Test.make
-    ~name:"all engine x indexing modes agree (inflationary fixpoint)"
+    ~name:"all storage x engine x indexing modes agree (inflationary fixpoint)"
     ~count:60 arb_case (fun (p, db) ->
       let reference = Evallib.Inflationary.eval p db in
       all_modes_agree
-        (fun ~engine ~indexing ->
-          Evallib.Inflationary.eval ~engine ~indexing p db)
+        (fun ~storage ~engine ~indexing ->
+          Evallib.Inflationary.eval ~storage ~engine ~indexing p db)
         Idb.equal reference)
 
 let prop_engine_matrix_positive =
   QCheck.Test.make
-    ~name:"all engine x indexing modes agree (positive least fixpoint)"
+    ~name:"all storage x engine x indexing modes agree (positive lfp)"
     ~count:60 arb_case (fun (p, db) ->
       let p = positivise p in
       let reference = Evallib.Naive.least_fixpoint p db in
       all_modes_agree
-        (fun ~engine ~indexing ->
-          Evallib.Naive.least_fixpoint ~engine ~indexing p db)
+        (fun ~storage ~engine ~indexing ->
+          Evallib.Naive.least_fixpoint ~storage ~engine ~indexing p db)
         Idb.equal reference)
 
 let prop_engine_matrix_semantics =
   QCheck.Test.make
-    ~name:"all engine x indexing modes agree (stratified + well-founded)"
+    ~name:
+      "all storage x engine x indexing modes agree (stratified + well-founded)"
     ~count:40 arb_case (fun (p, db) ->
       QCheck.assume (Datalog.Stratify.is_stratified p);
       let strat_ref = Evallib.Stratified.eval_exn p db in
@@ -89,12 +97,12 @@ let prop_engine_matrix_semantics =
       in
       let wf_ref = Evallib.Wellfounded.eval p db in
       all_modes_agree
-        (fun ~engine ~indexing ->
-          Evallib.Stratified.eval_exn ~engine ~indexing p db)
+        (fun ~storage ~engine ~indexing ->
+          Evallib.Stratified.eval_exn ~storage ~engine ~indexing p db)
         Idb.equal strat_ref
       && all_modes_agree
-           (fun ~engine ~indexing ->
-             Evallib.Wellfounded.eval ~engine ~indexing p db)
+           (fun ~storage ~engine ~indexing ->
+             Evallib.Wellfounded.eval ~storage ~engine ~indexing p db)
            wf_equal wf_ref)
 
 let prop_limit_is_inflationary_fixpoint =

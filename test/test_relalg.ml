@@ -112,6 +112,255 @@ let test_relation_join_positions () =
   check int "path of length 2" 1 (Relation.cardinal joined);
   check int "arity 4" 4 (Relation.arity joined)
 
+(* --- Idset ------------------------------------------------------------------ *)
+
+let test_idset_basic () =
+  let s = Idset.of_list [ 5; 1; 3; 1; 5 ] in
+  check int "cardinal dedups" 3 (Idset.cardinal s);
+  check bool "mem" true (Idset.mem 3 s);
+  check bool "not mem" false (Idset.mem 2 s);
+  check (Alcotest.list int) "elements increasing" [ 1; 3; 5 ]
+    (Idset.elements s);
+  check (Alcotest.option int) "choose_opt is minimum" (Some 1)
+    (Idset.choose_opt s);
+  check bool "remove" false (Idset.mem 3 (Idset.remove 3 s));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Idset.add: negative element") (fun () ->
+      ignore (Idset.add (-1) Idset.empty))
+
+let test_idset_sharing () =
+  let s = Idset.of_list [ 0; 7; 42 ] in
+  check bool "re-add is physically the same set" true (Idset.add 7 s == s)
+
+let test_idset_large () =
+  (* Exercise branch paths well past one machine word of prefix bits. *)
+  let xs = List.init 500 (fun i -> (i * 7919) land 0xFFFFF) in
+  let s = Idset.of_list xs in
+  let module IS = Set.Make (Int) in
+  let ref_set = IS.of_list xs in
+  check int "cardinal" (IS.cardinal ref_set) (Idset.cardinal s);
+  check (Alcotest.list int) "elements" (IS.elements ref_set)
+    (Idset.elements s)
+
+let arb_id_lists =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 40) (int_range 0 200))
+        (list_size (int_range 0 40) (int_range 0 200)))
+
+let prop_idset_model =
+  QCheck.Test.make ~name:"Idset ops agree with Set.Make(Int)" ~count:300
+    arb_id_lists (fun (l1, l2) ->
+      let module IS = Set.Make (Int) in
+      let s1 = Idset.of_list l1 and s2 = Idset.of_list l2 in
+      let m1 = IS.of_list l1 and m2 = IS.of_list l2 in
+      let same s m = Idset.elements s = IS.elements m in
+      same (Idset.union s1 s2) (IS.union m1 m2)
+      && same (Idset.inter s1 s2) (IS.inter m1 m2)
+      && same (Idset.diff s1 s2) (IS.diff m1 m2)
+      && Idset.subset s1 s2 = IS.subset m1 m2
+      && Idset.equal s1 s2 = IS.equal m1 m2)
+
+let prop_idset_compare =
+  QCheck.Test.make ~name:"Idset compare is consistent with equal" ~count:300
+    arb_id_lists (fun (l1, l2) ->
+      let s1 = Idset.of_list l1 and s2 = Idset.of_list l2 in
+      let c12 = Idset.compare s1 s2 and c21 = Idset.compare s2 s1 in
+      if Idset.equal s1 s2 then c12 = 0 && c21 = 0
+      else c12 <> 0 && c12 * c21 < 0)
+
+(* --- Store ------------------------------------------------------------------ *)
+
+let test_store_intern () =
+  let t = Tuple.of_strings [ "store_x"; "store_y" ] in
+  let id1 = Store.intern t in
+  let id2 = Store.intern (Tuple.of_strings [ "store_x"; "store_y" ]) in
+  check int "same tuple, same id" id1 id2;
+  check bool "memoized tuple round trip" true (Tuple.equal t (Store.tuple id1));
+  check int "hash precomputed" (Tuple.hash t) (Store.hash id1);
+  check int "arity" 2 (Store.arity id1);
+  check (Alcotest.string) "get" "store_y" (Symbol.name (Store.get id1 1))
+
+let test_store_find_no_intern () =
+  let probe = Tuple.of_strings [ "store_never_interned"; "q" ] in
+  let before = Store.count () in
+  check bool "find misses without interning" true (Store.find probe = None);
+  check int "probe did not grow the store" before (Store.count ());
+  let id = Store.intern probe in
+  check (Alcotest.option int) "find after intern" (Some id) (Store.find probe);
+  check bool "mem" true (Store.mem probe)
+
+(* --- Storage backends -------------------------------------------------------- *)
+
+let storages : Relation.storage list = [ `Hashed; `Treeset ]
+
+let t2 a b = Tuple.of_strings [ a; b ]
+
+let test_backend_round_trip () =
+  List.iter
+    (fun storage ->
+      let r =
+        Relation.of_list ~storage 2 [ t2 "a" "b"; t2 "b" "c"; t2 "a" "b" ]
+      in
+      check bool "storage kept" true (Relation.storage_of r = storage);
+      check int "of_list dedups" 2 (Relation.cardinal r);
+      check bool "mem" true (Relation.mem (t2 "b" "c") r);
+      check bool "not mem" false (Relation.mem (t2 "c" "b") r);
+      let r' = Relation.of_seq ~storage 2 (List.to_seq (Relation.to_list r)) in
+      check bool "of_seq round trip" true (Relation.equal r r'))
+    storages
+
+let test_backend_equal_across () =
+  let tuples = [ t2 "a" "b"; t2 "b" "c" ] in
+  let h = Relation.of_list ~storage:`Hashed 2 tuples in
+  let t = Relation.of_list ~storage:`Treeset 2 tuples in
+  check bool "hashed = treeset with same contents" true (Relation.equal h t);
+  check bool "subset both ways" true
+    (Relation.subset h t && Relation.subset t h);
+  check int "compare agrees" 0 (Relation.compare h t);
+  let t' = Relation.add (t2 "c" "d") t in
+  check bool "differ after add" false (Relation.equal h t')
+
+let test_backend_mixed_ops () =
+  let h = Relation.of_list ~storage:`Hashed 1 [ Tuple.of_strings [ "a" ]; Tuple.of_strings [ "b" ] ] in
+  let t = Relation.of_list ~storage:`Treeset 1 [ Tuple.of_strings [ "b" ]; Tuple.of_strings [ "c" ] ] in
+  let u = Relation.union h t in
+  check int "mixed union" 3 (Relation.cardinal u);
+  check bool "union keeps left backend" true (Relation.storage_of u = `Hashed);
+  check int "mixed inter" 1 (Relation.cardinal (Relation.inter h t));
+  check int "mixed diff" 1 (Relation.cardinal (Relation.diff t h));
+  check bool "mixed product" true
+    (Relation.equal (Relation.product h t)
+       (Relation.product
+          (Relation.of_list ~storage:`Treeset 1 (Relation.to_list h))
+          t))
+
+let test_backend_add_all () =
+  List.iter
+    (fun storage ->
+      let r = Relation.of_list ~storage 2 [ t2 "a" "b" ] in
+      (* Build a column index first so add_all must extend it. *)
+      ignore (Relation.matching 0 (Symbol.intern "a") r);
+      let r' = Relation.add_all [ t2 "a" "c"; t2 "a" "b"; t2 "d" "e" ] r in
+      check int "add_all adds only fresh" 3 (Relation.cardinal r');
+      check int "extended index serves new tuples" 2
+        (List.length (Relation.matching 0 (Symbol.intern "a") r')))
+    storages
+
+let test_backend_builder () =
+  List.iter
+    (fun storage ->
+      let b = Relation.builder ~storage 2 in
+      check bool "first add is fresh" true (Relation.builder_add b (t2 "a" "b"));
+      check bool "duplicate add reports stale" false
+        (Relation.builder_add b (t2 "a" "b"));
+      check bool "second fresh" true (Relation.builder_add b (t2 "b" "c"));
+      check int "builder cardinal" 2 (Relation.builder_cardinal b);
+      let r = Relation.build b in
+      check int "built cardinal" 2 (Relation.cardinal r);
+      check bool "built storage" true (Relation.storage_of r = storage))
+    storages
+
+let test_backend_full () =
+  let u = List.map Symbol.intern [ "a"; "b"; "c" ] in
+  let h = Relation.full ~storage:`Hashed u 2 in
+  let t = Relation.full ~storage:`Treeset u 2 in
+  check int "hashed full 3^2" 9 (Relation.cardinal h);
+  check bool "backends agree on full" true (Relation.equal h t)
+
+let test_default_storage () =
+  let saved = Relation.default_storage () in
+  Fun.protect
+    ~finally:(fun () -> Relation.set_default_storage saved)
+    (fun () ->
+      Relation.set_default_storage `Treeset;
+      check bool "default respected" true
+        (Relation.storage_of (Relation.empty 1) = `Treeset);
+      Relation.set_default_storage `Hashed;
+      check bool "default restored" true
+        (Relation.storage_of (Relation.empty 1) = `Hashed))
+
+let arb_backend_case =
+  QCheck.make
+    QCheck.Gen.(
+      let* arity = int_range 0 2 in
+      let tg = list_size (return arity) (int_range 0 4) >|= Tuple.of_ints in
+      let* l1 = list_size (int_range 0 12) tg in
+      let* l2 = list_size (int_range 0 12) tg in
+      return (arity, l1, l2))
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"hashed and treeset backends agree on set algebra"
+    ~count:200 arb_backend_case (fun (arity, l1, l2) ->
+      let via storage =
+        let r1 = Relation.of_list ~storage arity l1 in
+        let r2 = Relation.of_list ~storage arity l2 in
+        ( Relation.to_list (Relation.union r1 r2),
+          Relation.to_list (Relation.inter r1 r2),
+          Relation.to_list (Relation.diff r1 r2),
+          Relation.subset r1 r2,
+          Relation.equal r1 r2 )
+      in
+      via `Hashed = via `Treeset)
+
+(* --- Concurrent interning ----------------------------------------------------- *)
+
+(* Satellite 1: hammer the global Symbol and Store intern tables from
+   several domains at once.  Every job interns an overlapping window of
+   names and tuples; domain-safety means all jobs observe identical ids
+   and every name/tuple round-trips afterwards. *)
+
+let test_concurrent_interning () =
+  let pool = Negdl_util.Domain_pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Negdl_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let jobs = 8 and names = 200 in
+      let name k = Printf.sprintf "conc_sym_%d" k in
+      let job j () =
+        (* Each job walks the shared window from a different offset so the
+           domains race on first-intern of each name. *)
+        List.init names (fun i ->
+            let k = (i + (j * 17)) mod names in
+            let sym = Symbol.intern (name k) in
+            let id = Store.intern (Tuple.make [| sym; sym |]) in
+            (k, (sym :> int), id))
+      in
+      let results =
+        Negdl_util.Domain_pool.run pool (List.init jobs job)
+        |> List.map (List.sort compare)
+      in
+      (match results with
+      | [] -> Alcotest.fail "no results"
+      | first :: rest ->
+        List.iteri
+          (fun j r ->
+            check bool
+              (Printf.sprintf "job %d observed the same ids as job 0" (j + 1))
+              true (r = first))
+          rest);
+      for k = 0 to names - 1 do
+        check (Alcotest.string) "name round trip after the race" (name k)
+          (Symbol.name (Symbol.intern (name k)))
+      done)
+
+let test_concurrent_fresh () =
+  let pool = Negdl_util.Domain_pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Negdl_util.Domain_pool.shutdown pool)
+    (fun () ->
+      let per_job = 50 in
+      let job () = List.init per_job (fun _ -> Symbol.fresh "conc_fresh") in
+      let all =
+        Negdl_util.Domain_pool.run pool (List.init 6 (fun _ -> job))
+        |> List.concat
+        |> List.map (fun s -> (s : Symbol.t :> int))
+      in
+      let distinct = List.sort_uniq compare all in
+      check int "fresh symbols are globally distinct across domains"
+        (List.length all) (List.length distinct))
+
 (* --- Schema ---------------------------------------------------------------- *)
 
 let test_schema () =
@@ -229,7 +478,14 @@ let prop_tuple_compare_total =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_union_commutes; prop_diff_inter_partition; prop_tuple_compare_total ]
+    [
+      prop_union_commutes;
+      prop_diff_inter_partition;
+      prop_tuple_compare_total;
+      prop_idset_model;
+      prop_idset_compare;
+      prop_backends_agree;
+    ]
 
 let () =
   Alcotest.run "relalg"
@@ -255,6 +511,35 @@ let () =
           Alcotest.test_case "full/complement" `Quick test_relation_full_complement;
           Alcotest.test_case "zero arity" `Quick test_relation_full_zero_arity;
           Alcotest.test_case "join" `Quick test_relation_join_positions;
+        ] );
+      ( "idset",
+        [
+          Alcotest.test_case "basic" `Quick test_idset_basic;
+          Alcotest.test_case "sharing" `Quick test_idset_sharing;
+          Alcotest.test_case "large" `Quick test_idset_large;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "intern" `Quick test_store_intern;
+          Alcotest.test_case "find without intern" `Quick
+            test_store_find_no_intern;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "round trip" `Quick test_backend_round_trip;
+          Alcotest.test_case "equal across backends" `Quick
+            test_backend_equal_across;
+          Alcotest.test_case "mixed-backend ops" `Quick test_backend_mixed_ops;
+          Alcotest.test_case "add_all" `Quick test_backend_add_all;
+          Alcotest.test_case "builder" `Quick test_backend_builder;
+          Alcotest.test_case "full" `Quick test_backend_full;
+          Alcotest.test_case "default storage" `Quick test_default_storage;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "concurrent interning" `Quick
+            test_concurrent_interning;
+          Alcotest.test_case "concurrent fresh" `Quick test_concurrent_fresh;
         ] );
       ("schema", [ Alcotest.test_case "basic" `Quick test_schema ]);
       ( "database",
