@@ -112,6 +112,18 @@ let stats_arg =
           "Print evaluation statistics (iterations, rule applications, \
            tuples derived, index hits, stage timings) to stderr.")
 
+let sat_par_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "sat-par" ] ~docv:"N"
+        ~doc:
+          "SAT search parallelism: run every satisfiability query as a \
+           portfolio of $(docv) diversified CDCL workers racing on the \
+           domain pool (first answer wins, losers are cancelled).  \
+           $(b,1) (default) is the plain sequential solver.  Parallelism \
+           never changes an answer, only how fast it arrives.")
+
 (* --- eval ------------------------------------------------------------------ *)
 
 let eval_cmd =
@@ -137,10 +149,12 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
-  let run program_path db_path semantics engine indexing storage stats pred =
+  let run program_path db_path semantics engine indexing storage stats sat_par
+      pred =
     (* Set the default before loading, so the base relations parsed from the
        database are built in the chosen backend too. *)
     Negdl.Relation.set_default_storage storage;
+    Negdl.Sat_solver.set_default_parallelism sat_par;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats = if stats then Some (Negdl.Stats.create ()) else None in
@@ -161,7 +175,10 @@ let eval_cmd =
       print_idb ~header:"-- unknown (three-valued) --" unknown
     | _ -> ());
     match stats with
-    | Some s -> Format.eprintf "%a@." Negdl.Stats.pp s
+    | Some s ->
+      s.Negdl.Stats.extra <-
+        List.filter (fun (_, v) -> v <> 0) (Negdl.Sat_stats.snapshot ());
+      Format.eprintf "%a@." Negdl.Stats.pp s
     | None -> ()
   in
   let doc = "evaluate a program on a database" in
@@ -169,7 +186,7 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
-      $ indexing_arg $ storage_arg $ stats_arg $ pred_arg)
+      $ indexing_arg $ storage_arg $ stats_arg $ sat_par_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -185,44 +202,86 @@ let fixpoints_cmd =
       value & flag
       & info [ "enumerate" ] ~doc:"Print every fixpoint found (up to the cap).")
   in
-  let run program_path db_path storage limit enumerate =
+  let sat_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sat-budget" ] ~docv:"CONFLICTS"
+          ~doc:
+            "Bound the existence SAT search to $(docv) CDCL conflicts (per \
+             portfolio worker).  Exhaustion prints \"fixpoint exists: \
+             unknown (...)\" and skips the dependent queries — the run \
+             still exits cleanly with status 0.")
+  in
+  let count_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count-budget" ] ~docv:"NODES"
+          ~doc:
+            "Also run the exact #SAT census with a budget of $(docv) \
+             counting nodes; prints \"exact census: N\", or a lower bound \
+             when the budget runs out.")
+  in
+  let run program_path db_path storage limit enumerate sat_par sat_budget
+      count_budget stats =
     Negdl.Relation.set_default_storage storage;
+    Negdl.Sat_solver.set_default_parallelism sat_par;
+    Negdl.Sat_stats.reset ();
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
-    let report = Negdl.analyze_fixpoints ~count_limit:limit program db in
+    let report =
+      Negdl.analyze_fixpoints ~count_limit:limit ?sat_budget ?count_budget
+        program db
+    in
     Format.printf "ground atoms:    %d@." report.Negdl.ground_atoms;
     Format.printf "ground rules:    %d@." report.Negdl.ground_rules;
-    Format.printf "fixpoint exists: %b@." report.Negdl.has_fixpoint;
-    (match report.Negdl.fixpoint_count with
-    | Some n when n >= limit -> Format.printf "fixpoints:       >= %d (capped)@." n
-    | Some n -> Format.printf "fixpoints:       %d@." n
-    | None -> ());
-    Format.printf "unique:          %b@." report.Negdl.unique;
-    (match report.Negdl.least with
-    | Some least ->
-      Format.printf "least fixpoint:  yes@.";
-      print_idb ~header:"-- least fixpoint --" least
-    | None -> Format.printf "least fixpoint:  no@.");
-    if enumerate then begin
-      let solver = Negdl.Fixpoints.prepare program db in
-      List.iteri
-        (fun i fp ->
-          Format.printf "-- fixpoint %d --@." (i + 1);
-          print_idb fp)
-        (Negdl.Fixpoints.enumerate ~limit solver)
-    end
-    else
-      match report.Negdl.example with
-      | Some fp when report.Negdl.has_fixpoint ->
-        print_idb ~header:"-- example fixpoint --" fp
-      | _ -> ()
+    (match report.Negdl.existence_unknown with
+    | Some reason ->
+      Format.printf "fixpoint exists: unknown (%s)@."
+        (Negdl.Sat_outcome.reason_to_string reason)
+    | None ->
+      Format.printf "fixpoint exists: %b@." report.Negdl.has_fixpoint;
+      (match report.Negdl.fixpoint_count with
+      | Some n when n >= limit ->
+        Format.printf "fixpoints:       >= %d (capped)@." n
+      | Some n -> Format.printf "fixpoints:       %d@." n
+      | None -> ());
+      (match report.Negdl.exact_count with
+      | Some c ->
+        Format.printf "exact census:    %a@." Negdl.Sat_outcome.pp_count c
+      | None -> ());
+      Format.printf "unique:          %b@." report.Negdl.unique;
+      (match report.Negdl.least with
+      | Some least ->
+        Format.printf "least fixpoint:  yes@.";
+        print_idb ~header:"-- least fixpoint --" least
+      | None -> Format.printf "least fixpoint:  no@.");
+      if enumerate then begin
+        let solver = Negdl.Fixpoints.prepare program db in
+        List.iteri
+          (fun i fp ->
+            Format.printf "-- fixpoint %d --@." (i + 1);
+            print_idb fp)
+          (Negdl.Fixpoints.enumerate ~limit solver)
+      end
+      else
+        match report.Negdl.example with
+        | Some fp when report.Negdl.has_fixpoint ->
+          print_idb ~header:"-- example fixpoint --" fp
+        | _ -> ());
+    if stats then
+      List.iter
+        (fun (name, v) -> Format.eprintf "%-18s %d@." (name ^ ":") v)
+        (List.filter (fun (_, v) -> v <> 0) (Negdl.Sat_stats.snapshot ()))
   in
   let doc = "decide existence / uniqueness / least fixpoints (Section 3)" in
   Cmd.v
     (Cmd.info "fixpoints" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ storage_arg $ limit_arg
-      $ enumerate_arg)
+      $ enumerate_arg $ sat_par_arg $ sat_budget_arg $ count_budget_arg
+      $ stats_arg)
 
 (* --- query ------------------------------------------------------------------- *)
 
@@ -342,21 +401,48 @@ let load_cnf path =
     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 let sat_cmd =
-  let run cnf_path =
+  let portfolio_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "portfolio" ] ~docv:"N"
+          ~doc:
+            "Race $(docv) diversified CDCL workers; the first definite \
+             answer wins and cancels the rest.  $(b,1) (default) is the \
+             plain sequential solver.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"CONFLICTS"
+          ~doc:
+            "Give up after $(docv) conflicts (per worker), printing \
+             \"s UNKNOWN\" and exiting 0.")
+  in
+  let run cnf_path portfolio budget =
     let cnf = or_die (load_cnf cnf_path) in
-    match Negdl.Sat_solver.solve cnf with
-    | Negdl.Sat_solver.Unsat ->
+    let mode =
+      if portfolio >= 2 then `Portfolio portfolio else `Sequential
+    in
+    match Negdl.Sat_solver.solve_outcome ~mode ?conflict_budget:budget cnf with
+    | Negdl.Sat_outcome.Unsat ->
       Format.printf "s UNSATISFIABLE@.";
       exit 20
-    | Negdl.Sat_solver.Sat model ->
+    | Negdl.Sat_outcome.Sat model ->
       Format.printf "s SATISFIABLE@.v ";
       for v = 1 to Negdl.Cnf.num_vars cnf do
         Format.printf "%d " (if model.(v) then v else -v)
       done;
       Format.printf "0@."
+    | Negdl.Sat_outcome.Unknown reason ->
+      Format.printf "c %s@.s UNKNOWN@."
+        (Negdl.Sat_outcome.reason_to_string reason)
   in
   let doc = "solve a DIMACS CNF with the built-in CDCL solver" in
-  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ cnf_arg)
+  Cmd.v
+    (Cmd.info "sat" ~doc)
+    Term.(const run $ cnf_arg $ portfolio_arg $ budget_arg)
 
 (* --- sat2fp ----------------------------------------------------------------- *)
 

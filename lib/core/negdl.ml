@@ -59,6 +59,8 @@ module Sat_enumerate = Satlib.Enumerate
 module Dimacs = Satlib.Dimacs
 module Sat_workload = Satlib.Workload
 module Sat_count = Satlib.Count
+module Sat_outcome = Satlib.Outcome
+module Sat_stats = Satlib.Sat_stats
 module Circuit = Circuitlib.Circuit
 module Circuit_build = Circuitlib.Build
 module Tseitin = Circuitlib.Tseitin
@@ -144,30 +146,50 @@ type fixpoint_report = {
   ground_atoms : int;
   ground_rules : int;
   has_fixpoint : bool;
+  existence_unknown : Satlib.Outcome.reason option;
   fixpoint_count : int option;
+  exact_count : Satlib.Outcome.count option;
   count_limit : int;
   unique : bool;
   least : Idb.t option;
   example : Idb.t option;
 }
 
-let analyze_fixpoints ?(count_limit = 256) program db =
+let analyze_fixpoints ?(count_limit = 256) ?sat_budget ?count_budget program db
+    =
   let solver = Fixpoints.prepare program db in
   let ground = Fixpoints.ground solver in
-  let example = Fixpoints.find solver in
+  let example, existence_unknown =
+    match sat_budget with
+    | None -> (Fixpoints.find solver, None)
+    | Some budget -> (
+      match Fixpoints.find_outcome ~conflict_budget:budget solver with
+      | `Found fp -> (Some fp, None)
+      | `No_fixpoint -> (None, None)
+      | `Unknown r -> (None, Some r))
+  in
   let has_fixpoint = example <> None in
+  let decided = existence_unknown = None in
   let count =
-    if has_fixpoint then Some (Fixpoints.count ~limit:count_limit solver)
+    if not decided then None
+    else if has_fixpoint then Some (Fixpoints.count ~limit:count_limit solver)
     else Some 0
+  in
+  let exact_count =
+    match count_budget with
+    | Some budget when decided -> Some (Fixpoints.count_exact ~budget solver)
+    | _ -> None
   in
   {
     ground_atoms = Ground.atom_count ground;
     ground_rules = Ground.rule_count ground;
     has_fixpoint;
+    existence_unknown;
     fixpoint_count = count;
+    exact_count;
     count_limit;
     unique = (count = Some 1);
-    least = (if has_fixpoint then Fixpoints.least solver else None);
+    least = (if has_fixpoint && decided then Fixpoints.least solver else None);
     example;
   }
 

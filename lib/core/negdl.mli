@@ -111,6 +111,8 @@ module Sat_enumerate = Satlib.Enumerate
 module Dimacs = Satlib.Dimacs
 module Sat_workload = Satlib.Workload
 module Sat_count = Satlib.Count
+module Sat_outcome = Satlib.Outcome
+module Sat_stats = Satlib.Sat_stats
 
 (** {1 Circuits} *)
 
@@ -178,7 +180,15 @@ type fixpoint_report = {
   ground_atoms : int;
   ground_rules : int;
   has_fixpoint : bool;
+      (** Meaningful only when [existence_unknown] is [None]. *)
+  existence_unknown : Satlib.Outcome.reason option;
+      (** [Some r] when the existence SAT search ran out of its budget
+          before deciding; the census, uniqueness and least-fixpoint
+          fields are then skipped. *)
   fixpoint_count : int option;  (** Counted up to [count_limit]. *)
+  exact_count : Satlib.Outcome.count option;
+      (** #SAT census (requested via [count_budget]); a [Lower_bound] when
+          the node budget ran out. *)
   count_limit : int;
   unique : bool;
   least : Idb.t option;
@@ -186,9 +196,19 @@ type fixpoint_report = {
 }
 
 val analyze_fixpoints :
-  ?count_limit:int -> Ast.program -> Database.t -> fixpoint_report
+  ?count_limit:int ->
+  ?sat_budget:int ->
+  ?count_budget:int ->
+  Ast.program ->
+  Database.t ->
+  fixpoint_report
 (** Runs the whole Section 3 query suite on (pi, D) via the SAT encoding.
-    [count_limit] (default 256) caps the census. *)
+    [count_limit] (default 256) caps the census.  [sat_budget] bounds the
+    existence search in CDCL conflicts (unbounded by default); exhaustion
+    is reported through [existence_unknown], never raised.  [count_budget]
+    additionally runs the exact #SAT census with that node budget and
+    fills [exact_count].  SAT parallelism follows
+    {!Sat_solver.set_default_parallelism}. *)
 
 val parse_program : string -> (Ast.program, string) result
 (** Alias of {!Parser.parse_program}. *)

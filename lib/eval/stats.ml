@@ -10,6 +10,7 @@ type t = {
   mutable bucket_probes : int;
   mutable stages : (string * float) list;
   mutable wall : float;
+  mutable extra : (string * int) list;
 }
 
 let create () =
@@ -25,6 +26,7 @@ let create () =
     bucket_probes = 0;
     stages = [];
     wall = 0.0;
+    extra = [];
   }
 
 let merge_into dst ~src =
@@ -38,7 +40,8 @@ let merge_into dst ~src =
   dst.full_scans <- dst.full_scans + src.full_scans;
   dst.bucket_probes <- dst.bucket_probes + src.bucket_probes;
   dst.stages <- src.stages @ dst.stages;
-  dst.wall <- dst.wall +. src.wall
+  dst.wall <- dst.wall +. src.wall;
+  dst.extra <- src.extra @ dst.extra
 
 let record_stage t name dt =
   t.stages <- (name, dt) :: t.stages;
@@ -64,6 +67,9 @@ let pp ppf t =
   Format.fprintf ppf "index builds:      %d@," t.index_builds;
   Format.fprintf ppf "full scans:        %d@," t.full_scans;
   Format.fprintf ppf "bucket probes:     %d@," t.bucket_probes;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-18s %d@," (name ^ ":") v)
+    (List.rev t.extra);
   List.iter
     (fun (name, dt) -> Format.fprintf ppf "stage %-12s %.6fs@," name dt)
     (List.rev t.stages);

@@ -35,6 +35,10 @@ type t = {
   mutable stages : (string * float) list;
       (** Wall time per named stage, most recent first. *)
   mutable wall : float;  (** Total wall-clock seconds recorded. *)
+  mutable extra : (string * int) list;
+      (** Free-form named counters appended to the report — the CLI puts
+          the SAT search-layer counters ({!Satlib.Sat_stats.snapshot})
+          here.  Empty by default, so the core counter block is stable. *)
 }
 
 val create : unit -> t

@@ -2,7 +2,12 @@ module Ground = Evallib.Ground
 module Idb = Evallib.Idb
 module Cnf = Satlib.Cnf
 module Solver = Satlib.Solver
+module Count = Satlib.Count
 module Enumerate = Satlib.Enumerate
+module Outcome = Satlib.Outcome
+module Sat_stats = Satlib.Sat_stats
+module Domain_pool = Negdl_util.Domain_pool
+module ISet = Satlib.Count.ISet
 
 type t = {
   program : Datalog.Ast.program;
@@ -19,23 +24,206 @@ let ground t = t.ground
 
 let atom_count t = Ground.atom_count t.ground
 
-let exists t = Solver.is_satisfiable (Encode.cnf t.encoding)
+let exists ?mode t = Solver.is_satisfiable ?mode (Encode.cnf t.encoding)
 
-let find t =
-  match Solver.solve (Encode.cnf t.encoding) with
+let exists_outcome ?mode ?conflict_budget ?time_budget t =
+  Solver.solve_outcome ?mode ?conflict_budget ?time_budget
+    (Encode.cnf t.encoding)
+
+let find ?mode t =
+  match Solver.solve ?mode (Encode.cnf t.encoding) with
   | Solver.Unsat -> None
   | Solver.Sat model -> Some (Encode.idb_of_model t.encoding model)
 
-let enumerate ?limit t =
+let find_outcome ?mode ?conflict_budget ?time_budget t =
+  match
+    Solver.solve_outcome ?mode ?conflict_budget ?time_budget
+      (Encode.cnf t.encoding)
+  with
+  | Outcome.Sat model -> `Found (Encode.idb_of_model t.encoding model)
+  | Outcome.Unsat -> `No_fixpoint
+  | Outcome.Unknown r -> `Unknown r
+
+(* --- component-parallel census ------------------------------------------- *)
+
+(* The encoding's CNF falls apart into connected components exactly when
+   the ground program does (the paper's G_n: one component per cycle).
+   Fixpoints then factor: every combination of per-component models is a
+   model, so the census is a product and the enumeration a cross-product.
+   Only the atom variables matter for the result ([idb_of_model] ignores
+   the instance auxiliaries), so components are recombined by overlaying
+   their projected values. *)
+
+let pow2 n = 1 lsl n
+
+let flat_enumerate ?limit t =
   Enumerate.models
     ~projection:(Encode.atom_variables t.encoding)
     ?limit (Encode.cnf t.encoding)
   |> List.map (Encode.idb_of_model t.encoding)
 
+let take limit l =
+  match limit with
+  | None -> l
+  | Some n ->
+    let rec go n = function
+      | x :: rest when n > 0 -> x :: go (n - 1) rest
+      | _ -> []
+    in
+    go n l
+
+let enumerate ?limit t =
+  let cnf = Encode.cnf t.encoding in
+  let comps = Count.components (Cnf.clauses cnf) in
+  match comps with
+  | [] | [ _ ] ->
+    (* Nothing to decompose (plus: keeps the flat enumeration order for
+       single-component instances). *)
+    flat_enumerate ?limit t
+  | comps ->
+    let atom_vars = Encode.atom_variables t.encoding in
+    let nvars = Cnf.num_vars cnf in
+    let jobs =
+      List.map
+        (fun (cs, vs) ->
+          let projection = List.filter (fun v -> ISet.mem v vs) atom_vars in
+          fun () ->
+            Sat_stats.component_counted ();
+            (projection,
+             Enumerate.models ~projection ?limit (Cnf.of_list nvars cs)))
+        comps
+    in
+    let per_component = Domain_pool.run (Domain_pool.default ()) jobs in
+    (* Unconstrained atom variables are free: each doubles the census. *)
+    let constrained =
+      List.fold_left (fun acc (_, vs) -> ISet.union acc vs) ISet.empty comps
+    in
+    let free_atoms =
+      List.filter (fun v -> not (ISet.mem v constrained)) atom_vars
+    in
+    let free_choices =
+      List.map
+        (fun v ->
+          let tt = Array.make (nvars + 1) false in
+          tt.(v) <- true;
+          ([ v ], [ Array.make (nvars + 1) false; tt ]))
+        free_atoms
+    in
+    let overlay base (projection, m) =
+      let merged = Array.copy base in
+      List.iter (fun v -> merged.(v) <- m.(v)) projection;
+      merged
+    in
+    let combos =
+      List.fold_left
+        (fun acc (projection, ms) ->
+          take limit
+            (List.concat_map
+               (fun base ->
+                 List.map (fun m -> overlay base (projection, m)) ms)
+               acc))
+        [ Array.make (nvars + 1) false ]
+        (per_component @ free_choices)
+    in
+    List.map (Encode.idb_of_model t.encoding) combos
+
 let count ?limit t = List.length (enumerate ?limit t)
 
-let count_exact ?(budget = 2_000_000) t =
-  Satlib.Count.count_limited ~budget (Encode.cnf t.encoding)
+(* Cube-and-conquer: split one large component on the hottest VSIDS
+   variables of a short probe run, count the cubes independently (they
+   partition the model space) and sum. *)
+let cube_count ~budget ~par cnf clauses vars =
+  let constrained =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun a l -> ISet.add (abs l) a) acc c)
+      ISet.empty clauses
+  in
+  let k =
+    let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+    min 4 (max 1 (bits (2 * par) 0))
+  in
+  let split =
+    Solver.probe_activity_order cnf
+    |> List.filter (fun v -> ISet.mem v constrained)
+    |> take (Some k)
+  in
+  let rec cubes = function
+    | [] -> [ [] ]
+    | v :: rest ->
+      let sub = cubes rest in
+      List.map (fun c -> v :: c) sub @ List.map (fun c -> -v :: c) sub
+  in
+  let cube_list = cubes split in
+  let vars' = List.fold_left (fun acc v -> ISet.remove v acc) vars split in
+  let per_cube_budget = max 1 (budget / List.length cube_list) in
+  let jobs =
+    List.map
+      (fun cube () ->
+        let result =
+          match
+            List.fold_left (fun cs l -> Count.assign l cs) clauses cube
+          with
+          | exception Count.Conflict -> { Count.value = 0; exact = true }
+          | cs -> Count.count_clauses ~budget:per_cube_budget cs vars'
+        in
+        Sat_stats.cube_solved ();
+        result)
+      cube_list
+  in
+  let parts = Domain_pool.run (Domain_pool.default ()) jobs in
+  List.fold_left
+    (fun acc (p : Count.partial) ->
+      { Count.value = acc.Count.value + p.value; exact = acc.exact && p.exact })
+    { Count.value = 0; exact = true }
+    parts
+
+let count_exact ?(budget = 2_000_000) ?par t =
+  let par =
+    match par with
+    | Some n -> max 1 n
+    | None -> Solver.default_parallelism ()
+  in
+  let cnf = Encode.cnf t.encoding in
+  let nvars = Cnf.num_vars cnf in
+  let all_vars = ISet.of_list (List.init nvars (fun i -> i + 1)) in
+  let comps = Count.components (Cnf.clauses cnf) in
+  match comps with
+  | [] -> Outcome.Exact (pow2 nvars)
+  | [ (cs, vs) ] when par >= 2 && ISet.cardinal vs >= 20 ->
+    let free = ISet.cardinal (ISet.diff all_vars vs) in
+    let p = cube_count ~budget ~par cnf cs vs in
+    let value = p.Count.value * pow2 free in
+    if p.Count.exact then Outcome.Exact value
+    else Outcome.Lower_bound (value, Outcome.Node_budget)
+  | [ _ ] -> Count.count_limited ~budget cnf
+  | comps ->
+    let constrained =
+      List.fold_left (fun acc (_, vs) -> ISet.union acc vs) ISet.empty comps
+    in
+    let free = ISet.cardinal (ISet.diff all_vars constrained) in
+    let per_comp_budget = max 1 (budget / List.length comps) in
+    let jobs =
+      List.map
+        (fun (cs, vs) () ->
+          Sat_stats.component_counted ();
+          Count.count_clauses ~budget:per_comp_budget cs vs)
+        comps
+    in
+    let parts = Domain_pool.run (Domain_pool.default ()) jobs in
+    (* An exact zero absorbs the product no matter what the unexplored
+       parts would have said. *)
+    let exact_zero =
+      List.exists (fun (p : Count.partial) -> p.value = 0 && p.exact) parts
+    in
+    let value =
+      List.fold_left (fun a (p : Count.partial) -> a * p.value) 1 parts
+    in
+    let exact =
+      exact_zero || List.for_all (fun (p : Count.partial) -> p.exact) parts
+    in
+    let value = if exact_zero then 0 else value * pow2 free in
+    if exact then Outcome.Exact value
+    else Outcome.Lower_bound (value, Outcome.Node_budget)
 
 let has_unique t =
   Enumerate.is_unique

@@ -12,7 +12,15 @@
       intersection of all fixpoints with one NP-oracle (SAT) call per
       ground atom, then check that the intersection is itself a fixpoint;
     - {!enumerate} / {!count} — fixpoint census (used to reproduce the
-      2{^ n} incomparable fixpoints of the Section 2 example). *)
+      2{^ n} incomparable fixpoints of the Section 2 example).
+
+    The search layer underneath is parallel and resource-bounded: SAT
+    calls accept a portfolio [mode] (see {!Satlib.Solver}), the census
+    decomposes by connected CNF components — counted or enumerated
+    concurrently on the shared domain pool and product-combined — and
+    budgets degrade into structured {!Satlib.Outcome} values instead of
+    exceptions.  Parallelism never changes an answer, only where a budget
+    turns into an [Unknown]. *)
 
 type t
 
@@ -23,24 +31,50 @@ val ground : t -> Evallib.Ground.t
 
 val atom_count : t -> int
 
-val exists : t -> bool
+val exists : ?mode:Satlib.Solver.mode -> t -> bool
 
-val find : t -> Evallib.Idb.t option
+val exists_outcome :
+  ?mode:Satlib.Solver.mode ->
+  ?conflict_budget:int ->
+  ?time_budget:float ->
+  t ->
+  Satlib.Outcome.t
+(** Budgeted fixpoint existence: [Unknown] when the budget runs out before
+    the SAT search decides. *)
+
+val find : ?mode:Satlib.Solver.mode -> t -> Evallib.Idb.t option
 (** Some fixpoint, if any. *)
 
+val find_outcome :
+  ?mode:Satlib.Solver.mode ->
+  ?conflict_budget:int ->
+  ?time_budget:float ->
+  t ->
+  [ `Found of Evallib.Idb.t
+  | `No_fixpoint
+  | `Unknown of Satlib.Outcome.reason ]
+(** Budgeted {!find}. *)
+
 val enumerate : ?limit:int -> t -> Evallib.Idb.t list
+(** All fixpoints (up to [limit]).  Independent CNF components are
+    enumerated concurrently and cross-product-combined; single-component
+    encodings keep the flat blocking-clause enumeration order. *)
 
 val count : ?limit:int -> t -> int
 (** Census by SAT enumeration with blocking clauses (one solver call per
-    fixpoint). *)
+    fixpoint within each component). *)
 
-val count_exact : ?budget:int -> t -> int option
+val count_exact : ?budget:int -> ?par:int -> t -> Satlib.Outcome.count
 (** Census by exact model counting (#SAT with component decomposition) —
     sound because the encoding's auxiliary variables are functionally
     determined by the atom variables.  On the Section 2 example G{_n}
     (k disjoint cycles) this counts the 2{^ k} fixpoints without
-    enumerating them.  [None] when the [budget] of counting nodes (default
-    two million) is exhausted. *)
+    enumerating them.  Components are counted concurrently on the domain
+    pool; a single large component is split cube-and-conquer style on the
+    hottest VSIDS variables when [par >= 2] (default: the solver's default
+    parallelism).  When the [budget] of counting nodes (default two
+    million) runs out, the completed work is kept and reported as
+    [Lower_bound] — this function never raises. *)
 
 val has_unique : t -> bool
 

@@ -1,7 +1,5 @@
 module ISet = Set.Make (Int)
 
-exception Budget_exceeded
-
 exception Conflict
 
 (* Assign literal [l] true: drop satisfied clauses, shrink the others.
@@ -51,59 +49,93 @@ let components clauses =
 let pow2 n =
   if n < 0 then invalid_arg "Count.pow2" else 1 lsl n
 
-let count_clauses ~budget clauses vars =
+type partial = {
+  value : int;
+  exact : bool;
+}
+
+(* Budgeted DPLL count.  Exhaustion never discards completed work: a
+   subtree the budget cannot afford contributes 0 (a sound lower bound)
+   and flips [exact] off, while fully counted siblings — earlier branch
+   sides, earlier components — keep their exact contribution.  Branch sums
+   and component products combine values and AND exactness; an exact 0
+   absorbs a product (the formula is unsatisfiable there no matter what
+   the unexplored part would have said). *)
+let count_nonempty ~budget clauses vars =
   let nodes = ref 0 in
+  let exhausted = ref false in
   let rec go clauses vars =
-    incr nodes;
-    if !nodes > budget then raise Budget_exceeded;
-    match propagate clauses ISet.empty with
-    | exception Conflict -> 0
-    | clauses, forced ->
-      let vars = ISet.diff vars forced in
-      if clauses = [] then pow2 (ISet.cardinal vars)
-      else begin
-        let comps = components clauses in
-        let constrained =
-          List.fold_left
-            (fun acc (_, vs) -> ISet.union acc vs)
-            ISet.empty comps
-        in
-        let free = ISet.cardinal (ISet.diff vars constrained) in
-        let product =
-          List.fold_left
-            (fun acc (cs, vs) ->
-              if acc = 0 then 0
-              else begin
-                (* Branch on some variable of the component. *)
-                let v = ISet.min_elt vs in
-                let vs' = ISet.remove v vs in
-                let pos =
-                  match assign v cs with
-                  | exception Conflict -> 0
-                  | cs' -> go cs' vs'
-                in
-                let neg =
-                  match assign (-v) cs with
-                  | exception Conflict -> 0
-                  | cs' -> go cs' vs'
-                in
-                acc * (pos + neg)
-              end)
-            1 comps
-        in
-        product * pow2 free
+    if !exhausted then { value = 0; exact = false }
+    else begin
+      incr nodes;
+      if !nodes > budget then begin
+        exhausted := true;
+        Sat_stats.budget_exhausted ();
+        { value = 0; exact = false }
       end
+      else
+        match propagate clauses ISet.empty with
+        | exception Conflict -> { value = 0; exact = true }
+        | clauses, forced ->
+          let vars = ISet.diff vars forced in
+          if clauses = [] then
+            { value = pow2 (ISet.cardinal vars); exact = true }
+          else begin
+            let comps = components clauses in
+            let constrained =
+              List.fold_left
+                (fun acc (_, vs) -> ISet.union acc vs)
+                ISet.empty comps
+            in
+            let free = ISet.cardinal (ISet.diff vars constrained) in
+            let product =
+              List.fold_left
+                (fun acc (cs, vs) ->
+                  if acc.value = 0 then acc
+                  else begin
+                    (* Branch on some variable of the component. *)
+                    let v = ISet.min_elt vs in
+                    let vs' = ISet.remove v vs in
+                    let pos =
+                      match assign v cs with
+                      | exception Conflict -> { value = 0; exact = true }
+                      | cs' -> go cs' vs'
+                    in
+                    let neg =
+                      match assign (-v) cs with
+                      | exception Conflict -> { value = 0; exact = true }
+                      | cs' -> go cs' vs'
+                    in
+                    {
+                      value = acc.value * (pos.value + neg.value);
+                      exact = acc.exact && pos.exact && neg.exact;
+                    }
+                  end)
+                { value = 1; exact = true }
+                comps
+            in
+            { product with value = product.value * pow2 free }
+          end
+    end
   in
   go clauses vars
+
+(* An empty clause can only occur in the input — [assign] raises [Conflict]
+   rather than ever producing one — so one up-front check keeps the
+   recursion free of it (a clause with no variables would otherwise confuse
+   the component split). *)
+let count_clauses ~budget clauses vars =
+  if List.mem [] clauses then { value = 0; exact = true }
+  else count_nonempty ~budget clauses vars
 
 let count_limited ~budget cnf =
   let clauses = Cnf.clauses cnf in
   let vars = ISet.of_list (List.init (Cnf.num_vars cnf) (fun i -> i + 1)) in
   match count_clauses ~budget clauses vars with
-  | n -> Some n
-  | exception Budget_exceeded -> None
+  | { value; exact = true } -> Outcome.Exact value
+  | { value; exact = false } -> Outcome.Lower_bound (value, Outcome.Node_budget)
 
 let count cnf =
   match count_limited ~budget:max_int cnf with
-  | Some n -> n
-  | None -> assert false
+  | Outcome.Exact n -> n
+  | Outcome.Lower_bound _ -> assert false

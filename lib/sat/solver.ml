@@ -1,6 +1,14 @@
+module Prng = Negdl_util.Prng
+module Domain_pool = Negdl_util.Domain_pool
+
 type result =
   | Sat of bool array
   | Unsat
+
+type mode =
+  [ `Sequential
+  | `Portfolio of int
+  ]
 
 (* Literal encoding inside the solver: variable v (1-based) yields literals
    2v (positive) and 2v+1 (negative); negation is [lxor 1]. *)
@@ -34,9 +42,22 @@ type state = {
   phase : bool array;
   seen : bool array;
   mutable conflicts : int;
+  (* Restart bookkeeping lives in the state (not the solve loop) so a search
+     can be paused and resumed without rewinding the Luby sequence. *)
+  mutable restarts : int;
+  mutable restart_base : int;
+  (* Cancellation flag, shared between portfolio workers: the first worker
+     with a definite answer raises it and the others stop at their next
+     poll.  A fresh state gets a private, never-raised flag. *)
+  mutable stop : bool Atomic.t;
 }
 
 exception Found_unsat
+
+(* Raised inside the CDCL loop when a budget runs out or the stop flag is
+   up; caught by [solve_state], which rewinds to level 0 so the state stays
+   resumable. *)
+exception Stop_search of Outcome.reason
 
 let create_state nvars =
   {
@@ -56,6 +77,9 @@ let create_state nvars =
     phase = Array.make (nvars + 1) false;
     seen = Array.make (nvars + 1) false;
     conflicts = 0;
+    restarts = 0;
+    restart_base = 100;
+    stop = Atomic.make false;
   }
 
 let value st lit =
@@ -254,22 +278,48 @@ let rec luby i =
   if (1 lsl k) - 1 = i then 1 lsl (k - 1)
   else luby (i - ((1 lsl (k - 1)) - 1))
 
+(* Internal verdict of one (possibly budgeted) CDCL run.  [V_unsat] means
+   unsatisfiable under the given assumptions; unconditional unsatisfiability
+   still travels as [Found_unsat] so sessions can mark themselves broken. *)
+type verdict =
+  | V_sat of bool array
+  | V_unsat
+  | V_stopped of Outcome.reason
+
 (* [assumptions] are solver literals assumed for this call only, realised
-   as the first decisions (MiniSat-style). *)
-(* May raise [Found_unsat] when the formula itself (independent of the
+   as the first decisions (MiniSat-style).
+   [conflict_limit] is an absolute ceiling on [st.conflicts];
+   [deadline] an absolute [Unix.gettimeofday] instant;
+   [should_stop] an external cancellation probe (polled together with the
+   state's own atomic stop flag once per CDCL iteration, i.e. around every
+   propagate call).
+   On [V_stopped] the trail is rewound to level 0 but conflicts, restarts,
+   learned clauses, phases and activities survive, so calling again simply
+   resumes the search.
+   May raise [Found_unsat] when the formula itself (independent of the
    assumptions) is contradicted at level 0; callers decide how to record
    that. *)
-let solve_state ?(assumptions = [||]) st =
-  if propagate st >= 0 then raise Found_unsat;
-  begin
-    let restart_count = ref 0 in
+let solve_state ?(assumptions = [||]) ?(conflict_limit = max_int)
+    ?(deadline = infinity) ?(should_stop = fun () -> false) st =
+  let check_budgets () =
+    if Atomic.get st.stop || should_stop () then
+      raise (Stop_search Outcome.Cancelled);
+    if st.conflicts >= conflict_limit then
+      raise (Stop_search Outcome.Conflict_budget);
+    if deadline < infinity && Unix.gettimeofday () >= deadline then
+      raise (Stop_search Outcome.Time_budget)
+  in
+  try
+    check_budgets ();
+    if propagate st >= 0 then raise Found_unsat;
     let result = ref None in
     while !result = None do
-      incr restart_count;
-      let limit = 100 * luby !restart_count in
+      st.restarts <- st.restarts + 1;
+      let limit = st.restart_base * luby st.restarts in
       let conflicts_here = ref 0 in
       let restart = ref false in
       while (not !restart) && !result = None do
+        check_budgets ();
         let conflict = propagate st in
         if conflict >= 0 then begin
           st.conflicts <- st.conflicts + 1;
@@ -312,7 +362,7 @@ let solve_state ?(assumptions = [||]) st =
               st.trail_lim <- st.trail_size :: st.trail_lim
             | -1 ->
               (* Incompatible with the formula (plus earlier assumptions). *)
-              result := Some Unsat
+              result := Some V_unsat
             | _ ->
               st.trail_lim <- st.trail_size :: st.trail_lim;
               enqueue st lit (-1)
@@ -324,7 +374,7 @@ let solve_state ?(assumptions = [||]) st =
               for u = 1 to st.nvars do
                 model.(u) <- st.assign.(u) = 1
               done;
-              result := Some (Sat model)
+              result := Some (V_sat model)
             end
             else begin
               st.trail_lim <- st.trail_size :: st.trail_lim;
@@ -335,10 +385,12 @@ let solve_state ?(assumptions = [||]) st =
         end
       done
     done;
-    match !result with
+    (match !result with
     | Some r -> r
-    | None -> assert false
-  end
+    | None -> assert false)
+  with Stop_search reason ->
+    cancel_until st 0;
+    V_stopped reason
 
 let load cnf extra_units =
   let st = create_state (Cnf.num_vars cnf) in
@@ -351,15 +403,236 @@ let load cnf extra_units =
   List.iter (fun l -> add [ l ]) extra_units;
   (st, !ok)
 
+(* --- portfolio diversification ------------------------------------------- *)
+
+(* Worker 0 always runs the stock configuration, so a portfolio answers no
+   later than the sequential solver would (modulo scheduling).  The other
+   workers diversify along the classic axes: initial phase, activity noise
+   (i.e. branching order) and restart cadence, all seeded deterministically
+   from the worker index via the splittable PRNG. *)
+type profile = {
+  seed : int;
+  restart_base : int;
+  phase_init : [ `Default | `Inverted | `Random ];
+  activity_noise : bool;
+}
+
+let profile_for_worker = function
+  | 0 -> { seed = 0; restart_base = 100; phase_init = `Default; activity_noise = false }
+  | 1 -> { seed = 1; restart_base = 100; phase_init = `Inverted; activity_noise = false }
+  | 2 -> { seed = 2; restart_base = 40; phase_init = `Random; activity_noise = true }
+  | 3 -> { seed = 3; restart_base = 300; phase_init = `Random; activity_noise = true }
+  | w ->
+    let bases = [| 25; 60; 150; 400; 800 |] in
+    { seed = (101 * w) + 7;
+      restart_base = bases.(w mod Array.length bases);
+      phase_init = `Random;
+      activity_noise = true }
+
+let apply_profile (st : state) (p : profile) =
+  st.restart_base <- p.restart_base;
+  let rng = Prng.create (0x5eed + (0x9e3779b9 * p.seed)) in
+  (match p.phase_init with
+  | `Default -> ()
+  | `Inverted ->
+    for v = 1 to st.nvars do
+      st.phase.(v) <- true
+    done
+  | `Random ->
+    for v = 1 to st.nvars do
+      st.phase.(v) <- Prng.bool rng
+    done);
+  if p.activity_noise then
+    for v = 1 to st.nvars do
+      st.activity.(v) <- Prng.float rng *. 0.5
+    done
+
+(* --- top-level solving ---------------------------------------------------- *)
+
+let run_to_outcome ?(conflict_limit = max_int) ?(deadline = infinity)
+    ?(should_stop = fun () -> false) st =
+  try
+    match solve_state ~conflict_limit ~deadline ~should_stop st with
+    | V_sat m -> Outcome.Sat m
+    | V_unsat -> Outcome.Unsat
+    | V_stopped r -> Outcome.Unknown r
+  with Found_unsat -> Outcome.Unsat
+
+let sequential_outcome ~conflict_budget ~deadline ~should_stop cnf =
+  let st, ok = load cnf [] in
+  if not ok then Outcome.Unsat
+  else run_to_outcome ~conflict_limit:conflict_budget ~deadline ~should_stop st
+
+(* How many conflicts a worker runs before yielding to its siblings when the
+   portfolio is interleaved on one core. *)
+let interleave_slice = 2000
+
+let portfolio_outcome ~n ~conflict_budget ~deadline ~should_stop cnf =
+  Sat_stats.portfolio_run ();
+  let shared_stop = Atomic.make false in
+  let states =
+    Array.init n (fun w ->
+        let st, ok = load cnf [] in
+        if not ok then None
+        else begin
+          apply_profile st (profile_for_worker w);
+          st.stop <- shared_stop;
+          Some st
+        end)
+  in
+  if Array.exists (fun s -> s = None) states then Outcome.Unsat
+  else begin
+    let states =
+      Array.map (function Some s -> s | None -> assert false) states
+    in
+    let budget_limit st =
+      if conflict_budget = max_int then max_int
+      else st.conflicts + conflict_budget
+    in
+    let pool = Domain_pool.default () in
+    if Domain_pool.size pool >= 1 then begin
+      (* Real race: one domain per worker, first definite answer raises the
+         shared stop flag and the others give up at their next poll. *)
+      let decided = Atomic.make None in
+      let worker w st () =
+        let outcome =
+          run_to_outcome ~conflict_limit:(budget_limit st) ~deadline
+            ~should_stop st
+        in
+        (match outcome with
+        | Outcome.Sat _ | Outcome.Unsat ->
+          if Atomic.compare_and_set decided None (Some (w, outcome)) then
+            Atomic.set shared_stop true
+        | Outcome.Unknown _ -> ());
+        outcome
+      in
+      let results =
+        Domain_pool.run pool
+          (Array.to_list (Array.mapi worker states))
+      in
+      match Atomic.get decided with
+      | Some (w, answer) ->
+        Sat_stats.race_won w;
+        answer
+      | None -> (
+        (* Nobody was decisive: every worker stopped on a budget or the
+           caller's flag.  Report the first worker's reason. *)
+        match results with
+        | first :: _ -> first
+        | [] -> assert false)
+    end
+    else begin
+      (* Single core: deterministic round-robin interleave.  Diversification
+         still pays off on heavy-tailed instances — the first worker whose
+         configuration gets lucky finishes the race for everyone. *)
+      let limits = Array.map budget_limit states in
+      let exhausted = Array.make n false in
+      let decided = ref None in
+      let stopped = ref None in
+      let progress = ref true in
+      while !decided = None && !stopped = None && !progress do
+        progress := false;
+        for w = 0 to n - 1 do
+          if !decided = None && !stopped = None && not exhausted.(w) then begin
+            let st = states.(w) in
+            let slice_limit = min limits.(w) (st.conflicts + interleave_slice) in
+            match
+              run_to_outcome ~conflict_limit:slice_limit ~deadline
+                ~should_stop st
+            with
+            | (Outcome.Sat _ | Outcome.Unsat) as answer ->
+              decided := Some (w, answer)
+            | Outcome.Unknown Outcome.Conflict_budget ->
+              if st.conflicts >= limits.(w) then exhausted.(w) <- true
+              else progress := true
+            | Outcome.Unknown r -> stopped := Some r
+          end
+        done
+      done;
+      match !decided with
+      | Some (w, answer) ->
+        Sat_stats.race_won w;
+        answer
+      | None -> (
+        match !stopped with
+        | Some r -> Outcome.Unknown r
+        | None -> Outcome.Unknown Outcome.Conflict_budget)
+    end
+  end
+
+(* A short bounded CDCL run whose only purpose is to heat up the VSIDS
+   activities; the cube-and-conquer splitter branches on the hottest
+   variables.  Sequential and deterministic. *)
+let probe_activity_order ?(conflicts = 200) cnf =
+  let st, ok = load cnf [] in
+  if not ok then []
+  else begin
+    (try ignore (solve_state ~conflict_limit:conflicts st)
+     with Found_unsat -> ());
+    let vars = List.init st.nvars (fun i -> i + 1) in
+    List.stable_sort
+      (fun a b -> compare st.activity.(b) st.activity.(a))
+      vars
+  end
+
+let default_par = Atomic.make 1
+
+let set_default_parallelism n = Atomic.set default_par (max 1 n)
+
+let default_parallelism () = Atomic.get default_par
+
+let default_mode () : mode =
+  let n = default_parallelism () in
+  if n >= 2 then `Portfolio n else `Sequential
+
+let solve_outcome ?mode ?(conflict_budget = max_int) ?(time_budget = infinity)
+    ?stop cnf =
+  let mode = match mode with Some m -> m | None -> default_mode () in
+  let deadline =
+    if time_budget = infinity then infinity
+    else Unix.gettimeofday () +. time_budget
+  in
+  let should_stop =
+    match stop with
+    | Some flag -> fun () -> Atomic.get flag
+    | None -> fun () -> false
+  in
+  let outcome =
+    match mode with
+    | `Sequential ->
+      sequential_outcome ~conflict_budget ~deadline ~should_stop cnf
+    | `Portfolio n when n <= 1 ->
+      sequential_outcome ~conflict_budget ~deadline ~should_stop cnf
+    | `Portfolio n ->
+      let n = min n 64 in
+      portfolio_outcome ~n ~conflict_budget ~deadline ~should_stop cnf
+  in
+  (match outcome with
+  | Outcome.Unknown (Outcome.Conflict_budget | Outcome.Time_budget | Outcome.Node_budget) ->
+    Sat_stats.budget_exhausted ()
+  | _ -> ());
+  outcome
+
+let solve ?mode cnf =
+  match solve_outcome ?mode cnf with
+  | Outcome.Sat m -> Sat m
+  | Outcome.Unsat -> Unsat
+  | Outcome.Unknown _ ->
+    (* Unreachable: no budget and no stop flag were given. *)
+    assert false
+
 let solve_with_units cnf units =
   let st, ok = load cnf units in
   if not ok then Unsat
-  else try solve_state st with Found_unsat -> Unsat
+  else
+    try
+      match solve_state st with
+      | V_sat m -> Sat m
+      | V_unsat | V_stopped _ -> assert false
+    with Found_unsat -> Unsat
 
-let solve cnf = solve_with_units cnf []
-
-let is_satisfiable cnf =
-  match solve cnf with
+let is_satisfiable ?mode cnf =
+  match solve ?mode cnf with
   | Sat _ -> true
   | Unsat -> false
 
@@ -385,23 +658,48 @@ let check_session_literal s l =
     invalid_arg
       (Printf.sprintf "Solver: literal %d out of range 1..%d" l s.state.nvars)
 
-let solve_assuming s assumptions =
+let solve_assuming_outcome ?(conflict_budget = max_int)
+    ?(time_budget = infinity) s assumptions =
   List.iter (check_session_literal s) assumptions;
-  if s.broken then Unsat
+  if s.broken then Outcome.Unsat
   else begin
     cancel_until s.state 0;
+    let conflict_limit =
+      if conflict_budget = max_int then max_int
+      else s.state.conflicts + conflict_budget
+    in
+    let deadline =
+      if time_budget = infinity then infinity
+      else Unix.gettimeofday () +. time_budget
+    in
     let assumptions =
       Array.of_list (List.map lit_of_dimacs assumptions)
     in
     let result =
-      try solve_state ~assumptions s.state
+      try
+        match solve_state ~assumptions ~conflict_limit ~deadline s.state with
+        | V_sat m -> Outcome.Sat m
+        | V_unsat -> Outcome.Unsat
+        | V_stopped r -> Outcome.Unknown r
       with Found_unsat ->
         s.broken <- true;
-        Unsat
+        Outcome.Unsat
     in
     cancel_until s.state 0;
+    (match result with
+    | Outcome.Unknown (Outcome.Conflict_budget | Outcome.Time_budget) ->
+      Sat_stats.budget_exhausted ()
+    | _ -> ());
     result
   end
+
+let solve_assuming s assumptions =
+  match solve_assuming_outcome s assumptions with
+  | Outcome.Sat m -> Sat m
+  | Outcome.Unsat -> Unsat
+  | Outcome.Unknown _ ->
+    (* Unreachable: no budget was given. *)
+    assert false
 
 let add_clause s lits =
   List.iter (check_session_literal s) lits;

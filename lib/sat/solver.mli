@@ -1,24 +1,70 @@
-(** A CDCL SAT solver.
+(** A CDCL SAT solver with a parallel portfolio mode.
 
     Conflict-driven clause learning with two-watched-literal propagation,
     first-UIP conflict analysis, VSIDS-style activities, phase saving and
     Luby restarts.  This is the engine behind [Fixpointlib]: deciding
     whether a DATALOG-not program has a fixpoint on a database is
     NP-complete (Theorem 1), so a SAT solver is the natural — and the
-    honest — implementation vehicle. *)
+    honest — implementation vehicle.
+
+    The portfolio mode runs N diversified copies of the solver (seeded
+    phases, activity noise and restart cadences; worker 0 always keeps the
+    stock configuration) racing on the shared {!Negdl_util.Domain_pool}.
+    The first definite answer wins and cancels the losers through a shared
+    atomic stop flag polled in the search loop.  On a single-core host the
+    workers are interleaved deterministically in round-robin slices instead
+    — diversification still wins on heavy-tailed instances.  Parallelism
+    never changes an answer, only how fast it arrives (and where a budget
+    turns into [Unknown]). *)
 
 type result =
   | Sat of bool array
       (** A satisfying assignment, indexed by variable ([.(0)] unused). *)
   | Unsat
 
-val solve : Cnf.t -> result
+type mode =
+  [ `Sequential  (** One stock CDCL run. *)
+  | `Portfolio of int
+    (** [n] diversified workers racing; [`Portfolio 1] is [`Sequential]. *)
+  ]
+
+val set_default_parallelism : int -> unit
+(** Sets the process-wide parallelism degree used when no explicit [~mode]
+    is given ([--sat-par] plugs in here).  [1] means sequential. *)
+
+val default_parallelism : unit -> int
+
+val default_mode : unit -> mode
+(** [`Portfolio n] when the default parallelism is [n >= 2], else
+    [`Sequential]. *)
+
+val solve : ?mode:mode -> Cnf.t -> result
+(** Complete search: always returns a definite answer. *)
+
+val solve_outcome :
+  ?mode:mode ->
+  ?conflict_budget:int ->
+  ?time_budget:float ->
+  ?stop:bool Atomic.t ->
+  Cnf.t ->
+  Outcome.t
+(** Resource-bounded search.  [conflict_budget] caps the number of
+    conflicts ({e per worker} in portfolio mode), [time_budget] is a
+    wall-clock allowance in seconds, [stop] an external cancellation flag.
+    Exhaustion or cancellation yields a structured [Unknown] — this entry
+    point never raises on resource limits. *)
+
+val probe_activity_order : ?conflicts:int -> Cnf.t -> int list
+(** All variables sorted by decreasing VSIDS activity after a short probe
+    run of at most [conflicts] conflicts (default 200).  Deterministic; the
+    cube-and-conquer splitter in [Fixpointlib.Solve] branches on the top of
+    this order. *)
 
 val solve_with_units : Cnf.t -> int list -> result
 (** [solve_with_units cnf units] solves [cnf] with the extra unit clauses
     [units] (a cheap form of assumptions). *)
 
-val is_satisfiable : Cnf.t -> bool
+val is_satisfiable : ?mode:mode -> Cnf.t -> bool
 
 val model_checks : result -> Cnf.t -> bool
 (** [model_checks r cnf] is true when [r] is [Unsat] or when the model
@@ -32,7 +78,8 @@ val model_checks : result -> Cnf.t -> bool
     implied by the formula alone, so they persist and accelerate later
     calls — this is what makes the fixpoint searcher's
     one-SAT-call-per-atom algorithms (Theorem 3's intersection, model
-    enumeration) affordable. *)
+    enumeration) affordable.  Sessions are sequential: the portfolio pays
+    off for one-shot races, not for many cheap incremental calls. *)
 
 type session
 
@@ -41,6 +88,17 @@ val session : Cnf.t -> session
 val solve_assuming : session -> int list -> result
 (** Solve under the given assumption literals (DIMACS convention).  [Unsat]
     means unsatisfiable {e under these assumptions}. *)
+
+val solve_assuming_outcome :
+  ?conflict_budget:int ->
+  ?time_budget:float ->
+  session ->
+  int list ->
+  Outcome.t
+(** Budgeted variant of {!solve_assuming}.  [conflict_budget] counts
+    conflicts {e of this call} (the session's lifetime total is irrelevant).
+    After an [Unknown] the session remains usable: learned clauses are kept
+    and the next call resumes the search. *)
 
 val add_clause : session -> int list -> unit
 (** Permanently adds a clause (e.g. a blocking clause during model

@@ -150,6 +150,46 @@ The instance has a unique model, so Theorem 2 predicts a unique fixpoint:
   unique:          true
   least fixpoint:  yes
 
+Parallel fixpoint search: --sat-par races diversified CDCL workers on the
+existence query and --count-budget runs the exact #SAT census (the 4-cycle
+splits into one component, counted without enumeration):
+
+  $ negdl fixpoints pi1.dl c4.facts --sat-par 4 --count-budget 100000
+  ground atoms:    4
+  ground rules:    4
+  fixpoint exists: true
+  fixpoints:       2
+  exact census:    2
+  unique:          false
+  least fixpoint:  no
+  -- example fixpoint --
+  t/1 (2 tuples) = {(v1); (v3)}
+
+The search-layer counters ride along on --stats:
+
+  $ negdl fixpoints pi1.dl c4.facts --sat-par 2 --count-budget 100000 --stats 2>&1 | grep "^sat"
+  sat portfolio runs: 2
+  sat races won by worker 0: 2
+
+An exhausted existence budget is an answer, not an error — the census and
+least-fixpoint questions are skipped and the exit is clean:
+
+  $ negdl fixpoints pi1.dl c4.facts --sat-budget 0
+  ground atoms:    4
+  ground rules:    4
+  fixpoint exists: unknown (conflict budget exhausted)
+
+The sat subcommand exposes the same controls; the portfolio returns the
+same answer as the sequential solver, and a dead budget reports UNKNOWN:
+
+  $ negdl sat inst.cnf --portfolio 4
+  s SATISFIABLE
+  v 1 -2 3 0
+
+  $ negdl sat inst.cnf --budget 0
+  c conflict budget exhausted
+  s UNKNOWN
+
 The full semantics zoo is selectable; Kripke-Kleene is three-valued:
 
   $ negdl eval pi1.dl c4.facts -s kripke-kleene

@@ -101,8 +101,9 @@ let test_exact_census_matches_enumeration () =
     (fun g ->
       let solver = solve_of g in
       match Solve.count_exact solver with
-      | None -> Alcotest.fail "budget should suffice"
-      | Some n -> check int "exact = enumerated" (Solve.count solver) n)
+      | Satlib.Outcome.Lower_bound _ -> Alcotest.fail "budget should suffice"
+      | Satlib.Outcome.Exact n ->
+        check int "exact = enumerated" (Solve.count solver) n)
     [
       Generate.path 5;
       Generate.cycle 4;
@@ -116,8 +117,8 @@ let test_exact_census_scales_to_big_gn () =
      (the component decomposition mirrors the graph's disjointness). *)
   let g = Generate.disjoint_copies 10 (Generate.cycle 4) in
   match Solve.count_exact (solve_of g) with
-  | Some n -> check int "2^10" 1024 n
-  | None -> Alcotest.fail "components keep this cheap"
+  | Satlib.Outcome.Exact n -> check int "2^10" 1024 n
+  | Satlib.Outcome.Lower_bound _ -> Alcotest.fail "components keep this cheap"
 
 (* --- Brute force vs SAT -------------------------------------------------- *)
 
@@ -279,6 +280,87 @@ let test_brute_minimal_census () =
   let ground = ground_of pi1 g in
   check int "all minimal" 4 (List.length (Brute.minimal_fixpoints ground))
 
+(* --- Parallel search: differential battery and determinism --------------- *)
+
+let option_equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+(* Random DATALOG-not programs: the whole Section 3 query suite, answered
+   through the SAT encoding at every parallelism level, must agree with
+   brute-force enumeration of all fixpoints. *)
+let prop_parallel_matches_brute =
+  QCheck.Test.make
+    ~name:"differential: exists/census/least/intersection = brute, par 1/2/4"
+    ~count:500 ~max_gen:100_000 Testsupport.Gen_programs.arb_case
+    (fun (p, db) ->
+      let ground = Ground.ground p db in
+      QCheck.assume (Ground.atom_count ground <= 10);
+      let fps = Brute.all_fixpoints ground in
+      let expected_count = List.length fps in
+      let expected_least = Brute.least ground in
+      let expected_inter =
+        match fps with
+        | [] -> None
+        | first :: rest -> Some (List.fold_left Idb.inter first rest)
+      in
+      let s = Solve.prepare p db in
+      (* Existence and exact census at every parallelism level; the
+         par-independent queries (enumerated census, least, intersection)
+         once. *)
+      List.for_all
+        (fun par ->
+          let mode = if par >= 2 then `Portfolio par else `Sequential in
+          Solve.exists ~mode s = (fps <> [])
+          &&
+          match Solve.count_exact ~budget:500_000 ~par s with
+          | Satlib.Outcome.Exact n -> n = expected_count
+          | Satlib.Outcome.Lower_bound _ -> false)
+        [ 1; 2; 4 ]
+      && Solve.count s = expected_count
+      && option_equal Idb.equal (Solve.least s) expected_least
+      && option_equal Idb.equal (Solve.intersection s) expected_inter)
+
+let test_census_deterministic_across_parallelism () =
+  (* Parallelism must never change an answer, only how it is searched for:
+     census, uniqueness and existence are bit-identical for par 1, 2 and 8
+     on the E1-E8 graph workloads (single components take the
+     cube-and-conquer path at par >= 2, disjoint unions the
+     component-parallel one — both must reproduce the sequential count). *)
+  let cases =
+    [
+      ("path 6", solve_of (Generate.path 6));
+      ("cycle 5", solve_of (Generate.cycle 5));
+      ("cycle 6", solve_of (Generate.cycle 6));
+      ("8 x C4", solve_of (Generate.disjoint_copies 8 (Generate.cycle 4)));
+      ("star 5", solve_of (Generate.star 5));
+      ("complete 3", solve_of (Generate.complete 3));
+      ("random", solve_of (Generate.random ~seed:3 ~n:5 ~p:0.3));
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      let snapshot par =
+        let mode = if par >= 2 then `Portfolio par else `Sequential in
+        ( Solve.count_exact ~budget:1_000_000 ~par s,
+          Solve.has_unique s,
+          Solve.exists ~mode s )
+      in
+      let reference = snapshot 1 in
+      List.iter
+        (fun par ->
+          check bool
+            (Printf.sprintf "%s: par %d = par 1" label par)
+            true
+            (snapshot par = reference))
+        [ 2; 8 ])
+    cases
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_parallel_matches_brute ]
+
 let () =
   Alcotest.run "fixpoint"
     [
@@ -328,4 +410,8 @@ let () =
             test_minimal_is_fixpoint_and_minimal;
           Alcotest.test_case "brute census" `Quick test_brute_minimal_census;
         ] );
+      ( "parallel",
+        Alcotest.test_case "determinism across par" `Quick
+          test_census_deterministic_across_parallelism
+        :: qcheck_tests );
     ]

@@ -242,10 +242,14 @@ let test_count_components_scale () =
 
 let test_count_budget () =
   let cnf = Workload.random_3cnf ~seed:5 ~vars:20 ~clauses:40 in
-  check bool "tiny budget gives up" true (Count.count_limited ~budget:3 cnf = None);
+  (match Count.count_limited ~budget:3 cnf with
+  | Outcome.Lower_bound (n, Outcome.Node_budget) ->
+    check bool "partial bound is non-negative" true (n >= 0)
+  | Outcome.Lower_bound _ -> Alcotest.fail "expected a node-budget reason"
+  | Outcome.Exact _ -> Alcotest.fail "tiny budget should give up");
   match Count.count_limited ~budget:10_000_000 cnf with
-  | Some n -> check bool "real budget counts" true (n >= 0)
-  | None -> Alcotest.fail "expected a count"
+  | Outcome.Exact n -> check bool "real budget counts" true (n >= 0)
+  | Outcome.Lower_bound _ -> Alcotest.fail "expected a count"
 
 (* --- Incremental sessions ------------------------------------------------ *)
 
@@ -340,6 +344,86 @@ let prop_session_matches_units =
           via_session = via_fresh)
         queries)
 
+(* --- Outcomes, budgets and cancellation ---------------------------------- *)
+
+let test_count_budget_boundary () =
+  (* Two independent xor components with 2 models each.  The node budget
+     dies inside the second component: the old counter threw the whole
+     computation away, the partial semantics keeps the fully counted first
+     component (2 models) as a sound lower bound.  Pinned exactly. *)
+  let cnf = Cnf.of_list 4 [ [ 1; 2 ]; [ -1; -2 ]; [ 3; 4 ]; [ -3; -4 ] ] in
+  let expect budget expected =
+    let got = Count.count_limited ~budget cnf in
+    check bool
+      (Printf.sprintf "budget %d" budget)
+      true (got = expected)
+  in
+  expect 1 (Outcome.Lower_bound (0, Outcome.Node_budget));
+  expect 3 (Outcome.Lower_bound (0, Outcome.Node_budget));
+  (* First component fully counted, second cut mid-branch: bound 2 = 2 x 1. *)
+  expect 4 (Outcome.Lower_bound (2, Outcome.Node_budget));
+  expect 5 (Outcome.Exact 4);
+  expect 100 (Outcome.Exact 4);
+  (* An input-level empty clause is exactly zero models, never a crash and
+     never a budget question. *)
+  check bool "empty clause" true
+    (Count.count_limited ~budget:1 (Cnf.of_list 2 [ []; [ 1 ] ])
+    = Outcome.Exact 0)
+
+let test_outcome_cancelled () =
+  let cnf = Workload.pigeonhole 4 in
+  let stop = Atomic.make true in
+  (match Solver.solve_outcome ~stop cnf with
+  | Outcome.Unknown Outcome.Cancelled -> ()
+  | _ -> Alcotest.fail "a raised stop flag must cancel the search");
+  match Solver.solve_outcome ~mode:(`Portfolio 3) ~stop cnf with
+  | Outcome.Unknown Outcome.Cancelled -> ()
+  | _ -> Alcotest.fail "the portfolio honours the caller's stop flag"
+
+let test_outcome_conflict_budget () =
+  let cnf = Workload.pigeonhole 5 in
+  (match Solver.solve_outcome ~conflict_budget:3 cnf with
+  | Outcome.Unknown Outcome.Conflict_budget -> ()
+  | _ -> Alcotest.fail "a tiny conflict budget must report exhaustion");
+  (match Solver.solve_outcome ~mode:(`Portfolio 4) ~conflict_budget:3 cnf with
+  | Outcome.Unknown Outcome.Conflict_budget -> ()
+  | _ -> Alcotest.fail "portfolio-wide budget exhaustion is an Unknown");
+  match Solver.solve_outcome ~conflict_budget:1_000_000 cnf with
+  | Outcome.Unsat -> ()
+  | _ -> Alcotest.fail "a generous budget decides pigeonhole 5"
+
+let test_outcome_time_budget () =
+  match Solver.solve_outcome ~time_budget:0.0 (Workload.pigeonhole 6) with
+  | Outcome.Unknown Outcome.Time_budget -> ()
+  | _ -> Alcotest.fail "a zero time budget must give up immediately"
+
+let test_session_budget_resume () =
+  let s = Solver.session (Workload.pigeonhole 5) in
+  (match Solver.solve_assuming_outcome ~conflict_budget:3 s [] with
+  | Outcome.Unknown Outcome.Conflict_budget -> ()
+  | _ -> Alcotest.fail "session call respects its conflict budget");
+  (* The state (learned clauses, phases, restart schedule) survives the
+     Unknown: an unbudgeted call resumes and finishes the proof. *)
+  match Solver.solve_assuming s [] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "pigeonhole 5 is unsat"
+
+let test_portfolio_decides () =
+  (* Satisfiable and unsatisfiable instances through every worker count,
+     including n > the profile table. *)
+  List.iter
+    (fun n ->
+      check bool
+        (Printf.sprintf "forced sat, n=%d" n)
+        true
+        (Solver.is_satisfiable ~mode:(`Portfolio n)
+           (Workload.forced_sat ~seed:n ~vars:30 ~clauses:100 ~k:3));
+      check bool
+        (Printf.sprintf "pigeonhole unsat, n=%d" n)
+        false
+        (Solver.is_satisfiable ~mode:(`Portfolio n) (Workload.pigeonhole 4)))
+    [ 2; 3; 4; 6 ]
+
 (* --- Properties --------------------------------------------------------- *)
 
 let cnf_gen =
@@ -389,6 +473,42 @@ let prop_dimacs_roundtrip =
       let cnf' = Dimacs.parse_exn (Dimacs.to_string cnf) in
       Cnf.clauses cnf = Cnf.clauses cnf' && Cnf.num_vars cnf = Cnf.num_vars cnf')
 
+(* Differential battery: every solving mode against the exhaustive
+   baseline, on the same random CNF distribution.  The portfolio must be
+   an observationally pure speedup — identical sat status, and any model
+   it returns must actually satisfy the formula. *)
+let prop_mode_vs_brute label mode =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "differential: %s = brute force" label)
+    ~count:500 arbitrary_cnf
+    (fun (vars, cs) ->
+      let cnf = Cnf.of_list vars cs in
+      match Solver.solve ~mode cnf with
+      | Solver.Sat _ as r ->
+        Brute.is_satisfiable cnf && Solver.model_checks r cnf
+      | Solver.Unsat -> not (Brute.is_satisfiable cnf))
+
+let prop_sequential_vs_brute = prop_mode_vs_brute "sequential" `Sequential
+let prop_portfolio2_vs_brute = prop_mode_vs_brute "portfolio n=2" (`Portfolio 2)
+let prop_portfolio4_vs_brute = prop_mode_vs_brute "portfolio n=4" (`Portfolio 4)
+
+let arbitrary_budgeted_cnf =
+  QCheck.make
+    QCheck.Gen.(pair cnf_gen (int_range 1 20))
+    ~print:(fun ((v, cs), b) ->
+      Printf.sprintf "vars=%d clauses=%d budget=%d" v (List.length cs) b)
+
+let prop_count_budget_sound =
+  QCheck.Test.make ~name:"budgeted census is exact or a sound lower bound"
+    ~count:500 arbitrary_budgeted_cnf
+    (fun ((vars, cs), budget) ->
+      let cnf = Cnf.of_list vars cs in
+      let brute = Brute.count_models cnf in
+      match Count.count_limited ~budget cnf with
+      | Outcome.Exact n -> n = brute
+      | Outcome.Lower_bound (n, Outcome.Node_budget) -> 0 <= n && n <= brute
+      | Outcome.Lower_bound _ -> false)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -397,6 +517,10 @@ let qcheck_tests =
       prop_enumeration_matches_brute;
       prop_session_matches_units;
       prop_dimacs_roundtrip;
+      prop_sequential_vs_brute;
+      prop_portfolio2_vs_brute;
+      prop_portfolio4_vs_brute;
+      prop_count_budget_sound;
     ]
 
 let () =
@@ -443,6 +567,8 @@ let () =
           Alcotest.test_case "engineered" `Quick test_count_engineered;
           Alcotest.test_case "components scale" `Quick test_count_components_scale;
           Alcotest.test_case "budget" `Quick test_count_budget;
+          Alcotest.test_case "budget boundary" `Quick
+            test_count_budget_boundary;
         ] );
       ( "session",
         [
@@ -450,6 +576,16 @@ let () =
           Alcotest.test_case "add clause" `Quick test_session_add_clause;
           Alcotest.test_case "blocking enumeration" `Quick
             test_session_blocking_enumeration;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "cancelled" `Quick test_outcome_cancelled;
+          Alcotest.test_case "conflict budget" `Quick
+            test_outcome_conflict_budget;
+          Alcotest.test_case "time budget" `Quick test_outcome_time_budget;
+          Alcotest.test_case "session budget + resume" `Quick
+            test_session_budget_resume;
+          Alcotest.test_case "portfolio decides" `Quick test_portfolio_decides;
         ] );
       ("properties", qcheck_tests);
     ]
