@@ -3,6 +3,7 @@
    Subcommands:
      eval      — evaluate a program on a database under a chosen semantics
      fixpoints — run the Section 3 fixpoint query suite (SAT-backed)
+     explain   — print the physical plans a program compiles to
      stratify  — show the stratification (or why there is none)
      check     — static well-formedness report
      ground    — print the ground (propositional) program
@@ -103,6 +104,40 @@ let storage_arg =
         ~doc:
           "Relation storage backend: $(b,hashed) (default, packed tuple ids            in Patricia sets over the global tuple store) or $(b,treeset)            (balanced tuple sets, the pre-packing behaviour, kept as an            ablation).")
 
+let planner_arg =
+  let planner_conv =
+    let parse s =
+      match Negdl.Plan.planner_of_string s with
+      | Ok v -> Ok v
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv ~docv:"PLANNER" (parse, Negdl.Plan.pp_planner)
+  in
+  Arg.(
+    value
+    & opt planner_conv `Static
+    & info [ "planner" ] ~docv:"PLANNER"
+        ~doc:
+          "Join-order planning: $(b,static) (default, compile each rule \
+           once into a cost-ordered plan, replanning only when relation \
+           sizes drift), $(b,greedy) (replan on every rule application — \
+           the pre-plan-layer behaviour, kept as an ablation), or \
+           $(b,scan) (textual literal order, no index probes).")
+
+let explain_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "explain" ]
+        ~doc:
+          "After the run, print every compiled plan with estimated and \
+           actual per-step cardinalities.")
+
+let print_plans cache program =
+  List.iter
+    (fun plan -> Format.printf "%a@." Negdl.Plan.pp plan)
+    (Negdl.Plan_cache.program_plans cache program)
+
 let stats_arg =
   Arg.(
     value
@@ -149,8 +184,8 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
-  let run program_path db_path semantics engine indexing storage stats sat_par
-      pred =
+  let run program_path db_path semantics engine planner explain indexing
+      storage stats sat_par pred =
     (* Set the default before loading, so the base relations parsed from the
        database are built in the chosen backend too. *)
     Negdl.Relation.set_default_storage storage;
@@ -158,9 +193,17 @@ let eval_cmd =
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats = if stats then Some (Negdl.Stats.create ()) else None in
-    let result =
-      or_die (Negdl.run ~engine ~indexing ~storage ?stats semantics program db)
+    let plan_cache =
+      if explain then Some (Negdl.Plan_cache.create ()) else None
     in
+    let result =
+      or_die
+        (Negdl.run ~engine ~planner ?plan_cache ~indexing ~storage ?stats
+           semantics program db)
+    in
+    (match plan_cache with
+    | Some cache -> print_plans cache program
+    | None -> ());
     (match pred with
     | None -> print_idb result.Negdl.facts
     | Some name -> (
@@ -186,7 +229,8 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
-      $ indexing_arg $ storage_arg $ stats_arg $ sat_par_arg $ pred_arg)
+      $ planner_arg $ explain_arg $ indexing_arg $ storage_arg $ stats_arg
+      $ sat_par_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -223,16 +267,19 @@ let fixpoints_cmd =
              counting nodes; prints \"exact census: N\", or a lower bound \
              when the budget runs out.")
   in
-  let run program_path db_path storage limit enumerate sat_par sat_budget
-      count_budget stats =
+  let run program_path db_path storage planner explain limit enumerate sat_par
+      sat_budget count_budget stats =
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
     Negdl.Sat_stats.reset ();
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
+    let plan_cache =
+      if explain then Some (Negdl.Plan_cache.create ()) else None
+    in
     let report =
-      Negdl.analyze_fixpoints ~count_limit:limit ?sat_budget ?count_budget
-        program db
+      Negdl.analyze_fixpoints ~planner ?plan_cache ~count_limit:limit
+        ?sat_budget ?count_budget program db
     in
     Format.printf "ground atoms:    %d@." report.Negdl.ground_atoms;
     Format.printf "ground rules:    %d@." report.Negdl.ground_rules;
@@ -258,7 +305,7 @@ let fixpoints_cmd =
         print_idb ~header:"-- least fixpoint --" least
       | None -> Format.printf "least fixpoint:  no@.");
       if enumerate then begin
-        let solver = Negdl.Fixpoints.prepare program db in
+        let solver = Negdl.Fixpoints.prepare ~planner ?plan_cache program db in
         List.iteri
           (fun i fp ->
             Format.printf "-- fixpoint %d --@." (i + 1);
@@ -270,6 +317,9 @@ let fixpoints_cmd =
         | Some fp when report.Negdl.has_fixpoint ->
           print_idb ~header:"-- example fixpoint --" fp
         | _ -> ());
+    (match plan_cache with
+    | Some cache -> print_plans cache program
+    | None -> ());
     if stats then
       List.iter
         (fun (name, v) -> Format.eprintf "%-18s %d@." (name ^ ":") v)
@@ -279,9 +329,76 @@ let fixpoints_cmd =
   Cmd.v
     (Cmd.info "fixpoints" ~doc)
     Term.(
-      const run $ program_arg $ database_arg $ storage_arg $ limit_arg
-      $ enumerate_arg $ sat_par_arg $ sat_budget_arg $ count_budget_arg
-      $ stats_arg)
+      const run $ program_arg $ database_arg $ storage_arg $ planner_arg
+      $ explain_arg $ limit_arg $ enumerate_arg $ sat_par_arg
+      $ sat_budget_arg $ count_budget_arg $ stats_arg)
+
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let database_opt_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"DATABASE"
+          ~doc:
+            "Optional database (facts) file; its relation cardinalities \
+             feed the cost model.  Without one, every relation is assumed \
+             to hold 16 tuples over an 8-constant universe.")
+  in
+  let run program_path db_path planner =
+    let program = or_die (load_program program_path) in
+    let db = Option.map (fun p -> or_die (load_database p)) db_path in
+    let schema =
+      match Negdl.Ast.idb_schema program with
+      | Ok s -> s
+      | Error msg -> or_die (Error msg)
+    in
+    let universe_size, sizes =
+      match db with
+      | None -> (8, fun _ _ -> 16)
+      | Some db ->
+        let u = max 1 (List.length (Negdl.Database.universe db)) in
+        let src = Negdl.Engine.database_source db in
+        ( u,
+          fun (occ : Negdl.Plan.occurrence) arity ->
+            (* EDB sizes come from the database; IDB relations (absent
+               there) get a neutral universe-sized guess. *)
+            if Negdl.Schema.mem occ.Negdl.Plan.pred schema then u
+            else Negdl.Relation.cardinal (src.Negdl.Plan.find occ.pred arity)
+        )
+    in
+    List.iter
+      (fun rule ->
+        let full = Negdl.Plan.compile ~planner ~sizes ~universe_size rule in
+        Format.printf "%a@." Negdl.Plan.pp full;
+        List.iter
+          (fun j ->
+            let d =
+              Negdl.Plan.compile ~planner ~variant:(Negdl.Plan.Delta j)
+                ~sizes ~universe_size rule
+            in
+            Format.printf "%a@." Negdl.Plan.pp d)
+          (Negdl.Saturate.delta_positions ~schema rule))
+      program.Negdl.Ast.rules
+  in
+  let doc = "print the physical plans a program compiles to" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles every rule under the chosen planner and prints the \
+         resulting operator pipelines with their estimated per-step \
+         cardinalities: the full plan first, then one delta-specialized \
+         variant per positive occurrence of an evolving (IDB) predicate — \
+         the plans semi-naive evaluation would execute.  Estimates only: \
+         nothing is evaluated, so no actual row counts are shown (use \
+         $(b,--explain) on $(b,eval) or $(b,fixpoints) for those).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc ~man)
+    Term.(const run $ program_arg $ database_opt_arg $ planner_arg)
 
 (* --- query ------------------------------------------------------------------- *)
 
@@ -555,6 +672,7 @@ let () =
        [
          eval_cmd;
          fixpoints_cmd;
+         explain_cmd;
          query_cmd;
          why_cmd;
          stable_cmd;

@@ -65,6 +65,8 @@ module Circuit = Circuitlib.Circuit
 module Circuit_build = Circuitlib.Build
 module Tseitin = Circuitlib.Tseitin
 module Succinct = Circuitlib.Succinct
+module Plan = Planlib.Plan
+module Plan_cache = Planlib.Cache
 module Prng = Negdl_util.Prng
 module Domain_pool = Negdl_util.Domain_pool
 module Stats = Evallib.Stats
@@ -102,29 +104,38 @@ type run_result = {
   unknown : Idb.t option;
 }
 
-let run ?engine ?indexing ?storage ?stats semantics program db =
+let run ?engine ?planner ?plan_cache ?indexing ?storage ?stats semantics
+    program db =
+  let cache = plan_cache in
   try
     match semantics with
     | Semantics_inflationary ->
       Ok
         {
-          facts = Inflationary.eval ?engine ?indexing ?storage ?stats program db;
+          facts =
+            Inflationary.eval ?engine ?planner ?cache ?indexing ?storage
+              ?stats program db;
           unknown = None;
         }
     | Semantics_least_fixpoint ->
       Ok
         {
           facts =
-            Naive.least_fixpoint ?engine ?indexing ?storage ?stats program db;
+            Naive.least_fixpoint ?engine ?planner ?cache ?indexing ?storage
+              ?stats program db;
           unknown = None;
         }
     | Semantics_stratified -> (
-      match Stratified.eval ?engine ?indexing ?storage ?stats program db with
+      match
+        Stratified.eval ?engine ?planner ?cache ?indexing ?storage ?stats
+          program db
+      with
       | Ok facts -> Ok { facts; unknown = None }
       | Error e -> Error (Stratified.error_to_string e))
     | Semantics_well_founded ->
       let model =
-        Wellfounded.eval ?engine ?indexing ?storage ?stats program db
+        Wellfounded.eval ?engine ?planner ?cache ?indexing ?storage ?stats
+          program db
       in
       let unknown = Wellfounded.unknown model in
       Ok
@@ -133,7 +144,7 @@ let run ?engine ?indexing ?storage ?stats semantics program db =
           unknown = (if Idb.is_empty unknown then None else Some unknown);
         }
     | Semantics_kripke_kleene ->
-      let model = Fitting.eval program db in
+      let model = Fitting.eval ?planner ?cache program db in
       let unknown = Fitting.unknown model in
       Ok
         {
@@ -155,9 +166,9 @@ type fixpoint_report = {
   example : Idb.t option;
 }
 
-let analyze_fixpoints ?(count_limit = 256) ?sat_budget ?count_budget program db
-    =
-  let solver = Fixpoints.prepare program db in
+let analyze_fixpoints ?planner ?plan_cache ?(count_limit = 256) ?sat_budget
+    ?count_budget program db =
+  let solver = Fixpoints.prepare ?planner ?plan_cache program db in
   let ground = Fixpoints.ground solver in
   let example, existence_unknown =
     match sat_budget with

@@ -123,6 +123,8 @@ module Succinct = Circuitlib.Succinct
 
 (** {1 Utilities} *)
 
+module Plan = Planlib.Plan
+module Plan_cache = Planlib.Cache
 module Prng = Negdl_util.Prng
 module Domain_pool = Negdl_util.Domain_pool
 module Stats = Evallib.Stats
@@ -157,6 +159,8 @@ type run_result = {
 
 val run :
   ?engine:Saturate.engine ->
+  ?planner:Plan.planner ->
+  ?plan_cache:Plan_cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relation.storage ->
   ?stats:Stats.t ->
@@ -172,9 +176,14 @@ val run :
     the column-index strategy (see {!Engine.indexing}); [storage] selects
     the relation backend the derived relations are built in (see
     {!Relation.storage}; the global default is set with
-    {!Relation.set_default_storage}); [stats], when given, accumulates
-    evaluation counters and stage timings (the Kripke-Kleene semantics
-    currently ignores all four). *)
+    {!Relation.set_default_storage}); [planner] selects the join-order
+    planning policy ({!Plan.planner}: [`Static] compile-once plans by
+    default, [`Greedy] per-application replanning, [`Scan] textual order);
+    [plan_cache], when given, retains the compiled plans — the CLI's
+    [--explain] prints them back with estimated and actual cardinalities;
+    [stats], when given, accumulates evaluation counters and stage timings
+    (the Kripke-Kleene semantics only records plan counters through its
+    grounding). *)
 
 type fixpoint_report = {
   ground_atoms : int;
@@ -196,6 +205,8 @@ type fixpoint_report = {
 }
 
 val analyze_fixpoints :
+  ?planner:Plan.planner ->
+  ?plan_cache:Plan_cache.t ->
   ?count_limit:int ->
   ?sat_budget:int ->
   ?count_budget:int ->

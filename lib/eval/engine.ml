@@ -1,10 +1,10 @@
 module Relation = Relalg.Relation
-module Tuple = Relalg.Tuple
-module Symbol = Relalg.Symbol
+module Plan = Planlib.Plan
+module Plan_cache = Planlib.Cache
 
-type source = { find : string -> int -> Relation.t }
+type source = Plan.source = { find : string -> int -> Relation.t }
 
-type occurrence = {
+type occurrence = Plan.occurrence = {
   polarity : [ `Pos | `Neg ];
   index : int;
   pred : string;
@@ -12,363 +12,42 @@ type occurrence = {
 
 type resolver = occurrence -> source
 
-type indexing = [ `Cached | `Percall | `Scan ]
+type indexing = Plan.indexing
 
-(* --- compiled form ------------------------------------------------------ *)
+type planner = Plan.planner
 
-type iterm =
-  | IVar of int
-  | IConst of Symbol.t
+(* Cardinalities for the cost model, read through the same resolver the
+   plan will execute with — so a delta-variant plan sees the delta's
+   (small) size at the redirected occurrence. *)
+let resolver_sizes (resolver : resolver) occ arity =
+  Relation.cardinal ((resolver occ).find occ.pred arity)
 
-type ilit =
-  | LPos of int * string * iterm array  (* occurrence index, pred, args *)
-  | LNeg of int * string * iterm array
-  | LEq of iterm * iterm
-  | LNeq of iterm * iterm
-
-type compiled = {
-  nvars : int;
-  head_pred : string;
-  head_args : iterm array;
-  body : ilit list;
-}
-
-let compile (r : Datalog.Ast.rule) =
-  let vars = Datalog.Ast.rule_variables r in
-  let index = Hashtbl.create 8 in
-  List.iteri (fun i x -> Hashtbl.add index x i) vars;
-  let iterm = function
-    | Datalog.Ast.Var x -> IVar (Hashtbl.find index x)
-    | Datalog.Ast.Const c -> IConst c
-  in
-  let iterms args = Array.of_list (List.map iterm args) in
-  let body =
-    List.mapi
-      (fun i l ->
-        match l with
-        | Datalog.Ast.Pos a -> LPos (i, a.pred, iterms a.args)
-        | Datalog.Ast.Neg a -> LNeg (i, a.pred, iterms a.args)
-        | Datalog.Ast.Eq (t1, t2) -> LEq (iterm t1, iterm t2)
-        | Datalog.Ast.Neq (t1, t2) -> LNeq (iterm t1, iterm t2))
-      r.body
-  in
-  {
-    nvars = List.length vars;
-    head_pred = r.head.pred;
-    head_args = iterms r.head.args;
-    body;
-  }
-
-(* --- evaluation --------------------------------------------------------- *)
-
-let term_value env = function
-  | IConst c -> Some c
-  | IVar i -> env.(i)
-
-let fully_bound env args =
-  Array.for_all (fun t -> term_value env t <> None) args
-
-let lit_fully_bound env = function
-  | LPos (_, _, args) | LNeg (_, _, args) -> fully_bound env args
-  | LEq (t1, t2) | LNeq (t1, t2) ->
-    term_value env t1 <> None && term_value env t2 <> None
-
-let bound_tuple env args =
-  Tuple.make
-    (Array.map
-       (fun t ->
-         match term_value env t with
-         | Some c -> c
-         | None -> assert false)
-       args)
-
-let relation_of resolver polarity index pred arity =
-  (resolver { polarity; index; pred }).find pred arity
-
-let eval_bound_lit resolver env = function
-  | LPos (i, pred, args) ->
-    let r = relation_of resolver `Pos i pred (Array.length args) in
-    Relation.mem (bound_tuple env args) r
-  | LNeg (i, pred, args) ->
-    let r = relation_of resolver `Neg i pred (Array.length args) in
-    not (Relation.mem (bound_tuple env args) r)
-  | LEq (t1, t2) ->
-    Symbol.equal (Option.get (term_value env t1)) (Option.get (term_value env t2))
-  | LNeq (t1, t2) ->
-    not
-      (Symbol.equal (Option.get (term_value env t1))
-         (Option.get (term_value env t2)))
-
-(* Bind the unbound variables of [args] to the components of [t]; returns
-   the variable indices that were freshly bound (for undoing).  Repeated
-   unbound variables are handled: the first occurrence binds, later ones
-   must agree (checked). *)
-let bind_tuple env args t =
-  let arity = Array.length args in
-  let bound = ref [] in
-  let ok = ref true in
-  (try
-     for pos = 0 to arity - 1 do
-       match args.(pos) with
-       | IConst c ->
-         if not (Symbol.equal (Tuple.get t pos) c) then begin
-           ok := false;
-           raise Exit
-         end
-       | IVar i -> (
-         match env.(i) with
-         | Some c ->
-           if not (Symbol.equal (Tuple.get t pos) c) then begin
-             ok := false;
-             raise Exit
-           end
-         | None ->
-           env.(i) <- Some (Tuple.get t pos);
-           bound := i :: !bound)
-     done
-   with Exit -> ());
-  if !ok then Some !bound
-  else begin
-    List.iter (fun i -> env.(i) <- None) !bound;
-    None
-  end
-
-let undo env bound = List.iter (fun i -> env.(i) <- None) bound
-
-let first_unbound_var env lits =
-  let found = ref None in
-  let see = function
-    | IVar i when env.(i) = None && !found = None -> found := Some i
-    | _ -> ()
-  in
-  List.iter
-    (function
-      | LPos (_, _, args) | LNeg (_, _, args) -> Array.iter see args
-      | LEq (t1, t2) | LNeq (t1, t2) ->
-        see t1;
-        see t2)
-    lits;
-  !found
-
-(* Access structure for one positive occurrence.  [`Cached] reads the
-   relation's own memoized column indexes — persistent across rule
-   applications and fixpoint iterations, and maintained incrementally as
-   deltas are unioned in by {!Saturate}.  [`Percall] rebuilds throwaway
-   hash indexes for this call (the seed's behaviour, kept as a benchmark
-   baseline), and [`Scan] always scans. *)
-type occurrence_access = {
-  occ_relation : Relation.t;
-  occ_cardinal : int;
-      (* Cardinality, computed once per call: the join-order tie-break
-         consults it at every solve step and [Set.cardinal] is O(n). *)
-  occ_indexes : (Symbol.t, Tuple.t list) Hashtbl.t option array;
-      (* Per-call indexes, [`Percall] only: occ_indexes.(pos) maps the
-         value at position pos to tuples; built on first use. *)
-}
-
-let access_of_relation r arity =
-  {
-    occ_relation = r;
-    occ_cardinal = Relation.cardinal r;
-    occ_indexes = Array.make arity None;
-  }
-
-let position_index access pos =
-  match access.occ_indexes.(pos) with
-  | Some table -> table
+let plan_rule ?planner ?cache ?variant ?label ?stats ~universe_size ~resolver
+    rule =
+  let counters = Option.map (fun (s : Stats.t) -> s.Stats.plan) stats in
+  let sizes occ arity = resolver_sizes resolver occ arity in
+  match cache with
+  | Some cache ->
+    Plan_cache.find ?counters ?planner ?variant ?label cache ~sizes
+      ~universe_size rule
   | None ->
-    let table = Hashtbl.create 64 in
-    Relation.iter
-      (fun t ->
-        let key = Tuple.get t pos in
-        Hashtbl.replace table key
-          (t :: Option.value ~default:[] (Hashtbl.find_opt table key)))
-      access.occ_relation;
-    access.occ_indexes.(pos) <- Some table;
-    table
-
-(* Streams the candidate tuples matching the bound positions of [args] to
-   [f], via an index on the first bound position when one exists.  Index
-   buckets are iterated in place — no intermediate candidate list is
-   materialised on any path. *)
-let iter_candidates ~indexing ~stats env args access f =
-  let arity = Array.length args in
-  let rec first_bound pos =
-    if pos = arity then None
-    else
-      match term_value env args.(pos) with
-      | Some c -> Some (pos, c)
-      | None -> first_bound (pos + 1)
-  in
-  let scan () =
-    (match stats with
-    | Some s -> s.Stats.full_scans <- s.Stats.full_scans + 1
+    (match counters with
+    | Some c -> c.Plan.plan_compiles <- c.Plan.plan_compiles + 1
     | None -> ());
-    Relation.iter f access.occ_relation
-  in
-  let stream_bucket bucket =
-    (match stats with
-    | Some s ->
-      s.Stats.bucket_probes <- s.Stats.bucket_probes + List.length bucket
-    | None -> ());
-    List.iter f bucket
-  in
-  match indexing with
-  | `Scan -> scan ()
-  | `Cached -> (
-    match first_bound 0 with
-    | None -> scan ()
-    | Some (pos, c) ->
-      (match stats with
-      | Some s ->
-        if Relation.has_index access.occ_relation pos then
-          s.Stats.index_hits <- s.Stats.index_hits + 1
-        else s.Stats.index_builds <- s.Stats.index_builds + 1
-      | None -> ());
-      stream_bucket (Relation.matching pos c access.occ_relation))
-  | `Percall -> (
-    match first_bound 0 with
-    | None -> scan ()
-    | Some (pos, c) ->
-      (match stats with
-      | Some s ->
-        if access.occ_indexes.(pos) <> None then
-          s.Stats.index_hits <- s.Stats.index_hits + 1
-        else s.Stats.index_builds <- s.Stats.index_builds + 1
-      | None -> ());
-      stream_bucket
-        (Option.value ~default:[]
-           (Hashtbl.find_opt (position_index access pos) c)))
+    Plan.compile ?planner ?variant ?label ~sizes ~universe_size rule
 
-let count_bound env args =
-  Array.fold_left
-    (fun n t -> if term_value env t <> None then n + 1 else n)
-    0 args
-
-let eval_rule ?(indexing = `Cached) ?storage ?stats ~universe ~resolver rule =
-  let c = compile rule in
-  let env = Array.make c.nvars None in
-  let arity = Array.length c.head_args in
+let run_plan ?(indexing = `Cached) ?storage ?stats ~universe ~resolver plan =
+  let counters = Option.map (fun (s : Stats.t) -> s.Stats.plan) stats in
+  let arity = Array.length plan.Plan.head_args in
   (* Head tuples stream into a bulk accumulator; the relation (and its lazy
      indexes) is built once at the end instead of re-derived per [add]. *)
   let acc = Relation.builder ?storage arity in
   let emitted = ref 0 in
   let allocated = ref 0 in
-  (* Fetch each positive occurrence's relation once per call (resolvers are
-     pure within a call). *)
-  let accesses = Hashtbl.create 8 in
-  let access_for i pred args =
-    match Hashtbl.find_opt accesses i with
-    | Some a -> a
-    | None ->
-      let r = relation_of resolver `Pos i pred (Array.length args) in
-      let a = access_of_relation r (Array.length args) in
-      Hashtbl.add accesses i a;
-      a
-  in
-  (* Emit the head tuple(s) for the current binding, enumerating any
-     head variables that remained unbound. *)
-  let rec emit () =
-    let unbound =
-      Array.to_list c.head_args
-      |> List.find_map (function
-           | IVar i when env.(i) = None -> Some i
-           | _ -> None)
-    in
-    match unbound with
-    | None ->
+  Plan.run ~indexing ?counters ~resolver ~universe plan ~on_row:(fun env ->
       incr emitted;
-      if Relation.builder_add acc (bound_tuple env c.head_args) then
-        incr allocated
-    | Some i ->
-      List.iter
-        (fun v ->
-          env.(i) <- Some v;
-          emit ();
-          env.(i) <- None)
-        universe
-  in
-  let rec solve remaining =
-    (* 1. Evaluate any fully bound literal immediately. *)
-    let bound_lit, rest =
-      List.partition (lit_fully_bound env) remaining
-    in
-    match bound_lit with
-    | l :: _ ->
-      if eval_bound_lit resolver env l then
-        solve (List.filter (fun l' -> l' != l) remaining)
-      else ()
-    | [] -> (
-      match rest with
-      | [] -> emit ()
-      | _ -> (
-        (* 2. Propagate a half-bound equality deterministically. *)
-        let eq_prop =
-          List.find_map
-            (fun l ->
-              match l with
-              | LEq (t1, t2) -> (
-                match (term_value env t1, term_value env t2, t1, t2) with
-                | Some c, None, _, IVar i | None, Some c, IVar i, _ ->
-                  Some (l, i, c)
-                | _ -> None)
-              | _ -> None)
-            rest
-        in
-        match eq_prop with
-        | Some (l, i, c) ->
-          env.(i) <- Some c;
-          solve (List.filter (fun l' -> l' != l) remaining);
-          env.(i) <- None
-        | None -> (
-          (* 3. Join through the positive literal with the most bound
-             arguments, breaking ties towards the smallest relation: fewer
-             tuples to scan when nothing is bound, fewer candidates per
-             probe otherwise.  In a semi-naive iteration this makes the
-             small delta the scanned side and the large stable relations
-             the probed (indexed) side. *)
-          let pos_lit =
-            List.fold_left
-              (fun best l ->
-                match l with
-                | LPos (i, pred, args) -> (
-                  let score = count_bound env args in
-                  let card () = (access_for i pred args).occ_cardinal in
-                  match best with
-                  | Some (_, _, _, _, best_score, _) when best_score > score
-                    ->
-                    best
-                  | Some (_, _, _, _, best_score, best_card)
-                    when best_score = score && best_card <= card () ->
-                    best
-                  | _ -> Some (l, i, pred, args, score, card ()))
-                | _ -> best)
-              None rest
-          in
-          match pos_lit with
-          | Some (l, i, pred, args, _score, _card) ->
-            let access = access_for i pred args in
-            let rest' = List.filter (fun l' -> l' != l) remaining in
-            iter_candidates ~indexing ~stats env args access (fun t ->
-                match bind_tuple env args t with
-                | Some bound ->
-                  solve rest';
-                  undo env bound
-                | None -> ())
-          | None -> (
-            (* 4. Only negations / comparisons with unbound variables are
-               left: enumerate the universe for one of their variables. *)
-            match first_unbound_var env rest with
-            | Some i ->
-              List.iter
-                (fun v ->
-                  env.(i) <- Some v;
-                  solve remaining;
-                  env.(i) <- None)
-                universe
-            | None -> assert false))))
-  in
-  solve c.body;
+      if Relation.builder_add acc (Plan.head_tuple plan env) then
+        incr allocated);
   (match stats with
   | Some s ->
     s.Stats.rule_applications <- s.Stats.rule_applications + 1;
@@ -378,10 +57,22 @@ let eval_rule ?(indexing = `Cached) ?storage ?stats ~universe ~resolver rule =
   | None -> ());
   Relation.build acc
 
-let eval_rules ?indexing ?storage ?stats ~universe ~resolver ~schema rules =
+let eval_rule ?planner ?cache ?variant ?indexing ?storage ?stats ~universe
+    ~resolver rule =
+  let plan =
+    plan_rule ?planner ?cache ?variant ?stats
+      ~universe_size:(List.length universe) ~resolver rule
+  in
+  run_plan ?indexing ?storage ?stats ~universe ~resolver plan
+
+let eval_rules ?planner ?cache ?indexing ?storage ?stats ~universe ~resolver
+    ~schema rules =
   List.fold_left
     (fun acc rule ->
-      let derived = eval_rule ?indexing ?storage ?stats ~universe ~resolver rule in
+      let derived =
+        eval_rule ?planner ?cache ?indexing ?storage ?stats ~universe
+          ~resolver rule
+      in
       let name = rule.Datalog.Ast.head.pred in
       let current =
         if Idb.mem acc name then Idb.get acc name

@@ -1,4 +1,4 @@
-(** The rule-evaluation engine.
+(** The rule-evaluation engine — a consumer of {!Planlib} plans.
 
     Implements the paper's reading of a rule: all variables range over the
     universe of the database, with the variables that occur only in the body
@@ -7,17 +7,20 @@
     any positive body literal are enumerated over the whole universe, which
     is what gives the toggle rule [t(Z) :- !q(U), !t(W)] its meaning.
 
-    The engine is parameterised by where each atom occurrence reads its
-    relation, which lets every semantics in this library (simultaneous
-    Theta, semi-naive deltas, stratified layers, the alternating fixpoint of
-    the well-founded semantics) reuse one implementation. *)
+    Since the plan layer was introduced the engine no longer plans joins
+    itself: each rule is compiled (once, under the [`Static] planner) into
+    a {!Planlib.Plan.t} and the hot loop executes plans.  The engine is
+    parameterised by where each atom occurrence reads its relation, which
+    lets every semantics in this library (simultaneous Theta, semi-naive
+    deltas, stratified layers, the alternating fixpoint of the well-founded
+    semantics) reuse one implementation. *)
 
-type source = {
+type source = Planlib.Plan.source = {
   find : string -> int -> Relalg.Relation.t;
       (** [find pred arity]: current value of [pred]. *)
 }
 
-type occurrence = {
+type occurrence = Planlib.Plan.occurrence = {
   polarity : [ `Pos | `Neg ];
   index : int;  (** Position of the literal in the rule body. *)
   pred : string;
@@ -26,7 +29,7 @@ type occurrence = {
 type resolver = occurrence -> source
 (** Decides, per atom occurrence, which source to read. *)
 
-type indexing = [ `Cached | `Percall | `Scan ]
+type indexing = Planlib.Plan.indexing
 (** How joins locate matching tuples:
     - [`Cached] (default): through the relation's own memoized column
       indexes ({!Relalg.Relation.matching}) — built once per relation value
@@ -36,7 +39,43 @@ type indexing = [ `Cached | `Percall | `Scan ]
       (the pre-cache behaviour, kept as a benchmark baseline);
     - [`Scan]: no indexes at all, full scans (ablation). *)
 
+type planner = Planlib.Plan.planner
+(** Join-order planning policy — see {!Planlib.Plan.planner}.  The default
+    is {!Planlib.Plan.default_planner}. *)
+
+val plan_rule :
+  ?planner:planner ->
+  ?cache:Planlib.Cache.t ->
+  ?variant:Planlib.Plan.variant ->
+  ?label:string ->
+  ?stats:Stats.t ->
+  universe_size:int ->
+  resolver:resolver ->
+  Datalog.Ast.rule ->
+  Planlib.Plan.t
+(** The rule's plan, fetched from [cache] when given (compiled otherwise),
+    with cardinalities for the cost model read through [resolver].  Fetch
+    plans {e before} fanning applications across domains — the cache is not
+    synchronised (see {!Saturate}). *)
+
+val run_plan :
+  ?indexing:indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?stats:Stats.t ->
+  universe:Relalg.Symbol.t list ->
+  resolver:resolver ->
+  Planlib.Plan.t ->
+  Relalg.Relation.t
+(** Executes a plan: head tuples stream into a bulk accumulator
+    ({!Relalg.Relation.builder}); the derived relation is built once, in
+    the backend named by [storage] (default:
+    {!Relalg.Relation.default_storage}).  [stats], when given, accumulates
+    rule-application, derivation, accumulator and plan counters. *)
+
 val eval_rule :
+  ?planner:planner ->
+  ?cache:Planlib.Cache.t ->
+  ?variant:Planlib.Plan.variant ->
   ?indexing:indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -44,14 +83,12 @@ val eval_rule :
   resolver:resolver ->
   Datalog.Ast.rule ->
   Relalg.Relation.t
-(** All head tuples derivable by the rule under the given sources.
-    Candidate bindings stream directly over index buckets into a bulk
-    accumulator ({!Relalg.Relation.builder}); the derived relation is built
-    once, in the backend named by [storage] (default:
-    {!Relalg.Relation.default_storage}).  [stats], when given, accumulates
-    rule-application, derivation, accumulator and index-cache counters. *)
+(** {!plan_rule} followed by {!run_plan}: all head tuples derivable by the
+    rule under the given sources. *)
 
 val eval_rules :
+  ?planner:planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

@@ -42,4 +42,4 @@ let eval_ground g =
   in
   iterate (Idb.empty schema) all
 
-let eval p db = eval_ground (Ground.ground p db)
+let eval ?planner ?cache p db = eval_ground (Ground.ground ?planner ?cache p db)

@@ -32,33 +32,13 @@ type t = {
   by_head : grule list GMap.t;
 }
 
-(* A half-instantiated rule: variables are bound one at a time, in an order
-   that follows the body so positive EDB literals prune early. *)
+(* The name under which a rule's instantiation pseudo-rule is planned; no
+   parseable program can use it (predicates start with a lowercase letter
+   or digit), so grounding plans never collide with evaluation plans in a
+   shared cache. *)
+let instances_pred = "$instances"
 
-let variable_order (r : Datalog.Ast.rule) =
-  let vars = ref [] in
-  let see = function
-    | Datalog.Ast.Var x -> if not (List.mem x !vars) then vars := x :: !vars
-    | Datalog.Ast.Const _ -> ()
-  in
-  let see_lit = function
-    | Datalog.Ast.Pos a | Datalog.Ast.Neg a -> List.iter see a.args
-    | Datalog.Ast.Eq (t1, t2) | Datalog.Ast.Neq (t1, t2) ->
-      see t1;
-      see t2
-  in
-  (* Positive EDB-ish atoms first (any positive atom, in fact), then the
-     rest of the body, then the head. *)
-  List.iter
-    (function Datalog.Ast.Pos _ as l -> see_lit l | _ -> ())
-    r.body;
-  List.iter
-    (function Datalog.Ast.Pos _ -> () | l -> see_lit l)
-    r.body;
-  List.iter see r.head.args;
-  List.rev !vars
-
-let ground ?(keep = []) (p : Datalog.Ast.program) db =
+let ground ?(keep = []) ?planner ?cache (p : Datalog.Ast.program) db =
   let schema =
     match Datalog.Ast.idb_schema p with
     | Ok s -> s
@@ -66,110 +46,86 @@ let ground ?(keep = []) (p : Datalog.Ast.program) db =
   in
   let idb_pred name = Relalg.Schema.mem name schema in
   let kept name = List.mem name keep && not (idb_pred name) in
-  let universe = Array.of_list (Relalg.Database.universe db) in
+  let universe = Relalg.Database.universe db in
+  let universe_size = List.length universe in
+  let base = Engine.database_source db in
+  let resolver = Engine.uniform base in
   let raw_rules = ref [] in
-  (* Each rule is compiled once: every decidable (non-IDB) literal becomes a
-     closure over a variable-indexed environment array, pre-resolved to its
-     database relation and scheduled at the binding level of its last
-     variable.  The enumeration then pays one membership probe per literal
-     per candidate — no per-candidate hashtable traffic, relation lookups or
-     list allocation. *)
+  (* Grounding a rule is itself a conjunctive query — over the decidable
+     (non-IDB) literals only, with {e every} rule variable projected out.
+     Each rule therefore compiles to one pseudo-rule
+     [$instances(X1, ..., Xn) :- decidable body] planned and executed by
+     the shared plan layer: index probes over the database relations bind
+     what they can, negated EDB literals and (in)equalities filter, and
+     the compiler's head enumeration covers the variables no positive
+     literal restricts.  The IDB atoms (plus kept EDB positives) stay
+     symbolic and are materialised per emitted binding. *)
   let instantiate (r : Datalog.Ast.rule) =
-    let order = Array.of_list (variable_order r) in
-    let nvars = Array.length order in
-    let var_index x =
-      let rec find i = if order.(i) = x then i else find (i + 1) in
-      find 0
+    let vars = Datalog.Ast.rule_variables r in
+    let slot_of =
+      let index = Hashtbl.create 8 in
+      List.iteri (fun i x -> Hashtbl.add index x i) vars;
+      fun x -> Hashtbl.find index x
     in
-    let env = Array.make (max nvars 1) (Symbol.unsafe_of_id 0) in
-    let compile_term = function
+    let spec_term = function
       | Datalog.Ast.Const c -> `Cst c
-      | Datalog.Ast.Var x -> `Idx (var_index x)
+      | Datalog.Ast.Var x -> `Idx (slot_of x)
     in
-    let term_level = function `Cst _ -> -1 | `Idx i -> i in
-    let value = function `Cst c -> c | `Idx i -> env.(i) in
     let atom_spec (a : Datalog.Ast.atom) =
-      Array.of_list (List.map compile_term a.args)
+      Array.of_list (List.map spec_term a.args)
     in
-    let spec_level spec =
-      Array.fold_left (fun acc t -> max acc (term_level t)) (-1) spec
-    in
-    (* checks: (level, closure) for decided literals; sym_pos/sym_neg: the
-       atoms that stay symbolic in the instance (IDB, plus kept EDB
-       positives, which are both checked and recorded). *)
-    let checks = ref [] in
+    let decidable = ref [] in
     let sym_pos = ref [] in
     let sym_neg = ref [] in
-    let add_check level f = checks := (level, f) :: !checks in
     List.iter
       (fun (l : Datalog.Ast.literal) ->
         match l with
-        | Datalog.Ast.Eq (t1, t2) ->
-          let c1 = compile_term t1 and c2 = compile_term t2 in
-          add_check
-            (max (term_level c1) (term_level c2))
-            (fun () -> Symbol.equal (value c1) (value c2))
-        | Datalog.Ast.Neq (t1, t2) ->
-          let c1 = compile_term t1 and c2 = compile_term t2 in
-          add_check
-            (max (term_level c1) (term_level c2))
-            (fun () -> not (Symbol.equal (value c1) (value c2)))
+        | Datalog.Ast.Eq _ | Datalog.Ast.Neq _ ->
+          decidable := l :: !decidable
         | Datalog.Ast.Pos a when idb_pred a.pred ->
           sym_pos := (a.pred, atom_spec a) :: !sym_pos
         | Datalog.Ast.Neg a when idb_pred a.pred ->
           sym_neg := (a.pred, atom_spec a) :: !sym_neg
-        | Datalog.Ast.Pos a | Datalog.Ast.Neg a ->
-          let spec = atom_spec a in
-          let arity = Array.length spec in
-          let rel = Relalg.Database.relation_or_empty ~arity a.pred db in
-          let scratch = Array.make arity (Symbol.unsafe_of_id 0) in
-          let probe () =
-            for j = 0 to arity - 1 do
-              scratch.(j) <- value spec.(j)
-            done;
-            (* The scratch tuple is only probed, never retained. *)
-            Relation.mem (Tuple.unsafe_make scratch) rel
-          in
-          let level = spec_level spec in
-          (match l with
-          | Datalog.Ast.Pos _ ->
-            add_check level probe;
-            if kept a.pred then sym_pos := (a.pred, spec) :: !sym_pos
-          | _ -> add_check level (fun () -> not (probe ()))))
+        | Datalog.Ast.Pos a ->
+          (* Kept EDB positives are both checked and recorded. *)
+          decidable := l :: !decidable;
+          if kept a.pred then sym_pos := (a.pred, atom_spec a) :: !sym_pos
+        | Datalog.Ast.Neg _ -> decidable := l :: !decidable)
       r.body;
-    let checks_at = Array.make (max nvars 1) [] in
-    let ground_checks = ref [] in
-    List.iter
-      (fun (level, f) ->
-        if level < 0 then ground_checks := f :: !ground_checks
-        else checks_at.(level) <- f :: checks_at.(level))
-      !checks;
+    let pseudo =
+      Datalog.Ast.rule
+        (Datalog.Ast.atom instances_pred
+           (List.map (fun x -> Datalog.Ast.Var x) vars))
+        (List.rev !decidable)
+    in
+    let label =
+      Printf.sprintf "ground %s" (Datalog.Pretty.rule_to_string r)
+    in
+    let sizes (occ : Planlib.Plan.occurrence) arity =
+      Relation.cardinal ((resolver occ).Engine.find occ.pred arity)
+    in
+    let plan =
+      match cache with
+      | Some cache ->
+        Planlib.Cache.find ?planner ~label cache ~sizes ~universe_size pseudo
+      | None ->
+        Planlib.Plan.compile ?planner ~label ~sizes ~universe_size pseudo
+    in
     let head_spec = (r.head.pred, atom_spec r.head) in
     let sym_pos = List.rev !sym_pos and sym_neg = List.rev !sym_neg in
-    let mk_gatom (pred, spec) =
-      { pred; tuple = Tuple.unsafe_make (Array.map value spec) }
-    in
-    let finish () =
-      let dedup l = List.sort_uniq compare_gatom l in
-      raw_rules :=
-        {
-          head = mk_gatom head_spec;
-          pos = dedup (List.map mk_gatom sym_pos);
-          neg = dedup (List.map mk_gatom sym_neg);
-        }
-        :: !raw_rules
-    in
-    let rec assign i =
-      if i = nvars then finish ()
-      else
-        Array.iter
-          (fun v ->
-            env.(i) <- v;
-            (* Prune: every literal decided by this binding must hold. *)
-            if List.for_all (fun f -> f ()) checks_at.(i) then assign (i + 1))
-          universe
-    in
-    if List.for_all (fun f -> f ()) !ground_checks then assign 0
+    Planlib.Plan.run ~resolver ~universe plan ~on_row:(fun env ->
+        let value = function `Cst c -> c | `Idx i -> env.(i) in
+        let mk_gatom (pred, spec) =
+          { pred; tuple = Tuple.unsafe_make (Array.map value spec) }
+        in
+        let dedup l = List.sort_uniq compare_gatom l in
+        raw_rules :=
+          {
+            head = mk_gatom head_spec;
+            pos = dedup (List.map mk_gatom sym_pos);
+            neg = dedup (List.map mk_gatom sym_neg);
+          }
+          :: !raw_rules)
   in
   List.iter instantiate p.rules;
   let rules = List.rev !raw_rules in

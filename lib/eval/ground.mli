@@ -30,8 +30,20 @@ type grule = {
 type t
 
 val ground :
-  ?keep:string list -> Datalog.Ast.program -> Relalg.Database.t -> t
+  ?keep:string list ->
+  ?planner:Planlib.Plan.planner ->
+  ?cache:Planlib.Cache.t ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  t
 (** @raise Invalid_argument on inconsistent arities.
+
+    Instantiation runs on the shared plan layer: each rule's decidable
+    (non-IDB) literals form one conjunctive pseudo-rule projecting all rule
+    variables, compiled by {!Planlib.Plan.compile} under [planner] and
+    executed over the database; there is no separate grounding compiler.
+    [cache], when given, retains the instantiation plans (keyed on the
+    pseudo-rules) — the CLI's [--explain] on [fixpoints] reads them back.
 
     [keep] lists EDB predicates whose (positive) occurrences should stay
     {e symbolic} in the instances instead of being evaluated away: an

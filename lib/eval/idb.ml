@@ -92,6 +92,21 @@ let equal t1 t2 =
   in
   covered t1 t2 && covered t2 t1
 
+let fingerprint t =
+  (* Canonical: empty relations are skipped, so valuations that [equal]
+     identifies (missing = empty) fingerprint identically; the per-relation
+     sum is iteration-order independent and the outer fold runs over the
+     name-sorted map, so the combination is deterministic. *)
+  SMap.fold
+    (fun name r acc ->
+      if Relation.is_empty r then acc
+      else
+        let h =
+          Relation.fold (fun tu h -> h + Relalg.Tuple.hash tu) r 0
+        in
+        Hashtbl.hash (acc, name, h land max_int))
+    t.relations 0
+
 let subset t1 t2 =
   SMap.for_all
     (fun name r ->

@@ -42,6 +42,13 @@ val inter : t -> t -> t
 
 val equal : t -> t -> bool
 
+val fingerprint : t -> int
+(** A canonical hash of the valuation's contents: valuations that {!equal}
+    identifies fingerprint identically (empty and missing relations are
+    indistinguishable).  Used by {!Theta.iterate}'s orbit table — a
+    fingerprint match is a {e candidate} repeat and must be confirmed with
+    {!equal}. *)
+
 val subset : t -> t -> bool
 (** Pointwise inclusion: [subset s s'] iff every relation of [s] is included
     in the corresponding relation of [s'] (missing predicates in [s'] count

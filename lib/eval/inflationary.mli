@@ -9,6 +9,8 @@
 
 val eval :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -21,6 +23,8 @@ val eval :
 
 val eval_trace :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

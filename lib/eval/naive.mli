@@ -9,6 +9,8 @@
 
 val least_fixpoint :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -20,6 +22,8 @@ val least_fixpoint :
 
 val least_fixpoint_trace :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

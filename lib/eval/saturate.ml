@@ -1,5 +1,6 @@
 module Schema = Relalg.Schema
 module Relation = Relalg.Relation
+module Plan = Planlib.Plan
 
 type engine = [ `Naive | `Seminaive | `Parallel ]
 
@@ -46,24 +47,32 @@ let delta_positions ~schema (rule : Datalog.Ast.rule) =
 (* One rule application, packaged so an iteration's applications can run
    either in order or fanned across the domain pool.  Each task carries its
    own statistics shard; shards are merged at the iteration barrier, which
-   keeps the counters exact without cross-domain contention. *)
+   keeps the counters exact without cross-domain contention.  Plans are
+   fetched (and, on a miss, compiled) here — in the coordinator, before any
+   fan-out — because the plan cache is not synchronised; the tasks then
+   only execute. *)
 type task = {
   shard : Stats.t option;
   head : string;
   thunk : unit -> Relation.t;
 }
 
-let rule_tasks ~indexing ~storage ~stats ~universe spec =
+let rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe spec =
+  let universe_size = List.length universe in
   List.map
-    (fun ((rule : Datalog.Ast.rule), resolver) ->
+    (fun ((rule : Datalog.Ast.rule), variant, resolver) ->
       let shard = Option.map (fun _ -> Stats.create ()) stats in
+      let plan =
+        Engine.plan_rule ?planner ~cache ~variant ?stats:shard ~universe_size
+          ~resolver rule
+      in
       {
         shard;
         head = rule.head.pred;
         thunk =
           (fun () ->
-            Engine.eval_rule ~indexing ?storage ?stats:shard ~universe
-              ~resolver rule);
+            Engine.run_plan ~indexing ?storage ?stats:shard ~universe
+              ~resolver plan);
       })
     spec
 
@@ -96,37 +105,43 @@ let run_tasks ~parallel ~stats ~schema tasks =
       Idb.set acc t.head (Relation.union old derived))
     (Idb.empty schema) tasks results
 
-let full_application ~parallel ~indexing ~storage ~stats ~rules ~schema
-    ~universe ~base ~neg ~current =
+let full_application ~parallel ~planner ~cache ~indexing ~storage ~stats
+    ~rules ~schema ~universe ~base ~neg ~current =
   let resolver =
     make_resolver ~schema ~base ~neg ~current ~delta_occ:None ~delta:current
   in
   run_tasks ~parallel ~stats ~schema
-    (rule_tasks ~indexing ~storage ~stats ~universe
-       (List.map (fun r -> (r, resolver)) rules))
+    (rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe
+       (List.map (fun r -> (r, Plan.Full, resolver)) rules))
 
-let delta_application ~parallel ~indexing ~storage ~stats ~rules ~schema
-    ~universe ~base ~neg ~current ~delta =
+let delta_application ~parallel ~planner ~cache ~indexing ~storage ~stats
+    ~rules ~schema ~universe ~base ~neg ~current ~delta =
   let spec =
     List.concat_map
       (fun rule ->
         List.map
           (fun j ->
             ( rule,
+              Plan.Delta j,
               make_resolver ~schema ~base ~neg ~current ~delta_occ:(Some j)
                 ~delta ))
           (delta_positions ~schema rule))
       rules
   in
   run_tasks ~parallel ~stats ~schema
-    (rule_tasks ~indexing ~storage ~stats ~universe spec)
+    (rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe spec)
 
-let run ?(engine = `Seminaive) ?(indexing = `Cached) ?storage ?stats ?label
-    ~rules ~schema ~universe ~base ~neg ~init () =
+let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
+    ?stats ?label ~rules ~schema ~universe ~base ~neg ~init () =
   (match label with
   | Some l -> Stats.timed stats l
   | None -> fun f -> f ())
   @@ fun () ->
+  (* One cache per saturation when the caller doesn't share a longer-lived
+     one: plans are then still reused across all iterations of this run. *)
+  let cache =
+    match cache with Some c -> c | None -> Planlib.Cache.create ()
+  in
   let bump_iteration () =
     match stats with
     | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
@@ -137,8 +152,8 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?storage ?stats ?label
     let rec loop current rev_deltas =
       bump_iteration ();
       let derived =
-        full_application ~parallel:false ~indexing ~storage ~stats ~rules
-          ~schema ~universe ~base ~neg ~current
+        full_application ~parallel:false ~planner ~cache ~indexing ~storage
+          ~stats ~rules ~schema ~universe ~base ~neg ~current
       in
       let delta = Idb.diff derived current in
       if Idb.is_empty delta then
@@ -154,8 +169,8 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?storage ?stats ?label
     let parallel = e = `Parallel in
     bump_iteration ();
     let derived =
-      full_application ~parallel ~indexing ~storage ~stats ~rules ~schema
-        ~universe ~base ~neg ~current:init
+      full_application ~parallel ~planner ~cache ~indexing ~storage ~stats
+        ~rules ~schema ~universe ~base ~neg ~current:init
     in
     let delta1 = Idb.diff derived init in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
@@ -163,8 +178,8 @@ let run ?(engine = `Seminaive) ?(indexing = `Cached) ?storage ?stats ?label
       let rec loop current delta rev_deltas =
         bump_iteration ();
         let derived =
-          delta_application ~parallel ~indexing ~storage ~stats ~rules ~schema
-            ~universe ~base ~neg ~current ~delta
+          delta_application ~parallel ~planner ~cache ~indexing ~storage
+            ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta
         in
         let fresh = Idb.diff derived current in
         if Idb.is_empty fresh then

@@ -38,8 +38,16 @@ val stages : trace -> int
 val stage_of : trace -> string -> Relalg.Tuple.t -> int option
 (** 1-based stage at which a tuple entered, [None] if it never did. *)
 
+val delta_positions :
+  schema:Relalg.Schema.t -> Datalog.Ast.rule -> int list
+(** Body positions of positive occurrences of evolving predicates — the
+    delta-specialized plan variants semi-naive evaluation compiles (one
+    per position); [negdl explain] uses this to show them. *)
+
 val run :
   ?engine:engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -54,7 +62,14 @@ val run :
   trace
 (** Default engine: [`Seminaive]; default indexing: [`Cached]; default
     storage: {!Relalg.Relation.default_storage} (the derived relations are
-    built in that backend).  [stats], when given, accumulates
+    built in that backend); default planner:
+    {!Planlib.Plan.default_planner}.  Each rule is compiled once per
+    variant — the full application and one delta-specialized variant per
+    positive evolving body position — into a {!Planlib.Plan.t} and reused
+    across iterations; [cache], when given, additionally shares plans
+    across saturations (the well-founded alternating fixpoint and the
+    stratified layers pass one).  Plans are fetched in the coordinator
+    before any parallel fan-out.  [stats], when given, accumulates
     iteration/rule/index counters; if [label] is also given, the run's wall
     time is recorded as a stage under that name (the stratified evaluator
     labels each stratum, the inflationary evaluator the whole

@@ -1,13 +1,12 @@
+module Plan = Planlib.Plan
+
 type t = {
   mutable iterations : int;
   mutable rule_applications : int;
   mutable tuples_derived : int;
   mutable tuples_allocated : int;
   mutable bulk_builds : int;
-  mutable index_hits : int;
-  mutable index_builds : int;
-  mutable full_scans : int;
-  mutable bucket_probes : int;
+  plan : Plan.counters;
   mutable stages : (string * float) list;
   mutable wall : float;
   mutable extra : (string * int) list;
@@ -20,10 +19,7 @@ let create () =
     tuples_derived = 0;
     tuples_allocated = 0;
     bulk_builds = 0;
-    index_hits = 0;
-    index_builds = 0;
-    full_scans = 0;
-    bucket_probes = 0;
+    plan = Plan.counters ();
     stages = [];
     wall = 0.0;
     extra = [];
@@ -35,10 +31,7 @@ let merge_into dst ~src =
   dst.tuples_derived <- dst.tuples_derived + src.tuples_derived;
   dst.tuples_allocated <- dst.tuples_allocated + src.tuples_allocated;
   dst.bulk_builds <- dst.bulk_builds + src.bulk_builds;
-  dst.index_hits <- dst.index_hits + src.index_hits;
-  dst.index_builds <- dst.index_builds + src.index_builds;
-  dst.full_scans <- dst.full_scans + src.full_scans;
-  dst.bucket_probes <- dst.bucket_probes + src.bucket_probes;
+  Plan.merge_counters dst.plan ~src:src.plan;
   dst.stages <- src.stages @ dst.stages;
   dst.wall <- dst.wall +. src.wall;
   dst.extra <- src.extra @ dst.extra
@@ -63,10 +56,13 @@ let pp ppf t =
   Format.fprintf ppf "tuples derived:    %d@," t.tuples_derived;
   Format.fprintf ppf "tuples allocated:  %d@," t.tuples_allocated;
   Format.fprintf ppf "bulk builds:       %d@," t.bulk_builds;
-  Format.fprintf ppf "index hits:        %d@," t.index_hits;
-  Format.fprintf ppf "index builds:      %d@," t.index_builds;
-  Format.fprintf ppf "full scans:        %d@," t.full_scans;
-  Format.fprintf ppf "bucket probes:     %d@," t.bucket_probes;
+  Format.fprintf ppf "plan compiles:     %d@," t.plan.Plan.plan_compiles;
+  Format.fprintf ppf "plan cache hits:   %d@," t.plan.Plan.plan_cache_hits;
+  Format.fprintf ppf "index hits:        %d@," t.plan.Plan.index_hits;
+  Format.fprintf ppf "index builds:      %d@," t.plan.Plan.index_builds;
+  Format.fprintf ppf "full scans:        %d@," t.plan.Plan.full_scans;
+  Format.fprintf ppf "bucket probes:     %d@," t.plan.Plan.bucket_probes;
+  Format.fprintf ppf "enumerations:      %d@," t.plan.Plan.enumerations;
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-18s %d@," (name ^ ":") v)
     (List.rev t.extra);

@@ -2,17 +2,17 @@
 
     A mutable record threaded (optionally) through the engine and every
     semantics: one value accumulates counters across a whole evaluation —
-    fixpoint iterations, rule applications, tuples derived, join-index cache
-    behaviour, and wall-clock time per named stage.  Parallel rule
-    applications accumulate into per-task records that are merged at the
-    iteration barrier, so counters stay exact under the [`Parallel]
+    fixpoint iterations, rule applications, tuples derived, plan-cache and
+    join-index behaviour, and wall-clock time per named stage.  Parallel
+    rule applications accumulate into per-task records that are merged at
+    the iteration barrier, so counters stay exact under the [`Parallel]
     engine. *)
 
 type t = {
   mutable iterations : int;
       (** Fixpoint stages executed (across all strata / alternations). *)
   mutable rule_applications : int;
-      (** Calls to {!Engine.eval_rule} (a semi-naive stage counts one per
+      (** Plan executions (a semi-naive stage counts one per
           (rule, delta-position) pair). *)
   mutable tuples_derived : int;
       (** Head tuples emitted by rule applications, before dedup against
@@ -23,15 +23,10 @@ type t = {
   mutable bulk_builds : int;
       (** Bulk finalisations of a streaming accumulator into a relation
           (one per rule application). *)
-  mutable index_hits : int;
-      (** Joins answered by an already-materialised column index. *)
-  mutable index_builds : int;
-      (** Joins that had to materialise (or re-materialise) an index. *)
-  mutable full_scans : int;
-      (** Joins with no usable bound column (or indexing disabled). *)
-  mutable bucket_probes : int;
-      (** Candidate tuples streamed out of index buckets during joins —
-          the join fan-in actually paid for on the indexed paths. *)
+  plan : Planlib.Plan.counters;
+      (** The plan layer's counter block: plan compiles and cache hits,
+          index hits/builds, full scans, bucket probes and universe
+          enumerations — see {!Planlib.Plan.counters}. *)
   mutable stages : (string * float) list;
       (** Wall time per named stage, most recent first. *)
   mutable wall : float;  (** Total wall-clock seconds recorded. *)

@@ -14,12 +14,17 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Stratified: " ^ msg)
 
-let eval ?engine ?indexing ?storage ?stats p db =
+let eval ?engine ?planner ?cache ?indexing ?storage ?stats p db =
   match Datalog.Stratify.stratify p with
   | Datalog.Stratify.Not_stratifiable { offending } ->
     Error (Not_stratifiable { offending })
   | Datalog.Stratify.Stratified strat ->
     let full_schema = idb_schema_exn p in
+    (* One structurally-keyed cache across all strata: plans for a rule are
+       compiled once even though each stratum passes its own rule list. *)
+    let cache =
+      match cache with Some c -> c | None -> Planlib.Cache.create ()
+    in
     let universe = Relalg.Database.universe db in
     let stratum_count = List.length strat.strata in
     let rec layer s accumulated =
@@ -36,7 +41,7 @@ let eval ?engine ?indexing ?storage ?stats p db =
         (* Lower strata are frozen into the base source. *)
         let base = Engine.layered db accumulated in
         let trace =
-          Saturate.run ?engine ?indexing ?storage ?stats
+          Saturate.run ?engine ?planner ~cache ?indexing ?storage ?stats
             ~label:(Printf.sprintf "stratum %d" s) ~rules ~schema ~universe
             ~base ~neg:`Current ~init:(Idb.empty schema) ()
         in
@@ -50,7 +55,7 @@ let eval ?engine ?indexing ?storage ?stats p db =
     in
     Ok (layer 0 (Idb.empty full_schema))
 
-let eval_exn ?engine ?indexing ?storage ?stats p db =
-  match eval ?engine ?indexing ?storage ?stats p db with
+let eval_exn ?engine ?planner ?cache ?indexing ?storage ?stats p db =
+  match eval ?engine ?planner ?cache ?indexing ?storage ?stats p db with
   | Ok idb -> idb
   | Error e -> invalid_arg ("Stratified.eval: " ^ error_to_string e)

@@ -12,6 +12,8 @@ val error_to_string : error -> string
 
 val eval :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -22,6 +24,8 @@ val eval :
 
 val eval_exn :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

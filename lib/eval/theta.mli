@@ -9,6 +9,8 @@
     equals [s]. *)
 
 val apply :
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -38,6 +40,7 @@ type iteration_outcome =
 
 val iterate :
   ?max_steps:int ->
+  ?planner:Engine.planner ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t ->
@@ -46,4 +49,8 @@ val iterate :
     valuation and detects repetition — the naive "negation by fixpoint"
     attempt.  On the paper's pi_1 it converges on paths but oscillates with
     period 2 on even and odd cycles alike; the toggle rule oscillates on
-    every non-empty database.  Default [max_steps] is 10000. *)
+    every non-empty database.  Default [max_steps] is 10000.  Repetition
+    is detected through a fingerprint hashtable ({!Idb.fingerprint}, with
+    collisions verified by {!Idb.equal}), so long-period orbits cost one
+    lookup per step rather than a scan of the whole history; rule plans
+    are compiled once and shared across the orbit. *)

@@ -27,6 +27,8 @@ val is_total : model -> bool
 
 val eval :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -36,6 +38,8 @@ val eval :
 
 val reduct_fixpoint :
   ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

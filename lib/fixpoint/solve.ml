@@ -16,8 +16,8 @@ type t = {
   encoding : Encode.t;
 }
 
-let prepare program db =
-  let ground = Ground.ground program db in
+let prepare ?planner ?plan_cache program db =
+  let ground = Ground.ground ?planner ?cache:plan_cache program db in
   { program; db; ground; encoding = Encode.build ground }
 
 let ground t = t.ground

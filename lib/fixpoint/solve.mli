@@ -24,8 +24,15 @@
 
 type t
 
-val prepare : Datalog.Ast.program -> Relalg.Database.t -> t
-(** Grounds the program and builds the SAT encoding. *)
+val prepare :
+  ?planner:Planlib.Plan.planner ->
+  ?plan_cache:Planlib.Cache.t ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  t
+(** Grounds the program ({!Evallib.Ground.ground} — [planner] selects the
+    instantiation plans' join ordering, [plan_cache] retains them for
+    display) and builds the SAT encoding. *)
 
 val ground : t -> Evallib.Ground.t
 

@@ -1,0 +1,92 @@
+module Ast = Datalog.Ast
+
+type key = {
+  krule : Ast.rule;
+  kvariant : Plan.variant;
+}
+
+module H = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b =
+    a.kvariant = b.kvariant && Ast.compare_rule a.krule b.krule = 0
+
+  let hash k = Hashtbl.hash (k.krule, k.kvariant)
+end)
+
+type t = { table : Plan.t H.t }
+
+let create () = { table = H.create 32 }
+
+(* Replan when any cardinality the cost model saw has drifted past this
+   factor — early fixpoint stages grow relations from empty, so the first
+   plans are made against unrepresentative sizes. *)
+let drift_factor = 4
+
+let drift_slack = 16
+
+let drifted (plan : Plan.t) ~sizes =
+  List.exists
+    (fun ((occ : Plan.occurrence), arity, n0) ->
+      let n = sizes occ arity in
+      n > (drift_factor * n0) + drift_slack
+      || n0 > (drift_factor * n) + drift_slack)
+    plan.Plan.sizes_at_plan
+
+let bump_compile = function
+  | Some (c : Plan.counters) -> c.plan_compiles <- c.plan_compiles + 1
+  | None -> ()
+
+let bump_hit = function
+  | Some (c : Plan.counters) -> c.plan_cache_hits <- c.plan_cache_hits + 1
+  | None -> ()
+
+let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
+    ~universe_size rule =
+  let planner =
+    match planner with Some p -> p | None -> Plan.default_planner ()
+  in
+  let compile () =
+    bump_compile counters;
+    Plan.compile ~planner ~variant ?label ~sizes ~universe_size rule
+  in
+  match planner with
+  | `Greedy ->
+    (* The ablation baseline replans on every application and never reads
+       the cache. *)
+    compile ()
+  | `Static | `Scan -> (
+    let key = { krule = rule; kvariant = variant } in
+    match H.find_opt cache.table key with
+    | Some plan
+      when plan.Plan.planner = planner
+           && (planner = `Scan || not (drifted plan ~sizes)) ->
+      bump_hit counters;
+      plan
+    | _ ->
+      let plan = compile () in
+      H.replace cache.table key plan;
+      plan)
+
+let plans cache = H.fold (fun _ plan acc -> plan :: acc) cache.table []
+
+let program_plans cache (p : Ast.program) =
+  let all = plans cache in
+  let variant_rank = function Plan.Full -> -1 | Plan.Delta j -> j in
+  let for_rule r =
+    List.filter (fun (pl : Plan.t) -> Ast.compare_rule pl.Plan.rule r = 0) all
+    |> List.sort (fun (a : Plan.t) (b : Plan.t) ->
+           Int.compare (variant_rank a.Plan.variant)
+             (variant_rank b.Plan.variant))
+  in
+  let matched = List.concat_map for_rule p.rules in
+  let rest =
+    List.filter
+      (fun (pl : Plan.t) ->
+        not
+          (List.exists (fun r -> Ast.compare_rule pl.Plan.rule r = 0) p.rules))
+      all
+    |> List.sort (fun (a : Plan.t) (b : Plan.t) ->
+           String.compare a.Plan.label b.Plan.label)
+  in
+  matched @ rest

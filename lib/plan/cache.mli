@@ -1,0 +1,43 @@
+(** The plan cache: one compiled plan per (rule, variant).
+
+    Keys are {e structural} — {!Datalog.Ast.compare_rule} on the rule plus
+    the variant — so one cache can safely serve many rule lists over the
+    same program (stratified layers, the well-founded alternating fixpoint's
+    repeated saturations, Theta orbits) without identifier bookkeeping.
+
+    Caching policy by planner:
+    - [`Static]: hit unless some relation cardinality the plan's cost model
+      saw has drifted by more than 4x (+16 slack) — estimates refresh as the
+      fixpoint grows relations, without paying a replan per application;
+    - [`Scan]: plans are size-independent, always hit;
+    - [`Greedy]: never cached — recompiled per application (the ablation
+      baseline the bench measures static against).
+
+    A cache is {e not} synchronised: fetch the plans you need before fanning
+    rule applications across domains (see {!Evallib.Saturate}). *)
+
+type t
+
+val create : unit -> t
+
+val find :
+  ?counters:Plan.counters ->
+  ?planner:Plan.planner ->
+  ?variant:Plan.variant ->
+  ?label:string ->
+  t ->
+  sizes:(Plan.occurrence -> int -> int) ->
+  universe_size:int ->
+  Datalog.Ast.rule ->
+  Plan.t
+(** The cached plan, recompiled (and re-cached) as the policy above
+    dictates.  [counters], when given, accumulates compiles and hits. *)
+
+val plans : t -> Plan.t list
+(** Every cached plan, in no particular order. *)
+
+val program_plans : t -> Datalog.Ast.program -> Plan.t list
+(** The cached plans arranged for display: for each rule of the program in
+    order, its plans ([Full] first, then [Delta] variants by position),
+    followed by plans for rules outside the program (e.g. the grounding's
+    instantiation plans), sorted by label. *)

@@ -1,0 +1,686 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Symbol = Relalg.Symbol
+module Ast = Datalog.Ast
+
+type source = { find : string -> int -> Relation.t }
+
+type occurrence = {
+  polarity : [ `Pos | `Neg ];
+  index : int;
+  pred : string;
+}
+
+type resolver = occurrence -> source
+
+type indexing = [ `Cached | `Percall | `Scan ]
+
+type planner = [ `Static | `Greedy | `Scan ]
+
+let planner_of_string = function
+  | "static" -> Ok `Static
+  | "greedy" -> Ok `Greedy
+  | "scan" -> Ok `Scan
+  | s -> Error (Printf.sprintf "unknown planner %S (static|greedy|scan)" s)
+
+let planner_to_string = function
+  | `Static -> "static"
+  | `Greedy -> "greedy"
+  | `Scan -> "scan"
+
+let pp_planner ppf p = Format.pp_print_string ppf (planner_to_string p)
+
+(* The global default, ablatable like {!Relation.set_default_storage}. *)
+let default = Atomic.make `Static
+
+let set_default_planner p = Atomic.set default p
+
+let default_planner () = Atomic.get default
+
+type variant = Full | Delta of int
+
+let variant_to_string = function
+  | Full -> "full"
+  | Delta j -> Printf.sprintf "delta@%d" j
+
+(* --- plan representation ------------------------------------------------ *)
+
+type term =
+  | Const of Symbol.t
+  | Slot of int
+
+type pat =
+  | Check_const of Symbol.t
+  | Check_slot of int
+  | Bind of int
+
+type access = {
+  occ : int;
+  pred : string;
+  arity : int;
+}
+
+type op =
+  | Index_probe of { access : access; col : int; key : term; pat : pat array }
+  | Scan of { access : access; pat : pat array }
+  | Const_filter of { access : access; args : term array }
+  | Neg_check of { access : access; args : term array }
+  | Compare of { negated : bool; left : term; right : term }
+  | Assign of { slot : int; value : term }
+  | Enumerate of { slot : int }
+
+type step = {
+  op : op;
+  est : float;
+  mutable actual : int;
+}
+
+type t = {
+  rule : Ast.rule;
+  label : string;
+  planner : planner;
+  variant : variant;
+  nslots : int;
+  slot_names : string array;
+  steps : step array;
+  head_pred : string;
+  head_args : term array;
+  est_out : float;
+  sizes_at_plan : (occurrence * int * int) list;
+  mutable runs : int;
+}
+
+type counters = {
+  mutable plan_compiles : int;
+  mutable plan_cache_hits : int;
+  mutable index_hits : int;
+  mutable index_builds : int;
+  mutable full_scans : int;
+  mutable bucket_probes : int;
+  mutable enumerations : int;
+}
+
+let counters () =
+  {
+    plan_compiles = 0;
+    plan_cache_hits = 0;
+    index_hits = 0;
+    index_builds = 0;
+    full_scans = 0;
+    bucket_probes = 0;
+    enumerations = 0;
+  }
+
+let merge_counters dst ~src =
+  dst.plan_compiles <- dst.plan_compiles + src.plan_compiles;
+  dst.plan_cache_hits <- dst.plan_cache_hits + src.plan_cache_hits;
+  dst.index_hits <- dst.index_hits + src.index_hits;
+  dst.index_builds <- dst.index_builds + src.index_builds;
+  dst.full_scans <- dst.full_scans + src.full_scans;
+  dst.bucket_probes <- dst.bucket_probes + src.bucket_probes;
+  dst.enumerations <- dst.enumerations + src.enumerations
+
+(* --- compilation -------------------------------------------------------- *)
+
+(* Body literal, slot-resolved, paired with its occurrence index. *)
+type blit =
+  | BAtom of {
+      polarity : [ `Pos | `Neg ];
+      occ : int;
+      pred : string;
+      args : term array;
+    }
+  | BCmp of { negated : bool; left : term; right : term }
+
+let dummy = Symbol.unsafe_of_id 0
+
+let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
+    (r : Ast.rule) =
+  let planner =
+    match planner with Some p -> p | None -> default_planner ()
+  in
+  let label =
+    match label with Some l -> l | None -> Datalog.Pretty.rule_to_string r
+  in
+  let vars = Ast.rule_variables r in
+  let nslots = List.length vars in
+  let slot_names = Array.of_list vars in
+  let slot_of =
+    let index = Hashtbl.create 8 in
+    List.iteri (fun i x -> Hashtbl.add index x i) vars;
+    fun x -> Hashtbl.find index x
+  in
+  let term_of = function
+    | Ast.Var x -> Slot (slot_of x)
+    | Ast.Const c -> Const c
+  in
+  let blits =
+    List.mapi
+      (fun i (l : Ast.literal) ->
+        match l with
+        | Ast.Pos a ->
+          BAtom
+            {
+              polarity = `Pos;
+              occ = i;
+              pred = a.pred;
+              args = Array.of_list (List.map term_of a.args);
+            }
+        | Ast.Neg a ->
+          BAtom
+            {
+              polarity = `Neg;
+              occ = i;
+              pred = a.pred;
+              args = Array.of_list (List.map term_of a.args);
+            }
+        | Ast.Eq (t1, t2) ->
+          BCmp { negated = false; left = term_of t1; right = term_of t2 }
+        | Ast.Neq (t1, t2) ->
+          BCmp { negated = true; left = term_of t1; right = term_of t2 })
+      r.body
+  in
+  (* The delta variant is the same rule with one positive occurrence
+     redirected at the delta by the resolver; the occurrence's (small)
+     cardinality reaches the cost model through [sizes], so compilation
+     itself is variant-blind beyond the sizes it reads. *)
+  let bound = Array.make (max nslots 1) false in
+  let is_bound = function Const _ -> true | Slot s -> bound.(s) in
+  let all_bound args = Array.for_all is_bound args in
+  let u = float_of_int (max universe_size 1) in
+  let sizes_seen = Hashtbl.create 8 in
+  let size polarity occ pred arity =
+    let o = { polarity; index = occ; pred } in
+    let n = sizes o arity in
+    if polarity = `Pos && not (Hashtbl.mem sizes_seen occ) then
+      Hashtbl.add sizes_seen occ (o, arity, n);
+    n
+  in
+  let membership_prob card arity =
+    if arity = 0 then if card > 0 then 1.0 else 0.0
+    else Float.min 1.0 (float_of_int card /. (u ** float_of_int arity))
+  in
+  let rows = ref 1.0 in
+  let steps = ref [] in
+  let push op est =
+    steps := { op; est; actual = 0 } :: !steps
+  in
+  let bind_count = ref 0 in
+  let mark_bound s =
+    if not bound.(s) then begin
+      bound.(s) <- true;
+      incr bind_count
+    end
+  in
+  (* Pattern for an atom access: constants and already-bound slots are
+     checked, fresh slots bind (first occurrence binds, repeats check). *)
+  let pattern args =
+    Array.map
+      (fun t ->
+        match t with
+        | Const c -> Check_const c
+        | Slot s ->
+          if bound.(s) then Check_slot s
+          else begin
+            mark_bound s;
+            Bind s
+          end)
+      args
+  in
+  let check_positions args =
+    Array.fold_left
+      (fun n t -> if is_bound t then n + 1 else n)
+      0 args
+  in
+  let emit_filter polarity occ pred args =
+    let arity = Array.length args in
+    let card = size polarity occ pred arity in
+    let p = membership_prob card arity in
+    let access = { occ; pred; arity } in
+    (match polarity with
+    | `Pos ->
+      rows := !rows *. p;
+      push (Const_filter { access; args }) !rows
+    | `Neg ->
+      rows := !rows *. (1.0 -. p);
+      push (Neg_check { access; args }) !rows)
+  in
+  let emit_compare negated left right =
+    rows := !rows *. (if negated then (u -. 1.0) /. u else 1.0 /. u);
+    push (Compare { negated; left; right }) !rows
+  in
+  let emit_enumerate s =
+    mark_bound s;
+    rows := !rows *. u;
+    push (Enumerate { slot = s }) !rows
+  in
+  let emit_join occ pred args =
+    let arity = Array.length args in
+    let card = size `Pos occ pred arity in
+    let checks = check_positions args in
+    let access = { occ; pred; arity } in
+    (* Probe through the first bound column when one exists (and the
+       planner is allowed to plan indexes); otherwise scan. *)
+    let col = ref (-1) in
+    Array.iteri
+      (fun i t -> if !col < 0 && is_bound t then col := i)
+      args;
+    let est =
+      !rows *. float_of_int card /. (u ** float_of_int checks)
+    in
+    rows := est;
+    if planner <> `Scan && !col >= 0 then
+      let key = args.(!col) in
+      (* [pattern] binds the fresh slots; the probed column stays a check
+         in the pattern so the [`Scan] indexing fallback needs no special
+         case. *)
+      push (Index_probe { access; col = !col; key; pat = pattern args }) est
+    else push (Scan { access; pat = pattern args }) est
+  in
+  (* Cost-based ordering (Static / Greedy): repeatedly
+     1. emit every decided literal (comparisons, then half-bound equality
+        propagation, then membership filters);
+     2. join through the positive atom with the fewest estimated matches;
+     3. with only under-bound negations / comparisons left, enumerate the
+        universe for their first unbound variable. *)
+  let pending = ref blits in
+  let remove l = pending := List.filter (fun l' -> l' != l) !pending in
+  let rec settle () =
+    let decided =
+      List.find_opt
+        (function
+          | BCmp { left; right; _ } -> is_bound left && is_bound right
+          | BAtom { args; _ } -> all_bound args)
+        !pending
+    in
+    match decided with
+    | Some (BCmp { negated; left; right } as l) ->
+      remove l;
+      emit_compare negated left right;
+      settle ()
+    | Some (BAtom { polarity; occ; pred; args } as l) ->
+      remove l;
+      emit_filter polarity occ pred args;
+      settle ()
+    | None -> (
+      let half_eq =
+        List.find_map
+          (fun l ->
+            match l with
+            | BCmp { negated = false; left; right } -> (
+              match (is_bound left, is_bound right, left, right) with
+              | true, false, _, Slot s -> Some (l, s, left)
+              | false, true, Slot s, _ -> Some (l, s, right)
+              | _ -> None)
+            | _ -> None)
+          !pending
+      in
+      match half_eq with
+      | Some (l, s, v) ->
+        remove l;
+        mark_bound s;
+        push (Assign { slot = s; value = v }) !rows;
+        settle ()
+      | None -> ())
+  in
+  let best_join () =
+    List.fold_left
+      (fun best l ->
+        match l with
+        | BAtom { polarity = `Pos; occ; pred; args } ->
+          let arity = Array.length args in
+          let card = size `Pos occ pred arity in
+          let est =
+            float_of_int card /. (u ** float_of_int (check_positions args))
+          in
+          (match best with
+          | Some (_, best_est) when best_est <= est -> best
+          | _ -> Some (l, est))
+        | _ -> best)
+      None !pending
+  in
+  let first_unbound () =
+    let found = ref None in
+    let see = function
+      | Slot s when (not bound.(s)) && !found = None -> found := Some s
+      | _ -> ()
+    in
+    List.iter
+      (function
+        | BAtom { args; _ } -> Array.iter see args
+        | BCmp { left; right; _ } ->
+          see left;
+          see right)
+      !pending;
+    !found
+  in
+  let rec solve () =
+    settle ();
+    if !pending <> [] then begin
+      (match best_join () with
+      | Some ((BAtom { occ; pred; args; _ } as l), _) ->
+        remove l;
+        emit_join occ pred args
+      | Some _ -> assert false
+      | None -> (
+        match first_unbound () with
+        | Some s -> emit_enumerate s
+        | None -> assert false));
+      solve ()
+    end
+  in
+  let textual () =
+    (* [`Scan] planner: textual order, no probes, no reordering — the
+       pre-planning ablation baseline. *)
+    List.iter
+      (fun l ->
+        match l with
+        | BCmp { negated = false; left; right } -> (
+          match (is_bound left, is_bound right, left, right) with
+          | true, true, _, _ -> emit_compare false left right
+          | true, false, _, Slot s ->
+            mark_bound s;
+            push (Assign { slot = s; value = left }) !rows
+          | false, true, Slot s, _ ->
+            mark_bound s;
+            push (Assign { slot = s; value = right }) !rows
+          | false, false, Slot s, _ ->
+            emit_enumerate s;
+            if is_bound right then emit_compare false left right
+            else begin
+              (match right with
+              | Slot s' ->
+                mark_bound s';
+                push (Assign { slot = s'; value = left }) !rows
+              | Const _ -> assert false)
+            end
+          | _ -> assert false)
+        | BCmp { negated = true; left; right } ->
+          (match left with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          (match right with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          emit_compare true left right
+        | BAtom { polarity = `Pos; occ; pred; args } ->
+          if all_bound args then emit_filter `Pos occ pred args
+          else emit_join occ pred args
+        | BAtom { polarity = `Neg; occ; pred; args } ->
+          Array.iter
+            (function
+              | Slot s when not bound.(s) -> emit_enumerate s
+              | _ -> ())
+            args;
+          emit_filter `Neg occ pred args)
+      blits
+  in
+  (match planner with `Scan -> textual () | `Static | `Greedy -> solve ());
+  let head_args =
+    Array.of_list (List.map term_of r.head.args)
+  in
+  (* Head-only variables range over the whole universe (the paper's
+     semantics is not range-restricted). *)
+  Array.iter
+    (function
+      | Slot s when not bound.(s) -> emit_enumerate s
+      | _ -> ())
+    head_args;
+  {
+    rule = r;
+    label;
+    planner;
+    variant;
+    nslots;
+    slot_names;
+    steps = Array.of_list (List.rev !steps);
+    head_pred = r.head.pred;
+    head_args;
+    est_out = !rows;
+    sizes_at_plan =
+      Hashtbl.fold (fun _ entry acc -> entry :: acc) sizes_seen []
+      |> List.sort (fun ((a : occurrence), _, _) ((b : occurrence), _, _) ->
+             Int.compare a.index b.index);
+    runs = 0;
+  }
+
+(* --- execution ---------------------------------------------------------- *)
+
+(* Pattern matching against a candidate tuple by return value: constants
+   and bound slots check, fresh slots bind in place.  A partial bind left
+   behind by a failed match is harmless — a slot written at step [k] is
+   only read by steps after [k], which run only on a full match. *)
+let match_pat env pat t =
+  let n = Array.length pat in
+  let rec go i =
+    i = n
+    || (match pat.(i) with
+       | Bind s ->
+         Array.unsafe_set env s (Tuple.get t i);
+         true
+       | Check_const c -> Symbol.equal (Tuple.get t i) c
+       | Check_slot s -> Symbol.equal (Tuple.get t i) (Array.unsafe_get env s))
+       && go (i + 1)
+  in
+  go 0
+
+let value env = function
+  | Const c -> c
+  | Slot s -> Array.unsafe_get env s
+
+let run ?(indexing = `Cached) ?counters ~resolver ~universe plan ~on_row =
+  plan.runs <- plan.runs + 1;
+  let steps = plan.steps in
+  let nsteps = Array.length steps in
+  let env = Array.make (max plan.nslots 1) dummy in
+  (* Per-execution state: sources are resolved and scratch probe tuples
+     allocated once per run, so one compiled plan is shareable across
+     domains (the plan itself is only touched through the racy-but-benign
+     [actual] counters). *)
+  let rels = Array.make (max nsteps 1) (Relation.empty 0) in
+  let scratch = Array.make (max nsteps 1) [||] in
+  let percall = Array.make (max nsteps 1) None in
+  Array.iteri
+    (fun i st ->
+      match st.op with
+      | Index_probe { access; _ } | Scan { access; _ } ->
+        rels.(i) <-
+          (resolver { polarity = `Pos; index = access.occ; pred = access.pred })
+            .find access.pred access.arity
+      | Const_filter { access; _ } ->
+        rels.(i) <-
+          (resolver { polarity = `Pos; index = access.occ; pred = access.pred })
+            .find access.pred access.arity;
+        scratch.(i) <- Array.make access.arity dummy
+      | Neg_check { access; _ } ->
+        rels.(i) <-
+          (resolver { polarity = `Neg; index = access.occ; pred = access.pred })
+            .find access.pred access.arity;
+        scratch.(i) <- Array.make access.arity dummy
+      | Compare _ | Assign _ | Enumerate _ -> ())
+    steps;
+  let bump_scan () =
+    match counters with
+    | Some c -> c.full_scans <- c.full_scans + 1
+    | None -> ()
+  in
+  let bump_probes n =
+    match counters with
+    | Some c -> c.bucket_probes <- c.bucket_probes + n
+    | None -> ()
+  in
+  let bump_index hit =
+    match counters with
+    | Some c ->
+      if hit then c.index_hits <- c.index_hits + 1
+      else c.index_builds <- c.index_builds + 1
+    | None -> ()
+  in
+  let bump_enum () =
+    match counters with
+    | Some c -> c.enumerations <- c.enumerations + 1
+    | None -> ()
+  in
+  let probe i args =
+    let scr = scratch.(i) in
+    for j = 0 to Array.length args - 1 do
+      scr.(j) <- value env args.(j)
+    done;
+    (* Probed, never retained. *)
+    Relation.mem (Tuple.unsafe_make scr) rels.(i)
+  in
+  let rec exec i =
+    if i = nsteps then on_row env
+    else
+      let st = Array.unsafe_get steps i in
+      match st.op with
+      | Compare { negated; left; right } ->
+        if Symbol.equal (value env left) (value env right) <> negated then begin
+          st.actual <- st.actual + 1;
+          exec (i + 1)
+        end
+      | Assign { slot; value = v } ->
+        env.(slot) <- value env v;
+        st.actual <- st.actual + 1;
+        exec (i + 1)
+      | Enumerate { slot } ->
+        bump_enum ();
+        List.iter
+          (fun c ->
+            env.(slot) <- c;
+            st.actual <- st.actual + 1;
+            exec (i + 1))
+          universe
+      | Const_filter { args; _ } ->
+        if probe i args then begin
+          st.actual <- st.actual + 1;
+          exec (i + 1)
+        end
+      | Neg_check { args; _ } ->
+        if not (probe i args) then begin
+          st.actual <- st.actual + 1;
+          exec (i + 1)
+        end
+      | Scan { pat; _ } ->
+        bump_scan ();
+        Relation.iter
+          (fun t ->
+            if match_pat env pat t then begin
+              st.actual <- st.actual + 1;
+              exec (i + 1)
+            end)
+          rels.(i)
+      | Index_probe { col; key; pat; _ } -> (
+        let stream bucket =
+          bump_probes (List.length bucket);
+          List.iter
+            (fun t ->
+              if match_pat env pat t then begin
+                st.actual <- st.actual + 1;
+                exec (i + 1)
+              end)
+            bucket
+        in
+        match indexing with
+        | `Scan ->
+          (* The probed column is still checked by the pattern, so the
+             fallback is a plain filtered scan. *)
+          bump_scan ();
+          Relation.iter
+            (fun t ->
+              if match_pat env pat t then begin
+                st.actual <- st.actual + 1;
+                exec (i + 1)
+              end)
+            rels.(i)
+        | `Cached ->
+          bump_index (Relation.has_index rels.(i) col);
+          stream (Relation.matching col (value env key) rels.(i))
+        | `Percall ->
+          let table =
+            match percall.(i) with
+            | Some table ->
+              bump_index true;
+              table
+            | None ->
+              bump_index false;
+              let table = Hashtbl.create 64 in
+              Relation.iter
+                (fun t ->
+                  let k = Tuple.get t col in
+                  Hashtbl.replace table k
+                    (t :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+                rels.(i);
+              percall.(i) <- Some table;
+              table
+          in
+          stream
+            (Option.value ~default:[]
+               (Hashtbl.find_opt table (value env key))))
+  in
+  exec 0
+
+let head_tuple plan env =
+  let args = plan.head_args in
+  let n = Array.length args in
+  let a = Array.make n dummy in
+  for i = 0 to n - 1 do
+    a.(i) <- value env args.(i)
+  done;
+  (* Fresh array: safe to adopt without copying. *)
+  Tuple.unsafe_make a
+
+(* --- pretty-printing ---------------------------------------------------- *)
+
+let pp_term names ppf = function
+  | Const c -> Format.pp_print_string ppf (Symbol.name c)
+  | Slot s -> Format.pp_print_string ppf names.(s)
+
+let pp_args names ppf args =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (pp_term names))
+    (Array.to_seq args)
+
+let pp_pat names ppf pat =
+  let term_of = function
+    | Check_const c -> Const c
+    | Check_slot s | Bind s -> Slot s
+  in
+  pp_args names ppf (Array.map term_of pat)
+
+let pp_step names ppf st =
+  (match st.op with
+  | Index_probe { access; col; key; pat } ->
+    Format.fprintf ppf "probe %s%a via column %d = %a" access.pred
+      (pp_pat names) pat col (pp_term names) key
+  | Scan { access; pat } ->
+    Format.fprintf ppf "scan %s%a" access.pred (pp_pat names) pat
+  | Const_filter { access; args } ->
+    Format.fprintf ppf "filter %s%a" access.pred (pp_args names) args
+  | Neg_check { access; args } ->
+    Format.fprintf ppf "check !%s%a" access.pred (pp_args names) args
+  | Compare { negated; left; right } ->
+    Format.fprintf ppf "compare %a %s %a" (pp_term names) left
+      (if negated then "!=" else "=")
+      (pp_term names) right
+  | Assign { slot; value } ->
+    Format.fprintf ppf "assign %s := %a" names.(slot) (pp_term names) value
+  | Enumerate { slot } ->
+    Format.fprintf ppf "enumerate %s over universe" names.(slot));
+  Format.fprintf ppf "  [est %.1f rows]" st.est
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v2>%s  {%s, %s}" plan.label
+    (planner_to_string plan.planner)
+    (variant_to_string plan.variant);
+  Array.iteri
+    (fun i st ->
+      Format.fprintf ppf "@,%d. %a" (i + 1) (pp_step plan.slot_names) st;
+      if plan.runs > 0 then Format.fprintf ppf "  [actual %d]" st.actual)
+    plan.steps;
+  Format.fprintf ppf "@,%d. project %s%a  [est %.1f rows]"
+    (Array.length plan.steps + 1)
+    plan.head_pred
+    (pp_args plan.slot_names)
+    plan.head_args plan.est_out;
+  Format.fprintf ppf "@]"
+
+let to_string plan = Format.asprintf "%a" pp plan

@@ -1,0 +1,172 @@
+(** Compile-once physical plans for rule evaluation.
+
+    Every Theta-based semantics in this library ultimately does the same
+    thing: apply each rule of the program to the current valuation, over and
+    over, until a fixpoint.  This module compiles a rule {e once} into a
+    static physical plan — a linear operator pipeline over slot-allocated
+    variable registers — that the hot loop then merely executes:
+
+    - {e slots}: the rule's variables, numbered in first-occurrence order;
+      the execution environment is a plain [Symbol.t array] (no [Option]
+      boxing, no undo lists — a slot written at step [k] is only read by
+      later steps, which run only after a successful match);
+    - {e steps}: [Index_probe] (join through a column index),
+      [Scan] (filtered full scan), [Const_filter] / [Neg_check]
+      (membership of a fully bound atom), [Compare], [Assign]
+      (equality propagation) and [Enumerate] (universe enumeration for
+      variables no positive literal binds — the paper's semantics is not
+      range-restricted); the final projection emits the head tuple;
+    - {e cost-based ordering}: positive atoms are joined smallest
+      estimated-match-count first, where the estimate is
+      [card / universe^bound_positions] with cardinalities read through
+      [sizes] at compile time.
+
+    Plans are pure data apart from per-step [actual] row counters (benign
+    races under the parallel engine) — per-execution state (environment,
+    scratch probe tuples, per-call index tables) lives in {!run}, so one
+    compiled plan is shareable across iterations, alternating-fixpoint
+    passes and domains.  Where each atom occurrence reads its relation is
+    decided at {e run} time by a resolver, which is what lets one plan
+    serve both the full and the delta-specialized applications of
+    semi-naive evaluation. *)
+
+type source = { find : string -> int -> Relalg.Relation.t }
+
+type occurrence = {
+  polarity : [ `Pos | `Neg ];
+  index : int;  (** Position of the literal in the rule body. *)
+  pred : string;
+}
+
+type resolver = occurrence -> source
+(** Decides, per atom occurrence, which source to read. *)
+
+type indexing = [ `Cached | `Percall | `Scan ]
+(** How [Index_probe] steps locate matching tuples — see {!Evallib.Engine}:
+    memoized relation-owned indexes, throwaway per-execution hash tables,
+    or plain scans (the pattern re-checks the probed column, so the
+    fallback needs no replanning). *)
+
+type planner = [ `Static | `Greedy | `Scan ]
+(** - [`Static] (default): compile once per (rule, variant), cache, and
+      only recompile when relation sizes drift past the {!Cache} threshold;
+    - [`Greedy]: recompile on every rule application with fresh sizes —
+      the pre-plan-layer behaviour, kept as the ablation baseline;
+    - [`Scan]: no planning at all — textual literal order, no index
+      probes (plans are size-independent and cached). *)
+
+val planner_of_string : string -> (planner, string) result
+val planner_to_string : planner -> string
+val pp_planner : Format.formatter -> planner -> unit
+
+val set_default_planner : planner -> unit
+(** Sets the planner used when no explicit [?planner] is given (the bench
+    ablates through this, like {!Relalg.Relation.set_default_storage}). *)
+
+val default_planner : unit -> planner
+
+type variant =
+  | Full  (** Every occurrence reads the current valuation. *)
+  | Delta of int
+      (** Semi-naive: the positive occurrence at this body position is
+          seeded from the previous stage's delta. *)
+
+val variant_to_string : variant -> string
+
+type term =
+  | Const of Relalg.Symbol.t
+  | Slot of int
+
+type pat =
+  | Check_const of Relalg.Symbol.t
+  | Check_slot of int
+  | Bind of int
+
+type access = {
+  occ : int;  (** Occurrence index (body position). *)
+  pred : string;
+  arity : int;
+}
+
+type op =
+  | Index_probe of { access : access; col : int; key : term; pat : pat array }
+  | Scan of { access : access; pat : pat array }
+  | Const_filter of { access : access; args : term array }
+  | Neg_check of { access : access; args : term array }
+  | Compare of { negated : bool; left : term; right : term }
+  | Assign of { slot : int; value : term }
+  | Enumerate of { slot : int }
+
+type step = {
+  op : op;
+  est : float;  (** Estimated rows surviving this step. *)
+  mutable actual : int;  (** Rows that actually survived, across runs. *)
+}
+
+type t = {
+  rule : Datalog.Ast.rule;
+  label : string;  (** The rule in concrete syntax (or a caller label). *)
+  planner : planner;
+  variant : variant;
+  nslots : int;
+  slot_names : string array;
+  steps : step array;
+  head_pred : string;
+  head_args : term array;
+  est_out : float;  (** Estimated emitted rows. *)
+  sizes_at_plan : (occurrence * int * int) list;
+      (** (occurrence, arity, cardinality) snapshot the cost model saw —
+          {!Cache} compares against it to decide when to replan. *)
+  mutable runs : int;  (** Executions (pp prints actuals only when > 0). *)
+}
+
+type counters = {
+  mutable plan_compiles : int;
+  mutable plan_cache_hits : int;
+  mutable index_hits : int;
+  mutable index_builds : int;
+  mutable full_scans : int;
+  mutable bucket_probes : int;
+  mutable enumerations : int;
+}
+(** The plan/probe counter block {!Evallib.Stats} embeds. *)
+
+val counters : unit -> counters
+val merge_counters : counters -> src:counters -> unit
+
+val compile :
+  ?planner:planner ->
+  ?variant:variant ->
+  ?label:string ->
+  sizes:(occurrence -> int -> int) ->
+  universe_size:int ->
+  Datalog.Ast.rule ->
+  t
+(** [sizes occ arity] is the current cardinality of the relation the
+    occurrence reads (under the resolver the plan will later run with);
+    the [variant] only documents which occurrence the resolver seeds from
+    the delta — the delta's small cardinality reaches the join order
+    through [sizes]. *)
+
+val run :
+  ?indexing:indexing ->
+  ?counters:counters ->
+  resolver:resolver ->
+  universe:Relalg.Symbol.t list ->
+  t ->
+  on_row:(Relalg.Symbol.t array -> unit) ->
+  unit
+(** Executes the plan: [on_row] is called once per complete binding with
+    the slot environment (valid only for the duration of the call — copy
+    what you keep, or use {!head_tuple}).  Matching is return-value based
+    (no exceptions on the hot path) and allocation-free apart from index
+    construction and the caller's [on_row]. *)
+
+val head_tuple : t -> Relalg.Symbol.t array -> Relalg.Tuple.t
+(** The head tuple under the given environment (freshly allocated). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the plan with estimated and (when the plan has run) actual
+    per-step cardinalities — the [negdl explain] output. *)
+
+val to_string : t -> string

@@ -36,6 +36,15 @@ hashed one):
   $ negdl eval tc.dl path4.facts --storage treeset -p s
   {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
 
+So does the planner ablation (static cost-based ordering is the default;
+greedy replans on every application, scan runs the body in textual order):
+
+  $ negdl eval tc.dl path4.facts --planner scan -p s
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+
+  $ negdl eval pi1.dl c4.facts --planner greedy -p t
+  {(v0); (v1); (v2); (v3)}
+
   $ negdl fixpoints pi1.dl c4.facts --storage treeset | head -5
   ground atoms:    4
   ground rules:    4
@@ -52,10 +61,13 @@ hashed one):
   tuples derived:    6
   tuples allocated:  6
   bulk builds:       5
-  index hits:        4
-  index builds:      2
+  plan compiles:     3
+  plan cache hits:   2
+  index hits:        6
+  index builds:      3
   full scans:        5
   bucket probes:     3
+  enumerations:      0
 
 The Section 2 census on the 4-cycle: two incomparable fixpoints, no least:
 
@@ -121,6 +133,42 @@ Grounding of pi_1 on the path:
   t(v2) :- !t(v1).
   t(v3) :- !t(v2).
   % 3 atoms, 3 instances
+
+Physical plans are inspectable.  explain compiles every rule — and the
+delta-specialized variants semi-naive evaluation runs — with cardinality
+estimates from the database:
+
+  $ negdl explain tc.dl path4.facts
+  s(X, Y) :- e(X, Y).  {static, full}
+    1. scan e(X, Y)  [est 3.0 rows]
+    2. project s(X, Y)  [est 3.0 rows]
+  s(X, Y) :- e(X, Z), s(Z, Y).  {static, full}
+    1. scan e(X, Z)  [est 3.0 rows]
+    2. probe s(Z, Y) via column 0 = Z  [est 3.0 rows]
+    3. project s(X, Y)  [est 3.0 rows]
+  s(X, Y) :- e(X, Z), s(Z, Y).  {static, delta@1}
+    1. scan e(X, Z)  [est 3.0 rows]
+    2. probe s(Z, Y) via column 0 = Z  [est 3.0 rows]
+    3. project s(X, Y)  [est 3.0 rows]
+
+A negated literal compiles to a membership check against the complement
+(the 0-row estimate is the worst case of a saturated t):
+
+  $ negdl explain pi1.dl c4.facts
+  t(X) :- e(Y, X), !t(Y).  {static, full}
+    1. scan e(Y, X)  [est 4.0 rows]
+    2. check !t(Y)  [est 0.0 rows]
+    3. project t(X)  [est 0.0 rows]
+
+--explain on eval prints the executed plans with the actual rows each
+operator produced next to the estimates:
+
+  $ negdl eval pi1.dl c4.facts --explain -p t
+  t(X) :- e(Y, X), !t(Y).  {static, full}
+    1. scan e(Y, X)  [est 4.0 rows]  [actual 4]
+    2. check !t(Y)  [est 4.0 rows]  [actual 4]
+    3. project t(X)  [est 4.0 rows]
+  {(v0); (v1); (v2); (v3)}
 
 Errors are reported as usage messages:
 

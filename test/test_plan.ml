@@ -1,0 +1,329 @@
+(* Plan-layer tests.
+
+   The plan layer compiles each rule once into a static physical plan and
+   every Theta-consumer executes it, so the properties here are the
+   load-bearing ones for the refactor:
+
+   - the planner ablation matrix: [`Static], [`Greedy] and [`Scan] plans
+     compute the same model under every engine and storage backend, for
+     every semantics, on random programs;
+   - delta-specialized plans derive exactly what full plans derive: the
+     semi-naive engine (which runs the [Delta j] variants) agrees with the
+     naive engine (full plans only) on the experiment workloads;
+   - the plan cache's policy: static plans are reused until relation sizes
+     drift, scan plans forever, greedy plans never;
+   - compiled plans are well-formed on the paper's programs (negation
+     becomes [Neg_check], unbound head variables become [Enumerate]);
+   - [Theta.iterate] detects long-period orbits in one fingerprint lookup
+     per step — a shift-register program with period k stays cheap for
+     k far beyond what the old linear history scan handled. *)
+
+module Ast = Datalog.Ast
+module Parser = Datalog.Parser
+module Idb = Evallib.Idb
+module Theta = Evallib.Theta
+module Plan = Planlib.Plan
+module Cache = Planlib.Cache
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+module Database = Relalg.Database
+module Tuple = Relalg.Tuple
+
+let arb_case = Testsupport.Gen_programs.arb_case
+
+let positivise = Testsupport.Gen_programs.positivise
+
+let db_of g = Digraph.to_database g
+
+let pi1 = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)."
+
+let tc_program =
+  Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+(* --- the planner x engine x storage agreement matrix ----------------------- *)
+
+let planners : Plan.planner list = [ `Static; `Greedy; `Scan ]
+
+let engines = [ `Seminaive; `Parallel ]
+
+let storages : Relalg.Relation.storage list = [ `Hashed; `Treeset ]
+
+let all_modes_agree eval equal reference =
+  List.for_all
+    (fun planner ->
+      List.for_all
+        (fun engine ->
+          List.for_all
+            (fun storage ->
+              equal reference (eval ~planner ~engine ~storage))
+            storages)
+        engines)
+    planners
+
+let prop_matrix_inflationary =
+  QCheck.Test.make
+    ~name:"planner x engine x storage matrix agrees (inflationary)" ~count:60
+    arb_case (fun (p, db) ->
+      let reference = Evallib.Inflationary.eval p db in
+      all_modes_agree
+        (fun ~planner ~engine ~storage ->
+          Evallib.Inflationary.eval ~planner ~engine ~storage p db)
+        Idb.equal reference)
+
+let prop_matrix_positive =
+  QCheck.Test.make
+    ~name:"planner x engine x storage matrix agrees (positive lfp)" ~count:60
+    arb_case (fun (p, db) ->
+      let p = positivise p in
+      let reference = Evallib.Naive.least_fixpoint p db in
+      all_modes_agree
+        (fun ~planner ~engine ~storage ->
+          Evallib.Naive.least_fixpoint ~planner ~engine ~storage p db)
+        Idb.equal reference)
+
+let prop_matrix_semantics =
+  QCheck.Test.make
+    ~name:
+      "planner x engine x storage matrix agrees (stratified + well-founded)"
+    ~count:40 arb_case (fun (p, db) ->
+      QCheck.assume (Datalog.Stratify.is_stratified p);
+      let strat_ref = Evallib.Stratified.eval_exn p db in
+      let wf_ref = Evallib.Wellfounded.eval p db in
+      let wf_equal (a : Evallib.Wellfounded.model) b =
+        Idb.equal a.Evallib.Wellfounded.true_facts
+          b.Evallib.Wellfounded.true_facts
+        && Idb.equal a.Evallib.Wellfounded.possible
+             b.Evallib.Wellfounded.possible
+      in
+      all_modes_agree
+        (fun ~planner ~engine ~storage ->
+          Evallib.Stratified.eval_exn ~planner ~engine ~storage p db)
+        Idb.equal strat_ref
+      && all_modes_agree
+           (fun ~planner ~engine ~storage ->
+             Evallib.Wellfounded.eval ~planner ~engine ~storage p db)
+           wf_equal wf_ref)
+
+(* Kripke-Kleene runs through the grounding, whose instantiation plans are
+   the planner-sensitive part. *)
+let prop_matrix_fitting =
+  QCheck.Test.make ~name:"planner matrix agrees (Kripke-Kleene grounding)"
+    ~count:40 arb_case (fun (p, db) ->
+      let reference = Evallib.Fitting.eval p db in
+      List.for_all
+        (fun planner ->
+          let m = Evallib.Fitting.eval ~planner p db in
+          Idb.equal m.Evallib.Fitting.true_facts
+            reference.Evallib.Fitting.true_facts
+          && Idb.equal m.Evallib.Fitting.possible
+               reference.Evallib.Fitting.possible)
+        planners)
+
+(* --- delta-specialized plans = full plans on the experiment workloads ----- *)
+
+let distance_program =
+  Parser.parse_program_exn
+    "s1(X, Y) :- e(X, Y).\n\
+     s1(X, Y) :- e(X, Z), s1(Z, Y).\n\
+     s2(Xs, Ys) :- e(Xs, Ys).\n\
+     s2(Xs, Ys) :- e(Xs, Zs), s2(Zs, Ys).\n\
+     s3(X, Y, Xs, Ys) :- e(X, Y), !s2(Xs, Ys).\n\
+     s3(X, Y, Xs, Ys) :- e(X, Z), s1(Z, Y), !s2(Xs, Ys)."
+
+let workload_graphs =
+  [
+    ("L_6", Generate.path 6);
+    ("C_6", Generate.cycle 6);
+    ("C_7", Generate.cycle 7);
+    ("2xC_4", Generate.disjoint_copies 2 (Generate.cycle 4));
+    ("rnd6", Generate.random ~seed:41 ~n:6 ~p:0.3);
+    ("star5", Generate.star 5);
+  ]
+
+let test_delta_equals_full () =
+  List.iter
+    (fun (gname, g) ->
+      let db = db_of g in
+      List.iter
+        (fun (pname, p) ->
+          let full =
+            Evallib.Inflationary.eval ~engine:`Naive ~planner:`Static p db
+          in
+          let delta =
+            Evallib.Inflationary.eval ~engine:`Seminaive ~planner:`Static p db
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "delta plans = full plans: %s on %s" pname gname)
+            true (Idb.equal full delta))
+        [ ("pi1", pi1); ("tc", tc_program); ("distance", distance_program) ])
+    workload_graphs
+
+(* --- the cache policy ------------------------------------------------------ *)
+
+let tc_rec_rule = List.nth tc_program.Ast.rules 1
+
+let test_cache_policy () =
+  let cache = Cache.create () in
+  let counters = Plan.counters () in
+  let size = ref 16 in
+  let sizes _ _ = !size in
+  let find planner =
+    Cache.find ~counters ~planner cache ~sizes ~universe_size:16 tc_rec_rule
+  in
+  let p1 = find `Static in
+  let p2 = find `Static in
+  Alcotest.(check bool) "static plan is reused" true (p1 == p2);
+  (* Same magnitude: no drift, still a hit. *)
+  size := 40;
+  let p3 = find `Static in
+  Alcotest.(check bool) "4x-with-slack drift not yet reached" true (p1 == p3);
+  (* Past the 4x + slack threshold: recompiled. *)
+  size := 1000;
+  let p4 = find `Static in
+  Alcotest.(check bool) "drifted sizes force a replan" true (p1 != p4);
+  (* Greedy never reuses. *)
+  let g1 = find `Greedy in
+  let g2 = find `Greedy in
+  Alcotest.(check bool) "greedy always replans" true (g1 != g2);
+  (* Scan plans are size-independent. *)
+  let s1 = find `Scan in
+  size := 7;
+  let s2 = find `Scan in
+  Alcotest.(check bool) "scan plans never drift" true (s1 == s2);
+  Alcotest.(check bool) "compiles and hits were counted" true
+    (counters.Plan.plan_compiles >= 4 && counters.Plan.plan_cache_hits >= 3)
+
+(* --- plan shape on the paper's rules -------------------------------------- *)
+
+let ops plan =
+  Array.to_list (Array.map (fun (s : Plan.step) -> s.Plan.op) plan.Plan.steps)
+
+let test_plan_shapes () =
+  let sizes _ _ = 8 in
+  (* pi_1: the negated IDB literal compiles to a Neg_check. *)
+  let p = Plan.compile ~sizes ~universe_size:8 (List.hd pi1.Ast.rules) in
+  Alcotest.(check bool) "pi_1 plan has a negation check" true
+    (List.exists
+       (function Plan.Neg_check _ -> true | _ -> false)
+       (ops p));
+  (* The toggle rule: both variables are unbound by any positive literal,
+     so the plan enumerates the universe (the paper's non-range-restricted
+     semantics). *)
+  let toggle = Parser.parse_program_exn "t(Z) :- !q(U), !t(W)." in
+  let p = Plan.compile ~sizes ~universe_size:8 (List.hd toggle.Ast.rules) in
+  let enums =
+    List.length
+      (List.filter
+         (function Plan.Enumerate _ -> true | _ -> false)
+         (ops p))
+  in
+  Alcotest.(check int) "toggle rule enumerates Z, U and W" 3 enums;
+  (* The recursive TC rule under static planning probes through an index;
+     under scan planning it must not. *)
+  let p = Plan.compile ~planner:`Static ~sizes ~universe_size:8 tc_rec_rule in
+  Alcotest.(check bool) "tc join compiles to an index probe" true
+    (List.exists
+       (function Plan.Index_probe _ -> true | _ -> false)
+       (ops p));
+  let p = Plan.compile ~planner:`Scan ~sizes ~universe_size:8 tc_rec_rule in
+  Alcotest.(check bool) "scan planner emits no probes" false
+    (List.exists
+       (function Plan.Index_probe _ -> true | _ -> false)
+       (ops p))
+
+(* --- Theta.iterate orbit detection ----------------------------------------- *)
+
+(* A shift register: one atom circulating through k unary predicates.
+   Theta moves the token one position per step, so the orbit has period
+   exactly k and every valuation along it is distinct — the workload that
+   made the old O(steps^2) history scan quadratic. *)
+let shift_register k =
+  let rules =
+    List.init k (fun i ->
+        Printf.sprintf "p%d(X) :- p%d(X)." ((i + 1) mod k) i)
+  in
+  Parser.parse_program_exn (String.concat " " rules)
+
+let test_iterate_long_period () =
+  let k = 48 in
+  let p = shift_register k in
+  let db = Database.create_strings [ "a" ] in
+  let a = List.hd (Database.universe db) in
+  let start = Idb.add_fact (Idb.of_program p) "p0" (Tuple.singleton a) in
+  (match Theta.iterate p db start with
+  | Theta.Entered_cycle { entry; period; states } ->
+    Alcotest.(check int) "shift register period" k period;
+    Alcotest.(check int) "cycle entered immediately" 0 entry;
+    Alcotest.(check int) "one state per phase" k (List.length states)
+  | Theta.Reached_fixpoint _ -> Alcotest.fail "shift register reached fixpoint"
+  | Theta.Gave_up _ -> Alcotest.fail "orbit detection gave up");
+  (* The empty valuation is a fixpoint of the same program. *)
+  match Theta.iterate p db (Idb.of_program p) with
+  | Theta.Reached_fixpoint { steps; _ } ->
+    Alcotest.(check int) "empty valuation is already fixed" 0 steps
+  | _ -> Alcotest.fail "empty valuation should be a fixpoint"
+
+let test_iterate_pi1 () =
+  (* pi_1 converges on paths, oscillates with period 2 on cycles — the
+     paper's Section 2 observation, through the fingerprint detector. *)
+  let check_path n =
+    match Theta.iterate pi1 (db_of (Generate.path n)) (Idb.of_program pi1) with
+    | Theta.Reached_fixpoint _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "pi_1 converges on L_5" true (check_path 5);
+  let check_cycle n =
+    match
+      Theta.iterate pi1 (db_of (Generate.cycle n)) (Idb.of_program pi1)
+    with
+    | Theta.Entered_cycle { period; _ } -> period
+    | _ -> -1
+  in
+  Alcotest.(check int) "pi_1 oscillates with period 2 on C_5" 2 (check_cycle 5);
+  Alcotest.(check int) "pi_1 oscillates with period 2 on C_6" 2 (check_cycle 6)
+
+(* --- explain output -------------------------------------------------------- *)
+
+let test_pp_mentions_estimates () =
+  let sizes _ _ = 8 in
+  let plan = Plan.compile ~sizes ~universe_size:8 tc_rec_rule in
+  let text = Plan.to_string plan in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp shows the rule" true
+    (contains text "s(X, Y) :- e(X, Z), s(Z, Y).");
+  Alcotest.(check bool) "pp shows estimates" true (contains text "est");
+  Alcotest.(check bool) "pp shows the projection" true (contains text "project")
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "matrix",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_matrix_inflationary;
+            prop_matrix_positive;
+            prop_matrix_semantics;
+            prop_matrix_fitting;
+          ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "delta plans = full plans (E-workloads)" `Quick
+            test_delta_equals_full;
+          Alcotest.test_case "cache policy (static drift, greedy, scan)" `Quick
+            test_cache_policy;
+          Alcotest.test_case "plan shapes (neg check, enumerate, probes)"
+            `Quick test_plan_shapes;
+          Alcotest.test_case "pp output" `Quick test_pp_mentions_estimates;
+        ] );
+      ( "theta-orbits",
+        [
+          Alcotest.test_case "long-period shift register" `Quick
+            test_iterate_long_period;
+          Alcotest.test_case "pi_1 paths converge, cycles oscillate" `Quick
+            test_iterate_pi1;
+        ] );
+    ]
