@@ -147,6 +147,27 @@ let stats_arg =
           "Print evaluation statistics (iterations, rule applications, \
            tuples derived, index hits, stage timings) to stderr.")
 
+let parallel_grain_arg =
+  let grain_conv =
+    let parse s =
+      match Negdl.Engine.grain_of_string s with
+      | Ok v -> Ok v
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv ~docv:"GRAIN" (parse, Negdl.Engine.pp_grain)
+  in
+  Arg.(
+    value
+    & opt grain_conv `Auto
+    & info [ "parallel-grain" ] ~docv:"GRAIN"
+        ~doc:
+          "Morsel size for the $(b,parallel) engine's intra-rule sharding \
+           (tuples of the driving input per morsel): $(b,auto) (default, \
+           sized from the input and the domain count), a positive integer, \
+           or $(b,rules) (never shard within a rule — whole-rule fan-out \
+           only, the pre-morsel behaviour).  The computed result is \
+           identical for every setting.")
+
 let sat_par_arg =
   Arg.(
     value
@@ -185,11 +206,12 @@ let eval_cmd =
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
   let run program_path db_path semantics engine planner explain indexing
-      storage stats sat_par pred =
+      storage stats sat_par grain pred =
     (* Set the default before loading, so the base relations parsed from the
        database are built in the chosen backend too. *)
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
+    Negdl.Engine.set_default_grain grain;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats = if stats then Some (Negdl.Stats.create ()) else None in
@@ -230,7 +252,7 @@ let eval_cmd =
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
       $ planner_arg $ explain_arg $ indexing_arg $ storage_arg $ stats_arg
-      $ sat_par_arg $ pred_arg)
+      $ sat_par_arg $ parallel_grain_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -268,9 +290,10 @@ let fixpoints_cmd =
              when the budget runs out.")
   in
   let run program_path db_path storage planner explain limit enumerate sat_par
-      sat_budget count_budget stats =
+      grain sat_budget count_budget stats =
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
+    Negdl.Engine.set_default_grain grain;
     Negdl.Sat_stats.reset ();
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
@@ -331,7 +354,7 @@ let fixpoints_cmd =
     Term.(
       const run $ program_arg $ database_arg $ storage_arg $ planner_arg
       $ explain_arg $ limit_arg $ enumerate_arg $ sat_par_arg
-      $ sat_budget_arg $ count_budget_arg $ stats_arg)
+      $ parallel_grain_arg $ sat_budget_arg $ count_budget_arg $ stats_arg)
 
 (* --- explain ----------------------------------------------------------------- *)
 

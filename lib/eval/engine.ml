@@ -16,6 +16,35 @@ type indexing = Plan.indexing
 
 type planner = Plan.planner
 
+type grain = [ `Auto | `Fixed of int | `Rules ]
+
+let grain_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok `Auto
+  | "rules" -> Ok `Rules
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (`Fixed n)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown grain %S (auto, rules, or a positive tuple count)" s))
+
+let grain_to_string = function
+  | `Auto -> "auto"
+  | `Rules -> "rules"
+  | `Fixed n -> string_of_int n
+
+let pp_grain ppf g = Format.pp_print_string ppf (grain_to_string g)
+
+(* The global default, ablatable like {!Planlib.Plan.set_default_planner};
+   the CLI's [--parallel-grain] sets it. *)
+let default_grain_cell : grain Atomic.t = Atomic.make `Auto
+
+let set_default_grain g = Atomic.set default_grain_cell g
+
+let default_grain () = Atomic.get default_grain_cell
+
 (* Cardinalities for the cost model, read through the same resolver the
    plan will execute with — so a delta-variant plan sees the delta's
    (small) size at the redirected occurrence. *)
@@ -56,6 +85,71 @@ let run_plan ?(indexing = `Cached) ?storage ?stats ~universe ~resolver plan =
     s.Stats.bulk_builds <- s.Stats.bulk_builds + 1
   | None -> ());
   Relation.build acc
+
+(* Morsel-driven variant of {!run_plan}: the plan's driving input is
+   sharded over [pool] and each participant streams rows into its own
+   accumulator (and plan-counter shard), so the hot loop stays lock-free;
+   the builders are merged in participant order at the barrier, which
+   makes the result deterministic whatever the steal schedule did. *)
+let run_plan_sharded ?(indexing = `Cached) ?storage ?stats ~pool ~grain
+    ~universe ~resolver plan =
+  let grain =
+    match grain with
+    | `Auto -> None
+    | `Fixed n -> Some (max 1 n)
+    | `Rules ->
+      invalid_arg "Engine.run_plan_sharded: `Rules selects rule fan-out"
+  in
+  let arity = Array.length plan.Plan.head_args in
+  let workers = Negdl_util.Domain_pool.size pool + 1 in
+  let builders = Array.init workers (fun _ -> Relation.builder ?storage arity) in
+  let emitted = Array.make workers 0 in
+  let shards =
+    Array.init workers (fun _ -> Option.map (fun _ -> Plan.counters ()) stats)
+  in
+  let report =
+    Plan.run_sharded ~indexing
+      ~counters:(fun p -> shards.(p))
+      ~pool ?grain ~resolver ~universe plan
+      ~on_row:(fun p env ->
+        emitted.(p) <- emitted.(p) + 1;
+        ignore (Relation.builder_add builders.(p) (Plan.head_tuple plan env)))
+  in
+  (* Deterministic merge: participant order, never steal order. *)
+  let merged = ref builders.(0) in
+  for p = 1 to workers - 1 do
+    merged := Relation.builder_merge !merged builders.(p)
+  done;
+  (match stats with
+  | Some s ->
+    s.Stats.rule_applications <- s.Stats.rule_applications + 1;
+    s.Stats.tuples_derived <-
+      s.Stats.tuples_derived + Array.fold_left ( + ) 0 emitted;
+    (* Fresh tuples in the merged accumulator — cross-shard duplicates
+       collapse here, exactly as within-run duplicates do sequentially. *)
+    s.Stats.tuples_allocated <-
+      s.Stats.tuples_allocated + Relation.builder_cardinal !merged;
+    s.Stats.bulk_builds <- s.Stats.bulk_builds + 1;
+    Array.iter
+      (function
+        | Some c -> Plan.merge_counters s.Stats.plan ~src:c
+        | None -> ())
+      shards;
+    s.Stats.morsels <- s.Stats.morsels + report.Plan.sh_morsels;
+    s.Stats.steals <- s.Stats.steals + report.Plan.sh_steals;
+    let participants = Array.length report.Plan.sh_executed in
+    if participants > 1 then begin
+      let mx = ref report.Plan.sh_executed.(0) in
+      let mn = ref report.Plan.sh_executed.(0) in
+      Array.iter
+        (fun n ->
+          if n > !mx then mx := n;
+          if n < !mn then mn := n)
+        report.Plan.sh_executed;
+      s.Stats.max_shard_skew <- max s.Stats.max_shard_skew (!mx - !mn)
+    end
+  | None -> ());
+  Relation.build !merged
 
 let eval_rule ?planner ?cache ?variant ?indexing ?storage ?stats ~universe
     ~resolver rule =

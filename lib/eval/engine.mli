@@ -43,6 +43,29 @@ type planner = Planlib.Plan.planner
 (** Join-order planning policy — see {!Planlib.Plan.planner}.  The default
     is {!Planlib.Plan.default_planner}. *)
 
+type grain = [ `Auto | `Fixed of int | `Rules ]
+(** How the [`Parallel] engine splits work {e within} a rule when a stage
+    has fewer runnable rule applications than domains:
+    - [`Auto] (default): shard each plan's driving input into morsels of
+      {!Planlib.Plan.auto_grain} tuples;
+    - [`Fixed n]: morsels of exactly [n] driving tuples;
+    - [`Rules]: never shard — whole-rule fan-out only (the pre-morsel
+      behaviour, kept as the bench baseline). *)
+
+val grain_of_string : string -> (grain, string) result
+(** Accepts ["auto"], ["rules"], or a positive integer. *)
+
+val grain_to_string : grain -> string
+
+val pp_grain : Format.formatter -> grain -> unit
+
+val set_default_grain : grain -> unit
+(** Sets the grain used when no explicit [?grain] reaches the evaluator —
+    the CLI's [--parallel-grain], like
+    {!Planlib.Plan.set_default_planner}. *)
+
+val default_grain : unit -> grain
+
 val plan_rule :
   ?planner:planner ->
   ?cache:Planlib.Cache.t ->
@@ -71,6 +94,27 @@ val run_plan :
     the backend named by [storage] (default:
     {!Relalg.Relation.default_storage}).  [stats], when given, accumulates
     rule-application, derivation, accumulator and plan counters. *)
+
+val run_plan_sharded :
+  ?indexing:indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?stats:Stats.t ->
+  pool:Negdl_util.Domain_pool.t ->
+  grain:grain ->
+  universe:Relalg.Symbol.t list ->
+  resolver:resolver ->
+  Planlib.Plan.t ->
+  Relalg.Relation.t
+(** Morsel-driven {!run_plan}: the plan's driving input is sharded over
+    [pool] ({!Planlib.Plan.run_sharded}), each participant streams head
+    tuples into its own accumulator, and the accumulators are merged in
+    participant order ({!Relalg.Relation.builder_merge}) at the barrier —
+    so the derived relation equals {!run_plan}'s whatever the steal
+    schedule.  [stats] additionally collects the morsel / steal /
+    shard-skew scheduling counters; per-shard plan counters are merged
+    exactly at the barrier.  [grain] must be [`Auto] or [`Fixed]
+    (@raise Invalid_argument on [`Rules] — that selects whole-rule
+    fan-out, which is {!Saturate}'s job, not this function's). *)
 
 val eval_rule :
   ?planner:planner ->

@@ -3,16 +3,20 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Inflationary: " ^ msg)
 
-let eval_trace ?engine ?planner ?cache ?indexing ?storage ?stats p db =
+let eval_trace ?engine ?planner ?cache ?indexing ?storage ?stats ?pool
+    ?grain p db =
   let schema = idb_schema_exn p in
-  Saturate.run ?engine ?planner ?cache ?indexing ?storage ?stats
-    ~label:"inflationary" ~rules:p.Datalog.Ast.rules ~schema
+  Saturate.run ?engine ?planner ?cache ?indexing ?storage ?stats ?pool
+    ?grain ~label:"inflationary" ~rules:p.Datalog.Ast.rules ~schema
     ~universe:(Relalg.Database.universe db)
     ~base:(Engine.database_source db) ~neg:`Current ~init:(Idb.empty schema)
     ()
 
-let eval ?engine ?planner ?cache ?indexing ?storage ?stats p db =
-  (eval_trace ?engine ?planner ?cache ?indexing ?storage ?stats p db).result
+let eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
+    =
+  (eval_trace ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain
+     p db)
+    .result
 
 let carrier ?engine p ~carrier db =
   let result = eval ?engine p db in

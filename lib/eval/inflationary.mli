@@ -14,12 +14,15 @@ val eval :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t
 (** Theta-infinity for all IDB predicates.  Default engine: [`Seminaive]
     (see {!Saturate} for why the differential cut remains sound under
-    negation, and for the [`Parallel] fan-out). *)
+    negation, and for the [`Parallel] fan-out; [pool] and [grain] only
+    matter there). *)
 
 val eval_trace :
   ?engine:Saturate.engine ->
@@ -28,6 +31,8 @@ val eval_trace :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Saturate.trace

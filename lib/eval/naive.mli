@@ -14,11 +14,14 @@ val least_fixpoint :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t
 (** @raise Invalid_argument if the program uses negation or inequality, or
-    has inconsistent arities.  Default engine: [`Seminaive]. *)
+    has inconsistent arities.  Default engine: [`Seminaive]; [pool] and
+    [grain] only matter under [`Parallel]. *)
 
 val least_fixpoint_trace :
   ?engine:Saturate.engine ->
@@ -27,6 +30,8 @@ val least_fixpoint_trace :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Saturate.trace

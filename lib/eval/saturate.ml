@@ -45,19 +45,20 @@ let delta_positions ~schema (rule : Datalog.Ast.rule) =
          | _ -> None)
 
 (* One rule application, packaged so an iteration's applications can run
-   either in order or fanned across the domain pool.  Each task carries its
-   own statistics shard; shards are merged at the iteration barrier, which
-   keeps the counters exact without cross-domain contention.  Plans are
-   fetched (and, on a miss, compiled) here — in the coordinator, before any
-   fan-out — because the plan cache is not synchronised; the tasks then
-   only execute. *)
+   in order, fanned whole across the domain pool, or individually sharded
+   over it.  Each task carries its own statistics shard; shards are merged
+   at the iteration barrier, which keeps the counters exact without
+   cross-domain contention.  Plans are fetched (and, on a miss, compiled)
+   here — in the coordinator, before any fan-out — because the plan cache
+   is not synchronised; the tasks then only execute. *)
 type task = {
   shard : Stats.t option;
   head : string;
-  thunk : unit -> Relation.t;
+  plan : Plan.t;
+  resolver : Engine.resolver;
 }
 
-let rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe spec =
+let rule_tasks ~planner ~cache ~stats ~universe spec =
   let universe_size = List.length universe in
   List.map
     (fun ((rule : Datalog.Ast.rule), variant, resolver) ->
@@ -66,29 +67,48 @@ let rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe spec =
         Engine.plan_rule ?planner ~cache ~variant ?stats:shard ~universe_size
           ~resolver rule
       in
-      {
-        shard;
-        head = rule.head.pred;
-        thunk =
-          (fun () ->
-            Engine.run_plan ~indexing ?storage ?stats:shard ~universe
-              ~resolver plan);
-      })
+      { shard; head = rule.head.pred; plan; resolver })
     spec
 
 (* Runs one iteration's tasks and merges the per-task IDB fragments (and
    statistics shards).  Rules within one Theta application are independent —
    they all read the same immutable [current]/[delta] valuations — so the
-   fan-out is sound. *)
-let run_tasks ~parallel ~stats ~schema tasks =
+   fan-out is sound.
+
+   Under [parallel], the axis of parallelism is picked per stage: when the
+   stage has at least as many runnable applications as pool participants,
+   whole tasks fan across the pool (each saturates one domain); when it has
+   fewer — the single-heavy-recursive-rule regime, where rule fan-out
+   degenerates to sequential execution — each task instead runs morsel-
+   sharded {e within} the pool ({!Engine.run_plan_sharded}), unless the
+   grain is [`Rules] (the pre-morsel baseline). *)
+let run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
+    ~universe tasks =
+  let seq t =
+    Engine.run_plan ~indexing ?storage ?stats:t.shard ~universe
+      ~resolver:t.resolver t.plan
+  in
+  let sharded t =
+    Engine.run_plan_sharded ~indexing ?storage ?stats:t.shard ~pool ~grain
+      ~universe ~resolver:t.resolver t.plan
+  in
   let results =
     match tasks with
-    | [] | [ _ ] -> List.map (fun t -> t.thunk ()) tasks
-    | _ when parallel ->
-      Negdl_util.Domain_pool.run
-        (Negdl_util.Domain_pool.default ())
-        (List.map (fun t -> t.thunk) tasks)
-    | _ -> List.map (fun t -> t.thunk ()) tasks
+    | [] -> []
+    | _ when not parallel -> List.map seq tasks
+    | _ ->
+      let participants = Negdl_util.Domain_pool.size pool + 1 in
+      (* [max participants 2]: on a pool of size 0 a lone task still takes
+         the sharded path (which then runs inline), so par=1 measures the
+         sharding tax honestly instead of silently reverting. *)
+      if grain <> `Rules && List.length tasks < max participants 2 then
+        List.map sharded tasks
+      else (
+        match tasks with
+        | [ t ] -> [ seq t ]
+        | _ ->
+          Negdl_util.Domain_pool.run pool
+            (List.map (fun t () -> seq t) tasks))
   in
   (match stats with
   | Some s ->
@@ -105,17 +125,18 @@ let run_tasks ~parallel ~stats ~schema tasks =
       Idb.set acc t.head (Relation.union old derived))
     (Idb.empty schema) tasks results
 
-let full_application ~parallel ~planner ~cache ~indexing ~storage ~stats
-    ~rules ~schema ~universe ~base ~neg ~current =
+let full_application ~parallel ~pool ~grain ~planner ~cache ~indexing
+    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current =
   let resolver =
     make_resolver ~schema ~base ~neg ~current ~delta_occ:None ~delta:current
   in
-  run_tasks ~parallel ~stats ~schema
-    (rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe
+  run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
+    ~universe
+    (rule_tasks ~planner ~cache ~stats ~universe
        (List.map (fun r -> (r, Plan.Full, resolver)) rules))
 
-let delta_application ~parallel ~planner ~cache ~indexing ~storage ~stats
-    ~rules ~schema ~universe ~base ~neg ~current ~delta =
+let delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
+    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta =
   let spec =
     List.concat_map
       (fun rule ->
@@ -128,11 +149,27 @@ let delta_application ~parallel ~planner ~cache ~indexing ~storage ~stats
           (delta_positions ~schema rule))
       rules
   in
-  run_tasks ~parallel ~stats ~schema
-    (rule_tasks ~planner ~cache ~indexing ~storage ~stats ~universe spec)
+  run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
+    ~universe
+    (rule_tasks ~planner ~cache ~stats ~universe spec)
+
+let apply_once ?(parallel = false) ?pool ?grain ?planner ?cache
+    ?(indexing = `Cached) ?storage ?stats ~rules ~schema ~universe ~base ~neg
+    ~current () =
+  let pool =
+    match pool with Some p -> p | None -> Negdl_util.Domain_pool.default ()
+  in
+  let grain =
+    match grain with Some g -> g | None -> Engine.default_grain ()
+  in
+  let cache =
+    match cache with Some c -> c | None -> Planlib.Cache.create ()
+  in
+  full_application ~parallel ~pool ~grain ~planner ~cache ~indexing ~storage
+    ~stats ~rules ~schema ~universe ~base ~neg ~current
 
 let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
-    ?stats ?label ~rules ~schema ~universe ~base ~neg ~init () =
+    ?stats ?pool ?grain ?label ~rules ~schema ~universe ~base ~neg ~init () =
   (match label with
   | Some l -> Stats.timed stats l
   | None -> fun f -> f ())
@@ -141,6 +178,12 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
      one: plans are then still reused across all iterations of this run. *)
   let cache =
     match cache with Some c -> c | None -> Planlib.Cache.create ()
+  in
+  let pool =
+    match pool with Some p -> p | None -> Negdl_util.Domain_pool.default ()
+  in
+  let grain =
+    match grain with Some g -> g | None -> Engine.default_grain ()
   in
   let bump_iteration () =
     match stats with
@@ -152,8 +195,9 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
     let rec loop current rev_deltas =
       bump_iteration ();
       let derived =
-        full_application ~parallel:false ~planner ~cache ~indexing ~storage
-          ~stats ~rules ~schema ~universe ~base ~neg ~current
+        full_application ~parallel:false ~pool ~grain ~planner ~cache
+          ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg
+          ~current
       in
       let delta = Idb.diff derived current in
       if Idb.is_empty delta then
@@ -164,13 +208,15 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
   | (`Seminaive | `Parallel) as e ->
     (* Stage 1 applies every rule in full; later stages only chase the
        previous stage's delta through positive evolving literals.  Under
-       [`Parallel] the applications of each stage fan across the domain
-       pool and merge at the stage barrier. *)
+       [`Parallel] each stage's applications either fan whole across the
+       domain pool or — when the stage has fewer runnable applications
+       than participants — run morsel-sharded within it (see
+       {!run_tasks}); both merge at the stage barrier. *)
     let parallel = e = `Parallel in
     bump_iteration ();
     let derived =
-      full_application ~parallel ~planner ~cache ~indexing ~storage ~stats
-        ~rules ~schema ~universe ~base ~neg ~current:init
+      full_application ~parallel ~pool ~grain ~planner ~cache ~indexing
+        ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current:init
     in
     let delta1 = Idb.diff derived init in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
@@ -178,8 +224,9 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
       let rec loop current delta rev_deltas =
         bump_iteration ();
         let derived =
-          delta_application ~parallel ~planner ~cache ~indexing ~storage
-            ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta
+          delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
+            ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current
+            ~delta
         in
         let fresh = Idb.diff derived current in
         if Idb.is_empty fresh then

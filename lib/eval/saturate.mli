@@ -13,10 +13,15 @@
       sound {e for inflationary iteration}: negated literals only lose
       truth as S grows, so a body newly satisfiable at stage n+1 must bind
       some positive evolving literal to a stage-n tuple;
-    - [`Parallel] is semi-naive with each stage's independent rule
-      applications fanned across OCaml 5 domains (a shared
-      {!Negdl_util.Domain_pool}); the per-domain IDB fragments are merged
-      at the stage barrier, so the computed limit is identical.
+    - [`Parallel] is semi-naive with each stage parallelised across OCaml 5
+      domains (a shared {!Negdl_util.Domain_pool}) along whichever axis has
+      the work: stages with at least as many runnable rule applications as
+      pool participants fan whole applications out (one per domain), while
+      stages with fewer — one heavy recursive rule is the common case —
+      shard each application's driving input into morsels instead
+      ({!Engine.run_plan_sharded}, unless the grain is [`Rules]).  Both
+      merge deterministically at the stage barrier, so the computed limit
+      is identical.
 
     The [neg] parameter selects where {e negated} occurrences of evolving
     predicates read: the current valuation (inflationary semantics) or a
@@ -51,6 +56,8 @@ val run :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   ?label:string ->
   rules:Datalog.Ast.rule list ->
   schema:Relalg.Schema.t ->
@@ -69,8 +76,34 @@ val run :
     across iterations; [cache], when given, additionally shares plans
     across saturations (the well-founded alternating fixpoint and the
     stratified layers pass one).  Plans are fetched in the coordinator
-    before any parallel fan-out.  [stats], when given, accumulates
-    iteration/rule/index counters; if [label] is also given, the run's wall
-    time is recorded as a stage under that name (the stratified evaluator
-    labels each stratum, the inflationary evaluator the whole
-    saturation). *)
+    before any parallel fan-out.  [pool] (default
+    {!Negdl_util.Domain_pool.default}) and [grain] (default
+    {!Engine.default_grain}) only matter under [`Parallel]: they pick the
+    domains and the morsel size for intra-rule sharding.  [stats], when
+    given, accumulates iteration/rule/index counters; if [label] is also
+    given, the run's wall time is recorded as a stage under that name (the
+    stratified evaluator labels each stratum, the inflationary evaluator
+    the whole saturation). *)
+
+val apply_once :
+  ?parallel:bool ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
+  ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?stats:Stats.t ->
+  rules:Datalog.Ast.rule list ->
+  schema:Relalg.Schema.t ->
+  universe:Relalg.Symbol.t list ->
+  base:Engine.source ->
+  neg:[ `Current | `Fixed of Engine.source ] ->
+  current:Idb.t ->
+  unit ->
+  Idb.t
+(** A single full Theta application (no iteration): every rule applied once
+    against [current], with evolving predicates resolved there and
+    everything else in [base] — the building block {!Theta.apply} uses for
+    its [~parallel] mode.  Under [parallel] the stage parallelises exactly
+    like one {!run} stage (rule fan-out or intra-rule sharding). *)

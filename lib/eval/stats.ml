@@ -7,6 +7,9 @@ type t = {
   mutable tuples_allocated : int;
   mutable bulk_builds : int;
   plan : Plan.counters;
+  mutable morsels : int;
+  mutable steals : int;
+  mutable max_shard_skew : int;
   mutable stages : (string * float) list;
   mutable wall : float;
   mutable extra : (string * int) list;
@@ -20,6 +23,9 @@ let create () =
     tuples_allocated = 0;
     bulk_builds = 0;
     plan = Plan.counters ();
+    morsels = 0;
+    steals = 0;
+    max_shard_skew = 0;
     stages = [];
     wall = 0.0;
     extra = [];
@@ -32,6 +38,9 @@ let merge_into dst ~src =
   dst.tuples_allocated <- dst.tuples_allocated + src.tuples_allocated;
   dst.bulk_builds <- dst.bulk_builds + src.bulk_builds;
   Plan.merge_counters dst.plan ~src:src.plan;
+  dst.morsels <- dst.morsels + src.morsels;
+  dst.steals <- dst.steals + src.steals;
+  dst.max_shard_skew <- max dst.max_shard_skew src.max_shard_skew;
   dst.stages <- src.stages @ dst.stages;
   dst.wall <- dst.wall +. src.wall;
   dst.extra <- src.extra @ dst.extra
@@ -63,6 +72,9 @@ let pp ppf t =
   Format.fprintf ppf "full scans:        %d@," t.plan.Plan.full_scans;
   Format.fprintf ppf "bucket probes:     %d@," t.plan.Plan.bucket_probes;
   Format.fprintf ppf "enumerations:      %d@," t.plan.Plan.enumerations;
+  Format.fprintf ppf "morsels executed:  %d@," t.morsels;
+  Format.fprintf ppf "morsel steals:     %d@," t.steals;
+  Format.fprintf ppf "max shard skew:    %d@," t.max_shard_skew;
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-18s %d@," (name ^ ":") v)
     (List.rev t.extra);

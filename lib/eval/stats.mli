@@ -27,6 +27,16 @@ type t = {
       (** The plan layer's counter block: plan compiles and cache hits,
           index hits/builds, full scans, bucket probes and universe
           enumerations — see {!Planlib.Plan.counters}. *)
+  mutable morsels : int;
+      (** Morsels executed by sharded (intra-rule parallel) plan runs —
+          0 whenever evaluation never took the sharded path. *)
+  mutable steals : int;
+      (** Steal-half operations between shard participants (0 with a
+          single participant: nobody to steal from). *)
+  mutable max_shard_skew : int;
+      (** Worst per-barrier imbalance seen: max - min morsels executed
+          across the participants of one sharded run (0 with a single
+          participant).  Merged with [max], not [+]. *)
   mutable stages : (string * float) list;
       (** Wall time per named stage, most recent first. *)
   mutable wall : float;  (** Total wall-clock seconds recorded. *)

@@ -14,7 +14,8 @@ let idb_schema_exn p =
   | Ok s -> s
   | Error msg -> invalid_arg ("Stratified: " ^ msg)
 
-let eval ?engine ?planner ?cache ?indexing ?storage ?stats p db =
+let eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
+    =
   match Datalog.Stratify.stratify p with
   | Datalog.Stratify.Not_stratifiable { offending } ->
     Error (Not_stratifiable { offending })
@@ -42,8 +43,8 @@ let eval ?engine ?planner ?cache ?indexing ?storage ?stats p db =
         let base = Engine.layered db accumulated in
         let trace =
           Saturate.run ?engine ?planner ~cache ?indexing ?storage ?stats
-            ~label:(Printf.sprintf "stratum %d" s) ~rules ~schema ~universe
-            ~base ~neg:`Current ~init:(Idb.empty schema) ()
+            ?pool ?grain ~label:(Printf.sprintf "stratum %d" s) ~rules
+            ~schema ~universe ~base ~neg:`Current ~init:(Idb.empty schema) ()
         in
         let accumulated =
           List.fold_left
@@ -55,7 +56,10 @@ let eval ?engine ?planner ?cache ?indexing ?storage ?stats p db =
     in
     Ok (layer 0 (Idb.empty full_schema))
 
-let eval_exn ?engine ?planner ?cache ?indexing ?storage ?stats p db =
-  match eval ?engine ?planner ?cache ?indexing ?storage ?stats p db with
+let eval_exn ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain
+    p db =
+  match
+    eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
+  with
   | Ok idb -> idb
   | Error e -> invalid_arg ("Stratified.eval: " ^ error_to_string e)

@@ -17,10 +17,14 @@ val eval :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   (Idb.t, error) result
-(** [stats], when given, records one wall-time stage per stratum. *)
+(** [stats], when given, records one wall-time stage per stratum.  [pool]
+    and [grain] are passed through to {!Saturate.run} and only matter under
+    [`Parallel]. *)
 
 val eval_exn :
   ?engine:Saturate.engine ->
@@ -29,6 +33,8 @@ val eval_exn :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t

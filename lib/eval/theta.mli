@@ -9,6 +9,9 @@
     equals [s]. *)
 
 val apply :
+  ?parallel:bool ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   ?planner:Engine.planner ->
   ?cache:Planlib.Cache.t ->
   ?indexing:Engine.indexing ->
@@ -18,7 +21,13 @@ val apply :
   Relalg.Database.t ->
   Idb.t ->
   Idb.t
-(** One application of Theta.
+(** One application of Theta.  With [~parallel:true] the application runs
+    across [pool] (default {!Negdl_util.Domain_pool.default}) exactly like
+    one [`Parallel] saturation stage: whole-rule fan-out when there are at
+    least as many rules as pool participants, morsel-sharded plan
+    execution within each rule otherwise ([grain], default
+    {!Engine.default_grain}, sizes the morsels; [`Rules] forces fan-out).
+    The result is identical either way.
     @raise Invalid_argument if the program has inconsistent arities. *)
 
 val is_fixpoint : Datalog.Ast.program -> Relalg.Database.t -> Idb.t -> bool
@@ -40,6 +49,9 @@ type iteration_outcome =
 
 val iterate :
   ?max_steps:int ->
+  ?parallel:bool ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   ?planner:Engine.planner ->
   Datalog.Ast.program ->
   Relalg.Database.t ->

@@ -32,6 +32,8 @@ val eval :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   model
@@ -43,6 +45,8 @@ val reduct_fixpoint :
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
   Datalog.Ast.program ->
   Relalg.Database.t ->
   Idb.t ->

@@ -464,15 +464,29 @@ let value env = function
   | Const c -> c
   | Slot s -> Array.unsafe_get env s
 
-let run ?(indexing = `Cached) ?counters ~resolver ~universe plan ~on_row =
-  plan.runs <- plan.runs + 1;
+(* A prepared execution context: the per-run state the old [run] built
+   inline — resolved sources, slot environment, scratch probe tuples,
+   per-call index tables — plus the index of the plan's {e driving} step
+   (the first [Scan]/[Index_probe]/[Enumerate], whose input rows the
+   sharded executor partitions into morsels).  One context belongs to one
+   domain; a shared compiled plan is only touched through the
+   racy-but-benign [actual]/[runs] counters. *)
+type prepared = {
+  p_plan : t;
+  p_indexing : indexing;
+  p_counters : counters option;
+  p_universe : Symbol.t list;
+  p_env : Symbol.t array;
+  p_rels : Relation.t array;
+  p_scratch : Symbol.t array array;
+  p_percall : (Symbol.t, Tuple.t list) Hashtbl.t option array;
+  p_driving : int;
+}
+
+let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
   let steps = plan.steps in
   let nsteps = Array.length steps in
   let env = Array.make (max plan.nslots 1) dummy in
-  (* Per-execution state: sources are resolved and scratch probe tuples
-     allocated once per run, so one compiled plan is shareable across
-     domains (the plan itself is only touched through the racy-but-benign
-     [actual] counters). *)
   let rels = Array.make (max nsteps 1) (Relation.empty 0) in
   let scratch = Array.make (max nsteps 1) [||] in
   let percall = Array.make (max nsteps 1) None in
@@ -495,36 +509,136 @@ let run ?(indexing = `Cached) ?counters ~resolver ~universe plan ~on_row =
         scratch.(i) <- Array.make access.arity dummy
       | Compare _ | Assign _ | Enumerate _ -> ())
     steps;
-  let bump_scan () =
-    match counters with
-    | Some c -> c.full_scans <- c.full_scans + 1
-    | None -> ()
-  in
-  let bump_probes n =
-    match counters with
-    | Some c -> c.bucket_probes <- c.bucket_probes + n
-    | None -> ()
-  in
-  let bump_index hit =
-    match counters with
-    | Some c ->
-      if hit then c.index_hits <- c.index_hits + 1
-      else c.index_builds <- c.index_builds + 1
-    | None -> ()
-  in
-  let bump_enum () =
-    match counters with
-    | Some c -> c.enumerations <- c.enumerations + 1
-    | None -> ()
-  in
-  let probe i args =
-    let scr = scratch.(i) in
-    for j = 0 to Array.length args - 1 do
-      scr.(j) <- value env args.(j)
-    done;
-    (* Probed, never retained. *)
-    Relation.mem (Tuple.unsafe_make scr) rels.(i)
-  in
+  let driving = ref (-1) in
+  Array.iteri
+    (fun i st ->
+      if !driving < 0 then
+        match st.op with
+        | Scan _ | Index_probe _ | Enumerate _ -> driving := i
+        | Compare _ | Assign _ | Const_filter _ | Neg_check _ -> ())
+    steps;
+  {
+    p_plan = plan;
+    p_indexing = indexing;
+    p_counters = counters;
+    p_universe = universe;
+    p_env = env;
+    p_rels = rels;
+    p_scratch = scratch;
+    p_percall = percall;
+    p_driving = !driving;
+  }
+
+let bump_scan prep =
+  match prep.p_counters with
+  | Some c -> c.full_scans <- c.full_scans + 1
+  | None -> ()
+
+let bump_probes prep n =
+  match prep.p_counters with
+  | Some c -> c.bucket_probes <- c.bucket_probes + n
+  | None -> ()
+
+let bump_index prep hit =
+  match prep.p_counters with
+  | Some c ->
+    if hit then c.index_hits <- c.index_hits + 1
+    else c.index_builds <- c.index_builds + 1
+  | None -> ()
+
+let bump_enum prep =
+  match prep.p_counters with
+  | Some c -> c.enumerations <- c.enumerations + 1
+  | None -> ()
+
+let probe prep i args =
+  let scr = prep.p_scratch.(i) in
+  let env = prep.p_env in
+  for j = 0 to Array.length args - 1 do
+    scr.(j) <- value env args.(j)
+  done;
+  (* Probed, never retained. *)
+  Relation.mem (Tuple.unsafe_make scr) prep.p_rels.(i)
+
+let percall_table prep i col =
+  match prep.p_percall.(i) with
+  | Some table ->
+    bump_index prep true;
+    table
+  | None ->
+    bump_index prep false;
+    let table = Hashtbl.create 64 in
+    Relation.iter
+      (fun t ->
+        let k = Tuple.get t col in
+        Hashtbl.replace table k
+          (t :: Option.value ~default:[] (Hashtbl.find_opt table k)))
+      prep.p_rels.(i);
+    prep.p_percall.(i) <- Some table;
+    table
+
+(* Rows of the driving step's input — the quantity the sharded executor
+   partitions.  Positions are stable per relation value: backend iteration
+   order for scans, bucket order for probes, universe order for
+   enumerations.  The constant prefix before the driving step (compares,
+   assigns, membership filters) is evaluated here so a probe key bound by
+   an earlier [Assign] resolves, and so a failed prefix reports 0 rows;
+   no [actual] or probe counters are bumped (this is a counting pass —
+   execution re-runs the prefix). *)
+let driving_rows prep =
+  let steps = prep.p_plan.steps in
+  let env = prep.p_env in
+  let d = prep.p_driving in
+  if d < 0 then 1
+  else begin
+    let rec prefix i =
+      i = d
+      || (match steps.(i).op with
+         | Compare { negated; left; right } ->
+           Symbol.equal (value env left) (value env right) <> negated
+         | Assign { slot; value = v } ->
+           env.(slot) <- value env v;
+           true
+         | Const_filter { args; _ } -> probe prep i args
+         | Neg_check { args; _ } -> not (probe prep i args)
+         | Scan _ | Index_probe _ | Enumerate _ -> assert false)
+         && prefix (i + 1)
+    in
+    if not (prefix 0) then 0
+    else
+      match steps.(d).op with
+      | Scan _ -> Relation.cardinal prep.p_rels.(d)
+      | Enumerate _ -> List.length prep.p_universe
+      | Index_probe { col; key; _ } -> (
+        match prep.p_indexing with
+        | `Scan -> Relation.cardinal prep.p_rels.(d)
+        | `Cached ->
+          (* Also warms the relation's memoized index in the coordinator,
+             so shard contexts hit it. *)
+          List.length (Relation.matching col (value env key) prep.p_rels.(d))
+        | `Percall ->
+          (* Count matches without building this context's throwaway
+             table — shard contexts each build their own. *)
+          let k = value env key in
+          Relation.fold
+            (fun t n -> if Symbol.equal (Tuple.get t col) k then n + 1 else n)
+            prep.p_rels.(d) 0)
+      | Compare _ | Assign _ | Const_filter _ | Neg_check _ -> assert false
+  end
+
+(* The execution core.  [lo, hi) restricts the {e driving} step to the
+   given slice of its input positions; [0, max_int) is an unrestricted
+   execution (and behaves — counters included — exactly like one, since
+   every position is then in range).  Steps before the driving step are
+   constant-decided, so the driving step runs at most once per call and a
+   single position cursor suffices. *)
+let exec_range prep ~lo ~hi ~on_row =
+  let plan = prep.p_plan in
+  let steps = plan.steps in
+  let nsteps = Array.length steps in
+  let env = prep.p_env in
+  let universe = prep.p_universe in
+  let d = prep.p_driving in
   let rec exec i =
     if i = nsteps then on_row env
     else
@@ -540,81 +654,181 @@ let run ?(indexing = `Cached) ?counters ~resolver ~universe plan ~on_row =
         st.actual <- st.actual + 1;
         exec (i + 1)
       | Enumerate { slot } ->
-        bump_enum ();
-        List.iter
-          (fun c ->
-            env.(slot) <- c;
-            st.actual <- st.actual + 1;
-            exec (i + 1))
-          universe
+        bump_enum prep;
+        if i = d then begin
+          let pos = ref 0 in
+          List.iter
+            (fun c ->
+              let p = !pos in
+              incr pos;
+              if p >= lo && p < hi then begin
+                env.(slot) <- c;
+                st.actual <- st.actual + 1;
+                exec (i + 1)
+              end)
+            universe
+        end
+        else
+          List.iter
+            (fun c ->
+              env.(slot) <- c;
+              st.actual <- st.actual + 1;
+              exec (i + 1))
+            universe
       | Const_filter { args; _ } ->
-        if probe i args then begin
+        if probe prep i args then begin
           st.actual <- st.actual + 1;
           exec (i + 1)
         end
       | Neg_check { args; _ } ->
-        if not (probe i args) then begin
+        if not (probe prep i args) then begin
           st.actual <- st.actual + 1;
           exec (i + 1)
         end
       | Scan { pat; _ } ->
-        bump_scan ();
-        Relation.iter
-          (fun t ->
+        bump_scan prep;
+        scan_rel i pat
+      | Index_probe { col; key; pat; _ } -> (
+        match prep.p_indexing with
+        | `Scan ->
+          (* The probed column is still checked by the pattern, so the
+             fallback is a plain filtered scan (sliced by scan position
+             when this is the driving step). *)
+          bump_scan prep;
+          scan_rel i pat
+        | `Cached ->
+          bump_index prep (Relation.has_index prep.p_rels.(i) col);
+          stream i pat (Relation.matching col (value env key) prep.p_rels.(i))
+        | `Percall ->
+          let table = percall_table prep i col in
+          stream i pat
+            (Option.value ~default:[] (Hashtbl.find_opt table (value env key))))
+  and scan_rel i pat =
+    let st = Array.unsafe_get steps i in
+    if i = d then begin
+      let pos = ref 0 in
+      Relation.iter
+        (fun t ->
+          let p = !pos in
+          incr pos;
+          if p >= lo && p < hi && match_pat env pat t then begin
+            st.actual <- st.actual + 1;
+            exec (i + 1)
+          end)
+        prep.p_rels.(i)
+    end
+    else
+      Relation.iter
+        (fun t ->
+          if match_pat env pat t then begin
+            st.actual <- st.actual + 1;
+            exec (i + 1)
+          end)
+        prep.p_rels.(i)
+  and stream i pat bucket =
+    let st = Array.unsafe_get steps i in
+    if i = d then begin
+      (* Slice of the bucket's positions; probe counters see only the
+         slice, so shard totals add up to the unrestricted count. *)
+      let pos = ref 0 in
+      let visited = ref 0 in
+      List.iter
+        (fun t ->
+          let p = !pos in
+          incr pos;
+          if p >= lo && p < hi then begin
+            incr visited;
             if match_pat env pat t then begin
               st.actual <- st.actual + 1;
               exec (i + 1)
-            end)
-          rels.(i)
-      | Index_probe { col; key; pat; _ } -> (
-        let stream bucket =
-          bump_probes (List.length bucket);
-          List.iter
-            (fun t ->
-              if match_pat env pat t then begin
-                st.actual <- st.actual + 1;
-                exec (i + 1)
-              end)
-            bucket
-        in
-        match indexing with
-        | `Scan ->
-          (* The probed column is still checked by the pattern, so the
-             fallback is a plain filtered scan. *)
-          bump_scan ();
-          Relation.iter
-            (fun t ->
-              if match_pat env pat t then begin
-                st.actual <- st.actual + 1;
-                exec (i + 1)
-              end)
-            rels.(i)
-        | `Cached ->
-          bump_index (Relation.has_index rels.(i) col);
-          stream (Relation.matching col (value env key) rels.(i))
-        | `Percall ->
-          let table =
-            match percall.(i) with
-            | Some table ->
-              bump_index true;
-              table
-            | None ->
-              bump_index false;
-              let table = Hashtbl.create 64 in
-              Relation.iter
-                (fun t ->
-                  let k = Tuple.get t col in
-                  Hashtbl.replace table k
-                    (t :: Option.value ~default:[] (Hashtbl.find_opt table k)))
-                rels.(i);
-              percall.(i) <- Some table;
-              table
-          in
-          stream
-            (Option.value ~default:[]
-               (Hashtbl.find_opt table (value env key))))
+            end
+          end)
+        bucket;
+      bump_probes prep !visited
+    end
+    else begin
+      bump_probes prep (List.length bucket);
+      List.iter
+        (fun t ->
+          if match_pat env pat t then begin
+            st.actual <- st.actual + 1;
+            exec (i + 1)
+          end)
+        bucket
+    end
   in
   exec 0
+
+let exec prep ~on_row = exec_range prep ~lo:0 ~hi:max_int ~on_row
+
+let run ?indexing ?counters ~resolver ~universe plan ~on_row =
+  plan.runs <- plan.runs + 1;
+  exec (prepare ?indexing ?counters ~resolver ~universe plan) ~on_row
+
+(* --- sharded execution -------------------------------------------------- *)
+
+type shard_report = {
+  sh_morsels : int;
+  sh_steals : int;
+  sh_executed : int array;
+}
+
+(* Target: ~8 morsels per participant so stealing can rebalance, floored
+   at 16 driving rows per morsel so tiny inputs don't drown in scheduling
+   overhead.  A lone worker gets the whole input as one morsel: with no
+   one to steal, splitting only pays per-morsel setup for nothing. *)
+let auto_grain ~rows ~workers =
+  let w = max 1 workers in
+  if w = 1 then max 16 rows else max 16 ((rows + (8 * w) - 1) / (8 * w))
+
+let run_sharded ?(indexing = `Cached) ?(counters = fun _ -> None) ~pool ?grain
+    ~resolver ~universe plan ~on_row =
+  plan.runs <- plan.runs + 1;
+  (* The counting context doubles as participant 0's execution context. *)
+  let count_ctx = prepare ~indexing ~resolver ~universe plan in
+  let rows = driving_rows count_ctx in
+  let workers = Negdl_util.Domain_pool.size pool + 1 in
+  let g =
+    match grain with
+    | Some g -> max 1 g
+    | None -> auto_grain ~rows ~workers
+  in
+  let morsels = if rows = 0 then 0 else (rows + g - 1) / g in
+  if morsels <= 1 then begin
+    (* One morsel (or a constant-decided plan, [p_driving < 0]): run
+       unrestricted on the calling domain. *)
+    if morsels = 1 then
+      exec { count_ctx with p_counters = counters 0 } ~on_row:(on_row 0);
+    { sh_morsels = morsels; sh_steals = 0; sh_executed = [| morsels |] }
+  end
+  else begin
+    let np = max 1 (min workers morsels) in
+    (* Per-participant contexts, created lazily on the participant's own
+       domain (slot [p] is only touched by participant [p]). *)
+    let preps = Array.make np None in
+    let ctx p =
+      match preps.(p) with
+      | Some prep -> prep
+      | None ->
+        let prep =
+          if p = 0 then { count_ctx with p_counters = counters 0 }
+          else prepare ~indexing ?counters:(counters p) ~resolver ~universe plan
+        in
+        preps.(p) <- Some prep;
+        prep
+    in
+    let _, report =
+      Negdl_util.Domain_pool.run_morsels pool ~morsels (fun p i ->
+          exec_range (ctx p) ~lo:(i * g)
+            ~hi:(min rows ((i + 1) * g))
+            ~on_row:(on_row p))
+    in
+    {
+      sh_morsels = morsels;
+      sh_steals = report.Negdl_util.Domain_pool.steals;
+      sh_executed = report.Negdl_util.Domain_pool.executed;
+    }
+  end
 
 let head_tuple plan env =
   let args = plan.head_args in

@@ -162,6 +162,81 @@ val run :
     (no exceptions on the hot path) and allocation-free apart from index
     construction and the caller's [on_row]. *)
 
+(** {2 Sharded (morsel-driven) execution}
+
+    Every plan has a {e driving} step — its first [Scan], [Index_probe] or
+    [Enumerate] — whose input rows (relation scan positions, index-bucket
+    positions, or universe positions) are the only unbounded iteration
+    before the first binding.  Sharded execution partitions those rows
+    into fixed-size morsels and fans them over a {!Negdl_util.Domain_pool}
+    with work stealing, executing the same compiled plan in every shard
+    over a per-shard context.  Row positions are stable per relation value,
+    so the set of emitted rows is independent of the schedule; merge
+    per-shard accumulators in participant order for full determinism. *)
+
+type prepared
+(** A per-domain execution context: resolved sources, slot registers,
+    scratch probe tuples, per-call index tables, and the driving-step
+    index.  Cheap relative to execution; one per (plan, run, domain). *)
+
+val prepare :
+  ?indexing:indexing ->
+  ?counters:counters ->
+  resolver:resolver ->
+  universe:Relalg.Symbol.t list ->
+  t ->
+  prepared
+(** Resolves the plan's sources and allocates the per-run state {!run}
+    otherwise builds internally.  Does not count as an execution ([runs]
+    is untouched). *)
+
+val driving_rows : prepared -> int
+(** How many input rows the driving step would iterate: the driven
+    relation's cardinality for scans, the probed bucket's length for index
+    probes (under [`Scan] indexing, the cardinality — the fallback scans),
+    the universe size for enumerations, and 1 for plans with no driving
+    step (fully constant-decided).  Evaluates the constant prefix before
+    the driving step — so a probe key bound by an earlier [Assign]
+    resolves, and a failed prefix filter reports 0 — without bumping any
+    [actual] or probe counters. *)
+
+val auto_grain : rows:int -> workers:int -> int
+(** The default morsel size: [rows / (8 * workers)], floored at 16 — about
+    eight morsels per participant so stealing can rebalance uneven shards,
+    but never so fine that scheduling dominates tiny inputs.  With a
+    single worker the whole input is one morsel: there is nobody to steal
+    a share, so splitting would only pay per-morsel overhead. *)
+
+type shard_report = {
+  sh_morsels : int;  (** Morsels executed ([ceil (rows / grain)]). *)
+  sh_steals : int;  (** Steal-half operations between participants. *)
+  sh_executed : int array;
+      (** Morsels per participant; max - min is the shard skew. *)
+}
+
+val run_sharded :
+  ?indexing:indexing ->
+  ?counters:(int -> counters option) ->
+  pool:Negdl_util.Domain_pool.t ->
+  ?grain:int ->
+  resolver:resolver ->
+  universe:Relalg.Symbol.t list ->
+  t ->
+  on_row:(int -> Relalg.Symbol.t array -> unit) ->
+  shard_report
+(** Executes the plan with its driving step sharded into morsels of
+    [grain] rows (default {!auto_grain}) over [pool].  [on_row p env] and
+    [counters p] are keyed by participant — [on_row] must be thread-safe
+    across {e distinct} participants but is never called concurrently for
+    one participant, so per-participant accumulators need no locking.
+    Participant indices are dense in [0, pool size + 1).  With one morsel
+    (or a pool of size 0 and a single participant) everything runs inline
+    on the calling domain and emits exactly what {!run} would (the only
+    counter drift: the row-counting pass may warm a cached index, turning
+    {!run}'s one index build into a hit).  The emitted row {e set} is
+    schedule-independent; per-participant attribution is not (merge in
+    participant order for determinism). *)
+
 val head_tuple : t -> Relalg.Symbol.t array -> Relalg.Tuple.t
 (** The head tuple under the given environment (freshly allocated). *)
 

@@ -202,4 +202,19 @@ let builder_add b t =
 
 let builder_card b = b.b_card
 
+let builder_arity b = b.b_arity
+
+let builder_merge b1 b2 =
+  (* Count the smaller side's fresh ids before the Patricia union, so the
+     merged cardinality stays exact without an O(result) recount. *)
+  let big, small = if b1.b_card >= b2.b_card then (b1, b2) else (b2, b1) in
+  let fresh =
+    Idset.fold
+      (fun id n -> if Idset.mem id big.b_ids then n else n + 1)
+      small.b_ids 0
+  in
+  big.b_ids <- Idset.union big.b_ids small.b_ids;
+  big.b_card <- big.b_card + fresh;
+  big
+
 let build b = make_t b.b_arity b.b_ids b.b_card

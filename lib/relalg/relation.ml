@@ -224,6 +224,23 @@ let builder_cardinal = function
   | TB b -> Tree_store.builder_card b
   | HB b -> Hash_store.builder_card b
 
+let builder_arity = function
+  | TB b -> Tree_store.builder_arity b
+  | HB b -> Hash_store.builder_arity b
+
+let builder_merge b1 b2 =
+  if builder_arity b1 <> builder_arity b2 then
+    invalid_arg
+      (Printf.sprintf "Relation.builder_merge: arities %d and %d differ"
+         (builder_arity b1) (builder_arity b2));
+  match (b1, b2) with
+  | TB a, TB b -> TB (Tree_store.builder_merge a b)
+  | HB a, HB b -> HB (Hash_store.builder_merge a b)
+  | (TB _ | HB _), _ ->
+    (* Shard accumulators of one execution share one backend by
+       construction; a mixed merge is a caller bug, not a coercion case. *)
+    invalid_arg "Relation.builder_merge: mixed storage backends"
+
 let build = function TB b -> T (Tree_store.build b) | HB b -> H (Hash_store.build b)
 
 (* --- derived relational algebra ----------------------------------------- *)

@@ -134,6 +134,17 @@ val builder_add : builder -> Tuple.t -> bool
 
 val builder_cardinal : builder -> int
 
+val builder_arity : builder -> int
+
+val builder_merge : builder -> builder -> builder
+(** Destructive union: merges the smaller builder into the larger one in
+    O(smaller) set operations and returns the combined accumulator.
+    Neither argument may be used afterwards.  The sharded plan executor
+    merges per-shard accumulators with this at the barrier — cheaper than
+    materialising per-shard relations and unioning them.
+    @raise Invalid_argument on an arity or storage-backend mismatch (shard
+    accumulators of one execution always share both). *)
+
 val build : builder -> t
 (** Finalise.  The builder must not be reused afterwards; the relation's
     column indexes start lazy (built on first join against it). *)

@@ -99,6 +99,14 @@ module type S = sig
 
   val builder_card : builder -> int
 
+  val builder_arity : builder -> int
+
+  val builder_merge : builder -> builder -> builder
+  (** Destructive union of two builders in O(smaller) set operations: the
+      result reuses the larger builder's storage.  Neither argument may be
+      used afterwards (the sharded plan executor merges per-shard
+      accumulators with this at the barrier). *)
+
   val build : builder -> t
   (** Finalise.  The builder must not be reused afterwards. *)
 end

@@ -147,4 +147,19 @@ let builder_add b t =
 
 let builder_card b = b.b_card
 
+let builder_arity b = b.b_arity
+
+let builder_merge b1 b2 =
+  (* Fold the smaller tree into the larger one, counting fresh tuples so
+     the merged cardinality stays exact. *)
+  let big, small = if b1.b_card >= b2.b_card then (b1, b2) else (b2, b1) in
+  TSet.iter
+    (fun t ->
+      if not (TSet.mem t big.b_set) then begin
+        big.b_set <- TSet.add t big.b_set;
+        big.b_card <- big.b_card + 1
+      end)
+    small.b_set;
+  big
+
 let build b = make_t b.b_arity b.b_set

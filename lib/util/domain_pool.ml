@@ -113,9 +113,138 @@ let run t thunks =
            | None -> assert false)
          results)
 
+(* --- morsel scheduling -------------------------------------------------- *)
+
+type morsel_report = {
+  participants : int;
+  executed : int array;
+  steals : int;
+}
+
+(* A participant's range of morsel indices, packed [lo, hi) into one
+   atomic int so claim and steal are single CAS operations.  31 bits per
+   bound keeps the packing portable to any 64-bit [int]. *)
+let range_bits = 31
+
+let range_mask = (1 lsl range_bits) - 1
+
+let pack lo hi = (lo lsl range_bits) lor hi
+
+let range_lo r = r lsr range_bits
+
+let range_hi r = r land range_mask
+
+let run_morsels t ~morsels f =
+  if morsels < 0 then invalid_arg "Domain_pool.run_morsels: negative count";
+  if morsels > range_mask then
+    invalid_arg "Domain_pool.run_morsels: too many morsels";
+  let np = max 1 (min (t.size + 1) morsels) in
+  if np = 1 then begin
+    (* Single participant (pool of size 0, or one morsel): run inline on
+       the calling domain, no atomics, exceptions propagate directly. *)
+    let results = Array.make morsels None in
+    for i = 0 to morsels - 1 do
+      results.(i) <- Some (f 0 i)
+    done;
+    ( Array.map (function Some v -> v | None -> assert false) results,
+      { participants = 1; executed = [| morsels |]; steals = 0 } )
+  end
+  else begin
+    (* Initial even split; a participant whose range runs dry steals the
+       larger half of the fullest remaining range, so uneven morsels don't
+       straggle behind one worker. *)
+    let ranges =
+      Array.init np (fun p ->
+          Atomic.make (pack (p * morsels / np) ((p + 1) * morsels / np)))
+    in
+    let steals = Atomic.make 0 in
+    let results = Array.make morsels None in
+    let executed = Array.make np 0 in
+    let rec claim p =
+      let r = ranges.(p) in
+      let cur = Atomic.get r in
+      let lo = range_lo cur and hi = range_hi cur in
+      if lo < hi then
+        if Atomic.compare_and_set r cur (pack (lo + 1) hi) then Some lo
+        else claim p
+      else steal p
+    and steal p =
+      (* Only victims with >= 2 remaining morsels qualify: splitting a
+         single-morsel range would leave one side empty, and the thief
+         would spin re-stealing nothing until the owner finished it.  A
+         lone straggler morsel is at most one [f] call of imbalance. *)
+      let victim = ref (-1) and victim_rem = ref 1 in
+      for q = 0 to np - 1 do
+        if q <> p then begin
+          let c = Atomic.get ranges.(q) in
+          let rem = range_hi c - range_lo c in
+          if rem > !victim_rem then begin
+            victim := q;
+            victim_rem := rem
+          end
+        end
+      done;
+      if !victim < 0 then None
+      else begin
+        let q = !victim in
+        let c = Atomic.get ranges.(q) in
+        let lo = range_lo c and hi = range_hi c in
+        if hi - lo < 2 then steal p
+        else
+          let mid = lo + ((hi - lo) + 1) / 2 in
+          if Atomic.compare_and_set ranges.(q) c (pack lo mid) then begin
+            Atomic.incr steals;
+            (* Our own range is empty (that is why we are stealing) and
+               nobody else refills it, so a plain set is safe; thieves may
+               immediately steal from the new range in turn. *)
+            Atomic.set ranges.(p) (pack mid hi);
+            claim p
+          end
+          else steal p
+      end
+    in
+    let participant p () =
+      let rec go () =
+        match claim p with
+        | None -> ()
+        | Some i ->
+          (* Each index is claimed exactly once, so the slot write is
+             unique; the [run] barrier publishes it to the caller. *)
+          results.(i) <-
+            Some
+              (try Ok (f p i)
+               with e -> Error (e, Printexc.get_raw_backtrace ()));
+          executed.(p) <- executed.(p) + 1;
+          go ()
+      in
+      go ()
+    in
+    let (_ : unit list) = run t (List.init np participant) in
+    let values =
+      Array.init morsels (fun i ->
+          match results.(i) with
+          | Some (Ok v) -> v
+          | Some (Error err) -> reraise err
+          | None -> assert false)
+    in
+    (values, { participants = np; executed; steals = Atomic.get steals })
+  end
+
 let default_pool =
   lazy
-    (let p = create () in
+    (let size =
+       (* NEGDL_DOMAINS pins the pool's participant count (workers + the
+          calling domain) regardless of the host's core count — the cram
+          tests use NEGDL_DOMAINS=1 for deterministic single-participant
+          scheduling counters. *)
+       match Sys.getenv_opt "NEGDL_DOMAINS" with
+       | Some s -> (
+         match int_of_string_opt (String.trim s) with
+         | Some n when n >= 1 -> Some (n - 1)
+         | _ -> None)
+       | None -> None
+     in
+     let p = match size with Some n -> create ~size:n () | None -> create () in
      at_exit (fun () -> shutdown p);
      p)
 

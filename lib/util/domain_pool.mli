@@ -26,10 +26,41 @@ val size : t -> int
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run pool thunks] evaluates every thunk, distributing them over the
     worker domains (the calling domain also participates), and returns the
-    results in order.  This is a barrier: it returns only once every thunk
+    results in order.
+
+    Result order is a guarantee, not an accident of scheduling: result [i]
+    is thunk [i]'s value {e whatever order the thunks complete in} (each
+    job writes into its own slot, captured by index at submission).  The
+    sharded plan executor relies on this to merge per-shard accumulators
+    deterministically.  This is a barrier: it returns only once every thunk
     has finished.  If any thunk raises, the first exception (in task order)
     is re-raised after all tasks have settled.  Safe to call from one domain
     at a time per pool. *)
+
+type morsel_report = {
+  participants : int;
+      (** Participants scheduled: [min (size + 1) morsels], at least 1. *)
+  executed : int array;
+      (** Morsels run by each participant (length [participants]); the
+          spread between max and min is the shard skew. *)
+  steals : int;  (** Successful steal-half operations. *)
+}
+
+val run_morsels :
+  t -> morsels:int -> (int -> int -> 'a) -> 'a array * morsel_report
+(** [run_morsels pool ~morsels f] evaluates [f p i] for every morsel index
+    [i] in [0, morsels), fanned over the pool with work stealing:
+    participants [p] start with an even contiguous split of the index
+    space and, when their range runs dry, steal the larger half of the
+    fullest remaining range — so uneven morsels don't straggle behind one
+    worker.  Each index is claimed by exactly one participant, and the
+    result array is indexed by morsel (deterministic regardless of the
+    steal schedule).  [f] must be safe to call concurrently for distinct
+    [p]; per-participant state may be keyed on [p], which is dense in
+    [0, participants).  With a pool of size 0 (or a single morsel)
+    everything runs inline on the calling domain in index order.  If any
+    call raises, the first exception in morsel order is re-raised after
+    the barrier. *)
 
 val shutdown : t -> unit
 (** Joins and discards the worker domains.  The pool can be reused — the
@@ -37,4 +68,7 @@ val shutdown : t -> unit
 
 val default : unit -> t
 (** A process-wide shared pool, created on first use and shut down at
-    exit. *)
+    exit.  The environment variable [NEGDL_DOMAINS], when set to a
+    positive integer [n], pins this pool to [n] participants ([n - 1]
+    workers plus the calling domain) regardless of the host's core
+    count. *)

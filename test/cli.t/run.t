@@ -68,6 +68,59 @@ greedy replans on every application, scan runs the body in textual order):
   full scans:        5
   bucket probes:     3
   enumerations:      0
+  morsels executed:  0
+  morsel steals:     0
+  max shard skew:    0
+
+The parallel engine can shard a rule's driving input into morsels
+(--parallel-grain tuples each).  NEGDL_DOMAINS=1 pins the default pool to
+a single participant, so the scheduling counters are deterministic: the
+sequential engine above never shards (all three counters 0), while here
+each one-task stage runs morsel-by-morsel with nothing to steal:
+
+  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain 1 --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+  iterations:        4
+  rule applications: 5
+  tuples derived:    6
+  tuples allocated:  6
+  bulk builds:       5
+  plan compiles:     3
+  plan cache hits:   2
+  index hits:        6
+  index builds:      3
+  full scans:        11
+  bucket probes:     3
+  enumerations:      0
+  morsels executed:  9
+  morsel steals:     0
+  max shard skew:    0
+
+--parallel-grain rules restores pure whole-rule fan-out (the pre-morsel
+behaviour); the model is the same and no morsels are scheduled:
+
+  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain rules --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+  iterations:        4
+  rule applications: 5
+  tuples derived:    6
+  tuples allocated:  6
+  bulk builds:       5
+  plan compiles:     3
+  plan cache hits:   2
+  index hits:        6
+  index builds:      3
+  full scans:        5
+  bucket probes:     3
+  enumerations:      0
+  morsels executed:  0
+  morsel steals:     0
+  max shard skew:    0
+
+A bad grain is a usage error:
+
+  $ negdl eval tc.dl path4.facts --parallel-grain zero -p s 2>&1 | head -1
+  negdl: option '--parallel-grain': unknown grain "zero" (auto, rules, or a
 
 The Section 2 census on the 4-cycle: two incomparable fixpoints, no least:
 

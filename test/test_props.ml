@@ -105,6 +105,72 @@ let prop_engine_matrix_semantics =
              Evallib.Wellfounded.eval ~storage ~engine ~indexing p db)
            wf_equal wf_ref)
 
+(* The morsel grain is pure scheduling: whatever the shard size (one tuple,
+   a prime that straddles shard boundaries, the auto heuristic) or the
+   rule-level fallback, the [`Parallel] engine must compute the reference
+   model — across planners and storage backends, and for every semantics
+   built on saturation. *)
+let grains : Evallib.Engine.grain list = [ `Fixed 1; `Fixed 7; `Auto; `Rules ]
+
+let planners : Evallib.Engine.planner list = [ `Static; `Greedy; `Scan ]
+
+(* One pool shared across all iterations: spawning domains per case would
+   dominate the property's runtime. *)
+let shared_pool = lazy (Negdl_util.Domain_pool.create ~size:2 ())
+
+let prop_grain_matrix =
+  QCheck.Test.make
+    ~name:"parallel engine agrees across grain x planner x storage (all \
+           semantics)"
+    ~count:30 arb_case (fun (p, db) ->
+      let pool = Lazy.force shared_pool in
+      let agree eval equal reference =
+        List.for_all
+          (fun grain ->
+            List.for_all
+              (fun planner ->
+                List.for_all
+                  (fun storage ->
+                    equal reference (eval ~grain ~planner ~storage))
+                  storages)
+              planners)
+          grains
+      in
+      let infl_ref = Evallib.Inflationary.eval p db in
+      let pos = positivise p in
+      let lfp_ref = Evallib.Naive.least_fixpoint pos db in
+      agree
+        (fun ~grain ~planner ~storage ->
+          Evallib.Inflationary.eval ~engine:`Parallel ~pool ~grain ~planner
+            ~storage p db)
+        Idb.equal infl_ref
+      && agree
+           (fun ~grain ~planner ~storage ->
+             Evallib.Naive.least_fixpoint ~engine:`Parallel ~pool ~grain
+               ~planner ~storage pos db)
+           Idb.equal lfp_ref
+      &&
+      if not (Datalog.Stratify.is_stratified p) then true
+      else
+        let strat_ref = Evallib.Stratified.eval_exn p db in
+        let wf_ref = Evallib.Wellfounded.eval p db in
+        let wf_equal (a : Evallib.Wellfounded.model) b =
+          Idb.equal a.Evallib.Wellfounded.true_facts
+            b.Evallib.Wellfounded.true_facts
+          && Idb.equal a.Evallib.Wellfounded.possible
+               b.Evallib.Wellfounded.possible
+        in
+        agree
+          (fun ~grain ~planner ~storage ->
+            Evallib.Stratified.eval_exn ~engine:`Parallel ~pool ~grain
+              ~planner ~storage p db)
+          Idb.equal strat_ref
+        && agree
+             (fun ~grain ~planner ~storage ->
+               Evallib.Wellfounded.eval ~engine:`Parallel ~pool ~grain
+                 ~planner ~storage p db)
+             wf_equal wf_ref)
+
 let prop_limit_is_inflationary_fixpoint =
   QCheck.Test.make ~name:"Theta(limit) is contained in the limit" ~count:150
     arb_case (fun (p, db) ->
@@ -260,6 +326,7 @@ let () =
             prop_engine_matrix_inflationary;
             prop_engine_matrix_positive;
             prop_engine_matrix_semantics;
+            prop_grain_matrix;
             prop_limit_is_inflationary_fixpoint;
             prop_deltas_partition;
             prop_ground_tracks_theta;

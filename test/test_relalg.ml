@@ -262,6 +262,49 @@ let test_backend_builder () =
       check bool "built storage" true (Relation.storage_of r = storage))
     storages
 
+let test_backend_builder_merge () =
+  List.iter
+    (fun storage ->
+      (* Disjoint accumulators: the union has both sides' tuples. *)
+      let fill tuples =
+        let b = Relation.builder ~storage 2 in
+        List.iter (fun t -> ignore (Relation.builder_add b t)) tuples;
+        b
+      in
+      let a = fill [ t2 "a" "b"; t2 "a" "c" ] in
+      let b = fill [ t2 "b" "c" ] in
+      let m = Relation.builder_merge a b in
+      check int "disjoint merge cardinal" 3 (Relation.builder_cardinal m);
+      check int "merged arity" 2 (Relation.builder_arity m);
+      (* Overlapping accumulators: duplicates collapse exactly. *)
+      let c = fill [ t2 "a" "b"; t2 "d" "e" ] in
+      let d = fill [ t2 "d" "e"; t2 "a" "b"; t2 "f" "g" ] in
+      let m2 = Relation.builder_merge c d in
+      check int "overlapping merge cardinal" 3 (Relation.builder_cardinal m2);
+      check bool "merge equals set union" true
+        (Relation.equal
+           (Relation.build m2)
+           (Relation.of_list ~storage 2
+              [ t2 "a" "b"; t2 "d" "e"; t2 "f" "g" ]));
+      (* Merging with an empty accumulator is the identity on contents. *)
+      let e = fill [ t2 "x" "y" ] in
+      let m3 = Relation.builder_merge e (fill []) in
+      check int "empty right" 1 (Relation.builder_cardinal m3);
+      (* Arity mismatch is rejected. *)
+      let b1 = Relation.builder ~storage 1 in
+      let b2 = Relation.builder ~storage 2 in
+      Alcotest.check_raises "arity mismatch"
+        (Invalid_argument "Relation.builder_merge: arities 1 and 2 differ")
+        (fun () -> ignore (Relation.builder_merge b1 b2)))
+    storages;
+  (* Mixed backends are rejected: accumulators cannot be unified cheaply
+     across representations. *)
+  let h = Relation.builder ~storage:`Hashed 2 in
+  let t = Relation.builder ~storage:`Treeset 2 in
+  Alcotest.check_raises "mixed backends"
+    (Invalid_argument "Relation.builder_merge: mixed storage backends")
+    (fun () -> ignore (Relation.builder_merge h t))
+
 let test_backend_full () =
   let u = List.map Symbol.intern [ "a"; "b"; "c" ] in
   let h = Relation.full ~storage:`Hashed u 2 in
@@ -532,6 +575,8 @@ let () =
           Alcotest.test_case "mixed-backend ops" `Quick test_backend_mixed_ops;
           Alcotest.test_case "add_all" `Quick test_backend_add_all;
           Alcotest.test_case "builder" `Quick test_backend_builder;
+          Alcotest.test_case "builder merge" `Quick
+            test_backend_builder_merge;
           Alcotest.test_case "full" `Quick test_backend_full;
           Alcotest.test_case "default storage" `Quick test_default_storage;
         ] );
