@@ -38,6 +38,15 @@
    header — the >= 2x morsel speedup check is skipped below 4 domains) and
    exits nonzero on any divergence.
 
+   Part 8 ("serve") is the incremental-serving benchmark: a long-lived
+   server absorbing single-fact and batched update streams (delete +
+   re-derive, insert, mixed read/write with concurrent cached queries)
+   against the cost of re-saturating from scratch on every batch, with
+   sustained updates/sec and p50/p99 query latency.  Writes
+   BENCH_serve.json and exits nonzero if the maintained model ever
+   diverges from from-scratch stratified saturation or if a full
+   (non-delta) rule application shows up on the incremental path.
+
    Run with:  dune exec bench/main.exe                    (parts 1 and 2)
               dune exec bench/main.exe -- tables          (part 1 only)
               dune exec bench/main.exe -- micro           (part 2 only)
@@ -45,7 +54,8 @@
               dune exec bench/main.exe -- storage [quick] (part 4 only)
               dune exec bench/main.exe -- satpar [quick]  (part 5 only)
               dune exec bench/main.exe -- plan [quick]    (part 6 only)
-              dune exec bench/main.exe -- par [quick]     (part 7 only) *)
+              dune exec bench/main.exe -- par [quick]     (part 7 only)
+              dune exec bench/main.exe -- serve [quick]   (part 8 only) *)
 
 open Negdl
 
@@ -1696,6 +1706,228 @@ let par_bench ~quick () =
     exit 1
   end
 
+(* --- Part 8: incremental serving benchmark (BENCH_serve.json) ---------------- *)
+
+(* Reachability with a negation-dependent complement: updates cross a
+   stratum boundary, so every batch exercises over-deletion, put-back and
+   the seeded insert phase. *)
+let serve_program =
+  Parser.parse_program_exn
+    "r(X, Y) :- e(X, Y). r(X, Y) :- e(X, Z), r(Z, Y). reached(Y) :- r(X, \
+     Y). unreached(X) :- v(X), !reached(X)."
+
+(* Many small components: a single-fact update only disturbs the component
+   it lands in, so incremental work must stay roughly [1/k] of a full
+   re-saturation — the delta-scaling regime a server lives in.  (One dense
+   strongly-connected graph is DRed's worst case: every closure fact
+   depends on every edge, and over-deletion legitimately touches
+   everything.) *)
+let serve_db ~seed ~components ~size =
+  let g =
+    Generate.disjoint_copies components
+      (Generate.random ~seed ~n:size ~p:(1.8 /. float_of_int size))
+  in
+  let n = Digraph.vertex_count g in
+  let db = db_of g in
+  ( List.fold_left
+      (fun d i ->
+        Database.add_fact "v" (Tuple.singleton (Digraph.vertex_symbol i)) d)
+      db
+      (List.init n (fun i -> i)),
+    n )
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (float_of_int n *. q)))
+
+let serve_bench ~quick () =
+  Format.printf
+    "Incremental serving benchmark (delta-driven DRed%s) -> BENCH_serve.json@."
+    (if quick then ", quick mode" else "");
+  let require = function Ok v -> v | Error e -> failwith e in
+  let components = if quick then 12 else 36 in
+  let batches = if quick then 60 else 240 in
+  let initial_db, n = serve_db ~seed:83 ~components ~size:8 in
+  let stats = Stats.create () in
+  let t = require (Serve.create ~stats serve_program initial_db) in
+  let ra_materialize = stats.Stats.rule_applications in
+  let td_materialize = stats.Stats.tuples_derived in
+  let edges_of t =
+    match Database.relation "e" (Serve.database t) with
+    | None -> [||]
+    | Some rel ->
+      Array.of_list (List.rev (Relation.fold (fun tup acc -> tup :: acc) rel []))
+  in
+  let rng = Prng.create 20260808 in
+  let vertex i = Digraph.vertex_symbol i in
+  let update_times = ref [] and query_times = ref [] in
+  let timed cell f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    cell := (Unix.gettimeofday () -. t0) :: !cell;
+    r
+  in
+  (* The update stream: deletions of present edges interleaved with
+     re-insertions and fresh random edges (the universe stays fixed, so the
+     enumerating-rule rescue never fires and [full_applications] must stay
+     0).  Every batch is followed by three queries — one repeated, so the
+     version-tagged cache both hits and gets invalidated continuously. *)
+  let deleted = ref [] in
+  let parity_failures = ref 0 in
+  for i = 1 to batches do
+    (match !deleted with
+    | tup :: rest when i mod 2 = 1 ->
+      deleted := rest;
+      ignore (require (timed update_times (fun () -> Serve.insert t [ ("e", tup) ])))
+    | _ -> (
+      let edges = edges_of t in
+      if i mod 4 = 0 || Array.length edges = 0 then
+        let u = Prng.int rng n and v = Prng.int rng n in
+        ignore
+          (timed update_times (fun () ->
+               Serve.insert t [ ("e", Tuple.pair (vertex u) (vertex v)) ]))
+      else begin
+        let tup = edges.(Prng.int rng (Array.length edges)) in
+        deleted := tup :: !deleted;
+        ignore
+          (require (timed update_times (fun () -> Serve.delete t [ ("e", tup) ])))
+      end));
+    let u = Prng.int rng n in
+    let q = { Ast.pred = "r"; args = [ Ast.Const (vertex u); Ast.Var "Y" ] } in
+    ignore (timed query_times (fun () -> Serve.query t q));
+    ignore (timed query_times (fun () -> Serve.query t q));
+    let unreached = { Ast.pred = "unreached"; args = [ Ast.Var "X" ] } in
+    ignore (require (timed query_times (fun () -> Serve.query t unreached)));
+    (* Spot parity: the maintained model vs from-scratch saturation. *)
+    if i mod (batches / 4) = 0 then begin
+      let scratch = Stratified.eval_exn serve_program (Serve.database t) in
+      if not (Idb.equal (Serve.snapshot t) scratch) then begin
+        incr parity_failures;
+        Format.printf "  DIVERGENCE after batch %d@." i
+      end
+    end
+  done;
+  let final_scratch = Stratified.eval_exn serve_program (Serve.database t) in
+  let final_parity = Idb.equal (Serve.snapshot t) final_scratch in
+  (* Batch parity: the net of all [batches] single-fact updates applied as
+     ONE batch to a fresh server must land on the same model. *)
+  let tuples_of db =
+    match Database.relation "e" db with
+    | None -> []
+    | Some rel -> List.rev (Relation.fold (fun tup acc -> tup :: acc) rel [])
+  in
+  let mem_edge db tup = Database.mem_fact "e" tup db in
+  let net_additions =
+    List.filter_map
+      (fun tup ->
+        if mem_edge initial_db tup then None else Some ("e", tup))
+      (tuples_of (Serve.database t))
+  and net_removals =
+    List.filter_map
+      (fun tup ->
+        if mem_edge (Serve.database t) tup then None else Some ("e", tup))
+      (tuples_of initial_db)
+  in
+  let one_batch = require (Serve.create serve_program initial_db) in
+  ignore
+    (require
+       (Serve.update one_batch ~additions:net_additions ~removals:net_removals));
+  let batch_parity =
+    Idb.fingerprint (Serve.snapshot one_batch)
+    = Idb.fingerprint (Serve.snapshot t)
+    && Idb.equal (Serve.snapshot one_batch) (Serve.snapshot t)
+  in
+  (* Work accounting: the incremental path across all batches vs paying one
+     full re-saturation per batch (what the old maintenance loop did). *)
+  let incremental_ra = stats.Stats.rule_applications - ra_materialize in
+  let incremental_td = stats.Stats.tuples_derived - td_materialize in
+  let full_stats = Stats.create () in
+  ignore
+    (Stratified.eval ~stats:full_stats serve_program (Serve.database t));
+  let full_ra = full_stats.Stats.rule_applications in
+  let full_td = full_stats.Stats.tuples_derived in
+  let extra name =
+    match List.assoc_opt name stats.Stats.extra with Some v -> v | None -> 0
+  in
+  let delta_apps = extra "dred delta applications" in
+  let putback_apps = extra "dred putback applications" in
+  let full_apps = extra "dred full applications" in
+  (* Work is measured in head tuples emitted, not application count: a
+     delta application over a one-fact change emits a handful of tuples
+     where a full re-saturation re-derives the entire model. *)
+  let work_ratio =
+    float_of_int incremental_td /. float_of_int (max 1 (full_td * batches))
+  in
+  let _, t_full = best_of 3 (fun () ->
+      Stratified.eval_exn serve_program (Serve.database t))
+  in
+  let updates = List.length !update_times in
+  let total_update_time = List.fold_left ( +. ) 0.0 !update_times in
+  let updates_per_sec = float_of_int updates /. total_update_time in
+  let qsorted = Array.of_list !query_times in
+  Array.sort compare qsorted;
+  let p50 = percentile qsorted 0.50 and p99 = percentile qsorted 0.99 in
+  let c = Serve.counters t in
+  Format.printf "  %d vertices, %d update batches, %d queries@." n updates
+    c.Serve.queries;
+  Format.printf "  sustained: %10.0f updates/sec (mean %.3f ms/batch)@."
+    updates_per_sec
+    (1e3 *. total_update_time /. float_of_int updates);
+  Format.printf "  query latency: p50 %8.1f us   p99 %8.1f us@." (1e6 *. p50)
+    (1e6 *. p99);
+  Format.printf "  cache: %d hits / %d misses@." c.Serve.cache_hits
+    c.Serve.cache_misses;
+  Format.printf
+    "  work: %d incremental tuples derived (%d applications: %d delta, %d \
+     putback, %d full) vs %d tuples per re-saturation -> ratio %.4f@."
+    incremental_td incremental_ra delta_apps putback_apps full_apps full_td
+    work_ratio;
+  Format.printf "  one full re-saturation: %.2f ms (%.1fx a mean batch)@."
+    (1e3 *. t_full)
+    (t_full /. (total_update_time /. float_of_int updates));
+  let no_full = full_apps = 0 in
+  let delta_scaling = work_ratio < 0.5 in
+  let parity = final_parity && !parity_failures = 0 in
+  Format.printf "  parity: maintained = from-scratch %s, one-batch net %s@."
+    (ok parity) (ok batch_parity);
+  Format.printf "  checks: no full applications %s, delta scaling %s@."
+    (ok no_full) (ok delta_scaling);
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"vertices\": %d,\n" n;
+  out "  \"batches\": %d,\n" updates;
+  out "  \"updates_per_sec\": %.0f,\n" updates_per_sec;
+  out "  \"query_p50_us\": %.1f,\n" (1e6 *. p50);
+  out "  \"query_p99_us\": %.1f,\n" (1e6 *. p99);
+  out "  \"queries\": %d,\n" c.Serve.queries;
+  out "  \"cache_hits\": %d,\n" c.Serve.cache_hits;
+  out "  \"cache_misses\": %d,\n" c.Serve.cache_misses;
+  out "  \"full_resaturation_ms\": %.3f,\n" (1e3 *. t_full);
+  out "  \"work\": {\n";
+  out "    \"incremental_tuples_derived\": %d,\n" incremental_td;
+  out "    \"incremental_rule_applications\": %d,\n" incremental_ra;
+  out "    \"delta_applications\": %d,\n" delta_apps;
+  out "    \"putback_applications\": %d,\n" putback_apps;
+  out "    \"full_applications\": %d,\n" full_apps;
+  out "    \"tuples_derived_per_resaturation\": %d,\n" full_td;
+  out "    \"rule_applications_per_resaturation\": %d,\n" full_ra;
+  out "    \"vs_resaturating_every_batch\": %.4f\n" work_ratio;
+  out "  },\n";
+  out "  \"checks\": {\n";
+  out "    \"parity_incremental_vs_scratch\": %b,\n" parity;
+  out "    \"parity_one_net_batch\": %b,\n" batch_parity;
+  out "    \"no_full_applications\": %b,\n" no_full;
+  out "    \"delta_scaling\": %b\n" delta_scaling;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  if not (parity && batch_parity && no_full && delta_scaling) then begin
+    Format.printf "  incremental serving check failed — failing@.";
+    exit 1
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
@@ -1705,4 +1937,5 @@ let () =
   if what = "storage" then storage_bench ~quick ();
   if what = "satpar" then satpar_bench ~quick ();
   if what = "plan" then plan_bench ~quick ();
-  if what = "par" then par_bench ~quick ()
+  if what = "par" then par_bench ~quick ();
+  if what = "serve" then serve_bench ~quick ()

@@ -4,6 +4,7 @@
      eval      — evaluate a program on a database under a chosen semantics
      fixpoints — run the Section 3 fixpoint query suite (SAT-backed)
      explain   — print the physical plans a program compiles to
+     serve     — long-lived incremental materialization (insert/delete/query)
      stratify  — show the stratification (or why there is none)
      check     — static well-formedness report
      ground    — print the ground (propositional) program
@@ -455,6 +456,100 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(const run $ program_arg $ database_arg $ goal_arg $ engine_arg)
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket at $(docv) instead of stdin: \
+             clients connect (one at a time) and speak the same line \
+             protocol; $(b,quit) ends one client's session, $(b,shutdown) \
+             stops the server.")
+  in
+  let run program_path db_path engine planner indexing storage stats grain
+      socket =
+    Negdl.Relation.set_default_storage storage;
+    Negdl.Engine.set_default_grain grain;
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let stats_rec = Negdl.Stats.create () in
+    let state =
+      or_die
+        (Negdl.Serve.create ~engine ~planner ~indexing ~storage ~grain
+           ~stats:stats_rec program db)
+    in
+    (* One client session over arbitrary channels; returns how it ended. *)
+    let session ic oc =
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> `Eof
+        | line -> (
+          match Negdl.Serve.handle_line state line with
+          | Negdl.Serve.Reply lines ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              lines;
+            flush oc;
+            loop ()
+          | Negdl.Serve.Quit ->
+            output_string oc "bye\n";
+            flush oc;
+            `Quit
+          | Negdl.Serve.Shutdown ->
+            output_string oc "bye\n";
+            flush oc;
+            `Shutdown)
+      in
+      loop ()
+    in
+    (match socket with
+    | None -> ignore (session stdin stdout)
+    | Some path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let client, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let outcome = try session ic oc with Sys_error _ -> `Eof in
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        match outcome with `Shutdown -> () | `Quit | `Eof -> accept_loop ()
+      in
+      accept_loop ();
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+    if stats then Format.eprintf "%a@." Negdl.Stats.pp stats_rec
+  in
+  let doc = "serve a materialised model with incremental updates" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads the database, materialises the program's stratified model \
+         once, then reads line commands from stdin (or a Unix socket): \
+         $(b,insert <facts>), $(b,delete <facts>), $(b,query <atom>[; \
+         <atom>]...), $(b,stats), $(b,quit).  Updates are applied \
+         incrementally (delta-driven DRed over compiled plans) — never by \
+         re-saturation — and queries answer from a version-tagged result \
+         cache over the current snapshot.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ program_arg $ database_arg $ engine_arg $ planner_arg
+      $ indexing_arg $ storage_arg $ stats_arg $ parallel_grain_arg
+      $ socket_arg)
+
 (* --- why -------------------------------------------------------------------- *)
 
 let why_cmd =
@@ -697,6 +792,7 @@ let () =
          fixpoints_cmd;
          explain_cmd;
          query_cmd;
+         serve_cmd;
          why_cmd;
          stable_cmd;
          sat_cmd;

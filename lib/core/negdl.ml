@@ -26,6 +26,7 @@ module Ground = Evallib.Ground
 module Query = Evallib.Query
 module Provenance = Evallib.Provenance
 module Dred = Evallib.Dred
+module Serve = Evallib.Serve
 module Equiv = Evallib.Equiv
 module Fixpoints = Fixpointlib.Solve
 module Fixpoints_brute = Fixpointlib.Brute

@@ -63,6 +63,7 @@ module Ground = Evallib.Ground
 module Query = Evallib.Query
 module Provenance = Evallib.Provenance
 module Dred = Evallib.Dred
+module Serve = Evallib.Serve
 module Equiv = Evallib.Equiv
 
 (** {1 Fixpoint queries} *)

@@ -1,24 +1,75 @@
-(** Incremental view maintenance under deletions (DRed, delete-and-rederive).
+(** Incremental view maintenance (DRed, delete-and-rederive) — delta-driven,
+    over the compiled-plan layer, for stratified programs.
 
-    Given a positive program, a database, its materialised least fixpoint
-    and a set of base facts to delete, DRed avoids recomputing from
-    scratch:
+    Given a stratified program, a database, its materialised model and an
+    update batch (EDB facts to add and/or remove), maintenance avoids
+    recomputing from scratch.  Strata are processed lowest first; within a
+    stratum the per-predicate deltas of the levels below (the EDB changes,
+    extended with each completed stratum's own differences) drive three
+    phases:
 
-    + {e over-delete}: transitively remove every derived fact that has a
-      derivation touching a deleted base fact;
-    + {e re-derive}: run semi-naive evaluation seeded with the surviving
-      facts against the shrunken database; alternative derivations bring
-      back what was over-deleted.
+    + {e over-delete}: delta-specialized rule variants seeded from the
+      deleted lower facts (and from {e added} facts read through flipped
+      negated literals — an addition kills derivations only through
+      negation) transitively remove every materialised fact with an
+      affected derivation, chasing within the stratum against the old
+      valuation;
+    + {e re-derive}: each rule is augmented with its own head as a
+      prepended positive literal resolved to the overdeleted facts
+      ([Delta 0]), so surviving alternative derivations put facts back with
+      work driven by the deletion, not the relation; semi-naive evaluation
+      ({!Saturate.run_delta}) continues from what came back;
+    + {e insert}: the mirror-image triggers seed from the added facts
+      (and from removed facts under negation) and semi-naive continues from
+      the genuinely fresh derivations.  Additions that grow the universe
+      additionally re-apply the non-range-restricted (enumerating) rules in
+      full — the only rules that can derive from new constants alone.
 
-    The result equals the least fixpoint on the new database — the test
-    suite checks this against full recomputation on random instances. *)
+    No grounding and no full per-rule application happens on the usual
+    path: work per batch is proportional to the delta (the
+    ["dred ..."] counters in {!Stats.field-extra} prove it).  The result
+    equals recomputation on the new database — the test suite checks this
+    against from-scratch saturation on random instances, update sequences
+    and both storage backends. *)
 
 type delta = {
   new_db : Relalg.Database.t;
   new_idb : Idb.t;
-  overdeleted : int;  (** Facts removed in phase 1. *)
-  rederived : int;  (** Facts re-derived in phase 2. *)
+  overdeleted : int;  (** Facts removed by over-deletion. *)
+  rederived : int;
+      (** Facts added back or newly derived (re-derivation and insertion
+          phases together). *)
 }
+
+val apply :
+  ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
+  ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
+  ?who:string ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  current:Idb.t ->
+  additions:(string * Relalg.Tuple.t) list ->
+  removals:(string * Relalg.Tuple.t) list ->
+  unit ->
+  delta
+(** [apply p db ~current ~additions ~removals ()] maintains [current] —
+    which must be the stratified model of [p] on [db] — under one update
+    batch.  Removals are applied before additions; a fact both removed and
+    re-added survives.  Duplicate facts in a batch are collapsed; an
+    addition already present is a no-op.  [cache], when given, shares
+    compiled plans across batches (a long-lived server passes one);
+    [engine]/[pool]/[grain] select the engine for the semi-naive
+    continuations.  [who] prefixes error messages (defaults to
+    ["Dred.apply"]).
+    @raise Invalid_argument if the program is not stratifiable, or a fact
+    names an IDB predicate, disagrees with the known arity, or (for a
+    removal) is absent from the database. *)
 
 val delete_facts :
   Datalog.Ast.program ->
@@ -26,11 +77,7 @@ val delete_facts :
   current:Idb.t ->
   removals:(string * Relalg.Tuple.t) list ->
   delta
-(** [delete_facts p db ~current ~removals] maintains [current] (which must
-    be the least fixpoint of [p] on [db]) after deleting the EDB facts
-    [removals].
-    @raise Invalid_argument if the program is not positive, or a removal
-    names an IDB predicate or a fact absent from the database. *)
+(** [apply] with no additions (errors prefixed ["Dred.delete_facts"]). *)
 
 val insert_facts :
   Datalog.Ast.program ->
@@ -38,9 +85,5 @@ val insert_facts :
   current:Idb.t ->
   additions:(string * Relalg.Tuple.t) list ->
   delta
-(** Maintenance under insertions — the easy monotone direction: semi-naive
-    iteration continues from [current] on the enlarged database ([rederived]
-    counts the new facts; [overdeleted] is 0).  Constants new to the
-    universe are admitted.
-    @raise Invalid_argument if the program is not positive or an addition
-    names an IDB predicate. *)
+(** [apply] with no removals (errors prefixed ["Dred.insert_facts"]).
+    Constants new to the universe are admitted. *)

@@ -1,13 +1,35 @@
 module Relation = Relalg.Relation
 module Tuple = Relalg.Tuple
 
+(* Does [tuple] match the query atom?  Constants must coincide and a
+   repeated variable must bind consistently — the query s(X, X) selects the
+   diagonal, not the whole relation.  Arity-guarded: a length disagreement
+   is [false], never a bare [Invalid_argument] out of [List.for_all2]
+   (callers reject mismatched arities up front with a proper [Error]). *)
 let matches_query (query : Datalog.Ast.atom) tuple =
-  List.for_all2
-    (fun term value ->
-      match term with
-      | Datalog.Ast.Const c -> Relalg.Symbol.equal c value
-      | Datalog.Ast.Var _ -> true)
-    query.Datalog.Ast.args (Tuple.to_list tuple)
+  Tuple.arity tuple = List.length query.Datalog.Ast.args
+  &&
+  let rec go env i = function
+    | [] -> true
+    | Datalog.Ast.Const c :: rest ->
+      Relalg.Symbol.equal c (Tuple.get tuple i) && go env (i + 1) rest
+    | Datalog.Ast.Var v :: rest -> (
+      let value = Tuple.get tuple i in
+      match List.assoc_opt v env with
+      | Some bound -> Relalg.Symbol.equal bound value && go env (i + 1) rest
+      | None -> go ((v, value) :: env) (i + 1) rest)
+  in
+  go [] 0 query.Datalog.Ast.args
+
+let select rel ~query =
+  let want = List.length query.Datalog.Ast.args in
+  let got = Relation.arity rel in
+  if want <> got then
+    Error
+      (Printf.sprintf
+         "query atom %s/%d does not match the stored relation %s/%d"
+         query.Datalog.Ast.pred want query.Datalog.Ast.pred got)
+  else Ok (Relation.filter (matches_query query) rel)
 
 let answer ?engine ?indexing ?stats p db ~query =
   match Datalog.Magic.rewrite p ~query with
@@ -23,8 +45,10 @@ let answer ?engine ?indexing ?stats p db ~query =
       else Relation.empty (List.length query.Datalog.Ast.args)
     in
     (* The adorned predicate may also hold answers for other bindings that
-       arose recursively; keep only the query's own. *)
-    Ok (Relation.filter (matches_query query) full)
+       arose recursively; keep only the query's own.  [select] re-checks
+       the arity against the materialised answer relation, so a malformed
+       query surfaces as [Error] instead of a [List.for_all2] crash. *)
+    select full ~query
 
 let answer_exn ?engine ?indexing ?stats p db ~query =
   match answer ?engine ?indexing ?stats p db ~query with

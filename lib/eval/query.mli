@@ -7,6 +7,18 @@
     database.  Equivalent to (but usually much cheaper than) evaluating the
     whole program and selecting. *)
 
+val select :
+  Relalg.Relation.t ->
+  query:Datalog.Ast.atom ->
+  (Relalg.Relation.t, string) result
+(** [select rel ~query] keeps the tuples of [rel] matching the query atom:
+    constants must coincide positionally and repeated variables must bind
+    consistently ([s(X, X)] selects the diagonal).  [Error] when the query
+    atom's arity disagrees with the relation's — never a bare
+    [Invalid_argument].  This is the snapshot-side filter the serve layer
+    runs against an already-materialised model; {!answer} applies it to the
+    magic-sets answer relation. *)
+
 val answer :
   ?engine:Saturate.engine ->
   ?indexing:Engine.indexing ->

@@ -153,6 +153,24 @@ let delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
     ~universe
     (rule_tasks ~planner ~cache ~stats ~universe spec)
 
+(* The semi-naive delta chase shared by [run] (after its full stage 1) and
+   [run_delta] (seeded directly): iterate delta applications until no fresh
+   tuple appears.  [init] must already contain [delta]. *)
+let seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing ~storage
+    ~stats ~rules ~schema ~universe ~base ~neg ~bump_iteration ~init ~delta =
+  let rec loop current delta rev_deltas =
+    bump_iteration ();
+    let derived =
+      delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
+        ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta
+    in
+    let fresh = Idb.diff derived current in
+    if Idb.is_empty fresh then
+      { result = current; deltas = List.rev rev_deltas }
+    else loop (Idb.union current fresh) fresh (fresh :: rev_deltas)
+  in
+  loop init delta []
+
 let apply_once ?(parallel = false) ?pool ?grain ?planner ?cache
     ?(indexing = `Cached) ?storage ?stats ~rules ~schema ~universe ~base ~neg
     ~current () =
@@ -221,16 +239,42 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
     let delta1 = Idb.diff derived init in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
     else
-      let rec loop current delta rev_deltas =
-        bump_iteration ();
-        let derived =
-          delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
-            ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current
-            ~delta
-        in
-        let fresh = Idb.diff derived current in
-        if Idb.is_empty fresh then
-          { result = current; deltas = List.rev rev_deltas }
-        else loop (Idb.union current fresh) fresh (fresh :: rev_deltas)
+      let t =
+        seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing
+          ~storage ~stats ~rules ~schema ~universe ~base ~neg
+          ~bump_iteration
+          ~init:(Idb.union init delta1) ~delta:delta1
       in
-      loop (Idb.union init delta1) delta1 [ delta1 ]
+      { t with deltas = delta1 :: t.deltas }
+
+let run_delta ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached)
+    ?storage ?stats ?pool ?grain ?label ~rules ~schema ~universe ~base ~neg
+    ~init ~delta () =
+  (match label with
+  | Some l -> Stats.timed stats l
+  | None -> fun f -> f ())
+  @@ fun () ->
+  if Idb.is_empty delta then { result = init; deltas = [] }
+  else begin
+    let cache =
+      match cache with Some c -> c | None -> Planlib.Cache.create ()
+    in
+    let pool =
+      match pool with Some p -> p | None -> Negdl_util.Domain_pool.default ()
+    in
+    let grain =
+      match grain with Some g -> g | None -> Engine.default_grain ()
+    in
+    let bump_iteration () =
+      match stats with
+      | Some s -> s.Stats.iterations <- s.Stats.iterations + 1
+      | None -> ()
+    in
+    (* The delta chase is the whole run: no full stage 1.  [`Naive] has no
+       delta-specialized form, so it rides the semi-naive chase too — the
+       computed limit is the same. *)
+    let parallel = engine = `Parallel in
+    seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing
+      ~storage ~stats ~rules ~schema ~universe ~base ~neg ~bump_iteration
+      ~init ~delta
+  end

@@ -107,3 +107,36 @@ val apply_once :
     everything else in [base] — the building block {!Theta.apply} uses for
     its [~parallel] mode.  Under [parallel] the stage parallelises exactly
     like one {!run} stage (rule fan-out or intra-rule sharding). *)
+
+val run_delta :
+  ?engine:engine ->
+  ?planner:Engine.planner ->
+  ?cache:Planlib.Cache.t ->
+  ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?stats:Stats.t ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
+  ?label:string ->
+  rules:Datalog.Ast.rule list ->
+  schema:Relalg.Schema.t ->
+  universe:Relalg.Symbol.t list ->
+  base:Engine.source ->
+  neg:[ `Current | `Fixed of Engine.source ] ->
+  init:Idb.t ->
+  delta:Idb.t ->
+  unit ->
+  trace
+(** Semi-naive continuation seeded from a known delta: starts the delta
+    chase at ([init], [delta]) — [init] must already contain [delta] —
+    with {e no} full stage-1 application of the rules.  This is the
+    incremental-maintenance entry point: after an update batch the caller
+    knows exactly which tuples are new, so grounding work is proportional
+    to the delta, not to the whole program ({!Dred}).  Sound whenever
+    every derivation of a missing fact binds at least one positive
+    evolving literal to a tuple outside [init] minus [delta] — in
+    particular for continuing any inflationary iteration from a subset of
+    its limit that contains all its non-delta consequences.  [`Naive]
+    falls back to the same delta chase (there is no naive specialisation);
+    an empty [delta] returns [init] unchanged without touching the pool or
+    cache. *)

@@ -1,0 +1,372 @@
+module Ast = Datalog.Ast
+module Parser = Datalog.Parser
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+module Database = Relalg.Database
+module Plan = Planlib.Plan
+
+type update_report = {
+  inserted : int;
+  deleted : int;
+  overdeleted : int;
+  rederived : int;
+}
+
+type counters = {
+  batches : int;
+  inserted : int;
+  deleted : int;
+  overdeleted : int;
+  rederived : int;
+  queries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t = {
+  program : Ast.program;
+  engine : Saturate.engine option;
+  planner : Engine.planner option;
+  indexing : Engine.indexing option;
+  storage : Relation.storage option;
+  pool : Negdl_util.Domain_pool.t option;
+  grain : Engine.grain option;
+  stats : Stats.t;
+  cache : Planlib.Cache.t;  (** Compiled plans shared across all batches. *)
+  mutable db : Database.t;
+  mutable idb : Idb.t;
+  mutable version : int;
+      (** Bumped on every applied update; query-cache entries are valid
+          only for the version they were computed at. *)
+  query_cache : (string, int * Relation.t) Hashtbl.t;
+  mutable c : counters;
+}
+
+let zero_counters =
+  {
+    batches = 0;
+    inserted = 0;
+    deleted = 0;
+    overdeleted = 0;
+    rederived = 0;
+    queries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let create ?engine ?planner ?indexing ?storage ?pool ?grain ?stats program db
+    =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let cache = Planlib.Cache.create () in
+  match
+    Stratified.eval ?engine ?planner ~cache ?indexing ?storage ~stats ?pool
+      ?grain program db
+  with
+  | Error e -> Error (Stratified.error_to_string e)
+  | Ok idb ->
+    Ok
+      {
+        program;
+        engine;
+        planner;
+        indexing;
+        storage;
+        pool;
+        grain;
+        stats;
+        cache;
+        db;
+        idb;
+        version = 0;
+        query_cache = Hashtbl.create 64;
+        c = zero_counters;
+      }
+
+let database t = t.db
+let snapshot t = t.idb
+let version t = t.version
+let counters t = t.c
+let stats t = t.stats
+
+(* --- updates ------------------------------------------------------------ *)
+
+let update t ~additions ~removals =
+  match
+    Dred.apply ?engine:t.engine ?planner:t.planner ~cache:t.cache
+      ?indexing:t.indexing ?storage:t.storage ~stats:t.stats ?pool:t.pool
+      ?grain:t.grain ~who:"update" t.program t.db ~current:t.idb ~additions
+      ~removals ()
+  with
+  | exception Invalid_argument msg -> Error msg
+  | delta ->
+    let inserted =
+      List.length
+        (List.filter
+           (fun (pred, tuple) ->
+             Database.mem_fact pred tuple delta.Dred.new_db
+             && not (Database.mem_fact pred tuple t.db))
+           additions)
+    in
+    let deleted =
+      List.length
+        (List.filter
+           (fun (pred, tuple) ->
+             not (Database.mem_fact pred tuple delta.Dred.new_db))
+           removals)
+    in
+    t.db <- delta.Dred.new_db;
+    t.idb <- delta.Dred.new_idb;
+    (* Readers race only against this bump: the published [db]/[idb]
+       values are immutable, so a query computed against the previous
+       snapshot is simply served from (or cached for) the old version. *)
+    t.version <- t.version + 1;
+    t.c <-
+      {
+        t.c with
+        batches = t.c.batches + 1;
+        inserted = t.c.inserted + inserted;
+        deleted = t.c.deleted + deleted;
+        overdeleted = t.c.overdeleted + delta.Dred.overdeleted;
+        rederived = t.c.rederived + delta.Dred.rederived;
+      };
+    Ok
+      {
+        inserted;
+        deleted;
+        overdeleted = delta.Dred.overdeleted;
+        rederived = delta.Dred.rederived;
+      }
+
+let insert t additions = update t ~additions ~removals:[]
+let delete t removals = update t ~additions:[] ~removals
+
+(* --- queries ------------------------------------------------------------ *)
+
+let canonical atom = Format.asprintf "%a" Datalog.Pretty.pp_atom atom
+
+(* Pure snapshot read: IDB predicates from the materialised model, EDB
+   from the database.  Safe to run on any domain — both structures are
+   immutable values. *)
+let eval_query ~db ~idb (atom : Ast.atom) =
+  let rel =
+    if Idb.mem idb atom.Ast.pred then Some (Idb.get idb atom.Ast.pred)
+    else Database.relation atom.Ast.pred db
+  in
+  match rel with
+  | None -> Error (Printf.sprintf "unknown predicate %s" atom.Ast.pred)
+  | Some rel -> Query.select rel ~query:atom
+
+let bump_queries t n = t.c <- { t.c with queries = t.c.queries + n }
+let bump_hits t = t.c <- { t.c with cache_hits = t.c.cache_hits + 1 }
+let bump_misses t = t.c <- { t.c with cache_misses = t.c.cache_misses + 1 }
+
+let cached t key =
+  match Hashtbl.find_opt t.query_cache key with
+  | Some (v, rel) when v = t.version -> Some rel
+  | _ -> None
+
+let query t atom =
+  bump_queries t 1;
+  let key = canonical atom in
+  match cached t key with
+  | Some rel ->
+    bump_hits t;
+    Ok rel
+  | None -> (
+    bump_misses t;
+    match eval_query ~db:t.db ~idb:t.idb atom with
+    | Ok rel ->
+      Hashtbl.replace t.query_cache key (t.version, rel);
+      Ok rel
+    | Error _ as e -> e)
+
+let query_all t atoms =
+  match atoms with
+  | [] -> []
+  | [ atom ] -> [ query t atom ]
+  | _ ->
+    bump_queries t (List.length atoms);
+    (* Pin the snapshot once: every query of the batch reads the same
+       immutable db/idb pair, fanned across the domain pool. *)
+    let db = t.db and idb = t.idb and v = t.version in
+    let keyed = List.map (fun a -> (a, canonical a)) atoms in
+    let misses =
+      List.fold_left
+        (fun acc (a, k) ->
+          if cached t k <> None || List.mem_assoc k acc then acc
+          else (k, a) :: acc)
+        [] keyed
+      |> List.rev
+    in
+    List.iter (fun _ -> bump_misses t) misses;
+    let pool =
+      match t.pool with
+      | Some p -> p
+      | None -> Negdl_util.Domain_pool.default ()
+    in
+    let computed =
+      Negdl_util.Domain_pool.run pool
+        (List.map (fun (_, a) () -> eval_query ~db ~idb a) misses)
+    in
+    List.iter2
+      (fun (k, _) result ->
+        match result with
+        | Ok rel -> Hashtbl.replace t.query_cache k (v, rel)
+        | Error _ -> ())
+      misses computed;
+    List.map
+      (fun (a, k) ->
+        match cached t k with
+        | Some rel ->
+          bump_hits t;
+          Ok rel
+        | None -> eval_query ~db ~idb a)
+      keyed
+
+(* --- the line protocol -------------------------------------------------- *)
+
+type response = Reply of string list | Quit | Shutdown
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (String.lowercase_ascii line, "")
+  | Some i ->
+    ( String.lowercase_ascii (String.sub line 0 i),
+      String.trim (String.sub line i (String.length line - i)) )
+
+(* Facts arrive in the textual fact format ([e(a, b). e(b, c).]); new
+   constants enter the universe with their facts.  A bare [#universe]
+   declaration is rejected: the incremental layer tracks universe growth
+   through the facts of a batch. *)
+let parse_facts rest =
+  if String.trim rest = "" then Error "no facts given"
+  else
+    match Database.parse rest with
+    | Error e -> Error e
+    | Ok batch ->
+      let facts =
+        List.concat_map
+          (fun (pred, rel) ->
+            List.rev
+              (Relation.fold (fun tuple acc -> (pred, tuple) :: acc) rel []))
+          (Database.relations batch)
+      in
+      let in_facts sym =
+        List.exists (fun (_, tuple) -> List.mem sym (Tuple.to_list tuple)) facts
+      in
+      if List.for_all in_facts (Database.universe batch) then Ok facts
+      else
+        Error
+          "#universe is not supported over the protocol; new constants \
+           enter with their facts"
+
+let parse_goal s =
+  let s = String.trim s in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '.' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  if String.trim s = "" then Error "empty query"
+  else
+    match Parser.parse_rule (String.trim s ^ ".") with
+    | Ok { Ast.head; body = [] } -> Ok head
+    | Ok _ -> Error "a query is a single atom, e.g. s(v0, Y)"
+    | Error e -> Error e
+
+let extra_counter t name =
+  match List.assoc_opt name t.stats.Stats.extra with Some n -> n | None -> 0
+
+let stats_lines t =
+  let edb =
+    List.fold_left
+      (fun acc (_, rel) -> acc + Relation.cardinal rel)
+      0
+      (Database.relations t.db)
+  in
+  [
+    Printf.sprintf "facts: edb=%d idb=%d universe=%d" edb
+      (Idb.total_cardinal t.idb)
+      (Database.universe_size t.db);
+    Printf.sprintf
+      "updates: batches=%d inserted=%d deleted=%d overdeleted=%d \
+       rederived=%d"
+      t.c.batches t.c.inserted t.c.deleted t.c.overdeleted t.c.rederived;
+    Printf.sprintf "queries: served=%d cache_hits=%d cache_misses=%d"
+      t.c.queries t.c.cache_hits t.c.cache_misses;
+    Printf.sprintf "plans: cached=%d compiles=%d cache_hits=%d"
+      (Planlib.Cache.cardinal t.cache)
+      t.stats.Stats.plan.Plan.plan_compiles
+      t.stats.Stats.plan.Plan.plan_cache_hits;
+    Printf.sprintf
+      "work: rule_applications=%d delta_applications=%d \
+       putback_applications=%d full_applications=%d"
+      t.stats.Stats.rule_applications
+      (extra_counter t "dred delta applications")
+      (extra_counter t "dred putback applications")
+      (extra_counter t "dred full applications");
+  ]
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '%' then Reply []
+  else
+    let cmd, rest = split_command line in
+    match cmd with
+    | "quit" -> Quit
+    | "shutdown" -> Shutdown
+    | "stats" -> Reply (stats_lines t)
+    | "insert" | "delete" -> (
+      match parse_facts rest with
+      | Error e -> Reply [ "error: " ^ e ]
+      | Ok facts -> (
+        let result =
+          if cmd = "insert" then insert t facts else delete t facts
+        in
+        match result with
+        | Error e -> Reply [ "error: " ^ e ]
+        | Ok r ->
+          Reply
+            [
+              (if cmd = "insert" then
+                 Printf.sprintf "ok inserted=%d overdeleted=%d derived=%d"
+                   r.inserted r.overdeleted r.rederived
+               else
+                 Printf.sprintf "ok deleted=%d overdeleted=%d rederived=%d"
+                   r.deleted r.overdeleted r.rederived);
+            ]))
+    | "query" ->
+      (* Multiple atoms separated by ';' are answered as one batch —
+         cache misses fan concurrently over the pool against one pinned
+         snapshot. *)
+      let goals = List.map parse_goal (String.split_on_char ';' rest) in
+      let atoms =
+        List.filter_map (function Ok a -> Some a | Error _ -> None) goals
+      in
+      let results = ref (query_all t atoms) in
+      let next () =
+        match !results with
+        | r :: rest ->
+          results := rest;
+          r
+        | [] -> assert false
+      in
+      Reply
+        (List.map
+           (function
+             | Error e -> "error: " ^ e
+             | Ok _ -> (
+               match next () with
+               | Ok rel ->
+                 Format.asprintf "%a %% %d answer(s)" Relation.pp rel
+                   (Relation.cardinal rel)
+               | Error e -> "error: " ^ e))
+           goals)
+    | _ ->
+      Reply
+        [
+          Printf.sprintf
+            "error: unknown command '%s' (insert, delete, query, stats, \
+             quit, shutdown)"
+            cmd;
+        ]

@@ -1,0 +1,114 @@
+(** A long-lived incremental materialization server.
+
+    [create] materialises the stratified model of a program once with the
+    compiled-plan layer; afterwards the state accepts update batches —
+    applied with delta-driven DRed ({!Dred.apply}), never by
+    re-saturation — and answers queries against the current snapshot.
+
+    {b Reader/writer protocol.}  The database, the materialised model and
+    the packed tuple store all publish immutable snapshots: an update
+    installs new [db]/[idb] values and bumps the version, it never mutates
+    what a concurrent reader holds.  Queries therefore run lock-free on
+    whatever snapshot they pinned — {!query_all} fans one batch's cache
+    misses across the domain pool while the (single) writer prepares the
+    next batch.
+
+    {b Query cache.}  Results are cached per canonical query atom, tagged
+    with the version they were computed at; any applied update bumps the
+    version, so stale entries miss and are lazily overwritten.
+
+    The line protocol ({!handle_line}) is what [negdl serve] speaks over
+    stdin or a Unix socket: [insert <facts>], [delete <facts>],
+    [query <atom>[; <atom>]...], [stats], [quit] ([shutdown] additionally
+    stops a socket server).  Errors are replies, not crashes — the server
+    keeps serving after a failed command. *)
+
+type t
+
+type update_report = {
+  inserted : int;  (** EDB facts added (absent before the batch). *)
+  deleted : int;  (** EDB facts removed and not re-added. *)
+  overdeleted : int;  (** {!Dred.delta.overdeleted} for the batch. *)
+  rederived : int;  (** {!Dred.delta.rederived} for the batch. *)
+}
+
+type counters = {
+  batches : int;
+  inserted : int;
+  deleted : int;
+  overdeleted : int;
+  rederived : int;
+  queries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+(** Cumulative since {!create}. *)
+
+val create :
+  ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
+  ?stats:Stats.t ->
+  Datalog.Ast.program ->
+  Relalg.Database.t ->
+  (t, string) result
+(** Materialises once (stratum by stratum) and returns the serving state;
+    [Error] if the program is not stratifiable.  One plan cache is created
+    here and shared by the initial materialisation and every later batch,
+    so each (rule, variant) pair compiles once for the server's lifetime. *)
+
+val database : t -> Relalg.Database.t
+(** The current EDB snapshot (immutable). *)
+
+val snapshot : t -> Idb.t
+(** The current materialised model (immutable) — pin it before reading
+    concurrently with updates. *)
+
+val version : t -> int
+
+val counters : t -> counters
+
+val stats : t -> Stats.t
+(** The evaluation counters accumulated across the initial
+    materialisation and all batches (the ["dred ..."] extra counters are
+    the delta-scoped work proof). *)
+
+val update :
+  t ->
+  additions:(string * Relalg.Tuple.t) list ->
+  removals:(string * Relalg.Tuple.t) list ->
+  (update_report, string) result
+(** Applies one batch incrementally and installs the new snapshot.
+    Validation failures (IDB predicate, arity mismatch, absent removal,
+    unknown constant) return [Error] and leave the state unchanged. *)
+
+val insert :
+  t -> (string * Relalg.Tuple.t) list -> (update_report, string) result
+
+val delete :
+  t -> (string * Relalg.Tuple.t) list -> (update_report, string) result
+
+val query : t -> Datalog.Ast.atom -> (Relalg.Relation.t, string) result
+(** Answers against the current snapshot ({!Query.select} on the
+    materialised relation — IDB predicates from the model, EDB from the
+    database), through the version-tagged result cache. *)
+
+val query_all :
+  t -> Datalog.Ast.atom list -> (Relalg.Relation.t, string) result list
+(** One batch: cache hits are served directly, the distinct misses are
+    evaluated concurrently on the domain pool against one pinned snapshot,
+    then cached.  Results are in argument order. *)
+
+type response = Reply of string list | Quit | Shutdown
+
+val handle_line : t -> string -> response
+(** One protocol line.  Empty lines and [%] comments yield
+    [Reply []]; unknown commands and failed updates yield
+    [Reply ["error: ..."]] (the session continues). *)
+
+val stats_lines : t -> string list
+(** The [stats] command's report: fact counts, cumulative update/query
+    counters, plan-cache behaviour and the delta-scoped work counters. *)

@@ -45,6 +45,16 @@ let merge_into dst ~src =
   dst.wall <- dst.wall +. src.wall;
   dst.extra <- src.extra @ dst.extra
 
+(* [pp] renders [List.rev extra], so prepending a fresh counter keeps the
+   report in first-use order. *)
+let bump_extra t name n =
+  if List.mem_assoc name t.extra then
+    t.extra <-
+      List.map
+        (fun (k, v) -> if String.equal k name then (k, v + n) else (k, v))
+        t.extra
+  else t.extra <- (name, n) :: t.extra
+
 let record_stage t name dt =
   t.stages <- (name, dt) :: t.stages;
   t.wall <- t.wall +. dt

@@ -53,6 +53,13 @@ val merge_into : t -> src:t -> unit
 (** Adds [src]'s counters into the first argument (used at parallel
     barriers). *)
 
+val bump_extra : t -> string -> int -> unit
+(** [bump_extra s name n] adds [n] to the free-form counter [name] in
+    {!field-extra}, creating it at [n] on first use (insertion order is
+    preserved in the report).  The incremental-maintenance layer counts
+    its delta-scoped work here — the proof that no full re-ground happens
+    per update batch — without disturbing the stable core block. *)
+
 val record_stage : t -> string -> float -> unit
 (** [record_stage s name dt] logs [dt] seconds against [name] and adds it
     to {!field-wall}. *)

@@ -68,6 +68,8 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
       H.replace cache.table key plan;
       plan)
 
+let cardinal cache = H.length cache.table
+
 let plans cache = H.fold (fun _ plan acc -> plan :: acc) cache.table []
 
 let program_plans cache (p : Ast.program) =

@@ -33,6 +33,10 @@ val find :
 (** The cached plan, recompiled (and re-cached) as the policy above
     dictates.  [counters], when given, accumulates compiles and hits. *)
 
+val cardinal : t -> int
+(** Distinct (rule, variant) entries currently resident — what a
+    long-lived server reports as its compiled-plan footprint. *)
+
 val plans : t -> Plan.t list
 (** Every cached plan, in no particular order. *)
 

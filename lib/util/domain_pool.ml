@@ -52,9 +52,23 @@ let worker t () =
   in
   loop ()
 
+(* The emptiness check must happen under the mutex: two domains making
+   their first concurrent [run] call would otherwise both observe
+   [t.workers = []] and both spawn a full complement of workers — the
+   losing list is overwritten and its domains leak, never joined by
+   [shutdown].  A long-lived server issuing queries from several domains
+   makes concurrent first use routine, so the check-and-spawn is atomic. *)
 let ensure_started t =
+  Mutex.lock t.mutex;
   if t.workers = [] then
-    t.workers <- List.init t.size (fun _ -> Domain.spawn (worker t))
+    t.workers <- List.init t.size (fun _ -> Domain.spawn (worker t));
+  Mutex.unlock t.mutex
+
+let worker_count t =
+  Mutex.lock t.mutex;
+  let n = List.length t.workers in
+  Mutex.unlock t.mutex;
+  n
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -23,6 +23,12 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
+val worker_count : t -> int
+(** Worker domains currently spawned: 0 before the first parallel {!run},
+    [size] after it (and again 0 after {!shutdown}).  Concurrent first
+    runs spawn exactly one complement of workers — the check-and-spawn is
+    atomic — which this accessor lets tests assert. *)
+
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run pool thunks] evaluates every thunk, distributing them over the
     worker domains (the calling domain also participates), and returns the
@@ -34,8 +40,10 @@ val run : t -> (unit -> 'a) list -> 'a list
     sharded plan executor relies on this to merge per-shard accumulators
     deterministically.  This is a barrier: it returns only once every thunk
     has finished.  If any thunk raises, the first exception (in task order)
-    is re-raised after all tasks have settled.  Safe to call from one domain
-    at a time per pool. *)
+    is re-raised after all tasks have settled.  Safe to call concurrently
+    from several domains — worker startup is serialised on the pool's
+    mutex, and each call waits at the barrier until the whole queue (its
+    own jobs and any concurrent caller's) drains. *)
 
 type morsel_report = {
   participants : int;

@@ -1,0 +1,38 @@
+The incremental materialization server, end to end: one scripted session
+over stdin.  Reachability with an unreached complement — deletions must
+over-delete and re-derive across the stratum boundary, inserts must run
+seeded semi-naive (never a full re-saturation), repeated queries must hit
+the version-tagged cache, and errors must leave the session alive.
+
+  $ NEGDL_DOMAINS=1 negdl serve reach.dl graph.facts <<'EOF'
+  > % the initial model: a path v0 -> v1 -> v2 -> v3, only v0 unreached
+  > query unreached(X)
+  > query r(v0, Y)
+  > query r(v0, Y)
+  > delete e(v1, v2).
+  > query unreached(X)
+  > insert e(v1, v2). e(v3, v4).
+  > query unreached(X)
+  > insert r(v0, v0).
+  > delete e(v0, v9).
+  > query reached(X); r(X, X)
+  > stats
+  > quit
+  > EOF
+  {(v0)} % 1 answer(s)
+  {(v0, v1); (v0, v2); (v0, v3)} % 3 answer(s)
+  {(v0, v1); (v0, v2); (v0, v3)} % 3 answer(s)
+  ok deleted=1 overdeleted=6 rederived=2
+  {(v0); (v2)} % 2 answer(s)
+  ok inserted=2 overdeleted=1 derived=10
+  {(v0)} % 1 answer(s)
+  error: update: r is an IDB predicate
+  error: update: e(v0, v9) is not in the database
+  {(v1); (v2); (v3); (v4)} % 4 answer(s)
+  {} % 0 answer(s)
+  facts: edb=8 idb=15 universe=5
+  updates: batches=2 inserted=2 deleted=1 overdeleted=7 rederived=12
+  queries: served=7 cache_hits=3 cache_misses=6
+  plans: cached=13 compiles=13 cache_hits=21
+  work: rule_applications=34 delta_applications=10 putback_applications=4 full_applications=0
+  bye

@@ -72,10 +72,20 @@ let test_validation () =
       ignore
         (Dred.delete_facts tc db ~current
            ~removals:[ ("e", Tuple.pair (vsym 2) (vsym 0)) ]));
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument
+       "Dred.delete_facts: arity mismatch: e(v0) has 1 component(s) but e \
+        has arity 2") (fun () ->
+      ignore
+        (Dred.delete_facts tc db ~current
+           ~removals:[ ("e", Tuple.singleton (vsym 0)) ]));
+  (* Stratified negation is now supported; only recursion through negation
+     is rejected. *)
   let neg = Parser.parse_program_exn "t(X) :- e(Y, X), !t(Y)." in
-  Alcotest.check_raises "negation rejected"
-    (Invalid_argument "Dred.delete_facts: the program must be positive")
-    (fun () ->
+  Alcotest.check_raises "non-stratifiable rejected"
+    (Invalid_argument
+       "Dred.delete_facts: the program must be stratifiable (t depends \
+        negatively on t inside a recursive component)") (fun () ->
       ignore
         (Dred.delete_facts neg db ~current:(Idb.of_program neg)
            ~removals:[ edge 0 1 ]))
@@ -116,6 +126,66 @@ let test_insert_extends_path () =
   let expected = Naive.least_fixpoint tc delta.Dred.new_db in
   check bool "matches recomputation" true (Idb.equal delta.Dred.new_idb expected);
   check int "three new closure facts" 3 delta.Dred.rederived
+
+(* Stratified negation: reachability with an unreached complement.  The
+   higher stratum must shrink when an edge appears and grow when one
+   disappears — both directions of the negation triggers. *)
+let reach =
+  Parser.parse_program_exn
+    "r(X, Y) :- e(X, Y). r(X, Y) :- e(X, Z), r(Z, Y). reached(Y) :- r(X, \
+     Y). unreached(X) :- v(X), !reached(X)."
+
+let with_vertices db n =
+  List.fold_left
+    (fun d i -> Database.add_fact "v" (Tuple.singleton (vsym i)) d)
+    db
+    (List.init n (fun i -> i))
+
+let test_stratified_delete () =
+  let db = with_vertices (Digraph.to_database (Generate.path 4)) 4 in
+  let current = Evallib.Stratified.eval_exn reach db in
+  let delta = Dred.delete_facts reach db ~current ~removals:[ edge 0 1 ] in
+  let expected = Evallib.Stratified.eval_exn reach delta.Dred.new_db in
+  check bool "matches stratified recomputation" true
+    (Idb.equal delta.Dred.new_idb expected);
+  check bool "v1 now unreached" true
+    (Relalg.Relation.mem
+       (Tuple.singleton (vsym 1))
+       (Idb.get delta.Dred.new_idb "unreached"))
+
+let test_stratified_insert () =
+  (* Inserting an edge makes v3 reached: the negation-dependent
+     unreached(v3) must be over-deleted through the flipped trigger. *)
+  let db =
+    with_vertices (Digraph.to_database (Digraph.make 4 [ (0, 1); (1, 2) ])) 4
+  in
+  let current = Evallib.Stratified.eval_exn reach db in
+  let delta =
+    Dred.apply reach db ~current ~additions:[ edge 2 3 ] ~removals:[] ()
+  in
+  let expected = Evallib.Stratified.eval_exn reach delta.Dred.new_db in
+  check bool "matches stratified recomputation" true
+    (Idb.equal delta.Dred.new_idb expected);
+  check bool "v3 no longer unreached" true
+    (not
+       (Relalg.Relation.mem
+          (Tuple.singleton (vsym 3))
+          (Idb.get delta.Dred.new_idb "unreached")));
+  check bool "something was over-deleted" true (delta.Dred.overdeleted > 0)
+
+let test_mixed_batch () =
+  (* One batch that removes an edge, closes the cycle, and grows the
+     universe with a brand-new vertex. *)
+  let db = Digraph.to_database (Generate.path 4) in
+  let current = Naive.least_fixpoint tc db in
+  let delta =
+    Dred.apply tc db ~current
+      ~additions:[ edge 3 0; ("e", Tuple.of_strings [ "v3"; "v4" ]) ]
+      ~removals:[ edge 1 2 ] ()
+  in
+  let expected = Naive.least_fixpoint tc delta.Dred.new_db in
+  check bool "matches recomputation" true
+    (Idb.equal delta.Dred.new_idb expected)
 
 let prop_insert_equals_recompute =
   QCheck.Test.make ~name:"insertion maintenance = recomputation" ~count:80
@@ -171,6 +241,9 @@ let () =
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "two predicates" `Quick test_two_predicates;
           Alcotest.test_case "insert extends" `Quick test_insert_extends_path;
+          Alcotest.test_case "stratified delete" `Quick test_stratified_delete;
+          Alcotest.test_case "stratified insert" `Quick test_stratified_insert;
+          Alcotest.test_case "mixed batch" `Quick test_mixed_batch;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

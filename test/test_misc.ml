@@ -356,6 +356,32 @@ let test_domain_pool_run_morsels_exception () =
   check (Alcotest.array int) "still works" [| 0; 1 |] ok;
   Negdl_util.Domain_pool.shutdown pool
 
+let test_domain_pool_concurrent_first_run () =
+  (* Regression: [ensure_started] used to check [t.workers = []] outside
+     the mutex, so two domains hitting a fresh pool simultaneously could
+     both observe the empty list and both spawn a full worker set —
+     leaking domains that [shutdown] never joins.  Race several first
+     callers against a fresh pool and count what actually got spawned. *)
+  for _round = 1 to 5 do
+    let pool = Negdl_util.Domain_pool.create ~size:3 () in
+    let callers =
+      List.init 4 (fun c ->
+          Domain.spawn (fun () ->
+              Negdl_util.Domain_pool.run pool
+                (List.init 8 (fun i -> fun () -> (c * 100) + i))))
+    in
+    let results = List.map Domain.join callers in
+    List.iteri
+      (fun c r ->
+        check (Alcotest.list int) "each caller gets its own results in order"
+          (List.init 8 (fun i -> (c * 100) + i))
+          r)
+      results;
+    check int "exactly one worker set spawned" 3
+      (Negdl_util.Domain_pool.worker_count pool);
+    Negdl_util.Domain_pool.shutdown pool
+  done
+
 (* --- Relation: persistent column indexes ----------------------------------------- *)
 
 let test_relation_index_incremental () =
@@ -445,6 +471,8 @@ let () =
             test_domain_pool_run_morsels_inline;
           Alcotest.test_case "run_morsels exception" `Quick
             test_domain_pool_run_morsels_exception;
+          Alcotest.test_case "concurrent first run" `Quick
+            test_domain_pool_concurrent_first_run;
         ] );
       ( "relation-index",
         [

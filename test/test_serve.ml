@@ -1,0 +1,339 @@
+(* Tests for the incremental materialization server: the snapshot after any
+   sequence of insert/delete batches must fingerprint-identically match
+   from-scratch stratified saturation (the differential oracle runs the same
+   random op sequences through both paths, on both storage backends and at
+   several pool sizes); the query cache must hit per version and miss across
+   updates; snapshots pinned by a reader must be immune to concurrent
+   writes; and the protocol layer must answer errors without dying. *)
+
+module Ast = Datalog.Ast
+module Parser = Datalog.Parser
+module Serve = Evallib.Serve
+module Stratified = Evallib.Stratified
+module Idb = Evallib.Idb
+module Query = Evallib.Query
+module Generate = Graphlib.Generate
+module Digraph = Graphlib.Digraph
+module Tuple = Relalg.Tuple
+module Relation = Relalg.Relation
+module Database = Relalg.Database
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let tc =
+  Parser.parse_program_exn "s(X, Y) :- e(X, Y). s(X, Y) :- e(X, Z), s(Z, Y)."
+
+(* Reachability with a negation-dependent complement: exercises all three
+   DRed phases across a stratum boundary. *)
+let reach =
+  Parser.parse_program_exn
+    "r(X, Y) :- e(X, Y). r(X, Y) :- e(X, Z), r(Z, Y). reached(Y) :- r(X, \
+     Y). unreached(X) :- v(X), !reached(X)."
+
+let vsym = Digraph.vertex_symbol
+let edge u v = ("e", Tuple.pair (vsym u) (vsym v))
+
+let with_vertices db n =
+  List.fold_left
+    (fun d i -> Database.add_fact "v" (Tuple.singleton (vsym i)) d)
+    db
+    (List.init n (fun i -> i))
+
+let goal s =
+  match Parser.parse_rule (s ^ ".") with
+  | Ok { Ast.head; body = [] } -> head
+  | Ok _ | Error _ -> Alcotest.failf "bad test goal %s" s
+
+(* --- the serving state ---------------------------------------------------- *)
+
+let test_create_and_query () =
+  let db = Digraph.to_database (Generate.path 4) in
+  let t = ok_or_fail (Serve.create tc db) in
+  check int "initial version" 0 (Serve.version t);
+  let rel = ok_or_fail (Serve.query t (goal "s(v0, Y)")) in
+  check int "closure from v0" 3 (Relation.cardinal rel);
+  (* EDB predicates are queryable too. *)
+  let e = ok_or_fail (Serve.query t (goal "e(X, Y)")) in
+  check int "edb relation" 3 (Relation.cardinal e);
+  check bool "unknown predicate is an Error" true
+    (Result.is_error (Serve.query t (goal "nope(X)")))
+
+let test_update_maintains_model () =
+  let db = Digraph.to_database (Generate.path 4) in
+  let t = ok_or_fail (Serve.create tc db) in
+  let r = ok_or_fail (Serve.insert t [ edge 3 0 ]) in
+  check int "one fact inserted" 1 r.Serve.inserted;
+  check bool "cycle closes the square" true
+    (Idb.equal (Serve.snapshot t)
+       (Stratified.eval_exn tc (Serve.database t)));
+  let r = ok_or_fail (Serve.delete t [ edge 1 2 ]) in
+  check int "one fact deleted" 1 r.Serve.deleted;
+  check bool "overdeletion happened" true (r.Serve.overdeleted > 0);
+  check bool "still matches recomputation" true
+    (Idb.equal (Serve.snapshot t)
+       (Stratified.eval_exn tc (Serve.database t)));
+  check int "version bumped per batch" 2 (Serve.version t)
+
+let test_update_validation_keeps_state () =
+  let db = Digraph.to_database (Generate.path 3) in
+  let t = ok_or_fail (Serve.create tc db) in
+  let v = Serve.version t and idb = Serve.snapshot t in
+  check bool "IDB insert rejected" true
+    (Result.is_error (Serve.insert t [ ("s", Tuple.pair (vsym 0) (vsym 1)) ]));
+  check bool "absent removal rejected" true
+    (Result.is_error (Serve.delete t [ edge 2 0 ]));
+  check bool "arity mismatch rejected" true
+    (Result.is_error (Serve.insert t [ ("e", Tuple.singleton (vsym 0)) ]));
+  check int "version unchanged" v (Serve.version t);
+  check bool "snapshot unchanged" true (Idb.equal idb (Serve.snapshot t))
+
+let test_query_cache () =
+  let db = Digraph.to_database (Generate.path 4) in
+  let t = ok_or_fail (Serve.create tc db) in
+  ignore (ok_or_fail (Serve.query t (goal "s(v0, Y)")));
+  ignore (ok_or_fail (Serve.query t (goal "s(v0, Y)")));
+  let c = Serve.counters t in
+  check int "second identical query hits" 1 c.Serve.cache_hits;
+  check int "first was a miss" 1 c.Serve.cache_misses;
+  (* An update bumps the version: the cached entry must go stale. *)
+  ignore (ok_or_fail (Serve.insert t [ edge 3 0 ]));
+  let rel = ok_or_fail (Serve.query t (goal "s(v0, Y)")) in
+  check int "post-update answer is fresh" 4 (Relation.cardinal rel);
+  let c = Serve.counters t in
+  check int "update invalidated the entry" 2 c.Serve.cache_misses
+
+let test_query_batch () =
+  let db = Digraph.to_database (Generate.path 4) in
+  let pool = Negdl_util.Domain_pool.create ~size:2 () in
+  let t = ok_or_fail (Serve.create ~pool tc db) in
+  let atoms =
+    [ goal "s(v0, Y)"; goal "s(v1, Y)"; goal "s(v0, Y)"; goal "nope(X)" ]
+  in
+  (match Serve.query_all t atoms with
+  | [ Ok a; Ok b; Ok a'; Error _ ] ->
+    check int "s(v0, _)" 3 (Relation.cardinal a);
+    check int "s(v1, _)" 2 (Relation.cardinal b);
+    check bool "duplicate answered identically" true (Relation.equal a a')
+  | _ -> Alcotest.fail "unexpected batch shape");
+  Negdl_util.Domain_pool.shutdown pool
+
+(* --- Query.select (regression: arity mismatch was a bare exception) ------- *)
+
+let test_select_arity_and_diagonal () =
+  let rel =
+    Relation.of_list 2
+      [
+        Tuple.of_strings [ "a"; "a" ];
+        Tuple.of_strings [ "a"; "b" ];
+        Tuple.of_strings [ "b"; "b" ];
+      ]
+  in
+  (match Query.select rel ~query:(goal "s(X)") with
+  | Error msg ->
+    check bool "message names both arities" true
+      (String.length msg > 0
+      && msg = "query atom s/1 does not match the stored relation s/2")
+  | Ok _ -> Alcotest.fail "arity mismatch must be an Error");
+  (* Repeated variables select the diagonal. *)
+  let diag = ok_or_fail (Query.select rel ~query:(goal "s(X, X)")) in
+  check int "diagonal" 2 (Relation.cardinal diag);
+  let bound = ok_or_fail (Query.select rel ~query:(goal "s(a, Y)")) in
+  check int "bound first column" 2 (Relation.cardinal bound)
+
+(* --- snapshot isolation ---------------------------------------------------- *)
+
+let test_snapshot_isolation () =
+  (* A reader pins the snapshot, then a writer applies updates: the pinned
+     values must not move, and fresh reads see the new state. *)
+  let db = Digraph.to_database (Generate.path 4) in
+  let t = ok_or_fail (Serve.create tc db) in
+  let pinned = Serve.snapshot t in
+  let before = Idb.fingerprint pinned in
+  let writer =
+    Domain.spawn (fun () ->
+        ignore (ok_or_fail (Serve.insert t [ edge 3 0 ]));
+        ignore (ok_or_fail (Serve.delete t [ edge 0 1 ])))
+  in
+  (* Concurrent reads of the pinned snapshot while the writer runs. *)
+  for _ = 1 to 100 do
+    check int "pinned snapshot never moves" before (Idb.fingerprint pinned)
+  done;
+  Domain.join writer;
+  check int "pinned still identical after the writer" before
+    (Idb.fingerprint pinned);
+  check bool "fresh snapshot reflects the updates" true
+    (Idb.equal (Serve.snapshot t)
+       (Stratified.eval_exn tc (Serve.database t)))
+
+(* --- the line protocol ----------------------------------------------------- *)
+
+let reply t line =
+  match Serve.handle_line t line with
+  | Serve.Reply lines -> lines
+  | Serve.Quit -> [ "<quit>" ]
+  | Serve.Shutdown -> [ "<shutdown>" ]
+
+let test_protocol () =
+  (* Path v0->v1->v2 with v(v0..v2): only v0 is unreached.  Inserting
+     e(v2, v3) brings a brand-new constant in with its fact; deleting it
+     again overdeletes the whole chain it enabled. *)
+  let db = with_vertices (Digraph.to_database (Generate.path 3)) 3 in
+  let t = ok_or_fail (Serve.create reach db) in
+  check (Alcotest.list Alcotest.string) "comments and blanks" []
+    (reply t "% a comment" @ reply t "   ");
+  check (Alcotest.list Alcotest.string) "insert replies with counts"
+    [ "ok inserted=1 overdeleted=0 derived=4" ]
+    (reply t "insert e(v2, v3).");
+  check (Alcotest.list Alcotest.string) "delete replies with counts"
+    [ "ok deleted=1 overdeleted=4 rederived=0" ]
+    (reply t "delete e(v2, v3).");
+  (match reply t "query unreached(X)" with
+  | [ line ] ->
+    check bool "v0 still unreached" true
+      (contains ~needle:"v0" line)
+  | _ -> Alcotest.fail "one answer line expected");
+  (match reply t "query r(v0, Y); unreached(X)" with
+  | [ _; _ ] -> ()
+  | _ -> Alcotest.fail "two answer lines expected");
+  check bool "unknown command is an error" true
+    (match reply t "frobnicate" with
+    | [ line ] -> contains ~needle:"error:" line
+    | _ -> false);
+  check bool "bad facts are an error" true
+    (match reply t "insert e(v0" with
+    | [ line ] -> contains ~needle:"error:" line
+    | _ -> false);
+  check bool "IDB insert is an error, session survives" true
+    (match reply t "insert r(v0, v1)." with
+    | [ line ] -> contains ~needle:"error:" line
+    | _ -> false);
+  check int "stats is five lines" 5 (List.length (reply t "stats"));
+  check (Alcotest.list Alcotest.string) "quit" [ "<quit>" ] (reply t "quit");
+  check (Alcotest.list Alcotest.string) "shutdown" [ "<shutdown>" ]
+    (reply t "shutdown")
+
+(* --- differential oracle ---------------------------------------------------
+   Random op sequences through the incremental path vs from-scratch
+   stratified saturation: after every batch the fingerprints must agree. *)
+
+type op = Insert of int * int | Delete of int | Query of int
+
+let pp_op = function
+  | Insert (u, v) -> Printf.sprintf "ins(%d,%d)" u v
+  | Delete i -> Printf.sprintf "del#%d" i
+  | Query u -> Printf.sprintf "q(%d)" u
+
+let gen_ops n =
+  QCheck.Gen.(
+    list_size (int_range 3 10)
+      (frequency
+         [
+           ( 3,
+             let* u = int_range 0 (n - 1) in
+             let* v = int_range 0 (n - 1) in
+             return (Insert (u, v)) );
+           (3, map (fun i -> Delete i) (int_range 0 50));
+           (2, map (fun u -> Query u) (int_range 0 (n - 1)));
+         ]))
+
+let current_edges t =
+  match Database.relation "e" (Serve.database t) with
+  | None -> []
+  | Some rel -> List.rev (Relation.fold (fun tup acc -> tup :: acc) rel [])
+
+(* Runs one op sequence through a server and checks the oracle after every
+   mutation.  Returns true (QCheck property) or raises via Alcotest.fail. *)
+let run_ops ~pool ~engine ~storage program db ops =
+  let t = ok_or_fail (Serve.create ~engine ~storage ?pool program db) in
+  List.iter
+    (fun op ->
+      (match op with
+      | Insert (u, v) ->
+        (* Inserting a present edge is rejected as a no-op batch only when
+           validation fails; present-fact inserts are accepted and change
+           nothing — both fine for the oracle. *)
+        ignore (Serve.insert t [ edge u v ])
+      | Delete i -> (
+        match current_edges t with
+        | [] -> ()
+        | edges ->
+          let tup = List.nth edges (i mod List.length edges) in
+          ignore (ok_or_fail (Serve.delete t [ ("e", tup) ])))
+      | Query u ->
+        ignore (Serve.query t (goal (Printf.sprintf "r(v%d, Y)" u)));
+        ignore (Serve.query t (goal (Printf.sprintf "unreached(v%d)" u))));
+      let scratch = Stratified.eval_exn program (Serve.database t) in
+      if Idb.fingerprint (Serve.snapshot t) <> Idb.fingerprint scratch then
+        Alcotest.failf "fingerprint divergence after %s" (pp_op op);
+      if not (Idb.equal (Serve.snapshot t) scratch) then
+        Alcotest.failf "model divergence after %s" (pp_op op))
+    ops;
+  true
+
+let prop_differential ~name ~engine ~storage ~pool_size =
+  QCheck.Test.make ~name ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 3 5 in
+         let* seed = int_range 0 10_000 in
+         let* ops = gen_ops n in
+         return (n, seed, ops))
+       ~print:(fun (n, seed, ops) ->
+         Printf.sprintf "n=%d seed=%d ops=[%s]" n seed
+           (String.concat "; " (List.map pp_op ops))))
+    (fun (n, seed, ops) ->
+      let db =
+        with_vertices
+          (Digraph.to_database (Generate.random ~seed ~n ~p:0.35))
+          n
+      in
+      let pool =
+        if pool_size = 0 then None
+        else Some (Negdl_util.Domain_pool.create ~size:pool_size ())
+      in
+      let r = run_ops ~pool ~engine ~storage reach db ops in
+      Option.iter Negdl_util.Domain_pool.shutdown pool;
+      r)
+
+let differential_props =
+  [
+    prop_differential ~name:"oracle: seminaive, hashed, par=1"
+      ~engine:`Seminaive ~storage:`Hashed ~pool_size:0;
+    prop_differential ~name:"oracle: seminaive, treeset, par=1"
+      ~engine:`Seminaive ~storage:`Treeset ~pool_size:0;
+    prop_differential ~name:"oracle: parallel, hashed, par=2"
+      ~engine:`Parallel ~storage:`Hashed ~pool_size:1;
+    prop_differential ~name:"oracle: parallel, hashed, par=4"
+      ~engine:`Parallel ~storage:`Hashed ~pool_size:3;
+    prop_differential ~name:"oracle: parallel, treeset, par=4"
+      ~engine:`Parallel ~storage:`Treeset ~pool_size:3;
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "create and query" `Quick test_create_and_query;
+          Alcotest.test_case "update maintains model" `Quick
+            test_update_maintains_model;
+          Alcotest.test_case "validation keeps state" `Quick
+            test_update_validation_keeps_state;
+          Alcotest.test_case "query cache" `Quick test_query_cache;
+          Alcotest.test_case "query batch" `Quick test_query_batch;
+          Alcotest.test_case "select arity and diagonal" `Quick
+            test_select_arity_and_diagonal;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "protocol" `Quick test_protocol;
+        ] );
+      ("oracle", List.map QCheck_alcotest.to_alcotest differential_props);
+    ]
