@@ -1223,12 +1223,17 @@ let executor_words_per_row () =
   let after = Gc.minor_words () in
   (after -. before) /. float_of_int (max 1 !rows)
 
+let with_drift factor f =
+  let saved = Plan.drift_factor () in
+  Plan.set_drift_factor factor;
+  Fun.protect ~finally:(fun () -> Plan.set_drift_factor saved) f
+
 let plan_bench ~quick () =
   Format.printf
-    "Planner ablation benchmark (static vs greedy vs scan%s) -> \
+    "Planner ablation benchmark (static vs greedy vs scan vs adaptive%s) -> \
      BENCH_plan.json@."
     (if quick then ", quick mode" else "");
-  let planners = [ `Static; `Greedy; `Scan ] in
+  let planners = [ `Static; `Greedy; `Scan; `Adaptive ] in
   let best_reps = if quick then 2 else 4 in
   (* Workload 1 — the Theta-application loop itself, on E1's pi_1: the
      operator every semantics in the paper iterates, applied over and over
@@ -1378,6 +1383,39 @@ let plan_bench ~quick () =
   Format.printf "  static vs greedy (distance):      %.2fx@." sg_dist;
   Format.printf "  static vs greedy (tc dense):      %.2fx@." sg_dense;
   Format.printf "  static vs scan   (tc dense):      %.2fx@." ss_dense;
+  (* The adaptive gate: no single static choice wins every workload (scan
+     beats static on the many-tiny-joins TC, static beats scan 6x+ on the
+     dense one), so the feedback planner must land within 10% of whichever
+     static choice is best, on every workload — and strictly beat static
+     where scan wins today. *)
+  let adaptive_margins =
+    List.map
+      (fun (wname, _) ->
+        let best =
+          List.fold_left
+            (fun acc p -> Float.min acc (snd (cell wname p)))
+            infinity
+            [ `Static; `Greedy; `Scan ]
+        in
+        (wname, snd (cell wname `Adaptive) /. best))
+      workloads
+  in
+  List.iter
+    (fun (wname, margin) ->
+      Format.printf "  adaptive vs best static choice (%s): %.2fx@." wname
+        margin)
+    adaptive_margins;
+  let adaptive_within_10pct =
+    List.for_all (fun (_, margin) -> margin <= 1.10) adaptive_margins
+  in
+  let adaptive_beats_static_tc_multi =
+    snd (cell "tc_multi_iterheavy" `Adaptive)
+    < snd (cell "tc_multi_iterheavy" `Static)
+  in
+  Format.printf "  adaptive within 10%% of best everywhere %s@."
+    (ok adaptive_within_10pct);
+  Format.printf "  adaptive beats static on tc_multi_iterheavy %s@."
+    (ok adaptive_beats_static_tc_multi);
   (* Plan-counter telemetry on the iteration-heavy workload: static compiles
      a bounded set of plans — full + delta variants, at most 3 per copy —
      and hits the cache everywhere else; greedy compiles once per rule
@@ -1400,6 +1438,34 @@ let plan_bench ~quick () =
   let compile_once_ok =
     static_compiles <= 3 * multi_copies && greedy_compiles > static_compiles
   in
+  (* Feedback-loop telemetry on the dense TC, where the growing closure
+     moves observed per-step cardinalities furthest from the estimates the
+     delta plans were compiled against: the adaptive planner converts the
+     blind size-drift recompiles static pays into bounded, informed
+     replans (overridden occurrences are exempt from the drift check, so
+     total compiles drop), both at the default tolerance and at the
+     tightest one. *)
+  let adaptive_dense_counters drift =
+    with_drift drift (fun () ->
+        with_planner `Adaptive (fun () ->
+            let stats = Stats.create () in
+            ignore
+              (Inflationary.eval ~engine:`Seminaive ~stats tc_program dense_db);
+            ( stats.Stats.plan.Plan.plan_compiles,
+              stats.Stats.plan.Plan.plan_replans )))
+  in
+  let dense_compiles_default, dense_replans_default =
+    adaptive_dense_counters (Plan.drift_factor ())
+  in
+  let dense_compiles_tight, dense_replans_tight = adaptive_dense_counters 1 in
+  Format.printf
+    "  adaptive on tc_dense: drift %d -> %d compiles %d replans; drift 1 -> \
+     %d compiles %d replans@."
+    (Plan.drift_factor ()) dense_compiles_default dense_replans_default
+    dense_compiles_tight dense_replans_tight;
+  let replans_recorded = dense_replans_default > 0 || dense_replans_tight > 0 in
+  Format.printf "  feedback replans engage on tc_dense %s@."
+    (ok replans_recorded);
   (* E1-E8 parity: every experiment count must be planner-invariant. *)
   let fps =
     List.map (fun p -> (p, with_planner p parity_fingerprint)) planners
@@ -1451,6 +1517,17 @@ let plan_bench ~quick () =
   out "    \"greedy_compiles\": %d,\n" greedy_compiles;
   out "    \"greedy_cache_hits\": %d\n" greedy_hits;
   out "  },\n";
+  out "  \"adaptive\": {\n";
+  out "    \"tc_dense_compiles_default_drift\": %d,\n" dense_compiles_default;
+  out "    \"tc_dense_replans_default_drift\": %d,\n" dense_replans_default;
+  out "    \"tc_dense_compiles_drift1\": %d,\n" dense_compiles_tight;
+  out "    \"tc_dense_replans_drift1\": %d,\n" dense_replans_tight;
+  List.iteri
+    (fun i (wname, margin) ->
+      out "    \"margin_vs_best_%s\": %.3f%s\n" wname margin
+        (if i = List.length adaptive_margins - 1 then "" else ","))
+    adaptive_margins;
+  out "  },\n";
   out "  \"speedups\": {\n";
   out "    \"static_vs_greedy_theta_apply\": %.3f,\n" sg_theta;
   out "    \"static_vs_greedy_tc_iterheavy\": %.3f,\n" sg_tc;
@@ -1462,13 +1539,22 @@ let plan_bench ~quick () =
   out "    \"e1_e8_fingerprints_match\": %b,\n" parity_ok;
   out "    \"planner_results_agree\": %b,\n" results_agree;
   out "    \"compile_once\": %b,\n" compile_once_ok;
+  out "    \"adaptive_within_10pct_of_best\": %b,\n" adaptive_within_10pct;
+  out "    \"adaptive_beats_static_tc_multi\": %b,\n"
+    adaptive_beats_static_tc_multi;
+  out "    \"adaptive_replans_recorded\": %b,\n" replans_recorded;
   out "    \"executor_words_per_row\": %.2f,\n" words_per_row;
   out "    \"executor_allocation_ok\": %b\n" alloc_ok;
   out "  }\n";
   out "}\n";
   close_out oc;
-  if not (parity_ok && results_agree && alloc_ok && compile_once_ok) then begin
-    Format.printf "  planner divergence detected — failing@.";
+  if
+    not
+      (parity_ok && results_agree && alloc_ok && compile_once_ok
+      && adaptive_within_10pct && adaptive_beats_static_tc_multi
+      && replans_recorded)
+  then begin
+    Format.printf "  planner divergence or adaptive regression — failing@.";
     exit 1
   end
 

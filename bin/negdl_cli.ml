@@ -121,9 +121,29 @@ let planner_arg =
         ~doc:
           "Join-order planning: $(b,static) (default, compile each rule \
            once into a cost-ordered plan, replanning only when relation \
-           sizes drift), $(b,greedy) (replan on every rule application — \
+           sizes drift), $(b,adaptive) (static plus a feedback loop: \
+           observed per-step cardinalities that diverge from the \
+           estimates trigger a bounded recompile with the observed values \
+           substituted), $(b,greedy) (replan on every rule application — \
            the pre-plan-layer behaviour, kept as an ablation), or \
            $(b,scan) (textual literal order, no index probes).")
+
+let plan_drift_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "plan-drift" ] ~docv:"FACTOR"
+        ~doc:
+          "Cardinality drift tolerance shared by the static replanning \
+           check and the adaptive planner's feedback loop: a cached plan \
+           is recompiled when a relation size (static) or an observed \
+           per-step cardinality (adaptive) diverges from what its cost \
+           model saw by more than $(docv)x plus a small slack.  Default \
+           4; values below 1 are clamped.")
+
+let apply_plan_drift = function
+  | Some f -> Negdl.Plan.set_drift_factor f
+  | None -> ()
 
 let explain_arg =
   Arg.(
@@ -206,13 +226,14 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
-  let run program_path db_path semantics engine planner explain indexing
-      storage stats sat_par grain pred =
+  let run program_path db_path semantics engine planner plan_drift explain
+      indexing storage stats sat_par grain pred =
     (* Set the default before loading, so the base relations parsed from the
        database are built in the chosen backend too. *)
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
     Negdl.Engine.set_default_grain grain;
+    apply_plan_drift plan_drift;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats = if stats then Some (Negdl.Stats.create ()) else None in
@@ -252,8 +273,8 @@ let eval_cmd =
     (Cmd.info "eval" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
-      $ planner_arg $ explain_arg $ indexing_arg $ storage_arg $ stats_arg
-      $ sat_par_arg $ parallel_grain_arg $ pred_arg)
+      $ planner_arg $ plan_drift_arg $ explain_arg $ indexing_arg
+      $ storage_arg $ stats_arg $ sat_par_arg $ parallel_grain_arg $ pred_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -290,11 +311,12 @@ let fixpoints_cmd =
              counting nodes; prints \"exact census: N\", or a lower bound \
              when the budget runs out.")
   in
-  let run program_path db_path storage planner explain limit enumerate sat_par
-      grain sat_budget count_budget stats =
+  let run program_path db_path storage planner plan_drift explain limit
+      enumerate sat_par grain sat_budget count_budget stats =
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
     Negdl.Engine.set_default_grain grain;
+    apply_plan_drift plan_drift;
     Negdl.Sat_stats.reset ();
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
@@ -354,8 +376,9 @@ let fixpoints_cmd =
     (Cmd.info "fixpoints" ~doc)
     Term.(
       const run $ program_arg $ database_arg $ storage_arg $ planner_arg
-      $ explain_arg $ limit_arg $ enumerate_arg $ sat_par_arg
-      $ parallel_grain_arg $ sat_budget_arg $ count_budget_arg $ stats_arg)
+      $ plan_drift_arg $ explain_arg $ limit_arg $ enumerate_arg
+      $ sat_par_arg $ parallel_grain_arg $ sat_budget_arg $ count_budget_arg
+      $ stats_arg)
 
 (* --- explain ----------------------------------------------------------------- *)
 
@@ -370,9 +393,44 @@ let explain_cmd =
              feed the cost model.  Without one, every relation is assumed \
              to hold 16 tuples over an 8-constant universe.")
   in
-  let run program_path db_path planner =
+  let feedback_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "feedback" ]
+          ~doc:
+            "Evaluate the program (inflationary semantics) before \
+             printing, and show each cached plan's feedback record — \
+             observed per-step cardinalities against the estimates, \
+             recorded overrides, generation, and whether the adaptive \
+             planner would replan it.  Requires a $(i,DATABASE).")
+  in
+  let run program_path db_path planner plan_drift feedback =
+    apply_plan_drift plan_drift;
     let program = or_die (load_program program_path) in
     let db = Option.map (fun p -> or_die (load_database p)) db_path in
+    if feedback then begin
+      let db =
+        match db with
+        | Some db -> db
+        | None ->
+          or_die
+            (Error
+               "--feedback executes the plans to gather observed \
+                cardinalities; give a DATABASE")
+      in
+      let cache = Negdl.Plan_cache.create () in
+      (match
+         Negdl.run ~planner ~plan_cache:cache Negdl.Semantics_inflationary
+           program db
+       with
+      | Ok _ -> ()
+      | Error e -> or_die (Error e));
+      List.iter
+        (fun plan -> Format.printf "%a@." Negdl.Plan.pp_feedback plan)
+        (Negdl.Plan_cache.program_plans cache program)
+    end
+    else
     let schema =
       match Negdl.Ast.idb_schema program with
       | Ok s -> s
@@ -417,12 +475,16 @@ let explain_cmd =
          variant per positive occurrence of an evolving (IDB) predicate — \
          the plans semi-naive evaluation would execute.  Estimates only: \
          nothing is evaluated, so no actual row counts are shown (use \
-         $(b,--explain) on $(b,eval) or $(b,fixpoints) for those).";
+         $(b,--explain) on $(b,eval) or $(b,fixpoints) for those, or \
+         $(b,--feedback) here to evaluate and print each plan's observed \
+         cardinality profile).";
     ]
   in
   Cmd.v
     (Cmd.info "explain" ~doc ~man)
-    Term.(const run $ program_arg $ database_opt_arg $ planner_arg)
+    Term.(
+      const run $ program_arg $ database_opt_arg $ planner_arg
+      $ plan_drift_arg $ feedback_arg)
 
 (* --- query ------------------------------------------------------------------- *)
 
@@ -470,10 +532,11 @@ let serve_cmd =
              protocol; $(b,quit) ends one client's session, $(b,shutdown) \
              stops the server.")
   in
-  let run program_path db_path engine planner indexing storage stats grain
-      socket =
+  let run program_path db_path engine planner plan_drift indexing storage
+      stats grain socket =
     Negdl.Relation.set_default_storage storage;
     Negdl.Engine.set_default_grain grain;
+    apply_plan_drift plan_drift;
     let program = or_die (load_program program_path) in
     let db = or_die (load_database db_path) in
     let stats_rec = Negdl.Stats.create () in
@@ -547,8 +610,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ program_arg $ database_arg $ engine_arg $ planner_arg
-      $ indexing_arg $ storage_arg $ stats_arg $ parallel_grain_arg
-      $ socket_arg)
+      $ plan_drift_arg $ indexing_arg $ storage_arg $ stats_arg
+      $ parallel_grain_arg $ socket_arg)
 
 (* --- why -------------------------------------------------------------------- *)
 

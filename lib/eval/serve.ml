@@ -294,10 +294,11 @@ let stats_lines t =
       t.c.batches t.c.inserted t.c.deleted t.c.overdeleted t.c.rederived;
     Printf.sprintf "queries: served=%d cache_hits=%d cache_misses=%d"
       t.c.queries t.c.cache_hits t.c.cache_misses;
-    Printf.sprintf "plans: cached=%d compiles=%d cache_hits=%d"
+    Printf.sprintf "plans: cached=%d compiles=%d cache_hits=%d replans=%d"
       (Planlib.Cache.cardinal t.cache)
       t.stats.Stats.plan.Plan.plan_compiles
-      t.stats.Stats.plan.Plan.plan_cache_hits;
+      t.stats.Stats.plan.Plan.plan_cache_hits
+      t.stats.Stats.plan.Plan.plan_replans;
     Printf.sprintf
       "work: rule_applications=%d delta_applications=%d \
        putback_applications=%d full_applications=%d"

@@ -18,19 +18,27 @@ type t = { table : Plan.t H.t }
 
 let create () = { table = H.create 32 }
 
-(* Replan when any cardinality the cost model saw has drifted past this
-   factor — early fixpoint stages grow relations from empty, so the first
-   plans are made against unrepresentative sizes. *)
-let drift_factor = 4
+(* Consecutive feedback replans a plan may accumulate before the cache
+   falls back to a plain recompile (which clears the overrides and resets
+   the generation): each lookup performs at most one compilation, so a
+   persistently mispredicting rule costs one recompile per stage at worst
+   — the greedy planner's steady state — instead of diverging. *)
+let max_generation = 2
 
-let drift_slack = 16
-
+(* Replan when any cardinality the cost model saw has drifted past the
+   shared factor — early fixpoint stages grow relations from empty, so the
+   first plans are made against unrepresentative sizes.  Occurrences a
+   feedback replan overrode are skipped: their recorded size is the
+   observed effective cardinality, which the resolver's raw size is
+   expected to disagree with. *)
 let drifted (plan : Plan.t) ~sizes =
+  let f = Plan.drift_factor () in
   List.exists
     (fun ((occ : Plan.occurrence), arity, n0) ->
+      (not (List.mem_assoc occ.Plan.index plan.Plan.overrides))
+      &&
       let n = sizes occ arity in
-      n > (drift_factor * n0) + drift_slack
-      || n0 > (drift_factor * n) + drift_slack)
+      n > (f * n0) + Plan.drift_slack || n0 > (f * n) + Plan.drift_slack)
     plan.Plan.sizes_at_plan
 
 let bump_compile = function
@@ -39,6 +47,10 @@ let bump_compile = function
 
 let bump_hit = function
   | Some (c : Plan.counters) -> c.plan_cache_hits <- c.plan_cache_hits + 1
+  | None -> ()
+
+let bump_replan = function
+  | Some (c : Plan.counters) -> c.plan_replans <- c.plan_replans + 1
   | None -> ()
 
 let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
@@ -67,6 +79,44 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
       let plan = compile () in
       H.replace cache.table key plan;
       plan)
+  | `Adaptive -> (
+    let key = { krule = rule; kvariant = variant } in
+    let replace plan =
+      H.replace cache.table key plan;
+      plan
+    in
+    match H.find_opt cache.table key with
+    | Some plan when plan.Plan.planner = `Adaptive -> (
+      (* Feedback first: observed-selectivity divergence wins over the
+         input-size check, because it carries the override that stops the
+         same misprediction from recurring. *)
+      match Plan.replan_hint plan with
+      | Some (occ, eff) when plan.Plan.generation < max_generation ->
+        bump_replan counters;
+        let overrides =
+          (occ, eff) :: List.remove_assoc occ plan.Plan.overrides
+        in
+        replace
+          (Plan.compile ~planner ~variant ?label ~overrides
+             ~generation:(plan.Plan.generation + 1)
+             ~sizes ~universe_size rule)
+      | Some _ ->
+        (* Generation cap: restart adaptation from a plain compile. *)
+        replace (compile ())
+      | None ->
+        (* No divergence.  If the plan has actually run, observation
+           agreeing with the estimates supersedes the input-size proxy:
+           per-step feedback already covers what size drift only
+           predicts (a step whose input blew up shows up as observed
+           rows past the factor).  Only a plan with no feedback yet
+           falls back to the static drift check. *)
+        if plan.Plan.fb.Plan.fb_runs = 0 && drifted plan ~sizes then
+          replace (compile ())
+        else begin
+          bump_hit counters;
+          plan
+        end)
+    | _ -> replace (compile ()))
 
 let cardinal cache = H.length cache.table
 

@@ -7,11 +7,30 @@
 
     Caching policy by planner:
     - [`Static]: hit unless some relation cardinality the plan's cost model
-      saw has drifted by more than 4x (+16 slack) — estimates refresh as the
-      fixpoint grows relations, without paying a replan per application;
+      saw has drifted by more than {!Plan.drift_factor} (+ slack) —
+      estimates refresh as the fixpoint grows relations, without paying a
+      replan per application;
     - [`Scan]: plans are size-independent, always hit;
     - [`Greedy]: never cached — recompiled per application (the ablation
-      baseline the bench measures static against).
+      baseline the bench measures static against);
+    - [`Adaptive]: the [`Static] policy plus the feedback loop.  Each
+      lookup first consults {!Plan.replan_hint}: if the cached plan's
+      observed per-step cardinalities diverge from its estimates past the
+      drift factor, the plan is recompiled with the observed effective
+      cardinality substituted at the diverging occurrence (counted as a
+      {e plan replan}, not a compile) — at most [max_generation] (2)
+      consecutive times, after which adaptation restarts from a plain
+      recompile.  When observation instead {e agrees} with the estimates,
+      that agreement supersedes the static input-size check: the plan is
+      kept however far the resolver's cardinalities have moved, because
+      per-step feedback already covers what size drift only predicts.
+      Only a plan with no feedback yet (fetched but never run) falls back
+      to the [`Static] drift check, skipping occurrences an override
+      covers (their recorded size is the observed value, which the
+      resolver's raw cardinality legitimately disagrees with).  Because
+      plans are fetched at stage barriers (see
+      {!Evallib.Saturate}), replan decisions happen between fixpoint
+      stages, never mid-run.
 
     A cache is {e not} synchronised: fetch the plans you need before fanning
     rule applications across domains (see {!Evallib.Saturate}). *)

@@ -2,6 +2,7 @@ module Relation = Relalg.Relation
 module Tuple = Relalg.Tuple
 module Symbol = Relalg.Symbol
 module Ast = Datalog.Ast
+module Magic = Datalog.Magic
 
 type source = { find : string -> int -> Relation.t }
 
@@ -15,18 +16,21 @@ type resolver = occurrence -> source
 
 type indexing = [ `Cached | `Percall | `Scan ]
 
-type planner = [ `Static | `Greedy | `Scan ]
+type planner = [ `Static | `Greedy | `Scan | `Adaptive ]
 
 let planner_of_string = function
   | "static" -> Ok `Static
   | "greedy" -> Ok `Greedy
   | "scan" -> Ok `Scan
-  | s -> Error (Printf.sprintf "unknown planner %S (static|greedy|scan)" s)
+  | "adaptive" -> Ok `Adaptive
+  | s ->
+    Error (Printf.sprintf "unknown planner %S (static|greedy|scan|adaptive)" s)
 
 let planner_to_string = function
   | `Static -> "static"
   | `Greedy -> "greedy"
   | `Scan -> "scan"
+  | `Adaptive -> "adaptive"
 
 let pp_planner ppf p = Format.pp_print_string ppf (planner_to_string p)
 
@@ -36,6 +40,19 @@ let default = Atomic.make `Static
 let set_default_planner p = Atomic.set default p
 
 let default_planner () = Atomic.get default
+
+(* Replan when an observed quantity has drifted past this factor from the
+   one the cost model saw — early fixpoint stages grow relations from
+   empty, so the first plans are made against unrepresentative sizes.
+   Shared by the cache's input-size drift check and the adaptive planner's
+   observed-selectivity check; the CLI's [--plan-drift] sets it. *)
+let drift_cell = Atomic.make 4
+
+let set_drift_factor f = Atomic.set drift_cell (max 1 f)
+
+let drift_factor () = Atomic.get drift_cell
+
+let drift_slack = 16
 
 type variant = Full | Delta of int
 
@@ -65,6 +82,8 @@ type op =
   | Scan of { access : access; pat : pat array }
   | Const_filter of { access : access; args : term array }
   | Neg_check of { access : access; args : term array }
+  | Exists of { access : access; pat : pat array }
+  | Neg_exists of { access : access; pat : pat array; free : int }
   | Compare of { negated : bool; left : term; right : term }
   | Assign of { slot : int; value : term }
   | Enumerate of { slot : int }
@@ -72,8 +91,20 @@ type op =
 type step = {
   op : op;
   est : float;
-  mutable actual : int;
 }
+
+(* Per-plan observed cardinalities, harvested from per-context counters at
+   the end of every run (the fixpoint-stage barrier on the sharded path) —
+   never written from inside the row loop of more than one domain. *)
+type feedback = {
+  mutable fb_runs : int;
+  fb_rows : int array;
+  mutable fb_emitted : int;
+  mutable fb_driving : int;
+  mutable fb_deltas : int list;
+}
+
+let deltas_kept = 8
 
 type t = {
   rule : Ast.rule;
@@ -87,12 +118,16 @@ type t = {
   head_args : term array;
   est_out : float;
   sizes_at_plan : (occurrence * int * int) list;
-  mutable runs : int;
+  universe_at_plan : int;
+  overrides : (int * int) list;
+  generation : int;
+  fb : feedback;
 }
 
 type counters = {
   mutable plan_compiles : int;
   mutable plan_cache_hits : int;
+  mutable plan_replans : int;
   mutable index_hits : int;
   mutable index_builds : int;
   mutable full_scans : int;
@@ -104,6 +139,7 @@ let counters () =
   {
     plan_compiles = 0;
     plan_cache_hits = 0;
+    plan_replans = 0;
     index_hits = 0;
     index_builds = 0;
     full_scans = 0;
@@ -114,6 +150,7 @@ let counters () =
 let merge_counters dst ~src =
   dst.plan_compiles <- dst.plan_compiles + src.plan_compiles;
   dst.plan_cache_hits <- dst.plan_cache_hits + src.plan_cache_hits;
+  dst.plan_replans <- dst.plan_replans + src.plan_replans;
   dst.index_hits <- dst.index_hits + src.index_hits;
   dst.index_builds <- dst.index_builds + src.index_builds;
   dst.full_scans <- dst.full_scans + src.full_scans;
@@ -134,13 +171,32 @@ type blit =
 
 let dummy = Symbol.unsafe_of_id 0
 
-let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
-    (r : Ast.rule) =
+(* Below this cardinality the adaptive planner scans instead of probing:
+   walking a handful of tuples is cheaper than the hash lookup plus bucket
+   indirection, and iteration-heavy fixpoints live in this regime.  A
+   mispredicted cutoff is exactly what the feedback loop repairs — the
+   override substitutes the observed effective cardinality and the replan
+   flips the access path. *)
+let probe_cutoff = 256
+
+let compile ?planner ?(variant = Full) ?label ?(overrides = [])
+    ?(generation = 0) ~sizes ~universe_size (r : Ast.rule) =
   let planner =
     match planner with Some p -> p | None -> default_planner ()
   in
   let label =
     match label with Some l -> l | None -> Datalog.Pretty.rule_to_string r
+  in
+  (* Observed effective cardinalities (from a feedback replan) shadow the
+     resolver's sizes for the positive occurrences they cover; everything
+     downstream — join order, probe-vs-scan choice, estimates — then reads
+     the observed value.  [sizes_at_plan] records the shadowed value too,
+     so the cache's input-size drift check must skip overridden
+     occurrences (see {!Cache}). *)
+  let sizes occ arity =
+    match List.assoc_opt occ.index overrides with
+    | Some eff when occ.polarity = `Pos -> eff
+    | _ -> sizes occ arity
   in
   let vars = Ast.rule_variables r in
   let nslots = List.length vars in
@@ -200,18 +256,14 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
     if arity = 0 then if card > 0 then 1.0 else 0.0
     else Float.min 1.0 (float_of_int card /. (u ** float_of_int arity))
   in
+  let head_slot = Array.make (max nslots 1) false in
+  List.iter
+    (function Ast.Var x -> head_slot.(slot_of x) <- true | Ast.Const _ -> ())
+    r.head.args;
   let rows = ref 1.0 in
   let steps = ref [] in
-  let push op est =
-    steps := { op; est; actual = 0 } :: !steps
-  in
-  let bind_count = ref 0 in
-  let mark_bound s =
-    if not bound.(s) then begin
-      bound.(s) <- true;
-      incr bind_count
-    end
-  in
+  let push op est = steps := { op; est } :: !steps in
+  let mark_bound s = bound.(s) <- true in
   (* Pattern for an atom access: constants and already-bound slots are
      checked, fresh slots bind (first occurrence binds, repeats check). *)
   let pattern args =
@@ -254,22 +306,90 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
     rows := !rows *. u;
     push (Enumerate { slot = s }) !rows
   in
+  (* Existence pattern: constants and bound slots check, dead slots bind on
+     first occurrence (repeats check) but are {e not} marked bound — the
+     binding is a throwaway wildcard nothing downstream reads.  [free] is
+     the count of distinct dead slots. *)
+  let exists_pattern args =
+    let seen = Hashtbl.create 4 in
+    let free = ref 0 in
+    let pat =
+      Array.map
+        (fun t ->
+          match t with
+          | Const c -> Check_const c
+          | Slot s ->
+            if bound.(s) || Hashtbl.mem seen s then Check_slot s
+            else begin
+              Hashtbl.add seen s ();
+              incr free;
+              Bind s
+            end)
+        args
+    in
+    (pat, !free)
+  in
+  let emit_exists polarity occ pred args =
+    let arity = Array.length args in
+    let card = size polarity occ pred arity in
+    let checks = check_positions args in
+    let access = { occ; pred; arity } in
+    let pat, free = exists_pattern args in
+    match polarity with
+    | `Pos ->
+      (* Succeeds iff some witness matches the bound prefix: at most one
+         row survives per input row. *)
+      let p =
+        Float.min 1.0 (float_of_int card /. (u ** float_of_int checks))
+      in
+      rows := !rows *. p;
+      push (Exists { access; pat }) !rows
+    | `Neg ->
+      (* Succeeds unless every instantiation of the free columns is
+         present — fail only when the relation covers all [u^free] of
+         them. *)
+      let p_inst = membership_prob card (checks + free) in
+      let all_present = p_inst ** (u ** float_of_int free) in
+      rows := !rows *. (1.0 -. all_present);
+      push (Neg_exists { access; pat; free }) !rows
+  in
   let emit_join occ pred args =
     let arity = Array.length args in
     let card = size `Pos occ pred arity in
     let checks = check_positions args in
     let access = { occ; pred; arity } in
     (* Probe through the first bound column when one exists (and the
-       planner is allowed to plan indexes); otherwise scan. *)
+       planner is allowed to plan indexes); otherwise scan.  The adaptive
+       planner prefers a constant key (sideways-passed head bindings make
+       these common under magic-style workloads) and falls back to a scan
+       below [probe_cutoff], trusting the feedback loop to flip the
+       decision if observation disagrees. *)
     let col = ref (-1) in
     Array.iteri
       (fun i t -> if !col < 0 && is_bound t then col := i)
       args;
+    if planner = `Adaptive then begin
+      let const_col = ref (-1) in
+      Array.iteri
+        (fun i t ->
+          if !const_col < 0 && (match t with Const _ -> true | Slot _ -> false)
+          then const_col := i)
+        args;
+      if !const_col >= 0 then col := !const_col
+    end;
     let est =
       !rows *. float_of_int card /. (u ** float_of_int checks)
     in
     rows := est;
-    if planner <> `Scan && !col >= 0 then
+    let use_probe =
+      !col >= 0
+      &&
+      match planner with
+      | `Scan -> false
+      | `Adaptive -> card > probe_cutoff
+      | `Static | `Greedy -> true
+    in
+    if use_probe then
       let key = args.(!col) in
       (* [pattern] binds the fresh slots; the probed column stays a check
          in the pattern so the [`Scan] indexing fallback needs no special
@@ -277,14 +397,50 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
       push (Index_probe { access; col = !col; key; pat = pattern args }) est
     else push (Scan { access; pat = pattern args }) est
   in
-  (* Cost-based ordering (Static / Greedy): repeatedly
+  (* Cost-based ordering (Static / Greedy / Adaptive): repeatedly
      1. emit every decided literal (comparisons, then half-bound equality
-        propagation, then membership filters);
-     2. join through the positive atom with the fewest estimated matches;
+        propagation, then membership filters), turning atoms whose only
+        unbound variables are {e dead} (head-absent and unread by any
+        other pending literal) into first-witness existence checks;
+     2. join through the positive atom with the fewest estimated matches
+        (the adaptive planner breaks near-ties by the magic-sets
+        adornment — most bound positions first);
      3. with only under-bound negations / comparisons left, enumerate the
         universe for their first unbound variable. *)
   let pending = ref blits in
   let remove l = pending := List.filter (fun l' -> l' != l) !pending in
+  let occurs_elsewhere self s =
+    List.exists
+      (fun l' ->
+        l' != self
+        &&
+        match l' with
+        | BAtom { args; _ } ->
+          Array.exists
+            (function Slot s' -> s' = s | Const _ -> false)
+            args
+        | BCmp { left; right; _ } ->
+          (match left with Slot s' -> s' = s | Const _ -> false)
+          || (match right with Slot s' -> s' = s | Const _ -> false))
+      !pending
+  in
+  (* An atom is an existence check when every argument is a constant, a
+     bound slot, or a dead slot — and at least one is dead (all-bound
+     atoms are membership filters, found by the decided pass first). *)
+  let existence_candidate l =
+    match l with
+    | BAtom { args; _ } ->
+      (not (all_bound args))
+      && Array.for_all
+           (fun t ->
+             match t with
+             | Const _ -> true
+             | Slot s ->
+               bound.(s)
+               || ((not head_slot.(s)) && not (occurs_elsewhere l s)))
+           args
+    | BCmp _ -> false
+  in
   let rec settle () =
     let decided =
       List.find_opt
@@ -321,7 +477,24 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
         mark_bound s;
         push (Assign { slot = s; value = v }) !rows;
         settle ()
-      | None -> ())
+      | None -> (
+        match List.find_opt existence_candidate !pending with
+        | Some (BAtom { polarity; occ; pred; args } as l) ->
+          remove l;
+          emit_exists polarity occ pred args;
+          settle ()
+        | Some (BCmp _) -> assert false
+        | None -> ()))
+  in
+  let bound_var_names () =
+    List.filteri (fun i _ -> bound.(i)) vars
+  in
+  let adorned_bound_count occ =
+    match List.nth_opt r.body occ with
+    | Some (Ast.Pos a) | Some (Ast.Neg a) ->
+      let sigma = Magic.adornment ~bound:(bound_var_names ()) a in
+      String.fold_left (fun n ch -> if ch = 'b' then n + 1 else n) 0 sigma
+    | _ -> 0
   in
   let best_join () =
     List.fold_left
@@ -334,8 +507,19 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
             float_of_int card /. (u ** float_of_int (check_positions args))
           in
           (match best with
-          | Some (_, best_est) when best_est <= est -> best
-          | _ -> Some (l, est))
+          | Some (_, best_est, best_bc) ->
+            if est < best_est then Some (l, est, adorned_bound_count occ)
+            else if
+              (* Near-tie: sideways information passing — prefer the atom
+                 the current bindings adorn most ('b'-count under the
+                 magic-sets analysis).  Adaptive only, so the static plans
+                 the cram tests pin are byte-identical. *)
+              planner = `Adaptive
+              && est = best_est
+              && adorned_bound_count occ > best_bc
+            then Some (l, est, adorned_bound_count occ)
+            else best
+          | None -> Some (l, est, adorned_bound_count occ))
         | _ -> best)
       None !pending
   in
@@ -358,7 +542,7 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
     settle ();
     if !pending <> [] then begin
       (match best_join () with
-      | Some ((BAtom { occ; pred; args; _ } as l), _) ->
+      | Some ((BAtom { occ; pred; args; _ } as l), _, _) ->
         remove l;
         emit_join occ pred args
       | Some _ -> assert false
@@ -370,8 +554,8 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
     end
   in
   let textual () =
-    (* [`Scan] planner: textual order, no probes, no reordering — the
-       pre-planning ablation baseline. *)
+    (* [`Scan] planner: textual order, no probes, no reordering, no
+       existence short-circuits — the pre-planning ablation baseline. *)
     List.iter
       (fun l ->
         match l with
@@ -411,7 +595,9 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
           emit_filter `Neg occ pred args)
       blits
   in
-  (match planner with `Scan -> textual () | `Static | `Greedy -> solve ());
+  (match planner with
+  | `Scan -> textual ()
+  | `Static | `Greedy | `Adaptive -> solve ());
   let head_args =
     Array.of_list (List.map term_of r.head.args)
   in
@@ -422,6 +608,7 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
       | Slot s when not bound.(s) -> emit_enumerate s
       | _ -> ())
     head_args;
+  let steps = Array.of_list (List.rev !steps) in
   {
     rule = r;
     label;
@@ -429,7 +616,7 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
     variant;
     nslots;
     slot_names;
-    steps = Array.of_list (List.rev !steps);
+    steps;
     head_pred = r.head.pred;
     head_args;
     est_out = !rows;
@@ -437,8 +624,69 @@ let compile ?planner ?(variant = Full) ?label ~sizes ~universe_size
       Hashtbl.fold (fun _ entry acc -> entry :: acc) sizes_seen []
       |> List.sort (fun ((a : occurrence), _, _) ((b : occurrence), _, _) ->
              Int.compare a.index b.index);
-    runs = 0;
+    universe_at_plan = universe_size;
+    overrides;
+    generation;
+    fb =
+      {
+        fb_runs = 0;
+        fb_rows = Array.make (max (Array.length steps) 1) 0;
+        fb_emitted = 0;
+        fb_driving = 0;
+        fb_deltas = [];
+      };
   }
+
+(* --- the feedback loop -------------------------------------------------- *)
+
+let pat_checks pat =
+  Array.fold_left
+    (fun n p -> match p with Bind _ -> n | Check_const _ | Check_slot _ -> n + 1)
+    0 pat
+
+(* Observed-selectivity divergence: compare each join step's average
+   observed output rows against its estimate.  Input-size drift is the
+   cache's job (it re-reads the resolver's cardinalities); what only the
+   feedback record can see is a {e selectivity} misprediction — the right
+   input sizes flowing through the wrong join order or access path.  The
+   worst-diverging, not-yet-overridden join wins; the override is the
+   effective cardinality that would have produced the observed output
+   ([obs/in * u^checks] — the cost model solved for card). *)
+let replan_hint plan =
+  let fb = plan.fb in
+  if fb.fb_runs = 0 then None
+  else begin
+    let f = float_of_int (drift_factor ()) in
+    let slack = float_of_int drift_slack in
+    let runs = float_of_int fb.fb_runs in
+    let u = float_of_int (max plan.universe_at_plan 1) in
+    let best = ref None in
+    let input = ref 1.0 in
+    Array.iteri
+      (fun i st ->
+        let obs = float_of_int fb.fb_rows.(i) /. runs in
+        (match st.op with
+        | Scan { access; pat } | Index_probe { access; pat; _ }
+          when not (List.mem_assoc access.occ plan.overrides) ->
+          let est = st.est in
+          if obs > (f *. est) +. slack || est > (f *. obs) +. slack then begin
+            let ratio =
+              let r = (obs +. slack) /. (est +. slack) in
+              if r < 1.0 then 1.0 /. r else r
+            in
+            let eff =
+              (obs /. Float.max !input 1.0) *. (u ** float_of_int (pat_checks pat))
+            in
+            let eff = int_of_float (Float.min eff 1e15) in
+            match !best with
+            | Some (r0, _, _) when r0 >= ratio -> ()
+            | _ -> best := Some (ratio, access.occ, max 0 eff)
+          end
+        | _ -> ());
+        input := obs)
+      plan.steps;
+    Option.map (fun (_, occ, eff) -> (occ, eff)) !best
+  end
 
 (* --- execution ---------------------------------------------------------- *)
 
@@ -464,23 +712,40 @@ let value env = function
   | Const c -> c
   | Slot s -> Array.unsafe_get env s
 
+(* Saturating power for the [Neg_exists] witness bound: [u^free] can
+   overflow for large universes, and any saturated bound is unreachable by
+   a finite relation anyway. *)
+let ipow_sat base e =
+  let base = max base 0 in
+  let rec go acc e =
+    if e = 0 then acc
+    else if base > 1 && acc > max_int / base then max_int
+    else go (acc * base) (e - 1)
+  in
+  go 1 e
+
 (* A prepared execution context: the per-run state the old [run] built
    inline — resolved sources, slot environment, scratch probe tuples,
    per-call index tables — plus the index of the plan's {e driving} step
    (the first [Scan]/[Index_probe]/[Enumerate], whose input rows the
    sharded executor partitions into morsels).  One context belongs to one
-   domain; a shared compiled plan is only touched through the
-   racy-but-benign [actual]/[runs] counters. *)
+   domain; the shared compiled plan is immutable — per-step row counts
+   accumulate in the context's [p_rows] and are folded into the plan's
+   feedback record at the run barrier ({!harvest}). *)
 type prepared = {
   p_plan : t;
   p_indexing : indexing;
   p_counters : counters option;
   p_universe : Symbol.t list;
+  p_usize : int;
   p_env : Symbol.t array;
   p_rels : Relation.t array;
   p_scratch : Symbol.t array array;
   p_percall : (Symbol.t, Tuple.t list) Hashtbl.t option array;
   p_driving : int;
+  p_rows : int array;
+  mutable p_emitted : int;
+  mutable p_din : int;
 }
 
 let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
@@ -493,7 +758,8 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
   Array.iteri
     (fun i st ->
       match st.op with
-      | Index_probe { access; _ } | Scan { access; _ } ->
+      | Index_probe { access; _ } | Scan { access; _ } | Exists { access; _ }
+        ->
         rels.(i) <-
           (resolver { polarity = `Pos; index = access.occ; pred = access.pred })
             .find access.pred access.arity
@@ -507,6 +773,10 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
           (resolver { polarity = `Neg; index = access.occ; pred = access.pred })
             .find access.pred access.arity;
         scratch.(i) <- Array.make access.arity dummy
+      | Neg_exists { access; _ } ->
+        rels.(i) <-
+          (resolver { polarity = `Neg; index = access.occ; pred = access.pred })
+            .find access.pred access.arity
       | Compare _ | Assign _ | Enumerate _ -> ())
     steps;
   let driving = ref (-1) in
@@ -515,19 +785,50 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
       if !driving < 0 then
         match st.op with
         | Scan _ | Index_probe _ | Enumerate _ -> driving := i
-        | Compare _ | Assign _ | Const_filter _ | Neg_check _ -> ())
+        | Compare _ | Assign _ | Const_filter _ | Neg_check _ | Exists _
+        | Neg_exists _ ->
+          ())
     steps;
   {
     p_plan = plan;
     p_indexing = indexing;
     p_counters = counters;
     p_universe = universe;
+    p_usize = List.length universe;
     p_env = env;
     p_rels = rels;
     p_scratch = scratch;
     p_percall = percall;
     p_driving = !driving;
+    p_rows = Array.make (max nsteps 1) 0;
+    p_emitted = 0;
+    p_din = 0;
   }
+
+(* Folds one or more execution contexts (participant order on the sharded
+   path) into the plan's feedback record, closing one run: per-step row
+   counts, emitted rows, and the driving step's input size, which also
+   heads the recent-deltas window.  Called once per {!run} /
+   {!run_sharded} — the stage barrier — so the plan itself is never
+   written concurrently. *)
+let harvest plan ctxs =
+  let fb = plan.fb in
+  let din = List.fold_left (fun acc c -> acc + c.p_din) 0 ctxs in
+  List.iter
+    (fun c ->
+      Array.iteri
+        (fun i n -> if n > 0 then fb.fb_rows.(i) <- fb.fb_rows.(i) + n)
+        c.p_rows;
+      fb.fb_emitted <- fb.fb_emitted + c.p_emitted)
+    ctxs;
+  fb.fb_driving <- fb.fb_driving + din;
+  fb.fb_runs <- fb.fb_runs + 1;
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  fb.fb_deltas <- din :: take (deltas_kept - 1) fb.fb_deltas
 
 let bump_scan prep =
   match prep.p_counters with
@@ -560,6 +861,29 @@ let probe prep i args =
   (* Probed, never retained. *)
   Relation.mem (Tuple.unsafe_make scr) prep.p_rels.(i)
 
+(* First-witness check of a positive atom: stop at the first tuple
+   matching the bound prefix instead of materializing the bindings. *)
+let exists_holds prep i pat =
+  Relation.exists (fun t -> match_pat prep.p_env pat t) prep.p_rels.(i)
+
+(* Negated atom whose free columns are dead: succeeds iff some
+   instantiation of them is absent, i.e. the bound prefix matches fewer
+   than [u^free] tuples.  [Relation.exists] short-circuits the moment the
+   count saturates the bound, so densely-covered prefixes exit early. *)
+let neg_exists_fails prep i pat free =
+  let limit = ipow_sat prep.p_usize free in
+  limit = 0
+  ||
+  let count = ref 0 in
+  Relation.exists
+    (fun t ->
+      match_pat prep.p_env pat t
+      && begin
+           incr count;
+           !count >= limit
+         end)
+    prep.p_rels.(i)
+
 let percall_table prep i col =
   match prep.p_percall.(i) with
   | Some table ->
@@ -581,10 +905,12 @@ let percall_table prep i col =
    partitions.  Positions are stable per relation value: backend iteration
    order for scans, bucket order for probes, universe order for
    enumerations.  The constant prefix before the driving step (compares,
-   assigns, membership filters) is evaluated here so a probe key bound by
-   an earlier [Assign] resolves, and so a failed prefix reports 0 rows;
-   no [actual] or probe counters are bumped (this is a counting pass —
-   execution re-runs the prefix). *)
+   assigns, membership filters, existence checks) is evaluated here so a
+   probe key bound by an earlier [Assign] resolves, and so a failed prefix
+   reports 0 rows; no row or probe counters are bumped (this is a counting
+   pass — execution re-runs the prefix).  {!run_sharded} only pays it on a
+   plan's first run: afterwards the feedback record's observed
+   driving-input average sizes the morsels. *)
 let driving_rows prep =
   let steps = prep.p_plan.steps in
   let env = prep.p_env in
@@ -601,6 +927,9 @@ let driving_rows prep =
            true
          | Const_filter { args; _ } -> probe prep i args
          | Neg_check { args; _ } -> not (probe prep i args)
+         | Exists { pat; _ } -> exists_holds prep i pat
+         | Neg_exists { pat; free; _ } ->
+           not (neg_exists_fails prep i pat free)
          | Scan _ | Index_probe _ | Enumerate _ -> assert false)
          && prefix (i + 1)
     in
@@ -608,7 +937,7 @@ let driving_rows prep =
     else
       match steps.(d).op with
       | Scan _ -> Relation.cardinal prep.p_rels.(d)
-      | Enumerate _ -> List.length prep.p_universe
+      | Enumerate _ -> prep.p_usize
       | Index_probe { col; key; _ } -> (
         match prep.p_indexing with
         | `Scan -> Relation.cardinal prep.p_rels.(d)
@@ -623,7 +952,9 @@ let driving_rows prep =
           Relation.fold
             (fun t n -> if Symbol.equal (Tuple.get t col) k then n + 1 else n)
             prep.p_rels.(d) 0)
-      | Compare _ | Assign _ | Const_filter _ | Neg_check _ -> assert false
+      | Compare _ | Assign _ | Const_filter _ | Neg_check _ | Exists _
+      | Neg_exists _ ->
+        assert false
   end
 
 (* The execution core.  [lo, hi) restricts the {e driving} step to the
@@ -631,27 +962,34 @@ let driving_rows prep =
    execution (and behaves — counters included — exactly like one, since
    every position is then in range).  Steps before the driving step are
    constant-decided, so the driving step runs at most once per call and a
-   single position cursor suffices. *)
+   single position cursor suffices.  The driving step also counts the
+   input positions it visits into [p_din] — summed over a run's contexts,
+   that is exactly the driving input size the next sharded run partitions
+   without re-counting. *)
 let exec_range prep ~lo ~hi ~on_row =
   let plan = prep.p_plan in
   let steps = plan.steps in
   let nsteps = Array.length steps in
+  let rows = prep.p_rows in
   let env = prep.p_env in
   let universe = prep.p_universe in
   let d = prep.p_driving in
   let rec exec i =
-    if i = nsteps then on_row env
+    if i = nsteps then begin
+      prep.p_emitted <- prep.p_emitted + 1;
+      on_row env
+    end
     else
       let st = Array.unsafe_get steps i in
       match st.op with
       | Compare { negated; left; right } ->
         if Symbol.equal (value env left) (value env right) <> negated then begin
-          st.actual <- st.actual + 1;
+          rows.(i) <- rows.(i) + 1;
           exec (i + 1)
         end
       | Assign { slot; value = v } ->
         env.(slot) <- value env v;
-        st.actual <- st.actual + 1;
+        rows.(i) <- rows.(i) + 1;
         exec (i + 1)
       | Enumerate { slot } ->
         bump_enum prep;
@@ -662,8 +1000,9 @@ let exec_range prep ~lo ~hi ~on_row =
               let p = !pos in
               incr pos;
               if p >= lo && p < hi then begin
+                prep.p_din <- prep.p_din + 1;
                 env.(slot) <- c;
-                st.actual <- st.actual + 1;
+                rows.(i) <- rows.(i) + 1;
                 exec (i + 1)
               end)
             universe
@@ -672,17 +1011,29 @@ let exec_range prep ~lo ~hi ~on_row =
           List.iter
             (fun c ->
               env.(slot) <- c;
-              st.actual <- st.actual + 1;
+              rows.(i) <- rows.(i) + 1;
               exec (i + 1))
             universe
       | Const_filter { args; _ } ->
         if probe prep i args then begin
-          st.actual <- st.actual + 1;
+          rows.(i) <- rows.(i) + 1;
           exec (i + 1)
         end
       | Neg_check { args; _ } ->
         if not (probe prep i args) then begin
-          st.actual <- st.actual + 1;
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        end
+      | Exists { pat; _ } ->
+        bump_scan prep;
+        if exists_holds prep i pat then begin
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        end
+      | Neg_exists { pat; free; _ } ->
+        bump_scan prep;
+        if not (neg_exists_fails prep i pat free) then begin
+          rows.(i) <- rows.(i) + 1;
           exec (i + 1)
         end
       | Scan { pat; _ } ->
@@ -704,16 +1055,18 @@ let exec_range prep ~lo ~hi ~on_row =
           stream i pat
             (Option.value ~default:[] (Hashtbl.find_opt table (value env key))))
   and scan_rel i pat =
-    let st = Array.unsafe_get steps i in
     if i = d then begin
       let pos = ref 0 in
       Relation.iter
         (fun t ->
           let p = !pos in
           incr pos;
-          if p >= lo && p < hi && match_pat env pat t then begin
-            st.actual <- st.actual + 1;
-            exec (i + 1)
+          if p >= lo && p < hi then begin
+            prep.p_din <- prep.p_din + 1;
+            if match_pat env pat t then begin
+              rows.(i) <- rows.(i) + 1;
+              exec (i + 1)
+            end
           end)
         prep.p_rels.(i)
     end
@@ -721,12 +1074,11 @@ let exec_range prep ~lo ~hi ~on_row =
       Relation.iter
         (fun t ->
           if match_pat env pat t then begin
-            st.actual <- st.actual + 1;
+            rows.(i) <- rows.(i) + 1;
             exec (i + 1)
           end)
         prep.p_rels.(i)
   and stream i pat bucket =
-    let st = Array.unsafe_get steps i in
     if i = d then begin
       (* Slice of the bucket's positions; probe counters see only the
          slice, so shard totals add up to the unrestricted count. *)
@@ -739,11 +1091,12 @@ let exec_range prep ~lo ~hi ~on_row =
           if p >= lo && p < hi then begin
             incr visited;
             if match_pat env pat t then begin
-              st.actual <- st.actual + 1;
+              rows.(i) <- rows.(i) + 1;
               exec (i + 1)
             end
           end)
         bucket;
+      prep.p_din <- prep.p_din + !visited;
       bump_probes prep !visited
     end
     else begin
@@ -751,7 +1104,7 @@ let exec_range prep ~lo ~hi ~on_row =
       List.iter
         (fun t ->
           if match_pat env pat t then begin
-            st.actual <- st.actual + 1;
+            rows.(i) <- rows.(i) + 1;
             exec (i + 1)
           end)
         bucket
@@ -762,8 +1115,9 @@ let exec_range prep ~lo ~hi ~on_row =
 let exec prep ~on_row = exec_range prep ~lo:0 ~hi:max_int ~on_row
 
 let run ?indexing ?counters ~resolver ~universe plan ~on_row =
-  plan.runs <- plan.runs + 1;
-  exec (prepare ?indexing ?counters ~resolver ~universe plan) ~on_row
+  let prep = prepare ?indexing ?counters ~resolver ~universe plan in
+  exec prep ~on_row;
+  harvest plan [ prep ]
 
 (* --- sharded execution -------------------------------------------------- *)
 
@@ -783,22 +1137,36 @@ let auto_grain ~rows ~workers =
 
 let run_sharded ?(indexing = `Cached) ?(counters = fun _ -> None) ~pool ?grain
     ~resolver ~universe plan ~on_row =
-  plan.runs <- plan.runs + 1;
   (* The counting context doubles as participant 0's execution context. *)
   let count_ctx = prepare ~indexing ~resolver ~universe plan in
-  let rows = driving_rows count_ctx in
+  let fb = plan.fb in
+  (* The driving-input count is only walked on a plan's first run; after
+     that the feedback record's observed average sizes the morsels and the
+     last morsel is left open-ended to absorb the estimation error. *)
+  let counted = fb.fb_runs = 0 in
+  let rows =
+    if counted then driving_rows count_ctx
+    else max 0 (fb.fb_driving / fb.fb_runs)
+  in
   let workers = Negdl_util.Domain_pool.size pool + 1 in
   let g =
     match grain with
     | Some g -> max 1 g
     | None -> auto_grain ~rows ~workers
   in
-  let morsels = if rows = 0 then 0 else (rows + g - 1) / g in
+  let morsels =
+    if counted then (if rows = 0 then 0 else (rows + g - 1) / g)
+    else max 1 ((rows + g - 1) / g)
+  in
   if morsels <= 1 then begin
     (* One morsel (or a constant-decided plan, [p_driving < 0]): run
        unrestricted on the calling domain. *)
-    if morsels = 1 then
-      exec { count_ctx with p_counters = counters 0 } ~on_row:(on_row 0);
+    if morsels = 1 then begin
+      let c0 = { count_ctx with p_counters = counters 0 } in
+      exec c0 ~on_row:(on_row 0);
+      harvest plan [ c0 ]
+    end
+    else harvest plan [ count_ctx ];
     { sh_morsels = morsels; sh_steals = 0; sh_executed = [| morsels |] }
   end
   else begin
@@ -817,12 +1185,20 @@ let run_sharded ?(indexing = `Cached) ?(counters = fun _ -> None) ~pool ?grain
         preps.(p) <- Some prep;
         prep
     in
+    let last = morsels - 1 in
+    let hi i =
+      if counted then min rows ((i + 1) * g)
+      else if i = last then max_int
+      else (i + 1) * g
+    in
     let _, report =
       Negdl_util.Domain_pool.run_morsels pool ~morsels (fun p i ->
-          exec_range (ctx p) ~lo:(i * g)
-            ~hi:(min rows ((i + 1) * g))
-            ~on_row:(on_row p))
+          exec_range (ctx p) ~lo:(i * g) ~hi:(hi i) ~on_row:(on_row p))
     in
+    (* Barrier: fold the participants' counts into the feedback record in
+       participant order (the counts are sums, so the order only matters
+       for reproducibility of the code path, not the totals). *)
+    harvest plan (List.filter_map Fun.id (Array.to_list preps));
     {
       sh_morsels = morsels;
       sh_steals = report.Negdl_util.Domain_pool.steals;
@@ -860,8 +1236,7 @@ let pp_pat names ppf pat =
   in
   pp_args names ppf (Array.map term_of pat)
 
-let pp_step names ppf st =
-  (match st.op with
+let pp_op names ppf = function
   | Index_probe { access; col; key; pat } ->
     Format.fprintf ppf "probe %s%a via column %d = %a" access.pred
       (pp_pat names) pat col (pp_term names) key
@@ -871,6 +1246,11 @@ let pp_step names ppf st =
     Format.fprintf ppf "filter %s%a" access.pred (pp_args names) args
   | Neg_check { access; args } ->
     Format.fprintf ppf "check !%s%a" access.pred (pp_args names) args
+  | Exists { access; pat } ->
+    Format.fprintf ppf "exists %s%a" access.pred (pp_pat names) pat
+  | Neg_exists { access; pat; free } ->
+    Format.fprintf ppf "exists-missing %s%a (%d free)" access.pred
+      (pp_pat names) pat free
   | Compare { negated; left; right } ->
     Format.fprintf ppf "compare %a %s %a" (pp_term names) left
       (if negated then "!=" else "=")
@@ -878,8 +1258,10 @@ let pp_step names ppf st =
   | Assign { slot; value } ->
     Format.fprintf ppf "assign %s := %a" names.(slot) (pp_term names) value
   | Enumerate { slot } ->
-    Format.fprintf ppf "enumerate %s over universe" names.(slot));
-  Format.fprintf ppf "  [est %.1f rows]" st.est
+    Format.fprintf ppf "enumerate %s over universe" names.(slot)
+
+let pp_step names ppf st =
+  Format.fprintf ppf "%a  [est %.1f rows]" (pp_op names) st.op st.est
 
 let pp ppf plan =
   Format.fprintf ppf "@[<v2>%s  {%s, %s}" plan.label
@@ -888,7 +1270,8 @@ let pp ppf plan =
   Array.iteri
     (fun i st ->
       Format.fprintf ppf "@,%d. %a" (i + 1) (pp_step plan.slot_names) st;
-      if plan.runs > 0 then Format.fprintf ppf "  [actual %d]" st.actual)
+      if plan.fb.fb_runs > 0 then
+        Format.fprintf ppf "  [actual %d]" plan.fb.fb_rows.(i))
     plan.steps;
   Format.fprintf ppf "@,%d. project %s%a  [est %.1f rows]"
     (Array.length plan.steps + 1)
@@ -898,3 +1281,46 @@ let pp ppf plan =
   Format.fprintf ppf "@]"
 
 let to_string plan = Format.asprintf "%a" pp plan
+
+(* The [explain --feedback] view: per step, the estimate the plan was
+   compiled against, the observed per-run average, and a [drift] marker
+   where the two diverge past the drift factor; then the replan state —
+   the overrides already substituted, the generation, and what the next
+   adaptive cache lookup would do. *)
+let pp_feedback ppf plan =
+  let fb = plan.fb in
+  let runs = max fb.fb_runs 1 in
+  let avg n = float_of_int n /. float_of_int runs in
+  Format.fprintf ppf "@[<v2>%s  {%s, %s, generation %d}" plan.label
+    (planner_to_string plan.planner)
+    (variant_to_string plan.variant)
+    plan.generation;
+  Format.fprintf ppf "@,runs %d; driving avg %.1f; emitted avg %.1f (est %.1f)"
+    fb.fb_runs (avg fb.fb_driving) (avg fb.fb_emitted) plan.est_out;
+  let f = float_of_int (drift_factor ()) in
+  let slack = float_of_int drift_slack in
+  Array.iteri
+    (fun i st ->
+      let obs = avg fb.fb_rows.(i) in
+      Format.fprintf ppf "@,%d. %a  [est %.1f, obs %.1f%s]" (i + 1)
+        (pp_op plan.slot_names) st.op st.est obs
+        (if
+           fb.fb_runs > 0
+           && (obs > (f *. st.est) +. slack || st.est > (f *. obs) +. slack)
+         then ", drift"
+         else ""))
+    plan.steps;
+  (match plan.overrides with
+  | [] -> Format.fprintf ppf "@,overrides: none"
+  | overrides ->
+    Format.fprintf ppf "@,overrides:";
+    List.iter
+      (fun (occ, eff) ->
+        Format.fprintf ppf " occurrence %d -> %d rows" occ eff)
+      (List.sort (fun (a, _) (b, _) -> Int.compare a b) overrides));
+  (match replan_hint plan with
+  | Some (occ, eff) ->
+    Format.fprintf ppf "@,replan: occurrence %d, observed effective %d rows"
+      occ eff
+  | None -> Format.fprintf ppf "@,replan: none");
+  Format.fprintf ppf "@]"

@@ -1,4 +1,4 @@
-(** Compile-once physical plans for rule evaluation.
+(** Compile-once physical plans for rule evaluation, with a feedback loop.
 
     Every Theta-based semantics in this library ultimately does the same
     thing: apply each rule of the program to the current valuation, over and
@@ -12,23 +12,40 @@
       later steps, which run only after a successful match);
     - {e steps}: [Index_probe] (join through a column index),
       [Scan] (filtered full scan), [Const_filter] / [Neg_check]
-      (membership of a fully bound atom), [Compare], [Assign]
-      (equality propagation) and [Enumerate] (universe enumeration for
-      variables no positive literal binds — the paper's semantics is not
+      (membership of a fully bound atom), [Exists] / [Neg_exists]
+      (first-witness existence checks for atoms whose only unbound
+      variables are dead — see below), [Compare], [Assign] (equality
+      propagation) and [Enumerate] (universe enumeration for variables no
+      positive literal binds — the paper's semantics is not
       range-restricted); the final projection emits the head tuple;
     - {e cost-based ordering}: positive atoms are joined smallest
       estimated-match-count first, where the estimate is
       [card / universe^bound_positions] with cardinalities read through
       [sizes] at compile time.
 
-    Plans are pure data apart from per-step [actual] row counters (benign
-    races under the parallel engine) — per-execution state (environment,
-    scratch probe tuples, per-call index tables) lives in {!run}, so one
-    compiled plan is shareable across iterations, alternating-fixpoint
-    passes and domains.  Where each atom occurrence reads its relation is
-    decided at {e run} time by a resolver, which is what lets one plan
-    serve both the full and the delta-specialized applications of
-    semi-naive evaluation. *)
+    {b Existence short-circuits.} A body atom whose unbound variables are
+    all {e dead} — absent from the head and from every other remaining
+    literal — only asks a yes/no question.  A positive such atom becomes
+    [Exists] (stop at the first witness matching the bound prefix); a
+    negated one becomes [Neg_exists] (succeed unless the relation covers
+    all [u^free] instantiations of the free columns, counted with early
+    exit), replacing the enumerate-then-check cascade that cost [u]
+    iterations per free variable.
+
+    {b Feedback.} Plans are immutable apart from a per-plan {!feedback}
+    record of observed cardinalities: per-step rows produced, emitted
+    rows, the driving step's input size, and a window of recent
+    driving-input ("delta") sizes.  Per-run counts accumulate in the
+    {!prepared} execution context — one per domain — and are folded into
+    the plan's record once per run, at the fixpoint-stage barrier on the
+    sharded path, so the record is never written from two domains.  The
+    [`Adaptive] planner ({!Cache}) closes the loop: when observed
+    selectivities diverge from the estimates past {!drift_factor}, the
+    next cache lookup recompiles with the observed effective cardinality
+    substituted for the estimate ({!replan_hint}).  Where each atom
+    occurrence reads its relation is decided at {e run} time by a
+    resolver, which is what lets one plan serve both the full and the
+    delta-specialized applications of semi-naive evaluation. *)
 
 type source = { find : string -> int -> Relalg.Relation.t }
 
@@ -47,13 +64,18 @@ type indexing = [ `Cached | `Percall | `Scan ]
     or plain scans (the pattern re-checks the probed column, so the
     fallback needs no replanning). *)
 
-type planner = [ `Static | `Greedy | `Scan ]
+type planner = [ `Static | `Greedy | `Scan | `Adaptive ]
 (** - [`Static] (default): compile once per (rule, variant), cache, and
       only recompile when relation sizes drift past the {!Cache} threshold;
     - [`Greedy]: recompile on every rule application with fresh sizes —
       the pre-plan-layer behaviour, kept as the ablation baseline;
     - [`Scan]: no planning at all — textual literal order, no index
-      probes (plans are size-independent and cached). *)
+      probes (plans are size-independent and cached);
+    - [`Adaptive]: like [`Static], plus the feedback loop — observed
+      per-step cardinalities trigger bounded replans with observed stats
+      substituted for estimates, small relations are scanned rather than
+      probed, and near-tie join orders are broken by the magic-sets
+      adornment (sideways information passing). *)
 
 val planner_of_string : string -> (planner, string) result
 val planner_to_string : planner -> string
@@ -64,6 +86,20 @@ val set_default_planner : planner -> unit
     ablates through this, like {!Relalg.Relation.set_default_storage}). *)
 
 val default_planner : unit -> planner
+
+val set_drift_factor : int -> unit
+(** Sets the drift factor (default 4, clamped to >= 1) shared by the
+    cache's input-size drift check and the adaptive planner's
+    observed-selectivity check — the CLI's [--plan-drift].  A quantity has
+    drifted when it exceeds [factor * reference + drift_slack] in either
+    direction. *)
+
+val drift_factor : unit -> int
+
+val drift_slack : int
+(** Additive slack under which drift is never declared — early fixpoint
+    stages grow relations from empty, and a 4x change of almost nothing
+    is noise. *)
 
 type variant =
   | Full  (** Every occurrence reads the current valuation. *)
@@ -93,6 +129,15 @@ type op =
   | Scan of { access : access; pat : pat array }
   | Const_filter of { access : access; args : term array }
   | Neg_check of { access : access; args : term array }
+  | Exists of { access : access; pat : pat array }
+      (** First-witness membership of a partially bound positive atom
+          whose unbound columns are dead: succeeds iff any tuple matches
+          the bound prefix, stopping at the first. *)
+  | Neg_exists of { access : access; pat : pat array; free : int }
+      (** Negated atom with [free] distinct dead columns: succeeds iff
+          some instantiation of them is {e absent}, i.e. the bound prefix
+          matches fewer than [universe^free] tuples (early exit once the
+          bound is reached). *)
   | Compare of { negated : bool; left : term; right : term }
   | Assign of { slot : int; value : term }
   | Enumerate of { slot : int }
@@ -100,8 +145,25 @@ type op =
 type step = {
   op : op;
   est : float;  (** Estimated rows surviving this step. *)
-  mutable actual : int;  (** Rows that actually survived, across runs. *)
 }
+
+type feedback = {
+  mutable fb_runs : int;  (** Completed runs folded into this record. *)
+  fb_rows : int array;
+      (** Per step, rows that survived it, summed across runs — the
+          observed counterpart of [step.est] is [fb_rows.(i) / fb_runs]. *)
+  mutable fb_emitted : int;  (** Rows emitted to [on_row], across runs. *)
+  mutable fb_driving : int;
+      (** Driving-step input rows, summed across runs — what
+          {!run_sharded} partitions, cached here so only a plan's first
+          sharded run pays the counting pass. *)
+  mutable fb_deltas : int list;
+      (** Recent per-run driving-input sizes, newest first (window of 8) —
+          for a [Delta] variant, the observed delta-size trajectory. *)
+}
+(** Observed cardinalities, harvested from per-context counters once per
+    run (the stage barrier on the sharded path).  Reset by recompilation —
+    a fresh plan starts observing from scratch. *)
 
 type t = {
   rule : Datalog.Ast.rule;
@@ -116,13 +178,25 @@ type t = {
   est_out : float;  (** Estimated emitted rows. *)
   sizes_at_plan : (occurrence * int * int) list;
       (** (occurrence, arity, cardinality) snapshot the cost model saw —
-          {!Cache} compares against it to decide when to replan. *)
-  mutable runs : int;  (** Executions (pp prints actuals only when > 0). *)
+          {!Cache} compares against it to decide when to replan.  For an
+          overridden occurrence this records the override. *)
+  universe_at_plan : int;  (** Universe size the cost model saw. *)
+  overrides : (int * int) list;
+      (** [(occurrence index, observed effective cardinality)] pairs a
+          feedback replan substituted for the resolver's sizes — skipped
+          by the cache's input-size drift check. *)
+  generation : int;
+      (** Consecutive feedback replans behind this plan; {!Cache} bounds
+          it and falls back to a plain recompile at the cap. *)
+  fb : feedback;
 }
 
 type counters = {
   mutable plan_compiles : int;
   mutable plan_cache_hits : int;
+  mutable plan_replans : int;
+      (** Feedback-driven recompilations (adaptive planner only) —
+          bounded per plan by the {!Cache} generation cap. *)
   mutable index_hits : int;
   mutable index_builds : int;
   mutable full_scans : int;
@@ -138,6 +212,8 @@ val compile :
   ?planner:planner ->
   ?variant:variant ->
   ?label:string ->
+  ?overrides:(int * int) list ->
+  ?generation:int ->
   sizes:(occurrence -> int -> int) ->
   universe_size:int ->
   Datalog.Ast.rule ->
@@ -146,7 +222,22 @@ val compile :
     occurrence reads (under the resolver the plan will later run with);
     the [variant] only documents which occurrence the resolver seeds from
     the delta — the delta's small cardinality reaches the join order
-    through [sizes]. *)
+    through [sizes].  [overrides] shadows [sizes] for the given positive
+    occurrences with observed effective cardinalities (a feedback
+    replan); [generation] counts the consecutive feedback replans that
+    produced this plan. *)
+
+val replan_hint : t -> (int * int) option
+(** [Some (occ, eff)] when the feedback record shows a join step's
+    observed output diverging from its estimate past {!drift_factor} (+
+    {!drift_slack}), for the worst such step whose occurrence is not
+    already overridden: recompiling with [eff] substituted at [occ] would
+    align the cost model with observation.  [None] before the first run,
+    while observation matches, or when every diverging occurrence is
+    already overridden.  Selectivity divergence is deliberately the
+    trigger — input-{e size} drift is already caught by {!Cache} against
+    [sizes_at_plan]; what only observation reveals is the right sizes
+    flowing through the wrong access path or join order. *)
 
 val run :
   ?indexing:indexing ->
@@ -160,7 +251,8 @@ val run :
     the slot environment (valid only for the duration of the call — copy
     what you keep, or use {!head_tuple}).  Matching is return-value based
     (no exceptions on the hot path) and allocation-free apart from index
-    construction and the caller's [on_row]. *)
+    construction and the caller's [on_row].  Completes by folding the
+    run's observed cardinalities into the plan's feedback record. *)
 
 (** {2 Sharded (morsel-driven) execution}
 
@@ -176,8 +268,9 @@ val run :
 
 type prepared
 (** A per-domain execution context: resolved sources, slot registers,
-    scratch probe tuples, per-call index tables, and the driving-step
-    index.  Cheap relative to execution; one per (plan, run, domain). *)
+    scratch probe tuples, per-call index tables, the driving-step index,
+    and the context's share of the run's observed row counts.  Cheap
+    relative to execution; one per (plan, run, domain). *)
 
 val prepare :
   ?indexing:indexing ->
@@ -187,8 +280,8 @@ val prepare :
   t ->
   prepared
 (** Resolves the plan's sources and allocates the per-run state {!run}
-    otherwise builds internally.  Does not count as an execution ([runs]
-    is untouched). *)
+    otherwise builds internally.  Does not count as an execution (the
+    feedback record is untouched until a run completes). *)
 
 val driving_rows : prepared -> int
 (** How many input rows the driving step would iterate: the driven
@@ -198,7 +291,9 @@ val driving_rows : prepared -> int
     step (fully constant-decided).  Evaluates the constant prefix before
     the driving step — so a probe key bound by an earlier [Assign]
     resolves, and a failed prefix filter reports 0 — without bumping any
-    [actual] or probe counters. *)
+    row or probe counters.  {!run_sharded} calls this only on a plan's
+    first run; afterwards the feedback record's observed driving-input
+    average replaces the count. *)
 
 val auto_grain : rows:int -> workers:int -> int
 (** The default morsel size: [rows / (8 * workers)], floored at 16 — about
@@ -235,13 +330,26 @@ val run_sharded :
     counter drift: the row-counting pass may warm a cached index, turning
     {!run}'s one index build into a hit).  The emitted row {e set} is
     schedule-independent; per-participant attribution is not (merge in
-    participant order for determinism). *)
+    participant order for determinism).
+
+    The driving input is counted ({!driving_rows}) only on the plan's
+    first run; subsequent runs size morsels from the feedback record's
+    observed average, with the last morsel open-ended so underestimates
+    cannot drop rows (overestimated trailing morsels just find an empty
+    slice).  Each run ends at a barrier that folds the participants'
+    observed counts into the plan's feedback record in participant
+    order. *)
 
 val head_tuple : t -> Relalg.Symbol.t array -> Relalg.Tuple.t
 (** The head tuple under the given environment (freshly allocated). *)
 
 val pp : Format.formatter -> t -> unit
-(** Renders the plan with estimated and (when the plan has run) actual
+(** Renders the plan with estimated and (when the plan has run) observed
     per-step cardinalities — the [negdl explain] output. *)
+
+val pp_feedback : Format.formatter -> t -> unit
+(** The [explain --feedback] view: per step, estimate vs observed per-run
+    average with drift markers, then the replan state — substituted
+    overrides, generation, and what {!replan_hint} would do next. *)
 
 val to_string : t -> string

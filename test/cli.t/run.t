@@ -63,6 +63,7 @@ greedy replans on every application, scan runs the body in textual order):
   bulk builds:       5
   plan compiles:     3
   plan cache hits:   2
+  plan replans:      0
   index hits:        6
   index builds:      3
   full scans:        5
@@ -87,6 +88,7 @@ each one-task stage runs morsel-by-morsel with nothing to steal:
   bulk builds:       5
   plan compiles:     3
   plan cache hits:   2
+  plan replans:      0
   index hits:        6
   index builds:      3
   full scans:        11
@@ -108,6 +110,7 @@ behaviour); the model is the same and no morsels are scheduled:
   bulk builds:       5
   plan compiles:     3
   plan cache hits:   2
+  plan replans:      0
   index hits:        6
   index builds:      3
   full scans:        5
@@ -222,6 +225,49 @@ operator produced next to the estimates:
     2. check !t(Y)  [est 4.0 rows]  [actual 4]
     3. project t(X)  [est 4.0 rows]
   {(v0); (v1); (v2); (v3)}
+
+The adaptive planner closes the loop: every run of a compiled plan
+records observed per-operator cardinalities, and a cache fetch whose
+feedback diverges from the estimates past the drift factor recompiles
+with the observed value substituted — counted as a replan, not a
+compile.  On a funnel graph (complete bipartite 6x6 plus a two-edge
+tail) the first delta stage joins the whole bipartite square while later
+deltas shrink to the tail, so the delta plan is replanned exactly once:
+
+  $ negdl eval tc.dl funnel.facts --planner adaptive --stats -p s 2>&1 | grep "plan"
+  plan compiles:     3
+  plan cache hits:   1
+  plan replans:      1
+
+--plan-drift loosens (or tightens) the divergence tolerance shared by
+the static drift check and the feedback loop; at 100x nothing replans:
+
+  $ negdl eval tc.dl funnel.facts --planner adaptive --plan-drift 100 --stats -p s 2>&1 | grep "replans"
+  plan replans:      0
+
+explain --feedback evaluates the program and prints each cached plan's
+observed profile next to its estimates: the replanned delta variant
+carries its override and generation, and its feedback averages the
+post-replan runs:
+
+  $ negdl explain tc.dl funnel.facts --feedback --planner adaptive
+  s(X, Y) :- e(X, Y).  {adaptive, full, generation 0}
+    runs 1; driving avg 38.0; emitted avg 38.0 (est 38.0)
+    1. scan e(X, Y)  [est 38.0, obs 38.0]
+    overrides: none
+    replan: none
+  s(X, Y) :- e(X, Z), s(Z, Y).  {adaptive, full, generation 0}
+    runs 1; driving avg 0.0; emitted avg 0.0 (est 0.0)
+    1. scan s(Z, Y)  [est 0.0, obs 0.0]
+    2. scan e(X, Z)  [est 0.0, obs 0.0]
+    overrides: none
+    replan: none
+  s(X, Y) :- e(X, Z), s(Z, Y).  {adaptive, delta@1, generation 1}
+    runs 2; driving avg 6.5; emitted avg 3.0 (est 5.4)
+    1. scan s(Z, Y)  [est 2.0, obs 6.5]
+    2. scan e(X, Z)  [est 5.4, obs 3.0]
+    overrides: occurrence 1 -> 2 rows
+    replan: none
 
 Errors are reported as usage messages:
 

@@ -33,6 +33,34 @@ the version-tagged cache, and errors must leave the session alive.
   facts: edb=8 idb=15 universe=5
   updates: batches=2 inserted=2 deleted=1 overdeleted=7 rederived=12
   queries: served=7 cache_hits=3 cache_misses=6
-  plans: cached=13 compiles=13 cache_hits=21
+  plans: cached=13 compiles=13 cache_hits=21 replans=0
   work: rule_applications=34 delta_applications=10 putback_applications=4 full_applications=0
+  bye
+
+Mid-session adaptive replanning: under `--planner adaptive` the server's
+long-lived plan cache self-tunes.  The hub batch (30 new sources all
+pointing at v0) makes the cached delta plans' observed join cardinalities
+diverge from the estimates they were compiled against at the initial
+(4-vertex) sizes, so the next stage-barrier fetch replans — `stats` must
+report it, and the version-tagged query cache must be entirely unaffected:
+the post-update query is a miss against the new version with the new
+answer, and repeating it hits.
+
+  $ NEGDL_DOMAINS=1 negdl serve reach.dl graph.facts --planner adaptive <<'EOF'
+  > query reached(X)
+  > insert e(w1, v0). e(w2, v0). e(w3, v0). e(w4, v0). e(w5, v0). e(w6, v0). e(w7, v0). e(w8, v0). e(w9, v0). e(w10, v0). e(w11, v0). e(w12, v0). e(w13, v0). e(w14, v0). e(w15, v0). e(w16, v0). e(w17, v0). e(w18, v0). e(w19, v0). e(w20, v0). e(w21, v0). e(w22, v0). e(w23, v0). e(w24, v0). e(w25, v0). e(w26, v0). e(w27, v0). e(w28, v0). e(w29, v0). e(w30, v0).
+  > query reached(X)
+  > query reached(X)
+  > stats
+  > quit
+  > EOF
+  {(v1); (v2); (v3)} % 3 answer(s)
+  ok inserted=30 overdeleted=1 derived=121
+  {(v0); (v1); (v2); (v3)} % 4 answer(s)
+  {(v0); (v1); (v2); (v3)} % 4 answer(s)
+  facts: edb=37 idb=130 universe=34
+  updates: batches=1 inserted=30 deleted=0 overdeleted=1 rederived=121
+  queries: served=3 cache_hits=1 cache_misses=2
+  plans: cached=10 compiles=10 cache_hits=7 replans=1
+  work: rule_applications=18 delta_applications=3 putback_applications=1 full_applications=0
   bye
