@@ -47,6 +47,14 @@
    diverges from from-scratch stratified saturation or if a full
    (non-delta) rule application shows up on the incremental path.
 
+   Part 9 ("snap") is the snapshot persistence benchmark: saturate,
+   checkpoint to the versioned binary format, and compare restoring the
+   file against re-saturating from cold, on transitive closure and on the
+   serving reachability program.  Writes BENCH_snap.json (file size,
+   bytes/tuple, restore speedup) and exits nonzero if the restored model
+   differs or, in full mode, if restore is less than 10x faster than cold
+   saturation on the large TC configuration.
+
    Run with:  dune exec bench/main.exe                    (parts 1 and 2)
               dune exec bench/main.exe -- tables          (part 1 only)
               dune exec bench/main.exe -- micro           (part 2 only)
@@ -55,7 +63,8 @@
               dune exec bench/main.exe -- satpar [quick]  (part 5 only)
               dune exec bench/main.exe -- plan [quick]    (part 6 only)
               dune exec bench/main.exe -- par [quick]     (part 7 only)
-              dune exec bench/main.exe -- serve [quick]   (part 8 only) *)
+              dune exec bench/main.exe -- serve [quick]   (part 8 only)
+              dune exec bench/main.exe -- snap [quick]    (part 9 only) *)
 
 open Negdl
 
@@ -2014,6 +2023,130 @@ let serve_bench ~quick () =
     exit 1
   end
 
+(* --- Part 9: snapshot persistence benchmark (BENCH_snap.json) ---------------- *)
+
+(* Restore vs re-saturation: loading a snapshot must replace the whole
+   fixpoint computation with a linear read of the file.  Two workloads:
+   plain transitive closure on one giant component (the join-heavy regime,
+   where saturation is most expensive relative to the model it produces)
+   and the serving reachability program (negation, a stratum boundary —
+   the model [negdl serve --snapshot] warm-restarts from).  The gate is on
+   the large TC configuration: restore must be at least 10x faster than
+   cold saturation, and the restored model must be identical. *)
+
+let snap_bench ~quick () =
+  Format.printf
+    "Snapshot persistence benchmark (restore vs re-saturation%s) -> \
+     BENCH_snap.json@."
+    (if quick then ", quick mode" else "");
+  let require = function
+    | Ok v -> v
+    | Error e -> failwith (Snapshot.error_to_string e)
+  in
+  let repeats = if quick then 3 else 5 in
+  let snap_file = Filename.temp_file "negdl_bench" ".snap" in
+  let idb_of_bindings program bindings =
+    List.fold_left
+      (fun idb (name, rel) -> Idb.set idb name rel)
+      (Idb.of_program program) bindings
+  in
+  let run name program db =
+    let idb, t_cold =
+      best_of repeats (fun () -> Stratified.eval_exn program db)
+    in
+    let image, t_capture =
+      wall (fun () ->
+          require
+            (Snapshot.capture ~program ~semantics:"stratified" ~db
+               (Idb.bindings idb)))
+    in
+    let bytes = require (Snapshot.write_file snap_file image) in
+    let restored = ref None in
+    let (), t_restore =
+      best_of repeats (fun () ->
+          let image = require (Snapshot.read_file snap_file) in
+          require
+            (Snapshot.check_program image ~program ~semantics:"stratified");
+          let r = require (Snapshot.restore image) in
+          restored := Some (idb_of_bindings program r.Snapshot.r_idb))
+    in
+    let parity =
+      match !restored with Some r -> Idb.equal idb r | None -> false
+    in
+    let tuples =
+      List.fold_left
+        (fun acc r -> acc + r.Snapshot.row_count)
+        0 image.Snapshot.relations
+    in
+    let speedup = t_cold /. t_restore in
+    Format.printf
+      "  %-8s cold %8.2f ms   restore %8.3f ms   %7.1fx   %8d B (%d \
+       tuples, %.1f B/tuple)   parity %s@."
+      name (1e3 *. t_cold) (1e3 *. t_restore) speedup bytes tuples
+      (float_of_int bytes /. float_of_int (max 1 tuples))
+      (ok parity);
+    (name, t_cold, t_capture, t_restore, bytes, tuples, speedup, parity)
+  in
+  (* Full mode: one dense component (avg out-degree 16), so saturation does
+     ~degree x |TC| join work while the snapshot holds just the |TC| rows —
+     the regime the 10x gate is about. *)
+  let tc_n = if quick then 100 else 500 in
+  let tc_deg = if quick then 2.0 else 24.0 in
+  let tc_db =
+    db_of (Generate.random ~seed:7 ~n:tc_n ~p:(tc_deg /. float_of_int tc_n))
+  in
+  let reach_db, _ =
+    serve_db ~seed:83 ~components:(if quick then 8 else 24) ~size:8
+  in
+  let tc_result = run "tc" tc_program tc_db in
+  let reach_result = run "reach" serve_program reach_db in
+  let results = [ tc_result; reach_result ] in
+  Sys.remove snap_file;
+  let _, tc_cold, _, tc_restore, tc_bytes, _, tc_speedup, _ =
+    List.hd results
+  in
+  let all_parity = List.for_all (fun (_, _, _, _, _, _, _, p) -> p) results in
+  let gate = if quick then 1.0 else 10.0 in
+  let fast_enough = tc_speedup >= gate in
+  Format.printf "  checks: parity %s, restore >= %.0fx on tc %s@."
+    (ok all_parity) gate (ok fast_enough);
+  let oc = open_out "BENCH_snap.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"file_bytes\": %d,\n" tc_bytes;
+  out "  \"cold_saturation_ms\": %.3f,\n" (1e3 *. tc_cold);
+  out "  \"restore_ms\": %.3f,\n" (1e3 *. tc_restore);
+  out "  \"restore_speedup\": %.1f,\n" tc_speedup;
+  out "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, cold, capture, restore, bytes, tuples, speedup, parity) ->
+      out "    {\n";
+      out "      \"name\": %S,\n" name;
+      out "      \"cold_saturation_ms\": %.3f,\n" (1e3 *. cold);
+      out "      \"capture_ms\": %.3f,\n" (1e3 *. capture);
+      out "      \"restore_ms\": %.3f,\n" (1e3 *. restore);
+      out "      \"restore_speedup\": %.1f,\n" speedup;
+      out "      \"file_bytes\": %d,\n" bytes;
+      out "      \"tuples\": %d,\n" tuples;
+      out "      \"bytes_per_tuple\": %.1f,\n"
+        (float_of_int bytes /. float_of_int (max 1 tuples));
+      out "      \"parity\": %b\n" parity;
+      out "    }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  out "  ],\n";
+  out "  \"checks\": {\n";
+  out "    \"parity\": %b,\n" all_parity;
+  out "    \"restore_speedup_gate\": %.0f,\n" gate;
+  out "    \"fast_enough\": %b\n" fast_enough;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  if not (all_parity && fast_enough) then begin
+    Format.printf "  snapshot persistence check failed — failing@.";
+    exit 1
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
@@ -2024,4 +2157,5 @@ let () =
   if what = "satpar" then satpar_bench ~quick ();
   if what = "plan" then plan_bench ~quick ();
   if what = "par" then par_bench ~quick ();
-  if what = "serve" then serve_bench ~quick ()
+  if what = "serve" then serve_bench ~quick ();
+  if what = "snap" then snap_bench ~quick ()

@@ -5,6 +5,8 @@
      fixpoints — run the Section 3 fixpoint query suite (SAT-backed)
      explain   — print the physical plans a program compiles to
      serve     — long-lived incremental materialization (insert/delete/query)
+     snapshot  — materialise a model and write a binary snapshot
+     restore   — load and print a snapshot without re-evaluating
      stratify  — show the stratification (or why there is none)
      check     — static well-formedness report
      ground    — print the ground (propositional) program
@@ -201,6 +203,30 @@ let sat_par_arg =
            $(b,1) (default) is the plain sequential solver.  Parallelism \
            never changes an answer, only how fast it arrives.")
 
+(* --- snapshot helpers ------------------------------------------------------ *)
+
+let snap_die = function
+  | Ok v -> v
+  | Error e -> or_die (Error (Negdl.Snapshot.error_to_string e))
+
+let idb_of_bindings program bindings =
+  List.fold_left
+    (fun idb (name, rel) -> Negdl.Idb.set idb name rel)
+    (Negdl.Idb.of_program program) bindings
+
+(* Capture the run's model and write it; dies on failure (an unwritable
+   snapshot the user asked for should not pass silently). *)
+let save_snapshot ~program ~semantics ~db ~facts ~unknown file =
+  let unknown =
+    match unknown with None -> [] | Some u -> Negdl.Idb.bindings u
+  in
+  let image =
+    snap_die
+      (Negdl.Snapshot.capture ~unknown ~program ~semantics ~db
+         (Negdl.Idb.bindings facts))
+  in
+  snap_die (Negdl.Snapshot.write_file file image)
+
 (* --- eval ------------------------------------------------------------------ *)
 
 let eval_cmd =
@@ -226,8 +252,20 @@ let eval_cmd =
       & info [ "p"; "pred" ] ~docv:"PRED"
           ~doc:"Print only this predicate (e.g. the program's carrier).")
   in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Model cache: when $(docv) holds a fresh snapshot (same \
+             program, semantics and EDB), load the materialised model from \
+             it instead of evaluating; otherwise evaluate and (over)write \
+             $(docv).  A corrupt or version-skewed file is a hard error \
+             (fail closed), a merely stale one is re-evaluated.")
+  in
   let run program_path db_path semantics engine planner plan_drift explain
-      indexing storage stats sat_par grain pred =
+      indexing storage stats sat_par grain pred snapshot_file =
     (* Set the default before loading, so the base relations parsed from the
        database are built in the chosen backend too. *)
     Negdl.Relation.set_default_storage storage;
@@ -240,10 +278,57 @@ let eval_cmd =
     let plan_cache =
       if explain then Some (Negdl.Plan_cache.create ()) else None
     in
+    let semantics_name = Negdl.semantics_to_string semantics in
+    let evaluate_and_save () =
+      let result =
+        or_die
+          (Negdl.run ~engine ~planner ?plan_cache ~indexing ~storage ?stats
+             semantics program db)
+      in
+      (match snapshot_file with
+      | None -> ()
+      | Some file ->
+        let bytes =
+          save_snapshot ~program ~semantics:semantics_name ~db
+            ~facts:result.Negdl.facts ~unknown:result.Negdl.unknown file
+        in
+        Format.eprintf "negdl: snapshot written to %s (%d bytes)@." file
+          bytes);
+      result
+    in
     let result =
-      or_die
-        (Negdl.run ~engine ~planner ?plan_cache ~indexing ~storage ?stats
-           semantics program db)
+      match snapshot_file with
+      | Some file when Sys.file_exists file -> (
+        let image = snap_die (Negdl.Snapshot.read_file file) in
+        let fresh =
+          match
+            Negdl.Snapshot.check_program image ~program
+              ~semantics:semantics_name
+          with
+          | Error e ->
+            Format.eprintf "negdl: %s; re-evaluating@."
+              (Negdl.Snapshot.error_to_string e);
+            false
+          | Ok () ->
+            image.Negdl.Snapshot.edb_digest = Negdl.Snapshot.database_digest db
+            || begin
+                 Format.eprintf
+                   "negdl: snapshot is stale for this database; \
+                    re-evaluating@.";
+                 false
+               end
+        in
+        if not fresh then evaluate_and_save ()
+        else
+          let r = snap_die (Negdl.Snapshot.restore ~storage image) in
+          {
+            Negdl.facts = idb_of_bindings program r.Negdl.Snapshot.r_idb;
+            unknown =
+              (match r.Negdl.Snapshot.r_unknown with
+              | [] -> None
+              | u -> Some (idb_of_bindings program u));
+          })
+      | _ -> evaluate_and_save ()
     in
     (match plan_cache with
     | Some cache -> print_plans cache program
@@ -274,7 +359,8 @@ let eval_cmd =
     Term.(
       const run $ program_arg $ database_arg $ semantics_arg $ engine_arg
       $ planner_arg $ plan_drift_arg $ explain_arg $ indexing_arg
-      $ storage_arg $ stats_arg $ sat_par_arg $ parallel_grain_arg $ pred_arg)
+      $ storage_arg $ stats_arg $ sat_par_arg $ parallel_grain_arg $ pred_arg
+      $ snapshot_arg)
 
 (* --- fixpoints ---------------------------------------------------------------- *)
 
@@ -311,15 +397,56 @@ let fixpoints_cmd =
              counting nodes; prints \"exact census: N\", or a lower bound \
              when the budget runs out.")
   in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Binary EDB cache: load the database from $(docv) instead of \
+             parsing $(i,DATABASE) when the file exists and was written for \
+             this program; otherwise parse and (over)write it.  The cached \
+             EDB is trusted (checksummed, but not compared against the \
+             text file) — delete $(docv) after editing $(i,DATABASE).")
+  in
   let run program_path db_path storage planner plan_drift explain limit
-      enumerate sat_par grain sat_budget count_budget stats =
+      enumerate sat_par grain sat_budget count_budget stats snapshot_file =
     Negdl.Relation.set_default_storage storage;
     Negdl.Sat_solver.set_default_parallelism sat_par;
     Negdl.Engine.set_default_grain grain;
     apply_plan_drift plan_drift;
     Negdl.Sat_stats.reset ();
     let program = or_die (load_program program_path) in
-    let db = or_die (load_database db_path) in
+    let load_and_save () =
+      let db = or_die (load_database db_path) in
+      (match snapshot_file with
+      | None -> ()
+      | Some file ->
+        let image =
+          snap_die
+            (Negdl.Snapshot.capture ~program ~semantics:"edb" ~db [])
+        in
+        let bytes = snap_die (Negdl.Snapshot.write_file file image) in
+        Format.eprintf "negdl: EDB snapshot written to %s (%d bytes)@." file
+          bytes);
+      db
+    in
+    let db =
+      match snapshot_file with
+      | Some file when Sys.file_exists file -> (
+        let image = snap_die (Negdl.Snapshot.read_file file) in
+        match
+          Negdl.Snapshot.check_program image ~program ~semantics:"edb"
+        with
+        | Error e ->
+          Format.eprintf "negdl: %s; re-reading the database@."
+            (Negdl.Snapshot.error_to_string e);
+          load_and_save ()
+        | Ok () ->
+          (snap_die (Negdl.Snapshot.restore ~storage image))
+            .Negdl.Snapshot.r_db)
+      | _ -> load_and_save ()
+    in
     let plan_cache =
       if explain then Some (Negdl.Plan_cache.create ()) else None
     in
@@ -378,7 +505,7 @@ let fixpoints_cmd =
       const run $ program_arg $ database_arg $ storage_arg $ planner_arg
       $ plan_drift_arg $ explain_arg $ limit_arg $ enumerate_arg
       $ sat_par_arg $ parallel_grain_arg $ sat_budget_arg $ count_budget_arg
-      $ stats_arg)
+      $ stats_arg $ snapshot_arg)
 
 (* --- explain ----------------------------------------------------------------- *)
 
@@ -532,18 +659,48 @@ let serve_cmd =
              protocol; $(b,quit) ends one client's session, $(b,shutdown) \
              stops the server.")
   in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Warm restart: when $(docv) exists, rebuild the serving state \
+             from it instead of saturating ($(i,DATABASE) is not read); any \
+             problem with the file — corruption, version skew, a different \
+             program — is a hard error.  When $(docv) does not exist, \
+             materialise normally and checkpoint to it before serving.")
+  in
   let run program_path db_path engine planner plan_drift indexing storage
-      stats grain socket =
+      stats grain socket snapshot_file =
     Negdl.Relation.set_default_storage storage;
     Negdl.Engine.set_default_grain grain;
     apply_plan_drift plan_drift;
     let program = or_die (load_program program_path) in
-    let db = or_die (load_database db_path) in
     let stats_rec = Negdl.Stats.create () in
+    let cold_start () =
+      let db = or_die (load_database db_path) in
+      let state =
+        or_die
+          (Negdl.Serve.create ~engine ~planner ~indexing ~storage ~grain
+             ~stats:stats_rec program db)
+      in
+      (match snapshot_file with
+      | None -> ()
+      | Some file ->
+        let bytes = or_die (Negdl.Serve.snapshot_to state file) in
+        Format.eprintf "negdl: snapshot written to %s (%d bytes)@." file
+          bytes);
+      state
+    in
     let state =
-      or_die
-        (Negdl.Serve.create ~engine ~planner ~indexing ~storage ~grain
-           ~stats:stats_rec program db)
+      match snapshot_file with
+      | Some file when Sys.file_exists file ->
+        let image = snap_die (Negdl.Snapshot.read_file file) in
+        or_die
+          (Negdl.Serve.create_restored ~engine ~planner ~indexing ~storage
+             ~grain ~stats:stats_rec program image)
+      | _ -> cold_start ()
     in
     (* One client session over arbitrary channels; returns how it ended. *)
     let session ic oc =
@@ -600,10 +757,14 @@ let serve_cmd =
         "Loads the database, materialises the program's stratified model \
          once, then reads line commands from stdin (or a Unix socket): \
          $(b,insert <facts>), $(b,delete <facts>), $(b,query <atom>[; \
-         <atom>]...), $(b,stats), $(b,quit).  Updates are applied \
+         <atom>]...), $(b,stats), $(b,snapshot <file>), \
+         $(b,restore <file>), $(b,quit).  Updates are applied \
          incrementally (delta-driven DRed over compiled plans) — never by \
          re-saturation — and queries answer from a version-tagged result \
-         cache over the current snapshot.";
+         cache over the current snapshot.  $(b,snapshot) checkpoints the \
+         pinned immutable model without pausing the update loop; \
+         $(b,restore) warm-restarts from a checkpoint, resetting the \
+         version and clearing the query cache.";
     ]
   in
   Cmd.v
@@ -611,7 +772,128 @@ let serve_cmd =
     Term.(
       const run $ program_arg $ database_arg $ engine_arg $ planner_arg
       $ plan_drift_arg $ indexing_arg $ storage_arg $ stats_arg
-      $ parallel_grain_arg $ socket_arg)
+      $ parallel_grain_arg $ socket_arg $ snapshot_arg)
+
+(* --- snapshot / restore ----------------------------------------------------- *)
+
+let snapshot_file_arg =
+  Arg.(
+    required
+    & pos 2 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Snapshot file to write.")
+
+let snapshot_cmd =
+  let semantics_arg =
+    let parse s =
+      match Negdl.semantics_of_string s with
+      | Ok v -> Ok v
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf s = Format.pp_print_string ppf (Negdl.semantics_to_string s) in
+    Arg.(
+      value
+      & opt (conv ~docv:"SEMANTICS" (parse, print)) Negdl.Semantics_stratified
+      & info [ "s"; "semantics" ] ~docv:"SEMANTICS"
+          ~doc:
+            "One of $(b,inflationary), $(b,stratified) (default), \
+             $(b,well-founded), $(b,kripke-kleene), $(b,least).")
+  in
+  let run program_path db_path file semantics engine planner storage =
+    Negdl.Relation.set_default_storage storage;
+    let program = or_die (load_program program_path) in
+    let db = or_die (load_database db_path) in
+    let result =
+      or_die (Negdl.run ~engine ~planner ~storage semantics program db)
+    in
+    let bytes =
+      save_snapshot ~program
+        ~semantics:(Negdl.semantics_to_string semantics)
+        ~db ~facts:result.Negdl.facts ~unknown:result.Negdl.unknown file
+    in
+    let image = snap_die (Negdl.Snapshot.read_file file) in
+    let tuples =
+      List.fold_left
+        (fun acc (ri : Negdl.Snapshot.relation_image) ->
+          acc + ri.Negdl.Snapshot.row_count)
+        0 image.Negdl.Snapshot.relations
+    in
+    Format.printf "wrote %s: %d bytes, %d symbols, %d relations, %d tuples@."
+      file bytes
+      (Array.length image.Negdl.Snapshot.symbols)
+      (List.length image.Negdl.Snapshot.relations)
+      tuples
+  in
+  let doc = "materialise a model and write a binary snapshot" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Evaluates the program under the chosen semantics and persists the \
+         materialised model — symbol dictionary, packed EDB/IDB tuples, \
+         program and EDB fingerprints — in the versioned, checksummed \
+         binary snapshot format.  $(b,negdl restore), $(b,negdl eval \
+         --snapshot), $(b,negdl serve --snapshot) and the serve protocol's \
+         $(b,restore) command all load it back without re-saturating.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc ~man)
+    Term.(
+      const run $ program_arg $ database_arg $ snapshot_file_arg
+      $ semantics_arg $ engine_arg $ planner_arg $ storage_arg)
+
+let restore_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file to load.")
+  in
+  let pred_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "pred" ] ~docv:"PRED" ~doc:"Print only this predicate.")
+  in
+  let run program_path file storage pred =
+    Negdl.Relation.set_default_storage storage;
+    let program = or_die (load_program program_path) in
+    let image = snap_die (Negdl.Snapshot.read_file file) in
+    (* The file's own semantics tag is authoritative for display; the
+       program fingerprint is what must match the program we were given. *)
+    snap_die
+      (Negdl.Snapshot.check_program image ~program
+         ~semantics:image.Negdl.Snapshot.semantics);
+    let r = snap_die (Negdl.Snapshot.restore ~storage image) in
+    let facts = idb_of_bindings program r.Negdl.Snapshot.r_idb in
+    (match pred with
+    | None -> print_idb facts
+    | Some name -> (
+      match List.assoc_opt name (Negdl.Idb.bindings facts) with
+      | Some rel -> Format.printf "%a@." Negdl.Relation.pp rel
+      | None -> or_die (Error (Printf.sprintf "no IDB predicate %s" name))));
+    match r.Negdl.Snapshot.r_unknown with
+    | [] -> ()
+    | u when pred = None ->
+      print_idb ~header:"-- unknown (three-valued) --"
+        (idb_of_bindings program u)
+    | _ -> ()
+  in
+  let doc = "load a binary snapshot and print the model it holds" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads a snapshot written by $(b,negdl snapshot) (or the serve \
+         protocol) and prints the materialised model without evaluating \
+         anything.  Reading fails closed: a truncated, corrupted or \
+         version-skewed file, or one written for a different program than \
+         $(i,PROGRAM), is reported precisely and nothing is loaded.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "restore" ~doc ~man)
+    Term.(const run $ program_arg $ file_arg $ storage_arg $ pred_arg)
 
 (* --- why -------------------------------------------------------------------- *)
 
@@ -856,6 +1138,8 @@ let () =
          explain_cmd;
          query_cmd;
          serve_cmd;
+         snapshot_cmd;
+         restore_cmd;
          why_cmd;
          stable_cmd;
          sat_cmd;

@@ -68,6 +68,7 @@ module Tseitin = Circuitlib.Tseitin
 module Succinct = Circuitlib.Succinct
 module Plan = Planlib.Plan
 module Plan_cache = Planlib.Cache
+module Snapshot = Snapshotlib.Snapshot
 module Prng = Negdl_util.Prng
 module Domain_pool = Negdl_util.Domain_pool
 module Stats = Evallib.Stats

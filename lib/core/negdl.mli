@@ -126,6 +126,7 @@ module Succinct = Circuitlib.Succinct
 
 module Plan = Planlib.Plan
 module Plan_cache = Planlib.Cache
+module Snapshot = Snapshotlib.Snapshot
 module Prng = Negdl_util.Prng
 module Domain_pool = Negdl_util.Domain_pool
 module Stats = Evallib.Stats

@@ -4,6 +4,11 @@ module Relation = Relalg.Relation
 module Tuple = Relalg.Tuple
 module Database = Relalg.Database
 module Plan = Planlib.Plan
+module Snapfile = Snapshotlib.Snapshot
+
+(* The semantics tag stored in (and demanded of) snapshot files: the serve
+   layer materialises the stratified model only. *)
+let semantics = "stratified"
 
 type update_report = {
   inserted : int;
@@ -87,6 +92,93 @@ let snapshot t = t.idb
 let version t = t.version
 let counters t = t.c
 let stats t = t.stats
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+let snapshot_to t path =
+  (* Pin the published immutable pair once: the writer streams from it
+     while the update loop keeps installing new versions. *)
+  let db = t.db and idb = t.idb in
+  match
+    Snapfile.capture
+      ~overrides:(Planlib.Cache.export_overrides t.cache)
+      ~program:t.program ~semantics ~db (Idb.bindings idb)
+  with
+  | Error e -> Error (Snapfile.error_to_string e)
+  | Ok image -> (
+    match Snapfile.write_file path image with
+    | Error e -> Error (Snapfile.error_to_string e)
+    | Ok bytes -> Ok bytes)
+
+(* Model reconstruction shared by [restore_from] and [create_restored]:
+   fails closed (program/semantics fingerprints, two-valuedness, schema
+   arities) before anything is installed. *)
+let model_of_image ?storage program image =
+  match Snapfile.check_program image ~program ~semantics with
+  | Error e -> Error (Snapfile.error_to_string e)
+  | Ok () -> (
+    match Snapfile.restore ?storage image with
+    | Error e -> Error (Snapfile.error_to_string e)
+    | Ok r ->
+      if r.Snapfile.r_unknown <> [] then
+        Error "snapshot holds a three-valued model; serve is two-valued"
+      else (
+        match
+          List.fold_left
+            (fun idb (name, rel) -> Idb.set idb name rel)
+            (Idb.of_program program) r.Snapfile.r_idb
+        with
+        | exception Invalid_argument m -> Error ("snapshot: " ^ m)
+        | idb -> Ok (r.Snapfile.r_db, idb, r.Snapfile.r_seeds)))
+
+let restore_from t path =
+  match Snapfile.read_file path with
+  | Error e -> Error (Snapfile.error_to_string e)
+  | Ok image -> (
+    match model_of_image ?storage:t.storage t.program image with
+    | Error e -> Error e
+    | Ok (db, idb, seeds) ->
+      t.db <- db;
+      t.idb <- idb;
+      (* Reset to version 0 with the result cache emptied: entries tagged
+         with pre-restore versions must not collide with the restarted
+         version counter. *)
+      Hashtbl.reset t.query_cache;
+      t.version <- 0;
+      Planlib.Cache.seed_overrides t.cache seeds;
+      Ok ())
+
+let create_restored ?engine ?planner ?indexing ?storage ?pool ?grain ?stats
+    program image =
+  match Datalog.Stratify.stratify program with
+  | Datalog.Stratify.Not_stratifiable { offending = p, q } ->
+    Error
+      (Printf.sprintf "program not stratifiable: %s depends negatively on %s"
+         p q)
+  | Datalog.Stratify.Stratified _ -> (
+    match model_of_image ?storage program image with
+    | Error e -> Error e
+    | Ok (db, idb, seeds) ->
+      let stats = match stats with Some s -> s | None -> Stats.create () in
+      let cache = Planlib.Cache.create () in
+      Planlib.Cache.seed_overrides cache seeds;
+      Ok
+        {
+          program;
+          engine;
+          planner;
+          indexing;
+          storage;
+          pool;
+          grain;
+          stats;
+          cache;
+          db;
+          idb;
+          version = 0;
+          query_cache = Hashtbl.create 64;
+          c = zero_counters;
+        })
 
 (* --- updates ------------------------------------------------------------ *)
 
@@ -285,9 +377,10 @@ let stats_lines t =
       (Database.relations t.db)
   in
   [
-    Printf.sprintf "facts: edb=%d idb=%d universe=%d" edb
+    Printf.sprintf "facts: edb=%d idb=%d universe=%d version=%d" edb
       (Idb.total_cardinal t.idb)
-      (Database.universe_size t.db);
+      (Database.universe_size t.db)
+      t.version;
     Printf.sprintf
       "updates: batches=%d inserted=%d deleted=%d overdeleted=%d \
        rederived=%d"
@@ -363,11 +456,23 @@ let handle_line t line =
                    (Relation.cardinal rel)
                | Error e -> "error: " ^ e))
            goals)
+    | "snapshot" -> (
+      if rest = "" then Reply [ "error: usage: snapshot <file>" ]
+      else
+        match snapshot_to t rest with
+        | Ok bytes -> Reply [ Printf.sprintf "ok bytes=%d" bytes ]
+        | Error e -> Reply [ "error: " ^ e ])
+    | "restore" -> (
+      if rest = "" then Reply [ "error: usage: restore <file>" ]
+      else
+        match restore_from t rest with
+        | Ok () -> Reply [ "ok version=0" ]
+        | Error e -> Reply [ "error: " ^ e ])
     | _ ->
       Reply
         [
           Printf.sprintf
             "error: unknown command '%s' (insert, delete, query, stats, \
-             quit, shutdown)"
+             snapshot, restore, quit, shutdown)"
             cmd;
         ]

@@ -19,9 +19,10 @@
 
     The line protocol ({!handle_line}) is what [negdl serve] speaks over
     stdin or a Unix socket: [insert <facts>], [delete <facts>],
-    [query <atom>[; <atom>]...], [stats], [quit] ([shutdown] additionally
-    stops a socket server).  Errors are replies, not crashes — the server
-    keeps serving after a failed command. *)
+    [query <atom>[; <atom>]...], [stats], [snapshot <file>],
+    [restore <file>], [quit] ([shutdown] additionally stops a socket
+    server).  Errors are replies, not crashes — the server keeps serving
+    after a failed command. *)
 
 type t
 
@@ -59,6 +60,24 @@ val create :
     [Error] if the program is not stratifiable.  One plan cache is created
     here and shared by the initial materialisation and every later batch,
     so each (rule, variant) pair compiles once for the server's lifetime. *)
+
+val create_restored :
+  ?engine:Saturate.engine ->
+  ?planner:Engine.planner ->
+  ?indexing:Engine.indexing ->
+  ?storage:Relalg.Relation.storage ->
+  ?pool:Negdl_util.Domain_pool.t ->
+  ?grain:Engine.grain ->
+  ?stats:Stats.t ->
+  Datalog.Ast.program ->
+  Snapshotlib.Snapshot.image ->
+  (t, string) result
+(** Warm restart: the serving state rebuilt from a decoded snapshot
+    instead of saturating — milliseconds instead of a full fixpoint.
+    Fails closed when the snapshot was taken for a different program or
+    semantics, holds a three-valued model, or the program is not
+    stratifiable.  Adaptive-planner overrides persisted in the snapshot
+    seed the fresh plan cache. *)
 
 val database : t -> Relalg.Database.t
 (** The current EDB snapshot (immutable). *)
@@ -101,6 +120,18 @@ val query_all :
 (** One batch: cache hits are served directly, the distinct misses are
     evaluated concurrently on the domain pool against one pinned snapshot,
     then cached.  Results are in argument order. *)
+
+val snapshot_to : t -> string -> (int, string) result
+(** [snapshot_to t file] checkpoints the current model (and the plan
+    cache's learned overrides) to [file], atomically; returns the bytes
+    written.  The writer works against the pinned immutable snapshot, so
+    checkpointing never blocks the update loop. *)
+
+val restore_from : t -> string -> (unit, string) result
+(** [restore_from t file] replaces the database and materialised model
+    with the snapshot's, resets the version to 0 and clears the query
+    cache.  Fails closed — corrupt file, wrong program, wrong semantics or
+    a three-valued model leave the state unchanged. *)
 
 type response = Reply of string list | Quit | Shutdown
 

@@ -14,9 +14,16 @@ module H = Hashtbl.Make (struct
   let hash k = Hashtbl.hash (k.krule, k.kvariant)
 end)
 
-type t = { table : Plan.t H.t }
+type t = {
+  table : Plan.t H.t;
+  pending : (int * int) list H.t;
+      (* Overrides imported from a snapshot, keyed like [table], consumed
+         (and removed) by the first fresh [`Adaptive] compile of that key —
+         the restored server starts from the previous run's learned
+         selectivities instead of re-learning them. *)
+}
 
-let create () = { table = H.create 32 }
+let create () = { table = H.create 32; pending = H.create 8 }
 
 (* Consecutive feedback replans a plan may accumulate before the cache
    falls back to a plain recompile (which clears the overrides and resets
@@ -116,9 +123,37 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
           bump_hit counters;
           plan
         end)
-    | _ -> replace (compile ()))
+    | _ -> (
+      (* Fresh compile.  A pending imported override set (seeded from a
+         snapshot) starts the plan at generation 1 with the previous run's
+         learned effective cardinalities already applied; it is consumed
+         whether or not it helps, so a stale import costs one replan at
+         most. *)
+      match H.find_opt cache.pending key with
+      | Some overrides ->
+        H.remove cache.pending key;
+        bump_compile counters;
+        replace
+          (Plan.compile ~planner ~variant ?label ~overrides ~generation:1
+             ~sizes ~universe_size rule)
+      | None -> replace (compile ())))
 
 let cardinal cache = H.length cache.table
+
+let export_overrides cache =
+  H.fold
+    (fun key (plan : Plan.t) acc ->
+      match plan.Plan.overrides with
+      | [] -> acc
+      | overrides -> (key.krule, key.kvariant, overrides) :: acc)
+    cache.table []
+
+let seed_overrides cache seeds =
+  List.iter
+    (fun (rule, variant, overrides) ->
+      if overrides <> [] then
+        H.replace cache.pending { krule = rule; kvariant = variant } overrides)
+    seeds
 
 let plans cache = H.fold (fun _ plan acc -> plan :: acc) cache.table []
 

@@ -56,6 +56,21 @@ val cardinal : t -> int
 (** Distinct (rule, variant) entries currently resident — what a
     long-lived server reports as its compiled-plan footprint. *)
 
+val export_overrides :
+  t -> (Datalog.Ast.rule * Plan.variant * (int * int) list) list
+(** Every cached plan carrying a non-empty feedback-override set, as
+    [(rule, variant, overrides)] triples — what the snapshot writer
+    persists so a restored process inherits the adaptive planner's learned
+    effective cardinalities.  Unordered; the snapshot encoder sorts. *)
+
+val seed_overrides :
+  t -> (Datalog.Ast.rule * Plan.variant * (int * int) list) list -> unit
+(** Stashes imported override sets.  Each is consumed by the first fresh
+    [`Adaptive] compile of its (rule, variant) key, which then starts at
+    generation 1 with the overrides applied — so one stale import costs at
+    most one replan before normal adaptation takes over.  Empty override
+    lists are ignored; keys already pending are replaced. *)
+
 val plans : t -> Plan.t list
 (** Every cached plan, in no particular order. *)
 

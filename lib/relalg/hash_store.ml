@@ -36,6 +36,8 @@ let empty k = make_t k Idset.empty 0
 
 let arity r = r.arity
 
+let ids r = r.ids
+
 let is_empty r = r.card = 0
 
 let cardinal r = r.card
@@ -95,15 +97,67 @@ let remove t r =
     if Idset.mem id r.ids then make_t r.arity (Idset.remove id r.ids) (r.card - 1)
     else r
 
-let of_list k ts =
-  let ids, card =
-    List.fold_left
-      (fun (ids, card) t ->
-        let id = Store.intern t in
-        if Idset.mem id ids then (ids, card) else (Idset.add id ids, card + 1))
-      (Idset.empty, 0) ts
+(* Bulk construction: intern everything, then build the Patricia set in one
+   sorted pass — O(n log n) at worst in the sort instead of n root-path
+   copies of [Idset.add].  When the ids span most of the store — as on a
+   snapshot restore, where the loaded model *is* the bulk of what has ever
+   been interned — the sort-and-dedup pass is a dense mark-and-sweep over
+   [0, Store.count()): O(count) array writes instead of O(n log n) indirect
+   compares, and duplicates collapse for free. *)
+let of_ids k a =
+  let n = Array.length a in
+  let limit = Store.count () in
+  let u = ref 0 in
+  let a =
+    if limit <= (8 * n) + 4096 then begin
+      let seen = Bytes.make limit '\000' in
+      Array.iter (fun id -> Bytes.unsafe_set seen id '\001') a;
+      for id = 0 to limit - 1 do
+        if Bytes.unsafe_get seen id <> '\000' then begin
+          a.(!u) <- id;
+          incr u
+        end
+      done;
+      a
+    end
+    else begin
+      Array.sort Int.compare a;
+      u := 1;
+      for i = 1 to n - 1 do
+        if a.(i) <> a.(!u - 1) then begin
+          a.(!u) <- a.(i);
+          incr u
+        end
+      done;
+      a
+    end
   in
-  make_t k ids card
+  let a = if !u = n then a else Array.sub a 0 !u in
+  make_t k (Idset.of_sorted_array a) !u
+
+let of_array k ts =
+  let n = Array.length ts in
+  if n = 0 then empty k
+  else begin
+    let a = Array.make n 0 in
+    for i = 0 to n - 1 do
+      a.(i) <- Store.intern ts.(i)
+    done;
+    of_ids k a
+  end
+
+let of_list k ts = of_array k (Array.of_list ts)
+
+let of_flat_rows k flat =
+  let n = Array.length flat / k in
+  if n = 0 then empty k
+  else begin
+    let a = Array.make n 0 in
+    for i = 0 to n - 1 do
+      a.(i) <- Store.intern_seg flat ~pos:(i * k) ~len:k
+    done;
+    of_ids k a
+  end
 
 let add_all ts r =
   let ids, card, fresh =

@@ -10,7 +10,27 @@
 
 include Storage_sig.S
 
+val of_array : int -> Tuple.t array -> t
+(** [of_array k tuples] builds an arity-[k] relation in one bulk pass:
+    tuples are interned into a preallocated id array, sorted, deduplicated
+    in place and assembled with {!Idset.of_sorted_array} — no intermediate
+    list and one allocation per Patricia node.  The array is not
+    retained. *)
+
+val of_flat_rows : int -> Symbol.t array -> t
+(** [of_flat_rows k flat] builds the arity-[k] relation whose rows are the
+    consecutive length-[k] segments of [flat] ([k > 0]).  Rows are interned
+    in place ({!Store.intern_seg} — no per-row boxing on re-intern), and
+    when the resulting ids span most of the store the sort-and-dedup pass
+    is a dense mark-and-sweep rather than a comparison sort.  The restore
+    fast path of snapshots.  [flat] is not retained; trailing words beyond
+    a multiple of [k] are ignored. *)
+
 val unsafe_make : int -> Idset.t -> int -> t
 (** [unsafe_make k ids card]: a relation of arity [k] over interned tuple
     ids.  The caller guarantees every id denotes a tuple of arity [k] and
     that [card = Idset.cardinal ids]. *)
+
+val ids : t -> Idset.t
+(** The underlying interned-id set.  The snapshot writer walks this to
+    stream tuple contents straight out of the packed {!Store} arrays. *)

@@ -220,3 +220,28 @@ let rec choose_opt = function
   | Branch (_, _, l, _) -> choose_opt l
 
 let of_list ks = List.fold_left (fun t k -> add k t) empty ks
+
+(* The representation is canonical — a pure function of the element set —
+   so a strictly increasing array can be assembled directly: the branching
+   bit of a range is the highest bit at which its minimum and maximum
+   differ, and sortedness makes [zero_bit _ m] monotone over the range, so
+   the split point is a binary search.  One branch allocation per internal
+   node, instead of one copied root path per [add]. *)
+let of_sorted_array a =
+  let rec build lo hi =
+    if hi - lo = 1 then Leaf a.(lo)
+    else begin
+      let m = highest_bit (a.(lo) lxor a.(hi - 1)) in
+      let l = ref lo and r = ref hi in
+      while !r - !l > 1 do
+        let mid = (!l + !r) / 2 in
+        if zero_bit a.(mid) m then l := mid else r := mid
+      done;
+      Branch (mask a.(lo) m, m, build lo !r, build !r hi)
+    end
+  in
+  if Array.length a = 0 then Empty
+  else begin
+    if a.(0) < 0 then invalid_arg "Idset.of_sorted_array: negative element";
+    build 0 (Array.length a)
+  end

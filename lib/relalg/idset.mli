@@ -62,3 +62,11 @@ val choose_opt : t -> int option
 (** The minimum element, if any. *)
 
 val of_list : int list -> t
+
+val of_sorted_array : int array -> t
+(** [of_sorted_array a] builds the set of a strictly increasing array in
+    one pass: one allocation per node of the (canonical) result, where
+    folding {!add} copies a root path per element — the bulk-construction
+    path of the hashed backend and the snapshot restore.  The array is not
+    retained.  Unspecified if [a] is not strictly increasing.
+    @raise Invalid_argument on negative elements. *)

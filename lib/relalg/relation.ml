@@ -39,6 +39,8 @@ let is_empty = function T r -> Tree_store.is_empty r | H r -> Hash_store.is_empt
 
 let cardinal = function T r -> Tree_store.cardinal r | H r -> Hash_store.cardinal r
 
+let ids = function T _ -> None | H r -> Some (Hash_store.ids r)
+
 let check_arity fname r t =
   if Tuple.arity t <> arity r then
     invalid_arg
@@ -95,6 +97,34 @@ let of_list ?storage k ts =
   of_list_in (Option.value storage ~default:(default_storage ())) k ts
 
 let of_seq ?storage k seq = of_list ?storage k (List.of_seq seq)
+
+let of_array ?storage k ts =
+  if k < 0 then invalid_arg "Relation.of_array: negative arity";
+  Array.iter
+    (fun t ->
+      if Tuple.arity t <> k then
+        invalid_arg
+          (Printf.sprintf "Relation.of_array: tuple arity %d, relation arity %d"
+             (Tuple.arity t) k))
+    ts;
+  match Option.value storage ~default:(default_storage ()) with
+  | `Treeset -> T (Tree_store.of_list k (Array.to_list ts))
+  | `Hashed -> H (Hash_store.of_array k ts)
+
+let of_flat_rows ?storage k flat =
+  if k <= 0 then invalid_arg "Relation.of_flat_rows: arity must be positive";
+  if Array.length flat mod k <> 0 then
+    invalid_arg
+      (Printf.sprintf "Relation.of_flat_rows: %d words, arity %d"
+         (Array.length flat) k);
+  match Option.value storage ~default:(default_storage ()) with
+  | `Hashed -> H (Hash_store.of_flat_rows k flat)
+  | `Treeset ->
+    let n = Array.length flat / k in
+    T
+      (Tree_store.of_list k
+         (List.init n (fun i ->
+              Tuple.unsafe_make (Array.sub flat (i * k) k))))
 
 let add_all ts r =
   check_arities "add_all" (arity r) ts;

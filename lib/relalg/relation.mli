@@ -57,6 +57,11 @@ val is_empty : t -> bool
 val cardinal : t -> int
 (** O(1) in both backends. *)
 
+val ids : t -> Idset.t option
+(** The interned tuple-id set backing a [`Hashed] relation, [None] for
+    [`Treeset].  Lets the snapshot writer stream packed {!Store} rows
+    without boxing tuples; treeset callers fall back to {!iter}. *)
+
 val mem : Tuple.t -> t -> bool
 
 val add : Tuple.t -> t -> t
@@ -73,6 +78,19 @@ val of_list : ?storage:storage -> int -> Tuple.t list -> t
 
 val of_seq : ?storage:storage -> int -> Tuple.t Seq.t -> t
 (** Bulk construction from a sequence; the sequence is forced once. *)
+
+val of_array : ?storage:storage -> int -> Tuple.t array -> t
+(** [of_array k tuples] builds an arity-[k] relation in one bulk pass,
+    without the intermediate list of {!of_list} on the hashed backend.
+    All tuples must have arity [k]; the array is not retained. *)
+
+val of_flat_rows : ?storage:storage -> int -> Symbol.t array -> t
+(** [of_flat_rows k flat] builds the arity-[k] relation whose rows are the
+    consecutive length-[k] segments of [flat] — the snapshot-restore fast
+    path: on the hashed backend rows are interned in place with no per-row
+    boxing ({!Hash_store.of_flat_rows}).  [flat] is not retained.
+    @raise Invalid_argument if [k <= 0] or [Array.length flat] is not a
+    multiple of [k]. *)
 
 val add_all : Tuple.t list -> t -> t
 (** [add_all tuples r] is [r] with all tuples added, as one bulk union:

@@ -79,11 +79,9 @@ let grow_ints a =
   Array.blit a 0 bigger 0 (Array.length a);
   bigger
 
-let intern t =
-  let h = Tuple.hash t in
-  match find_in (Atomic.get state) h t with
-  | Some i -> i  (* optimistic lock-free hit: the common case once warm *)
-  | None ->
+(* The miss path: take the lock, re-probe, append.  Shared by [intern] and
+   [intern_seg]; [h] must be [Tuple.hash t]. *)
+let intern_locked h t =
     Mutex.protect lock @@ fun () ->
     let st = Atomic.get state in
     (* Re-check against the latest snapshot: another domain may have
@@ -151,6 +149,49 @@ let intern t =
         };
       id)
 
+let intern t =
+  let h = Tuple.hash t in
+  match find_in (Atomic.get state) h t with
+  | Some i -> i  (* optimistic lock-free hit: the common case once warm *)
+  | None -> intern_locked h t
+
+(* Segment variants: hash and compare a row in place inside a larger symbol
+   array, so bulk loaders (the snapshot restore) probe without boxing a
+   tuple per row.  [hash_seg] must agree with [Tuple.hash]. *)
+
+let hash_seg (a : Symbol.t array) pos len =
+  let acc = ref 17 in
+  for j = pos to pos + len - 1 do
+    acc := (!acc * 31) + (Array.unsafe_get a j :> int)
+  done;
+  !acc
+
+let packed_equal_seg st i (a : Symbol.t array) pos len =
+  st.len.(i) = len
+  &&
+  let o = st.off.(i) in
+  let rec eq j =
+    j = len
+    || st.data.(o + j) = (Array.unsafe_get a (pos + j) :> int) && eq (j + 1)
+  in
+  eq 0
+
+let find_seg_in st h a pos len =
+  let rec look = function
+    | [] -> None
+    | i :: rest ->
+      if i < st.count && st.hsh.(i) = h && packed_equal_seg st i a pos len
+      then Some i
+      else look rest
+  in
+  look st.buckets.(h land (Array.length st.buckets - 1))
+
+let intern_seg a ~pos ~len =
+  let h = hash_seg a pos len in
+  match find_seg_in (Atomic.get state) h a pos len with
+  | Some i -> i
+  | None -> intern_locked h (Tuple.unsafe_make (Array.sub a pos len))
+
 let mem t = find t <> None
 
 let tuple id = (Atomic.get state).tup.(id)
@@ -165,3 +206,14 @@ let get id j =
   else Symbol.unsafe_of_id st.data.(st.off.(id) + j)
 
 let count () = (Atomic.get state).count
+
+type view = {
+  v_count : int;
+  v_data : int array;
+  v_off : int array;
+  v_len : int array;
+}
+
+let view () =
+  let st = Atomic.get state in
+  { v_count = st.count; v_data = st.data; v_off = st.off; v_len = st.len }

@@ -19,6 +19,14 @@ val intern : Tuple.t -> id
 (** [intern t] returns the id of [t], packing it into the store on first
     use. *)
 
+val intern_seg : Symbol.t array -> pos:int -> len:int -> id
+(** [intern_seg a ~pos ~len] interns the tuple
+    [a.(pos) .. a.(pos + len - 1)]: the hash and the probe read the
+    segment in place, and a boxed tuple is built only on first intern.
+    Equivalent to [intern (Tuple.make (Array.sub a pos len))] — bulk
+    loaders use it to probe row-major matrices without boxing a tuple per
+    row. *)
+
 val find : Tuple.t -> id option
 (** [find t] is [t]'s id if it was ever interned, without interning it —
     membership tests on relations use this, so probing for unseen tuples
@@ -40,3 +48,19 @@ val get : id -> int -> Symbol.t
 
 val count : unit -> int
 (** Number of distinct tuples interned so far. *)
+
+type view = {
+  v_count : int;  (** Ids [0 .. v_count - 1] are readable through this view. *)
+  v_data : int array;  (** Packed symbol ids (do not mutate). *)
+  v_off : int array;  (** Offset of tuple [i] in [v_data]. *)
+  v_len : int array;  (** Arity of tuple [i]. *)
+}
+(** A published snapshot of the packed arrays: components of tuple [i] are
+    [v_data.(v_off.(i) + j)] for [j < v_len.(i)].  Slots at or beyond
+    [v_count] must not be read.  The arrays are the store's own (append-only
+    up to the published count) — treat them as read-only. *)
+
+val view : unit -> view
+(** The current packed snapshot, lock-free.  The snapshot writer streams
+    relation contents straight out of the flat arrays through this — no
+    per-tuple boxing or hashing on the export path. *)

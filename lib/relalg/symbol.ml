@@ -43,6 +43,10 @@ let of_int n = intern (string_of_int n)
 
 let name id = (Atomic.get state).names.(id)
 
+let export_names () =
+  let st = Atomic.get state in
+  Array.sub st.names 0 st.count
+
 let to_int id = id
 
 let unsafe_of_id id = id

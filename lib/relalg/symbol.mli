@@ -36,6 +36,12 @@ val unsafe_of_id : int -> t
 val count : unit -> int
 (** Number of symbols interned so far. *)
 
+val export_names : unit -> string array
+(** One immutable snapshot of the intern table: index [i] holds the name of
+    the symbol whose {!to_int} is [i], for every symbol interned before the
+    call.  The snapshot writer uses this to resolve names by plain array
+    indexing instead of one atomic read per component. *)
+
 val compare : t -> t -> int
 (** Total order on symbols (by identifier, i.e. by interning time). *)
 

@@ -1,0 +1,116 @@
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let of_string s =
+  let b = Bigarray.Array1.create Bigarray.char Bigarray.c_layout
+      (String.length s)
+  in
+  String.iteri (fun i c -> Bigarray.Array1.unsafe_set b i c) s;
+  b
+
+(* --- CRC-32 ------------------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc_run get ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (get i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s ~pos ~len = crc_run (String.unsafe_get s) ~pos ~len
+
+let crc32_big b ~pos ~len = crc_run (Bigarray.Array1.unsafe_get b) ~pos ~len
+
+(* --- writing ------------------------------------------------------------ *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.add_u32";
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let add_u64 b v =
+  if v < 0 then invalid_arg "Codec.add_u64";
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let patch_u32 bytes pos v =
+  for i = 0 to 3 do
+    Bytes.set bytes (pos + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+(* --- reading ------------------------------------------------------------ *)
+
+exception Short of string
+
+type reader = {
+  buf : bigstring;
+  stop : int;  (* exclusive window end *)
+  mutable cur : int;
+}
+
+let reader buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim buf then
+    raise (Short "window outside buffer");
+  { buf; stop = pos + len; cur = pos }
+
+let need r n what = if r.stop - r.cur < n then raise (Short what)
+
+let u8 r =
+  need r 1 "u8";
+  let v = Char.code (Bigarray.Array1.unsafe_get r.buf r.cur) in
+  r.cur <- r.cur + 1;
+  v
+
+let u32 r =
+  need r 4 "u32";
+  let byte i = Char.code (Bigarray.Array1.unsafe_get r.buf (r.cur + i)) in
+  let v = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
+  r.cur <- r.cur + 4;
+  v
+
+let u64 r =
+  need r 8 "u64";
+  let byte i = Char.code (Bigarray.Array1.unsafe_get r.buf (r.cur + i)) in
+  (* An OCaml int holds 63 bits: reject anything with the top two bytes
+     beyond bit 62 set — no legitimate field (they are all file offsets or
+     counts) can be that large. *)
+  if byte 7 lsr 6 <> 0 then raise (Short "u64 out of range");
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor byte i
+  done;
+  r.cur <- r.cur + 8;
+  !v
+
+let take r n what =
+  need r n what;
+  let s = String.init n (fun i -> Bigarray.Array1.unsafe_get r.buf (r.cur + i)) in
+  r.cur <- r.cur + n;
+  s
+
+let str r =
+  let n = u32 r in
+  take r n "string body"
+
+let remaining r = r.stop - r.cur
+
+let at_end r = r.cur = r.stop

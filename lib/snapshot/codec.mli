@@ -1,0 +1,75 @@
+(** Little-endian binary primitives for the snapshot format.
+
+    The writer side appends into a [Buffer.t]; the reader side walks a
+    [bigstring] (so a snapshot file can be [Unix.map_file]d and decoded
+    without copying) through a bounds-checked cursor.  Every read is
+    guarded: running off the end of the window raises {!Short}, which the
+    snapshot decoder catches at the section boundary and converts into a
+    typed [Corrupt] error — no read path can index out of range or spin on
+    a malformed length field. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val of_string : string -> bigstring
+
+(** {1 Checksum} *)
+
+val crc32 : string -> pos:int -> len:int -> int
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) of a substring, as a
+    non-negative int below [2{^32}].  Every header and section byte of a
+    snapshot is covered by exactly one CRC, so any single corrupted byte is
+    detected. *)
+
+val crc32_big : bigstring -> pos:int -> len:int -> int
+(** Same checksum over a [bigstring] window. *)
+
+(** {1 Writing} *)
+
+val add_u8 : Buffer.t -> int -> unit
+
+val add_u32 : Buffer.t -> int -> unit
+(** @raise Invalid_argument if the value does not fit 32 unsigned bits. *)
+
+val add_u64 : Buffer.t -> int -> unit
+(** @raise Invalid_argument on negative values. *)
+
+val add_str : Buffer.t -> string -> unit
+(** u32 byte length followed by the bytes. *)
+
+val patch_u32 : Bytes.t -> int -> int -> unit
+(** [patch_u32 b pos v] overwrites 4 bytes in place — used to stamp
+    checksums into an already-serialised header. *)
+
+(** {1 Reading} *)
+
+exception Short of string
+(** Raised by the cursor on any out-of-window read; the payload says what
+    was being read.  Never escapes the snapshot decoder. *)
+
+type reader
+
+val reader : bigstring -> pos:int -> len:int -> reader
+(** A cursor over the window [pos, pos + len); reads past the window raise
+    {!Short}. *)
+
+val u8 : reader -> int
+
+val u32 : reader -> int
+
+val u64 : reader -> int
+(** @raise Short also when the stored value exceeds [max_int] (impossible
+    in a well-formed snapshot: all u64 fields are file offsets). *)
+
+val str : reader -> string
+(** Reads a u32 length then that many bytes. *)
+
+val take : reader -> int -> string -> string
+(** [take r n what] reads exactly [n] raw bytes ([what] names them in the
+    {!Short} payload) — used for the fixed-width digest fields. *)
+
+val remaining : reader -> int
+(** Bytes left in the window — decoders check element counts against this
+    before allocating, so a forged count cannot force a huge allocation. *)
+
+val at_end : reader -> bool

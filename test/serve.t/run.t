@@ -30,7 +30,7 @@ the version-tagged cache, and errors must leave the session alive.
   error: update: e(v0, v9) is not in the database
   {(v1); (v2); (v3); (v4)} % 4 answer(s)
   {} % 0 answer(s)
-  facts: edb=8 idb=15 universe=5
+  facts: edb=8 idb=15 universe=5 version=2
   updates: batches=2 inserted=2 deleted=1 overdeleted=7 rederived=12
   queries: served=7 cache_hits=3 cache_misses=6
   plans: cached=13 compiles=13 cache_hits=21 replans=0
@@ -58,9 +58,66 @@ answer, and repeating it hits.
   ok inserted=30 overdeleted=1 derived=121
   {(v0); (v1); (v2); (v3)} % 4 answer(s)
   {(v0); (v1); (v2); (v3)} % 4 answer(s)
-  facts: edb=37 idb=130 universe=34
+  facts: edb=37 idb=130 universe=34 version=1
   updates: batches=1 inserted=30 deleted=0 overdeleted=1 rederived=121
   queries: served=3 cache_hits=1 cache_misses=2
   plans: cached=10 compiles=10 cache_hits=7 replans=1
   work: rule_applications=18 delta_applications=3 putback_applications=1 full_applications=0
+  bye
+
+Checkpoint under traffic and warm restart in place: `snapshot` writes the
+pinned immutable model while the session keeps serving; mutations applied
+after the checkpoint are undone by `restore`, which resets the version to
+0 and clears the query cache — the repeated query must miss again (the
+miss counter moves, the hit counter does not).  The next delta batch after
+the restore still runs seeded semi-naive: full_applications stays 0.
+
+  $ NEGDL_DOMAINS=1 negdl serve reach.dl graph.facts <<'EOF'
+  > query unreached(X)
+  > snapshot state.snap
+  > insert e(v3, v0).
+  > query unreached(X)
+  > stats
+  > restore state.snap
+  > query unreached(X)
+  > query unreached(X)
+  > insert e(v3, v4).
+  > stats
+  > quit
+  > EOF
+  {(v0)} % 1 answer(s)
+  ok bytes=434
+  ok inserted=1 overdeleted=1 derived=11
+  {} % 0 answer(s)
+  facts: edb=8 idb=20 universe=4 version=1
+  updates: batches=1 inserted=1 deleted=0 overdeleted=1 rederived=11
+  queries: served=2 cache_hits=0 cache_misses=2
+  plans: cached=10 compiles=10 cache_hits=12 replans=0
+  work: rule_applications=22 delta_applications=3 putback_applications=1 full_applications=0
+  ok version=0
+  {(v0)} % 1 answer(s)
+  {(v0)} % 1 answer(s)
+  ok inserted=1 overdeleted=0 derived=5
+  facts: edb=8 idb=15 universe=5 version=1
+  updates: batches=2 inserted=2 deleted=0 overdeleted=1 rederived=16
+  queries: served=4 cache_hits=1 cache_misses=3
+  plans: cached=10 compiles=10 cache_hits=23 replans=0
+  work: rule_applications=33 delta_applications=6 putback_applications=1 full_applications=0
+  bye
+
+Restarting from the checkpoint skips saturation entirely: the warm-started
+server reports rule_applications=0 before its first batch, and serves the
+checkpointed model.
+
+  $ NEGDL_DOMAINS=1 negdl serve reach.dl graph.facts --snapshot state.snap <<'EOF'
+  > query unreached(X)
+  > stats
+  > quit
+  > EOF
+  {(v0)} % 1 answer(s)
+  facts: edb=7 idb=10 universe=4 version=0
+  updates: batches=0 inserted=0 deleted=0 overdeleted=0 rederived=0
+  queries: served=1 cache_hits=0 cache_misses=1
+  plans: cached=0 compiles=0 cache_hits=0 replans=0
+  work: rule_applications=0 delta_applications=0 putback_applications=0 full_applications=0
   bye

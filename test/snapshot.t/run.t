@@ -1,0 +1,96 @@
+The on-disk persistence layer, end to end: write a snapshot, restore it,
+and fail closed on every kind of damaged or mismatched file.
+
+`negdl snapshot` materialises the stratified model once and writes the
+versioned binary file; `negdl restore` loads it back — no re-evaluation —
+and prints the model it holds:
+
+  $ negdl snapshot reach.dl graph.facts state.snap
+  wrote state.snap: 434 bytes, 4 symbols, 5 relations, 17 tuples
+
+  $ negdl restore reach.dl state.snap
+  r/2 (6 tuples) = {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
+  reached/1 (3 tuples) = {(v1); (v2); (v3)}
+  unreached/1 (1 tuples) = {(v0)}
+
+A second snapshot of the same model is byte-identical — the encoding is
+canonical (dictionary ids, everything sorted), so equal models mean equal
+files whatever process wrote them:
+
+  $ negdl snapshot reach.dl graph.facts again.snap 2>/dev/null 1>&2
+  $ cmp state.snap again.snap && echo identical
+  identical
+
+Restoring into the wrong program fails closed on the fingerprint, with
+both digests named:
+
+  $ cat > other.dl <<'EOF'
+  > r(X, Y) :- e(X, Y).
+  > EOF
+  $ negdl restore other.dl state.snap
+  negdl: snapshot: taken for a different program (snapshot fingerprint 415220b9860d19465a713f93effda724, loaded program 6f5a1f2d582fc63e4d298635fdc0ed26) — pass the program the snapshot was taken for, or regenerate it
+  [1]
+
+A snapshot from a future format version is skew, not damage — the message
+says to regenerate, and the model is never touched:
+
+  $ cp state.snap skew.snap
+  $ printf '\007' | dd of=skew.snap bs=1 seek=8 conv=notrunc status=none
+  $ negdl restore reach.dl skew.snap
+  negdl: snapshot: format version 7, but this build reads version 1 — regenerate the snapshot with this binary
+  [1]
+
+Truncation and bit flips are caught by the section checksums and named:
+
+  $ head -c 100 state.snap > trunc.snap
+  $ negdl restore reach.dl trunc.snap
+  negdl: snapshot: corrupt header section (truncated: u64)
+  [1]
+
+  $ cp state.snap flip.snap
+  $ printf '\377' | dd of=flip.snap bs=1 seek=200 conv=notrunc status=none
+  $ negdl restore reach.dl flip.snap
+  negdl: snapshot: corrupt relations section (checksum mismatch)
+  [1]
+
+`negdl eval --snapshot` is a model cache: the first run evaluates and
+writes, the second loads without evaluating (same answers, no "written"
+notice):
+
+  $ negdl eval reach.dl graph.facts --snapshot cache.snap -s stratified -p unreached
+  negdl: snapshot written to cache.snap (434 bytes)
+  {(v0)}
+  $ negdl eval reach.dl graph.facts --snapshot cache.snap -s stratified -p unreached
+  {(v0)}
+
+The cache is keyed on the database fingerprint too: against a changed
+database the snapshot is stale, so eval re-evaluates and overwrites it
+rather than serve the old model:
+
+  $ cat graph.facts > grown.facts
+  $ echo 'e(v3, v4). v(v4).' >> grown.facts
+  $ negdl eval reach.dl grown.facts --snapshot cache.snap -s stratified -p unreached
+  negdl: snapshot is stale for this database; re-evaluating
+  negdl: snapshot written to cache.snap (488 bytes)
+  {(v0)}
+
+A corrupt cache under `eval --snapshot` is a hard error, never silent
+re-evaluation — a broken file the user pointed at should not pass:
+
+  $ head -c 60 cache.snap > cache.snap.tmp && mv cache.snap.tmp cache.snap
+  $ negdl eval reach.dl graph.facts --snapshot cache.snap -s stratified -p unreached
+  negdl: snapshot: corrupt header section (truncated: u64)
+  [1]
+
+`negdl fixpoints --snapshot` caches the parsed EDB (the SAT search itself
+is not persisted); the second run skips the database text entirely:
+
+  $ negdl fixpoints reach.dl graph.facts --snapshot edb.snap | head -3
+  negdl: EDB snapshot written to edb.snap (283 bytes)
+  ground atoms:    13
+  ground rules:    16
+  fixpoint exists: true
+  $ negdl fixpoints reach.dl graph.facts --snapshot edb.snap | head -3
+  ground atoms:    13
+  ground rules:    16
+  fixpoint exists: true
