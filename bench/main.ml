@@ -55,6 +55,18 @@
    differs or, in full mode, if restore is less than 10x faster than cold
    saturation on the large TC configuration.
 
+   Part 10 ("agg") is the limit-predicate benchmark: shortest-path (min)
+   and critical-path (max) bounds over seeded weighted graphs, limit-aware
+   tightening vs the pair-materializing Datalog-not encoding of the same
+   query, with dominant-filter parity, limit-model fingerprint parity
+   across storage backends x planners x engines x grains, E1-E8
+   fingerprint invariance, and an incremental serve session under mixed
+   insert/delete that must keep dred full applications at 0.  Writes
+   BENCH_agg.json and exits nonzero on any divergence or if tightening is
+   less than 5x faster on the min workload (the gate is skipped, and
+   marked as such, only if the generated workload has fewer than 2
+   strata).
+
    Run with:  dune exec bench/main.exe                    (parts 1 and 2)
               dune exec bench/main.exe -- tables          (part 1 only)
               dune exec bench/main.exe -- micro           (part 2 only)
@@ -64,7 +76,8 @@
               dune exec bench/main.exe -- plan [quick]    (part 6 only)
               dune exec bench/main.exe -- par [quick]     (part 7 only)
               dune exec bench/main.exe -- serve [quick]   (part 8 only)
-              dune exec bench/main.exe -- snap [quick]    (part 9 only) *)
+              dune exec bench/main.exe -- snap [quick]    (part 9 only)
+              dune exec bench/main.exe -- agg [quick]     (part 10 only) *)
 
 open Negdl
 
@@ -2147,6 +2160,324 @@ let snap_bench ~quick () =
     exit 1
   end
 
+(* --- Part 10: limit-predicate benchmark (BENCH_agg.json) --------------------- *)
+
+(* Shortest path with a min limit predicate vs the pair-materializing
+   Datalog-not encoding of the same query: the two programs share every
+   rule — the limit version adds only the [dist min 2.] declaration, so
+   the measured gap is exactly what dominant-tuple tightening saves.  The
+   baseline needs the [S <= cap] guard to terminate on a cyclic graph (it
+   materialises every (node, cost) pair up to the cap); the limit version
+   keeps one bound per node and must agree with the baseline's
+   dominant-filtered projection and on the near/far stratum above.  A max
+   (critical-path) workload over a layered DAG exercises the other
+   polarity. *)
+
+let agg_min_text ~cap ~thr =
+  Printf.sprintf
+    "dist(X, 0) :- source(X).\n\
+     dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W, S <= %d.\n\
+     near(X) :- dist(X, D), D <= %d.\n\
+     far(X) :- node(X), !near(X)."
+    cap thr
+
+let agg_max_text ~thr =
+  Printf.sprintf
+    "best(X, 0) :- source(X).\n\
+     best(Y, S) :- best(X, D), edge(X, Y, W), S = D + W.\n\
+     good(X) :- best(X, D), D >= %d.\n\
+     modest(X) :- node(X), !good(X)."
+    thr
+
+let with_limits decl text = Parser.parse_program_exn (decl ^ "\n" ^ text)
+
+(* A ring of [n] nodes (so every node is reachable and the baseline's
+   cost frontier wraps all the way around) plus [chords] random weighted
+   shortcuts that give the min workload genuinely competing paths. *)
+let agg_ring_db ~seed ~n ~chords =
+  let rng = Prng.create seed in
+  let v i = Symbol.intern (Printf.sprintf "n%d" i) in
+  let w k = Symbol.of_int k in
+  let edge db a b wt =
+    Database.add_fact "edge"
+      (Tuple.of_list [ v a; v b; w wt ])
+      (Database.add_universe [ v a; v b; w wt ] db)
+  in
+  let db = Database.create ~universe:[] in
+  let db = Database.add_fact "source" (Tuple.singleton (v 0))
+      (Database.add_universe [ v 0 ] db) in
+  let db =
+    List.fold_left
+      (fun db i -> edge db i ((i + 1) mod n) (1 + Prng.int rng 9))
+      db
+      (List.init n (fun i -> i))
+  in
+  let db =
+    List.fold_left
+      (fun db _ ->
+        edge db (Prng.int rng n) (Prng.int rng n) (1 + Prng.int rng 9))
+      db
+      (List.init chords (fun i -> i))
+  in
+  List.fold_left
+    (fun db i ->
+      Database.add_fact "node" (Tuple.singleton (v i))
+        (Database.add_universe [ v i ] db))
+    db
+    (List.init n (fun i -> i))
+
+(* A layered DAG for the max workload: [layers] x [width] vertices, every
+   vertex wired to a few successors in the next layer. *)
+let agg_dag_db ~seed ~layers ~width =
+  let rng = Prng.create seed in
+  let v l i = Symbol.intern (Printf.sprintf "l%d_%d" l i) in
+  let db = Database.create ~universe:[] in
+  let db =
+    List.fold_left
+      (fun db i ->
+        Database.add_fact "source" (Tuple.singleton (v 0 i))
+          (Database.add_universe [ v 0 i ] db))
+      db
+      (List.init width (fun i -> i))
+  in
+  let db = ref db in
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      for _ = 1 to 3 do
+        let j = Prng.int rng width and wt = Symbol.of_int (1 + Prng.int rng 9) in
+        db :=
+          Database.add_fact "edge"
+            (Tuple.of_list [ v l i; v (l + 1) j; wt ])
+            (Database.add_universe [ v l i; v (l + 1) j; wt ] !db)
+      done
+    done
+  done;
+  for l = 0 to layers - 1 do
+    for i = 0 to width - 1 do
+      db :=
+        Database.add_fact "node" (Tuple.singleton (v l i))
+          (Database.add_universe [ v l i ] !db)
+    done
+  done;
+  !db
+
+let agg_bench ~quick () =
+  Format.printf
+    "Limit-predicate benchmark (tightening vs pair materialization%s) -> \
+     BENCH_agg.json@."
+    (if quick then ", quick mode" else "");
+  let reps = if quick then 3 else 5 in
+  let n = if quick then 48 else 160 in
+  let cap = if quick then 48 else 120 in
+  let thr = cap / 2 in
+  let min_limit = with_limits "dist min 2." (agg_min_text ~cap ~thr) in
+  let min_pairs = Parser.parse_program_exn (agg_min_text ~cap ~thr) in
+  let min_db = agg_ring_db ~seed:20260808 ~n ~chords:(3 * n) in
+  let layers = if quick then 12 else 30 in
+  let width = if quick then 6 else 10 in
+  let max_limit = with_limits "best max 2." (agg_max_text ~thr:(2 * layers)) in
+  let max_pairs = Parser.parse_program_exn (agg_max_text ~thr:(2 * layers)) in
+  let max_db = agg_dag_db ~seed:424242 ~layers ~width in
+  (* The gate only makes sense when the workload actually crosses a
+     stratum boundary (the negation above the limit predicate); report
+     honestly if a generator change ever flattens it. *)
+  let strata_of p =
+    match Stratify.stratify p with
+    | Stratify.Stratified s -> List.length s.Stratify.strata
+    | _ -> 0
+  in
+  let min_strata = strata_of min_limit in
+  let gate_applies = min_strata >= 2 in
+  let run_workload name limit_p pairs_p db ~kind ~limit_pred ~derived =
+    let limit_idb, t_limit =
+      best_of reps (fun () -> Stratified.eval_exn limit_p db)
+    in
+    let pairs_idb, t_pairs =
+      best_of reps (fun () -> Stratified.eval_exn pairs_p db)
+    in
+    let bounds = Idb.get limit_idb limit_pred in
+    let pairs_all = Idb.get pairs_idb limit_pred in
+    let dominant_ok =
+      Relation.equal bounds (Relation.dominant ~kind ~col:1 pairs_all)
+    in
+    let derived_ok =
+      List.for_all
+        (fun p -> Relation.equal (Idb.get limit_idb p) (Idb.get pairs_idb p))
+        derived
+    in
+    let speedup = t_pairs /. t_limit in
+    Format.printf
+      "  %-10s limit %8.2f ms (%5d bounds)   pairs %8.2f ms (%6d tuples)   \
+       %6.1fx   dominant %s   strata-above %s@."
+      name (1e3 *. t_limit) (Relation.cardinal bounds) (1e3 *. t_pairs)
+      (Relation.cardinal pairs_all) speedup (ok dominant_ok) (ok derived_ok);
+    (name, t_limit, t_pairs, speedup, Relation.cardinal bounds,
+     Relation.cardinal pairs_all, dominant_ok && derived_ok)
+  in
+  let min_result =
+    run_workload "min_sp" min_limit min_pairs min_db ~kind:`Min
+      ~limit_pred:"dist" ~derived:[ "near"; "far" ]
+  in
+  let max_result =
+    run_workload "max_crit" max_limit max_pairs max_db ~kind:`Max
+      ~limit_pred:"best" ~derived:[ "good"; "modest" ]
+  in
+  (* Config parity: the limit model's fingerprint must be invariant across
+     storage backends, planners, engines and grain defaults. *)
+  let model_fp ?planner ?engine () =
+    Idb.fingerprint (Stratified.eval_exn ?planner ?engine min_limit min_db)
+  in
+  let reference = with_storage `Hashed (fun () -> model_fp ()) in
+  let config_fps =
+    List.concat_map
+      (fun storage ->
+        List.concat_map
+          (fun planner ->
+            List.map
+              (fun engine ->
+                let name =
+                  Printf.sprintf "%s/%s/%s" (storage_name storage)
+                    (planner_name planner)
+                    (match engine with
+                    | `Seminaive -> "seminaive"
+                    | `Parallel -> "parallel"
+                    | `Naive -> "naive")
+                in
+                ( name,
+                  with_storage storage (fun () ->
+                      model_fp ~planner ~engine ()) ))
+              [ `Seminaive; `Parallel ])
+          [ `Static; `Adaptive ])
+      [ `Hashed; `Treeset ]
+  in
+  let config_fps =
+    config_fps
+    @ List.map
+        (fun grain ->
+          ( Printf.sprintf "grain/%s" (grain_name grain),
+            with_grain grain (fun () -> model_fp ~engine:`Parallel ()) ))
+        [ `Fixed 256; `Rules ]
+  in
+  let config_divergences =
+    List.filter (fun (_, fp) -> fp <> reference) config_fps
+  in
+  List.iter
+    (fun (name, _) -> Format.printf "  DIVERGENCE under %s@." name)
+    config_divergences;
+  let config_parity = config_divergences = [] in
+  Format.printf "  parity: limit model fingerprints (%d configs) %s@."
+    (List.length config_fps) (ok config_parity);
+  (* E1-E8 invariance: the limit machinery must leave every pre-existing
+     experiment count untouched, under both storage backends. *)
+  let fp_hashed = with_storage `Hashed parity_fingerprint in
+  let fp_treeset = with_storage `Treeset parity_fingerprint in
+  let e_divergences =
+    List.filter_map
+      (fun ((name, h), (name', t)) ->
+        assert (name = name');
+        if h = t then None else Some name)
+      (List.combine fp_hashed fp_treeset)
+  in
+  List.iter
+    (fun name -> Format.printf "  DIVERGENCE E1-E8 %s@." name)
+    e_divergences;
+  let e18_parity = e_divergences = [] in
+  Format.printf "  parity: E1-E8 fingerprints (%d entries) %s@."
+    (List.length fp_hashed) (ok e18_parity);
+  (* Incremental maintenance: a serve session over the weighted ring under
+     mixed insert/delete must track from-scratch saturation with zero full
+     (non-delta) applications. *)
+  let serve_stats = Stats.create () in
+  let t =
+    match Serve.create ~stats:serve_stats min_limit min_db with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let rng = Prng.create 987654321 in
+  let serve_batches = if quick then 24 else 96 in
+  let vtx i = Symbol.intern (Printf.sprintf "n%d" i) in
+  let serve_parity = ref true in
+  for i = 1 to serve_batches do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let wt = Symbol.of_int (1 + Prng.int rng 9) in
+    let tup = Tuple.of_list [ vtx a; vtx b; wt ] in
+    (if Database.mem_fact "edge" tup (Serve.database t) then
+       match Serve.delete t [ ("edge", tup) ] with
+       | Ok _ -> ()
+       | Error e -> failwith e
+     else
+       match Serve.insert t [ ("edge", tup) ] with
+       | Ok _ -> ()
+       | Error e -> failwith e);
+    if i mod (serve_batches / 4) = 0 then begin
+      let scratch = Stratified.eval_exn min_limit (Serve.database t) in
+      if not (Idb.equal (Serve.snapshot t) scratch) then begin
+        serve_parity := false;
+        Format.printf "  SERVE DIVERGENCE after batch %d@." i
+      end
+    end
+  done;
+  let serve_full_apps =
+    match List.assoc_opt "dred full applications" serve_stats.Stats.extra with
+    | Some v -> v
+    | None -> 0
+  in
+  let serve_ok = !serve_parity && serve_full_apps = 0 in
+  Format.printf
+    "  serve: %d mixed batches, dred full applications = %d, parity %s@."
+    serve_batches serve_full_apps (ok !serve_parity);
+  let _, _, _, min_speedup, _, _, min_correct = min_result in
+  let _, _, _, _, _, _, max_correct = max_result in
+  let gate = 5.0 in
+  let fast_enough = (not gate_applies) || min_speedup >= gate in
+  if not gate_applies then
+    Format.printf
+      "  gate: SKIPPED (min workload has %d strata, need >= 2)@." min_strata
+  else
+    Format.printf "  gate: limit >= %.0fx pairs on min_sp %s@." gate
+      (ok fast_enough);
+  let oc = open_out "BENCH_agg.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, t_limit, t_pairs, speedup, bounds, pairs, correct) ->
+      out "    {\n";
+      out "      \"name\": %S,\n" name;
+      out "      \"limit_ms\": %.3f,\n" (1e3 *. t_limit);
+      out "      \"pairs_ms\": %.3f,\n" (1e3 *. t_pairs);
+      out "      \"speedup\": %.2f,\n" speedup;
+      out "      \"limit_bounds\": %d,\n" bounds;
+      out "      \"pair_tuples\": %d,\n" pairs;
+      out "      \"dominant_parity\": %b\n" correct;
+      out "    }%s\n" (if i = 0 then "," else ""))
+    [ min_result; max_result ];
+  out "  ],\n";
+  out "  \"serve\": {\n";
+  out "    \"batches\": %d,\n" serve_batches;
+  out "    \"full_applications\": %d,\n" serve_full_apps;
+  out "    \"parity\": %b\n" !serve_parity;
+  out "  },\n";
+  out "  \"checks\": {\n";
+  out "    \"config_fingerprints_match\": %b,\n" config_parity;
+  out "    \"e1_e8_fingerprints_match\": %b,\n" e18_parity;
+  out "    \"min_strata\": %d,\n" min_strata;
+  out "    \"gate\": %s,\n"
+    (if gate_applies then Printf.sprintf "%.1f" gate else "\"skipped\"");
+  out "    \"fast_enough\": %b\n" fast_enough;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  if
+    not
+      (min_correct && max_correct && config_parity && e18_parity && serve_ok
+     && fast_enough)
+  then begin
+    Format.printf "  limit-predicate check failed — failing@.";
+    exit 1
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
@@ -2158,4 +2489,5 @@ let () =
   if what = "plan" then plan_bench ~quick ();
   if what = "par" then par_bench ~quick ();
   if what = "serve" then serve_bench ~quick ();
-  if what = "snap" then snap_bench ~quick ()
+  if what = "snap" then snap_bench ~quick ();
+  if what = "agg" then agg_bench ~quick ()

@@ -547,10 +547,13 @@ let explain_cmd =
                 cardinalities; give a DATABASE")
       in
       let cache = Negdl.Plan_cache.create () in
-      (match
-         Negdl.run ~planner ~plan_cache:cache Negdl.Semantics_inflationary
-           program db
-       with
+      (* Limit programs are only defined under the stratified semantics;
+         everything else keeps the historical inflationary run. *)
+      let semantics =
+        if program.Negdl.Ast.limits = [] then Negdl.Semantics_inflationary
+        else Negdl.Semantics_stratified
+      in
+      (match Negdl.run ~planner ~plan_cache:cache semantics program db with
       | Ok _ -> ()
       | Error e -> or_die (Error e));
       List.iter
@@ -577,15 +580,22 @@ let explain_cmd =
             else Negdl.Relation.cardinal (src.Negdl.Plan.find occ.pred arity)
         )
     in
+    let limits =
+      List.map
+        (fun (l : Negdl.Ast.limit) -> (l.Negdl.Ast.limit_pred, (l.Negdl.Ast.kind, l.Negdl.Ast.column)))
+        program.Negdl.Ast.limits
+    in
     List.iter
       (fun rule ->
-        let full = Negdl.Plan.compile ~planner ~sizes ~universe_size rule in
+        let full =
+          Negdl.Plan.compile ~planner ~limits ~sizes ~universe_size rule
+        in
         Format.printf "%a@." Negdl.Plan.pp full;
         List.iter
           (fun j ->
             let d =
-              Negdl.Plan.compile ~planner ~variant:(Negdl.Plan.Delta j)
-                ~sizes ~universe_size rule
+              Negdl.Plan.compile ~planner ~limits
+                ~variant:(Negdl.Plan.Delta j) ~sizes ~universe_size rule
             in
             Format.printf "%a@." Negdl.Plan.pp d)
           (Negdl.Saturate.delta_positions ~schema rule))
@@ -702,34 +712,94 @@ let serve_cmd =
              ~grain ~stats:stats_rec program image)
       | _ -> cold_start ()
     in
-    (* One client session over arbitrary channels; returns how it ended. *)
-    let session ic oc =
-      let rec loop () =
-        match input_line ic with
-        | exception End_of_file -> `Eof
-        | line -> (
-          match Negdl.Serve.handle_line state line with
+    (* One client session over a raw file descriptor; returns how it
+       ended.  The loop blocks for input, then drains whatever else is
+       already available (select with a zero timeout) before splitting
+       into lines, so a scripted or pipelined client's consecutive write
+       lines reach {!Serve.handle_batch} as one block and coalesce into a
+       single DRed update; interactively each line arrives alone and
+       behaves exactly like {!Serve.handle_line}. *)
+    let session fd oc =
+      let pending = Buffer.create 256 in
+      let chunk = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.select [ fd ] [] [] 0.0 with
+        | [ _ ], _, _ ->
+          let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes pending chunk 0 n;
+            drain ()
+          end
+        | _ -> ()
+      in
+      (* Complete lines out of [pending]; a trailing partial line stays. *)
+      let take_lines () =
+        let data = Buffer.contents pending in
+        Buffer.clear pending;
+        match String.rindex_opt data '\n' with
+        | None ->
+          Buffer.add_string pending data;
+          []
+        | Some i ->
+          Buffer.add_substring pending data (i + 1)
+            (String.length data - i - 1);
+          String.split_on_char '\n' (String.sub data 0 i)
+      in
+      let emit st response =
+        match st with
+        | `Quit | `Shutdown -> st
+        | `Continue -> (
+          match response with
           | Negdl.Serve.Reply lines ->
             List.iter
               (fun l ->
                 output_string oc l;
                 output_char oc '\n')
               lines;
-            flush oc;
-            loop ()
+            `Continue
           | Negdl.Serve.Quit ->
             output_string oc "bye\n";
-            flush oc;
             `Quit
           | Negdl.Serve.Shutdown ->
             output_string oc "bye\n";
-            flush oc;
             `Shutdown)
+      in
+      let process lines =
+        match lines with
+        | [] -> `Continue
+        | _ ->
+          let st =
+            List.fold_left emit `Continue
+              (Negdl.Serve.handle_batch state lines)
+          in
+          flush oc;
+          st
+      in
+      let rec loop () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error _ -> `Eof
+        | 0 -> (
+          (* EOF: an unterminated final line is still a command. *)
+          let tail = Buffer.contents pending in
+          Buffer.clear pending;
+          if tail = "" then `Eof
+          else
+            match process [ tail ] with
+            | `Continue -> `Eof
+            | `Quit -> `Quit
+            | `Shutdown -> `Shutdown)
+        | n -> (
+          Buffer.add_subbytes pending chunk 0 n;
+          drain ();
+          match process (take_lines ()) with
+          | `Continue -> loop ()
+          | `Quit -> `Quit
+          | `Shutdown -> `Shutdown)
       in
       loop ()
     in
     (match socket with
-    | None -> ignore (session stdin stdout)
+    | None -> ignore (session Unix.stdin stdout)
     | Some path ->
       let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -737,9 +807,8 @@ let serve_cmd =
       Unix.listen sock 8;
       let rec accept_loop () =
         let client, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr client in
         let oc = Unix.out_channel_of_descr client in
-        let outcome = try session ic oc with Sys_error _ -> `Eof in
+        let outcome = try session client oc with Sys_error _ -> `Eof in
         (try flush oc with Sys_error _ -> ());
         (try Unix.close client with Unix.Unix_error _ -> ());
         match outcome with `Shutdown -> () | `Quit | `Eof -> accept_loop ()
@@ -1091,6 +1160,10 @@ let stratify_cmd =
         "not stratifiable: %s depends negatively on %s within a recursive \
          component@."
         p q;
+      exit 2
+    | Negdl.Stratify.Not_limit_stratifiable { pred; rule } ->
+      Format.printf "%s@."
+        (Negdl.Stratify.limit_error_to_string ~pred ~rule);
       exit 2
     | Negdl.Stratify.Stratified { strata; _ } ->
       List.iteri

@@ -44,7 +44,9 @@ let () =
     Format.printf "Strata: %s@.@."
       (String.concat " < "
          (List.map (fun s -> "{" ^ String.concat ", " s ^ "}") strata))
-  | Negdl.Stratify.Not_stratifiable _ -> assert false);
+  | Negdl.Stratify.Not_stratifiable _ | Negdl.Stratify.Not_limit_stratifiable _
+    ->
+    assert false);
 
   (* Stratified semantics is the intended reading here. *)
   let result =

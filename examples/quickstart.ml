@@ -50,7 +50,9 @@ let () =
     Format.printf "@.Strata: %s@."
       (String.concat " < "
          (List.map (fun s -> "{" ^ String.concat ", " s ^ "}") strata))
-  | Negdl.Stratify.Not_stratifiable _ -> assert false);
+  | Negdl.Stratify.Not_stratifiable _ | Negdl.Stratify.Not_limit_stratifiable _
+    ->
+    assert false);
 
   (* Fixpoint structure (Section 3): this program has a unique fixpoint,
      which is therefore also its least one. *)

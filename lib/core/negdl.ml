@@ -106,10 +106,26 @@ type run_result = {
   unknown : Idb.t option;
 }
 
+(* Limit declarations are defined by the tighten-union fixpoint of the
+   stratified evaluator; the other semantics would silently compute the
+   pair-materializing reading, so they refuse limit programs instead. *)
+let reject_limits who (program : Ast.program) =
+  match program.limits with
+  | [] -> ()
+  | l :: _ ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: limit predicates (%s %s) require the stratified semantics" who
+         l.limit_pred
+         (Ast.limit_kind_to_string l.kind))
+
 let run ?engine ?planner ?plan_cache ?indexing ?storage ?stats semantics
     program db =
   let cache = plan_cache in
   try
+    (match semantics with
+    | Semantics_stratified -> ()
+    | _ -> reject_limits (semantics_to_string semantics) program);
     match semantics with
     | Semantics_inflationary ->
       Ok
@@ -170,6 +186,7 @@ type fixpoint_report = {
 
 let analyze_fixpoints ?planner ?plan_cache ?(count_limit = 256) ?sat_budget
     ?count_budget program db =
+  reject_limits "fixpoint analysis" program;
   let solver = Fixpoints.prepare ?planner ?plan_cache program db in
   let ground = Fixpoints.ground solver in
   let example, existence_unknown =

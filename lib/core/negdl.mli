@@ -172,7 +172,10 @@ val run :
   (run_result, string) result
 (** Evaluates a program under the chosen semantics; errors are returned as
     human-readable strings (not stratifiable, negation under least-fixpoint
-    semantics, inconsistent arities, ...).  [engine] selects the saturation
+    semantics, inconsistent arities, ...).  Programs with limit
+    declarations are only defined under [Semantics_stratified] (the
+    tighten-union fixpoint); every other semantics returns an error for
+    them.  [engine] selects the saturation
     strategy ([`Seminaive] default, [`Naive], or [`Parallel] which fans the
     rule applications of each iteration across domains); [indexing] selects
     the column-index strategy (see {!Engine.indexing}); [storage] selects

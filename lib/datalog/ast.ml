@@ -12,17 +12,29 @@ type literal =
   | Neg of atom
   | Eq of term * term
   | Neq of term * term
+  | Leq of term * term
+  | Geq of term * term
+  | Plus of term * term * term
 
 type rule = {
   head : atom;
   body : literal list;
 }
 
-type program = {
-  rules : rule list;
+type limit_kind = Min | Max
+
+type limit = {
+  limit_pred : string;
+  kind : limit_kind;
+  column : int;
 }
 
-let program rules = { rules }
+type program = {
+  rules : rule list;
+  limits : limit list;
+}
+
+let program ?(limits = []) rules = { rules; limits }
 
 let rule head body = { head; body }
 
@@ -32,9 +44,15 @@ let var x = Var x
 
 let const name = Const (Relalg.Symbol.intern name)
 
+let limit_kind_to_string = function Min -> "min" | Max -> "max"
+
+let limit_of p name = List.find_opt (fun l -> l.limit_pred = name) p.limits
+
+let is_limit p name = limit_of p name <> None
+
 let atoms_of_literal = function
   | Pos a | Neg a -> [ a ]
-  | Eq _ | Neq _ -> []
+  | Eq _ | Neq _ | Leq _ | Geq _ | Plus _ -> []
 
 let idb_predicates p =
   List.map (fun r -> r.head.pred) p.rules |> List.sort_uniq String.compare
@@ -84,7 +102,8 @@ let term_variables = function
 
 let literal_terms = function
   | Pos a | Neg a -> a.args
-  | Eq (t1, t2) | Neq (t1, t2) -> [ t1; t2 ]
+  | Eq (t1, t2) | Neq (t1, t2) | Leq (t1, t2) | Geq (t1, t2) -> [ t1; t2 ]
+  | Plus (t1, t2, t3) -> [ t1; t2; t3 ]
 
 let dedup_keep_order xs =
   let seen = Hashtbl.create 16 in
@@ -114,7 +133,10 @@ let positive_body_variables r =
   List.concat_map
     (function
       | Pos a -> List.concat_map term_variables a.args
-      | Neg _ | Eq _ | Neq _ -> [])
+      (* The result of an addition is as good as bound: the executor
+         computes it from its (bound) operands. *)
+      | Plus (_, _, t) -> term_variables t
+      | Neg _ | Eq _ | Neq _ | Leq _ | Geq _ -> [])
     r.body
   |> dedup_keep_order
 
@@ -129,9 +151,12 @@ let is_positive p =
   List.for_all
     (fun r ->
       List.for_all
-        (function Pos _ | Eq _ -> true | Neg _ | Neq _ -> false)
+        (function
+          | Pos _ | Eq _ -> true
+          | Neg _ | Neq _ | Leq _ | Geq _ | Plus _ -> false)
         r.body)
     p.rules
+  && p.limits = []
 
 let is_range_restricted r =
   let bound = positive_body_variables r in
@@ -143,7 +168,7 @@ let rename_atom ~old_name ~new_name a =
 let rename_literal ~old_name ~new_name = function
   | Pos a -> Pos (rename_atom ~old_name ~new_name a)
   | Neg a -> Neg (rename_atom ~old_name ~new_name a)
-  | (Eq _ | Neq _) as l -> l
+  | (Eq _ | Neq _ | Leq _ | Geq _ | Plus _) as l -> l
 
 let rename_predicate ~old_name ~new_name p =
   {
@@ -155,6 +180,13 @@ let rename_predicate ~old_name ~new_name p =
             body = List.map (rename_literal ~old_name ~new_name) r.body;
           })
         p.rules;
+    limits =
+      List.map
+        (fun l ->
+          if String.equal l.limit_pred old_name then
+            { l with limit_pred = new_name }
+          else l)
+        p.limits;
   }
 
 let equal_term t1 t2 =
@@ -168,6 +200,13 @@ let compare_rule (r1 : rule) (r2 : rule) = compare r1 r2
 let union p1 p2 =
   let all = p1.rules @ p2.rules in
   let seen = Hashtbl.create 16 in
+  let limits =
+    p1.limits
+    @ List.filter
+        (fun l ->
+          not (List.exists (fun l' -> l'.limit_pred = l.limit_pred) p1.limits))
+        p2.limits
+  in
   {
     rules =
       List.filter
@@ -178,4 +217,5 @@ let union p1 p2 =
             true
           end)
         all;
+    limits;
   }

@@ -2,10 +2,16 @@
 
     A program is a finite set of rules [h <- t1, ..., tn] where the head [h]
     is an atom over a relational symbol and the body literals are atoms,
-    negated atoms, equalities or inequalities between terms.  Relational
-    symbols that never occur in a head are the {e database} (EDB) relations;
-    the others are the {e nondatabase} (IDB) relations defined by the
-    program. *)
+    negated atoms, equalities, inequalities, order comparisons or additions
+    between terms.  Relational symbols that never occur in a head are the
+    {e database} (EDB) relations; the others are the {e nondatabase} (IDB)
+    relations defined by the program.
+
+    A program may additionally declare {e limit predicates} ([p min k] /
+    [p max k], after Kaminski et al., "Stratified Negation in Limit Datalog
+    Programs"): relation [p] then keeps, per valuation of its non-[k]
+    columns, only the tuple whose [k]-th column is minimal (resp. maximal)
+    under {!Relalg.Symbol.compare_value}. *)
 
 type term =
   | Var of string
@@ -21,17 +27,29 @@ type literal =
   | Neg of atom  (** [not q(t, ...)] *)
   | Eq of term * term  (** [t1 = t2] *)
   | Neq of term * term  (** [t1 != t2] *)
+  | Leq of term * term  (** [t1 <= t2], the value order of {!Relalg.Symbol.compare_value} *)
+  | Geq of term * term  (** [t1 >= t2] *)
+  | Plus of term * term * term  (** [t3 = t1 + t2], integer addition *)
 
 type rule = {
   head : atom;
   body : literal list;
 }
 
-type program = {
-  rules : rule list;
+type limit_kind = Min | Max
+
+type limit = {
+  limit_pred : string;
+  kind : limit_kind;
+  column : int;  (** 0-based limit column. *)
 }
 
-val program : rule list -> program
+type program = {
+  rules : rule list;
+  limits : limit list;
+}
+
+val program : ?limits:limit list -> rule list -> program
 
 val rule : atom -> literal list -> rule
 
@@ -42,10 +60,20 @@ val var : string -> term
 val const : string -> term
 (** Interns the constant name. *)
 
+val limit_kind_to_string : limit_kind -> string
+
+val limit_of : program -> string -> limit option
+(** The limit declaration for a predicate, if any. *)
+
+val is_limit : program -> string -> bool
+
 (** {1 Structure queries} *)
 
 val atoms_of_literal : literal -> atom list
-(** The atom under a [Pos] or [Neg]; empty for comparisons. *)
+(** The atom under a [Pos] or [Neg]; empty for comparisons and additions. *)
+
+val literal_terms : literal -> term list
+(** Every term of the literal, in syntactic order. *)
 
 val idb_predicates : program -> string list
 (** Head predicates, sorted, without duplicates. *)
@@ -72,26 +100,30 @@ val head_only_variables : rule -> string list
 (** Variables occurring in the head but in no body literal at all. *)
 
 val positive_body_variables : rule -> string list
-(** Variables bound by some positive body atom. *)
+(** Variables bound by some positive body atom or computed by an addition
+    ([Plus] results). *)
 
 val constants : program -> Relalg.Symbol.t list
 (** All constants appearing in the program, sorted, without duplicates. *)
 
 val is_positive : program -> bool
-(** No negated atoms and no inequalities — a DATALOG program in the paper's
-    sense. *)
+(** No negated atoms, no inequalities, no order comparisons or additions, and
+    no limit declarations — a DATALOG program in the paper's sense. *)
 
 val is_range_restricted : rule -> bool
-(** Every variable of the rule occurs in some positive body atom.  The
-    paper's semantics does {e not} require this (unrestricted variables
-    range over the universe); the predicate is informational. *)
+(** Every variable of the rule occurs in some positive body atom (or is an
+    addition result).  The paper's semantics does {e not} require this
+    (unrestricted variables range over the universe); the predicate is
+    informational. *)
 
 val rename_predicate : old_name:string -> new_name:string -> program -> program
-(** Renames every occurrence of a predicate. *)
+(** Renames every occurrence of a predicate, including its limit
+    declaration. *)
 
 val equal_term : term -> term -> bool
 
 val compare_rule : rule -> rule -> int
 
 val union : program -> program -> program
-(** Concatenates rule lists, dropping exact duplicate rules. *)
+(** Concatenates rule lists, dropping exact duplicate rules; limit
+    declarations of the left program win on clashes. *)

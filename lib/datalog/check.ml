@@ -1,6 +1,9 @@
 type error =
   | Inconsistent_arity of { pred : string; arity1 : int; arity2 : int }
   | Empty_program
+  | Limit_column_out_of_range of { pred : string; column : int; arity : int }
+  | Duplicate_limit of { pred : string }
+  | Limit_on_edb of { pred : string }
 
 type info = {
   idb : string list;
@@ -11,6 +14,7 @@ type info = {
   positive : bool;
   range_restricted : bool;
   unrestricted_rules : Ast.rule list;
+  limit_count : int;
 }
 
 let error_to_string = function
@@ -18,6 +22,18 @@ let error_to_string = function
     Printf.sprintf "predicate %s used with arities %d and %d" pred arity1
       arity2
   | Empty_program -> "program has no rules"
+  | Limit_column_out_of_range { pred; column; arity } ->
+    Printf.sprintf
+      "limit declaration for %s names column %d, but %s has arity %d \
+       (columns are 1-based)"
+      pred column pred arity
+  | Duplicate_limit { pred } ->
+    Printf.sprintf "predicate %s has more than one limit declaration" pred
+  | Limit_on_edb { pred } ->
+    Printf.sprintf
+      "limit declaration for %s, which no rule defines: limit predicates \
+       must be IDB"
+      pred
 
 let arity_errors (p : Ast.program) =
   let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
@@ -40,6 +56,50 @@ let arity_errors (p : Ast.program) =
     p.rules;
   List.rev !errors
 
+(* Limit declarations must name an IDB predicate and a column inside its
+   arity; two declarations for one predicate would leave the tightening
+   order ambiguous. *)
+let limit_errors (p : Ast.program) =
+  let idb = Ast.idb_predicates p in
+  let arity_of name =
+    List.find_map
+      (fun (r : Ast.rule) ->
+        let of_atom (a : Ast.atom) =
+          if a.pred = name then Some (List.length a.args) else None
+        in
+        match of_atom r.head with
+        | Some k -> Some k
+        | None ->
+          List.find_map
+            (fun l -> List.find_map of_atom (Ast.atoms_of_literal l))
+            r.body)
+      p.rules
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.concat_map
+    (fun (l : Ast.limit) ->
+      let dup =
+        if Hashtbl.mem seen l.limit_pred then
+          [ Duplicate_limit { pred = l.limit_pred } ]
+        else begin
+          Hashtbl.add seen l.limit_pred ();
+          []
+        end
+      in
+      let placement =
+        if not (List.mem l.limit_pred idb) then
+          [ Limit_on_edb { pred = l.limit_pred } ]
+        else
+          match arity_of l.limit_pred with
+          | Some arity when l.column < 0 || l.column >= arity ->
+            [ Limit_column_out_of_range
+                { pred = l.limit_pred; column = l.column + 1; arity };
+            ]
+          | _ -> []
+      in
+      dup @ placement)
+    p.limits
+
 let uses_negation (p : Ast.program) =
   List.exists
     (fun (r : Ast.rule) ->
@@ -53,7 +113,7 @@ let uses_inequality (p : Ast.program) =
     p.rules
 
 let validate p =
-  let errors = arity_errors p in
+  let errors = arity_errors p @ limit_errors p in
   let errors = if p.Ast.rules = [] then Empty_program :: errors else errors in
   match errors with
   | _ :: _ -> Error errors
@@ -71,6 +131,7 @@ let validate p =
         positive = Ast.is_positive p;
         range_restricted = unrestricted = [];
         unrestricted_rules = unrestricted;
+        limit_count = List.length p.Ast.limits;
       }
 
 let validate_exn p =
@@ -94,4 +155,9 @@ let describe p =
       (match info.edb with [] -> "(none)" | l -> String.concat ", " l)
       (if info.positive then "positive DATALOG" else "DATALOG with negation")
       (if info.uses_inequality then ", uses inequality" else "")
-      (if info.range_restricted then "" else ", has universe-ranging variables")
+      ((if info.limit_count > 0 then
+          Printf.sprintf ", %d limit predicate(s)" info.limit_count
+        else "")
+      ^
+      if info.range_restricted then ""
+      else ", has universe-ranging variables")

@@ -9,6 +9,13 @@
 type error =
   | Inconsistent_arity of { pred : string; arity1 : int; arity2 : int }
   | Empty_program
+  | Limit_column_out_of_range of { pred : string; column : int; arity : int }
+      (** A limit declaration names a column outside the predicate's
+          arity.  [column] is 1-based, as written in the source. *)
+  | Duplicate_limit of { pred : string }
+  | Limit_on_edb of { pred : string }
+      (** Limit declarations only make sense for derived (IDB)
+          predicates: EDB facts are given, not tightened. *)
 
 type info = {
   idb : string list;
@@ -20,6 +27,7 @@ type info = {
   range_restricted : bool;  (** Every rule is range-restricted. *)
   unrestricted_rules : Ast.rule list;
       (** Rules with variables not bound by a positive body atom. *)
+  limit_count : int;  (** Number of limit declarations. *)
 }
 
 val error_to_string : error -> string

@@ -1,11 +1,172 @@
 module SMap = Map.Make (String)
+module SSet = Set.Make (String)
 
 type t = {
   names : string array;
   index : int SMap.t;
   digraph : Graphlib.Digraph.t;
   neg_edges : (int * int) list;
+  agg_edges : (int * int * Ast.rule) list;
 }
+
+(* --- monotone-use analysis for limit predicates -------------------------
+
+   A variable standing at the limit column of a positive body atom over a
+   limit predicate is {e tainted}: its value is a current bound, which later
+   tightening may replace.  A use of a tainted variable is {e benign} when
+   the rule's output can only be refined, never retracted, as the bound
+   tightens — then the rule may share a stratum (and a fixpoint) with the
+   limit predicate.  Benign uses: the single generating occurrence itself,
+   operands and results of additions (taint propagates through [Plus]), the
+   lower side of [<=] for min-taint (dually [>=] for max), and flowing into
+   a head limit column of the same kind.  Every other use — equality or
+   disequality tests, the wrong side of a comparison, a join on the exact
+   bound value, occurrences under negation, or flowing into a non-limit
+   position — is {e malign}: the rule then reads something that tightening
+   can falsify, so it must sit strictly above the limit predicate (the
+   stratification side condition of Kaminski et al., "Stratified Negation
+   in Limit Datalog Programs").  A malign use of limit predicate [q] in a
+   rule with head [h] becomes an {e aggregate edge} [h -> q] that
+   stratification treats like a negative edge. *)
+
+type taint = {
+  t_kind : Ast.limit_kind;
+  sources : SSet.t;  (* the limit predicates the value flows from *)
+}
+
+let rule_malign_sources (p : Ast.program) (r : Ast.rule) =
+  let limit_of name = Ast.limit_of p name in
+  let malign = ref SSet.empty in
+  let condemn sources = malign := SSet.union sources !malign in
+  (* Taints, to a fixpoint through Plus chains. *)
+  let taints : (string, taint) Hashtbl.t = Hashtbl.create 8 in
+  let taint_of = function
+    | Ast.Var x -> Hashtbl.find_opt taints x
+    | Ast.Const _ -> None
+  in
+  let add_taint x (t : taint) =
+    match Hashtbl.find_opt taints x with
+    | None ->
+      Hashtbl.replace taints x t;
+      true
+    | Some old ->
+      if old.t_kind <> t.t_kind then condemn (SSet.union old.sources t.sources);
+      let sources = SSet.union old.sources t.sources in
+      if SSet.equal sources old.sources then false
+      else begin
+        Hashtbl.replace taints x { old with sources };
+        true
+      end
+  in
+  List.iter
+    (function
+      | Ast.Pos a -> (
+        match limit_of a.Ast.pred with
+        | Some l -> (
+          match List.nth_opt a.Ast.args l.Ast.column with
+          | Some (Ast.Var x) ->
+            ignore
+              (add_taint x
+                 { t_kind = l.Ast.kind; sources = SSet.singleton a.Ast.pred })
+          | Some (Ast.Const _) ->
+            (* An exact-value test on the bound: falsified as soon as the
+               bound moves. *)
+            condemn (SSet.singleton a.Ast.pred)
+          | None -> ())
+        | None -> ())
+      | _ -> ())
+    r.Ast.body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | Ast.Plus (t1, t2, t3) -> (
+          let operand_taints = List.filter_map taint_of [ t1; t2 ] in
+          match operand_taints with
+          | [] -> ()
+          | t :: rest ->
+            List.iter
+              (fun t' ->
+                if t'.t_kind <> t.t_kind then
+                  condemn (SSet.union t.sources t'.sources))
+              rest;
+            let sources =
+              List.fold_left
+                (fun acc t' -> SSet.union acc t'.sources)
+                SSet.empty operand_taints
+            in
+            (match t3 with
+            | Ast.Var x ->
+              if add_taint x { t_kind = t.t_kind; sources } then
+                changed := true
+            | Ast.Const _ -> ()))
+        | _ -> ())
+      r.Ast.body
+  done;
+  (* Occurrence check.  Generating occurrences (limit column of a positive
+     body atom, same kind) are benign only once: a second one joins two
+     bounds on their exact value. *)
+  let generating = Hashtbl.create 8 in
+  let check_atom ~negated (a : Ast.atom) =
+    List.iteri
+      (fun i t ->
+        match taint_of t with
+        | None -> ()
+        | Some taint -> (
+          let ok_limit_col =
+            match limit_of a.Ast.pred with
+            | Some l -> l.Ast.column = i && l.Ast.kind = taint.t_kind
+            | None -> false
+          in
+          match t with
+          | Ast.Var x when ok_limit_col && not negated ->
+            let seen =
+              Option.value ~default:0 (Hashtbl.find_opt generating x)
+            in
+            Hashtbl.replace generating x (seen + 1);
+            if seen > 0 then condemn taint.sources
+          | _ -> condemn taint.sources))
+      a.Ast.args
+  in
+  List.iter
+    (function
+      | Ast.Pos a -> check_atom ~negated:false a
+      | Ast.Neg a -> check_atom ~negated:true a
+      | Ast.Eq (t1, t2) | Ast.Neq (t1, t2) ->
+        List.iter
+          (fun t ->
+            match taint_of t with
+            | Some taint -> condemn taint.sources
+            | None -> ())
+          [ t1; t2 ]
+      | Ast.Leq (lo, hi) | Ast.Geq (hi, lo) ->
+        (* In [lo <= hi], min-taint on [lo] and max-taint on [hi] are
+           monotone (the test only becomes truer as bounds tighten); the
+           converse directions can flip it back to false. *)
+        (match taint_of lo with
+        | Some { t_kind = Ast.Max; sources } -> condemn sources
+        | _ -> ());
+        (match taint_of hi with
+        | Some { t_kind = Ast.Min; sources } -> condemn sources
+        | _ -> ())
+      | Ast.Plus _ -> ())
+    r.Ast.body;
+  (* The head: a tainted value may only flow into a limit column of the
+     same kind. *)
+  List.iteri
+    (fun i t ->
+      match taint_of t with
+      | None -> ()
+      | Some taint ->
+        let ok =
+          match limit_of r.Ast.head.Ast.pred with
+          | Some l -> l.Ast.column = i && l.Ast.kind = taint.t_kind
+          | None -> false
+        in
+        if not ok then condemn taint.sources)
+    r.Ast.head.Ast.args;
+  !malign
 
 let build (p : Ast.program) =
   let names = Array.of_list (Ast.predicates p) in
@@ -16,6 +177,7 @@ let build (p : Ast.program) =
   in
   let edges = ref [] in
   let neg_edges = ref [] in
+  let agg_edges = ref [] in
   List.iter
     (fun (r : Ast.rule) ->
       let hd = SMap.find r.head.pred index in
@@ -28,12 +190,19 @@ let build (p : Ast.program) =
             let e = (hd, SMap.find a.pred index) in
             edges := e :: !edges;
             neg_edges := e :: !neg_edges
-          | Ast.Eq _ | Ast.Neq _ -> ())
-        r.body)
+          | Ast.Eq _ | Ast.Neq _ | Ast.Leq _ | Ast.Geq _ | Ast.Plus _ -> ())
+        r.body;
+      if p.limits <> [] then
+        SSet.iter
+          (fun q ->
+            match SMap.find_opt q index with
+            | Some qi -> agg_edges := (hd, qi, r) :: !agg_edges
+            | None -> ())
+          (rule_malign_sources p r))
     p.rules;
   let digraph = Graphlib.Digraph.make (Array.length names) !edges in
   let neg_edges = List.sort_uniq compare !neg_edges in
-  { names; index; digraph; neg_edges }
+  { names; index; digraph; neg_edges; agg_edges = List.rev !agg_edges }
 
 let predicates g = Array.to_list g.names
 
@@ -55,6 +224,9 @@ let graph g = (g.digraph, Array.copy g.names)
 
 let negative_edges g =
   List.map (fun (u, v) -> (g.names.(u), g.names.(v))) g.neg_edges
+
+let aggregate_edges g =
+  List.map (fun (u, v, r) -> (g.names.(u), g.names.(v), r)) g.agg_edges
 
 let recursive_predicates g =
   let { Graphlib.Scc.component; _ } = Graphlib.Scc.compute g.digraph in

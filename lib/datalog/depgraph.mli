@@ -24,6 +24,15 @@ val graph : t -> Graphlib.Digraph.t * string array
 
 val negative_edges : t -> (string * string) list
 
+val aggregate_edges : t -> (string * string * Ast.rule) list
+(** [(h, q, r)] when rule [r] (head [h]) makes a {e malign} — non-monotone —
+    use of the bound of limit predicate [q]: an exact-value test, the wrong
+    side of a comparison, a join on the bound, a use under negation, or a
+    flow into a non-limit or kind-mismatched position.  Stratification
+    treats these like negative edges ([h] strictly above [q]); one inside a
+    recursive component makes the program not limit-stratifiable (Kaminski
+    et al.).  Empty for programs without limit declarations. *)
+
 val recursive_predicates : t -> string list
 (** Predicates lying on a directed cycle (including self-loops). *)
 

@@ -10,6 +10,9 @@ type token =
   | NOT_KW
   | EQUAL
   | NOT_EQUAL
+  | LE
+  | GE
+  | PLUS
   | EOF
 
 type position = { line : int; column : int }
@@ -26,6 +29,9 @@ let token_to_string = function
   | NOT_KW -> "'not'"
   | EQUAL -> "'='"
   | NOT_EQUAL -> "'!='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
   | EOF -> "end of input"
 
 let is_lower c = c >= 'a' && c <= 'z'
@@ -96,9 +102,28 @@ let tokenize text =
         advance ();
         advance ()
       end
+      else if !i + 1 < n && text.[!i + 1] = '=' then begin
+        emit LE;
+        advance ();
+        advance ()
+      end
       else
         error :=
           Some (Printf.sprintf "line %d, column %d: lone '<'" !line !column)
+    end
+    else if c = '>' then begin
+      if !i + 1 < n && text.[!i + 1] = '=' then begin
+        emit GE;
+        advance ();
+        advance ()
+      end
+      else
+        error :=
+          Some (Printf.sprintf "line %d, column %d: lone '>'" !line !column)
+    end
+    else if c = '+' then begin
+      emit PLUS;
+      advance ()
     end
     else if c = ':' then begin
       if !i + 1 < n && text.[!i + 1] = '-' then begin

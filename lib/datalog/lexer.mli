@@ -17,6 +17,9 @@ type token =
   | NOT_KW  (** the keyword [not], also negation *)
   | EQUAL  (** [=] *)
   | NOT_EQUAL  (** [!=] or [<>] *)
+  | LE  (** [<=] *)
+  | GE  (** [>=] *)
+  | PLUS  (** [+] *)
   | EOF
 
 type position = { line : int; column : int }

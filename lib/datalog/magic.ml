@@ -131,8 +131,10 @@ let rewrite (p : Ast.program) ~(query : Ast.atom) =
                       bound := SSet.union !bound (SSet.of_list (vs1 @ vs2));
                     prefix := lit :: !prefix;
                     lit
-                  | Ast.Neg _ | Ast.Neq _ ->
-                    (* Unreachable: positivity was checked. *)
+                  | Ast.Neg _ | Ast.Neq _ | Ast.Leq _ | Ast.Geq _
+                  | Ast.Plus _ ->
+                    (* Unreachable: positivity was checked (and positive
+                       programs have no order comparisons or additions). *)
                     assert false)
                 r.Ast.body
             in

@@ -69,6 +69,33 @@ let parse_atom s =
       (Printf.sprintf "expected a predicate but found %s"
          (Lexer.token_to_string tok))
 
+(* The right-hand side of an equality: either a plain term ([X = t]) or an
+   addition ([Z = X + Y], which binds the left-hand side to the sum). *)
+let parse_eq_rhs s lhs =
+  let t2 = parse_term s in
+  match peek s with
+  | Lexer.PLUS, _ ->
+    advance s;
+    let t3 = parse_term s in
+    Ast.Plus (t2, t3, lhs)
+  | _ -> Ast.Eq (lhs, t2)
+
+let parse_comparison s t1 =
+  match peek s with
+  | Lexer.EQUAL, _ ->
+    advance s;
+    Some (parse_eq_rhs s t1)
+  | Lexer.NOT_EQUAL, _ ->
+    advance s;
+    Some (Ast.Neq (t1, parse_term s))
+  | Lexer.LE, _ ->
+    advance s;
+    Some (Ast.Leq (t1, parse_term s))
+  | Lexer.GE, _ ->
+    advance s;
+    Some (Ast.Geq (t1, parse_term s))
+  | _ -> None
+
 let parse_literal s =
   match peek s with
   | (Lexer.BANG | Lexer.NOT_KW), _ ->
@@ -76,28 +103,20 @@ let parse_literal s =
     Ast.Neg (parse_atom s)
   | Lexer.VARIABLE _, _ -> (
     let t1 = parse_term s in
-    match peek s with
-    | Lexer.EQUAL, _ ->
-      advance s;
-      Ast.Eq (t1, parse_term s)
-    | Lexer.NOT_EQUAL, _ ->
-      advance s;
-      Ast.Neq (t1, parse_term s)
-    | tok, pos ->
+    match parse_comparison s t1 with
+    | Some l -> l
+    | None ->
+      let tok, pos = peek s in
       fail_at pos
-        (Printf.sprintf "expected '=' or '!=' after a variable, found %s"
+        (Printf.sprintf
+           "expected '=', '!=', '<=' or '>=' after a variable, found %s"
            (Lexer.token_to_string tok)))
   | Lexer.IDENT name, _ -> (
     advance s;
     (* Could be an atom, or a constant on the left of a comparison. *)
-    match peek s with
-    | Lexer.EQUAL, _ ->
-      advance s;
-      Ast.Eq (Ast.const name, parse_term s)
-    | Lexer.NOT_EQUAL, _ ->
-      advance s;
-      Ast.Neq (Ast.const name, parse_term s)
-    | _ -> Ast.Pos (parse_atom_named s name))
+    match parse_comparison s (Ast.const name) with
+    | Some l -> l
+    | None -> Ast.Pos (parse_atom_named s name))
   | tok, pos ->
     fail_at pos
       (Printf.sprintf "expected a body literal but found %s"
@@ -113,12 +132,54 @@ let parse_body s =
   in
   more [ parse_literal s ]
 
-let parse_one_rule s =
+type item =
+  | Rule_item of Ast.rule
+  | Limit_item of Ast.limit
+
+let is_all_digits w =
+  w <> "" && String.for_all (fun c -> c >= '0' && c <= '9') w
+
+(* A limit declaration is [p min k.] / [p max k.] — three identifiers and a
+   period.  It is only recognised when the head was a bare identifier (no
+   argument list), so no previously-valid program changes meaning. *)
+let parse_limit_decl s pred kind =
+  advance s;
+  let column =
+    match peek s with
+    | Lexer.IDENT w, _ when is_all_digits w ->
+      (* The surface syntax is 1-based ("dist min 2." bounds the second
+         column); the AST stores the 0-based index. *)
+      let n = int_of_string w in
+      if n = 0 then
+        (let _, pos = peek s in
+         fail_at pos
+           (Printf.sprintf
+              "column numbers in '%s %s' declarations start at 1" pred
+              (Ast.limit_kind_to_string kind)))
+      else begin
+        advance s;
+        n - 1
+      end
+    | tok, pos ->
+      fail_at pos
+        (Printf.sprintf
+           "expected a column number after '%s %s', found %s" pred
+           (Ast.limit_kind_to_string kind)
+           (Lexer.token_to_string tok))
+  in
+  expect s Lexer.PERIOD;
+  Limit_item { Ast.limit_pred = pred; kind; column }
+
+let parse_one_item s =
   let head = parse_atom s in
   match peek s with
   | Lexer.PERIOD, _ ->
     advance s;
-    Ast.rule head []
+    Rule_item (Ast.rule head [])
+  | Lexer.IDENT "min", _ when head.Ast.args = [] ->
+    parse_limit_decl s head.Ast.pred Ast.Min
+  | Lexer.IDENT "max", _ when head.Ast.args = [] ->
+    parse_limit_decl s head.Ast.pred Ast.Max
   | Lexer.TURNSTILE, _ ->
     advance s;
     (* An empty body before the period is allowed: "p(X) :- ." *)
@@ -128,30 +189,48 @@ let parse_one_rule s =
       | _ -> parse_body s
     in
     expect s Lexer.PERIOD;
-    Ast.rule head body
+    Rule_item (Ast.rule head body)
   | tok, pos ->
     fail_at pos
       (Printf.sprintf "expected ':-' or '.' after the head, found %s"
          (Lexer.token_to_string tok))
 
-let parse_all text =
+let parse_items text =
   match Lexer.tokenize text with
   | Error msg -> Error msg
   | Ok tokens -> (
     let s = { tokens } in
     try
-      let rec rules acc =
+      let rec items acc =
         match peek s with
         | Lexer.EOF, _ -> List.rev acc
-        | _ -> rules (parse_one_rule s :: acc)
+        | _ -> items (parse_one_item s :: acc)
       in
-      Ok (rules [])
+      Ok (items [])
     with Syntax_error msg -> Error msg)
 
-let parse_program text =
-  match parse_all text with
+let split_items items =
+  let rules =
+    List.filter_map (function Rule_item r -> Some r | Limit_item _ -> None)
+      items
+  in
+  let limits =
+    List.filter_map (function Limit_item l -> Some l | Rule_item _ -> None)
+      items
+  in
+  (rules, limits)
+
+let parse_all text =
+  match parse_items text with
   | Error _ as e -> e
-  | Ok rules -> Ok (Ast.program rules)
+  | Ok items -> Ok (fst (split_items items))
+
+let parse_program text =
+  match parse_items text with
+  | Error _ as e -> e
+  | Ok items ->
+    let rules, limits = split_items items in
+    Ok (Ast.program ~limits rules)
 
 let parse_program_exn text =
   match parse_program text with

@@ -2,17 +2,23 @@
 
     Grammar:
     {v
-    program  ::= rule*
+    program  ::= (rule | limit)*
     rule     ::= atom ( ":-" literal ("," literal)* )? "."
+    limit    ::= ident ("min" | "max") number "."
     literal  ::= ("!" | "not") atom
                | atom
-               | term ("=" | "!=") term
+               | term ("=" | "!=" | "<=" | ">=") term
+               | term "=" term "+" term
     atom     ::= ident ( "(" term ("," term)* ")" )?
     term     ::= VARIABLE | ident
     v}
 
     Example — the paper's program pi_1, [T(x) <- E(y,x), not T(y)]:
-    {v t(X) :- e(Y, X), !t(Y). v} *)
+    {v t(X) :- e(Y, X), !t(Y). v}
+
+    A limit declaration [dist min 1.] makes [dist] a min-limit predicate on
+    its (0-based) column 1.  Syntax errors are reported with the line,
+    column and offending token. *)
 
 val parse_program : string -> (Ast.program, string) result
 

@@ -20,6 +20,10 @@ let pp_literal ppf = function
   | Ast.Neg a -> Format.fprintf ppf "!%a" pp_atom a
   | Ast.Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
   | Ast.Neq (t1, t2) -> Format.fprintf ppf "%a != %a" pp_term t1 pp_term t2
+  | Ast.Leq (t1, t2) -> Format.fprintf ppf "%a <= %a" pp_term t1 pp_term t2
+  | Ast.Geq (t1, t2) -> Format.fprintf ppf "%a >= %a" pp_term t1 pp_term t2
+  | Ast.Plus (t1, t2, t3) ->
+    Format.fprintf ppf "%a = %a + %a" pp_term t3 pp_term t1 pp_term t2
 
 let pp_rule ppf (r : Ast.rule) =
   match r.body with
@@ -31,10 +35,24 @@ let pp_rule ppf (r : Ast.rule) =
          pp_literal)
       body
 
+let pp_limit ppf (l : Ast.limit) =
+  (* The AST column is 0-based; the concrete syntax is 1-based. *)
+  Format.fprintf ppf "%s %s %d." l.limit_pred
+    (Ast.limit_kind_to_string l.kind)
+    (l.column + 1)
+
 let pp_program ppf (p : Ast.program) =
-  Format.fprintf ppf "@[<v>%a@]"
-    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
-    p.rules
+  match p.limits with
+  | [] ->
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+      p.rules
+  | limits ->
+    Format.fprintf ppf "@[<v>%a@,%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_limit)
+      limits
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+      p.rules
 
 let rule_to_string r = Format.asprintf "%a" pp_rule r
 

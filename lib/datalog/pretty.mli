@@ -15,6 +15,9 @@ val pp_literal : Format.formatter -> Ast.literal -> unit
 
 val pp_rule : Format.formatter -> Ast.rule -> unit
 
+val pp_limit : Format.formatter -> Ast.limit -> unit
+(** A limit declaration, e.g. [dist min 1.]. *)
+
 val pp_program : Format.formatter -> Ast.program -> unit
 
 val rule_to_string : Ast.rule -> string

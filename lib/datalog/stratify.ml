@@ -6,6 +6,7 @@ type stratification = {
 type result =
   | Stratified of stratification
   | Not_stratifiable of { offending : string * string }
+  | Not_limit_stratifiable of { pred : string; rule : Ast.rule }
 
 let stratify (p : Ast.program) =
   let dep = Depgraph.build p in
@@ -23,26 +24,39 @@ let stratify (p : Ast.program) =
       (fun (u, v) -> component.(index_of u) = component.(index_of v))
       (Depgraph.negative_edges dep)
   in
-  match bad with
-  | Some offending -> Not_stratifiable { offending }
-  | None ->
+  (* The limit-stratification side condition: a malign (non-monotone) use
+     of a limit predicate's bound inside the component computing that bound
+     defeats stratification just like negation would — the offending rule
+     is reported by name. *)
+  let bad_agg =
+    List.find_opt
+      (fun (u, v, _r) -> component.(index_of u) = component.(index_of v))
+      (Depgraph.aggregate_edges dep)
+  in
+  match (bad, bad_agg) with
+  | Some offending, _ -> Not_stratifiable { offending }
+  | None, Some (_, pred, rule) -> Not_limit_stratifiable { pred; rule }
+  | None, None ->
     let idb = Ast.idb_predicates p in
     let is_idb name = List.mem name idb in
     (* Component-level edges with polarity; stratum of a component is the
-       max over its out-edges of the target stratum (+1 when negative).
-       EDB-only components sit at stratum 0 and IDB components start at 0 as
-       well. *)
-    let neg_pairs =
+       max over its out-edges of the target stratum (+1 when negative or
+       aggregate-negative).  EDB-only components sit at stratum 0 and IDB
+       components start at 0 as well. *)
+    let strict_pairs =
       List.map
         (fun (u, v) -> (component.(index_of u), component.(index_of v)))
         (Depgraph.negative_edges dep)
+      @ List.map
+          (fun (u, v, _) -> (component.(index_of u), component.(index_of v)))
+          (Depgraph.aggregate_edges dep)
     in
     let comp_edges =
       List.filter_map
         (fun (u, v) ->
           let cu = component.(u) and cv = component.(v) in
           if cu = cv then None
-          else Some (cu, cv, List.mem (cu, cv) neg_pairs))
+          else Some (cu, cv, List.mem (cu, cv) strict_pairs))
         (Graphlib.Digraph.edges digraph)
     in
     let stratum = Array.make count 0 in
@@ -53,8 +67,8 @@ let stratify (p : Ast.program) =
     for c = 0 to count - 1 do
       let s =
         List.fold_left
-          (fun acc (cu, cv, negative) ->
-            if cu = c then max acc (stratum.(cv) + if negative then 1 else 0)
+          (fun acc (cu, cv, strict) ->
+            if cu = c then max acc (stratum.(cv) + if strict then 1 else 0)
             else acc)
           0 comp_edges
       in
@@ -80,10 +94,16 @@ let stratify (p : Ast.program) =
     in
     Stratified { strata; stratum_of }
 
+let limit_error_to_string ~pred ~(rule : Ast.rule) =
+  Printf.sprintf
+    "not limit-stratifiable: rule \"%s\" uses the bound of limit predicate \
+     %s non-monotonically inside the recursive component that computes it"
+    (Pretty.rule_to_string rule) pred
+
 let is_stratified p =
   match stratify p with
   | Stratified _ -> true
-  | Not_stratifiable _ -> false
+  | Not_stratifiable _ | Not_limit_stratifiable _ -> false
 
 let rules_of_stratum (p : Ast.program) strat s =
   List.filter

@@ -21,8 +21,17 @@ type result =
   | Not_stratifiable of { offending : string * string }
       (** A negative dependency inside a strongly connected component:
           [fst] negatively uses [snd] which (transitively) uses [fst]. *)
+  | Not_limit_stratifiable of { pred : string; rule : Ast.rule }
+      (** The limit-stratification side condition (Kaminski et al.) fails:
+          [rule] makes a non-monotone use of the bound of limit predicate
+          [pred] inside the recursive component that computes it — see
+          {!Depgraph.aggregate_edges}. *)
 
 val stratify : Ast.program -> result
+
+val limit_error_to_string : pred:string -> rule:Ast.rule -> string
+(** The canonical rendering of a {!Not_limit_stratifiable} failure, naming
+    the offending rule. *)
 
 val is_stratified : Ast.program -> bool
 

@@ -31,7 +31,7 @@ let dedup_rules (p : Ast.program) =
       (fun acc r -> if List.mem r acc then acc else r :: acc)
       [] p.Ast.rules
   in
-  Ast.program (List.rev rules)
+  Ast.program ~limits:p.Ast.limits (List.rev rules)
 
 let drop_underivable (p : Ast.program) =
   let idb0 = SSet.of_list (Ast.idb_predicates p) in
@@ -48,7 +48,9 @@ let drop_underivable (p : Ast.program) =
                 | Ast.Pos a ->
                   (not (SSet.mem a.Ast.pred idb0))
                   || SSet.mem a.Ast.pred derivable
-                | Ast.Neg _ | Ast.Eq _ | Ast.Neq _ -> true)
+                | Ast.Neg _ | Ast.Eq _ | Ast.Neq _ | Ast.Leq _ | Ast.Geq _
+                | Ast.Plus _ ->
+                  true)
               r.Ast.body
           in
           if ok then SSet.add r.Ast.head.Ast.pred acc else acc)
@@ -77,12 +79,14 @@ let drop_underivable (p : Ast.program) =
                 List.filter
                   (function
                     | Ast.Neg a -> not (underivable a.Ast.pred)
-                    | Ast.Pos _ | Ast.Eq _ | Ast.Neq _ -> true)
+                    | Ast.Pos _ | Ast.Eq _ | Ast.Neq _ | Ast.Leq _
+                    | Ast.Geq _ | Ast.Plus _ ->
+                      true)
                   r.Ast.body;
             })
       p.Ast.rules
   in
-  Ast.program rules
+  Ast.program ~limits:p.Ast.limits rules
 
 let one_pass ~aggressive p =
   let rules =
@@ -90,7 +94,7 @@ let one_pass ~aggressive p =
       (fun r -> Option.map dedup_literals (simplify_comparisons r))
       p.Ast.rules
   in
-  let p' = dedup_rules (Ast.program rules) in
+  let p' = dedup_rules (Ast.program ~limits:p.Ast.limits rules) in
   if aggressive then drop_underivable p' else p'
 
 let simplify ?(aggressive = false) p =
@@ -103,13 +107,10 @@ let simplify ?(aggressive = false) p =
 (* Connected components of the body's variable-sharing graph.  Two
    literals are connected when they share a variable; a component is
    "detached" when none of its variables occurs in the head. *)
-let literal_vars = function
-  | Ast.Pos a | Ast.Neg a ->
-    List.concat_map (function Ast.Var x -> [ x ] | Ast.Const _ -> []) a.Ast.args
-  | Ast.Eq (t1, t2) | Ast.Neq (t1, t2) ->
-    List.concat_map
-      (function Ast.Var x -> [ x ] | Ast.Const _ -> [])
-      [ t1; t2 ]
+let literal_vars l =
+  List.concat_map
+    (function Ast.Var x -> [ x ] | Ast.Const _ -> [])
+    (Ast.literal_terms l)
 
 let body_components (r : Ast.rule) =
   let lits = Array.of_list r.Ast.body in
@@ -186,7 +187,7 @@ let split_independent ?(prefix = "guard") (p : Ast.program) =
     end
   in
   let rules = List.map rewrite p.Ast.rules in
-  Ast.program (rules @ List.rev !guards)
+  Ast.program ~limits:p.Ast.limits (rules @ List.rev !guards)
 
 let count_literals (p : Ast.program) =
   List.fold_left (fun n (r : Ast.rule) -> n + List.length r.Ast.body) 0 p.Ast.rules

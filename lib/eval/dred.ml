@@ -228,7 +228,26 @@ let apply ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain
            "%s: the program must be stratifiable (%s depends negatively on \
             %s inside a recursive component)"
            who a b)
+    | Datalog.Stratify.Not_limit_stratifiable { pred; rule } ->
+      invalid_arg
+        (Printf.sprintf "%s: %s" who
+           (Datalog.Stratify.limit_error_to_string ~pred ~rule))
   in
+  (* Limit semantics in the maintenance loop: every plan compiled through
+     [eval_rule] below is limit-{e free} (the cache keys them apart from the
+     evaluator's tightened plans) — overdeletion re-derives the *old*
+     candidates, which by construction never strictly improve the current
+     bound, so a tightening plan would kill exactly the rows the phase
+     exists to find.  The dominant-tuple invariant is instead restored at
+     the set level: both semi-naive continuations seed through
+     {!Idb.tighten_union}, and deleted bounds are re-derived per group (see
+     the putback phase). *)
+  let limits =
+    List.map
+      (fun (l : Ast.limit) -> (l.Ast.limit_pred, (l.Ast.kind, l.Ast.column)))
+      p.Ast.limits
+  in
+  let limit_of pred = List.assoc_opt pred limits in
   let removals = uniq_facts removals in
   let removed = FactSet.of_list removals in
   (* An addition already present is a no-op — unless the same batch also
@@ -321,34 +340,77 @@ let apply ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain
                 let pred = rule.Ast.head.Ast.pred in
                 let drel = Idb.get deleted pred in
                 if Relation.is_empty drel then acc
-                else begin
-                  bump opts "dred putback applications";
-                  let resolver (occ : Engine.occurrence) =
-                    if occ.Engine.index = 0 then
-                      { Engine.find = (fun _ _ -> drel) }
-                    else if Schema.mem occ.Engine.pred schema_s then
-                      { Engine.find = (fun q _ -> Idb.get survivors q) }
-                    else new_base
-                  in
-                  add_heads acc pred
-                    (eval_rule opts ~variant:(Plan.Delta 0) ~universe:new_u
-                       ~resolver (putback_rule rule))
-                end)
+                else
+                  match limit_of pred with
+                  | Some (_, col)
+                    when col < Relation.arity drel
+                         && col < List.length rule.Ast.head.Ast.args ->
+                    (* A deleted {e bound} need not come back verbatim: the
+                       group's new bound is whatever the surviving supports
+                       still derive (possibly a worse value, possibly
+                       nothing).  Restrict the rule to the overdeleted
+                       groups and derive candidates from the survivors; the
+                       tighten-union below keeps the best one per group. *)
+                    bump opts "dred putback applications";
+                    let arity = Relation.arity drel in
+                    let gcols =
+                      List.filter (fun j -> j <> col) (List.init arity Fun.id)
+                    in
+                    let groups = Relation.project gcols drel in
+                    let group_args =
+                      List.filteri
+                        (fun j _ -> j <> col)
+                        rule.Ast.head.Ast.args
+                    in
+                    let aux =
+                      {
+                        rule with
+                        Ast.body =
+                          Ast.Pos (Ast.atom (pred ^ "#groups") group_args)
+                          :: rule.Ast.body;
+                      }
+                    in
+                    let resolver (occ : Engine.occurrence) =
+                      if occ.Engine.index = 0 then
+                        { Engine.find = (fun _ _ -> groups) }
+                      else if Schema.mem occ.Engine.pred schema_s then
+                        { Engine.find = (fun q _ -> Idb.get survivors q) }
+                      else new_base
+                    in
+                    add_heads acc pred
+                      (eval_rule opts ~variant:(Plan.Delta 0) ~universe:new_u
+                         ~resolver aux)
+                  | _ ->
+                    bump opts "dred putback applications";
+                    let resolver (occ : Engine.occurrence) =
+                      if occ.Engine.index = 0 then
+                        { Engine.find = (fun _ _ -> drel) }
+                      else if Schema.mem occ.Engine.pred schema_s then
+                        { Engine.find = (fun q _ -> Idb.get survivors q) }
+                      else new_base
+                    in
+                    add_heads acc pred
+                      (eval_rule opts ~variant:(Plan.Delta 0) ~universe:new_u
+                         ~resolver (putback_rule rule)))
               (Idb.empty schema_s) rules
           in
           if Idb.is_empty putback then (survivors, 0)
           else
-            let trace =
-              Saturate.run_delta ?engine ?planner:opts.planner
-                ~cache:opts.cache ~indexing:opts.indexing
-                ?storage:opts.storage ?stats:opts.stats ?pool ?grain ~rules
-                ~schema:schema_s ~universe:new_u ~base:new_base
-                ~neg:`Current
-                ~init:(Idb.union survivors putback) ~delta:putback ()
-            in
-            ( trace.Saturate.result,
-              Idb.total_cardinal trace.Saturate.result
-              - Idb.total_cardinal survivors )
+            let init, fresh = Idb.tighten_union ~limits survivors putback in
+            if Idb.is_empty fresh then
+              ( init,
+                Idb.total_cardinal init - Idb.total_cardinal survivors )
+            else
+              let trace =
+                Saturate.run_delta ?engine ?planner:opts.planner
+                  ~cache:opts.cache ~limits ~indexing:opts.indexing
+                  ?storage:opts.storage ?stats:opts.stats ?pool ?grain ~rules
+                  ~schema:schema_s ~universe:new_u ~base:new_base
+                  ~neg:`Current ~init ~delta:fresh ()
+              in
+              ( trace.Saturate.result,
+                Idb.total_cardinal trace.Saturate.result
+                - Idb.total_cardinal survivors )
         end
       in
       (* Phase 3 — insertion, in the new state: trigger on added lower
@@ -380,16 +442,16 @@ let apply ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain
               end)
             seed rules
       in
-      let fresh = Idb.diff seed after_del in
+      let init3, fresh = Idb.tighten_union ~limits after_del seed in
       let new_s, grow_s =
         if Idb.is_empty fresh then (after_del, 0)
         else
           let trace =
             Saturate.run_delta ?engine ?planner:opts.planner ~cache:opts.cache
-              ~indexing:opts.indexing ?storage:opts.storage ?stats:opts.stats
-              ?pool ?grain ~rules ~schema:schema_s ~universe:new_u
-              ~base:new_base ~neg:`Current
-              ~init:(Idb.union after_del fresh) ~delta:fresh ()
+              ~limits ~indexing:opts.indexing ?storage:opts.storage
+              ?stats:opts.stats ?pool ?grain ~rules ~schema:schema_s
+              ~universe:new_u ~base:new_base ~neg:`Current ~init:init3
+              ~delta:fresh ()
           in
           ( trace.Saturate.result,
             Idb.total_cardinal trace.Saturate.result

@@ -51,19 +51,19 @@ let default_grain () = Atomic.get default_grain_cell
 let resolver_sizes (resolver : resolver) occ arity =
   Relation.cardinal ((resolver occ).find occ.pred arity)
 
-let plan_rule ?planner ?cache ?variant ?label ?stats ~universe_size ~resolver
-    rule =
+let plan_rule ?planner ?cache ?variant ?label ?(limits = []) ?stats
+    ~universe_size ~resolver rule =
   let counters = Option.map (fun (s : Stats.t) -> s.Stats.plan) stats in
   let sizes occ arity = resolver_sizes resolver occ arity in
   match cache with
   | Some cache ->
-    Plan_cache.find ?counters ?planner ?variant ?label cache ~sizes
+    Plan_cache.find ?counters ?planner ?variant ?label ~limits cache ~sizes
       ~universe_size rule
   | None ->
     (match counters with
     | Some c -> c.Plan.plan_compiles <- c.Plan.plan_compiles + 1
     | None -> ());
-    Plan.compile ?planner ?variant ?label ~sizes ~universe_size rule
+    Plan.compile ?planner ?variant ?label ~limits ~sizes ~universe_size rule
 
 let run_plan ?(indexing = `Cached) ?storage ?stats ~universe ~resolver plan =
   let counters = Option.map (fun (s : Stats.t) -> s.Stats.plan) stats in

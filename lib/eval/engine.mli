@@ -71,6 +71,7 @@ val plan_rule :
   ?cache:Planlib.Cache.t ->
   ?variant:Planlib.Plan.variant ->
   ?label:string ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   ?stats:Stats.t ->
   universe_size:int ->
   resolver:resolver ->
@@ -79,7 +80,9 @@ val plan_rule :
 (** The rule's plan, fetched from [cache] when given (compiled otherwise),
     with cardinalities for the cost model read through [resolver].  Fetch
     plans {e before} fanning applications across domains — the cache is not
-    synchronised (see {!Saturate}). *)
+    synchronised (see {!Saturate}).  [limits] (the program's limit
+    declarations) makes plans for limit-head rules close with the
+    aggregation steps — see {!Planlib.Plan.compile}. *)
 
 val run_plan :
   ?indexing:indexing ->

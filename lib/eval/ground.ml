@@ -80,7 +80,8 @@ let ground ?(keep = []) ?planner ?cache (p : Datalog.Ast.program) db =
     List.iter
       (fun (l : Datalog.Ast.literal) ->
         match l with
-        | Datalog.Ast.Eq _ | Datalog.Ast.Neq _ ->
+        | Datalog.Ast.Eq _ | Datalog.Ast.Neq _ | Datalog.Ast.Leq _
+        | Datalog.Ast.Geq _ | Datalog.Ast.Plus _ ->
           decidable := l :: !decidable
         | Datalog.Ast.Pos a when idb_pred a.pred ->
           sym_pos := (a.pred, atom_spec a) :: !sym_pos

@@ -59,6 +59,33 @@ let merge_with op t1 t2 =
 
 let union = merge_with Relation.union
 
+(* Limit-aware union: candidate tuples for a declared limit relation only
+   land when they strictly improve their group's bound (replacing it), and
+   the returned delta holds exactly the newly-dominant tuples — the
+   changed-group delta that keeps semi-naive semi-naive.  Non-limit
+   relations degrade to plain diff-then-union, so a program without limit
+   declarations computes exactly what [diff]/[union] did. *)
+let tighten_union ~limits current candidates =
+  let rel_kind = function Datalog.Ast.Min -> `Min | Datalog.Ast.Max -> `Max in
+  SMap.fold
+    (fun name cand (next, delta) ->
+      let cur =
+        match SMap.find_opt name next.relations with
+        | Some r -> r
+        | None -> Relation.empty (Relation.arity cand)
+      in
+      match List.assoc_opt name limits with
+      | Some (kind, col) ->
+        let result, changed =
+          Relation.tighten ~kind:(rel_kind kind) ~col cur cand
+        in
+        (set next name result, set delta name changed)
+      | None ->
+        let fresh = Relation.diff cand cur in
+        (set next name (Relation.union cur fresh), set delta name fresh))
+    candidates.relations
+    (current, empty current.schema)
+
 let diff t1 t2 =
   let relations =
     SMap.mapi

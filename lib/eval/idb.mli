@@ -35,6 +35,18 @@ val bindings : t -> (string * Relalg.Relation.t) list
 val union : t -> t -> t
 (** Pointwise union (schemas must agree on shared predicates). *)
 
+val tighten_union :
+  limits:(string * (Datalog.Ast.limit_kind * int)) list -> t -> t -> t * t
+(** [tighten_union ~limits current candidates] is the limit-aware
+    counterpart of [diff]-then-[union]: for a relation declared
+    [(kind, column)] in [limits], a candidate tuple lands only when it
+    strictly improves its group's bound, replacing the dominated tuple
+    ({!Relalg.Relation.tighten}); any other relation takes all fresh
+    tuples.  Returns [(next, delta)], where [delta] holds exactly the
+    newly-dominant (or fresh) tuples — the changed-group delta that seeds
+    the next semi-naive stage.  With no limits it computes exactly
+    [union current (diff candidates current)]. *)
+
 val diff : t -> t -> t
 (** Pointwise difference. *)
 

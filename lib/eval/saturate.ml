@@ -58,14 +58,14 @@ type task = {
   resolver : Engine.resolver;
 }
 
-let rule_tasks ~planner ~cache ~stats ~universe spec =
+let rule_tasks ~planner ~cache ~limits ~stats ~universe spec =
   let universe_size = List.length universe in
   List.map
     (fun ((rule : Datalog.Ast.rule), variant, resolver) ->
       let shard = Option.map (fun _ -> Stats.create ()) stats in
       let plan =
-        Engine.plan_rule ?planner ~cache ~variant ?stats:shard ~universe_size
-          ~resolver rule
+        Engine.plan_rule ?planner ~cache ~variant ~limits ?stats:shard
+          ~universe_size ~resolver rule
       in
       { shard; head = rule.head.pred; plan; resolver })
     spec
@@ -125,18 +125,19 @@ let run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
       Idb.set acc t.head (Relation.union old derived))
     (Idb.empty schema) tasks results
 
-let full_application ~parallel ~pool ~grain ~planner ~cache ~indexing
-    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current =
+let full_application ~parallel ~pool ~grain ~planner ~cache ~limits
+    ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current =
   let resolver =
     make_resolver ~schema ~base ~neg ~current ~delta_occ:None ~delta:current
   in
   run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
     ~universe
-    (rule_tasks ~planner ~cache ~stats ~universe
+    (rule_tasks ~planner ~cache ~limits ~stats ~universe
        (List.map (fun r -> (r, Plan.Full, resolver)) rules))
 
-let delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
-    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta =
+let delta_application ~parallel ~pool ~grain ~planner ~cache ~limits
+    ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current
+    ~delta =
   let spec =
     List.concat_map
       (fun rule ->
@@ -151,29 +152,34 @@ let delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
   in
   run_tasks ~parallel ~pool ~grain ~indexing ~storage ~stats ~schema
     ~universe
-    (rule_tasks ~planner ~cache ~stats ~universe spec)
+    (rule_tasks ~planner ~cache ~limits ~stats ~universe spec)
 
 (* The semi-naive delta chase shared by [run] (after its full stage 1) and
    [run_delta] (seeded directly): iterate delta applications until no fresh
    tuple appears.  [init] must already contain [delta]. *)
-let seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing ~storage
-    ~stats ~rules ~schema ~universe ~base ~neg ~bump_iteration ~init ~delta =
+let seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~limits ~indexing
+    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~bump_iteration ~init
+    ~delta =
   let rec loop current delta rev_deltas =
     bump_iteration ();
     let derived =
-      delta_application ~parallel ~pool ~grain ~planner ~cache ~indexing
-        ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current ~delta
+      delta_application ~parallel ~pool ~grain ~planner ~cache ~limits
+        ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg
+        ~current ~delta
     in
-    let fresh = Idb.diff derived current in
+    (* The limit-aware union: candidates for a declared limit relation
+       land only when they improve their group's bound, and [fresh] is the
+       changed-group delta.  Without limits this is diff-then-union. *)
+    let next, fresh = Idb.tighten_union ~limits current derived in
     if Idb.is_empty fresh then
       { result = current; deltas = List.rev rev_deltas }
-    else loop (Idb.union current fresh) fresh (fresh :: rev_deltas)
+    else loop next fresh (fresh :: rev_deltas)
   in
   loop init delta []
 
 let apply_once ?(parallel = false) ?pool ?grain ?planner ?cache
-    ?(indexing = `Cached) ?storage ?stats ~rules ~schema ~universe ~base ~neg
-    ~current () =
+    ?(limits = []) ?(indexing = `Cached) ?storage ?stats ~rules ~schema
+    ~universe ~base ~neg ~current () =
   let pool =
     match pool with Some p -> p | None -> Negdl_util.Domain_pool.default ()
   in
@@ -183,11 +189,12 @@ let apply_once ?(parallel = false) ?pool ?grain ?planner ?cache
   let cache =
     match cache with Some c -> c | None -> Planlib.Cache.create ()
   in
-  full_application ~parallel ~pool ~grain ~planner ~cache ~indexing ~storage
-    ~stats ~rules ~schema ~universe ~base ~neg ~current
+  full_application ~parallel ~pool ~grain ~planner ~cache ~limits ~indexing
+    ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current
 
-let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
-    ?stats ?pool ?grain ?label ~rules ~schema ~universe ~base ~neg ~init () =
+let run ?(engine = `Seminaive) ?planner ?cache ?(limits = [])
+    ?(indexing = `Cached) ?storage ?stats ?pool ?grain ?label ~rules ~schema
+    ~universe ~base ~neg ~init () =
   (match label with
   | Some l -> Stats.timed stats l
   | None -> fun f -> f ())
@@ -214,13 +221,13 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
       bump_iteration ();
       let derived =
         full_application ~parallel:false ~pool ~grain ~planner ~cache
-          ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg
-          ~current
+          ~limits ~indexing ~storage ~stats ~rules ~schema ~universe ~base
+          ~neg ~current
       in
-      let delta = Idb.diff derived current in
+      let next, delta = Idb.tighten_union ~limits current derived in
       if Idb.is_empty delta then
         { result = current; deltas = List.rev rev_deltas }
-      else loop (Idb.union current delta) (delta :: rev_deltas)
+      else loop next (delta :: rev_deltas)
     in
     loop init []
   | (`Seminaive | `Parallel) as e ->
@@ -233,23 +240,23 @@ let run ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached) ?storage
     let parallel = e = `Parallel in
     bump_iteration ();
     let derived =
-      full_application ~parallel ~pool ~grain ~planner ~cache ~indexing
-        ~storage ~stats ~rules ~schema ~universe ~base ~neg ~current:init
+      full_application ~parallel ~pool ~grain ~planner ~cache ~limits
+        ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg
+        ~current:init
     in
-    let delta1 = Idb.diff derived init in
+    let init1, delta1 = Idb.tighten_union ~limits init derived in
     if Idb.is_empty delta1 then { result = init; deltas = [] }
     else
       let t =
-        seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing
-          ~storage ~stats ~rules ~schema ~universe ~base ~neg
-          ~bump_iteration
-          ~init:(Idb.union init delta1) ~delta:delta1
+        seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~limits
+          ~indexing ~storage ~stats ~rules ~schema ~universe ~base ~neg
+          ~bump_iteration ~init:init1 ~delta:delta1
       in
       { t with deltas = delta1 :: t.deltas }
 
-let run_delta ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached)
-    ?storage ?stats ?pool ?grain ?label ~rules ~schema ~universe ~base ~neg
-    ~init ~delta () =
+let run_delta ?(engine = `Seminaive) ?planner ?cache ?(limits = [])
+    ?(indexing = `Cached) ?storage ?stats ?pool ?grain ?label ~rules ~schema
+    ~universe ~base ~neg ~init ~delta () =
   (match label with
   | Some l -> Stats.timed stats l
   | None -> fun f -> f ())
@@ -274,7 +281,7 @@ let run_delta ?(engine = `Seminaive) ?planner ?cache ?(indexing = `Cached)
        delta-specialized form, so it rides the semi-naive chase too — the
        computed limit is the same. *)
     let parallel = engine = `Parallel in
-    seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~indexing
+    seminaive_chase ~parallel ~pool ~grain ~planner ~cache ~limits ~indexing
       ~storage ~stats ~rules ~schema ~universe ~base ~neg ~bump_iteration
       ~init ~delta
   end

@@ -53,6 +53,7 @@ val run :
   ?engine:engine ->
   ?planner:Engine.planner ->
   ?cache:Planlib.Cache.t ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -83,7 +84,11 @@ val run :
     given, accumulates iteration/rule/index counters; if [label] is also
     given, the run's wall time is recorded as a stage under that name (the
     stratified evaluator labels each stratum, the inflationary evaluator
-    the whole saturation). *)
+    the whole saturation).  [limits] — the program's limit declarations —
+    switches every stage's union to {!Idb.tighten_union}: candidates for a
+    declared limit relation land only when they strictly improve their
+    group's bound, the stage delta is the changed-group delta, and plans
+    for limit-head rules close with the aggregation steps. *)
 
 val apply_once :
   ?parallel:bool ->
@@ -91,6 +96,7 @@ val apply_once :
   ?grain:Engine.grain ->
   ?planner:Engine.planner ->
   ?cache:Planlib.Cache.t ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->
@@ -112,6 +118,7 @@ val run_delta :
   ?engine:engine ->
   ?planner:Engine.planner ->
   ?cache:Planlib.Cache.t ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   ?indexing:Engine.indexing ->
   ?storage:Relalg.Relation.storage ->
   ?stats:Stats.t ->

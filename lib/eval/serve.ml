@@ -155,6 +155,8 @@ let create_restored ?engine ?planner ?indexing ?storage ?pool ?grain ?stats
     Error
       (Printf.sprintf "program not stratifiable: %s depends negatively on %s"
          p q)
+  | Datalog.Stratify.Not_limit_stratifiable { pred; rule } ->
+    Error (Datalog.Stratify.limit_error_to_string ~pred ~rule)
   | Datalog.Stratify.Stratified _ -> (
     match model_of_image ?storage program image with
     | Error e -> Error e
@@ -476,3 +478,65 @@ let handle_line t line =
              snapshot, restore, quit, shutdown)"
             cmd;
         ]
+
+(* --- write batching ------------------------------------------------------ *)
+
+(* Classify a line as a write command with parsed facts, without applying
+   it.  Anything else — including a write line whose facts fail to parse —
+   goes through [handle_line] one at a time. *)
+let classify_write line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '%' then None
+  else
+    let cmd, rest = split_command line in
+    match cmd with
+    | "insert" | "delete" -> (
+      match parse_facts rest with
+      | Ok facts -> Some (cmd, facts)
+      | Error _ -> None)
+    | _ -> None
+
+let write_reply ~cmd (r : update_report) =
+  if cmd = "insert" then
+    Printf.sprintf "ok inserted=%d overdeleted=%d derived=%d" r.inserted
+      r.overdeleted r.rederived
+  else
+    Printf.sprintf "ok deleted=%d overdeleted=%d rederived=%d" r.deleted
+      r.overdeleted r.rederived
+
+let handle_batch t lines =
+  (* A maximal run of consecutive same-command write lines coalesces into
+     one DRed update: one overdeletion/rederivation pass for the whole run
+     instead of one per line.  The run's first line answers with the
+     combined report (the exact format [handle_line] gives a single line —
+     a run of one is byte-identical), the remaining lines acknowledge
+     their fate; any other line flushes the run and is handled alone. *)
+  let flush run acc =
+    match run with
+    | None -> acc
+    | Some (cmd, rev_fact_lists) ->
+      let k = List.length rev_fact_lists in
+      let facts = List.concat (List.rev rev_fact_lists) in
+      let first, later =
+        match if cmd = "insert" then insert t facts else delete t facts with
+        | Ok r -> (Reply [ write_reply ~cmd r ], Reply [ "ok coalesced" ])
+        | Error e -> (Reply [ "error: " ^ e ], Reply [ "error: coalesced" ])
+      in
+      let rec push n acc = if n = 0 then acc else push (n - 1) (later :: acc) in
+      push (k - 1) (first :: acc)
+  in
+  let rec go run acc = function
+    | [] -> List.rev (flush run acc)
+    | line :: rest -> (
+      match classify_write line with
+      | Some (cmd, facts) -> (
+        match run with
+        | Some (c, fls) when c = cmd -> go (Some (c, facts :: fls)) acc rest
+        | _ -> go (Some (cmd, [ facts ])) (flush run acc) rest)
+      | None -> (
+        let acc = flush run acc in
+        match handle_line t line with
+        | Reply _ as r -> go None (r :: acc) rest
+        | (Quit | Shutdown) as r -> List.rev (r :: acc)))
+  in
+  go None [] lines

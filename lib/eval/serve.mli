@@ -140,6 +140,17 @@ val handle_line : t -> string -> response
     [Reply []]; unknown commands and failed updates yield
     [Reply ["error: ..."]] (the session continues). *)
 
+val handle_batch : t -> string list -> response list
+(** A block of protocol lines, with write coalescing: a maximal run of
+    consecutive [insert] (resp. [delete]) lines whose facts all parse is
+    applied as {e one} DRed update — one overdeletion/rederivation pass
+    for the whole run.  The run's first line answers with the combined
+    report in {!handle_line}'s format, the later lines answer
+    ["ok coalesced"] (["error: coalesced"] when the merged update fails);
+    every other line behaves exactly as under {!handle_line}, and a run
+    of one is byte-identical to it.  Processing stops at the first [quit]
+    or [shutdown], whose response is the last element. *)
+
 val stats_lines : t -> string list
 (** The [stats] command's report: fact counts, cumulative update/query
     counters, plan-cache behaviour and the delta-scoped work counters. *)

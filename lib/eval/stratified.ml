@@ -1,6 +1,8 @@
 module Schema = Relalg.Schema
 
-type error = Not_stratifiable of { offending : string * string }
+type error =
+  | Not_stratifiable of { offending : string * string }
+  | Not_limit_stratifiable of { pred : string; rule : Datalog.Ast.rule }
 
 let error_to_string = function
   | Not_stratifiable { offending = p, q } ->
@@ -8,6 +10,8 @@ let error_to_string = function
       "not stratifiable: %s depends negatively on %s inside a recursive \
        component"
       p q
+  | Not_limit_stratifiable { pred; rule } ->
+    Datalog.Stratify.limit_error_to_string ~pred ~rule
 
 let idb_schema_exn p =
   match Datalog.Ast.idb_schema p with
@@ -19,6 +23,8 @@ let eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
   match Datalog.Stratify.stratify p with
   | Datalog.Stratify.Not_stratifiable { offending } ->
     Error (Not_stratifiable { offending })
+  | Datalog.Stratify.Not_limit_stratifiable { pred; rule } ->
+    Error (Not_limit_stratifiable { pred; rule })
   | Datalog.Stratify.Stratified strat ->
     let full_schema = idb_schema_exn p in
     (* One structurally-keyed cache across all strata: plans for a rule are
@@ -27,6 +33,11 @@ let eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
       match cache with Some c -> c | None -> Planlib.Cache.create ()
     in
     let universe = Relalg.Database.universe db in
+    let limits =
+      List.map
+        (fun (l : Datalog.Ast.limit) -> (l.limit_pred, (l.kind, l.column)))
+        p.Datalog.Ast.limits
+    in
     let stratum_count = List.length strat.strata in
     let rec layer s accumulated =
       if s = stratum_count then accumulated
@@ -42,9 +53,10 @@ let eval ?engine ?planner ?cache ?indexing ?storage ?stats ?pool ?grain p db
         (* Lower strata are frozen into the base source. *)
         let base = Engine.layered db accumulated in
         let trace =
-          Saturate.run ?engine ?planner ~cache ?indexing ?storage ?stats
-            ?pool ?grain ~label:(Printf.sprintf "stratum %d" s) ~rules
-            ~schema ~universe ~base ~neg:`Current ~init:(Idb.empty schema) ()
+          Saturate.run ?engine ?planner ~cache ~limits ?indexing ?storage
+            ?stats ?pool ?grain ~label:(Printf.sprintf "stratum %d" s)
+            ~rules ~schema ~universe ~base ~neg:`Current
+            ~init:(Idb.empty schema) ()
         in
         let accumulated =
           List.fold_left

@@ -6,7 +6,11 @@
     6-rule distance program to show that, where both are defined, stratified
     and inflationary semantics genuinely differ. *)
 
-type error = Not_stratifiable of { offending : string * string }
+type error =
+  | Not_stratifiable of { offending : string * string }
+  | Not_limit_stratifiable of { pred : string; rule : Datalog.Ast.rule }
+      (** The limit-stratification side condition fails; see
+          {!Datalog.Stratify.result}. *)
 
 val error_to_string : error -> string
 

@@ -3,15 +3,22 @@ module Ast = Datalog.Ast
 type key = {
   krule : Ast.rule;
   kvariant : Plan.variant;
+  klimit : (Ast.limit_kind * int) option;
+      (* The head limit the plan was compiled under, when any: the same
+         (rule, variant) is compiled both with tightening steps (normal
+         evaluation) and without (DRed overdeletion derives the {e old}
+         candidates, which never improve the current bound), and the two
+         must not collide. *)
 }
 
 module H = Hashtbl.Make (struct
   type t = key
 
   let equal a b =
-    a.kvariant = b.kvariant && Ast.compare_rule a.krule b.krule = 0
+    a.kvariant = b.kvariant && a.klimit = b.klimit
+    && Ast.compare_rule a.krule b.krule = 0
 
-  let hash k = Hashtbl.hash (k.krule, k.kvariant)
+  let hash k = Hashtbl.hash (k.krule, k.kvariant, k.klimit)
 end)
 
 type t = {
@@ -60,14 +67,15 @@ let bump_replan = function
   | Some (c : Plan.counters) -> c.plan_replans <- c.plan_replans + 1
   | None -> ()
 
-let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
-    ~universe_size rule =
+let find ?counters ?planner ?(variant = Plan.Full) ?label ?(limits = [])
+    cache ~sizes ~universe_size rule =
   let planner =
     match planner with Some p -> p | None -> Plan.default_planner ()
   in
+  let klimit = List.assoc_opt rule.Ast.head.pred limits in
   let compile () =
     bump_compile counters;
-    Plan.compile ~planner ~variant ?label ~sizes ~universe_size rule
+    Plan.compile ~planner ~variant ?label ~limits ~sizes ~universe_size rule
   in
   match planner with
   | `Greedy ->
@@ -75,7 +83,7 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
        the cache. *)
     compile ()
   | `Static | `Scan -> (
-    let key = { krule = rule; kvariant = variant } in
+    let key = { krule = rule; kvariant = variant; klimit } in
     match H.find_opt cache.table key with
     | Some plan
       when plan.Plan.planner = planner
@@ -87,7 +95,7 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
       H.replace cache.table key plan;
       plan)
   | `Adaptive -> (
-    let key = { krule = rule; kvariant = variant } in
+    let key = { krule = rule; kvariant = variant; klimit } in
     let replace plan =
       H.replace cache.table key plan;
       plan
@@ -104,7 +112,7 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
           (occ, eff) :: List.remove_assoc occ plan.Plan.overrides
         in
         replace
-          (Plan.compile ~planner ~variant ?label ~overrides
+          (Plan.compile ~planner ~variant ?label ~overrides ~limits
              ~generation:(plan.Plan.generation + 1)
              ~sizes ~universe_size rule)
       | Some _ ->
@@ -129,13 +137,13 @@ let find ?counters ?planner ?(variant = Plan.Full) ?label cache ~sizes
          learned effective cardinalities already applied; it is consumed
          whether or not it helps, so a stale import costs one replan at
          most. *)
-      match H.find_opt cache.pending key with
+      match H.find_opt cache.pending { key with klimit = None } with
       | Some overrides ->
-        H.remove cache.pending key;
+        H.remove cache.pending { key with klimit = None };
         bump_compile counters;
         replace
-          (Plan.compile ~planner ~variant ?label ~overrides ~generation:1
-             ~sizes ~universe_size rule)
+          (Plan.compile ~planner ~variant ?label ~overrides ~limits
+             ~generation:1 ~sizes ~universe_size rule)
       | None -> replace (compile ())))
 
 let cardinal cache = H.length cache.table
@@ -152,7 +160,12 @@ let seed_overrides cache seeds =
   List.iter
     (fun (rule, variant, overrides) ->
       if overrides <> [] then
-        H.replace cache.pending { krule = rule; kvariant = variant } overrides)
+        H.replace cache.pending
+          (* Pending imports are keyed limit-blind: the snapshot format
+             predates limits and overrides only concern join occurrences,
+             which the tightening steps never are. *)
+          { krule = rule; kvariant = variant; klimit = None }
+          overrides)
     seeds
 
 let plans cache = H.fold (fun _ plan acc -> plan :: acc) cache.table []

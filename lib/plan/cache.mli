@@ -44,13 +44,17 @@ val find :
   ?planner:Plan.planner ->
   ?variant:Plan.variant ->
   ?label:string ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   t ->
   sizes:(Plan.occurrence -> int -> int) ->
   universe_size:int ->
   Datalog.Ast.rule ->
   Plan.t
 (** The cached plan, recompiled (and re-cached) as the policy above
-    dictates.  [counters], when given, accumulates compiles and hits. *)
+    dictates.  [counters], when given, accumulates compiles and hits.
+    [limits] is forwarded to {!Plan.compile}; the head predicate's limit
+    (when any) is part of the cache key, so plans with and without
+    tightening steps for the same rule coexist. *)
 
 val cardinal : t -> int
 (** Distinct (rule, variant) entries currently resident — what a

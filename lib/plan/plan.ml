@@ -87,6 +87,39 @@ type op =
   | Compare of { negated : bool; left : term; right : term }
   | Assign of { slot : int; value : term }
   | Enumerate of { slot : int }
+  | Le_check of { left : term; right : term }
+      (* Value order ({!Symbol.compare_value}): passes iff left <= right.
+         [>=] compiles to this op with the operands swapped. *)
+  | Plus_bind of { a : term; b : term; slot : int }
+      (* slot := a + b when both operands read as integers; a non-numeric
+         operand fails the row (additions range over the numeric sort). *)
+  | Plus_check of { a : term; b : term; result : term }
+  | Aggregate_probe of {
+      access : access;
+      kind : Ast.limit_kind;
+      col : int;
+      group : term array;
+      bound : term;
+    }
+      (* Reads the head relation's current bound for the candidate row's
+         group (O(1) through the memoized column index) and kills the row
+         unless the candidate strictly improves it.  [access.occ] is the
+         distinguished occurrence [-1]: every resolver maps it to the
+         current valuation, never a delta. *)
+  | Tighten_emit of {
+      pred : string;
+      kind : Ast.limit_kind;
+      col : int;
+      group : term array;
+      bound : term;
+    }
+      (* Per-application dominance filter: keeps only rows that improve on
+         the best candidate this execution context has already emitted for
+         the group, so one application emits at most one surviving
+         candidate per group per improvement chain.  Cross-context (and
+         cross-rule) candidates are resolved by the tighten-union at the
+         fixpoint layer, which is what makes sharded emission order
+         irrelevant to the result. *)
 
 type step = {
   op : op;
@@ -168,6 +201,8 @@ type blit =
       args : term array;
     }
   | BCmp of { negated : bool; left : term; right : term }
+  | BLe of { left : term; right : term }
+  | BPlus of { a : term; b : term; res : term }
 
 let dummy = Symbol.unsafe_of_id 0
 
@@ -180,7 +215,7 @@ let dummy = Symbol.unsafe_of_id 0
 let probe_cutoff = 256
 
 let compile ?planner ?(variant = Full) ?label ?(overrides = [])
-    ?(generation = 0) ~sizes ~universe_size (r : Ast.rule) =
+    ?(generation = 0) ?(limits = []) ~sizes ~universe_size (r : Ast.rule) =
   let planner =
     match planner with Some p -> p | None -> default_planner ()
   in
@@ -233,7 +268,11 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
         | Ast.Eq (t1, t2) ->
           BCmp { negated = false; left = term_of t1; right = term_of t2 }
         | Ast.Neq (t1, t2) ->
-          BCmp { negated = true; left = term_of t1; right = term_of t2 })
+          BCmp { negated = true; left = term_of t1; right = term_of t2 }
+        | Ast.Leq (t1, t2) -> BLe { left = term_of t1; right = term_of t2 }
+        | Ast.Geq (t1, t2) -> BLe { left = term_of t2; right = term_of t1 }
+        | Ast.Plus (t1, t2, t3) ->
+          BPlus { a = term_of t1; b = term_of t2; res = term_of t3 })
       r.body
   in
   (* The delta variant is the same rule with one positive occurrence
@@ -305,6 +344,21 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
     mark_bound s;
     rows := !rows *. u;
     push (Enumerate { slot = s }) !rows
+  in
+  (* Order checks halve the stream on average; an addition either binds
+     its result (no filtering) or checks one value in [u]. *)
+  let emit_le left right =
+    rows := !rows *. 0.5;
+    push (Le_check { left; right }) !rows
+  in
+  let emit_plus a b res =
+    match res with
+    | Slot s when not bound.(s) ->
+      mark_bound s;
+      push (Plus_bind { a; b; slot = s }) !rows
+    | _ ->
+      rows := !rows *. (1.0 /. u);
+      push (Plus_check { a; b; result = res }) !rows
   in
   (* Existence pattern: constants and bound slots check, dead slots bind on
      first occurrence (repeats check) but are {e not} marked bound — the
@@ -419,9 +473,13 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
           Array.exists
             (function Slot s' -> s' = s | Const _ -> false)
             args
-        | BCmp { left; right; _ } ->
+        | BCmp { left; right; _ } | BLe { left; right } ->
           (match left with Slot s' -> s' = s | Const _ -> false)
-          || (match right with Slot s' -> s' = s | Const _ -> false))
+          || (match right with Slot s' -> s' = s | Const _ -> false)
+        | BPlus { a; b; res } ->
+          List.exists
+            (function Slot s' -> s' = s | Const _ -> false)
+            [ a; b; res ])
       !pending
   in
   (* An atom is an existence check when every argument is a constant, a
@@ -439,13 +497,18 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
                bound.(s)
                || ((not head_slot.(s)) && not (occurs_elsewhere l s)))
            args
-    | BCmp _ -> false
+    | BCmp _ | BLe _ | BPlus _ -> false
   in
   let rec settle () =
     let decided =
       List.find_opt
         (function
-          | BCmp { left; right; _ } -> is_bound left && is_bound right
+          | BCmp { left; right; _ } | BLe { left; right } ->
+            is_bound left && is_bound right
+          | BPlus { a; b; _ } ->
+            (* Decided as soon as the operands are bound: the result either
+               checks (bound) or binds (fresh) — both are constant work. *)
+            is_bound a && is_bound b
           | BAtom { args; _ } -> all_bound args)
         !pending
     in
@@ -453,6 +516,14 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
     | Some (BCmp { negated; left; right } as l) ->
       remove l;
       emit_compare negated left right;
+      settle ()
+    | Some (BLe { left; right } as l) ->
+      remove l;
+      emit_le left right;
+      settle ()
+    | Some (BPlus { a; b; res } as l) ->
+      remove l;
+      emit_plus a b res;
       settle ()
     | Some (BAtom { polarity; occ; pred; args } as l) ->
       remove l;
@@ -483,7 +554,7 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
           remove l;
           emit_exists polarity occ pred args;
           settle ()
-        | Some (BCmp _) -> assert false
+        | Some (BCmp _ | BLe _ | BPlus _) -> assert false
         | None -> ()))
   in
   let bound_var_names () =
@@ -532,9 +603,15 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
     List.iter
       (function
         | BAtom { args; _ } -> Array.iter see args
-        | BCmp { left; right; _ } ->
+        | BCmp { left; right; _ } | BLe { left; right } ->
           see left;
-          see right)
+          see right
+        | BPlus { a; b; res } ->
+          (* Operands first: enumerating them lets the addition compute its
+             result instead of guessing it. *)
+          see a;
+          see b;
+          see res)
       !pending;
     !found
   in
@@ -583,6 +660,14 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
           (match left with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
           (match right with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
           emit_compare true left right
+        | BLe { left; right } ->
+          (match left with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          (match right with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          emit_le left right
+        | BPlus { a; b; res } ->
+          (match a with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          (match b with Slot s when not bound.(s) -> emit_enumerate s | _ -> ());
+          emit_plus a b res
         | BAtom { polarity = `Pos; occ; pred; args } ->
           if all_bound args then emit_filter `Pos occ pred args
           else emit_join occ pred args
@@ -608,6 +693,38 @@ let compile ?planner ?(variant = Full) ?label ?(overrides = [])
       | Slot s when not bound.(s) -> emit_enumerate s
       | _ -> ())
     head_args;
+  (* A rule whose head is a declared limit predicate closes with the two
+     aggregation steps: probe the current bound for the candidate's group,
+     then the per-application dominance filter.  Only rows that improve the
+     group's bound reach the projection — the fixpoint layer's
+     tighten-union stays the source of truth, these steps just keep the
+     candidate stream sparse (and visible to [explain]). *)
+  (match List.assoc_opt r.head.pred limits with
+  | Some ((kind : Ast.limit_kind), col)
+    when col >= 0 && col < Array.length head_args ->
+    let arity = Array.length head_args in
+    let group =
+      Array.init (arity - 1) (fun j ->
+          head_args.(if j < col then j else j + 1))
+    in
+    let bound_t = head_args.(col) in
+    rows := !rows *. 0.5;
+    push
+      (Aggregate_probe
+         {
+           access = { occ = -1; pred = r.head.pred; arity };
+           kind;
+           col;
+           group;
+           bound = bound_t;
+         })
+      !rows;
+    rows := !rows *. 0.5;
+    push
+      (Tighten_emit
+         { pred = r.head.pred; kind; col; group; bound = bound_t })
+      !rows
+  | _ -> ());
   let steps = Array.of_list (List.rev !steps) in
   {
     rule = r;
@@ -744,6 +861,10 @@ type prepared = {
   p_percall : (Symbol.t, Tuple.t list) Hashtbl.t option array;
   p_driving : int;
   p_rows : int array;
+  p_best : (Tuple.t, Symbol.t) Hashtbl.t;
+      (* [Tighten_emit]'s per-context best candidate per group.  Contexts
+         are per run (and per shard), so the table never outlives the
+         stage whose current valuation the probes read. *)
   mutable p_emitted : int;
   mutable p_din : int;
 }
@@ -777,7 +898,16 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
         rels.(i) <-
           (resolver { polarity = `Neg; index = access.occ; pred = access.pred })
             .find access.pred access.arity
-      | Compare _ | Assign _ | Enumerate _ -> ())
+      | Aggregate_probe { access; _ } ->
+        (* The distinguished occurrence [-1] never matches a delta
+           redirection, so every resolver maps it to the current
+           valuation of the head relation. *)
+        rels.(i) <-
+          (resolver { polarity = `Pos; index = access.occ; pred = access.pred })
+            .find access.pred access.arity
+      | Compare _ | Assign _ | Enumerate _ | Le_check _ | Plus_bind _
+      | Plus_check _ | Tighten_emit _ ->
+        ())
     steps;
   let driving = ref (-1) in
   Array.iteri
@@ -786,7 +916,8 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
         match st.op with
         | Scan _ | Index_probe _ | Enumerate _ -> driving := i
         | Compare _ | Assign _ | Const_filter _ | Neg_check _ | Exists _
-        | Neg_exists _ ->
+        | Neg_exists _ | Le_check _ | Plus_bind _ | Plus_check _
+        | Aggregate_probe _ | Tighten_emit _ ->
           ())
     steps;
   {
@@ -801,6 +932,7 @@ let prepare ?(indexing = `Cached) ?counters ~resolver ~universe plan =
     p_percall = percall;
     p_driving = !driving;
     p_rows = Array.make (max nsteps 1) 0;
+    p_best = Hashtbl.create 16;
     p_emitted = 0;
     p_din = 0;
   }
@@ -884,6 +1016,36 @@ let neg_exists_fails prep i pat free =
          end)
     prep.p_rels.(i)
 
+let agg_better (kind : Ast.limit_kind) a b =
+  let c = Symbol.compare_value a b in
+  match kind with Ast.Min -> c < 0 | Ast.Max -> c > 0
+
+(* The head relation's current bound for the candidate row's group: the
+   limit invariant keeps at most one tuple per group, so the lookup is one
+   probe through the memoized index on the first group column (the whole
+   relation holds at most one tuple when the group is empty). *)
+let current_group_bound prep i col group =
+  let rel = prep.p_rels.(i) in
+  let env = prep.p_env in
+  let n = Array.length group in
+  if n = 0 then
+    Option.map (fun t -> Tuple.get t col) (Relation.choose_opt rel)
+  else begin
+    let pos j = if j < col then j else j + 1 in
+    let matches t =
+      let ok = ref true in
+      Array.iteri
+        (fun j tm ->
+          if not (Symbol.equal (Tuple.get t (pos j)) (value env tm)) then
+            ok := false)
+        group;
+      !ok
+    in
+    Relation.matching (pos 0) (value env group.(0)) rel
+    |> List.find_opt matches
+    |> Option.map (fun t -> Tuple.get t col)
+  end
+
 let percall_table prep i col =
   match prep.p_percall.(i) with
   | Some table ->
@@ -930,6 +1092,25 @@ let driving_rows prep =
          | Exists { pat; _ } -> exists_holds prep i pat
          | Neg_exists { pat; free; _ } ->
            not (neg_exists_fails prep i pat free)
+         | Le_check { left; right } ->
+           Symbol.compare_value (value env left) (value env right) <= 0
+         | Plus_bind { a; b; slot } -> (
+           match (Symbol.as_int (value env a), Symbol.as_int (value env b))
+           with
+           | Some x, Some y ->
+             env.(slot) <- Symbol.of_int (x + y);
+             true
+           | _ -> false)
+         | Plus_check { a; b; result } -> (
+           match
+             ( Symbol.as_int (value env a),
+               Symbol.as_int (value env b),
+               Symbol.as_int (value env result) )
+           with
+           | Some x, Some y, Some z -> z = x + y
+           | _ -> false)
+         (* The aggregation steps close the plan, after the driving step. *)
+         | Aggregate_probe _ | Tighten_emit _ -> assert false
          | Scan _ | Index_probe _ | Enumerate _ -> assert false)
          && prefix (i + 1)
     in
@@ -953,7 +1134,8 @@ let driving_rows prep =
             (fun t n -> if Symbol.equal (Tuple.get t col) k then n + 1 else n)
             prep.p_rels.(d) 0)
       | Compare _ | Assign _ | Const_filter _ | Neg_check _ | Exists _
-      | Neg_exists _ ->
+      | Neg_exists _ | Le_check _ | Plus_bind _ | Plus_check _
+      | Aggregate_probe _ | Tighten_emit _ ->
         assert false
   end
 
@@ -1036,6 +1218,49 @@ let exec_range prep ~lo ~hi ~on_row =
           rows.(i) <- rows.(i) + 1;
           exec (i + 1)
         end
+      | Le_check { left; right } ->
+        if Symbol.compare_value (value env left) (value env right) <= 0
+        then begin
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        end
+      | Plus_bind { a; b; slot } -> (
+        match (Symbol.as_int (value env a), Symbol.as_int (value env b)) with
+        | Some x, Some y ->
+          env.(slot) <- Symbol.of_int (x + y);
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        | _ -> ())
+      | Plus_check { a; b; result } -> (
+        match
+          ( Symbol.as_int (value env a),
+            Symbol.as_int (value env b),
+            Symbol.as_int (value env result) )
+        with
+        | Some x, Some y, Some z when z = x + y ->
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        | _ -> ())
+      | Aggregate_probe { kind; col; group; bound; _ } ->
+        let cand = value env bound in
+        let keep =
+          match current_group_bound prep i col group with
+          | Some b -> agg_better kind cand b
+          | None -> true
+        in
+        if keep then begin
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1)
+        end
+      | Tighten_emit { kind; group; bound; _ } -> (
+        let cand = value env bound in
+        let g = Tuple.unsafe_make (Array.map (value env) group) in
+        match Hashtbl.find_opt prep.p_best g with
+        | Some b when not (agg_better kind cand b) -> ()
+        | _ ->
+          Hashtbl.replace prep.p_best g cand;
+          rows.(i) <- rows.(i) + 1;
+          exec (i + 1))
       | Scan { pat; _ } ->
         bump_scan prep;
         scan_rel i pat
@@ -1259,6 +1484,25 @@ let pp_op names ppf = function
     Format.fprintf ppf "assign %s := %a" names.(slot) (pp_term names) value
   | Enumerate { slot } ->
     Format.fprintf ppf "enumerate %s over universe" names.(slot)
+  | Le_check { left; right } ->
+    Format.fprintf ppf "compare %a <= %a" (pp_term names) left
+      (pp_term names) right
+  | Plus_bind { a; b; slot } ->
+    Format.fprintf ppf "add %s := %a + %a" names.(slot) (pp_term names) a
+      (pp_term names) b
+  | Plus_check { a; b; result } ->
+    Format.fprintf ppf "check %a = %a + %a" (pp_term names) result
+      (pp_term names) a (pp_term names) b
+  | Aggregate_probe { access; kind; col; group; bound } ->
+    Format.fprintf ppf "aggregate-probe %s%a bound %a (%s at column %d)"
+      access.pred (pp_args names) group (pp_term names) bound
+      (Datalog.Ast.limit_kind_to_string kind)
+      col
+  | Tighten_emit { pred; kind; col; group; bound } ->
+    Format.fprintf ppf "tighten-emit %s%a bound %a (%s at column %d)" pred
+      (pp_args names) group (pp_term names) bound
+      (Datalog.Ast.limit_kind_to_string kind)
+      col
 
 let pp_step names ppf st =
   Format.fprintf ppf "%a  [est %.1f rows]" (pp_op names) st.op st.est

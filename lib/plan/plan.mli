@@ -141,6 +141,41 @@ type op =
   | Compare of { negated : bool; left : term; right : term }
   | Assign of { slot : int; value : term }
   | Enumerate of { slot : int }
+  | Le_check of { left : term; right : term }
+      (** Value-order comparison ({!Relalg.Symbol.compare_value}): passes
+          iff [left <= right].  A [>=] literal compiles to this op with
+          the operands swapped. *)
+  | Plus_bind of { a : term; b : term; slot : int }
+      (** [slot := a + b] when both operands read as integers; a
+          non-numeric operand fails the row. *)
+  | Plus_check of { a : term; b : term; result : term }
+      (** Fully bound addition: passes iff [result = a + b] numerically. *)
+  | Aggregate_probe of {
+      access : access;
+      kind : Datalog.Ast.limit_kind;
+      col : int;
+      group : term array;
+      bound : term;
+    }
+      (** Closing step of a limit-head rule: reads the head relation's
+          current bound for the candidate row's group — one probe through
+          the memoized column index, since the limit invariant keeps at
+          most one tuple per group — and kills the row unless the
+          candidate strictly improves it.  [access.occ] is the
+          distinguished occurrence [-1], which every resolver maps to the
+          current valuation (never a delta). *)
+  | Tighten_emit of {
+      pred : string;
+      kind : Datalog.Ast.limit_kind;
+      col : int;
+      group : term array;
+      bound : term;
+    }
+      (** Per-application dominance filter after {!Aggregate_probe}: keeps
+          only rows improving on the best candidate this execution context
+          has already emitted for the group.  Cross-context and cross-rule
+          candidates are resolved by the tighten-union at the fixpoint
+          layer, which is what keeps sharded emission order irrelevant. *)
 
 type step = {
   op : op;
@@ -214,6 +249,7 @@ val compile :
   ?label:string ->
   ?overrides:(int * int) list ->
   ?generation:int ->
+  ?limits:(string * (Datalog.Ast.limit_kind * int)) list ->
   sizes:(occurrence -> int -> int) ->
   universe_size:int ->
   Datalog.Ast.rule ->
@@ -225,7 +261,12 @@ val compile :
     through [sizes].  [overrides] shadows [sizes] for the given positive
     occurrences with observed effective cardinalities (a feedback
     replan); [generation] counts the consecutive feedback replans that
-    produced this plan. *)
+    produced this plan.  When [limits] declares the head predicate a
+    limit predicate, the plan closes with {!Aggregate_probe} and
+    {!Tighten_emit} steps for its (kind, column) — callers evaluating a
+    limit program under the tighten-union fixpoint must pass the
+    program's limits; callers that want raw candidate derivation (DRed
+    overdeletion) must not. *)
 
 val replan_hint : t -> (int * int) option
 (** [Some (occ, eff)] when the feedback record shows a join step's

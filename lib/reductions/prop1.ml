@@ -16,6 +16,10 @@ let fo_literal rename = function
   | Ast.Eq (t1, t2) -> Fo.Equal (fo_term rename t1, fo_term rename t2)
   | Ast.Neq (t1, t2) ->
     Fo.Not (Fo.Equal (fo_term rename t1, fo_term rename t2))
+  | Ast.Leq _ | Ast.Geq _ | Ast.Plus _ ->
+    invalid_arg
+      "Prop1: order comparisons and additions have no first-order \
+       counterpart over an uninterpreted domain"
 
 let head_var i = Printf.sprintf "V%d" (i + 1)
 

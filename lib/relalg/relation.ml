@@ -346,3 +346,57 @@ let pp ppf r =
     (to_list r)
 
 let to_string r = Format.asprintf "%a" pp r
+
+(* --- limit tightening --------------------------------------------------- *)
+
+let tighten ~kind ~col current candidates =
+  let k = arity current in
+  if arity candidates <> k then invalid_arg "Relation.tighten: arity mismatch";
+  if col < 0 || col >= k then
+    invalid_arg
+      (Printf.sprintf "Relation.tighten: column %d outside arity %d" col k);
+  let better a b =
+    let c = Symbol.compare_value a b in
+    match kind with `Min -> c < 0 | `Max -> c > 0
+  in
+  let gpos = Array.init (k - 1) (fun i -> if i < col then i else i + 1) in
+  let group tu = Tuple.make (Array.map (fun i -> Tuple.get tu i) gpos) in
+  (* Dominant candidate per group, over the candidate set alone. *)
+  let best : (Tuple.t, Tuple.t) Hashtbl.t = Hashtbl.create 64 in
+  iter
+    (fun tu ->
+      let g = group tu in
+      match Hashtbl.find_opt best g with
+      | Some old when not (better (Tuple.get tu col) (Tuple.get old col)) ->
+        ()
+      | _ -> Hashtbl.replace best g tu)
+    candidates;
+  (* The current bound of a group is read through the memoized column index
+     on the first group column; an arity-1 limit relation holds at most the
+     one global bound. *)
+  let current_bound g =
+    if k = 1 then choose_opt current
+    else
+      matching gpos.(0) (Tuple.get g 0) current
+      |> List.find_opt (fun tu -> Tuple.equal (group tu) g)
+  in
+  let fresh = ref [] and dropped = ref [] in
+  Hashtbl.iter
+    (fun g cand ->
+      match current_bound g with
+      | None -> fresh := cand :: !fresh
+      | Some old ->
+        if better (Tuple.get cand col) (Tuple.get old col) then begin
+          fresh := cand :: !fresh;
+          dropped := old :: !dropped
+        end)
+    best;
+  match !fresh with
+  | [] -> (current, empty ~storage:(storage_of current) k)
+  | fresh_list ->
+    let shrunk = List.fold_left (fun r tu -> remove tu r) current !dropped in
+    ( add_all fresh_list shrunk,
+      of_list ~storage:(storage_of current) k fresh_list )
+
+let dominant ~kind ~col r =
+  fst (tighten ~kind ~col (empty ~storage:(storage_of r) (arity r)) r)

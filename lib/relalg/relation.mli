@@ -207,6 +207,30 @@ val complement : Symbol.t list -> t -> t
 (** [complement universe r] is [full universe (arity r)] minus [r], in
     [r]'s backend. *)
 
+(** {1 Limit semantics}
+
+    Support for limit predicates (min/max aggregation per group): a limit
+    relation keeps, per valuation of its non-limit columns (the {e group}),
+    only the tuple whose limit-column value is dominant under
+    {!Symbol.compare_value}. *)
+
+val tighten :
+  kind:[ `Min | `Max ] -> col:int -> t -> t -> t * t
+(** [tighten ~kind ~col current candidates] merges [candidates] into the
+    limit relation [current]: for each group appearing in [candidates], the
+    dominant candidate replaces [current]'s bound when it improves on it
+    (strictly smaller for [`Min], strictly larger for [`Max]) and is dropped
+    otherwise.  Returns [(result, changed)] where [changed] holds exactly
+    the newly-dominant tuples — the {e changed-group delta} that keeps
+    semi-naive evaluation semi-naive.  Group lookups go through the
+    memoized column index of the first group column.
+    @raise Invalid_argument on an arity mismatch or an out-of-range
+    column. *)
+
+val dominant : kind:[ `Min | `Max ] -> col:int -> t -> t
+(** [dominant ~kind ~col r] keeps only the dominant tuple of each group —
+    the brute-force reference semantics for a limit relation. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as [{(a, b); (c, d)}], in sorted tuple order. *)
 

@@ -55,6 +55,15 @@ let count () = (Atomic.get state).count
 
 let compare = Int.compare
 
+let as_int id = int_of_string_opt (name id)
+
+let compare_value a b =
+  if a = b then 0
+  else
+    match (as_int a, as_int b) with
+    | Some x, Some y -> Int.compare x y
+    | _ -> String.compare (name a) (name b)
+
 let equal = Int.equal
 
 let hash = Hashtbl.hash

@@ -45,6 +45,15 @@ val export_names : unit -> string array
 val compare : t -> t -> int
 (** Total order on symbols (by identifier, i.e. by interning time). *)
 
+val as_int : t -> int option
+(** The symbol's name read as a decimal integer, when it is one. *)
+
+val compare_value : t -> t -> int
+(** The {e value} order used by limit predicates and by the [<=] / [>=]
+    comparison literals: numeric when both names parse as integers,
+    lexicographic on names otherwise.  Deterministic across processes
+    (unlike {!compare}, it does not depend on interning order). *)
+
 val equal : t -> t -> bool
 
 val hash : t -> int

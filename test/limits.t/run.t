@@ -1,0 +1,197 @@
+Limit predicates end to end: `p min k` / `p max k` declarations, the
+tightening plan operators, and incremental maintenance of group bounds.
+
+The shortest-path program declares `dist min 2`: dist/2 keeps, per
+source column value, only the tuple with the least cost in its second
+column.  check reports the declaration; the guarded threshold stratum
+and the negation above it stratify as usual:
+
+  $ negdl check sp.dl
+  4 rule(s); IDB: dist, far, near; EDB: edge, node, source; DATALOG with negation, 1 limit predicate(s)
+
+  $ negdl stratify sp.dl
+  stratum 0: dist, near
+  stratum 1: far
+
+Evaluation keeps one dominant tuple per group — four bounds, not one
+tuple per distinct path cost — and the strata above see the bounds
+(limit programs require the stratified semantics):
+
+  $ negdl eval sp.dl sp.facts -s stratified
+  dist/2 (4 tuples) = {(a, 0); (b, 1); (c, 2); (d, 3)}
+  far/1 (1 tuples) = {(d)}
+  near/1 (3 tuples) = {(a); (b); (c)}
+
+  $ negdl eval sp.dl sp.facts
+  negdl: inflationary: limit predicates (dist min) require the stratified semantics
+  [1]
+
+Parser errors carry the line, the column, and the offending token:
+
+  $ cat > bad_dot.dl <<'DONE'
+  > p(X) :- q(X)
+  > r(X) :- p(X).
+  > DONE
+  $ negdl check bad_dot.dl
+  negdl: bad_dot.dl: line 2, column 2: expected '.' but found identifier "r"
+  [1]
+
+  $ cat > bad_tok.dl <<'DONE'
+  > p(X) :- q(X), , r(X).
+  > DONE
+  $ negdl check bad_tok.dl
+  negdl: bad_tok.dl: line 1, column 15: expected a body literal but found ','
+  [1]
+
+  $ cat > bad_cmp.dl <<'DONE'
+  > near(X) :- dist(X, D), D <= .
+  > DONE
+  $ negdl check bad_cmp.dl
+  negdl: bad_cmp.dl: line 1, column 29: expected a term but found '.'
+  [1]
+
+Limit declarations use 1-based column numbers; 0 is rejected where it
+appears:
+
+  $ cat > bad_col.dl <<'DONE'
+  > dist min 0.
+  > dist(X, 0) :- source(X).
+  > DONE
+  $ negdl check bad_col.dl
+  negdl: bad_col.dl: line 1, column 11: column numbers in 'dist min' declarations start at 1
+  [1]
+
+Limit stratification is stricter than ordinary stratification: a rule
+may only use a bound monotonically inside the recursive component that
+computes it.  An upper-bound guard on a max predicate reads its bound
+anti-monotonically (raising the bound can kill the derivation), and the
+error names the rule:
+
+  $ cat > bad_strat.dl <<'DONE'
+  > best max 2.
+  > best(X, 0) :- source(X).
+  > best(Y, S) :- best(X, D), edge(X, Y, W), S = D + W, S <= 9.
+  > DONE
+  $ negdl stratify bad_strat.dl
+  not limit-stratifiable: rule "best(Y, S) :- best(X, D), edge(X, Y, W), S = D + W, S <= 9." uses the bound of limit predicate best non-monotonically inside the recursive component that computes it
+  [2]
+
+Rules deriving a limit predicate compile with the tightening pair at the
+tail: aggregate-probe filters candidates against the group's current
+bound, tighten-emit keeps the per-group dominant survivors — the
+changed-group delta that downstream semi-naive stages consume:
+
+  $ negdl explain sp.dl sp.facts
+  dist(X, 0) :- source(X).  {static, full}
+    1. scan source(X)  [est 1.0 rows]
+    2. aggregate-probe dist(X) bound 0 (min at column 1)  [est 0.5 rows]
+    3. tighten-emit dist(X) bound 0 (min at column 1)  [est 0.2 rows]
+    4. project dist(X, 0)  [est 0.2 rows]
+  dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W.  {static, full}
+    1. scan edge(X, Y, W)  [est 4.0 rows]
+    2. probe dist(X, D) via column 0 = X  [est 4.0 rows]
+    3. add S := D + W  [est 4.0 rows]
+    4. aggregate-probe dist(Y) bound S (min at column 1)  [est 2.0 rows]
+    5. tighten-emit dist(Y) bound S (min at column 1)  [est 1.0 rows]
+    6. project dist(Y, S)  [est 1.0 rows]
+  dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W.  {static, delta@0}
+    1. scan edge(X, Y, W)  [est 4.0 rows]
+    2. probe dist(X, D) via column 0 = X  [est 4.0 rows]
+    3. add S := D + W  [est 4.0 rows]
+    4. aggregate-probe dist(Y) bound S (min at column 1)  [est 2.0 rows]
+    5. tighten-emit dist(Y) bound S (min at column 1)  [est 1.0 rows]
+    6. project dist(Y, S)  [est 1.0 rows]
+  near(X) :- dist(X, D), D <= 2.  {static, full}
+    1. scan dist(X, D)  [est 6.0 rows]
+    2. compare D <= 2  [est 3.0 rows]
+    3. project near(X)  [est 3.0 rows]
+  near(X) :- dist(X, D), D <= 2.  {static, delta@0}
+    1. scan dist(X, D)  [est 6.0 rows]
+    2. compare D <= 2  [est 3.0 rows]
+    3. project near(X)  [est 3.0 rows]
+  far(X) :- node(X), !near(X).  {static, full}
+    1. scan node(X)  [est 4.0 rows]
+    2. check !near(X)  [est 0.0 rows]
+    3. project far(X)  [est 0.0 rows]
+
+--explain on eval prints the executed tightening plans with actual rows;
+the delta variant drives from the changed bounds, and the survivors of
+tighten-emit are what semi-naive feeds forward:
+
+  $ negdl eval sp.dl sp.facts -s stratified --explain -p dist
+  dist(X, 0) :- source(X).  {static, full}
+    1. scan source(X)  [est 1.0 rows]  [actual 1]
+    2. aggregate-probe dist(X) bound 0 (min at column 1)  [est 0.5 rows]  [actual 1]
+    3. tighten-emit dist(X) bound 0 (min at column 1)  [est 0.2 rows]  [actual 1]
+    4. project dist(X, 0)  [est 0.2 rows]
+  dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W.  {static, full}
+    1. scan dist(X, D)  [est 0.0 rows]  [actual 0]
+    2. probe edge(X, Y, W) via column 0 = X  [est 0.0 rows]  [actual 0]
+    3. add S := D + W  [est 0.0 rows]  [actual 0]
+    4. aggregate-probe dist(Y) bound S (min at column 1)  [est 0.0 rows]  [actual 0]
+    5. tighten-emit dist(Y) bound S (min at column 1)  [est 0.0 rows]  [actual 0]
+    6. project dist(Y, S)  [est 0.0 rows]
+  dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W.  {static, delta@0}
+    1. scan dist(X, D)  [est 1.0 rows]  [actual 6]
+    2. probe edge(X, Y, W) via column 0 = X  [est 0.7 rows]  [actual 5]
+    3. add S := D + W  [est 0.7 rows]  [actual 5]
+    4. aggregate-probe dist(Y) bound S (min at column 1)  [est 0.3 rows]  [actual 5]
+    5. tighten-emit dist(Y) bound S (min at column 1)  [est 0.2 rows]  [actual 5]
+    6. project dist(Y, S)  [est 0.2 rows]
+  near(X) :- dist(X, D), D <= 2.  {static, full}
+    1. scan dist(X, D)  [est 0.0 rows]  [actual 0]
+    2. compare D <= 2  [est 0.0 rows]  [actual 0]
+    3. project near(X)  [est 0.0 rows]
+  near(X) :- dist(X, D), D <= 2.  {static, delta@0}
+    1. scan dist(X, D)  [est 1.0 rows]  [actual 6]
+    2. compare D <= 2  [est 0.5 rows]  [actual 3]
+    3. project near(X)  [est 0.5 rows]
+  far(X) :- node(X), !near(X).  {static, full}
+    1. scan node(X)  [est 4.0 rows]  [actual 4]
+    2. check !near(X)  [est 2.0 rows]  [actual 1]
+    3. project far(X)  [est 2.0 rows]
+  {(a, 0); (b, 1); (c, 2); (d, 3)}
+
+The server maintains the bounds incrementally, and coalesces write
+bursts: the script goes through a file (stdin from a regular file
+arrives in one read, so the run of three insert lines is one block) and
+the three consecutive inserts are applied as ONE DRed batch — the first
+line answers with the combined report, the rest answer "ok coalesced",
+and `batches` moves by exactly one between the two stats blocks.
+Deleting the cheap shortcut then relaxes dist(d) from 1 back to its
+second-best support 3 — and dist(e) cascades from 2 to 4 — which flips
+both vertices across the near/far threshold strata.  Everything runs on
+the delta path: full_applications stays 0 throughout.
+
+  $ cat > session.txt <<'DONE'
+  > stats
+  > insert edge(a, d, 1).
+  > insert edge(d, e, 1). node(e).
+  > insert edge(b, d, 9).
+  > stats
+  > query dist(X, D)
+  > delete edge(a, d, 1).
+  > query dist(X, D)
+  > query far(X)
+  > quit
+  > DONE
+
+  $ NEGDL_DOMAINS=1 negdl serve sp.dl sp.facts < session.txt
+  facts: edb=9 idb=8 universe=6 version=0
+  updates: batches=0 inserted=0 deleted=0 overdeleted=0 rederived=0
+  queries: served=0 cache_hits=0 cache_misses=0
+  plans: cached=6 compiles=6 cache_hits=6 replans=0
+  work: rule_applications=12 delta_applications=0 putback_applications=0 full_applications=0
+  ok inserted=4 overdeleted=1 derived=3
+  ok coalesced
+  ok coalesced
+  facts: edb=13 idb=10 universe=8 version=1
+  updates: batches=1 inserted=4 deleted=0 overdeleted=1 rederived=3
+  queries: served=0 cache_hits=0 cache_misses=0
+  plans: cached=10 compiles=10 cache_hits=12 replans=0
+  work: rule_applications=22 delta_applications=3 putback_applications=1 full_applications=0
+  {(a, 0); (b, 1); (c, 2); (d, 1); (e, 2)} % 5 answer(s)
+  ok deleted=1 overdeleted=4 rederived=4
+  {(a, 0); (b, 1); (c, 2); (d, 3); (e, 4)} % 5 answer(s)
+  {(d); (e)} % 2 answer(s)
+  bye

@@ -70,13 +70,110 @@ let print_case (p, db) =
 let arb_case =
   QCheck.make (QCheck.Gen.pair gen_program gen_database) ~print:print_case
 
+(* --- random limit programs ---------------------------------------------- *)
+
+(* A weighted-graph cost workload whose shape guarantees termination of
+   both the tightening evaluation and its pair-materializing reference
+   (the [<= cap] guard bounds every derivable cost), and whose guard
+   polarity matches the limit kind so the stratum above the limit
+   predicate stays monotone under tightening.  Randomness lives in the
+   kind, the cap/threshold, the negated stratum, the rule set (an
+   optional unit-cost hop counter as a second limit predicate) and the
+   weighted digraph. *)
+let gen_limit_case =
+  QCheck.Gen.(
+    let* kind = oneofl [ Ast.Min; Ast.Max ] in
+    let* cap = int_range 6 14 in
+    let* thr = int_range 0 cap in
+    let* negated = bool in
+    let* two_sources = bool in
+    let* with_hops = bool in
+    let guard = match kind with Ast.Min -> "<=" | Ast.Max -> ">=" in
+    (* A [S <= cap] guard is monotone in a min bound (shrinking D keeps
+       the guard satisfied) but anti-monotone in a max bound, where the
+       stratifier rightly rejects it.  So min workloads terminate by the
+       cap over an arbitrary digraph, and max workloads terminate
+       structurally over a DAG with no guard at all. *)
+    let cap_guard =
+      match kind with
+      | Ast.Min -> Printf.sprintf ", S <= %d" cap
+      | Ast.Max -> ""
+    in
+    let text =
+      Printf.sprintf
+        "dist(X, 0) :- source(X).\n\
+         dist(Y, S) :- dist(X, D), edge(X, Y, W), S = D + W%s.\n\
+         near(X) :- dist(X, D), D %s %d.%s%s"
+        cap_guard guard thr
+        (if negated then "\nfar(X) :- node(X), !near(X)." else "")
+        (if with_hops then
+           Printf.sprintf
+             "\nhops(X, 0) :- source(X).\n\
+              hops(Y, S) :- hops(X, D), edge(X, Y, W), S = D + 1%s."
+             cap_guard
+         else "")
+    in
+    let rules = (Datalog.Parser.parse_program_exn text).Ast.rules in
+    let limits =
+      { Ast.limit_pred = "dist"; kind; column = 1 }
+      :: (if with_hops then [ { Ast.limit_pred = "hops"; kind; column = 1 } ]
+          else [])
+    in
+    let* n = int_range 3 6 in
+    let* nedges = int_range n (3 * n) in
+    let* edges =
+      list_size (return nedges)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 4))
+    in
+    let edges =
+      match kind with
+      | Ast.Min -> edges
+      | Ast.Max ->
+        (* Orient every edge upward and drop self-loops: acyclicity is
+           the max workload's termination argument. *)
+        List.filter_map
+          (fun (a, b, w) ->
+            if a = b then None else Some (min a b, max a b, w))
+          edges
+    in
+    let v i = Relalg.Symbol.intern (Printf.sprintf "v%d" i) in
+    let add_fact pred syms db =
+      Relalg.Database.add_fact pred
+        (Relalg.Tuple.of_list syms)
+        (Relalg.Database.add_universe syms db)
+    in
+    let db = Relalg.Database.create ~universe:[] in
+    let db = add_fact "source" [ v 0 ] db in
+    let db = if two_sources && n > 1 then add_fact "source" [ v 1 ] db else db in
+    let db =
+      List.fold_left
+        (fun db i -> add_fact "node" [ v i ] db)
+        db
+        (List.init n (fun i -> i))
+    in
+    let db =
+      List.fold_left
+        (fun db (a, b, w) ->
+          add_fact "edge" [ v a; v b; Relalg.Symbol.of_int w ] db)
+        db edges
+    in
+    return (Ast.program ~limits rules, Ast.program rules, db))
+
+let print_limit_case (limit_p, _pairs_p, db) =
+  Printf.sprintf "program:\n%s\ndatabase:\n%s"
+    (Datalog.Pretty.program_to_string limit_p)
+    (Relalg.Database.to_string db)
+
+let arb_limit_case = QCheck.make gen_limit_case ~print:print_limit_case
+
 let positivise (p : Ast.program) =
   let fix_rule (r : Ast.rule) =
     let body =
       List.filter
         (function
           | Ast.Pos _ | Ast.Eq _ -> true
-          | Ast.Neg _ | Ast.Neq _ -> false)
+          | Ast.Neg _ | Ast.Neq _ | Ast.Leq _ | Ast.Geq _ | Ast.Plus _ ->
+            false)
         r.body
     in
     let body =

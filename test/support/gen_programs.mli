@@ -12,6 +12,17 @@ val gen_database : Relalg.Database.t QCheck.Gen.t
 val arb_case : (Datalog.Ast.program * Relalg.Database.t) QCheck.arbitrary
 (** A program and a database, printed readably on failure. *)
 
+val arb_limit_case :
+  (Datalog.Ast.program * Datalog.Ast.program * Relalg.Database.t)
+  QCheck.arbitrary
+(** A random limit workload: a weighted digraph with a guarded
+    cost-accumulation program, returned twice — once with [min]/[max]
+    limit declarations on the cost predicates and once as the plain
+    pair-materializing encoding of the same rules — plus the database.
+    The guard polarity matches the limit kind, so the tightened model
+    must equal the dominant-filtered pair model predicate for
+    predicate. *)
+
 val positivise : Datalog.Ast.program -> Datalog.Ast.program
 (** Strips negation and inequality, padding empty-positive bodies with
     [e(X, Y)] so every rule keeps a positive literal. *)

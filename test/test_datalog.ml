@@ -238,7 +238,8 @@ let test_depgraph_recursion () =
 
 let test_stratify_two_strata () =
   match Stratify.stratify pi2 with
-  | Stratify.Not_stratifiable _ -> Alcotest.fail "pi2 stratifies"
+  | Stratify.Not_stratifiable _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "pi2 stratifies"
   | Stratify.Stratified { strata; stratum_of } ->
     check int "two strata" 2 (List.length strata);
     check (Alcotest.option int) "s1 low" (Some 0) (stratum_of "s1");
@@ -250,14 +251,16 @@ let test_stratify_rejects_toggle () =
   | Stratify.Not_stratifiable { offending = p, q } ->
     check string "offender" "t" p;
     check string "offended" "t" q
-  | Stratify.Stratified _ -> Alcotest.fail "toggle must not stratify"
+  | Stratify.Stratified _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "toggle must not stratify"
 
 let test_stratify_mutual_recursion_positive () =
   (* Mutually recursive but positive: one stratum. *)
   let p = Parser.parse_program_exn "a(X) :- b(X). b(X) :- a(X). b(X) :- e(X)." in
   match Stratify.stratify p with
   | Stratify.Stratified { strata; _ } -> check int "one stratum" 1 (List.length strata)
-  | Stratify.Not_stratifiable _ -> Alcotest.fail "positive recursion stratifies"
+  | Stratify.Not_stratifiable _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "positive recursion stratifies"
 
 let test_stratify_mutual_negation () =
   let p = Parser.parse_program_exn "a(X) :- !b(X). b(X) :- !a(X)." in
@@ -274,7 +277,8 @@ let test_stratify_chain () =
     check (Alcotest.option int) "a" (Some 0) (stratum_of "a");
     check (Alcotest.option int) "b" (Some 1) (stratum_of "b");
     check (Alcotest.option int) "c" (Some 2) (stratum_of "c")
-  | Stratify.Not_stratifiable _ -> Alcotest.fail "chain stratifies"
+  | Stratify.Not_stratifiable _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "chain stratifies"
 
 let test_rules_of_stratum () =
   match Stratify.stratify pi2 with
@@ -283,7 +287,82 @@ let test_rules_of_stratum () =
       (List.length (Stratify.rules_of_stratum pi2 strat 0));
     check int "stratum 1 rules" 1
       (List.length (Stratify.rules_of_stratum pi2 strat 1))
-  | Stratify.Not_stratifiable _ -> Alcotest.fail "pi2 stratifies"
+  | Stratify.Not_stratifiable _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "pi2 stratifies"
+
+(* --- Limit declarations --------------------------------------------------- *)
+
+let sp_limit_text =
+  "dist min 2. dist(X, 0) :- source(X). dist(Y, S) :- dist(X, D), edge(X, \
+   Y, W), S = D + W. near(X) :- dist(X, D), D <= 7. far(X) :- node(X), \
+   !near(X)."
+
+let test_limit_parse () =
+  (* Surface columns are 1-based; the AST stores them 0-based. *)
+  let p = Parser.parse_program_exn sp_limit_text in
+  (match p.Ast.limits with
+  | [ { Ast.limit_pred = "dist"; kind = Ast.Min; column = 1 } ] -> ()
+  | _ -> Alcotest.fail "expected dist min on 0-based column 1");
+  let q = Parser.parse_program_exn "best max 1. best(X) :- source(X)." in
+  match q.Ast.limits with
+  | [ { Ast.limit_pred = "best"; kind = Ast.Max; column = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected best max on 0-based column 0"
+
+let test_limit_pretty_roundtrip () =
+  let p = Parser.parse_program_exn sp_limit_text in
+  check bool "limit program re-parses identically" true
+    (Parser.parse_program_exn (Pretty.program_to_string p) = p)
+
+let test_limit_check () =
+  let p = Parser.parse_program_exn sp_limit_text in
+  check int "limit count" 1 (Check.validate_exn p).Check.limit_count;
+  let errors text =
+    match Check.validate (Parser.parse_program_exn text) with
+    | Ok _ -> []
+    | Error es -> es
+  in
+  check bool "column past arity rejected (1-based in the report)" true
+    (List.mem
+       (Check.Limit_column_out_of_range
+          { pred = "dist"; column = 5; arity = 2 })
+       (errors "dist min 5. dist(X, 0) :- source(X)."));
+  check bool "conflicting declarations rejected" true
+    (List.mem
+       (Check.Duplicate_limit { pred = "dist" })
+       (errors "dist min 2. dist max 2. dist(X, 0) :- source(X)."));
+  check bool "limit on EDB rejected" true
+    (List.mem
+       (Check.Limit_on_edb { pred = "edge" })
+       (errors "edge min 3. d(X) :- edge(X, Y, W)."))
+
+let test_limit_stratify () =
+  (* The monotone shortest-path program stratifies with the negation one
+     stratum up; a max bound read under a <= guard inside its own
+     recursive component does not, and the error names the rule. *)
+  (match Stratify.stratify (Parser.parse_program_exn sp_limit_text) with
+  | Stratify.Stratified { strata; _ } ->
+    check int "two strata" 2 (List.length strata)
+  | Stratify.Not_stratifiable _ | Stratify.Not_limit_stratifiable _ ->
+    Alcotest.fail "shortest path limit-stratifies");
+  let bad =
+    Parser.parse_program_exn
+      "best max 2. best(X, 0) :- source(X). best(Y, S) :- best(X, D), \
+       edge(X, Y, W), S = D + W, S <= 9."
+  in
+  match Stratify.stratify bad with
+  | Stratify.Not_limit_stratifiable { pred; rule } ->
+    check string "offending predicate" "best" pred;
+    let msg = Stratify.limit_error_to_string ~pred ~rule in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check bool "error names the rule" true
+      (contains msg "non-monotonically"
+      && contains msg (Pretty.rule_to_string rule))
+  | Stratify.Stratified _ | Stratify.Not_stratifiable _ ->
+    Alcotest.fail "anti-monotone guard must be rejected"
 
 let () =
   Alcotest.run "datalog"
@@ -340,5 +419,13 @@ let () =
           Alcotest.test_case "mutual negation" `Quick test_stratify_mutual_negation;
           Alcotest.test_case "chain" `Quick test_stratify_chain;
           Alcotest.test_case "rules of stratum" `Quick test_rules_of_stratum;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "parse" `Quick test_limit_parse;
+          Alcotest.test_case "pretty roundtrip" `Quick
+            test_limit_pretty_roundtrip;
+          Alcotest.test_case "check" `Quick test_limit_check;
+          Alcotest.test_case "stratify" `Quick test_limit_stratify;
         ] );
     ]

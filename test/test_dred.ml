@@ -187,6 +187,123 @@ let test_mixed_batch () =
   check bool "matches recomputation" true
     (Idb.equal delta.Dred.new_idb expected)
 
+(* --- limit predicates: group bounds under deletion ----------------------
+
+   Deleting the support of a group's bound must relax the bound to the
+   best surviving support (second-best derivation), drop the group when
+   nothing survives, and cascade through downstream groups — all checked
+   against from-scratch stratified evaluation. *)
+
+let sp_limit =
+  Parser.parse_program_exn
+    "dist min 2. dist(X, 0) :- source(X). dist(Y, S) :- dist(X, D), edge(X, \
+     Y, W), S = D + W."
+
+let limit_maintain ?(additions = []) p db removals =
+  let current = Evallib.Stratified.eval_exn p db in
+  Dred.apply p db ~current ~additions ~removals ()
+
+let check_limit_delta p (delta : Dred.delta) =
+  check bool "matches stratified recomputation" true
+    (Idb.equal delta.Dred.new_idb (Evallib.Stratified.eval_exn p delta.Dred.new_db))
+
+let dist_has delta strs =
+  Relalg.Relation.mem (Tuple.of_strings strs) (Idb.get delta.Dred.new_idb "dist")
+
+let test_limit_second_best () =
+  (* Parallel edges a->b of weight 1 and 5: deleting the cheaper one must
+     relax dist(b) from 1 to the second-best support 5. *)
+  let db =
+    Database.of_facts ~universe:[]
+      [
+        ("source", [ "a" ]);
+        ("edge", [ "a"; "b"; "1" ]);
+        ("edge", [ "a"; "b"; "5" ]);
+      ]
+  in
+  let delta =
+    limit_maintain sp_limit db [ ("edge", Tuple.of_strings [ "a"; "b"; "1" ]) ]
+  in
+  check_limit_delta sp_limit delta;
+  check bool "bound relaxed to second-best" true (dist_has delta [ "b"; "5" ]);
+  check bool "old bound gone" false (dist_has delta [ "b"; "1" ])
+
+let test_limit_max_second_best () =
+  (* The max analog: deleting the heavier parallel edge relaxes the bound
+     downward to the lighter surviving support. *)
+  let p =
+    Parser.parse_program_exn
+      "best max 2. best(X, 0) :- source(X). best(Y, S) :- best(X, D), \
+       edge(X, Y, W), S = D + W."
+  in
+  let db =
+    Database.of_facts ~universe:[]
+      [
+        ("source", [ "a" ]);
+        ("edge", [ "a"; "b"; "5" ]);
+        ("edge", [ "a"; "b"; "1" ]);
+      ]
+  in
+  let delta =
+    limit_maintain p db [ ("edge", Tuple.of_strings [ "a"; "b"; "5" ]) ]
+  in
+  check_limit_delta p delta;
+  check bool "bound relaxed to surviving support" true
+    (Relalg.Relation.mem
+       (Tuple.of_strings [ "b"; "1" ])
+       (Idb.get delta.Dred.new_idb "best"))
+
+let test_limit_group_vanishes () =
+  (* A group with a single support disappears entirely when it goes. *)
+  let db =
+    Database.of_facts ~universe:[]
+      [ ("source", [ "a" ]); ("edge", [ "a"; "b"; "3" ]) ]
+  in
+  let delta =
+    limit_maintain sp_limit db [ ("edge", Tuple.of_strings [ "a"; "b"; "3" ]) ]
+  in
+  check_limit_delta sp_limit delta;
+  check int "only the source group remains" 1
+    (Relalg.Relation.cardinal (Idb.get delta.Dred.new_idb "dist"))
+
+let test_limit_cascading_relax () =
+  (* Relaxing dist(b) must re-propagate: dist(c) moves from 3 to 6. *)
+  let db =
+    Database.of_facts ~universe:[]
+      [
+        ("source", [ "a" ]);
+        ("edge", [ "a"; "b"; "1" ]);
+        ("edge", [ "a"; "b"; "4" ]);
+        ("edge", [ "b"; "c"; "2" ]);
+      ]
+  in
+  let delta =
+    limit_maintain sp_limit db [ ("edge", Tuple.of_strings [ "a"; "b"; "1" ]) ]
+  in
+  check_limit_delta sp_limit delta;
+  check bool "intermediate bound relaxed" true (dist_has delta [ "b"; "4" ]);
+  check bool "downstream bound relaxed" true (dist_has delta [ "c"; "6" ])
+
+let test_limit_mixed_batch () =
+  (* One batch that deletes a bound's support and inserts a tighter route
+     elsewhere: relaxation and tightening in the same application. *)
+  let db =
+    Database.of_facts ~universe:[]
+      [
+        ("source", [ "a" ]);
+        ("edge", [ "a"; "b"; "1" ]);
+        ("edge", [ "b"; "c"; "1" ]);
+        ("edge", [ "a"; "c"; "9" ]);
+      ]
+  in
+  let delta =
+    limit_maintain sp_limit db
+      ~additions:[ ("edge", Tuple.of_strings [ "a"; "c"; "1" ]) ]
+      [ ("edge", Tuple.of_strings [ "b"; "c"; "1" ]) ]
+  in
+  check_limit_delta sp_limit delta;
+  check bool "new route wins" true (dist_has delta [ "c"; "1" ])
+
 let prop_insert_equals_recompute =
   QCheck.Test.make ~name:"insertion maintenance = recomputation" ~count:80
     (QCheck.make
@@ -244,6 +361,17 @@ let () =
           Alcotest.test_case "stratified delete" `Quick test_stratified_delete;
           Alcotest.test_case "stratified insert" `Quick test_stratified_insert;
           Alcotest.test_case "mixed batch" `Quick test_mixed_batch;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "second-best support" `Quick
+            test_limit_second_best;
+          Alcotest.test_case "max second-best" `Quick
+            test_limit_max_second_best;
+          Alcotest.test_case "group vanishes" `Quick test_limit_group_vanishes;
+          Alcotest.test_case "cascading relax" `Quick
+            test_limit_cascading_relax;
+          Alcotest.test_case "mixed limit batch" `Quick test_limit_mixed_batch;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -257,6 +257,8 @@ let test_stratified_rejects_toggle () =
   let db = db_of_graph (Generate.path 2) in
   match Stratified.eval toggle db with
   | Error (Stratified.Not_stratifiable _) -> ()
+  | Error (Stratified.Not_limit_stratifiable _) ->
+    Alcotest.fail "toggle has no limits"
   | Ok _ -> Alcotest.fail "toggle rule must not stratify"
 
 let test_stratified_agrees_with_naive_on_positive () =

@@ -311,6 +311,42 @@ let prop_indexed_equals_scan =
         let cached = apply `Cached in
         Idb.equal cached (apply `Percall) && Idb.equal cached (apply `Scan))
 
+(* Limit predicates: the plan-path tightening evaluation must agree with
+   a brute-force reference that materializes every cost tuple (same rules,
+   no limit declarations) and then keeps only the dominant tuple of each
+   group.  Because the generator's guards match the limit kind's polarity
+   (min with <=, max with >=), the strata above the limit predicate are
+   insensitive to the dominant filter, so the whole models must coincide —
+   across storage backends, engines, and static/adaptive planners. *)
+let prop_limit_differential =
+  QCheck.Test.make ~name:"limit tightening = dominant filter of pair model"
+    ~count:60 Testsupport.Gen_programs.arb_limit_case
+    (fun (limit_p, pairs_p, db) ->
+      let pairs = Evallib.Stratified.eval_exn pairs_p db in
+      let reference =
+        List.fold_left
+          (fun idb (l : Ast.limit) ->
+            let kind =
+              match l.Ast.kind with Ast.Min -> `Min | Ast.Max -> `Max
+            in
+            Idb.set idb l.Ast.limit_pred
+              (Relalg.Relation.dominant ~kind ~col:l.Ast.column
+                 (Idb.get pairs l.Ast.limit_pred)))
+          pairs limit_p.Ast.limits
+      in
+      List.for_all
+        (fun storage ->
+          List.for_all
+            (fun engine ->
+              List.for_all
+                (fun planner ->
+                  Idb.equal reference
+                    (Evallib.Stratified.eval_exn ~storage ~engine ~planner
+                       limit_p db))
+                [ `Static; `Adaptive ])
+            [ `Seminaive; `Parallel ])
+        storages)
+
 let prop_pretty_roundtrip =
   QCheck.Test.make ~name:"pretty-printed programs re-parse identically"
     ~count:150 arb_case (fun (p, _db) ->
@@ -341,6 +377,7 @@ let () =
             prop_wellfounded_algorithms_agree;
             prop_kripke_kleene_within_wellfounded;
             prop_indexed_equals_scan;
+            prop_limit_differential;
             prop_pretty_roundtrip;
           ] );
     ]

@@ -112,6 +112,51 @@ let test_relation_join_positions () =
   check int "path of length 2" 1 (Relation.cardinal joined);
   check int "arity 4" 4 (Relation.arity joined)
 
+(* --- Limit semantics -------------------------------------------------------- *)
+
+let rel2 rows = Relation.of_list 2 (List.map Tuple.of_strings rows)
+
+let test_relation_tighten () =
+  let current = rel2 [ [ "a"; "3" ]; [ "b"; "2" ] ] in
+  let candidates =
+    rel2 [ [ "a"; "1" ]; [ "a"; "2" ]; [ "b"; "5" ]; [ "c"; "4" ] ]
+  in
+  let result, changed = Relation.tighten ~kind:`Min ~col:1 current candidates in
+  check bool "bounds tightened, new group admitted" true
+    (Relation.equal result (rel2 [ [ "a"; "1" ]; [ "b"; "2" ]; [ "c"; "4" ] ]));
+  check bool "changed-group delta holds exactly the new bounds" true
+    (Relation.equal changed (rel2 [ [ "a"; "1" ]; [ "c"; "4" ] ]));
+  let result', changed' = Relation.tighten ~kind:`Min ~col:1 result candidates in
+  check bool "idempotent on dominated candidates" true
+    (Relation.equal result' result);
+  check bool "no-op yields an empty delta" true (Relation.is_empty changed')
+
+let test_relation_tighten_max () =
+  let current = rel2 [ [ "a"; "3" ] ] in
+  let candidates = rel2 [ [ "a"; "5" ]; [ "a"; "4" ] ] in
+  let result, changed = Relation.tighten ~kind:`Max ~col:1 current candidates in
+  check bool "max keeps the greatest" true
+    (Relation.equal result (rel2 [ [ "a"; "5" ] ]));
+  check bool "delta is the one improved bound" true
+    (Relation.equal changed (rel2 [ [ "a"; "5" ] ]))
+
+let test_relation_dominant () =
+  (* "9" vs "10" pins numeric, not lexicographic, value comparison. *)
+  let r = rel2 [ [ "a"; "9" ]; [ "a"; "10" ]; [ "b"; "7" ] ] in
+  check bool "min keeps least per group" true
+    (Relation.equal
+       (Relation.dominant ~kind:`Min ~col:1 r)
+       (rel2 [ [ "a"; "9" ]; [ "b"; "7" ] ]));
+  check bool "max keeps greatest per group" true
+    (Relation.equal
+       (Relation.dominant ~kind:`Max ~col:1 r)
+       (rel2 [ [ "a"; "10" ]; [ "b"; "7" ] ]));
+  check bool "out-of-range column rejected" true
+    (try
+       ignore (Relation.dominant ~kind:`Min ~col:2 r);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Idset ------------------------------------------------------------------ *)
 
 let test_idset_basic () =
@@ -554,6 +599,9 @@ let () =
           Alcotest.test_case "full/complement" `Quick test_relation_full_complement;
           Alcotest.test_case "zero arity" `Quick test_relation_full_zero_arity;
           Alcotest.test_case "join" `Quick test_relation_join_positions;
+          Alcotest.test_case "tighten" `Quick test_relation_tighten;
+          Alcotest.test_case "tighten max" `Quick test_relation_tighten_max;
+          Alcotest.test_case "dominant" `Quick test_relation_dominant;
         ] );
       ( "idset",
         [

@@ -220,6 +220,70 @@ let test_protocol () =
   check (Alcotest.list Alcotest.string) "shutdown" [ "<shutdown>" ]
     (reply t "shutdown")
 
+let flatten_batch t lines =
+  List.map
+    (function
+      | Serve.Reply ls -> ls
+      | Serve.Quit -> [ "<quit>" ]
+      | Serve.Shutdown -> [ "<shutdown>" ])
+    (Serve.handle_batch t lines)
+
+let test_batch_coalescing () =
+  (* Three consecutive inserts are one DRed batch: one combined report,
+     two "ok coalesced", and the batch counter moves by one.  A delete
+     breaks the run.  Replies stay line-for-line positional. *)
+  let db = with_vertices (Digraph.to_database (Generate.path 3)) 3 in
+  let t = ok_or_fail (Serve.create reach db) in
+  let replies =
+    flatten_batch t
+      [
+        "insert e(v2, v3).";
+        "insert e(v3, v4).";
+        "insert e(v4, v0).";
+        "delete e(v4, v0).";
+        "query unreached(X)";
+      ]
+  in
+  (match replies with
+  | [ [ first ]; [ "ok coalesced" ]; [ "ok coalesced" ]; [ del ]; [ _q ] ] ->
+    check bool "combined report counts all three" true
+      (contains ~needle:"inserted=3" first);
+    check bool "delete not merged into the insert run" true
+      (contains ~needle:"deleted=1" del)
+  | _ -> Alcotest.fail "unexpected reply shape");
+  check int "two DRed batches for four write lines" 2
+    (Serve.counters t).Serve.batches;
+  (* A run of one is byte-identical to handle_line. *)
+  let t2 = ok_or_fail (Serve.create reach db) in
+  let batch_reply = flatten_batch t2 [ "insert e(v2, v3)." ] in
+  let t3 = ok_or_fail (Serve.create reach db) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "singleton run = handle_line" batch_reply
+    [ reply t3 "insert e(v2, v3)." ];
+  (* Unparseable write lines are not coalesced; a failing merged run
+     answers error on every line; quit stops the batch. *)
+  let t4 = ok_or_fail (Serve.create reach db) in
+  let replies =
+    flatten_batch t4
+      [
+        "insert e(v0";
+        "delete e(v0, v9).";
+        "delete e(v1, v9).";
+        "quit";
+        "query unreached(X)";
+      ]
+  in
+  match replies with
+  | [ [ bad ]; [ del1 ]; [ del2 ]; [ "<quit>" ] ] ->
+    check bool "parse error answered alone" true
+      (contains ~needle:"error:" bad);
+    check bool "merged delete run fails on its first line" true
+      (contains ~needle:"error:" del1);
+    check bool "later lines of a failed run say coalesced" true
+      (contains ~needle:"coalesced" del2)
+  | _ -> Alcotest.fail "quit must end the batch before the query"
+
 (* --- differential oracle ---------------------------------------------------
    Random op sequences through the incremental path vs from-scratch
    stratified saturation: after every batch the fingerprints must agree. *)
@@ -334,6 +398,7 @@ let () =
           Alcotest.test_case "snapshot isolation" `Quick
             test_snapshot_isolation;
           Alcotest.test_case "protocol" `Quick test_protocol;
+          Alcotest.test_case "batch coalescing" `Quick test_batch_coalescing;
         ] );
       ("oracle", List.map QCheck_alcotest.to_alcotest differential_props);
     ]
