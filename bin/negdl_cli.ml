@@ -350,6 +350,7 @@ let eval_cmd =
     | Some s ->
       s.Negdl.Stats.extra <-
         List.filter (fun (_, v) -> v <> 0) (Negdl.Sat_stats.snapshot ());
+      Negdl.Stats.harvest_contention s;
       Format.eprintf "%a@." Negdl.Stats.pp s
     | None -> ()
   in
@@ -816,7 +817,10 @@ let serve_cmd =
       accept_loop ();
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ -> ());
-    if stats then Format.eprintf "%a@." Negdl.Stats.pp stats_rec
+    if stats then begin
+      Negdl.Stats.harvest_contention stats_rec;
+      Format.eprintf "%a@." Negdl.Stats.pp stats_rec
+    end
   in
   let doc = "serve a materialised model with incremental updates" in
   let man =

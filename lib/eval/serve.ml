@@ -402,6 +402,24 @@ let stats_lines t =
       (extra_counter t "dred putback applications")
       (extra_counter t "dred full applications");
   ]
+  @
+  (* Store contention, cumulative like every other counter here; omitted
+     entirely (tree backend, untouched store) rather than printed as
+     zeros. *)
+  let c = Relalg.Store.contention () in
+  if
+    c.Relalg.Store.stripe_locks + c.Relalg.Store.cache_hits
+    + c.Relalg.Store.cache_misses + c.Relalg.Store.partition_skew
+    = 0
+  then []
+  else
+    [
+      Printf.sprintf
+        "contention: stripe_locks=%d cache_hits=%d cache_misses=%d \
+         partition_skew=%d"
+        c.Relalg.Store.stripe_locks c.Relalg.Store.cache_hits
+        c.Relalg.Store.cache_misses c.Relalg.Store.partition_skew;
+    ]
 
 let handle_line t line =
   let line = String.trim line in

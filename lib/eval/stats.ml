@@ -10,6 +10,11 @@ type t = {
   mutable morsels : int;
   mutable steals : int;
   mutable max_shard_skew : int;
+  mutable merge_ns : int;
+  mutable stripe_locks : int;
+  mutable intern_hits : int;
+  mutable intern_misses : int;
+  mutable partition_skew : int;
   mutable stages : (string * float) list;
   mutable wall : float;
   mutable extra : (string * int) list;
@@ -26,6 +31,11 @@ let create () =
     morsels = 0;
     steals = 0;
     max_shard_skew = 0;
+    merge_ns = 0;
+    stripe_locks = 0;
+    intern_hits = 0;
+    intern_misses = 0;
+    partition_skew = 0;
     stages = [];
     wall = 0.0;
     extra = [];
@@ -41,6 +51,14 @@ let merge_into dst ~src =
   dst.morsels <- dst.morsels + src.morsels;
   dst.steals <- dst.steals + src.steals;
   dst.max_shard_skew <- max dst.max_shard_skew src.max_shard_skew;
+  dst.merge_ns <- dst.merge_ns + src.merge_ns;
+  (* The contention block is harvested from process-cumulative counters at
+     print sites, not accumulated per task — max keeps a merge of a
+     harvested record with un-harvested shards from double-counting. *)
+  dst.stripe_locks <- max dst.stripe_locks src.stripe_locks;
+  dst.intern_hits <- max dst.intern_hits src.intern_hits;
+  dst.intern_misses <- max dst.intern_misses src.intern_misses;
+  dst.partition_skew <- max dst.partition_skew src.partition_skew;
   dst.stages <- src.stages @ dst.stages;
   dst.wall <- dst.wall +. src.wall;
   dst.extra <- src.extra @ dst.extra
@@ -54,6 +72,18 @@ let bump_extra t name n =
         (fun (k, v) -> if String.equal k name then (k, v + n) else (k, v))
         t.extra
   else t.extra <- (name, n) :: t.extra
+
+(* The store's contention counters are process-cumulative; copying them
+   wholesale into the record at print time keeps the hot intern path free
+   of any per-run baseline bookkeeping.  One-shot CLI runs dominate their
+   process, so the totals effectively are the run's; the serve loop
+   reports cumulative counters, consistent with its other totals. *)
+let harvest_contention t =
+  let c = Relalg.Store.contention () in
+  t.stripe_locks <- c.Relalg.Store.stripe_locks;
+  t.intern_hits <- c.Relalg.Store.cache_hits;
+  t.intern_misses <- c.Relalg.Store.cache_misses;
+  t.partition_skew <- c.Relalg.Store.partition_skew
 
 let record_stage t name dt =
   t.stages <- (name, dt) :: t.stages;
@@ -86,6 +116,19 @@ let pp ppf t =
   Format.fprintf ppf "morsels executed:  %d@," t.morsels;
   Format.fprintf ppf "morsel steals:     %d@," t.steals;
   Format.fprintf ppf "max shard skew:    %d@," t.max_shard_skew;
+  (* The store-contention block appears only when something was measured:
+     hashed-backend runs show it, tree-backend runs keep the seed block. *)
+  if
+    t.stripe_locks + t.intern_hits + t.intern_misses + t.partition_skew
+    + t.merge_ns
+    > 0
+  then begin
+    Format.fprintf ppf "stripe locks:      %d@," t.stripe_locks;
+    Format.fprintf ppf "intern cache hits: %d@," t.intern_hits;
+    Format.fprintf ppf "intern cache miss: %d@," t.intern_misses;
+    Format.fprintf ppf "partition skew:    %d@," t.partition_skew;
+    Format.fprintf ppf "parallel merge ns: %d@," t.merge_ns
+  end;
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-18s %d@," (name ^ ":") v)
     (List.rev t.extra);

@@ -37,6 +37,20 @@ type t = {
       (** Worst per-barrier imbalance seen: max - min morsels executed
           across the participants of one sharded run (0 with a single
           participant).  Merged with [max], not [+]. *)
+  mutable merge_ns : int;
+      (** Nanoseconds spent in sharded barrier merges (per-shard
+          accumulator concatenation + the final relation build), summed
+          over every sharded rule application. *)
+  mutable stripe_locks : int;
+      (** Store stripe-lock acquisitions, harvested process-cumulative
+          from {!Relalg.Store.contention} by {!harvest_contention}. *)
+  mutable intern_hits : int;
+      (** Per-domain intern-cache hits (all domains), harvested. *)
+  mutable intern_misses : int;
+      (** Per-domain intern-cache misses (all domains), harvested. *)
+  mutable partition_skew : int;
+      (** Max minus min store stripe cardinality, harvested (0 when the
+          store runs a single stripe). *)
   mutable stages : (string * float) list;
       (** Wall time per named stage, most recent first. *)
   mutable wall : float;  (** Total wall-clock seconds recorded. *)
@@ -59,6 +73,14 @@ val bump_extra : t -> string -> int -> unit
     preserved in the report).  The incremental-maintenance layer counts
     its delta-scoped work here — the proof that no full re-ground happens
     per update batch — without disturbing the stable core block. *)
+
+val harvest_contention : t -> unit
+(** Copies the packed store's process-cumulative contention counters
+    (stripe locks, per-domain intern-cache hits/misses, partition skew)
+    into the record.  Called once at report sites; {!pp} prints the
+    contention block only when something non-zero was harvested (or
+    {!field-merge_ns} accumulated), so tree-backend runs keep the seed
+    report shape. *)
 
 val record_stage : t -> string -> float -> unit
 (** [record_stage s name dt] logs [dt] seconds against [name] and adds it

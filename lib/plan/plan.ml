@@ -4,6 +4,12 @@ module Symbol = Relalg.Symbol
 module Ast = Datalog.Ast
 module Magic = Datalog.Magic
 
+(* Every pool worker primes its domain-local store intern cache at spawn:
+   sharded executions then never pay cache initialisation (or its registry
+   lock) inside a morsel.  Registered here because [Domain_pool] cannot
+   depend on [relalg]. *)
+let () = Negdl_util.Domain_pool.set_worker_init Relalg.Store.prime_local_cache
+
 type source = { find : string -> int -> Relation.t }
 
 type occurrence = {

@@ -99,41 +99,88 @@ let remove t r =
 
 (* Bulk construction: intern everything, then build the Patricia set in one
    sorted pass — O(n log n) at worst in the sort instead of n root-path
-   copies of [Idset.add].  When the ids span most of the store — as on a
-   snapshot restore, where the loaded model *is* the bulk of what has ever
-   been interned — the sort-and-dedup pass is a dense mark-and-sweep over
-   [0, Store.count()): O(count) array writes instead of O(n log n) indirect
+   copies of [Idset.add].  Ids are grouped by store stripe (the id's high
+   bits), each stripe's run sorted and deduplicated independently, and the
+   stripe-ascending concatenation is globally sorted by construction.  When
+   a stripe's ids span most of that stripe — as on a snapshot restore,
+   where the loaded model *is* the bulk of what has ever been interned —
+   the per-stripe pass is a dense mark-and-sweep over the stripe's local
+   ids: O(stripe count) array writes instead of O(n log n) indirect
    compares, and duplicates collapse for free. *)
-let of_ids k a =
-  let n = Array.length a in
-  let limit = Store.count () in
-  let u = ref 0 in
-  let a =
-    if limit <= (8 * n) + 4096 then begin
-      let seen = Bytes.make limit '\000' in
-      Array.iter (fun id -> Bytes.unsafe_set seen id '\001') a;
-      for id = 0 to limit - 1 do
-        if Bytes.unsafe_get seen id <> '\000' then begin
-          a.(!u) <- id;
+
+(* Append stripe [p]'s ids [src.(lo) .. src.(lo + n - 1)] (unsorted,
+   possibly duplicated, all in stripe [p]) to [dst] at [!u], ascending and
+   deduplicated.  [stripe_count] is the stripe's current tuple count.
+   [dst] may alias [src] when the segment starts at or after [!u]. *)
+let emit_sorted_part ~stripe_count p src lo n dst u =
+  if n > 0 then
+    (* The sweep touches every local id the stripe has ever interned, so
+       it only pays when the run covers a decent fraction of the stripe —
+       a flat constant here would make every small delta build of a warm
+       store O(stripe count), which compounds across semi-naive stages. *)
+    if stripe_count <= 8 * n then begin
+      let seen = Bytes.make stripe_count '\000' in
+      for i = lo to lo + n - 1 do
+        Bytes.unsafe_set seen (Store.id_local src.(i)) '\001'
+      done;
+      for local = 0 to stripe_count - 1 do
+        if Bytes.unsafe_get seen local <> '\000' then begin
+          dst.(!u) <- Store.id_make ~part:p ~local;
           incr u
         end
-      done;
-      a
+      done
     end
     else begin
-      Array.sort Int.compare a;
-      u := 1;
+      let run = Array.sub src lo n in
+      Array.sort Int.compare run;
+      dst.(!u) <- run.(0);
+      incr u;
       for i = 1 to n - 1 do
-        if a.(i) <> a.(!u - 1) then begin
-          a.(!u) <- a.(i);
+        if run.(i) <> run.(i - 1) then begin
+          dst.(!u) <- run.(i);
           incr u
         end
-      done;
-      a
+      done
     end
-  in
-  let a = if !u = n then a else Array.sub a 0 !u in
-  make_t k (Idset.of_sorted_array a) !u
+
+let of_ids k a =
+  let n = Array.length a in
+  if n = 0 then empty k
+  else begin
+    let pc = Store.partitions () in
+    let scounts = Store.part_counts () in
+    let u = ref 0 in
+    if pc = 1 then
+      (* Single stripe: ids are dense globals; sort/sweep in place. *)
+      emit_sorted_part ~stripe_count:scounts.(0) 0 a 0 n a u
+    else begin
+      (* Scatter into stripe-major order with a counting pass, then
+         finish each stripe's run back into [a]. *)
+      let counts = Array.make pc 0 in
+      for i = 0 to n - 1 do
+        let p = Store.id_part a.(i) in
+        counts.(p) <- counts.(p) + 1
+      done;
+      let starts = Array.make (pc + 1) 0 in
+      for p = 0 to pc - 1 do
+        starts.(p + 1) <- starts.(p) + counts.(p)
+      done;
+      let fill = Array.copy starts in
+      let by_part = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let id = a.(i) in
+        let p = Store.id_part id in
+        by_part.(fill.(p)) <- id;
+        fill.(p) <- fill.(p) + 1
+      done;
+      for p = 0 to pc - 1 do
+        emit_sorted_part ~stripe_count:scounts.(p) p by_part starts.(p)
+          counts.(p) a u
+      done
+    end;
+    let a = if !u = n then a else Array.sub a 0 !u in
+    make_t k (Idset.of_sorted_array a) !u
+  end
 
 let of_array k ts =
   let n = Array.length ts in
@@ -237,38 +284,121 @@ let choose_opt r = Option.map Store.tuple (Idset.choose_opt r.ids)
 
 (* --- builder ------------------------------------------------------------ *)
 
+(* A growable int vector; one per store stripe per builder. *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let ensure v extra =
+    let need = v.n + extra in
+    if need > Array.length v.a then begin
+      let cap = ref (max 16 (2 * Array.length v.a)) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap 0 in
+      Array.blit v.a 0 bigger 0 v.n;
+      v.a <- bigger
+    end
+
+  let push v x =
+    ensure v 1;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let append dst src =
+    ensure dst src.n;
+    Array.blit src.a 0 dst.a dst.n src.n;
+    dst.n <- dst.n + src.n
+end
+
+(* The builder accumulates interned ids bucketed by store stripe, deduped
+   against an open-addressed id set.  [builder_merge] is then a
+   partition-wise concatenation — O(smaller's rows) array blits, no
+   Patricia re-union, no per-row hashing — and [build] finishes each
+   stripe's run (sort or dense sweep, as in [of_ids]) and assembles the
+   relation with one [Idset.of_sorted_array] over the globally sorted
+   stripe-major concatenation.  Cross-builder duplicates (the same tuple
+   derived by two participants) survive until [build], so after a merge
+   [b_card] is an upper bound and [builder_add] is refused (the dedup set
+   is stale); [build] re-establishes the exact count. *)
 type builder = {
   b_arity : int;
-  mutable b_ids : Idset.t;
-  mutable b_card : int;
+  mutable b_tab : int array;  (* open-addressed id set; -1 = empty slot *)
+  mutable b_card : int;  (* exact until merged, then an upper bound *)
+  b_parts : Ivec.t array;  (* per-stripe ids, insertion order *)
+  mutable b_merged : bool;
 }
 
-let builder k = { b_arity = k; b_ids = Idset.empty; b_card = 0 }
+let builder k =
+  {
+    b_arity = k;
+    b_tab = Array.make 64 (-1);
+    b_card = 0;
+    b_parts = Array.init (Store.partitions ()) (fun _ -> Ivec.create ());
+    b_merged = false;
+  }
+
+(* Fibonacci mix: ids carry the stripe in their high bits, so low bits
+   alone would collide across stripes' dense locals. *)
+let bslot_hash id = id * 0x2545F4914F6CDD1D
+
+let btab_insert tab id =
+  let mask = Array.length tab - 1 in
+  let rec probe s =
+    let v = Array.unsafe_get tab s in
+    if v < 0 then begin
+      Array.unsafe_set tab s id;
+      true
+    end
+    else if v = id then false
+    else probe ((s + 1) land mask)
+  in
+  probe (bslot_hash id land mask)
 
 let builder_add b t =
+  if b.b_merged then
+    invalid_arg "Hash_store.builder_add: builder was merged";
   let id = Store.intern t in
-  if Idset.mem id b.b_ids then false
-  else begin
-    b.b_ids <- Idset.add id b.b_ids;
+  (* Keep the load factor at most 1/2: [b_card] is exact occupancy here
+     because adds are refused after a merge. *)
+  if 2 * (b.b_card + 1) > Array.length b.b_tab then begin
+    let old = b.b_tab in
+    b.b_tab <- Array.make (2 * Array.length old) (-1);
+    Array.iter (fun v -> if v >= 0 then ignore (btab_insert b.b_tab v)) old
+  end;
+  if btab_insert b.b_tab id then begin
     b.b_card <- b.b_card + 1;
+    Ivec.push b.b_parts.(Store.id_part id) id;
     true
   end
+  else false
 
 let builder_card b = b.b_card
 
 let builder_arity b = b.b_arity
 
 let builder_merge b1 b2 =
-  (* Count the smaller side's fresh ids before the Patricia union, so the
-     merged cardinality stays exact without an O(result) recount. *)
   let big, small = if b1.b_card >= b2.b_card then (b1, b2) else (b2, b1) in
-  let fresh =
-    Idset.fold
-      (fun id n -> if Idset.mem id big.b_ids then n else n + 1)
-      small.b_ids 0
-  in
-  big.b_ids <- Idset.union big.b_ids small.b_ids;
-  big.b_card <- big.b_card + fresh;
+  Array.iteri (fun p v -> Ivec.append big.b_parts.(p) v) small.b_parts;
+  big.b_card <- big.b_card + small.b_card;
+  big.b_merged <- true;
   big
 
-let build b = make_t b.b_arity b.b_ids b.b_card
+let build b =
+  let total =
+    Array.fold_left (fun acc (v : Ivec.t) -> acc + v.Ivec.n) 0 b.b_parts
+  in
+  if total = 0 then empty b.b_arity
+  else begin
+    let scounts = Store.part_counts () in
+    let dst = Array.make total 0 in
+    let u = ref 0 in
+    Array.iteri
+      (fun p (v : Ivec.t) ->
+        emit_sorted_part ~stripe_count:scounts.(p) p v.Ivec.a 0 v.Ivec.n dst u)
+      b.b_parts;
+    let dst = if !u = total then dst else Array.sub dst 0 !u in
+    make_t b.b_arity (Idset.of_sorted_array dst) !u
+  end

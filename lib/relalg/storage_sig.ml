@@ -95,17 +95,25 @@ module type S = sig
   (** [builder k]: an empty accumulator of arity [k]. *)
 
   val builder_add : builder -> Tuple.t -> bool
-  (** Adds a tuple; [true] iff it was not already accumulated. *)
+  (** Adds a tuple; [true] iff it was not already accumulated.  Must not be
+      called on a builder that has been through {!builder_merge} (backends
+      may raise [Invalid_argument]). *)
 
   val builder_card : builder -> int
+  (** Exact for a builder that has only seen {!builder_add}; after
+      {!builder_merge} it may be an upper bound (cross-builder duplicates
+      are collapsed by {!build}, not by the merge). *)
 
   val builder_arity : builder -> int
 
   val builder_merge : builder -> builder -> builder
-  (** Destructive union of two builders in O(smaller) set operations: the
-      result reuses the larger builder's storage.  Neither argument may be
-      used afterwards (the sharded plan executor merges per-shard
-      accumulators with this at the barrier). *)
+  (** Destructive union of two builders in O(smaller) work: the result
+      reuses the larger builder's storage.  Neither argument may be used
+      afterwards, and the result accepts only {!builder_merge} and {!build}
+      (the sharded plan executor merges per-shard accumulators with this at
+      the barrier).  The hashed backend concatenates per-stripe id runs
+      without deduplicating across the two builders, which is what makes
+      the barrier merge O(rows moved) instead of a hash-set rebuild. *)
 
   val build : builder -> t
   (** Finalise.  The builder must not be reused afterwards. *)

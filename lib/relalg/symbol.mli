@@ -6,9 +6,10 @@
     deterministic within a process: the same string always yields the same
     symbol.
 
-    The table is domain-safe: {!intern} and {!fresh} are serialised by a
-    mutex, and the id-to-name side is published through immutable snapshots,
-    so the parallel engine's worker domains may intern concurrently and
+    The table is domain-safe: both directions are published through
+    immutable snapshots, so {!intern} probes lock-free and serialises on a
+    mutex only to add a genuinely new name ({!fresh} always locks), the
+    parallel engine's worker domains may intern concurrently, and
     {!name}/{!count} never lock. *)
 
 type t = private int

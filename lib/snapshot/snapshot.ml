@@ -170,13 +170,17 @@ let rows_of_relation sym_to_dict kind name r =
   (match Relation.ids r with
   | Some ids ->
     (* Hashed backend: stream rows straight out of the packed store
-       arrays — no per-tuple boxing. *)
+       arrays — no per-tuple boxing.  Ids decode to (stripe, local); the
+       encoded rows are dictionary-coded and sorted below, so the output
+       bytes are independent of how tuples were striped. *)
     let v = Store.view () in
     Idset.iter
       (fun id ->
-        let off = v.Store.v_off.(id) and len = v.Store.v_len.(id) in
+        let p = Store.id_part id and l = Store.id_local id in
+        let off = v.Store.v_off.(p).(l) and len = v.Store.v_len.(p).(l) in
+        let data = v.Store.v_data.(p) in
         acc :=
-          Array.init len (fun j -> dict_of_word v.Store.v_data.(off + j))
+          Array.init len (fun j -> dict_of_word data.(off + j))
           :: !acc)
       ids
   | None ->

@@ -37,7 +37,17 @@ let exec_one t job =
   t.pending <- t.pending - 1;
   if t.pending = 0 then Condition.broadcast t.work_done
 
+(* A hook run by every spawned worker domain before it enters its loop —
+   the plan layer installs the store's per-domain intern-cache priming
+   here, so the first morsel a worker touches doesn't pay (or contend on)
+   domain-local initialisation.  This library cannot depend on [relalg]
+   directly, hence the inversion. *)
+let worker_init : (unit -> unit) ref = ref (fun () -> ())
+
+let set_worker_init f = worker_init := f
+
 let worker t () =
+  !worker_init ();
   Mutex.lock t.mutex;
   let rec loop () =
     if t.stop then Mutex.unlock t.mutex

@@ -74,6 +74,14 @@ val shutdown : t -> unit
 (** Joins and discards the worker domains.  The pool can be reused — the
     next {!run} respawns them. *)
 
+val set_worker_init : (unit -> unit) -> unit
+(** Installs a hook run once by every worker domain (of every pool) right
+    after it is spawned, before it takes any work.  Used to prime
+    domain-local state — the plan layer registers the packed store's
+    per-domain intern-cache initialisation here, since this library cannot
+    depend on [relalg].  Replaces any previously installed hook; call
+    before the first pool spawns workers. *)
+
 val default : unit -> t
 (** A process-wide shared pool, created on first use and shut down at
     exit.  The environment variable [NEGDL_DOMAINS], when set to a

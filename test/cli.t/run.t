@@ -54,7 +54,7 @@ greedy replans on every application, scan runs the body in textual order):
 
 --stats reports the evaluation counters on stderr (timings elided here):
 
-  $ negdl eval tc.dl path4.facts --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  $ negdl eval tc.dl path4.facts --stats -p s 2>&1 | grep -v -e stage -e "wall time" -e "merge ns"
   {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
   iterations:        4
   rule applications: 5
@@ -72,6 +72,10 @@ greedy replans on every application, scan runs the body in textual order):
   morsels executed:  0
   morsel steals:     0
   max shard skew:    0
+  stripe locks:      6
+  intern cache hits: 3
+  intern cache miss: 6
+  partition skew:    2
 
 The parallel engine can shard a rule's driving input into morsels
 (--parallel-grain tuples each).  NEGDL_DOMAINS=1 pins the default pool to
@@ -79,7 +83,7 @@ a single participant, so the scheduling counters are deterministic: the
 sequential engine above never shards (all three counters 0), while here
 each one-task stage runs morsel-by-morsel with nothing to steal:
 
-  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain 1 --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain 1 --stats -p s 2>&1 | grep -v -e stage -e "wall time" -e "merge ns"
   {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
   iterations:        4
   rule applications: 5
@@ -97,11 +101,15 @@ each one-task stage runs morsel-by-morsel with nothing to steal:
   morsels executed:  9
   morsel steals:     0
   max shard skew:    0
+  stripe locks:      6
+  intern cache hits: 3
+  intern cache miss: 6
+  partition skew:    2
 
 --parallel-grain rules restores pure whole-rule fan-out (the pre-morsel
 behaviour); the model is the same and no morsels are scheduled:
 
-  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain rules --stats -p s 2>&1 | grep -v -e stage -e "wall time"
+  $ NEGDL_DOMAINS=1 negdl eval tc.dl path4.facts --engine parallel --parallel-grain rules --stats -p s 2>&1 | grep -v -e stage -e "wall time" -e "merge ns"
   {(v0, v1); (v0, v2); (v0, v3); (v1, v2); (v1, v3); (v2, v3)}
   iterations:        4
   rule applications: 5
@@ -119,6 +127,10 @@ behaviour); the model is the same and no morsels are scheduled:
   morsels executed:  0
   morsel steals:     0
   max shard skew:    0
+  stripe locks:      6
+  intern cache hits: 3
+  intern cache miss: 6
+  partition skew:    2
 
 A bad grain is a usage error:
 
@@ -185,9 +197,9 @@ Provenance of a closure fact:
 Grounding of pi_1 on the path:
 
   $ negdl ground pi1.dl path4.facts
-  t(v1).
-  t(v2) :- !t(v1).
   t(v3) :- !t(v2).
+  t(v2) :- !t(v1).
+  t(v1).
   % 3 atoms, 3 instances
 
 Physical plans are inspectable.  explain compiles every rule — and the

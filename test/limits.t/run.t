@@ -182,6 +182,7 @@ the delta path: full_applications stays 0 throughout.
   queries: served=0 cache_hits=0 cache_misses=0
   plans: cached=6 compiles=6 cache_hits=6 replans=0
   work: rule_applications=12 delta_applications=0 putback_applications=0 full_applications=0
+  contention: stripe_locks=14 cache_hits=17 cache_misses=14 partition_skew=4
   ok inserted=4 overdeleted=1 derived=3
   ok coalesced
   ok coalesced
@@ -190,6 +191,7 @@ the delta path: full_applications stays 0 throughout.
   queries: served=0 cache_hits=0 cache_misses=0
   plans: cached=10 compiles=10 cache_hits=12 replans=0
   work: rule_applications=22 delta_applications=3 putback_applications=1 full_applications=0
+  contention: stripe_locks=22 cache_hits=34 cache_misses=22 partition_skew=4
   {(a, 0); (b, 1); (c, 2); (d, 1); (e, 2)} % 5 answer(s)
   ok deleted=1 overdeleted=4 rederived=4
   {(a, 0); (b, 1); (c, 2); (d, 3); (e, 4)} % 5 answer(s)

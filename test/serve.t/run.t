@@ -35,6 +35,7 @@ the version-tagged cache, and errors must leave the session alive.
   queries: served=7 cache_hits=3 cache_misses=6
   plans: cached=13 compiles=13 cache_hits=21 replans=0
   work: rule_applications=34 delta_applications=10 putback_applications=4 full_applications=0
+  contention: stripe_locks=17 cache_hits=40 cache_misses=17 partition_skew=2
   bye
 
 Mid-session adaptive replanning: under `--planner adaptive` the server's
@@ -63,6 +64,7 @@ answer, and repeating it hits.
   queries: served=3 cache_hits=1 cache_misses=2
   plans: cached=10 compiles=10 cache_hits=7 replans=1
   work: rule_applications=18 delta_applications=3 putback_applications=1 full_applications=0
+  contention: stripe_locks=130 cache_hits=218 cache_misses=133 partition_skew=3
   bye
 
 Checkpoint under traffic and warm restart in place: `snapshot` writes the
@@ -94,6 +96,7 @@ the restore still runs seeded semi-naive: full_applications stays 0.
   queries: served=2 cache_hits=0 cache_misses=2
   plans: cached=10 compiles=10 cache_hits=12 replans=0
   work: rule_applications=22 delta_applications=3 putback_applications=1 full_applications=0
+  contention: stripe_locks=20 cache_hits=28 cache_misses=20 partition_skew=3
   ok version=0
   {(v0)} % 1 answer(s)
   {(v0)} % 1 answer(s)
@@ -103,6 +106,7 @@ the restore still runs seeded semi-naive: full_applications stays 0.
   queries: served=4 cache_hits=1 cache_misses=3
   plans: cached=10 compiles=10 cache_hits=23 replans=0
   work: rule_applications=33 delta_applications=6 putback_applications=1 full_applications=0
+  contention: stripe_locks=25 cache_hits=34 cache_misses=25 partition_skew=4
   bye
 
 Restarting from the checkpoint skips saturation entirely: the warm-started
@@ -120,4 +124,5 @@ checkpointed model.
   queries: served=1 cache_hits=0 cache_misses=1
   plans: cached=0 compiles=0 cache_hits=0 replans=0
   work: rule_applications=0 delta_applications=0 putback_applications=0 full_applications=0
+  contention: stripe_locks=10 cache_hits=0 cache_misses=0 partition_skew=1
   bye

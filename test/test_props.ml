@@ -171,6 +171,33 @@ let prop_grain_matrix =
                  ~planner ~storage p db)
              wf_equal wf_ref)
 
+(* The partitioned packed store must be observationally identical to the
+   seed's single-table semantics: a Treeset/Seminaive reference model is
+   compared against the Hashed (partitioned) backend under both the
+   sequential and the parallel engine, at the auto and per-rule grains. *)
+let prop_partitioned_store_oracle =
+  QCheck.Test.make
+    ~name:"partitioned hashed store matches single-table treeset semantics"
+    ~count:40 arb_case (fun (p, db) ->
+      if not (Datalog.Stratify.is_stratified p) then true
+      else
+        let pool = Lazy.force shared_pool in
+        let reference =
+          Evallib.Stratified.eval_exn ~engine:`Seminaive ~storage:`Treeset p
+            db
+        in
+        List.for_all
+          (fun storage ->
+            Idb.equal reference
+              (Evallib.Stratified.eval_exn ~engine:`Seminaive ~storage p db)
+            && List.for_all
+                 (fun grain ->
+                   Idb.equal reference
+                     (Evallib.Stratified.eval_exn ~engine:`Parallel ~pool
+                        ~grain ~storage p db))
+                 [ `Auto; `Rules ])
+          [ `Hashed; `Treeset ])
+
 let prop_limit_is_inflationary_fixpoint =
   QCheck.Test.make ~name:"Theta(limit) is contained in the limit" ~count:150
     arb_case (fun (p, db) ->
@@ -363,6 +390,7 @@ let () =
             prop_engine_matrix_positive;
             prop_engine_matrix_semantics;
             prop_grain_matrix;
+            prop_partitioned_store_oracle;
             prop_limit_is_inflationary_fixpoint;
             prop_deltas_partition;
             prop_ground_tracks_theta;

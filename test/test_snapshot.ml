@@ -270,7 +270,7 @@ let test_corruption_battery () =
   let bytes = battery_bytes () in
   let len = String.length bytes in
   let syms_before = Symbol.count () in
-  let store_before = (Store.view ()).Store.v_count in
+  let store_before = Store.count () in
   (* Every proper prefix must fail: truncation at any point — section
      boundaries included — is caught. *)
   for k = 0 to len - 1 do
@@ -303,8 +303,7 @@ let test_corruption_battery () =
       (Snapshot.error_to_string e));
   (* No failed decode touched the global intern tables. *)
   check int "symbol table untouched" syms_before (Symbol.count ());
-  check int "tuple store untouched" store_before
-    ((Store.view ()).Store.v_count)
+  check int "tuple store untouched" store_before (Store.count ())
 
 (* Read the section table back out of the header to aim truncations at
    specific sections. *)
